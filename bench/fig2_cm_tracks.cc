@@ -1,0 +1,103 @@
+// Reproduces paper Fig. 2: the communication-means value tracks along the
+// motivating post (Fig. 1 Doc A) and the segmentations induced by
+// (a) CM_tense alone, (b) CM_subj alone, (c) CM_qneg alone,
+// (d) the full intention-based configuration, and (e) Hearst's thematic
+// segmentation — showing how different the intention borders are from the
+// topical ones.
+
+#include <cstdio>
+#include <string>
+
+#include "seg/segmenter.h"
+
+namespace ibseg {
+namespace {
+
+const char* kDocA =
+    "I have an HP system with a RAID controller and four disks in form of a "
+    "JBOD. I would like to install Hadoop with a replication HDFS and only "
+    "part of the disk space used from every disk. Do you know whether it "
+    "would perform ok or whether the partial use of the disk would degrade "
+    "performance? Friends have downloaded the Cloudera distribution but it "
+    "did not work. It stopped since the web site was suggesting to have "
+    "larger disks. I am asking because I do not want to install Linux to "
+    "find that my hardware configuration is not right.";
+
+char dominant_value(const CmProfile& p, CmKind cm) {
+  int arity = kCmArity[static_cast<int>(cm)];
+  int best = -1;
+  double best_count = 0.0;
+  for (int v = 0; v < arity; ++v) {
+    if (p.count(cm, v) > best_count) {
+      best_count = p.count(cm, v);
+      best = v;
+    }
+  }
+  return best < 0 ? '.' : static_cast<char>('0' + best);
+}
+
+void print_segmentation_line(char tag, const char* name,
+                             const Segmentation& seg) {
+  std::printf("  (%c) %-22s ", tag, name);
+  for (size_t u = 0; u < seg.num_units; ++u) {
+    bool border = false;
+    for (size_t b : seg.borders) border |= (b == u);
+    std::printf("%s%zu ", border ? "| " : "", u + 1);
+  }
+  std::printf("  -> %zu segments\n", seg.num_segments());
+}
+
+void run() {
+  Document doc = Document::analyze(0, kDocA);
+  std::printf("== Fig. 2: CM tracks and segmentations of Fig. 1 Doc A ==\n\n");
+  for (size_t u = 0; u < doc.num_units(); ++u) {
+    std::string_view s = doc.range_text(u, u + 1);
+    std::printf("  %zu. %.*s\n", u + 1, static_cast<int>(s.size()), s.data());
+  }
+
+  std::printf("\nPer-sentence dominant CM values ('.' = CM absent):\n");
+  for (int c = 0; c < kNumCms; ++c) {
+    CmKind cm = static_cast<CmKind>(c);
+    std::printf("  %-13s ", cm_name(cm));
+    for (size_t u = 0; u < doc.num_units(); ++u) {
+      std::printf("%c ", dominant_value(doc.unit_profile(u), cm));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nSegmentations ('|' before a sentence = border):\n");
+  Vocabulary vocab;
+  struct SingleCm {
+    char tag;
+    const char* name;
+    CmKind cm;
+  };
+  for (SingleCm s : {SingleCm{'a', "CM_tense only", CmKind::kTense},
+                     SingleCm{'b', "CM_subj only", CmKind::kSubject},
+                     SingleCm{'c', "CM_qneg only", CmKind::kStyle}}) {
+    SegScoring scoring;
+    scoring.cm_mask = 1u << static_cast<int>(s.cm);
+    print_segmentation_line(
+        s.tag, s.name,
+        select_borders(doc, BorderStrategyKind::kTile, scoring));
+  }
+  // (d) per the paper: Table 1 features + Sec. 5.2 coherence/depth +
+  // Eq. 4 scoring (the Tile mechanism over all CMs).
+  print_segmentation_line(
+      'd', "intention-based (all)",
+      select_borders(doc, BorderStrategyKind::kTile, SegScoring{}));
+  print_segmentation_line('e', "Hearst thematic",
+                          texttiling_segment(doc, vocab));
+  std::printf(
+      "\n(The paper's point: (d) differs significantly from the thematic"
+      " segmentation (e) — borders fall at intention shifts, e.g. before"
+      " the 'Do you know...' request, not at topic shifts.)\n");
+}
+
+}  // namespace
+}  // namespace ibseg
+
+int main() {
+  ibseg::run();
+  return 0;
+}

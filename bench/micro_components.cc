@@ -1,0 +1,104 @@
+// google-benchmark microbenchmarks for the per-component costs behind the
+// paper's timing discussion (Sec. 9.2.4): document analysis (tokenize +
+// POS + CM annotation), each border selection strategy, DBSCAN grouping,
+// index construction and top-k retrieval.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "cluster/intention_clusters.h"
+#include "index/fulltext_matcher.h"
+#include "index/intention_matcher.h"
+#include "seg/segmenter.h"
+
+namespace ibseg {
+namespace {
+
+const SyntheticCorpus& corpus() {
+  static const SyntheticCorpus* kCorpus =
+      new SyntheticCorpus(generate_corpus(
+          bench::eval_profile(ForumDomain::kTechSupport, 400)));
+  return *kCorpus;
+}
+
+const std::vector<Document>& docs() {
+  static const std::vector<Document>* kDocs =
+      new std::vector<Document>(analyze_corpus(corpus()));
+  return *kDocs;
+}
+
+void BM_DocumentAnalyze(benchmark::State& state) {
+  const std::string& text = corpus().posts[0].text;
+  for (auto _ : state) {
+    Document d = Document::analyze(0, text);
+    benchmark::DoNotOptimize(d.num_units());
+  }
+}
+BENCHMARK(BM_DocumentAnalyze);
+
+void BM_Segment(benchmark::State& state, Segmenter segmenter) {
+  Vocabulary vocab;
+  size_t i = 0;
+  for (auto _ : state) {
+    const Document& d = docs()[i++ % docs().size()];
+    Segmentation s = segmenter.segment(d, vocab);
+    benchmark::DoNotOptimize(s.borders.size());
+  }
+}
+BENCHMARK_CAPTURE(BM_Segment, greedy,
+                  Segmenter::intention(BorderStrategyKind::kGreedy));
+BENCHMARK_CAPTURE(BM_Segment, tile,
+                  Segmenter::intention(BorderStrategyKind::kTile));
+BENCHMARK_CAPTURE(BM_Segment, stepbystep,
+                  Segmenter::intention(BorderStrategyKind::kStepByStep));
+BENCHMARK_CAPTURE(BM_Segment, cm_tiling, Segmenter::cm_tiling());
+BENCHMARK_CAPTURE(BM_Segment, texttiling, Segmenter::topical());
+
+void BM_Grouping(benchmark::State& state) {
+  Segmenter segmenter = Segmenter::cm_tiling();
+  Vocabulary vocab;
+  std::vector<Segmentation> segs(docs().size());
+  for (size_t d = 0; d < docs().size(); ++d) {
+    segs[d] = segmenter.segment(docs()[d], vocab);
+  }
+  for (auto _ : state) {
+    IntentionClustering c = IntentionClustering::build(docs(), segs);
+    benchmark::DoNotOptimize(c.num_clusters());
+  }
+}
+BENCHMARK(BM_Grouping);
+
+void BM_IndexBuildAndQuery(benchmark::State& state) {
+  Segmenter segmenter = Segmenter::cm_tiling();
+  Vocabulary scratch;
+  std::vector<Segmentation> segs(docs().size());
+  for (size_t d = 0; d < docs().size(); ++d) {
+    segs[d] = segmenter.segment(docs()[d], scratch);
+  }
+  IntentionClustering clustering = IntentionClustering::build(docs(), segs);
+  Vocabulary vocab;
+  IntentionMatcher matcher =
+      IntentionMatcher::build(docs(), clustering, vocab);
+  DocId q = 0;
+  for (auto _ : state) {
+    auto r = matcher.find_related(q++ % docs().size(), 5);
+    benchmark::DoNotOptimize(r.size());
+  }
+}
+BENCHMARK(BM_IndexBuildAndQuery);
+
+void BM_FullTextQuery(benchmark::State& state) {
+  Vocabulary vocab;
+  FullTextMatcher matcher = FullTextMatcher::build(docs(), vocab);
+  DocId q = 0;
+  for (auto _ : state) {
+    auto r = matcher.find_related(q++ % docs().size(), 5);
+    benchmark::DoNotOptimize(r.size());
+  }
+}
+BENCHMARK(BM_FullTextQuery);
+
+}  // namespace
+}  // namespace ibseg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,229 @@
+// ibseg_cli — command-line front end for the library.
+//
+//   ibseg_cli generate <tech|travel|prog> <num-posts> <corpus-file>
+//       Synthesize a corpus (with ground truth) and save it.
+//
+//   ibseg_cli segment
+//       Read one post from stdin, print its intention segments.
+//
+//   ibseg_cli snapshot <corpus-file> <snapshot-file>
+//       Run the offline phase (segment + cluster) and persist it.
+//
+//   ibseg_cli query <corpus-file> <doc-id> [k] [snapshot-file]
+//       Top-k related posts for a post of the corpus. With a snapshot the
+//       offline phase is reloaded instead of recomputed.
+//
+//   ibseg_cli ask <corpus-file> [k]
+//       Top-k related posts for a NEW post read from stdin (external
+//       query: nothing is ingested).
+//
+// Corpus files are either the ibseg corpus format (from `generate`) or a
+// plain text file with one post per line.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/pipeline.h"
+#include "storage/corpus_io.h"
+#include "storage/snapshot.h"
+
+using namespace ibseg;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ibseg_cli generate <tech|travel|prog|health> <num-posts> <file>\n"
+               "  ibseg_cli segment            (post on stdin)\n"
+               "  ibseg_cli snapshot <corpus-file> <snapshot-file>\n"
+               "  ibseg_cli query <corpus-file> <doc-id> [k] [snapshot]\n"
+               "  ibseg_cli ask <corpus-file> [k]     (post on stdin)\n");
+  return 2;
+}
+
+// Loads either an ibseg corpus file or a plain one-post-per-line file.
+std::vector<Document> load_docs(const std::string& path,
+                                SyntheticCorpus* corpus_out) {
+  if (auto corpus = load_corpus_file(path)) {
+    if (corpus_out != nullptr) *corpus_out = *corpus;
+    return analyze_corpus(*corpus);
+  }
+  std::ifstream is(path);
+  std::vector<Document> docs;
+  if (!is) return docs;
+  size_t id = 0;
+  for (const std::string& text : load_plain_posts(is)) {
+    docs.push_back(Document::analyze(static_cast<DocId>(id++), text));
+  }
+  return docs;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc != 3) return usage();
+  GeneratorOptions gen;
+  if (std::strcmp(argv[0], "tech") == 0) {
+    gen.domain = ForumDomain::kTechSupport;
+  } else if (std::strcmp(argv[0], "travel") == 0) {
+    gen.domain = ForumDomain::kTravel;
+  } else if (std::strcmp(argv[0], "prog") == 0) {
+    gen.domain = ForumDomain::kProgramming;
+  } else if (std::strcmp(argv[0], "health") == 0) {
+    gen.domain = ForumDomain::kHealth;
+  } else {
+    return usage();
+  }
+  gen.num_posts = std::strtoull(argv[1], nullptr, 10);
+  if (gen.num_posts == 0) return usage();
+  SyntheticCorpus corpus = generate_corpus(gen);
+  if (!save_corpus_file(corpus, argv[2])) {
+    std::fprintf(stderr, "error: cannot write %s\n", argv[2]);
+    return 1;
+  }
+  std::printf("wrote %zu posts (%zu scenarios) to %s\n", corpus.posts.size(),
+              corpus.num_scenarios, argv[2]);
+  return 0;
+}
+
+int cmd_segment() {
+  std::ostringstream ss;
+  ss << std::cin.rdbuf();
+  Document doc = Document::analyze(0, ss.str());
+  if (doc.num_units() == 0) {
+    std::fprintf(stderr, "error: empty post\n");
+    return 1;
+  }
+  Segmentation seg = cm_tiling_segment(doc);
+  std::printf("%zu sentences, %zu intention segments\n", doc.num_units(),
+              seg.num_segments());
+  int idx = 1;
+  for (auto [b, e] : seg.segments()) {
+    std::string_view text = doc.range_text(b, e);
+    std::printf("[%d] %.*s\n", idx++, static_cast<int>(text.size()),
+                text.data());
+  }
+  return 0;
+}
+
+int cmd_snapshot(int argc, char** argv) {
+  if (argc != 2) return usage();
+  std::vector<Document> docs = load_docs(argv[0], nullptr);
+  if (docs.empty()) {
+    std::fprintf(stderr, "error: cannot load corpus %s\n", argv[0]);
+    return 1;
+  }
+  Segmenter segmenter = Segmenter::cm_tiling();
+  Vocabulary vocab;
+  std::vector<Segmentation> segs(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    segs[d] = segmenter.segment(docs[d], vocab);
+  }
+  IntentionClustering clustering = IntentionClustering::build(docs, segs);
+  PipelineSnapshot snap = make_snapshot(segs, clustering);
+  if (!save_snapshot_file(snap, argv[1])) {
+    std::fprintf(stderr, "error: cannot write %s\n", argv[1]);
+    return 1;
+  }
+  std::printf("offline phase done: %zu docs, %d intention clusters -> %s\n",
+              docs.size(), clustering.num_clusters(), argv[1]);
+  return 0;
+}
+
+int cmd_query(int argc, char** argv) {
+  if (argc < 2 || argc > 4) return usage();
+  SyntheticCorpus corpus;
+  std::vector<Document> docs = load_docs(argv[0], &corpus);
+  if (docs.empty()) {
+    std::fprintf(stderr, "error: cannot load corpus %s\n", argv[0]);
+    return 1;
+  }
+  DocId query = static_cast<DocId>(std::strtoul(argv[1], nullptr, 10));
+  int k = argc >= 3 ? std::atoi(argv[2]) : 5;
+  if (query >= docs.size() || k <= 0) return usage();
+
+  std::unique_ptr<IntentionMatcher> matcher;
+  Vocabulary vocab;
+  if (argc == 4) {
+    auto snap = load_snapshot_file(argv[3]);
+    if (!snap || snap->segmentations.size() != docs.size()) {
+      std::fprintf(stderr, "error: snapshot %s missing or inconsistent\n",
+                   argv[3]);
+      return 1;
+    }
+    IntentionClustering clustering = restore_clustering(docs, *snap);
+    matcher = std::make_unique<IntentionMatcher>(
+        IntentionMatcher::build(docs, clustering, vocab));
+  } else {
+    Segmenter segmenter = Segmenter::cm_tiling();
+    Vocabulary scratch;
+    std::vector<Segmentation> segs(docs.size());
+    for (size_t d = 0; d < docs.size(); ++d) {
+      segs[d] = segmenter.segment(docs[d], scratch);
+    }
+    IntentionClustering clustering = IntentionClustering::build(docs, segs);
+    matcher = std::make_unique<IntentionMatcher>(
+        IntentionMatcher::build(docs, clustering, vocab));
+  }
+
+  std::printf("query %u: \"%.70s...\"\n", query, docs[query].text().c_str());
+  for (const ScoredDoc& sd : matcher->find_related(query, k)) {
+    std::printf("  %4u  %.3f  \"%.70s...\"", sd.doc, sd.score,
+                docs[sd.doc].text().c_str());
+    if (!corpus.posts.empty()) {
+      std::printf("  [scenario %d%s]", corpus.posts[sd.doc].scenario_id,
+                  corpus.posts[sd.doc].scenario_id ==
+                          corpus.posts[query].scenario_id
+                      ? " *"
+                      : "");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_ask(int argc, char** argv) {
+  if (argc < 1 || argc > 2) return usage();
+  SyntheticCorpus corpus;
+  std::vector<Document> docs = load_docs(argv[0], &corpus);
+  if (docs.empty()) {
+    std::fprintf(stderr, "error: cannot load corpus %s\n", argv[0]);
+    return 1;
+  }
+  int k = argc >= 2 ? std::atoi(argv[1]) : 5;
+  std::ostringstream ss;
+  ss << std::cin.rdbuf();
+  Document query = Document::analyze(1u << 30, ss.str());
+  if (query.num_units() == 0) {
+    std::fprintf(stderr, "error: empty post on stdin\n");
+    return 1;
+  }
+  RelatedPostPipeline pipeline = RelatedPostPipeline::build(std::move(docs));
+  auto related = pipeline.find_related_external(query, k);
+  if (related.empty()) {
+    std::printf("no related posts found\n");
+    return 0;
+  }
+  for (const ScoredDoc& sd : related) {
+    std::printf("  %4u  %.3f  \"%.70s...\"\n", sd.doc, sd.score,
+                pipeline.docs()[sd.doc].text().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return cmd_generate(argc - 2, argv + 2);
+  if (cmd == "segment") return cmd_segment();
+  if (cmd == "snapshot") return cmd_snapshot(argc - 2, argv + 2);
+  if (cmd == "query") return cmd_query(argc - 2, argv + 2);
+  if (cmd == "ask") return cmd_ask(argc - 2, argv + 2);
+  return usage();
+}

@@ -1,0 +1,109 @@
+// Tech-support scenario: reconstructs the paper's Fig. 1 motivating
+// example (Docs A-D) and shows why intention-based matching treats them
+// differently from whole-post matching.
+//
+// Doc A: RAID context, asks about performance degradation.
+// Doc B: same HP/RAID vocabulary, asks about adding a drive  -> NOT related.
+// Doc C: little vocabulary overlap, same question as A       -> related.
+// Doc D: different in every respect                          -> unrelated.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/methods.h"
+#include "index/fulltext_matcher.h"
+#include "seg/segmenter.h"
+
+using namespace ibseg;
+
+namespace {
+
+// The four posts of paper Fig. 1 (lightly normalized punctuation).
+const char* kDocA =
+    "I have an HP system with a RAID controller and four disks in form of a "
+    "JBOD. I would like to install Hadoop with a replication HDFS and only "
+    "part of the disk space used from every disk. Do you know whether it "
+    "would perform ok or whether the partial use of the disk would degrade "
+    "performance? Friends have downloaded the Cloudera distribution but it "
+    "did not work. It stopped since the web site was suggesting to have "
+    "larger disks. I am asking because I do not want to install Linux to "
+    "find that my hardware configuration is not right.";
+
+const char* kDocB =
+    "My boss gave me yesterday an HP Pavilion computer with Intel Matrix "
+    "Storage System, a large drive and Linux pre-installed. I am thinking "
+    "to add an extra drive using a RAID array. Can I do it without having "
+    "to rebuild the entire system? I have already looked at the HP official "
+    "web site for how to use a JBOD. But I have not found anything related "
+    "to it.";
+
+const char* kDocC =
+    "Extra RAID drives seem to be the solution to my problem. But does "
+    "adding RAID drives require a reformat and rebuild of the system to "
+    "improve performance?";
+
+const char* kDocD =
+    "My HP Pavilion stops working after a few minutes of activity. I called "
+    "our technical department but no luck. Despite the many calls I did not "
+    "manage to find a person with adequate knowledge to find out what is "
+    "wrong. All they said is bring it up and we will see, which frustrated "
+    "me. At the end I had the brilliant idea to move it to a cooler place "
+    "and voila. No more problems.";
+
+void show_segments(const char* name, const Document& doc) {
+  Segmentation seg = cm_tiling_segment(doc);
+  std::printf("%s -> %zu intention segments:\n", name, seg.num_segments());
+  for (auto [begin, end] : seg.segments()) {
+    std::string_view text = doc.range_text(begin, end);
+    std::printf("    | %.*s\n", static_cast<int>(text.size()), text.data());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Document> docs;
+  docs.push_back(Document::analyze(0, kDocA));
+  docs.push_back(Document::analyze(1, kDocB));
+  docs.push_back(Document::analyze(2, kDocC));
+  docs.push_back(Document::analyze(3, kDocD));
+  const char* names[] = {"Doc A", "Doc B", "Doc C", "Doc D"};
+
+  std::printf("=== Intention segmentation of the Fig. 1 posts ===\n\n");
+  for (size_t i = 0; i < docs.size(); ++i) show_segments(names[i], docs[i]);
+
+  // Whole-post ranking for reference: B (shared HP/RAID vocabulary) tends
+  // to outrank C (shared question, little shared content).
+  std::printf("\n=== Whole-post (FullText) ranking for Doc A ===\n");
+  {
+    Vocabulary vocab;
+    FullTextMatcher matcher = FullTextMatcher::build(docs, vocab);
+    for (const ScoredDoc& sd : matcher.find_related(0, 3)) {
+      std::printf("  %s  score %.3f\n", names[sd.doc], sd.score);
+    }
+  }
+
+  // Intention-based matching: per-intention segment comparison.
+  std::printf("\n=== Intention-based (IntentIntent-MR) ranking for Doc A ===\n");
+  {
+    MethodConfig config;
+    // Four documents are far below the defaults' assumptions; relax the
+    // density clustering for the demo.
+    config.grouping.dbscan.min_pts = 2;
+    config.grouping.target_min_clusters = 2;
+    config.grouping.target_max_clusters = 4;
+    config.grouping.kmeans_fallback_k = 3;
+    config.grouping.min_cluster_fraction = 0.0;
+    auto method = build_method(MethodKind::kIntentIntentMR, docs, config);
+    for (const ScoredDoc& sd : method->find_related(0, 3)) {
+      std::printf("  %s  score %.3f\n", names[sd.doc], sd.score);
+    }
+  }
+  std::printf(
+      "\n(The paper's argument: A-B share keywords only across different\n"
+      "intentions, while A-C share the question. Under intention-based\n"
+      "matching, D — which FullText ranks by its shared HP vocabulary —\n"
+      "drops out entirely, and C enters through the shared question\n"
+      "intention despite its small content overlap.)\n");
+  return 0;
+}

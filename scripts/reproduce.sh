@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Reproduces everything: build, tests, every paper table/figure bench, the
+# ablations, and the example programs. Outputs land in the repo root as
+# test_output.txt and bench_output.txt.
+#
+# Usage: scripts/reproduce.sh [scale]
+#   scale  multiplies the bench corpus sizes (default 1; the paper-sized
+#          corpora need scale >= 10 and correspondingly more time).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1}"
+
+echo "== configure + build =="
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+echo "== benches (IBSEG_BENCH_SCALE=${SCALE}) =="
+export IBSEG_BENCH_SCALE="${SCALE}"
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo "== examples =="
+./build/examples/quickstart
+./build/examples/tech_support_forum
+./build/examples/travel_reviews
+./build/examples/segmentation_explorer </dev/null
+./build/examples/run_experiment 200 experiment_results.csv
+
+echo "done; see test_output.txt, bench_output.txt, experiment_results.csv"

@@ -1,0 +1,91 @@
+#include "cluster/dbscan.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "cluster/vp_tree.h"
+
+namespace ibseg {
+namespace {
+
+// Median of the min_pts-th nearest-neighbor distance over a sample of
+// points: the "knee" proxy of the k-distance heuristic.
+double auto_eps(const VpTree& tree, size_t n, size_t min_pts) {
+  if (n < 2) return 1.0;
+  size_t k = std::max<size_t>(1, min_pts - 1);
+  size_t sample = std::min<size_t>(n, 512);
+  size_t stride = std::max<size_t>(1, n / sample);
+  std::vector<double> dists;
+  dists.reserve(sample);
+  for (size_t i = 0; i < n; i += stride) {
+    dists.push_back(tree.kth_neighbor_distance(i, k));
+  }
+  std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                   dists.end());
+  double median = dists[dists.size() / 2];
+  return median > 0.0 ? median : 1.0;
+}
+
+}  // namespace
+
+double estimate_eps(const std::vector<std::vector<double>>& points,
+                    size_t min_pts) {
+  if (points.size() < 2) return 1.0;
+  VpTree tree(points);
+  return auto_eps(tree, points.size(), min_pts);
+}
+
+DbscanResult dbscan(const std::vector<std::vector<double>>& points,
+                    const DbscanParams& params) {
+  const size_t n = points.size();
+  DbscanResult result;
+  result.labels.assign(n, kNoise);
+  if (n == 0) return result;
+
+  VpTree tree(points);
+  double eps = params.eps > 0.0
+                   ? params.eps
+                   : auto_eps(tree, n, params.min_pts) * params.eps_scale;
+  result.eps_used = eps;
+
+  constexpr int kUnvisited = -2;
+  std::vector<int> labels(n, kUnvisited);
+  int next_cluster = 0;
+  std::vector<size_t> neighbors;
+  for (size_t p = 0; p < n; ++p) {
+    if (labels[p] != kUnvisited) continue;
+    neighbors.clear();
+    tree.range_query(points[p], eps, &neighbors);
+    if (neighbors.size() < params.min_pts) {
+      labels[p] = kNoise;
+      continue;
+    }
+    int cluster = next_cluster++;
+    labels[p] = cluster;
+    // Seed set expansion (BFS).
+    std::deque<size_t> seeds(neighbors.begin(), neighbors.end());
+    while (!seeds.empty()) {
+      size_t q = seeds.front();
+      seeds.pop_front();
+      if (labels[q] == kNoise) labels[q] = cluster;  // border point
+      if (labels[q] != kUnvisited) continue;
+      labels[q] = cluster;
+      neighbors.clear();
+      tree.range_query(points[q], eps, &neighbors);
+      if (neighbors.size() >= params.min_pts) {
+        for (size_t r : neighbors) {
+          if (labels[r] == kUnvisited || labels[r] == kNoise) {
+            seeds.push_back(r);
+          }
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    result.labels[i] = labels[i] == kUnvisited ? kNoise : labels[i];
+  }
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+}  // namespace ibseg

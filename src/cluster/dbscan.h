@@ -1,0 +1,50 @@
+#ifndef IBSEG_CLUSTER_DBSCAN_H_
+#define IBSEG_CLUSTER_DBSCAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ibseg {
+
+/// DBSCAN parameters (Ester et al. 1996 — the paper's clustering choice,
+/// Sec. 6: no a-priori cluster count, arbitrary shapes, noise handling).
+struct DbscanParams {
+  /// Neighborhood radius. <= 0 requests auto-tuning from the k-distance
+  /// curve (median of the min_pts-th neighbor distances, a standard
+  /// heuristic) scaled by `eps_scale`.
+  double eps = 0.0;
+  /// Minimum neighborhood size (including the point itself) for a core
+  /// point.
+  size_t min_pts = 8;
+  /// Multiplier applied to the auto-tuned eps. Values above 1 merge nearby
+  /// density peaks; calibrated so segment grouping lands in the 3-6
+  /// intention-cluster range the paper reports (Sec. 9.2).
+  double eps_scale = 1.5;
+};
+
+/// Label for points not reachable from any core point.
+inline constexpr int kNoise = -1;
+
+/// DBSCAN output.
+struct DbscanResult {
+  /// Cluster id in [0, num_clusters) per point, or kNoise.
+  std::vector<int> labels;
+  int num_clusters = 0;
+  /// The eps actually used (after auto-tuning).
+  double eps_used = 0.0;
+};
+
+/// Runs DBSCAN over dense Euclidean points. Deterministic: points are
+/// visited in index order, so labels are stable across runs.
+DbscanResult dbscan(const std::vector<std::vector<double>>& points,
+                    const DbscanParams& params = {});
+
+/// The k-distance eps estimate used by the auto mode (median of the
+/// (min_pts-1)-th neighbor distance over a sample), before eps_scale.
+/// Exposed so callers can search around it.
+double estimate_eps(const std::vector<std::vector<double>>& points,
+                    size_t min_pts);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_CLUSTER_DBSCAN_H_

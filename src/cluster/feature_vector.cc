@@ -1,0 +1,59 @@
+#include "cluster/feature_vector.h"
+
+#include <cassert>
+
+namespace ibseg {
+namespace {
+
+std::vector<double> build_from_profile(const CmProfile& seg_profile,
+                                       const CmProfile& doc_profile,
+                                       const FeatureVectorOptions& options) {
+  std::vector<double> f(kSegmentFeatureDims, 0.0);
+  int idx = 0;
+  // First type (Eq. 5): within-segment relative strength.
+  for (int c = 0; c < kNumCms; ++c) {
+    CmKind cm = static_cast<CmKind>(c);
+    double total = seg_profile.cm_total(cm);
+    for (int v = 0; v < kCmArity[c]; ++v) {
+      f[idx++] = total > 0.0 ? seg_profile.count(cm, v) / total : 0.0;
+    }
+  }
+  // Second type (Eq. 6): strength relative to the whole document.
+  for (int c = 0; c < kNumCms; ++c) {
+    CmKind cm = static_cast<CmKind>(c);
+    for (int v = 0; v < kCmArity[c]; ++v) {
+      double seg_count = seg_profile.count(cm, v);
+      switch (options.second_type) {
+        case FeatureVectorOptions::SecondType::kDocRatio: {
+          double doc_count = doc_profile.count(cm, v);
+          f[idx++] = doc_count > 0.0 ? seg_count / doc_count : 0.0;
+          break;
+        }
+        case FeatureVectorOptions::SecondType::kRawCount:
+          f[idx++] = seg_count;
+          break;
+      }
+    }
+  }
+  assert(idx == kSegmentFeatureDims);
+  return f;
+}
+
+}  // namespace
+
+std::vector<double> segment_feature_vector(
+    const Document& doc, size_t begin, size_t end,
+    const FeatureVectorOptions& options) {
+  return build_from_profile(doc.range_profile(begin, end),
+                            doc.document_profile(), options);
+}
+
+std::vector<double> segment_feature_vector(
+    const Document& doc, const std::vector<std::pair<size_t, size_t>>& ranges,
+    const FeatureVectorOptions& options) {
+  CmProfile merged;
+  for (auto [b, e] : ranges) merged.merge(doc.range_profile(b, e));
+  return build_from_profile(merged, doc.document_profile(), options);
+}
+
+}  // namespace ibseg

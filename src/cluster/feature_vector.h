@@ -1,0 +1,44 @@
+#ifndef IBSEG_CLUSTER_FEATURE_VECTOR_H_
+#define IBSEG_CLUSTER_FEATURE_VECTOR_H_
+
+#include <vector>
+
+#include "seg/document.h"
+
+namespace ibseg {
+
+/// Options for the 28-element segment weight vector of Sec. 6.
+struct FeatureVectorOptions {
+  /// How the second 14 elements are computed.
+  enum class SecondType {
+    /// Eq. 6 as printed: segment count / whole-document count, in [0, 1].
+    kDocRatio,
+    /// Raw per-segment counts, matching the magnitudes of the centroids the
+    /// paper shows in Fig. 3 (values like 7.17 or 14.92 cannot come from a
+    /// ratio; see DESIGN.md "Known formula notes").
+    kRawCount,
+  };
+  SecondType second_type = SecondType::kDocRatio;
+};
+
+/// Dimensionality of the segment representation (2 weights per CM feature).
+inline constexpr int kSegmentFeatureDims = 2 * kNumCmFeatures;
+
+/// Builds the clustering representation of the segment spanning sentence
+/// units [begin, end) of `doc`:
+///  * elements [0, 14): Eq. 5 — within-segment relative strength of each CM
+///    value (per-CM normalization);
+///  * elements [14, 28): Eq. 6 — strength relative to the whole document
+///    (or raw counts, per `options.second_type`).
+std::vector<double> segment_feature_vector(
+    const Document& doc, size_t begin, size_t end,
+    const FeatureVectorOptions& options = {});
+
+/// Same, but for a refined (possibly multi-range) segment.
+std::vector<double> segment_feature_vector(
+    const Document& doc, const std::vector<std::pair<size_t, size_t>>& ranges,
+    const FeatureVectorOptions& options = {});
+
+}  // namespace ibseg
+
+#endif  // IBSEG_CLUSTER_FEATURE_VECTOR_H_

@@ -1,0 +1,130 @@
+#ifndef IBSEG_CLUSTER_INTENTION_CLUSTERS_H_
+#define IBSEG_CLUSTER_INTENTION_CLUSTERS_H_
+
+#include <utility>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "cluster/feature_vector.h"
+#include "seg/document.h"
+#include "seg/segmentation.h"
+
+namespace ibseg {
+
+/// A refined segment: the (possibly non-contiguous) union of all segments
+/// of one document that landed in the same intention cluster (segmentation
+/// refinement, Sec. 6).
+struct RefinedSegment {
+  DocId doc = 0;
+  int cluster = 0;
+  /// Sentence-unit ranges in document order.
+  std::vector<std::pair<size_t, size_t>> ranges;
+
+  size_t num_units() const {
+    size_t n = 0;
+    for (auto [b, e] : ranges) n += e - b;
+    return n;
+  }
+};
+
+/// Options for the segment grouping phase.
+struct GroupingOptions {
+  DbscanParams dbscan;
+  FeatureVectorOptions features;
+  /// After DBSCAN, attach noise segments to the nearest cluster centroid so
+  /// that every segment is matchable. When false, noise segments form a
+  /// dedicated trailing cluster.
+  bool assign_noise_to_nearest = true;
+  /// Eps selection: when dbscan.eps <= 0, DBSCAN runs over a small grid of
+  /// eps values around the k-distance estimate and keeps the clustering
+  /// whose number of *substantial* clusters (holding at least
+  /// min_cluster_fraction of the segments) is closest to
+  /// [target_min_clusters, target_max_clusters]; ties prefer fewer noise
+  /// points. Intention inventories are small — the paper lands on 3-5
+  /// clusters per corpus (Sec. 9.2) — so a fragmented result signals an
+  /// eps below the density knee, while one giant cluster signals an eps
+  /// above it.
+  int target_min_clusters = 3;
+  int target_max_clusters = 7;
+  double min_cluster_fraction = 0.05;
+  /// Multiples of the auto-tuned eps to evaluate.
+  std::vector<double> eps_grid = {0.6, 0.75, 0.9, 1.05, 1.25, 1.5, 1.8};
+  /// When no eps on the grid produces at least target_min_clusters
+  /// substantial clusters (the density structure is degenerate — one blob
+  /// or shattered fragments), fall back to k-means with this k over the
+  /// same features. 0 disables the fallback.
+  int kmeans_fallback_k = 5;
+};
+
+/// The intention clusters of a corpus: the output of segment grouping +
+/// segmentation refinement. Invariant: each document has at most one
+/// refined segment per cluster.
+class IntentionClustering {
+ public:
+  /// Groups the segments of `segmentations[d]` of every `docs[d]` by
+  /// DBSCAN over the Eq. 5/6 feature vectors (the paper's Sec. 6 grouping).
+  /// The two vectors must be parallel.
+  static IntentionClustering build(const std::vector<Document>& docs,
+                                   const std::vector<Segmentation>& segmentations,
+                                   const GroupingOptions& options = {});
+
+  /// Builds the clusters from externally supplied labels (one per segment,
+  /// flattened in document order then segment order; labels must be dense
+  /// in [0, num_clusters)). Used by Content-MR, whose clusters come from
+  /// TF/IDF k-means rather than CM features. Refinement still applies.
+  static IntentionClustering from_labels(
+      const std::vector<Document>& docs,
+      const std::vector<Segmentation>& segmentations,
+      const std::vector<int>& labels, int num_clusters,
+      const FeatureVectorOptions& features = {});
+
+  int num_clusters() const { return num_clusters_; }
+
+  /// All refined segments (the corpus-wide segment table).
+  const std::vector<RefinedSegment>& segments() const { return segments_; }
+
+  /// Per cluster: indices into segments().
+  const std::vector<std::vector<size_t>>& cluster_members() const {
+    return members_;
+  }
+
+  /// Per document: indices into segments() (ordered by cluster id).
+  const std::vector<std::vector<size_t>>& doc_segments() const {
+    return doc_segments_;
+  }
+
+  /// Cluster centroids in the 28-dim feature space (Fig. 3).
+  const std::vector<std::vector<double>>& centroids() const {
+    return centroids_;
+  }
+
+  /// The eps DBSCAN ended up using (diagnostics).
+  double eps_used() const { return eps_used_; }
+
+  /// A flattened (document, unit-range) segment before refinement
+  /// (exposed for the factory implementations; not part of the stable API).
+  struct RawRange {
+    size_t doc_index;
+    size_t begin;
+    size_t end;
+  };
+
+ private:
+  static IntentionClustering assemble(const std::vector<Document>& docs,
+                                      const std::vector<RawRange>& raw,
+                                      const std::vector<int>& labels,
+                                      int num_clusters,
+                                      const FeatureVectorOptions& features,
+                                      double eps_used);
+
+  int num_clusters_ = 0;
+  double eps_used_ = 0.0;
+  std::vector<RefinedSegment> segments_;
+  std::vector<std::vector<size_t>> members_;
+  std::vector<std::vector<size_t>> doc_segments_;
+  std::vector<std::vector<double>> centroids_;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_CLUSTER_INTENTION_CLUSTERS_H_

@@ -1,0 +1,102 @@
+#include "cluster/kmeans.h"
+
+#include <cassert>
+#include <limits>
+
+#include "util/rng.h"
+#include "util/vector_math.h"
+
+namespace ibseg {
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    const KMeansParams& params) {
+  KMeansResult result;
+  const size_t n = points.size();
+  if (n == 0) return result;
+  const size_t dims = points[0].size();
+  size_t k = std::min<size_t>(static_cast<size_t>(params.k), n);
+  assert(k >= 1);
+
+  Rng rng(params.seed);
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.next_below(n)]);
+  std::vector<double> d2(n, 0.0);
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : centroids) {
+        double d = euclidean_distance(points[i], c);
+        best = std::min(best, d * d);
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      centroids.push_back(points[rng.next_below(n)]);
+      continue;
+    }
+    centroids.push_back(points[rng.next_weighted(d2)]);
+  }
+
+  std::vector<int> labels(n, 0);
+  for (int iter = 0; iter < params.max_iters; ++iter) {
+    bool changed = false;
+    // Assignment.
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < k; ++c) {
+        double d = euclidean_distance(points[i], centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (labels[i] != best) {
+        labels[i] = best;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+    // Update.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      add_into(sums[labels[i]], points[i]);
+      ++counts[labels[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: reseed from the farthest point.
+        size_t far = 0;
+        double far_d = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          double d = euclidean_distance(points[i], centroids[labels[i]]);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        centroids[c] = points[far];
+      } else {
+        scale(sums[c], 1.0 / static_cast<double>(counts[c]));
+        centroids[c] = std::move(sums[c]);
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = euclidean_distance(points[i], centroids[labels[i]]);
+    result.inertia += d * d;
+  }
+  result.labels = std::move(labels);
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,32 @@
+#ifndef IBSEG_CLUSTER_KMEANS_H_
+#define IBSEG_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ibseg {
+
+/// Lloyd's k-means with k-means++ seeding. Used (a) as the clustering
+/// behind Content-MR (TF/IDF topic clusters), and (b) as the distance-based
+/// comparison point the paper argues DBSCAN beats (Sec. 6).
+struct KMeansParams {
+  int k = 5;
+  int max_iters = 64;
+  uint64_t seed = 1234;
+};
+
+struct KMeansResult {
+  std::vector<int> labels;                    ///< cluster per point
+  std::vector<std::vector<double>> centroids; ///< k centroids
+  double inertia = 0.0;                       ///< sum of squared distances
+  int iterations = 0;                         ///< iterations until converge
+};
+
+/// Runs k-means over dense points. If there are fewer points than k, every
+/// point becomes its own cluster.
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    const KMeansParams& params = {});
+
+}  // namespace ibseg
+
+#endif  // IBSEG_CLUSTER_KMEANS_H_

@@ -1,0 +1,53 @@
+#ifndef IBSEG_CLUSTER_OPTICS_H_
+#define IBSEG_CLUSTER_OPTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/dbscan.h"
+
+namespace ibseg {
+
+/// OPTICS (Ankerst, Breunig, Kriegel, Sander 1999): density-based cluster
+/// *ordering*. Where DBSCAN commits to one eps, OPTICS computes, for every
+/// point, the reachability distance along a density-ordered walk; any
+/// DBSCAN clustering with eps' <= eps can then be extracted from the
+/// ordering in linear time. Provided as the second member of the density
+/// family the paper's clustering choice comes from (Sec. 6 cites Ester et
+/// al.; the big-corpus runs used the ELKI toolkit, whose staple is
+/// OPTICS).
+struct OpticsParams {
+  /// Maximum neighborhood radius considered. <= 0 auto-tunes like DBSCAN
+  /// (k-distance estimate, scaled by 3 to leave extraction headroom).
+  double eps = 0.0;
+  size_t min_pts = 8;
+};
+
+struct OpticsResult {
+  /// Point indices in processing (reachability) order.
+  std::vector<size_t> ordering;
+  /// reachability[i] = reachability distance of point ordering[i]
+  /// (infinity — represented as a negative value — for walk starts).
+  std::vector<double> reachability;
+  /// Core distance per point index (negative when not a core point).
+  std::vector<double> core_distance;
+  double eps_used = 0.0;
+
+  /// Marker for "undefined" (infinite) distances.
+  static constexpr double kUndefined = -1.0;
+};
+
+/// Computes the OPTICS ordering of dense Euclidean points. Deterministic.
+OpticsResult optics(const std::vector<std::vector<double>>& points,
+                    const OpticsParams& params = {});
+
+/// Extracts the DBSCAN-equivalent clustering at radius `eps_cut` from an
+/// OPTICS ordering (Ankerst et al., Sec. 4.2.1): a point with
+/// reachability > eps_cut starts a new cluster if its core distance is
+/// <= eps_cut, else it is noise.
+DbscanResult extract_dbscan_clustering(const OpticsResult& result,
+                                       size_t num_points, double eps_cut);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_CLUSTER_OPTICS_H_

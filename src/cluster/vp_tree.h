@@ -1,0 +1,52 @@
+#ifndef IBSEG_CLUSTER_VP_TREE_H_
+#define IBSEG_CLUSTER_VP_TREE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace ibseg {
+
+/// Vantage-point tree over dense Euclidean points, supporting
+/// epsilon-range queries. Backs DBSCAN's region queries so that segment
+/// grouping scales past the brute-force O(n^2) wall (the paper clusters
+/// millions of 28-dim segments; Sec. 9.2.4).
+///
+/// The tree keeps a reference to the point set; it must outlive the tree.
+class VpTree {
+ public:
+  /// Builds the tree. Deterministic: the vantage point of every node is the
+  /// first element of its range and the radius is the median distance.
+  explicit VpTree(const std::vector<std::vector<double>>& points);
+
+  /// Appends the indices of all points within `eps` (inclusive) of `query`
+  /// to `out` (not cleared). Includes the query point itself if present.
+  void range_query(const std::vector<double>& query, double eps,
+                   std::vector<size_t>* out) const;
+
+  /// Distance to the k-th nearest neighbor of points[index] (excluding the
+  /// point itself). Used by the eps auto-tuning heuristic.
+  double kth_neighbor_distance(size_t index, size_t k) const;
+
+  size_t size() const { return points_.size(); }
+
+ private:
+  struct Node {
+    size_t point = 0;     // index into points_
+    double radius = 0.0;  // median distance to the rest of the range
+    int inside = -1;      // child with d <= radius
+    int outside = -1;     // child with d > radius
+  };
+
+  int build(std::vector<size_t>& items, size_t begin, size_t end);
+  void query_node(int node, const std::vector<double>& q, double eps,
+                  std::vector<size_t>* out) const;
+
+  const std::vector<std::vector<double>>& points_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_CLUSTER_VP_TREE_H_

@@ -1,0 +1,97 @@
+#include "core/experiment.h"
+
+#include <ostream>
+
+#include "util/stopwatch.h"
+
+namespace ibseg {
+
+std::vector<MethodReport> run_experiment(const SyntheticCorpus& corpus,
+                                         const std::vector<Document>& docs,
+                                         const ExperimentOptions& options) {
+  std::vector<MethodReport> reports;
+  reports.reserve(options.methods.size());
+  for (MethodKind kind : options.methods) {
+    MethodReport report;
+    report.method = method_name(kind);
+    auto method = build_method(kind, docs, options.config, &report.build);
+
+    // Relevant-document counts per scenario (exhaustive ground truth).
+    std::vector<size_t> scenario_sizes(corpus.num_scenarios, 0);
+    for (const GeneratedPost& post : corpus.posts) {
+      ++scenario_sizes[static_cast<size_t>(post.scenario_id)];
+    }
+
+    Stopwatch watch;
+    std::vector<double> precisions;
+    double recall_sum = 0.0;
+    double f1_sum = 0.0;
+    for (DocId q = 0; q < docs.size();
+         q += static_cast<DocId>(options.query_stride)) {
+      QueryResult result;
+      result.query = q;
+      result.retrieved = method->find_related(q, options.k);
+      int scenario = corpus.posts[q].scenario_id;
+      std::vector<DocId> ids;
+      ids.reserve(result.retrieved.size());
+      size_t hits = 0;
+      for (const ScoredDoc& sd : result.retrieved) {
+        ids.push_back(sd.doc);
+        if (corpus.posts[sd.doc].scenario_id == scenario) ++hits;
+      }
+      result.precision = list_precision(ids, [&](DocId d) {
+        return corpus.posts[d].scenario_id == scenario;
+      });
+      size_t relevant =
+          scenario_sizes[static_cast<size_t>(scenario)] - 1;  // minus query
+      result.recall = relevant == 0
+                          ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(relevant);
+      recall_sum += result.recall;
+      f1_sum += (result.precision + result.recall) > 0.0
+                    ? 2.0 * result.precision * result.recall /
+                          (result.precision + result.recall)
+                    : 0.0;
+      precisions.push_back(result.precision);
+      report.queries.push_back(std::move(result));
+    }
+    report.avg_query_ms =
+        report.queries.empty()
+            ? 0.0
+            : watch.elapsed_millis() / static_cast<double>(report.queries.size());
+    report.precision = summarize_precision(precisions);
+    if (!report.queries.empty()) {
+      report.mean_recall =
+          recall_sum / static_cast<double>(report.queries.size());
+      report.mean_f1 = f1_sum / static_cast<double>(report.queries.size());
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+bool write_experiment_csv(const std::vector<MethodReport>& reports,
+                          const SyntheticCorpus& corpus, std::ostream& os) {
+  os << "method,query,precision,rank,doc,score,relevant\n";
+  for (const MethodReport& report : reports) {
+    for (const QueryResult& q : report.queries) {
+      int scenario = corpus.posts[q.query].scenario_id;
+      if (q.retrieved.empty()) {
+        os << report.method << ',' << q.query << ',' << q.precision
+           << ",,,,\n";
+        continue;
+      }
+      for (size_t rank = 0; rank < q.retrieved.size(); ++rank) {
+        const ScoredDoc& sd = q.retrieved[rank];
+        bool relevant = corpus.posts[sd.doc].scenario_id == scenario;
+        os << report.method << ',' << q.query << ',' << q.precision << ','
+           << (rank + 1) << ',' << sd.doc << ',' << sd.score << ','
+           << (relevant ? 1 : 0) << '\n';
+      }
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+}  // namespace ibseg

@@ -1,0 +1,64 @@
+#ifndef IBSEG_CORE_EXPERIMENT_H_
+#define IBSEG_CORE_EXPERIMENT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/methods.h"
+#include "datagen/post_generator.h"
+#include "eval/precision.h"
+
+namespace ibseg {
+
+/// One query's outcome under one method.
+struct QueryResult {
+  DocId query = 0;
+  std::vector<ScoredDoc> retrieved;
+  double precision = 0.0;
+  /// Fraction of the query's relevant documents retrieved (possible here
+  /// because the generator's ground truth is exhaustive — the paper's
+  /// pooled human judgments could only estimate precision).
+  double recall = 0.0;
+};
+
+/// A method's full report over an experiment run.
+struct MethodReport {
+  std::string method;
+  PrecisionSummary precision;
+  double mean_recall = 0.0;
+  double mean_f1 = 0.0;
+  MethodBuildStats build;
+  double avg_query_ms = 0.0;
+  std::vector<QueryResult> queries;
+};
+
+/// Experiment configuration: which methods, over which queries.
+struct ExperimentOptions {
+  std::vector<MethodKind> methods = {
+      MethodKind::kLda, MethodKind::kFullText, MethodKind::kContentMR,
+      MethodKind::kSentIntentMR, MethodKind::kIntentIntentMR};
+  MethodConfig config;
+  int k = 5;
+  /// Every `query_stride`-th post serves as a reference query.
+  size_t query_stride = 2;
+};
+
+/// Runs the paper's overall evaluation protocol (Sec. 9.2.1) over a
+/// synthetic corpus: builds each method, queries every stride-th post for
+/// its top-k, and judges against same-scenario ground truth. This is the
+/// library-supported form of what bench/table4_precision does, with
+/// per-query results retained for downstream analysis.
+std::vector<MethodReport> run_experiment(const SyntheticCorpus& corpus,
+                                         const std::vector<Document>& docs,
+                                         const ExperimentOptions& options = {});
+
+/// Writes one row per (method, query) with the retrieved ids, scores and
+/// per-query precision — the raw material for external plotting.
+/// Columns: method,query,precision,rank,doc,score,relevant
+bool write_experiment_csv(const std::vector<MethodReport>& reports,
+                          const SyntheticCorpus& corpus, std::ostream& os);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_CORE_EXPERIMENT_H_

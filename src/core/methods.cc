@@ -1,0 +1,281 @@
+#include "core/methods.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "cluster/kmeans.h"
+#include "index/fulltext_matcher.h"
+#include "seg/segmenter.h"
+#include "text/term_vector.h"
+#include "topic/lda_matcher.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace ibseg {
+
+const char* method_name(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kLda: return "LDA";
+    case MethodKind::kFullText: return "FullText";
+    case MethodKind::kContentMR: return "Content-MR";
+    case MethodKind::kSentIntentMR: return "SentIntent-MR";
+    case MethodKind::kIntentIntentMR: return "IntentIntent-MR";
+    case MethodKind::kRandom: return "Random";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<Segmentation> segment_all(const std::vector<Document>& docs,
+                                      const Segmenter& segmenter,
+                                      size_t num_threads) {
+  std::vector<Segmentation> segs(docs.size());
+  if (num_threads > 1 && docs.size() > 1) {
+    ThreadPool pool(num_threads);
+    pool.parallel_for(docs.size(), [&](size_t d) {
+      Vocabulary scratch;
+      segs[d] = segmenter.segment(docs[d], scratch);
+    });
+  } else {
+    Vocabulary scratch;
+    for (size_t d = 0; d < docs.size(); ++d) {
+      segs[d] = segmenter.segment(docs[d], scratch);
+    }
+  }
+  return segs;
+}
+
+/// IntentIntent-MR and SentIntent-MR: CM-feature clustering + Algorithm 2.
+class IntentMethod : public RelatedPostMethod {
+ public:
+  IntentMethod(MethodKind kind, const std::vector<Document>& docs,
+               const MethodConfig& config, MethodBuildStats* stats)
+      : kind_(kind) {
+    Segmenter segmenter = kind == MethodKind::kIntentIntentMR
+                              ? config.intent_segmenter
+                              : Segmenter::sentences();
+    Stopwatch seg_watch;
+    std::vector<Segmentation> segs =
+        segment_all(docs, segmenter, config.num_threads);
+    double seg_sec = seg_watch.elapsed_seconds();
+
+    Stopwatch group_watch;
+    clustering_ = IntentionClustering::build(docs, segs, config.grouping);
+    double group_sec = group_watch.elapsed_seconds();
+
+    Stopwatch index_watch;
+    matcher_ = std::make_unique<IntentionMatcher>(
+        IntentionMatcher::build(docs, clustering_, vocab_, config.matcher));
+    if (stats != nullptr) {
+      stats->segmentation_sec = seg_sec;
+      stats->grouping_sec = group_sec;
+      stats->indexing_sec = index_watch.elapsed_seconds();
+      stats->num_clusters = clustering_.num_clusters();
+    }
+  }
+
+  std::vector<ScoredDoc> find_related(DocId query, int k) const override {
+    return matcher_->find_related(query, k);
+  }
+  MethodKind kind() const override { return kind_; }
+
+  const IntentionClustering& clustering() const { return clustering_; }
+
+ private:
+  MethodKind kind_;
+  Vocabulary vocab_;
+  IntentionClustering clustering_;
+  std::unique_ptr<IntentionMatcher> matcher_;
+};
+
+/// Content-MR: topical segmentation + TF/IDF k-means clusters + Algorithm 2.
+class ContentMethod : public RelatedPostMethod {
+ public:
+  ContentMethod(const std::vector<Document>& docs, const MethodConfig& config,
+                MethodBuildStats* stats) {
+    Stopwatch seg_watch;
+    std::vector<Segmentation> segs =
+        segment_all(docs, Segmenter::topical(config.tiling),
+                    config.num_threads);
+    double seg_sec = seg_watch.elapsed_seconds();
+
+    // Sparse term vectors per segment, in the same flattening order
+    // IntentionClustering::from_labels expects (doc order, segment order).
+    Stopwatch group_watch;
+    std::vector<TermVector> seg_terms;
+    for (size_t d = 0; d < docs.size(); ++d) {
+      for (auto [b, e] : segs[d].segments()) {
+        if (b == e) continue;
+        size_t tok_b = docs[d].sentences()[b].token_begin;
+        size_t tok_e = docs[d].sentences()[e - 1].token_end;
+        seg_terms.push_back(
+            build_term_vector(docs[d].tokens(), tok_b, tok_e, vocab_));
+      }
+    }
+    std::vector<std::vector<double>> dense = tfidf_dense_projection(
+        seg_terms, static_cast<size_t>(config.content_dims));
+    KMeansParams km;
+    km.k = config.content_clusters;
+    KMeansResult clusters = kmeans(dense, km);
+    int k = static_cast<int>(clusters.centroids.size());
+    clustering_ = IntentionClustering::from_labels(
+        docs, segs, clusters.labels, std::max(k, 1),
+        config.grouping.features);
+    double group_sec = group_watch.elapsed_seconds();
+
+    Stopwatch index_watch;
+    matcher_ = std::make_unique<IntentionMatcher>(
+        IntentionMatcher::build(docs, clustering_, vocab_, config.matcher));
+    if (stats != nullptr) {
+      stats->segmentation_sec = seg_sec;
+      stats->grouping_sec = group_sec;
+      stats->indexing_sec = index_watch.elapsed_seconds();
+      stats->num_clusters = clustering_.num_clusters();
+    }
+  }
+
+  std::vector<ScoredDoc> find_related(DocId query, int k) const override {
+    return matcher_->find_related(query, k);
+  }
+  MethodKind kind() const override { return MethodKind::kContentMR; }
+
+ private:
+  Vocabulary vocab_;
+  IntentionClustering clustering_;
+  std::unique_ptr<IntentionMatcher> matcher_;
+};
+
+class FullTextMethod : public RelatedPostMethod {
+ public:
+  FullTextMethod(const std::vector<Document>& docs, MethodBuildStats* stats) {
+    Stopwatch watch;
+    matcher_ = std::make_unique<FullTextMatcher>(
+        FullTextMatcher::build(docs, vocab_));
+    if (stats != nullptr) stats->indexing_sec = watch.elapsed_seconds();
+  }
+
+  std::vector<ScoredDoc> find_related(DocId query, int k) const override {
+    return matcher_->find_related(query, k);
+  }
+  MethodKind kind() const override { return MethodKind::kFullText; }
+
+ private:
+  Vocabulary vocab_;
+  std::unique_ptr<FullTextMatcher> matcher_;
+};
+
+/// Chance floor: k distinct documents drawn uniformly (deterministic in
+/// the query id).
+class RandomMethod : public RelatedPostMethod {
+ public:
+  explicit RandomMethod(const std::vector<Document>& docs) {
+    ids_.reserve(docs.size());
+    for (const Document& d : docs) ids_.push_back(d.id());
+  }
+
+  std::vector<ScoredDoc> find_related(DocId query, int k) const override {
+    std::vector<ScoredDoc> out;
+    if (k <= 0 || ids_.size() < 2) return out;
+    Rng rng(0xD1CEull ^ (static_cast<uint64_t>(query) * 0x9E37ull));
+    std::vector<DocId> pool = ids_;
+    rng.shuffle(pool);
+    for (DocId d : pool) {
+      if (d == query) continue;
+      out.push_back(ScoredDoc{d, 1.0 / (1.0 + out.size())});
+      if (out.size() == static_cast<size_t>(k)) break;
+    }
+    return out;
+  }
+  MethodKind kind() const override { return MethodKind::kRandom; }
+
+ private:
+  std::vector<DocId> ids_;
+};
+
+class LdaMethod : public RelatedPostMethod {
+ public:
+  LdaMethod(const std::vector<Document>& docs, const MethodConfig& config,
+            MethodBuildStats* stats) {
+    Stopwatch watch;
+    matcher_ = std::make_unique<LdaMatcher>(
+        LdaMatcher::build(docs, vocab_, config.lda));
+    if (stats != nullptr) stats->grouping_sec = watch.elapsed_seconds();
+  }
+
+  std::vector<ScoredDoc> find_related(DocId query, int k) const override {
+    return matcher_->find_related(query, k);
+  }
+  MethodKind kind() const override { return MethodKind::kLda; }
+
+ private:
+  Vocabulary vocab_;
+  std::unique_ptr<LdaMatcher> matcher_;
+};
+
+}  // namespace
+
+std::vector<std::vector<double>> tfidf_dense_projection(
+    const std::vector<TermVector>& segments, size_t dims) {
+  const size_t n = segments.size();
+  std::unordered_map<TermId, size_t> df;
+  for (const TermVector& tv : segments) {
+    for (const auto& [term, w] : tv.entries()) {
+      if (w > 0.0) ++df[term];
+    }
+  }
+  // Keep the `dims` terms with the highest document frequency (ties by term
+  // id for determinism); drop hapaxes when the vocabulary is large enough.
+  std::vector<std::pair<TermId, size_t>> by_df(df.begin(), df.end());
+  std::sort(by_df.begin(), by_df.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (by_df.size() > dims) by_df.resize(dims);
+  std::unordered_map<TermId, size_t> column;
+  for (size_t i = 0; i < by_df.size(); ++i) column[by_df[i].first] = i;
+
+  std::vector<std::vector<double>> dense(
+      n, std::vector<double>(std::max<size_t>(by_df.size(), 1), 0.0));
+  for (size_t s = 0; s < n; ++s) {
+    double norm2 = 0.0;
+    for (const auto& [term, tf] : segments[s].entries()) {
+      auto it = column.find(term);
+      if (it == column.end() || tf <= 0.0) continue;
+      double idf = std::log(static_cast<double>(n) /
+                            static_cast<double>(df[term]));
+      double v = (1.0 + std::log(tf)) * (idf > 0.0 ? idf : 0.1);
+      dense[s][it->second] = v;
+      norm2 += v * v;
+    }
+    if (norm2 > 0.0) {
+      double inv = 1.0 / std::sqrt(norm2);
+      for (double& v : dense[s]) v *= inv;
+    }
+  }
+  return dense;
+}
+
+std::unique_ptr<RelatedPostMethod> build_method(MethodKind kind,
+                                                const std::vector<Document>& docs,
+                                                const MethodConfig& config,
+                                                MethodBuildStats* stats) {
+  switch (kind) {
+    case MethodKind::kLda:
+      return std::make_unique<LdaMethod>(docs, config, stats);
+    case MethodKind::kFullText:
+      return std::make_unique<FullTextMethod>(docs, stats);
+    case MethodKind::kContentMR:
+      return std::make_unique<ContentMethod>(docs, config, stats);
+    case MethodKind::kSentIntentMR:
+    case MethodKind::kIntentIntentMR:
+      return std::make_unique<IntentMethod>(kind, docs, config, stats);
+    case MethodKind::kRandom:
+      return std::make_unique<RandomMethod>(docs);
+  }
+  return nullptr;
+}
+
+}  // namespace ibseg

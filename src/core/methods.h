@@ -1,0 +1,86 @@
+#ifndef IBSEG_CORE_METHODS_H_
+#define IBSEG_CORE_METHODS_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/intention_clusters.h"
+#include "index/intention_matcher.h"
+#include "seg/segmenter.h"
+#include "topic/lda.h"
+
+namespace ibseg {
+
+/// The five retrieval methods of the paper's overall evaluation (Sec. 9.2,
+/// Table 4).
+enum class MethodKind {
+  kLda,             ///< topic-distribution matching (Gibbs LDA)
+  kFullText,        ///< whole-post Eq. 7 matching (MySQL-style)
+  kContentMR,       ///< topical TextTiling segments + TF/IDF clusters + Alg. 2
+  kSentIntentMR,    ///< sentence segments + CM clusters + Alg. 2
+  kIntentIntentMR,  ///< the paper's method: intention segments + CM clusters
+  kRandom,          ///< uniform-random ranking (not in the paper; the
+                    ///  chance floor that grounds every precision number)
+};
+
+const char* method_name(MethodKind kind);
+
+/// All methods share one configuration bag; each reads the parts it needs.
+struct MethodConfig {
+  /// Segmenter for IntentIntent-MR. Default: the CM-feature tiling
+  /// configuration, our best approximation of human segmentations (the
+  /// paper likewise carries its best border mechanism into the overall
+  /// evaluation). Swap in Segmenter::intention(BorderStrategyKind::kGreedy)
+  /// for the paper's literal Greedy choice.
+  Segmenter intent_segmenter = Segmenter::cm_tiling();
+  // Intention grouping (IntentIntent-MR and SentIntent-MR).
+  GroupingOptions grouping;
+  // Algorithm 1/2.
+  MatcherOptions matcher;
+  // Content-MR.
+  TextTilingOptions tiling;
+  int content_clusters = 6;     ///< k for the TF/IDF k-means
+  int content_dims = 256;       ///< dense TF/IDF projection width
+  // LDA.
+  LdaParams lda;
+  /// Threads for the segmentation phase.
+  size_t num_threads = 1;
+};
+
+/// Offline-phase timing breakdown (Fig. 11 reports these per method).
+struct MethodBuildStats {
+  double segmentation_sec = 0.0;
+  double grouping_sec = 0.0;   ///< clustering / LDA training
+  double indexing_sec = 0.0;
+  /// Number of intention clusters the method ended up with (0 where not
+  /// applicable).
+  int num_clusters = 0;
+};
+
+/// A built retrieval method: answers top-k related-post queries for posts
+/// of the corpus it was built on.
+class RelatedPostMethod {
+ public:
+  virtual ~RelatedPostMethod() = default;
+
+  virtual std::vector<ScoredDoc> find_related(DocId query, int k) const = 0;
+  virtual MethodKind kind() const = 0;
+
+  const char* name() const { return method_name(kind()); }
+};
+
+/// Builds `kind` over `docs`. `stats`, when non-null, receives the offline
+/// timing breakdown.
+std::unique_ptr<RelatedPostMethod> build_method(
+    MethodKind kind, const std::vector<Document>& docs,
+    const MethodConfig& config = {}, MethodBuildStats* stats = nullptr);
+
+/// Dense TF/IDF projection of sparse segment term vectors onto the
+/// `dims` highest-document-frequency terms, L2-normalized. Exposed for the
+/// Content-MR tests.
+std::vector<std::vector<double>> tfidf_dense_projection(
+    const std::vector<TermVector>& segments, size_t dims);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_CORE_METHODS_H_

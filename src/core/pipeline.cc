@@ -1,0 +1,104 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace ibseg {
+
+RelatedPostPipeline RelatedPostPipeline::build(std::vector<Document> docs,
+                                               const PipelineOptions& options) {
+  RelatedPostPipeline p;
+  p.docs_ = std::move(docs);
+  p.vocab_ = std::make_unique<Vocabulary>();
+  p.segmenter_ = options.segmenter;
+  p.segmentations_.resize(p.docs_.size());
+
+  // --- Segmentation (parallel; per-thread scratch vocabularies keep the
+  // topical segmenter's term ids consistent within each document, which is
+  // all its block cosines need).
+  Stopwatch seg_watch;
+  if (options.num_threads > 1 && p.docs_.size() > 1) {
+    ThreadPool pool(options.num_threads);
+    pool.parallel_for(p.docs_.size(), [&](size_t d) {
+      Vocabulary scratch;
+      p.segmentations_[d] = options.segmenter.segment(p.docs_[d], scratch);
+    });
+  } else {
+    Vocabulary scratch;
+    for (size_t d = 0; d < p.docs_.size(); ++d) {
+      p.segmentations_[d] = options.segmenter.segment(p.docs_[d], scratch);
+    }
+  }
+  p.timings_.segmentation_total_sec = seg_watch.elapsed_seconds();
+  p.timings_.segmentation_avg_sec =
+      p.docs_.empty() ? 0.0
+                      : p.timings_.segmentation_total_sec /
+                            static_cast<double>(p.docs_.size());
+
+  // --- Segment grouping + refinement.
+  Stopwatch group_watch;
+  p.clustering_ = std::make_unique<IntentionClustering>(
+      IntentionClustering::build(p.docs_, p.segmentations_, options.grouping));
+  p.timings_.grouping_sec = group_watch.elapsed_seconds();
+
+  // --- Per-intention indexing.
+  Stopwatch index_watch;
+  p.matcher_ = std::make_unique<IntentionMatcher>(IntentionMatcher::build(
+      p.docs_, *p.clustering_, *p.vocab_, options.matcher));
+  p.timings_.indexing_sec = index_watch.elapsed_seconds();
+  return p;
+}
+
+std::vector<ScoredDoc> RelatedPostPipeline::find_related_external(
+    const Document& doc, int k) {
+  Vocabulary scratch;
+  Segmentation seg = segmenter_.segment(doc, scratch);
+  return matcher_->find_related_external(doc, seg, clustering_->centroids(),
+                                         *vocab_, k);
+}
+
+DocId RelatedPostPipeline::add_post(std::string text) {
+  // Fresh id above every existing one.
+  DocId id = 0;
+  for (const Document& d : docs_) id = std::max(id, d.id());
+  ++id;
+  Document doc = Document::analyze(id, std::move(text));
+  Vocabulary scratch;
+  Segmentation seg = segmenter_.segment(doc, scratch);
+  matcher_->add_document(doc, seg, clustering_->centroids(), *vocab_);
+  segmentations_.push_back(seg);
+  docs_.push_back(std::move(doc));
+  return id;
+}
+
+RelatedPostPipeline RelatedPostPipeline::build_from_snapshot(
+    std::vector<Document> docs, const PipelineSnapshot& snapshot,
+    const PipelineOptions& options) {
+  if (!snapshot.is_consistent() ||
+      snapshot.segmentations.size() != docs.size()) {
+    return build(std::move(docs), options);
+  }
+  for (size_t d = 0; d < docs.size(); ++d) {
+    if (snapshot.segmentations[d].num_units != docs[d].num_units()) {
+      return build(std::move(docs), options);
+    }
+  }
+  RelatedPostPipeline p;
+  p.docs_ = std::move(docs);
+  p.vocab_ = std::make_unique<Vocabulary>();
+  p.segmentations_ = snapshot.segmentations;
+
+  Stopwatch group_watch;
+  p.clustering_ = std::make_unique<IntentionClustering>(
+      restore_clustering(p.docs_, snapshot));
+  p.timings_.grouping_sec = group_watch.elapsed_seconds();
+
+  Stopwatch index_watch;
+  p.matcher_ = std::make_unique<IntentionMatcher>(IntentionMatcher::build(
+      p.docs_, *p.clustering_, *p.vocab_, options.matcher));
+  p.timings_.indexing_sec = index_watch.elapsed_seconds();
+  return p;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,99 @@
+#ifndef IBSEG_CORE_PIPELINE_H_
+#define IBSEG_CORE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/intention_clusters.h"
+#include "index/intention_matcher.h"
+#include "seg/segmenter.h"
+#include "storage/snapshot.h"
+#include "text/vocabulary.h"
+#include "util/thread_pool.h"
+
+namespace ibseg {
+
+/// Timing breakdown of the offline phase, mirroring what the paper reports
+/// in Table 6 / Fig. 11.
+struct PipelineTimings {
+  double segmentation_total_sec = 0.0;  ///< sum over posts (worst case)
+  double segmentation_avg_sec = 0.0;    ///< per post
+  double grouping_sec = 0.0;            ///< clustering + refinement
+  double indexing_sec = 0.0;            ///< per-cluster index construction
+};
+
+/// Options for the end-to-end related-post pipeline.
+struct PipelineOptions {
+  /// The segmenter for the offline phase (default: CM-feature tiling, the
+  /// best human-approximating intention segmenter in this implementation;
+  /// see MethodConfig::intent_segmenter).
+  Segmenter segmenter = Segmenter::cm_tiling();
+  GroupingOptions grouping;
+  MatcherOptions matcher;
+  /// Worker threads for the segmentation phase (the paper segments its
+  /// largest corpus in parallel chunks).
+  size_t num_threads = 1;
+};
+
+/// The complete offline+online system of Sec. 4: segmentation ->
+/// segment grouping -> refinement -> per-intention indexing, then top-k
+/// retrieval by Algorithms 1 and 2.
+class RelatedPostPipeline {
+ public:
+  /// Builds the pipeline over `docs` (moved in).
+  static RelatedPostPipeline build(std::vector<Document> docs,
+                                   const PipelineOptions& options = {});
+
+  /// Rebuilds a pipeline from a previously captured offline snapshot
+  /// (segmentations + intention assignment), skipping the segmentation and
+  /// clustering phases — the restart path of a deployment. The snapshot
+  /// must cover exactly these documents (checked; returns a fresh build on
+  /// mismatch).
+  static RelatedPostPipeline build_from_snapshot(
+      std::vector<Document> docs, const PipelineSnapshot& snapshot,
+      const PipelineOptions& options = {});
+
+  /// Captures the offline state for build_from_snapshot / save_snapshot.
+  PipelineSnapshot snapshot() const {
+    return make_snapshot(segmentations_, *clustering_);
+  }
+
+  /// Top-k related posts for a reference post already in the corpus.
+  std::vector<ScoredDoc> find_related(DocId query, int k) const {
+    return matcher_->find_related(query, k);
+  }
+
+  /// Top-k related posts for an external post (not ingested). The post is
+  /// segmented with the pipeline's segmenter and its segments assigned to
+  /// the nearest intention centroids.
+  std::vector<ScoredDoc> find_related_external(const Document& doc, int k);
+
+  /// Online ingestion: segments `text`, assigns its segments to the
+  /// nearest intention centroids and adds it to the indices under a fresh
+  /// document id (returned). The paper's offline re-clustering remains the
+  /// periodic maintenance path (Sec. 9.2).
+  DocId add_post(std::string text);
+
+  const std::vector<Document>& docs() const { return docs_; }
+  const std::vector<Segmentation>& segmentations() const {
+    return segmentations_;
+  }
+  const IntentionClustering& clustering() const { return *clustering_; }
+  const IntentionMatcher& matcher() const { return *matcher_; }
+  const PipelineTimings& timings() const { return timings_; }
+
+ private:
+  RelatedPostPipeline() = default;
+
+  std::vector<Document> docs_;
+  std::vector<Segmentation> segmentations_;
+  std::unique_ptr<IntentionClustering> clustering_;
+  std::unique_ptr<IntentionMatcher> matcher_;
+  std::unique_ptr<Vocabulary> vocab_;
+  Segmenter segmenter_ = Segmenter::cm_tiling();
+  PipelineTimings timings_;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_CORE_PIPELINE_H_

@@ -1,0 +1,606 @@
+#include "datagen/domain_profiles.h"
+
+namespace ibseg {
+
+const char* forum_domain_name(ForumDomain domain) {
+  switch (domain) {
+    case ForumDomain::kTechSupport: return "TechSupport";
+    case ForumDomain::kTravel: return "Travel";
+    case ForumDomain::kProgramming: return "Programming";
+    case ForumDomain::kHealth: return "Health";
+  }
+  return "?";
+}
+
+namespace {
+
+// Template design notes.
+//
+// The grammar of each intention (tense, person, interrogative/negative
+// style, voice — the CM features of paper Table 1) is its *only* reliable
+// signature:
+//  * content nouns come from pools shared across intentions ({S} scenario
+//    terms, {D} domain terms, {G} generic nouns);
+//  * content verbs come from one shared lemma pool; templates select the
+//    surface form ({VB}/{VZ}/{VP}/{VN}/{VG}), and the Porter stemmer maps
+//    all forms of a lemma to one term, so tense shifts are invisible to
+//    term-based segmentation while fully visible to the CM features.
+// This reproduces the paper's premise (Sec. 5.1) that vocabulary is not a
+// distinctive factor for segment borders within a thematic category.
+
+std::vector<VerbForms> tech_verbs() {
+  return {
+      {"check", "checks", "checked", "checking"},
+      {"test", "tests", "tested", "testing"},
+      {"replace", "replaces", "replaced", "replacing"},
+      {"restart", "restarts", "restarted", "restarting"},
+      {"update", "updates", "updated", "updating"},
+      {"clean", "cleans", "cleaned", "cleaning"},
+      {"fix", "fixes", "fixed", "fixing"},
+      {"change", "changes", "changed", "changing"},
+      {"open", "opens", "opened", "opening"},
+      {"close", "closes", "closed", "closing"},
+      {"load", "loads", "loaded", "loading"},
+      {"start", "starts", "started", "starting"},
+      {"stop", "stops", "stopped", "stopping"},
+      {"move", "moves", "moved", "moving"},
+      {"touch", "touches", "touched", "touching"},
+      {"install", "installs", "installed", "installing"},
+      {"remove", "removes", "removed", "removing"},
+      {"reset", "resets", "reset", "resetting"},
+  };
+}
+
+std::vector<VerbForms> travel_verbs() {
+  return {
+      {"clean", "cleans", "cleaned", "cleaning"},
+      {"open", "opens", "opened", "opening"},
+      {"close", "closes", "closed", "closing"},
+      {"visit", "visits", "visited", "visiting"},
+      {"enjoy", "enjoys", "enjoyed", "enjoying"},
+      {"order", "orders", "ordered", "ordering"},
+      {"book", "books", "booked", "booking"},
+      {"check", "checks", "checked", "checking"},
+      {"serve", "serves", "served", "serving"},
+      {"recommend", "recommends", "recommended", "recommending"},
+      {"avoid", "avoids", "avoided", "avoiding"},
+      {"watch", "watches", "watched", "watching"},
+      {"use", "uses", "used", "using"},
+      {"share", "shares", "shared", "sharing"},
+      {"reach", "reaches", "reached", "reaching"},
+  };
+}
+
+std::vector<VerbForms> prog_verbs() {
+  return {
+      {"check", "checks", "checked", "checking"},
+      {"test", "tests", "tested", "testing"},
+      {"load", "loads", "loaded", "loading"},
+      {"parse", "parses", "parsed", "parsing"},
+      {"build", "builds", "built", "building"},
+      {"call", "calls", "called", "calling"},
+      {"patch", "patches", "patched", "patching"},
+      {"trace", "traces", "traced", "tracing"},
+      {"compile", "compiles", "compiled", "compiling"},
+      {"deploy", "deploys", "deployed", "deploying"},
+      {"debug", "debugs", "debugged", "debugging"},
+      {"wrap", "wraps", "wrapped", "wrapping"},
+      {"refactor", "refactors", "refactored", "refactoring"},
+      {"merge", "merges", "merged", "merging"},
+      {"release", "releases", "released", "releasing"},
+  };
+}
+
+DomainProfile make_tech_support() {
+  DomainProfile p;
+  p.domain = ForumDomain::kTechSupport;
+  p.name = "TechSupport";
+  p.segment_count_weights = {0.25, 0.25, 0.19, 0.16, 0.08, 0.05, 0.02};
+  p.min_sentences_per_segment = 1;
+  p.max_sentences_per_segment = 4;
+  p.shared_terms = {
+      "system",        "computer", "laptop",   "machine",  "model",
+      "device",        "support",  "website",  "manual",   "warranty",
+      "drive",         "setup",    "configuration", "hardware",
+      "software",      "update",   "store",    "vendor",   "desktop",
+      "cable",
+  };
+  p.adjectives = {"new",      "old",       "slow",    "strange", "faulty",
+                  "official", "technical", "partial", "compatible",
+                  "stable",   "weird",     "defective"};
+  p.generic_terms = {"issue",  "problem", "thing", "time",   "way",
+                     "day",    "moment",  "point", "option", "idea",
+                     "question", "help",  "work",  "place",  "case"};
+  p.verbs = tech_verbs();
+  p.curated_scenarios = {
+      {"printer", "cartridge", "ink", "tray", "spooler", "feeder"},
+      {"raid", "array", "controller", "stripe", "mirror", "volume"},
+      {"wifi", "router", "antenna", "signal", "channel", "firmware"},
+      {"battery", "charger", "socket", "cell", "plug", "voltage"},
+      {"screen", "display", "backlight", "panel", "pixel", "brightness"},
+      {"fan", "cooler", "vent", "airflow", "sensor", "dust"},
+      {"keyboard", "touchpad", "cursor", "keycap", "layout", "backspace"},
+      {"bios", "bootloader", "grub", "bootmenu", "checksum", "jumper"},
+      {"speaker", "microphone", "jack", "mixer", "mute", "equalizer"},
+      {"webcam", "camera", "lens", "shutter", "tripod", "usb"},
+  };
+  // (a) Explain the problem: present tense, third person, negative lean.
+  p.intentions.push_back(IntentionSpec{
+      "explain the problem",
+      {"problem statement", "issue statement", "general problem"},
+      {
+          "The {S1} never {VZ} the {S2} and the {G} returns.",
+          "The {S1} does not {VB} the {S2} when the {D} shows a {A} {G}.",
+          "It {VZ} the {S2} at a random {G} and nothing happens.",
+          "The {S1} {VZ} the {S2} but the {D} ignores every {G}.",
+          "My {D} does not {VB} the {S1} anymore.",
+          "The {S2} no longer {VZ} and the {G} remains.",
+          "Whenever the {D} {VZ} the {S1} it also {VZ2} the {G}.",
+          "The {D} {VZ} the {S2} too early and the {S1} does not respond.",
+      },
+      false, false, false, true, 2, 4});
+  // (b) Describe previous efforts: past tense, first person.
+  p.intentions.push_back(IntentionSpec{
+      "describe previous efforts",
+      {"solution attempt", "previous trial", "previous efforts"},
+      {
+          "I {VP} the {S1} twice but the {G} stayed.",
+          "I {VP} the {S2} and then {VP2} the {S1}.",
+          "We {VP} a {A} {S2} from the {D} yesterday.",
+          "I have already {VN} the {S1} without any {G}.",
+          "A friend of mine {VP} the {S1} and saw no {G}.",
+          "I {VP} the {D} and {VP2} the {S2} again last night.",
+          "We {VP} every {G} from the {D} one by one.",
+          "I even {VP} the {A} {S2} before the {G}.",
+      },
+      false, false, false, false});
+  // (c) Explain why she wrote the post: present, first person, because.
+  p.intentions.push_back(IntentionSpec{
+      "explain why posting",
+      {"reason for posting", "theme", "target"},
+      {
+          "I am asking because I do not want to {VB} the {D}.",
+          "I am posting here because the {D} does not {VB} the {S1}.",
+          "I write this because nobody at the {D} could {VB} the {S2}.",
+          "I am asking before I {VB} another {S1}.",
+          "I need a {G} here because the {A} {G2} confuses me.",
+          "I am writing because my {G} with the {S2} matters for work.",
+      },
+      false, false, true, false, 2, 5});
+  // (d) Report symptoms / hypotheses: past tense, third person.
+  p.intentions.push_back(IntentionSpec{
+      "report symptoms",
+      {"observations", "first appearance of problem", "symptoms"},
+      {
+          "Yesterday the {S1} {VP} the {S2} twice and the {D} froze.",
+          "It started after the {D} {VP} the {S2}.",
+          "The {S1} worked for a {G} until the {D} {VP} the {S2}.",
+          "First the {S2} slowed down and later the {D} {VP} the {G}.",
+          "A {A} noise came from the {S1} right before the {G}.",
+          "Maybe the {S2} overheated because the {S1} stayed blocked.",
+          "The {G} began the day the {S2} arrived.",
+          "The {D} {VP} the {S1} on its own and the {G} vanished.",
+      },
+      false, false, false, false});
+  // (e) Ask for suggestions / advice: interrogative, second person.
+  p.intentions.push_back(IntentionSpec{
+      "ask for suggestions",
+      {"help request", "request for advice", "suggestions"},
+      {
+          "Do you know whether the {S1} would {VB} the {G}?",
+          "Can I {VB} the {S2} without rebuilding the entire {D}?",
+          "Has anyone {VN} a {S1} like this before?",
+          "Could you {VB} the {S2} on your own {D} and tell me?",
+          "What should I do about the {S1}?",
+          "Is there a {G} that {VZ} the {S2}?",
+          "Would you {VB} a {A} {S1} after such a {G}?",
+          "Should I {VB} the {D} or keep the {S2}?",
+      },
+      false, true, false, true, 2, 4});
+  // (f) Describe the problem "environment": present, first person, have.
+  p.intentions.push_back(IntentionSpec{
+      "describe environment",
+      {"system description", "system information", "user pc"},
+      {
+          "I have a {A} {D} with a {S1} and four {S2} units.",
+          "My {D} is a {A} model and it {VZ} a {S1}.",
+          "The {D} came with a {S2} and a {A} {S1} already installed.",
+          "We use the {D} mainly for work and it has a {S1}.",
+          "It is a {A} {D} and the {S1} {VZ} the {S2}.",
+          "My boss gave me a {D} with a {S1} pre-installed.",
+          "Our {G} includes a {D2} and a spare {S2}.",
+          "The {D} sits in a warm {G} next to the {D2}.",
+      },
+      true, false, true, false});
+  // (g) Ask specific questions: interrogative, third person.
+  p.intentions.push_back(IntentionSpec{
+      "ask specific question",
+      {"question", "general question", "first question"},
+      {
+          "Would a {A} {S1} work with my {D}?",
+          "Does the {S2} {VB} the {S1} on every {G}?",
+          "How long does a {S1} {G} usually take?",
+          "Which {S2} {G} matters for a {A} {D}?",
+          "Does a {D2} {VB} anything for the {S1}?",
+          "Why does the {S2} {VB} such a {A} {G}?",
+      },
+      false, true, false, false});
+  // (h) Express thoughts / feelings: present, first person.
+  p.intentions.push_back(IntentionSpec{
+      "express feelings",
+      {"concern", "personal comment", "personal thought"},
+      {
+          "I am really frustrated with this {A} {G}.",
+          "I hope someone here knows more about the {S1}.",
+          "Honestly I love this {D} and I want to keep it.",
+          "This {A} {G} drives me crazy.",
+          "I feel that the {S2} deserves a better {G}.",
+          "I appreciate any {G} about the {S1}.",
+      },
+      false, false, true, false, 2, 5});
+  return p;
+}
+
+DomainProfile make_travel() {
+  DomainProfile p;
+  p.domain = ForumDomain::kTravel;
+  p.name = "Travel";
+  p.segment_count_weights = {0.20, 0.24, 0.20, 0.13, 0.13, 0.10};
+  p.min_sentences_per_segment = 1;
+  p.max_sentences_per_segment = 5;
+  p.shared_terms = {
+      "hotel",   "room",    "staff",   "location", "price",   "night",
+      "stay",    "city",    "holiday", "trip",     "booking", "service",
+      "family",  "week",    "floor",   "reviews",  "center",  "island",
+  };
+  p.adjectives = {"nice",        "clean",    "spacious", "noisy",
+                  "comfortable", "friendly", "central",  "modern",
+                  "cheap",       "expensive", "lovely",  "terrible",
+                  "cozy",        "shabby"};
+  p.generic_terms = {"time",    "day",     "place", "thing",      "way",
+                     "morning", "evening", "area",  "visit",      "experience",
+                     "moment",  "option",  "spot",  "impression", "detail"};
+  p.verbs = travel_verbs();
+  p.curated_scenarios = {
+      {"pool", "sunbeds", "towels", "deck", "loungers", "lifeguard"},
+      {"breakfast", "buffet", "coffee", "pastries", "eggs", "juice"},
+      {"shuttle", "airport", "transfer", "luggage", "pickup", "timetable"},
+      {"spa", "massage", "sauna", "treatment", "therapist", "whirlpool"},
+      {"balcony", "view", "seafront", "sunset", "terrace", "horizon"},
+      {"bathroom", "shower", "plumbing", "faucet", "towel", "bathtub"},
+      {"reception", "lobby", "concierge", "keycard", "desk", "elevator"},
+      {"noise", "street", "traffic", "walls", "earplugs", "nightclub"},
+      {"restaurant", "dinner", "menu", "waiter", "wine", "dessert"},
+      {"beach", "sand", "umbrella", "waves", "shore", "promenade"},
+  };
+  // (a) Explain how/why user decided to book: past, first person.
+  p.intentions.push_back(IntentionSpec{
+      "explain booking reason",
+      {"reason for selecting", "reason for staying"},
+      {
+          "We {VP} the {D} because the {S1} looked {A} in the photos.",
+          "I {VP} this {D} for the {S1} and the {A} {D2}.",
+          "My {D} {VP} the {S2} here last summer.",
+          "We arrived for a short {G} and wanted a {A} {S1}.",
+          "I {VP} the {G} after I read about the {S2}.",
+          "We came back because the {S1} left a {A} {G} last year.",
+          "A friend {VP} the {D} for its {S2} and its {G}.",
+      },
+      true, false, true, false, 2, 5});
+  // (b) Judge aspects: present, third person.
+  p.intentions.push_back(IntentionSpec{
+      "judge aspects",
+      {"location", "price", "staff", "breakfast", "facilities"},
+      {
+          "The {S1} is {A} and the {D} {VZ} it every {G}.",
+          "The {S2} costs extra but it deserves the {D2}.",
+          "The {S1} {VZ} early and never feels crowded.",
+          "The {D} {VZ} the {S2} and stays very helpful.",
+          "The {S1} {G} smells fresh and looks {A}.",
+          "The {S2} works fine although the {G} seems {A}.",
+          "Everything near the {S1} stays quiet during the {G}.",
+      },
+      false, false, false, true, 2, 4});
+  // (c) Describe the room / hotel: present, third person, have/there is.
+  p.intentions.push_back(IntentionSpec{
+      "describe room or hotel",
+      {"room description", "general hotel description"},
+      {
+          "The {D} has a {A} {S1} and a small {S2}.",
+          "Our {D} faces the {S1} and it feels {A}.",
+          "The {D} {VZ} a {S2} on the third {D2}.",
+          "There is a {A} {S1} right next to the {D2}.",
+          "Every {G} leads to the {S2} somehow.",
+          "The {G} holds a {S1} and two {A} corners.",
+          "It is a {A} {D} with a {S2} behind the {D2}.",
+      },
+      true, false, false, false});
+  // (d) Declare pros and cons: present, third person, negative mix.
+  p.intentions.push_back(IntentionSpec{
+      "declare pros cons",
+      {"pro", "con", "strong points", "weak points"},
+      {
+          "The {S1} is great but the {S2} never {VZ} properly.",
+          "The {S2} was not {A} and nobody {VP} the {G}.",
+          "A strong {G} is the {A} {S1}.",
+          "The only weak {G} is the {S2} near our {D}.",
+          "Nothing beats the {S1} although the {S2} disappoints.",
+          "The {D} never fails on the {S1} side yet the {S2} does.",
+      },
+      false, false, false, false});
+  // (e) Opinion / conclusion: present + future, first person.
+  p.intentions.push_back(IntentionSpec{
+      "opinion conclusion",
+      {"overall", "general opinion", "why revisiting"},
+      {
+          "Overall we {VP} our {G} despite the {S2}.",
+          "I would not {VB} the {S1} again.",
+          "We will definitely {VB} the {S1} next year.",
+          "In general the {D} deserves its {A} {D2}.",
+          "I will remember the {S2} for a long {G}.",
+          "We regret nothing except the {A} {S2}.",
+      },
+      false, true, false, true, 2, 4});
+  // (f) Describe to whom/why it is recommended: second person.
+  p.intentions.push_back(IntentionSpec{
+      "recommend to whom",
+      {"for future", "what to expect", "recommended for"},
+      {
+          "If you care about the {S1} you should {VB} early.",
+          "You will {VB} the {S1} if you travel with your {D}.",
+          "Do not expect a {A} {S2} in this {D2} range.",
+          "Ask for a {D} far from the {S2}.",
+          "You should {VB} your own {G} for the {S1}.",
+          "Take the {S2} in the {G} and you will {VB} the crowd.",
+      },
+      false, true, false, false});
+  return p;
+}
+
+DomainProfile make_programming() {
+  DomainProfile p;
+  p.domain = ForumDomain::kProgramming;
+  p.name = "Programming";
+  p.segment_count_weights = {0.43, 0.31, 0.14, 0.06, 0.06};
+  p.min_sentences_per_segment = 1;
+  p.max_sentences_per_segment = 4;
+  p.shared_terms = {
+      "code",        "function", "project",   "library",   "version",
+      "application", "server",   "test",      "build",     "class",
+      "method",      "module",   "release",   "framework", "script",
+      "repository",  "branch",   "dependency",
+  };
+  p.adjectives = {"simple",     "complex",  "weird",  "stable",
+                  "legacy",     "modern",   "broken", "minimal",
+                  "concurrent", "portable", "flaky",  "deprecated"};
+  p.generic_terms = {"issue",  "thing",   "way",      "case",  "time",
+                     "change", "problem", "behavior", "setup", "result",
+                     "step",   "detail",  "approach", "output", "log"};
+  p.verbs = prog_verbs();
+  p.curated_scenarios = {
+      {"nullpointer", "exception", "stacktrace", "runtime", "handler",
+       "backtrace"},
+      {"compiler", "linker", "symbol", "template", "header", "macro"},
+      {"database", "query", "transaction", "deadlock", "schema", "cursor"},
+      {"thread", "mutex", "race", "lock", "atomic", "scheduler"},
+      {"memory", "leak", "allocation", "heap", "pointer", "allocator"},
+      {"socket", "connection", "timeout", "packet", "protocol", "handshake"},
+      {"regex", "pattern", "match", "capture", "group", "wildcard"},
+      {"json", "parser", "serialization", "field", "payload", "encoder"},
+      {"docker", "container", "image", "registry", "daemon", "namespace"},
+      {"merge", "conflict", "rebase", "commit", "remote", "upstream"},
+  };
+  // (a) Context / setup: present, first person.
+  p.intentions.push_back(IntentionSpec{
+      "describe setup",
+      {"context", "setup", "environment"},
+      {
+          "I am building a {A} {D} that {VZ} a {S1}.",
+          "My {D} {VZ} a {S2} inside a {A} {S1}.",
+          "We maintain a {A} {D} with a custom {S2}.",
+          "The {D} depends on a {S1} from an external {D2}.",
+          "I keep the {S2} in a separate {D} for every {G}.",
+          "Our {G} {VZ} a {D2} together with the {S1}.",
+      },
+      true, false, true, false, 2, 5});
+  // (b) Error report: past/present, third person.
+  p.intentions.push_back(IntentionSpec{
+      "report error",
+      {"error", "failure", "crash report"},
+      {
+          "The {D} throws a {S1} {G} when the {S2} {VZ}.",
+          "Yesterday the {D} {VP} with a {A} {S1} {G}.",
+          "The {S2} crashed and {VP} a {S1} in the {G}.",
+          "Every second {G} the {S1} appears and the {D} exits.",
+          "The {S2} hangs while the {D} {VZ} the {S1}.",
+          "The {G} shows a {S1} right after the {S2} {VZ}.",
+      },
+      false, false, false, true, 2, 4});
+  // (c) Attempts: past, first person.
+  p.intentions.push_back(IntentionSpec{
+      "describe attempts",
+      {"tried", "attempts", "workaround"},
+      {
+          "I {VP} the {S1} but the {G} stayed.",
+          "I {VP} the {S2} {G} twice without any {G2}.",
+          "We {VP} a {A} check around the {S1} and nothing changed.",
+          "I {VP} an older {D} without success.",
+          "I {VP} the {S2} and watched the {G} return anyway.",
+          "We {VP} the {S1} through the {D} all night.",
+      },
+      false, false, false, false});
+  // (d) Question: interrogative, second/third person.
+  p.intentions.push_back(IntentionSpec{
+      "ask question",
+      {"question", "how to", "why"},
+      {
+          "Does anyone know why the {S1} behaves like this?",
+          "How can I {VB} a {A} {S2} without restarting the {D}?",
+          "Is there a safe way to {VB} the {S1}?",
+          "What causes a {S2} to ignore the {S1}?",
+          "Should the {D} ever {VB} the {S2} during a {G}?",
+          "Can a {A} {S1} {VB} the {D2}?",
+      },
+      false, true, false, true, 2, 4});
+  // (e) Constraints / feelings: present, first person, negative lean.
+  p.intentions.push_back(IntentionSpec{
+      "state constraints",
+      {"constraint", "deadline", "requirement"},
+      {
+          "I cannot {VB} the {D} because of a legacy {S2}.",
+          "I am stuck and the {G} is close.",
+          "We must keep the {A} {S1} for compatibility.",
+          "The team will not {VB} a new {S2} this {D2}.",
+          "I am not allowed to {VB} the {D} in this {G}.",
+          "We do not control the {S1} {G} here.",
+      },
+      false, false, true, false});
+  return p;
+}
+
+std::vector<VerbForms> health_verbs() {
+  return {
+      {"check", "checks", "checked", "checking"},
+      {"monitor", "monitors", "monitored", "monitoring"},
+      {"measure", "measures", "measured", "measuring"},
+      {"track", "tracks", "tracked", "tracking"},
+      {"notice", "notices", "noticed", "noticing"},
+      {"reduce", "reduces", "reduced", "reducing"},
+      {"increase", "increases", "increased", "increasing"},
+      {"start", "starts", "started", "starting"},
+      {"stop", "stops", "stopped", "stopping"},
+      {"change", "changes", "changed", "changing"},
+      {"schedule", "schedules", "scheduled", "scheduling"},
+      {"record", "records", "recorded", "recording"},
+      {"manage", "manages", "managed", "managing"},
+      {"treat", "treats", "treated", "treating"},
+  };
+}
+
+DomainProfile make_health() {
+  DomainProfile p;
+  p.domain = ForumDomain::kHealth;
+  p.name = "Health";
+  p.segment_count_weights = {0.22, 0.26, 0.22, 0.15, 0.10, 0.05};
+  p.min_sentences_per_segment = 1;
+  p.max_sentences_per_segment = 4;
+  p.shared_terms = {
+      "doctor",     "clinic",      "hospital",  "treatment", "medication",
+      "dose",       "appointment", "insurance", "specialist", "pharmacy",
+      "nurse",      "blood",       "test",      "results",   "condition",
+      "visit",      "prescription", "symptom",
+  };
+  p.adjectives = {"mild",       "severe", "chronic",    "sudden",
+                  "sharp",      "dull",   "persistent", "occasional",
+                  "normal",     "unusual", "painful",   "swollen"};
+  p.generic_terms = {"issue",   "thing",   "time",   "way",      "day",
+                     "week",    "night",   "moment", "question", "advice",
+                     "help",    "feeling", "episode", "pattern",  "routine"};
+  p.verbs = health_verbs();
+  p.curated_scenarios = {
+      {"migraine", "aura", "nausea", "temples", "photophobia", "triptan"},
+      {"rash", "hives", "itching", "cream", "allergen", "patches"},
+      {"insomnia", "melatonin", "bedtime", "awakenings", "fatigue",
+       "snoring"},
+      {"heartburn", "reflux", "antacid", "esophagus", "bloating", "acidity"},
+      {"ankle", "sprain", "swelling", "brace", "icing", "physio"},
+      {"pollen", "sneezing", "antihistamine", "congestion", "sinus",
+       "hayfever"},
+      {"anemia", "ferritin", "dizziness", "pallor", "supplement", "iron"},
+      {"eczema", "moisturizer", "flareup", "steroid", "elbows", "dryness"},
+      {"vertigo", "spinning", "balance", "maneuver", "earpressure",
+       "episodes"},
+      {"cholesterol", "statin", "lipids", "dieting", "triglycerides",
+       "dosage"},
+  };
+  // (a) Describe symptoms: present, first person, core.
+  p.intentions.push_back(IntentionSpec{
+      "describe symptoms",
+      {"symptoms", "what I feel", "complaint"},
+      {
+          "I get a {A} {S1} behind my {S2} almost every {G}.",
+          "The {S1} {VZ} my {G} and the {S2} never really stops.",
+          "My {S1} feels {A} whenever I {VB} the {S2}.",
+          "A {A} {S1} shows up with the {S2} every {G}.",
+          "It {VZ} the {S2} and leaves a {A} {G}.",
+          "I am having a {A} {S1} together with the {S2} this {G}.",
+      },
+      false, false, false, true, 2, 4});
+  // (b) Medical history / background: past, first person, opener.
+  p.intentions.push_back(IntentionSpec{
+      "give medical history",
+      {"history", "background", "previous diagnosis"},
+      {
+          "I {VP} my {S1} with a {D} two years ago.",
+          "A {D} {VP} my {S2} when I was younger.",
+          "We {VP} the {S1} at the {D2} last spring.",
+          "My family has a {G} of {S1} on one side.",
+          "I {VP} a {A} {S2} once before this {G}.",
+      },
+      true, false, true, false, 0, 0});
+  // (c) Treatments tried: past, first person.
+  p.intentions.push_back(IntentionSpec{
+      "describe treatments tried",
+      {"tried", "treatment attempts", "what helped"},
+      {
+          "I {VP} the {S2} for a {G} without relief.",
+          "I have already {VN} a {A} {S1} twice.",
+          "We {VP} the {D} plan and {VP2} the {S2} dose.",
+          "I {VP} my {G} and the {S1} stayed the same.",
+          "A {D} {VP} the {S2} but the {G} returned.",
+      },
+      false, false, false, false, 0, 0});
+  // (d) Ask advice: interrogative, second person, core closer.
+  p.intentions.push_back(IntentionSpec{
+      "ask for medical advice",
+      {"question", "should I", "advice request"},
+      {
+          "Should I {VB} the {S1} before my next {D}?",
+          "Has anyone {VN} a {A} {S2} like this?",
+          "Do you know whether the {S1} could {VB} the {S2}?",
+          "Is there a safe way to {VB} the {S1} at home?",
+          "What would you {VB} for a {A} {S2}?",
+      },
+      false, true, false, true, 2, 4});
+  // (e) Express worry: present, first person, background.
+  p.intentions.push_back(IntentionSpec{
+      "express worry",
+      {"worried", "anxiety", "concern"},
+      {
+          "I am really worried about the {A} {S2}.",
+          "This {A} {G} scares me more than I admit.",
+          "I hope the {S1} means nothing serious.",
+          "Honestly the {G} keeps me awake at night.",
+      },
+      false, false, true, false, 0, 0});
+  // (f) Doctor interactions: past, third person, passive lean.
+  p.intentions.push_back(IntentionSpec{
+      "report doctor interaction",
+      {"doctor said", "appointment report", "test results"},
+      {
+          "The {D} {VP} a {S1} and ordered a {D2}.",
+          "A {S2} was {VN} by the {D} last {G}.",
+          "The {D2} {VP} my {S1} and said the {G} looked {A}.",
+          "They {VP} the {S2} during the {D} and found nothing.",
+      },
+      false, false, false, false, 0, 0});
+  return p;
+}
+
+}  // namespace
+
+const DomainProfile& domain_profile(ForumDomain domain) {
+  static const DomainProfile* kTech = new DomainProfile(make_tech_support());
+  static const DomainProfile* kTravel = new DomainProfile(make_travel());
+  static const DomainProfile* kProg = new DomainProfile(make_programming());
+  static const DomainProfile* kHealth = new DomainProfile(make_health());
+  switch (domain) {
+    case ForumDomain::kTechSupport: return *kTech;
+    case ForumDomain::kTravel: return *kTravel;
+    case ForumDomain::kProgramming: return *kProg;
+    case ForumDomain::kHealth: return *kHealth;
+  }
+  return *kTech;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,94 @@
+#ifndef IBSEG_DATAGEN_DOMAIN_PROFILES_H_
+#define IBSEG_DATAGEN_DOMAIN_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/template_engine.h"
+
+namespace ibseg {
+
+/// The three forum domains of the paper's evaluation (substituted by
+/// synthetic corpora; see DESIGN.md): a product support forum (HP Forum),
+/// a travel forum (TripAdvisor) and a programming forum (StackOverflow).
+enum class ForumDomain {
+  kTechSupport,  ///< HP-Forum-style product support
+  kTravel,       ///< TripAdvisor-style hotel reviews
+  kProgramming,  ///< StackOverflow-style programming questions
+  kHealth,       ///< Medhelp-style medical forum (the paper's intro names
+                 ///  health forums as a target domain; not part of its
+                 ///  evaluation, provided for breadth)
+};
+
+const char* forum_domain_name(ForumDomain domain);
+
+/// One author intention, with the grammar baked into its sentence
+/// templates (tense / person / style / voice vary *between* intentions —
+/// that variation is exactly the signal the CM features pick up).
+struct IntentionSpec {
+  /// Canonical name ("explain the problem").
+  std::string name;
+  /// Label keywords annotators use for it (Fig. 7 right-hand examples).
+  std::vector<std::string> labels;
+  /// Sentence templates (see render_template for the placeholder grammar).
+  std::vector<std::string> templates;
+  /// Preferred position: openers start posts, closers end them.
+  bool opener = false;
+  bool closer = false;
+  /// Background intentions (context, feelings, meta-comments) mention
+  /// hardware/places/components in passing — often components of *other*
+  /// problems. The generator contaminates their scenario pool with another
+  /// scenario's terms, which is exactly the within-category vocabulary
+  /// overlap that misleads whole-post matching (the paper's Fig. 1 Doc A/B
+  /// example: "HP" and "RAID" appear in informative parts of unrelated
+  /// posts).
+  bool background = false;
+  /// Core intentions are what a thread is *for* (state the problem, ask
+  /// the question, judge the hotel): every generated post contains at
+  /// least one. This mirrors real forums — two posts about the same
+  /// problem reliably share these intentions, which is what makes
+  /// per-intention matching able to reach related posts at all.
+  bool core = false;
+  /// Sentence-count override for segments of this intention
+  /// (0 = use the profile-wide bounds). Core segments are longer in real
+  /// posts — the problem description is the bulk of a support thread.
+  int min_sentences = 0;
+  int max_sentences = 0;
+};
+
+/// Everything needed to synthesize posts for one domain.
+struct DomainProfile {
+  ForumDomain domain = ForumDomain::kTechSupport;
+  std::string name;
+  std::vector<IntentionSpec> intentions;
+  /// Domain-shared vocabulary ({D}) — present across scenarios, the
+  /// within-category confounder.
+  std::vector<std::string> shared_terms;
+  /// Domain adjectives ({A}).
+  std::vector<std::string> adjectives;
+  /// Generic nouns ({G}) shared by all intentions ("issue", "thing",
+  /// "way"): they flatten the lexical differences between intentions so
+  /// that vocabulary is not a border cue (the paper's premise).
+  std::vector<std::string> generic_terms;
+  /// Verb lemmas shared by all intentions; templates pick the surface form
+  /// ({VB}/{VZ}/{VP}/{VN}/{VG}), so tense — a CM feature — varies between
+  /// intentions while the stemmed term does not.
+  std::vector<VerbForms> verbs;
+  /// Curated scenario term sets (realistic). The generator synthesizes
+  /// additional scenarios when asked for more.
+  std::vector<std::vector<std::string>> curated_scenarios;
+  /// Probability weights for the number of ground-truth segments per post
+  /// (index 0 -> 1 segment). Mirrors the granularity mix of Table 3.
+  std::vector<double> segment_count_weights;
+  /// Sentences per segment are uniform in [min, max].
+  int min_sentences_per_segment = 1;
+  int max_sentences_per_segment = 4;
+};
+
+/// Returns the built-in profile for `domain` (constructed once, process
+/// lifetime).
+const DomainProfile& domain_profile(ForumDomain domain);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_DATAGEN_DOMAIN_PROFILES_H_

@@ -1,0 +1,347 @@
+#include "datagen/post_generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "datagen/template_engine.h"
+#include "text/stopwords.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ibseg {
+namespace {
+
+// Picks the intention sequence for a post: an opener-biased first segment,
+// a closer-biased last segment, and middles drawn from the rest; with
+// probability intent_repeat_prob a middle segment reuses an earlier
+// intention (possibly non-adjacent, to exercise refinement).
+std::vector<int> pick_intents(const DomainProfile& profile, size_t count,
+                              double repeat_prob, Rng& rng) {
+  const size_t num_intents = profile.intentions.size();
+  std::vector<int> openers;
+  std::vector<int> closers;
+  std::vector<int> middles;
+  for (size_t i = 0; i < num_intents; ++i) {
+    if (profile.intentions[i].opener) openers.push_back(static_cast<int>(i));
+    if (profile.intentions[i].closer) closers.push_back(static_cast<int>(i));
+    if (!profile.intentions[i].opener) middles.push_back(static_cast<int>(i));
+  }
+  std::vector<int> intents;
+  for (size_t s = 0; s < count; ++s) {
+    int pick = -1;
+    if (s == 0 && !openers.empty() && rng.next_bool(0.8)) {
+      pick = openers[rng.next_below(openers.size())];
+    } else if (s + 1 == count && count > 1 && !closers.empty() &&
+               rng.next_bool(0.7)) {
+      pick = closers[rng.next_below(closers.size())];
+    } else if (s >= 2 && rng.next_bool(repeat_prob)) {
+      // Reuse an earlier, non-adjacent intention.
+      pick = intents[rng.next_below(intents.size() - 1)];
+    } else {
+      const std::vector<int>& pool = middles.empty() ? closers : middles;
+      pick = pool[rng.next_below(pool.size())];
+    }
+    // Avoid immediate repetition (adjacent same-intention segments would
+    // not be distinguishable even by a perfect segmenter).
+    if (!intents.empty() && pick == intents.back()) {
+      pick = static_cast<int>((pick + 1) % num_intents);
+    }
+    intents.push_back(pick);
+  }
+  // Guarantee a core intention: a thread exists to state its problem or
+  // ask its question, and related posts are reachable through exactly
+  // those segments.
+  std::vector<int> cores;
+  for (size_t i = 0; i < num_intents; ++i) {
+    if (profile.intentions[i].core) cores.push_back(static_cast<int>(i));
+  }
+  if (!cores.empty()) {
+    bool has_core = false;
+    for (int i : intents) {
+      if (profile.intentions[static_cast<size_t>(i)].core) has_core = true;
+    }
+    if (!has_core) {
+      int core = cores[rng.next_below(cores.size())];
+      size_t slot = intents.size() - 1;  // closers are usually questions
+      if (intents.size() > 1 && intents[slot] == core) slot = 0;
+      intents[slot] = core;
+      // Re-check adjacency after the swap.
+      if (intents.size() > 1) {
+        size_t prev = slot > 0 ? slot - 1 : slot + 1;
+        if (intents[prev] == intents[slot]) {
+          intents[prev] = static_cast<int>(
+              (intents[prev] + 1) % static_cast<int>(num_intents));
+        }
+      }
+    }
+  }
+  return intents;
+}
+
+size_t sample_segment_count(const DomainProfile& profile, Rng& rng) {
+  return rng.next_weighted(profile.segment_count_weights) + 1;
+}
+
+}  // namespace
+
+std::vector<std::string> synthesize_scenario_terms(size_t scenario_index,
+                                                   size_t count) {
+  static constexpr std::array<const char*, 16> kOnsets = {
+      "zor", "bel", "cli", "vel", "dax", "mir", "lum", "tek",
+      "ran", "sil", "vox", "nar", "qui", "fos", "gar", "plo"};
+  static constexpr std::array<const char*, 12> kCodas = {
+      "bex", "tron", "dex", "pod", "mod", "lix",
+      "gon", "vat", "nox", "rix", "sum", "tal"};
+  Rng rng(0x5EED5000ULL + scenario_index * 7919ULL);
+  std::vector<std::string> terms;
+  terms.reserve(count);
+  while (terms.size() < count) {
+    std::string term = std::string(kOnsets[rng.next_below(kOnsets.size())]) +
+                       kCodas[rng.next_below(kCodas.size())];
+    if (rng.next_bool(0.3)) term += kOnsets[rng.next_below(kOnsets.size())];
+    if (std::find(terms.begin(), terms.end(), term) == terms.end()) {
+      terms.push_back(std::move(term));
+    }
+  }
+  return terms;
+}
+
+SyntheticCorpus generate_corpus(const GeneratorOptions& options) {
+  const DomainProfile& profile = domain_profile(options.domain);
+  SyntheticCorpus corpus;
+  corpus.domain = options.domain;
+  assert(options.posts_per_scenario > 0);
+  corpus.num_scenarios = (options.num_posts + options.posts_per_scenario - 1) /
+                         options.posts_per_scenario;
+
+  // A scenario is a (component, problem) pair: several scenarios share one
+  // component vocabulary (paper Fig. 1 — Docs A and B share HP/RAID terms
+  // but ask different questions; only same-problem posts are related).
+  const size_t ppc =
+      static_cast<size_t>(std::max(1, options.problems_per_component));
+  const size_t num_components = (corpus.num_scenarios + ppc - 1) / ppc;
+
+  // Component term sets: curated first, synthesized beyond; padded with
+  // synthesized terms up to scenario_pool_size.
+  std::vector<std::vector<std::string>> components;
+  components.reserve(num_components);
+  for (size_t c = 0; c < num_components; ++c) {
+    std::vector<std::string> terms;
+    if (c < profile.curated_scenarios.size()) {
+      terms = profile.curated_scenarios[c];
+    }
+    if (terms.size() < options.scenario_pool_size) {
+      size_t synth_index = c < profile.curated_scenarios.size()
+                               ? c + 1000  // disjoint stream from base sets
+                               : c - profile.curated_scenarios.size();
+      std::vector<std::string> extra = synthesize_scenario_terms(
+          synth_index, options.scenario_pool_size - terms.size());
+      for (std::string& t : extra) terms.push_back(std::move(t));
+    }
+    components.push_back(std::move(terms));
+  }
+
+  // Chatter vocabulary: medium-frequency words sprinkled through the
+  // background talk of most posts. Scenario problem-identity terms are
+  // drawn from it, so corpus-wide they are undistinctive (high document
+  // frequency) while within the right intention cluster they are rare and
+  // decisive — "the same term weighs differently depending on the
+  // intention of the segment in which it is found" (paper abstract).
+  std::vector<std::string> chatter_pool = synthesize_scenario_terms(
+      80000 + static_cast<size_t>(profile.domain), options.chatter_pool_size);
+
+  // Problem-identity terms per scenario: sibling scenarios of one
+  // component take disjoint 3-term slices of a component-seeded shuffle of
+  // the chatter pool.
+  constexpr size_t kProblemTerms = 3;
+  std::vector<std::vector<std::string>> problem_terms(corpus.num_scenarios);
+  for (size_t c = 0; c < num_components; ++c) {
+    std::vector<std::string> shuffled = chatter_pool;
+    Rng shuffle_rng(0xC0FFEE00ULL + c * 131ULL);
+    shuffle_rng.shuffle(shuffled);
+    for (size_t j = 0; j < ppc; ++j) {
+      size_t s = c * ppc + j;
+      if (s >= corpus.num_scenarios) break;
+      for (size_t t = 0; t < kProblemTerms && j * kProblemTerms + t < shuffled.size();
+           ++t) {
+        problem_terms[s].push_back(shuffled[j * kProblemTerms + t]);
+      }
+    }
+  }
+
+  // Domain-wide generic vocabulary for core segments ({G} draws).
+  std::vector<std::string> generic_pool = profile.generic_terms;
+  for (size_t i = 0; generic_pool.size() < options.generic_pool_size; ++i) {
+    std::vector<std::string> extra = synthesize_scenario_terms(
+        90000 + static_cast<size_t>(profile.domain) * 1000 + i, 6);
+    for (std::string& t : extra) {
+      if (generic_pool.size() >= options.generic_pool_size) break;
+      generic_pool.push_back(std::move(t));
+    }
+  }
+
+  Rng rng(options.seed);
+  corpus.posts.reserve(options.num_posts);
+  for (size_t i = 0; i < options.num_posts; ++i) {
+    GeneratedPost post;
+    post.scenario_id = static_cast<int>(i / options.posts_per_scenario);
+    post.component_id = static_cast<int>(
+        static_cast<size_t>(post.scenario_id) / ppc);
+    const std::vector<std::string>& component =
+        components[static_cast<size_t>(post.component_id)];
+    const std::vector<std::string>& problems =
+        problem_terms[static_cast<size_t>(post.scenario_id)];
+
+    // Core pool: component terms + (doubled) problem-identity terms; the
+    // problem terms are what distinguish this scenario from its component
+    // siblings.
+    TemplatePools core_pools;
+    core_pools.scenario_terms = component;
+    for (int rep = 0; rep < 2; ++rep) {
+      for (const std::string& t : problems) {
+        core_pools.scenario_terms.push_back(t);
+      }
+    }
+    core_pools.shared_terms = profile.shared_terms;
+    core_pools.adjectives = profile.adjectives;
+    core_pools.generic_terms = generic_pool;
+    core_pools.verbs = profile.verbs;
+
+    // Background pool: component terms only (the author's setup), with
+    // chatter as the generic vocabulary — this is what drives the chatter
+    // terms' high corpus-wide document frequency.
+    TemplatePools background_pools = core_pools;
+    background_pools.scenario_terms = component;
+    background_pools.generic_terms = chatter_pool;
+
+    // Passing-mention pools: the author's *other* components, a small
+    // concentrated term subset each ("my raid array ... the raid rebuild").
+    // To a whole-post matcher these mentions are indistinguishable from
+    // another component's core usage.
+    std::vector<TemplatePools> mention_pools;
+    if (num_components > 1) {
+      int wanted = std::max(1, options.contaminants_per_post);
+      int copies = std::max(1, static_cast<int>(std::lround(
+                                   options.contaminant_ratio)));
+      for (int m = 0; m < wanted; ++m) {
+        size_t other = rng.next_below(num_components);
+        if (other == static_cast<size_t>(post.component_id)) {
+          other = (other + 1) % num_components;
+        }
+        std::vector<std::string> mention_terms = components[other];
+        rng.shuffle(mention_terms);
+        if (mention_terms.size() > 3) mention_terms.resize(3);
+        TemplatePools contaminated = background_pools;
+        for (int c = 0; c < copies; ++c) {
+          for (const std::string& t : mention_terms) {
+            contaminated.scenario_terms.push_back(t);
+          }
+        }
+        mention_pools.push_back(std::move(contaminated));
+        post.contaminants.push_back(static_cast<int>(other));
+      }
+      post.contaminant_scenario = post.contaminants.front();
+    }
+
+    size_t num_segments = sample_segment_count(profile, rng);
+    post.segment_intents =
+        pick_intents(profile, num_segments, options.intent_repeat_prob, rng);
+
+    size_t sentence_count = 0;
+    post.true_segmentation.num_units = 0;
+    for (size_t s = 0; s < num_segments; ++s) {
+      const IntentionSpec& intent =
+          profile.intentions[static_cast<size_t>(post.segment_intents[s])];
+      int min_sent = intent.min_sentences > 0
+                         ? intent.min_sentences
+                         : profile.min_sentences_per_segment;
+      int max_sent = intent.max_sentences > 0
+                         ? intent.max_sentences
+                         : profile.max_sentences_per_segment;
+      int sentences = static_cast<int>(rng.next_int(min_sent, max_sent));
+      for (int k = 0; k < sentences; ++k) {
+        const std::string& pattern =
+            intent.templates[rng.next_below(intent.templates.size())];
+        const TemplatePools* sentence_pools = &core_pools;
+        if (intent.background) {
+          sentence_pools =
+              (!mention_pools.empty() &&
+               rng.next_bool(options.background_noise))
+                  ? &mention_pools[rng.next_below(mention_pools.size())]
+                  : &background_pools;
+        } else if (!mention_pools.empty() &&
+                   rng.next_bool(options.mention_noise)) {
+          sentence_pools = &mention_pools[rng.next_below(mention_pools.size())];
+        }
+        std::string sentence = render_template(pattern, *sentence_pools, rng);
+        if (!post.text.empty()) post.text.push_back(' ');
+        post.text += sentence;
+        ++sentence_count;
+      }
+      if (s + 1 < num_segments) {
+        post.true_segmentation.borders.push_back(sentence_count);
+      }
+    }
+    post.true_segmentation.num_units = sentence_count;
+    corpus.posts.push_back(std::move(post));
+  }
+  return corpus;
+}
+
+std::vector<Document> analyze_corpus(const SyntheticCorpus& corpus) {
+  std::vector<Document> docs;
+  docs.reserve(corpus.posts.size());
+  for (size_t i = 0; i < corpus.posts.size(); ++i) {
+    docs.push_back(
+        Document::analyze(static_cast<DocId>(i), corpus.posts[i].text));
+  }
+  return docs;
+}
+
+std::vector<Document> analyze_corpus_parallel(const SyntheticCorpus& corpus,
+                                              size_t num_threads) {
+  if (num_threads <= 1 || corpus.posts.size() < 2) {
+    return analyze_corpus(corpus);
+  }
+  std::vector<Document> docs(corpus.posts.size());
+  ThreadPool pool(num_threads);
+  pool.parallel_for(corpus.posts.size(), [&](size_t i) {
+    docs[i] = Document::analyze(static_cast<DocId>(i), corpus.posts[i].text);
+  });
+  return docs;
+}
+
+CorpusStats compute_corpus_stats(const SyntheticCorpus& corpus) {
+  CorpusStats stats;
+  stats.num_posts = corpus.posts.size();
+  if (corpus.posts.empty()) return stats;
+  std::unordered_set<std::string> vocabulary;
+  size_t total_terms = 0;
+  size_t total_sentences = 0;
+  size_t total_segments = 0;
+  for (const GeneratedPost& post : corpus.posts) {
+    for (const Token& t : tokenize(post.text)) {
+      if (t.kind == TokenKind::kPunctuation) continue;
+      if (t.kind == TokenKind::kWord && is_stopword(t.lower)) continue;
+      ++total_terms;
+      vocabulary.insert(t.lower);
+    }
+    total_sentences += post.true_segmentation.num_units;
+    total_segments += post.true_segmentation.num_segments();
+  }
+  double n = static_cast<double>(corpus.posts.size());
+  stats.avg_terms_per_post = static_cast<double>(total_terms) / n;
+  stats.unique_term_percent =
+      total_terms == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(vocabulary.size()) /
+                static_cast<double>(total_terms);
+  stats.avg_sentences_per_post = static_cast<double>(total_sentences) / n;
+  stats.avg_segments_per_post = static_cast<double>(total_segments) / n;
+  return stats;
+}
+
+}  // namespace ibseg

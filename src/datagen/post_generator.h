@@ -1,0 +1,136 @@
+#ifndef IBSEG_DATAGEN_POST_GENERATOR_H_
+#define IBSEG_DATAGEN_POST_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/domain_profiles.h"
+#include "seg/document.h"
+#include "seg/segmentation.h"
+
+namespace ibseg {
+
+/// Options for synthesizing one corpus.
+struct GeneratorOptions {
+  ForumDomain domain = ForumDomain::kTechSupport;
+  /// Total posts to generate.
+  size_t num_posts = 200;
+  /// Posts sharing a scenario (= the ground-truth "related" sets). The
+  /// number of scenarios is ceil(num_posts / posts_per_scenario).
+  size_t posts_per_scenario = 6;
+  uint64_t seed = 42;
+  /// Probability that a later segment reuses an earlier segment's intention
+  /// (non-adjacent same-intention segments exercise the refinement step of
+  /// Sec. 6).
+  double intent_repeat_prob = 0.10;
+  /// Per-sentence probability that a *background* segment (context /
+  /// feelings / meta) mentions the post's contaminant scenario — the
+  /// passing mentions that create within-category vocabulary overlap and
+  /// mislead whole-post matching (the paper's Fig. 1 motivation).
+  double background_noise = 0.7;
+  /// Same, for sentences of non-background segments. Non-zero so the
+  /// contaminant vocabulary is not itself a border cue.
+  double mention_noise = 0.15;
+  /// Weight of the contaminant scenario's terms relative to the post's own
+  /// terms within a contaminated sentence's pool (2.0 = contaminant terms
+  /// are twice as likely per draw). Higher values push whole-post matching
+  /// toward the contaminant's scenario — the dial for how confusable a
+  /// domain's posts are (the paper's HP/StackOverflow FullText precision
+  /// is ~0.16 while TripAdvisor's is ~0.53).
+  double contaminant_ratio = 2.0;
+  /// Scenario vocabulary size. Larger pools mean two related posts share
+  /// only a few specific terms (as real forum posts do — people name the
+  /// same problem with different words), which is what keeps whole-post
+  /// term matching from trivially solving the task. Curated scenario sets
+  /// are padded with synthesized terms up to this size.
+  size_t scenario_pool_size = 12;
+  /// Size of the domain's generic vocabulary ({G} draws). The profile's
+  /// curated list is padded with synthesized words up to this size. A wide
+  /// mid-document-frequency vocabulary is what makes posts of one thematic
+  /// category "anyway similar" (paper Sec. 1): random pairs collide on a
+  /// few medium-IDF terms, which is the noise floor whole-post matching
+  /// has to rank against.
+  size_t generic_pool_size = 300;
+  /// How many distinct other scenarios a post mentions in passing. Real
+  /// posters reference several of their components/places; each mention
+  /// set attracts that scenario's posts under whole-post matching.
+  int contaminants_per_post = 2;
+  /// Scenarios sharing one *component* vocabulary. A scenario is a
+  /// (component, problem) pair — the paper's Fig. 1: Doc A and Doc B share
+  /// HP/RAID component terms but ask different questions and are NOT
+  /// related, while Doc A and Doc C share the question with little content
+  /// overlap and ARE. Component terms alone therefore cannot identify
+  /// related posts.
+  int problems_per_component = 2;
+  /// Size of the domain "chatter" vocabulary: medium-frequency words that
+  /// appear as background chatter in most posts AND serve as the
+  /// problem-identity terms of scenarios. Corpus-wide their document
+  /// frequency is high (a whole-post matcher learns nothing from them);
+  /// within the right intention cluster they are rare and decisive — the
+  /// paper's "same term weighs differently depending on the intention".
+  size_t chatter_pool_size = 40;
+};
+
+/// One synthesized post with its ground truth.
+struct GeneratedPost {
+  std::string text;
+  /// Ground-truth intention borders in sentence units.
+  Segmentation true_segmentation;
+  /// Intention index (into DomainProfile::intentions) per true segment.
+  std::vector<int> segment_intents;
+  /// Ground-truth relatedness class: posts are related iff they share it.
+  int scenario_id = 0;
+  /// The component (vocabulary family) this scenario belongs to; several
+  /// scenarios share one component.
+  int component_id = 0;
+  /// The other scenarios this post mentions in passing.
+  std::vector<int> contaminants;
+  /// First contaminant (-1 when none); kept for convenience.
+  int contaminant_scenario = -1;
+};
+
+/// A synthesized corpus.
+struct SyntheticCorpus {
+  ForumDomain domain = ForumDomain::kTechSupport;
+  size_t num_scenarios = 0;
+  std::vector<GeneratedPost> posts;
+
+  const DomainProfile& profile() const { return domain_profile(domain); }
+};
+
+/// Generates a corpus per `options`. Deterministic in the seed.
+SyntheticCorpus generate_corpus(const GeneratorOptions& options);
+
+/// Analyzes every post into a Document (DocId = index in posts). The
+/// generator guarantees the sentence splitter sees exactly the sentences it
+/// emitted, so `true_segmentation.num_units == Document::num_units()`.
+std::vector<Document> analyze_corpus(const SyntheticCorpus& corpus);
+
+/// Same, with the per-post analysis fanned out over `num_threads` workers
+/// (document analysis dominates offline cost at StackOverflow scale;
+/// Sec. 9.2.4 reports the paper doing exactly this in 32 chunks).
+std::vector<Document> analyze_corpus_parallel(const SyntheticCorpus& corpus,
+                                              size_t num_threads);
+
+/// Corpus statistics in the form the paper reports for its datasets
+/// (Sec. 9 "Datasets": average post size in terms, % unique terms).
+struct CorpusStats {
+  size_t num_posts = 0;
+  double avg_terms_per_post = 0.0;      ///< word+number tokens per post
+  double unique_term_percent = 0.0;     ///< corpus vocab / total tokens
+  double avg_sentences_per_post = 0.0;
+  double avg_segments_per_post = 0.0;   ///< ground-truth intention segments
+};
+
+CorpusStats compute_corpus_stats(const SyntheticCorpus& corpus);
+
+/// Synthesizes scenario term sets beyond the curated list: pronounceable
+/// pseudo-nouns ("veltronic parts" territory) built from syllables,
+/// `count` terms per scenario, deterministic in the scenario index.
+std::vector<std::string> synthesize_scenario_terms(size_t scenario_index,
+                                                   size_t count = 6);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_DATAGEN_POST_GENERATOR_H_

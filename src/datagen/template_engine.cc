@@ -1,0 +1,104 @@
+#include "datagen/template_engine.h"
+
+#include <cassert>
+#include <map>
+
+namespace ibseg {
+namespace {
+
+const std::string& draw(const std::vector<std::string>& pool, Rng& rng) {
+  assert(!pool.empty());
+  return pool[rng.next_below(pool.size())];
+}
+
+// Draws an entry distinct from those in `used` when possible.
+std::string draw_distinct(const std::vector<std::string>& pool, Rng& rng,
+                          std::vector<std::string>& used) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::string& candidate = draw(pool, rng);
+    bool clash = false;
+    for (const std::string& u : used) {
+      if (u == candidate) {
+        clash = true;
+        break;
+      }
+    }
+    if (!clash) {
+      used.push_back(candidate);
+      return candidate;
+    }
+  }
+  std::string fallback = draw(pool, rng);
+  used.push_back(fallback);
+  return fallback;
+}
+
+}  // namespace
+
+std::string render_template(std::string_view pattern,
+                            const TemplatePools& pools, Rng& rng) {
+  std::string out;
+  out.reserve(pattern.size() + 32);
+  std::map<std::string, std::string> bound;  // placeholder -> drawn term
+  std::vector<std::string> used_scenario;
+
+  size_t i = 0;
+  while (i < pattern.size()) {
+    if (pattern[i] != '{') {
+      out.push_back(pattern[i++]);
+      continue;
+    }
+    size_t close = pattern.find('}', i);
+    if (close == std::string_view::npos) {
+      out.append(pattern.substr(i));
+      break;
+    }
+    std::string key(pattern.substr(i + 1, close - i - 1));
+    i = close + 1;
+    auto it = bound.find(key);
+    if (it != bound.end()) {
+      out.append(it->second);
+      continue;
+    }
+    std::string value;
+    const std::vector<std::string>& scenario_pool =
+        pools.scenario_terms.empty() ? pools.shared_terms
+                                     : pools.scenario_terms;
+    if (key == "S1" || key == "S2" || key == "S3") {
+      value = scenario_pool.empty()
+                  ? std::string("component")
+                  : draw_distinct(scenario_pool, rng, used_scenario);
+    } else if (key == "D" || key == "D2") {
+      value = pools.shared_terms.empty() ? std::string("system")
+                                         : draw(pools.shared_terms, rng);
+    } else if (key == "G" || key == "G2") {
+      value = pools.generic_terms.empty() ? std::string("thing")
+                                          : draw(pools.generic_terms, rng);
+    } else if (key.size() >= 2 && key[0] == 'V' &&
+               (key[1] == 'B' || key[1] == 'Z' || key[1] == 'P' ||
+                key[1] == 'N' || key[1] == 'G')) {
+      if (pools.verbs.empty()) {
+        value = "check";
+      } else {
+        const VerbForms& v = pools.verbs[rng.next_below(pools.verbs.size())];
+        switch (key[1]) {
+          case 'B': value = v.base; break;
+          case 'Z': value = v.pres3; break;
+          case 'P': value = v.past; break;
+          case 'N': value = v.past; break;  // regular participle == past
+          case 'G': value = v.gerund; break;
+        }
+      }
+    } else if (key == "A") {
+      value = pools.adjectives.empty() ? std::string("strange")
+                                       : draw(pools.adjectives, rng);
+    } else {
+      value = "{" + key + "}";  // unknown placeholder: keep literal
+    }
+    bound.emplace(std::move(key), value);
+    out.append(value);
+  }
+  return out;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,60 @@
+#ifndef IBSEG_DATAGEN_TEMPLATE_ENGINE_H_
+#define IBSEG_DATAGEN_TEMPLATE_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ibseg {
+
+/// Inflection table for one (regular or irregular) verb lemma.
+struct VerbForms {
+  std::string base;    // check
+  std::string pres3;   // checks
+  std::string past;    // checked (also used as past participle)
+  std::string gerund;  // checking
+};
+
+/// Term pools available to sentence templates.
+struct TemplatePools {
+  /// Scenario-specific content terms ({S1}, {S2}, {S3} draw distinct
+  /// entries). These are the terms that distinguish one underlying problem
+  /// from another within a domain.
+  std::vector<std::string> scenario_terms;
+  /// Domain-shared nouns ({D}, {D2}) — the "HP / RAID appears everywhere"
+  /// pool that confounds whole-post matching within a thematic category.
+  std::vector<std::string> shared_terms;
+  /// Domain adjectives ({A}).
+  std::vector<std::string> adjectives;
+  /// Generic nouns ({G}, {G2}) shared by *all* intentions of a domain
+  /// ("issue", "thing", "way"). Keeps the lexical surface of different
+  /// intentions overlapping so that terms are not a segmentation cue.
+  std::vector<std::string> generic_terms;
+  /// Verb lemmas shared by all intentions of a domain; templates select a
+  /// surface form ({VB} base, {VZ} 3rd-person present, {VP} past, {VN}
+  /// past participle, {VG} gerund). Different intentions then differ in
+  /// *tense* — a CM feature — while the stemmed term is identical, so verb
+  /// vocabulary is not a border cue either.
+  std::vector<VerbForms> verbs;
+};
+
+/// Renders a sentence template. Placeholders:
+///   {S1} {S2} {S3} — distinct scenario terms (falls back to shared terms
+///                    when the scenario pool is too small);
+///   {D} {D2}       — shared domain terms (independent draws);
+///   {G} {G2}       — generic nouns (independent draws);
+///   {A}            — a domain adjective;
+///   {VB} {VZ} {VP} {VN} {VG} — a shared verb lemma in base / 3rd-person
+///                    present / past / past-participle / gerund form
+///                    (suffix a digit for an independent draw: {VP2}).
+/// Repeated placeholders of the same name within one sentence reuse the
+/// same draw ("the {S1}... that {S1}" stays consistent). Everything else is
+/// emitted verbatim.
+std::string render_template(std::string_view pattern,
+                            const TemplatePools& pools, Rng& rng);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_DATAGEN_TEMPLATE_ENGINE_H_

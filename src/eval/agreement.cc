@@ -1,0 +1,69 @@
+#include "eval/agreement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/fleiss_kappa.h"
+
+namespace ibseg {
+
+void BorderAgreementAccumulator::add_post(
+    const std::vector<std::vector<double>>& annotator_borders) {
+  size_t num_annotators = annotator_borders.size();
+  if (num_annotators < 2) return;
+
+  // Pool and sort all borders with their annotator.
+  struct Vote {
+    double pos;
+    size_t annotator;
+  };
+  std::vector<Vote> votes;
+  for (size_t a = 0; a < num_annotators; ++a) {
+    for (double p : annotator_borders[a]) votes.push_back(Vote{p, a});
+  }
+  std::sort(votes.begin(), votes.end(),
+            [](const Vote& x, const Vote& y) { return x.pos < y.pos; });
+
+  // Greedy clustering into candidate border sites: a vote joins the open
+  // site when it lies within offset_chars of the site's first vote.
+  size_t i = 0;
+  while (i < votes.size()) {
+    double anchor = votes[i].pos;
+    std::vector<bool> voted(num_annotators, false);
+    size_t j = i;
+    while (j < votes.size() && votes[j].pos - anchor <= offset_chars_) {
+      voted[votes[j].annotator] = true;
+      ++j;
+    }
+    int yes = 0;
+    for (bool v : voted) yes += v ? 1 : 0;
+    items_.push_back({yes, static_cast<int>(num_annotators) - yes});
+    i = j;
+  }
+}
+
+AgreementResult BorderAgreementAccumulator::result() const {
+  AgreementResult r;
+  r.num_items = items_.size();
+  r.fleiss_kappa = fleiss_kappa(items_);
+  // Observed agreement: mean majority share per site.
+  double majority_sum = 0.0;
+  size_t counted = 0;
+  for (const auto& item : items_) {
+    int total = 0;
+    int top = 0;
+    for (int c : item) {
+      total += c;
+      top = std::max(top, c);
+    }
+    if (total < 2) continue;
+    majority_sum += static_cast<double>(top) / static_cast<double>(total);
+    ++counted;
+  }
+  r.observed_percent =
+      counted == 0 ? 0.0
+                   : 100.0 * majority_sum / static_cast<double>(counted);
+  return r;
+}
+
+}  // namespace ibseg

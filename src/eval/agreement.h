@@ -1,0 +1,48 @@
+#ifndef IBSEG_EVAL_AGREEMENT_H_
+#define IBSEG_EVAL_AGREEMENT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ibseg {
+
+/// Border-placement agreement across annotators at a character-offset
+/// tolerance (the paper's Table 2: +-10 / +-25 / +-40 characters).
+///
+/// Input: for one post, each annotator's border positions in character
+/// offsets. The computation:
+///  1. pool all borders and cluster them greedily — two borders belong to
+///     the same candidate border site when they are within `offset_chars`;
+///  2. each site becomes a rating item; each annotator votes "placed a
+///     border here" / "did not";
+///  3. aggregate items across posts into binary Fleiss' kappa and the
+///     observed agreement percentage — the mean, over sites, of the share
+///     of annotators in the majority ("how many annotators agreed over
+///     all", paper Sec. 9.1.1.A).
+struct AgreementResult {
+  double fleiss_kappa = 0.0;
+  double observed_percent = 0.0;  ///< majority share in [0, 100]
+  size_t num_items = 0;
+};
+
+/// Accumulates border votes so multiple posts contribute to one result.
+class BorderAgreementAccumulator {
+ public:
+  explicit BorderAgreementAccumulator(double offset_chars)
+      : offset_chars_(offset_chars) {}
+
+  /// Adds one post's annotations: annotator_borders[a] is annotator a's
+  /// border character offsets (any order).
+  void add_post(const std::vector<std::vector<double>>& annotator_borders);
+
+  AgreementResult result() const;
+
+ private:
+  double offset_chars_;
+  /// item -> {#yes, #no} counts.
+  std::vector<std::vector<int>> items_;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_EVAL_AGREEMENT_H_

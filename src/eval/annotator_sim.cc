@@ -1,0 +1,94 @@
+#include "eval/annotator_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace ibseg {
+
+HumanAnnotation simulate_annotation(const Document& doc,
+                                    const Segmentation& truth,
+                                    const std::vector<int>& true_labels,
+                                    int num_label_kinds,
+                                    const AnnotatorNoise& noise, Rng& rng,
+                                    double label_confusion) {
+  assert(truth.num_units == doc.num_units());
+  assert(true_labels.size() == truth.num_segments() ||
+         true_labels.empty());
+  size_t n = truth.num_units;
+  HumanAnnotation out;
+  out.segmentation.num_units = n;
+  if (n < 2) {
+    if (n == 1 && !true_labels.empty()) {
+      out.segment_labels.push_back(true_labels[0]);
+    }
+    return out;
+  }
+
+  std::set<size_t> true_borders(truth.borders.begin(), truth.borders.end());
+  std::set<size_t> borders;
+  for (size_t b : true_borders) {
+    if (rng.next_bool(noise.drop_prob)) continue;
+    size_t placed = b;
+    if (rng.next_bool(noise.shift_prob)) {
+      long delta = rng.next_bool(0.5) ? 1 : -1;
+      long cand = static_cast<long>(b) + delta;
+      if (cand >= 1 && cand < static_cast<long>(n)) {
+        placed = static_cast<size_t>(cand);
+      }
+    }
+    borders.insert(placed);
+  }
+  for (size_t g = 1; g < n; ++g) {
+    if (true_borders.count(g)) continue;
+    if (rng.next_bool(noise.insert_prob)) borders.insert(g);
+  }
+  out.segmentation.borders.assign(borders.begin(), borders.end());
+
+  // Reported character offsets with jitter, clamped into the text.
+  double text_len = static_cast<double>(doc.text().size());
+  for (size_t b : out.segmentation.borders) {
+    double pos = static_cast<double>(doc.border_char_offset(b)) +
+                 rng.next_gaussian(0.0, noise.char_jitter);
+    pos = std::clamp(pos, 0.0, text_len);
+    out.border_chars.push_back(pos);
+  }
+
+  // Labels: majority-overlap true label per annotated segment, confused
+  // with probability label_confusion.
+  if (!true_labels.empty() && num_label_kinds > 0) {
+    for (auto [b, e] : out.segmentation.segments()) {
+      // Count unit overlap with each true segment.
+      std::vector<size_t> overlap(true_labels.size(), 0);
+      for (size_t u = b; u < e; ++u) {
+        ++overlap[truth.segment_of_unit(u)];
+      }
+      size_t best =
+          std::max_element(overlap.begin(), overlap.end()) - overlap.begin();
+      int label = true_labels[best];
+      if (rng.next_bool(label_confusion)) {
+        label = static_cast<int>(
+            rng.next_below(static_cast<uint64_t>(num_label_kinds)));
+      }
+      out.segment_labels.push_back(label);
+    }
+  }
+  return out;
+}
+
+std::vector<HumanAnnotation> simulate_annotators(
+    const Document& doc, const Segmentation& truth,
+    const std::vector<int>& true_labels, int num_label_kinds, size_t count,
+    const AnnotatorNoise& noise, Rng& rng, double label_confusion) {
+  std::vector<HumanAnnotation> out;
+  out.reserve(count);
+  for (size_t a = 0; a < count; ++a) {
+    Rng child = rng.fork();
+    out.push_back(simulate_annotation(doc, truth, true_labels,
+                                      num_label_kinds, noise, child,
+                                      label_confusion));
+  }
+  return out;
+}
+
+}  // namespace ibseg

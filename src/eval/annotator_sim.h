@@ -1,0 +1,52 @@
+#ifndef IBSEG_EVAL_ANNOTATOR_SIM_H_
+#define IBSEG_EVAL_ANNOTATOR_SIM_H_
+
+#include <vector>
+
+#include "seg/document.h"
+#include "seg/segmentation.h"
+#include "util/rng.h"
+
+namespace ibseg {
+
+/// Noise model for a simulated human annotator (substitute for the paper's
+/// 30-participant user study; see DESIGN.md substitution table). Each
+/// annotator perturbs the generator's ground-truth borders: it may miss a
+/// border, shift one to a neighboring sentence, invent a spurious one, and
+/// it reports character positions with jitter (people click near, not at,
+/// the exact offset).
+struct AnnotatorNoise {
+  double drop_prob = 0.05;    ///< miss a true border
+  double shift_prob = 0.08;   ///< move a border one sentence left/right
+  double insert_prob = 0.015;  ///< spurious border per non-border gap
+  double char_jitter = 4.0;   ///< stddev of reported char offset noise
+};
+
+/// One simulated annotation of one post.
+struct HumanAnnotation {
+  Segmentation segmentation;          ///< sentence-unit borders
+  std::vector<double> border_chars;   ///< reported char offsets, one/border
+  std::vector<int> segment_labels;    ///< intention id per segment (noisy)
+};
+
+/// Produces one annotator's view of `truth` over `doc`. `true_labels` must
+/// hold one intention id per ground-truth segment; labels follow the
+/// segment that covers most of the annotated segment and are themselves
+/// confused with probability `label_confusion` (annotators pick synonyms /
+/// adjacent intentions).
+HumanAnnotation simulate_annotation(const Document& doc,
+                                    const Segmentation& truth,
+                                    const std::vector<int>& true_labels,
+                                    int num_label_kinds,
+                                    const AnnotatorNoise& noise, Rng& rng,
+                                    double label_confusion = 0.1);
+
+/// Convenience: `count` independent annotators over the same post.
+std::vector<HumanAnnotation> simulate_annotators(
+    const Document& doc, const Segmentation& truth,
+    const std::vector<int>& true_labels, int num_label_kinds, size_t count,
+    const AnnotatorNoise& noise, Rng& rng, double label_confusion = 0.1);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_EVAL_ANNOTATOR_SIM_H_

@@ -1,0 +1,90 @@
+#include "eval/boundary_similarity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <vector>
+
+namespace ibseg {
+
+BoundaryEditStats boundary_edit(const Segmentation& a, const Segmentation& b,
+                                size_t max_transposition_distance) {
+  assert(a.num_units == b.num_units);
+  BoundaryEditStats stats;
+
+  std::vector<size_t> only_a;
+  std::vector<size_t> only_b;
+  {
+    // Both border lists are sorted; classify exact matches in one sweep.
+    size_t i = 0;
+    size_t j = 0;
+    while (i < a.borders.size() && j < b.borders.size()) {
+      if (a.borders[i] == b.borders[j]) {
+        ++stats.matches;
+        ++i;
+        ++j;
+      } else if (a.borders[i] < b.borders[j]) {
+        only_a.push_back(a.borders[i++]);
+      } else {
+        only_b.push_back(b.borders[j++]);
+      }
+    }
+    while (i < a.borders.size()) only_a.push_back(a.borders[i++]);
+    while (j < b.borders.size()) only_b.push_back(b.borders[j++]);
+  }
+
+  // Greedy nearest-first pairing of the leftovers into transpositions.
+  // Candidate pairs within the distance cap, sorted by (distance,
+  // position) for determinism; each boundary used at most once.
+  struct Candidate {
+    size_t distance;
+    size_t ia;
+    size_t ib;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t ia = 0; ia < only_a.size(); ++ia) {
+    for (size_t ib = 0; ib < only_b.size(); ++ib) {
+      size_t d = only_a[ia] > only_b[ib] ? only_a[ia] - only_b[ib]
+                                         : only_b[ib] - only_a[ia];
+      if (d <= max_transposition_distance) {
+        candidates.push_back(Candidate{d, ia, ib});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              if (x.distance != y.distance) return x.distance < y.distance;
+              if (x.ia != y.ia) return x.ia < y.ia;
+              return x.ib < y.ib;
+            });
+  std::vector<bool> used_a(only_a.size(), false);
+  std::vector<bool> used_b(only_b.size(), false);
+  for (const Candidate& c : candidates) {
+    if (used_a[c.ia] || used_b[c.ib]) continue;
+    used_a[c.ia] = true;
+    used_b[c.ib] = true;
+    ++stats.transpositions;
+  }
+  for (bool u : used_a) {
+    if (!u) ++stats.additions;
+  }
+  for (bool u : used_b) {
+    if (!u) ++stats.additions;
+  }
+  return stats;
+}
+
+double boundary_similarity(const Segmentation& a, const Segmentation& b,
+                           size_t max_transposition_distance,
+                           double transposition_weight) {
+  BoundaryEditStats s = boundary_edit(a, b, max_transposition_distance);
+  double denom = static_cast<double>(s.matches + s.transpositions +
+                                     s.additions);
+  if (denom == 0.0) return 1.0;  // no boundaries anywhere: trivially equal
+  double penalty = static_cast<double>(s.additions) +
+                   transposition_weight *
+                       static_cast<double>(s.transpositions);
+  return 1.0 - penalty / denom;
+}
+
+}  // namespace ibseg

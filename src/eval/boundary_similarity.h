@@ -1,0 +1,37 @@
+#ifndef IBSEG_EVAL_BOUNDARY_SIMILARITY_H_
+#define IBSEG_EVAL_BOUNDARY_SIMILARITY_H_
+
+#include "seg/segmentation.h"
+
+namespace ibseg {
+
+/// Boundary-edit-distance based agreement (Fournier 2013, "Evaluating Text
+/// Segmentation using Boundary Edit Distance") — the third standard
+/// segmentation metric next to Pk and WindowDiff. Where WindowDiff slides
+/// windows, boundary similarity aligns the two boundary sets directly:
+///  * exact matches cost 0;
+///  * near misses within `max_transposition_distance` gaps count as
+///    transpositions with fractional cost;
+///  * unmatched boundaries are full errors (additions/deletions).
+struct BoundaryEditStats {
+  size_t matches = 0;
+  size_t transpositions = 0;
+  size_t additions = 0;  ///< boundaries only in one segmentation
+};
+
+/// Computes the boundary edit operations between two segmentations of the
+/// same unit count. Matching is greedy nearest-first and deterministic.
+BoundaryEditStats boundary_edit(const Segmentation& a, const Segmentation& b,
+                                size_t max_transposition_distance = 2);
+
+/// Boundary similarity in [0, 1]:
+///   B = 1 - (additions + w_t * transpositions) / (total edits + matches)
+/// with w_t the transposition weight (default 0.5). 1 iff identical
+/// boundary sets; 1 (vacuously) when both segmentations have no boundary.
+double boundary_similarity(const Segmentation& a, const Segmentation& b,
+                           size_t max_transposition_distance = 2,
+                           double transposition_weight = 0.5);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_EVAL_BOUNDARY_SIMILARITY_H_

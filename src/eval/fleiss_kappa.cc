@@ -1,0 +1,67 @@
+#include "eval/fleiss_kappa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace ibseg {
+namespace {
+
+// Per-item agreement: fraction of rater pairs that agree.
+double item_agreement(const std::vector<int>& counts, int raters) {
+  if (raters < 2) return 1.0;
+  double agree_pairs = 0.0;
+  for (int c : counts) agree_pairs += static_cast<double>(c) * (c - 1);
+  return agree_pairs / (static_cast<double>(raters) * (raters - 1));
+}
+
+}  // namespace
+
+double fleiss_kappa(const std::vector<std::vector<int>>& ratings) {
+  size_t num_items = 0;
+  size_t num_categories = 0;
+  for (const auto& item : ratings) {
+    num_categories = std::max(num_categories, item.size());
+  }
+  if (num_categories == 0) return 0.0;
+
+  double p_bar = 0.0;                             // mean observed agreement
+  std::vector<double> category_mass(num_categories, 0.0);
+  double total_ratings = 0.0;
+  for (const auto& item : ratings) {
+    int raters = 0;
+    for (int c : item) raters += c;
+    if (raters < 2) continue;
+    ++num_items;
+    p_bar += item_agreement(item, raters);
+    for (size_t c = 0; c < item.size(); ++c) {
+      category_mass[c] += static_cast<double>(item[c]);
+    }
+    total_ratings += raters;
+  }
+  if (num_items == 0 || total_ratings == 0.0) return 0.0;
+  p_bar /= static_cast<double>(num_items);
+
+  double p_e = 0.0;  // chance agreement
+  for (double mass : category_mass) {
+    double p = mass / total_ratings;
+    p_e += p * p;
+  }
+  if (p_e >= 1.0) return 1.0;
+  return (p_bar - p_e) / (1.0 - p_e);
+}
+
+double observed_agreement(const std::vector<std::vector<int>>& ratings) {
+  double sum = 0.0;
+  size_t items = 0;
+  for (const auto& item : ratings) {
+    int raters = 0;
+    for (int c : item) raters += c;
+    if (raters < 2) continue;
+    sum += item_agreement(item, raters);
+    ++items;
+  }
+  return items == 0 ? 0.0 : sum / static_cast<double>(items);
+}
+
+}  // namespace ibseg

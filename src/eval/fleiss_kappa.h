@@ -1,0 +1,22 @@
+#ifndef IBSEG_EVAL_FLEISS_KAPPA_H_
+#define IBSEG_EVAL_FLEISS_KAPPA_H_
+
+#include <vector>
+
+namespace ibseg {
+
+/// Fleiss' kappa for inter-rater agreement over categorical ratings.
+/// `ratings[i][c]` is the number of raters that assigned category c to item
+/// i; every item must have the same total number of raters. Returns values
+/// in [-1, 1]; 1 is perfect agreement, 0 chance-level. Items rated by
+/// fewer than 2 raters are skipped; returns 0 when nothing remains.
+double fleiss_kappa(const std::vector<std::vector<int>>& ratings);
+
+/// Observed agreement proportion (the mean over items of the fraction of
+/// agreeing rater pairs) — the "Agreement Percentage" column of the paper's
+/// Table 2.
+double observed_agreement(const std::vector<std::vector<int>>& ratings);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_EVAL_FLEISS_KAPPA_H_

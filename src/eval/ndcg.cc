@@ -1,0 +1,33 @@
+#include "eval/ndcg.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ibseg {
+
+double dcg(const std::vector<DocId>& ranked,
+           const std::function<int(DocId)>& grade) {
+  double total = 0.0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    int g = grade(ranked[i]);
+    if (g <= 0) continue;
+    total += (std::pow(2.0, g) - 1.0) / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return total;
+}
+
+double ndcg(const std::vector<DocId>& ranked,
+            const std::function<int(DocId)>& grade,
+            std::vector<int> ideal_grades) {
+  std::sort(ideal_grades.begin(), ideal_grades.end(), std::greater<int>());
+  double ideal = 0.0;
+  for (size_t i = 0; i < ideal_grades.size() && i < ranked.size(); ++i) {
+    if (ideal_grades[i] <= 0) break;
+    ideal += (std::pow(2.0, ideal_grades[i]) - 1.0) /
+             std::log2(static_cast<double>(i) + 2.0);
+  }
+  if (ideal <= 0.0) return 0.0;
+  return dcg(ranked, grade) / ideal;
+}
+
+}  // namespace ibseg

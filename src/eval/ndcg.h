@@ -1,0 +1,34 @@
+#ifndef IBSEG_EVAL_NDCG_H_
+#define IBSEG_EVAL_NDCG_H_
+
+#include <functional>
+#include <vector>
+
+#include "seg/document.h"
+
+namespace ibseg {
+
+/// Graded-relevance evaluation. The paper deliberately chooses binary
+/// judgments over graded ones ("we are interested in returning to the user
+/// only highly related posts", Sec. 9.2.1, citing Kekalainen 2005); this
+/// module provides the graded alternative so the choice can be studied:
+/// on the synthetic corpora a natural grade is
+///   2 = same scenario (same problem), 1 = same component (same hardware,
+///   different problem — the paper's Doc A/B pair), 0 = unrelated.
+
+/// Discounted cumulative gain of a ranked list under `grade` (standard
+/// log2 discount, gain = 2^grade - 1).
+double dcg(const std::vector<DocId>& ranked,
+           const std::function<int(DocId)>& grade);
+
+/// Normalized DCG: dcg / ideal-dcg, where the ideal ranking places the
+/// `ideal_grades` (the multiset of grades of ALL judged documents, any
+/// order) best-first, truncated to the ranked list's length. Returns 0
+/// when no judged document has a positive grade.
+double ndcg(const std::vector<DocId>& ranked,
+            const std::function<int(DocId)>& grade,
+            std::vector<int> ideal_grades);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_EVAL_NDCG_H_

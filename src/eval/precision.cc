@@ -1,0 +1,31 @@
+#include "eval/precision.h"
+
+namespace ibseg {
+
+double list_precision(const std::vector<DocId>& retrieved,
+                      const std::function<bool(DocId)>& is_relevant) {
+  if (retrieved.empty()) return 0.0;
+  size_t hits = 0;
+  for (DocId d : retrieved) {
+    if (is_relevant(d)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(retrieved.size());
+}
+
+PrecisionSummary summarize_precision(const std::vector<double>& per_query) {
+  PrecisionSummary s;
+  s.per_query = per_query;
+  if (per_query.empty()) return s;
+  double sum = 0.0;
+  size_t zeros = 0;
+  for (double p : per_query) {
+    sum += p;
+    if (p == 0.0) ++zeros;
+  }
+  s.mean = sum / static_cast<double>(per_query.size());
+  s.zero_fraction =
+      static_cast<double>(zeros) / static_cast<double>(per_query.size());
+  return s;
+}
+
+}  // namespace ibseg

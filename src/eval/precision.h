@@ -1,0 +1,32 @@
+#ifndef IBSEG_EVAL_PRECISION_H_
+#define IBSEG_EVAL_PRECISION_H_
+
+#include <functional>
+#include <vector>
+
+#include "seg/document.h"
+
+namespace ibseg {
+
+/// Precision of a retrieved list: |relevant ∩ retrieved| / |retrieved|.
+/// Returns 0 for an empty list (a query with no answers scores 0, matching
+/// the paper's "lists with no true positives" accounting for Fig. 10).
+double list_precision(const std::vector<DocId>& retrieved,
+                      const std::function<bool(DocId)>& is_relevant);
+
+/// Per-query precision values and their mean — "mean precision" as the
+/// paper reports it (Sec. 9.2.1: the mean of the precision values
+/// considering each post query separately).
+struct PrecisionSummary {
+  std::vector<double> per_query;
+  double mean = 0.0;
+  /// Fraction of queries with zero true positives (Fig. 10 / Sec. 9.2.2's
+  /// "lists with no true positives" reduction).
+  double zero_fraction = 0.0;
+};
+
+PrecisionSummary summarize_precision(const std::vector<double>& per_query);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_EVAL_PRECISION_H_

@@ -1,0 +1,90 @@
+#include "eval/window_diff.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ibseg {
+namespace {
+
+int default_window(const Segmentation& reference) {
+  size_t segs = reference.num_segments();
+  if (segs == 0) return 1;
+  double avg_len =
+      static_cast<double>(reference.num_units) / static_cast<double>(segs);
+  int w = static_cast<int>(std::lround(avg_len / 2.0));
+  return std::max(1, w);
+}
+
+// Number of borders in gap range [begin, end) (gap i separates units i and
+// i+1).
+int borders_in(const std::vector<int>& gaps, size_t begin, size_t end) {
+  int count = 0;
+  for (size_t i = begin; i < end && i < gaps.size(); ++i) count += gaps[i];
+  return count;
+}
+
+}  // namespace
+
+double window_diff(const Segmentation& reference,
+                   const Segmentation& hypothesis, int window) {
+  assert(reference.num_units == hypothesis.num_units);
+  size_t n = reference.num_units;
+  if (n < 2) return 0.0;
+  int w = window > 0 ? window : default_window(reference);
+  w = std::min<int>(w, static_cast<int>(n) - 1);
+  std::vector<int> ref_gaps = boundary_indicator(reference);
+  std::vector<int> hyp_gaps = boundary_indicator(hypothesis);
+
+  size_t positions = n - static_cast<size_t>(w);
+  size_t errors = 0;
+  for (size_t i = 0; i < positions; ++i) {
+    int r = borders_in(ref_gaps, i, i + static_cast<size_t>(w));
+    int h = borders_in(hyp_gaps, i, i + static_cast<size_t>(w));
+    if (r != h) ++errors;
+  }
+  return static_cast<double>(errors) / static_cast<double>(positions);
+}
+
+double pk_metric(const Segmentation& reference,
+                 const Segmentation& hypothesis, int window) {
+  assert(reference.num_units == hypothesis.num_units);
+  size_t n = reference.num_units;
+  if (n < 2) return 0.0;
+  int w = window > 0 ? window : default_window(reference);
+  w = std::min<int>(w, static_cast<int>(n) - 1);
+
+  size_t positions = n - static_cast<size_t>(w);
+  size_t errors = 0;
+  for (size_t i = 0; i < positions; ++i) {
+    bool ref_same = reference.segment_of_unit(i) ==
+                    reference.segment_of_unit(i + static_cast<size_t>(w));
+    bool hyp_same = hypothesis.segment_of_unit(i) ==
+                    hypothesis.segment_of_unit(i + static_cast<size_t>(w));
+    if (ref_same != hyp_same) ++errors;
+  }
+  return static_cast<double>(errors) / static_cast<double>(positions);
+}
+
+double mult_win_diff(const std::vector<Segmentation>& references,
+                     const Segmentation& hypothesis) {
+  if (references.empty()) return 0.0;
+  // Window: half the average reference segment length, across annotators.
+  double total_len = 0.0;
+  double total_segs = 0.0;
+  for (const Segmentation& r : references) {
+    total_len += static_cast<double>(r.num_units);
+    total_segs += static_cast<double>(r.num_segments());
+  }
+  int w = 1;
+  if (total_segs > 0.0) {
+    w = std::max(1, static_cast<int>(std::lround(total_len / total_segs / 2.0)));
+  }
+  double sum = 0.0;
+  for (const Segmentation& r : references) {
+    sum += window_diff(r, hypothesis, w);
+  }
+  return sum / static_cast<double>(references.size());
+}
+
+}  // namespace ibseg

@@ -1,0 +1,34 @@
+#ifndef IBSEG_EVAL_WINDOW_DIFF_H_
+#define IBSEG_EVAL_WINDOW_DIFF_H_
+
+#include <vector>
+
+#include "seg/segmentation.h"
+
+namespace ibseg {
+
+/// WindowDiff (Pevzner & Hearst 2002): slides a window of `window` units
+/// over the document and counts positions where the number of reference
+/// borders inside the window differs from the number of hypothesis borders.
+/// In [0, 1]; 0 iff the segmentations agree within every window.
+/// `window` <= 0 selects the standard half-mean-segment-length of the
+/// reference.
+double window_diff(const Segmentation& reference, const Segmentation& hypothesis,
+                   int window = 0);
+
+/// Pk (Beeferman et al. 1999): probability that two units `window` apart
+/// are classified differently (same/different segment) by reference and
+/// hypothesis. Reported for completeness alongside WindowDiff.
+double pk_metric(const Segmentation& reference, const Segmentation& hypothesis,
+                 int window = 0);
+
+/// multWinDiff (Kazantseva & Szpakowicz 2012, as used by the paper for all
+/// segmentation-quality comparisons): averages WindowDiff against each of
+/// several reference annotations, with the window set to half the average
+/// reference segment length across annotations.
+double mult_win_diff(const std::vector<Segmentation>& references,
+                     const Segmentation& hypothesis);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_EVAL_WINDOW_DIFF_H_

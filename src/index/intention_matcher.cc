@@ -1,0 +1,235 @@
+#include "index/intention_matcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+#include "util/vector_math.h"
+
+namespace ibseg {
+
+IntentionMatcher IntentionMatcher::build(const std::vector<Document>& docs,
+                                         const IntentionClustering& clustering,
+                                         Vocabulary& vocab,
+                                         const MatcherOptions& options) {
+  IntentionMatcher m;
+  m.options_ = options;
+  m.indices_.resize(static_cast<size_t>(clustering.num_clusters()));
+
+  std::map<DocId, size_t> doc_index;
+  for (size_t d = 0; d < docs.size(); ++d) doc_index[docs[d].id()] = d;
+
+  for (int c = 0; c < clustering.num_clusters(); ++c) {
+    ClusterIndex& ci = m.indices_[static_cast<size_t>(c)];
+    ci.index.min_norm_fraction = options.min_norm_fraction;
+    for (size_t seg_idx : clustering.cluster_members()[static_cast<size_t>(c)]) {
+      const RefinedSegment& seg = clustering.segments()[seg_idx];
+      const Document& doc = docs[doc_index[seg.doc]];
+      TermVector terms;
+      for (auto [b, e] : seg.ranges) {
+        size_t tok_b = doc.sentences()[b].token_begin;
+        size_t tok_e = doc.sentences()[e - 1].token_end;
+        terms.merge(build_term_vector(doc.tokens(), tok_b, tok_e, vocab));
+      }
+      uint32_t unit = ci.index.add_unit(terms);
+      ci.unit_doc.push_back(seg.doc);
+      ci.unit_terms.push_back(std::move(terms));
+      m.doc_units_[seg.doc].emplace_back(c, unit);
+      ++m.total_segments_;
+    }
+    ci.index.finalize();
+  }
+  return m;
+}
+
+std::vector<IntentionMatcher::MatchExplanation> IntentionMatcher::explain(
+    DocId query, DocId candidate, int k) const {
+  std::vector<MatchExplanation> out;
+  auto it = doc_units_.find(query);
+  if (it == doc_units_.end() || k <= 0) return out;
+  int n = options_.top_n_factor * k;
+  for (auto [cluster, unit] : it->second) {
+    (void)unit;
+    auto list = match_single_intention(cluster, query, n);
+    for (size_t rank = 0; rank < list.size(); ++rank) {
+      if (list[rank].doc != candidate) continue;
+      MatchExplanation e;
+      e.cluster = cluster;
+      e.score = list[rank].score;
+      e.rank = static_cast<int>(rank) + 1;
+      out.push_back(e);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<ScoredDoc> IntentionMatcher::find_related_external(
+    const Document& doc, const Segmentation& segmentation,
+    const std::vector<std::vector<double>>& centroids, Vocabulary& vocab,
+    int k, const FeatureVectorOptions& features) const {
+  std::vector<ScoredDoc> out;
+  if (k <= 0 || indices_.empty()) return out;
+
+  // Nearest-centroid assignment + refinement, mirroring add_document.
+  std::map<int, TermVector> per_cluster_terms;
+  for (auto [b, e] : segmentation.segments()) {
+    if (b == e) continue;
+    std::vector<double> f = segment_feature_vector(doc, b, e, features);
+    int best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < centroids.size() && c < indices_.size(); ++c) {
+      double d = euclidean_distance(f, centroids[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(c);
+      }
+    }
+    size_t tok_b = doc.sentences()[b].token_begin;
+    size_t tok_e = doc.sentences()[e - 1].token_end;
+    per_cluster_terms[best].merge(
+        build_term_vector(doc.tokens(), tok_b, tok_e, vocab));
+  }
+
+  int n = options_.top_n_factor * k;
+  std::unordered_map<DocId, double> merged;
+  for (const auto& [cluster, terms] : per_cluster_terms) {
+    if (terms.empty()) continue;
+    const ClusterIndex& ci = indices_[static_cast<size_t>(cluster)];
+    double weight =
+        static_cast<size_t>(cluster) < options_.cluster_weights.size()
+            ? options_.cluster_weights[static_cast<size_t>(cluster)]
+            : 1.0;
+    if (weight <= 0.0) continue;
+    std::vector<ScoredUnit> hits =
+        score_units(ci.index, terms, options_.scoring);
+    keep_top_n(hits, static_cast<size_t>(n));
+    for (const ScoredUnit& h : hits) {
+      merged[ci.unit_doc[h.unit]] += weight * h.score;
+    }
+  }
+  out.reserve(merged.size());
+  for (const auto& [d, score] : merged) out.push_back(ScoredDoc{d, score});
+  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  if (out.size() > static_cast<size_t>(k)) out.resize(static_cast<size_t>(k));
+  return out;
+}
+
+void IntentionMatcher::add_document(
+    const Document& doc, const Segmentation& segmentation,
+    const std::vector<std::vector<double>>& centroids, Vocabulary& vocab,
+    const FeatureVectorOptions& features) {
+  assert(doc_units_.find(doc.id()) == doc_units_.end());
+  assert(!indices_.empty());
+  // Assign each raw segment to the nearest centroid, merging same-cluster
+  // segments (refinement).
+  std::map<int, TermVector> per_cluster_terms;
+  for (auto [b, e] : segmentation.segments()) {
+    if (b == e) continue;
+    std::vector<double> f = segment_feature_vector(doc, b, e, features);
+    int best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < centroids.size() && c < indices_.size(); ++c) {
+      double d = euclidean_distance(f, centroids[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(c);
+      }
+    }
+    size_t tok_b = doc.sentences()[b].token_begin;
+    size_t tok_e = doc.sentences()[e - 1].token_end;
+    per_cluster_terms[best].merge(
+        build_term_vector(doc.tokens(), tok_b, tok_e, vocab));
+  }
+  for (auto& [cluster, terms] : per_cluster_terms) {
+    ClusterIndex& ci = indices_[static_cast<size_t>(cluster)];
+    uint32_t unit = ci.index.add_unit(terms);
+    ci.index.finalize();
+    ci.unit_doc.push_back(doc.id());
+    ci.unit_terms.push_back(std::move(terms));
+    doc_units_[doc.id()].emplace_back(cluster, unit);
+    ++total_segments_;
+  }
+}
+
+std::vector<ScoredDoc> IntentionMatcher::match_single_intention(
+    int cluster, DocId query, int n) const {
+  std::vector<ScoredDoc> out;
+  if (cluster < 0 || cluster >= num_clusters() || n <= 0) return out;
+  const ClusterIndex& ci = indices_[static_cast<size_t>(cluster)];
+
+  // Locate the query's segment in this cluster (after refinement there is
+  // at most one; Sec. 7 footnote 1).
+  auto it = doc_units_.find(query);
+  if (it == doc_units_.end()) return out;
+  const TermVector* query_terms = nullptr;
+  for (auto [c, unit] : it->second) {
+    if (c == cluster) {
+      query_terms = &ci.unit_terms[unit];
+      break;
+    }
+  }
+  if (query_terms == nullptr || query_terms->empty()) return out;
+
+  std::vector<ScoredUnit> hits =
+      score_units(ci.index, *query_terms, options_.scoring);
+  // Exclude the query document's own segment(s).
+  hits.erase(std::remove_if(hits.begin(), hits.end(),
+                            [&](const ScoredUnit& h) {
+                              return ci.unit_doc[h.unit] == query;
+                            }),
+             hits.end());
+  if (options_.score_threshold > 0.0) {
+    hits.erase(std::remove_if(hits.begin(), hits.end(),
+                              [&](const ScoredUnit& h) {
+                                return h.score < options_.score_threshold;
+                              }),
+               hits.end());
+    keep_top_n(hits, hits.size());  // sort only
+  } else {
+    keep_top_n(hits, static_cast<size_t>(n));
+  }
+  out.reserve(hits.size());
+  for (const ScoredUnit& h : hits) {
+    out.push_back(ScoredDoc{ci.unit_doc[h.unit], h.score});
+  }
+  return out;
+}
+
+std::vector<ScoredDoc> IntentionMatcher::find_related(DocId query,
+                                                      int k) const {
+  std::vector<ScoredDoc> out;
+  if (k <= 0) return out;
+  auto it = doc_units_.find(query);
+  if (it == doc_units_.end()) return out;
+
+  int n = options_.top_n_factor * k;
+  // Algorithm 2: sum the (optionally weighted) per-intention scores of
+  // every doc appearing in at least one per-intention list.
+  std::unordered_map<DocId, double> merged;
+  for (auto [cluster, unit] : it->second) {
+    (void)unit;
+    double weight =
+        static_cast<size_t>(cluster) < options_.cluster_weights.size()
+            ? options_.cluster_weights[static_cast<size_t>(cluster)]
+            : 1.0;
+    if (weight <= 0.0) continue;
+    for (const ScoredDoc& sd : match_single_intention(cluster, query, n)) {
+      merged[sd.doc] += weight * sd.score;
+    }
+  }
+  out.reserve(merged.size());
+  for (const auto& [doc, score] : merged) out.push_back(ScoredDoc{doc, score});
+  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  if (out.size() > static_cast<size_t>(k)) out.resize(static_cast<size_t>(k));
+  return out;
+}
+
+}  // namespace ibseg

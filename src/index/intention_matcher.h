@@ -1,0 +1,129 @@
+#ifndef IBSEG_INDEX_INTENTION_MATCHER_H_
+#define IBSEG_INDEX_INTENTION_MATCHER_H_
+
+#include <map>
+#include <vector>
+
+#include "cluster/intention_clusters.h"
+#include "index/inverted_index.h"
+#include "index/scoring.h"
+#include "seg/document.h"
+#include "text/vocabulary.h"
+
+namespace ibseg {
+
+/// A retrieval result: a document and its (summed) matching score.
+struct ScoredDoc {
+  DocId doc = 0;
+  double score = 0.0;
+};
+
+/// Options for the intention-based matcher.
+struct MatcherOptions {
+  /// Per-intention list length n as a multiple of k (the paper empirically
+  /// selects n = 2k, Sec. 7).
+  int top_n_factor = 2;
+  /// Optional per-cluster weights for Algorithm 2's score sum ("in an
+  /// application scenario where some clusters are more important than the
+  /// others, different weights can be considered", Sec. 7). Indexed by
+  /// cluster id; missing entries default to 1. Empty = uniform.
+  std::vector<double> cluster_weights;
+  /// Alternative list-selection rule: when > 0, a per-intention list keeps
+  /// every segment scoring at least this value instead of the top-n (the
+  /// Fagin-style threshold variant the paper mentions — and rejects for
+  /// fairness across intentions; provided for the ablation bench).
+  double score_threshold = 0.0;
+  /// Passed to each per-cluster index (see InvertedIndex::min_norm_fraction).
+  double min_norm_fraction = 1.0;
+  /// The segment-comparison function (paper Eq. 9 by default; BM25 and a
+  /// query-likelihood language model are selectable, per the paper's
+  /// "any text comparison may be employed", Sec. 7).
+  ScoringOptions scoring;
+};
+
+/// The paper's online matching machinery (Sec. 7): one full-text inverted
+/// index per intention cluster, Eq. 8 term weighting (weights computed
+/// within the segment's cluster), Eq. 9 per-intention relatedness,
+/// Algorithm 1 (single-intention top-n) and Algorithm 2 (all-intentions
+/// top-k by score summation).
+class IntentionMatcher {
+ public:
+  /// Builds the per-cluster indices over the refined segments of
+  /// `clustering`. `docs` must be the corpus the clustering was built from;
+  /// `vocab` is the corpus-shared vocabulary (terms are stemmed and
+  /// stopword-filtered exactly as at segmentation time).
+  static IntentionMatcher build(const std::vector<Document>& docs,
+                                const IntentionClustering& clustering,
+                                Vocabulary& vocab,
+                                const MatcherOptions& options = {});
+
+  /// Algorithm 2: the top-k documents related to reference document
+  /// `query`. The query document itself is excluded from the result.
+  std::vector<ScoredDoc> find_related(DocId query, int k) const;
+
+  /// Algorithm 1: the top-n documents related to `query` considering only
+  /// intention cluster `cluster` (empty when the query has no segment
+  /// there).
+  std::vector<ScoredDoc> match_single_intention(int cluster, DocId query,
+                                                int n) const;
+
+  /// Per-intention contribution of a (query, candidate) pair: why the
+  /// matcher considers them related. One entry per cluster where the query
+  /// has a segment and the candidate scored, with the candidate's score
+  /// and 1-based rank in that cluster's list (the paper's Fig. 4/5 story:
+  /// which intention the match comes from).
+  struct MatchExplanation {
+    int cluster = 0;
+    double score = 0.0;
+    int rank = 0;
+  };
+  std::vector<MatchExplanation> explain(DocId query, DocId candidate,
+                                        int k) const;
+
+  /// Ad-hoc query: the top-k related posts for a post that is NOT part of
+  /// the corpus (the paper assumes d_q in D; downstream users rarely can).
+  /// Segments are assigned to the nearest intention centroid exactly as in
+  /// add_document, but nothing is ingested. `vocab` must be the matcher's
+  /// build vocabulary (new terms are interned but unmatched by definition).
+  std::vector<ScoredDoc> find_related_external(
+      const Document& doc, const Segmentation& segmentation,
+      const std::vector<std::vector<double>>& centroids, Vocabulary& vocab,
+      int k, const FeatureVectorOptions& features = {}) const;
+
+  /// Online ingestion: adds a new post after the offline build. Its
+  /// segments are assigned to the nearest intention centroid (the paper
+  /// re-clusters offline periodically and finds intentions stable over
+  /// time, Sec. 9.2, so nearest-centroid assignment between re-clusterings
+  /// is sound); same-cluster segments are concatenated (refinement) and the
+  /// touched cluster indices re-finalized. `doc.id()` must be new.
+  /// `centroids` are the offline clustering's centroids; `features`
+  /// must match the options the clustering was built with.
+  void add_document(const Document& doc, const Segmentation& segmentation,
+                    const std::vector<std::vector<double>>& centroids,
+                    Vocabulary& vocab,
+                    const FeatureVectorOptions& features = {});
+
+  int num_clusters() const { return static_cast<int>(indices_.size()); }
+
+  /// Total number of indexed segments (diagnostics).
+  size_t num_segments() const { return total_segments_; }
+
+ private:
+  struct ClusterIndex {
+    InvertedIndex index;
+    /// unit id in `index` -> owning document.
+    std::vector<DocId> unit_doc;
+    /// unit id -> the segment's term bag (needed when the unit is a query).
+    std::vector<TermVector> unit_terms;
+  };
+
+  std::vector<ClusterIndex> indices_;
+  /// doc -> (cluster, unit-in-cluster) pairs.
+  std::map<DocId, std::vector<std::pair<int, uint32_t>>> doc_units_;
+  MatcherOptions options_;
+  size_t total_segments_ = 0;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_INDEX_INTENTION_MATCHER_H_

@@ -1,0 +1,104 @@
+#ifndef IBSEG_INDEX_INVERTED_INDEX_H_
+#define IBSEG_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/term_vector.h"
+#include "text/vocabulary.h"
+
+namespace ibseg {
+
+/// A posting: a unit (segment or whole document, depending on which matcher
+/// owns the index) and the term frequency within it.
+struct Posting {
+  uint32_t unit = 0;
+  double tf = 0.0;
+};
+
+/// Full-text inverted index over "units". The intention matcher builds one
+/// per intention cluster (|C| indices, Sec. 7 "Indexing"); the FullText
+/// baseline builds a single one over whole posts.
+///
+/// Also maintains the per-unit statistics needed by the MySQL-5.5-style
+/// weighting of Eqs. 7/8: the sum of (log tf + 1) over the unit's terms and
+/// the pivoted unique-term-count normalization NU.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Adds a unit. Unit ids are assigned densely in insertion order and
+  /// returned. Call finalize() before querying; adding after finalize() is
+  /// allowed (online ingestion) but requires re-finalizing.
+  uint32_t add_unit(const TermVector& terms);
+
+  /// Computes the collection-dependent normalizations. Idempotent until
+  /// the next add_unit.
+  void finalize();
+
+  /// Postings for `term` (empty when absent). Requires finalize().
+  const std::vector<Posting>& postings(TermId term) const;
+
+  /// Number of units containing `term` (document frequency).
+  size_t df(TermId term) const;
+
+  size_t num_units() const { return unit_norms_.size(); }
+
+  /// Average number of unique terms per unit (the pivot of NU, Eq. 7/8).
+  double avg_unique_terms() const { return avg_unique_terms_; }
+
+  /// Eq. 7/8 denominator for `unit`:
+  ///   sum_{t' in unit} (log tf(t') + 1) * NU(unit)
+  /// where NU(unit) = (1 - b) + b * unique(unit) / avg_unique and b = 0.75
+  /// (the BM25-style pivot; penalizes units with more unique terms than the
+  /// collection average, as the paper describes).
+  double unit_norm(uint32_t unit) const { return unit_norms_[unit]; }
+
+  /// Eq. 7/8 numerator-complete weight of `term` in `unit`:
+  ///   (log tf + 1) / unit_norm(unit); 0 when the term is absent.
+  double weight(TermId term, uint32_t unit) const;
+
+  /// Total term-occurrence mass of `unit` (sum of tf) — the |d| of BM25
+  /// and language-model scoring.
+  double unit_length(uint32_t unit) const { return stats_[unit].length; }
+
+  /// Average unit length across the collection. Requires finalize().
+  double avg_unit_length() const { return avg_length_; }
+
+  /// Collection frequency of `term` (total tf across units).
+  double collection_tf(TermId term) const;
+
+  /// Total term-occurrence mass of the collection.
+  double collection_length() const { return collection_length_; }
+
+  /// Pivot slope b of NU.
+  static constexpr double kPivotSlope = 0.75;
+
+  /// Floor applied to unit norms, as a fraction of the collection-average
+  /// norm. Eq. 7/8 divide by a per-unit sum that gets tiny for very short
+  /// units, which would let a one-term overlap with a three-term segment
+  /// outscore multi-term matches against substantial segments; the floor
+  /// keeps short-unit weights bounded. Set before finalize().
+  double min_norm_fraction = 1.0;
+
+ private:
+  struct UnitStats {
+    double log_tf_sum = 0.0;  // sum of (log tf + 1)
+    double length = 0.0;      // sum of tf
+    size_t unique_terms = 0;
+  };
+
+  std::unordered_map<TermId, std::vector<Posting>> postings_;
+  std::unordered_map<TermId, double> collection_tf_;
+  std::vector<UnitStats> stats_;
+  std::vector<double> unit_norms_;
+  double avg_unique_terms_ = 0.0;
+  double avg_length_ = 0.0;
+  double collection_length_ = 0.0;
+  bool finalized_ = false;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,123 @@
+#include "index/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace ibseg {
+
+double probabilistic_idf(size_t collection_size, size_t df) {
+  if (df == 0 || collection_size == 0) return 0.0;
+  double n = static_cast<double>(collection_size);
+  double d = static_cast<double>(df);
+  double value = std::log((n - d + 0.5)) / (d + 0.5);
+  return value > 0.0 ? value : 0.0;
+}
+
+namespace {
+
+// The paper's Eq. 9 (default).
+void accumulate_paper_tfidf(const InvertedIndex& index,
+                            const TermVector& query,
+                            std::unordered_map<uint32_t, double>* acc) {
+  for (const auto& [term, f_q] : query.entries()) {
+    if (f_q <= 0.0) continue;
+    const std::vector<Posting>& plist = index.postings(term);
+    if (plist.empty()) continue;
+    double pidf = probabilistic_idf(index.num_units(), plist.size());
+    if (pidf <= 0.0) continue;
+    for (const Posting& p : plist) {
+      double w = (std::log(p.tf) + 1.0) / index.unit_norm(p.unit);
+      (*acc)[p.unit] += f_q * w * pidf;
+    }
+  }
+}
+
+// Okapi BM25 with the standard +1-smoothed RSJ idf.
+void accumulate_bm25(const InvertedIndex& index, const TermVector& query,
+                     const ScoringOptions& options,
+                     std::unordered_map<uint32_t, double>* acc) {
+  const double k1 = options.bm25_k1;
+  const double b = options.bm25_b;
+  const double n = static_cast<double>(index.num_units());
+  const double avg_len = std::max(index.avg_unit_length(), 1e-9);
+  for (const auto& [term, f_q] : query.entries()) {
+    if (f_q <= 0.0) continue;
+    const std::vector<Posting>& plist = index.postings(term);
+    if (plist.empty()) continue;
+    double df = static_cast<double>(plist.size());
+    double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    for (const Posting& p : plist) {
+      double len = index.unit_length(p.unit);
+      double tf_component =
+          (p.tf * (k1 + 1.0)) /
+          (p.tf + k1 * (1.0 - b + b * len / avg_len));
+      (*acc)[p.unit] += f_q * idf * tf_component;
+    }
+  }
+}
+
+// Query-likelihood with Jelinek-Mercer smoothing, in the rank-equivalent
+// sparse form (zero contribution for units lacking the term).
+void accumulate_query_likelihood(const InvertedIndex& index,
+                                 const TermVector& query,
+                                 const ScoringOptions& options,
+                                 std::unordered_map<uint32_t, double>* acc) {
+  const double lambda = std::clamp(options.lm_lambda, 1e-6, 1.0 - 1e-6);
+  const double collection_len = std::max(index.collection_length(), 1e-9);
+  for (const auto& [term, f_q] : query.entries()) {
+    if (f_q <= 0.0) continue;
+    const std::vector<Posting>& plist = index.postings(term);
+    if (plist.empty()) continue;
+    double p_collection = index.collection_tf(term) / collection_len;
+    if (p_collection <= 0.0) continue;
+    for (const Posting& p : plist) {
+      double len = std::max(index.unit_length(p.unit), 1e-9);
+      double p_unit = p.tf / len;
+      (*acc)[p.unit] +=
+          f_q * std::log(1.0 + ((1.0 - lambda) * p_unit) /
+                                   (lambda * p_collection));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ScoredUnit> score_units(const InvertedIndex& index,
+                                    const TermVector& query,
+                                    const ScoringOptions& options) {
+  std::unordered_map<uint32_t, double> acc;
+  switch (options.function) {
+    case ScoringFunction::kPaperTfIdf:
+      accumulate_paper_tfidf(index, query, &acc);
+      break;
+    case ScoringFunction::kBm25:
+      accumulate_bm25(index, query, options, &acc);
+      break;
+    case ScoringFunction::kQueryLikelihood:
+      accumulate_query_likelihood(index, query, options, &acc);
+      break;
+  }
+  std::vector<ScoredUnit> hits;
+  hits.reserve(acc.size());
+  for (const auto& [unit, score] : acc) {
+    if (score > 0.0) hits.push_back(ScoredUnit{unit, score});
+  }
+  return hits;
+}
+
+void keep_top_n(std::vector<ScoredUnit>& hits, size_t n) {
+  auto cmp = [](const ScoredUnit& a, const ScoredUnit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.unit < b.unit;
+  };
+  if (hits.size() > n) {
+    std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(n),
+                      hits.end(), cmp);
+    hits.resize(n);
+  } else {
+    std::sort(hits.begin(), hits.end(), cmp);
+  }
+}
+
+}  // namespace ibseg

@@ -1,0 +1,63 @@
+#ifndef IBSEG_INDEX_SCORING_H_
+#define IBSEG_INDEX_SCORING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "text/term_vector.h"
+
+namespace ibseg {
+
+/// A retrieval hit: a unit of an InvertedIndex and its relatedness score.
+struct ScoredUnit {
+  uint32_t unit = 0;
+  double score = 0.0;
+};
+
+/// The probabilistic inverse document frequency of Eq. 9, adjusted for a
+/// collection of `collection_size` units of which `df` contain the term:
+///   log(|I| - |I^t|) / |I^t|   (as printed in the paper)
+/// with 0.5 smoothing on both occurrences of |I^t| and a floor at 0 so that
+/// a term contained in (almost) every unit contributes nothing rather than
+/// a NaN or a negative score. See DESIGN.md "Known formula notes".
+double probabilistic_idf(size_t collection_size, size_t df);
+
+/// Selectable text-comparison function. The paper builds its own Eq. 7-9
+/// variant but explicitly allows "one of the many TF/IDF or BM25 variants
+/// or language-model based methods" as the segment comparator (Sec. 1/7);
+/// all three families are provided.
+enum class ScoringFunction {
+  kPaperTfIdf,  ///< Eq. 8 weights x Eq. 9 probabilistic IDF (default)
+  kBm25,        ///< Okapi BM25 (Robertson et al.)
+  kQueryLikelihood,  ///< Jelinek-Mercer smoothed query-likelihood LM
+};
+
+struct ScoringOptions {
+  ScoringFunction function = ScoringFunction::kPaperTfIdf;
+  double bm25_k1 = 1.2;
+  double bm25_b = 0.75;
+  /// Jelinek-Mercer interpolation weight of the collection model.
+  double lm_lambda = 0.7;
+};
+
+/// Scores every unit of `index` against the query bag `query`.
+/// Default (kPaperTfIdf): the paper's Eq. 9,
+///   scr(q, u) = sum_t f_q(t) * w(t, u) * pidf(t)
+/// with w the Eq. 7/8 weight stored in the index. kBm25 and
+/// kQueryLikelihood evaluate the corresponding classic functions (the LM
+/// uses the rank-equivalent sparse form
+///   sum_t f_q(t) * log(1 + ((1-l)*tf/len) / (l*ctf/C))
+/// so non-matching units keep score 0). Returns the units with positive
+/// score, unordered. Term-at-a-time evaluation over the postings lists.
+std::vector<ScoredUnit> score_units(const InvertedIndex& index,
+                                    const TermVector& query,
+                                    const ScoringOptions& options = {});
+
+/// Sorts hits by descending score (ties by ascending unit id for
+/// determinism) and truncates to `n`.
+void keep_top_n(std::vector<ScoredUnit>& hits, size_t n);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_INDEX_SCORING_H_

@@ -1,0 +1,35 @@
+#ifndef IBSEG_NLP_CM_ANNOTATOR_H_
+#define IBSEG_NLP_CM_ANNOTATOR_H_
+
+#include <vector>
+
+#include "nlp/cm_profile.h"
+#include "nlp/pos_tag.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace ibseg {
+
+/// Extracts one CmProfile per sentence from a tagged token stream. This is
+/// the "CM annotation" step whose cost the paper includes in its
+/// segmentation timings (Sec. 9.2.4).
+///
+/// Feature sources:
+///  * CM_tense / CM_pasact: verb groups (see find_verb_groups);
+///  * CM_subj: pronoun token counts by person;
+///  * CM_qneg: sentence style — interrogative when the sentence ends with
+///    '?' or opens with a wh-word or aux/modal inversion; negative when a
+///    negation token occurs outside an interrogative frame; affirmative
+///    otherwise (one count per sentence, plus one per extra negation);
+///  * CM_pos: main-verb / noun / adjective+adverb token counts.
+std::vector<CmProfile> annotate_sentences(const std::vector<Token>& tokens,
+                                          const std::vector<Pos>& tags,
+                                          const std::vector<Sentence>& sentences);
+
+/// Convenience overload: tokenizes nothing, tags internally.
+std::vector<CmProfile> annotate_sentences(const std::vector<Token>& tokens,
+                                          const std::vector<Sentence>& sentences);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_NLP_CM_ANNOTATOR_H_

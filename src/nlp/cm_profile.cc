@@ -1,0 +1,70 @@
+#include "nlp/cm_profile.h"
+
+namespace ibseg {
+
+const char* cm_name(CmKind cm) {
+  switch (cm) {
+    case CmKind::kTense: return "Tense";
+    case CmKind::kSubject: return "Subject";
+    case CmKind::kStyle: return "Style";
+    case CmKind::kVoice: return "Status";
+    case CmKind::kPos: return "PartOfSpeech";
+  }
+  return "?";
+}
+
+const char* cm_value_name(CmKind cm, int value) {
+  switch (cm) {
+    case CmKind::kTense:
+      switch (value) {
+        case 0: return "present";
+        case 1: return "past";
+        case 2: return "future";
+      }
+      break;
+    case CmKind::kSubject:
+      switch (value) {
+        case 0: return "I/we";
+        case 1: return "you";
+        case 2: return "it/they/(s)he";
+      }
+      break;
+    case CmKind::kStyle:
+      switch (value) {
+        case 0: return "interrog.";
+        case 1: return "negative";
+        case 2: return "affirmative";
+      }
+      break;
+    case CmKind::kVoice:
+      switch (value) {
+        case 0: return "passive";
+        case 1: return "active";
+      }
+      break;
+    case CmKind::kPos:
+      switch (value) {
+        case 0: return "verb";
+        case 1: return "noun";
+        case 2: return "adj./adverb";
+      }
+      break;
+  }
+  return "?";
+}
+
+double CmProfile::cm_total(CmKind cm) const {
+  double s = 0.0;
+  for (int v = 0; v < kCmArity[static_cast<int>(cm)]; ++v) {
+    s += count(cm, v);
+  }
+  return s;
+}
+
+double CmProfile::total() const {
+  double s = 0.0;
+  for (double c : counts) s += c;
+  return s;
+}
+
+}  // namespace ibseg

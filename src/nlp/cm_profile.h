@@ -1,0 +1,65 @@
+#ifndef IBSEG_NLP_CM_PROFILE_H_
+#define IBSEG_NLP_CM_PROFILE_H_
+
+#include <array>
+#include <cstddef>
+
+namespace ibseg {
+
+/// The five communication means of paper Table 1. Each CM is a categorical
+/// variable; its values are the *features*.
+enum class CmKind : int {
+  kTense = 0,    // present | past | future
+  kSubject = 1,  // I/we | you | it/they/(s)he
+  kStyle = 2,    // interrogative | negative | affirmative   (CM_qneg)
+  kVoice = 3,    // passive | active                         (CM_pasact)
+  kPos = 4,      // verb | noun | adjective/adverb           (CM_pos)
+};
+
+/// Number of communication means.
+inline constexpr int kNumCms = 5;
+
+/// Arity (number of categorical values) of each CM, in CmKind order.
+inline constexpr std::array<int, kNumCms> kCmArity = {3, 3, 3, 2, 3};
+
+/// Total number of CM features (sum of arities) = 14; the paper's segment
+/// feature vector is 2 * kNumCmFeatures = 28 elements (Sec. 6).
+inline constexpr int kNumCmFeatures = 14;
+
+/// Flat feature index of value `value` of communication mean `cm`.
+constexpr int cm_feature_index(CmKind cm, int value) {
+  int offset = 0;
+  for (int c = 0; c < static_cast<int>(cm); ++c) offset += kCmArity[c];
+  return offset + value;
+}
+
+/// Name of a CM ("Tense", "Subject", ...).
+const char* cm_name(CmKind cm);
+
+/// Name of a CM value ("present", "I/we", "interrog.", ...).
+const char* cm_value_name(CmKind cm, int value);
+
+/// Per-text-unit counts of CM feature occurrences: the raw material for the
+/// distribution tables DSb_CM of Sec. 5.2 and the weight vectors of Sec. 6.
+struct CmProfile {
+  std::array<double, kNumCmFeatures> counts{};
+
+  double count(CmKind cm, int value) const {
+    return counts[cm_feature_index(cm, value)];
+  }
+  void add(CmKind cm, int value, double amount = 1.0) {
+    counts[cm_feature_index(cm, value)] += amount;
+  }
+  /// Element-wise accumulation.
+  void merge(const CmProfile& other) {
+    for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  }
+  /// Sum over the values of one CM (the "All" of Eq. 1).
+  double cm_total(CmKind cm) const;
+  /// Sum of all feature counts.
+  double total() const;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_NLP_CM_PROFILE_H_

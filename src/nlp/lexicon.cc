@@ -1,0 +1,227 @@
+#include "nlp/lexicon.h"
+
+#include <initializer_list>
+
+namespace ibseg {
+namespace {
+
+void insert_all(std::unordered_map<std::string, Pos>& map, Pos tag,
+                std::initializer_list<const char*> words) {
+  for (const char* w : words) map.emplace(w, tag);
+}
+
+}  // namespace
+
+Lexicon::Lexicon() {
+  // --- Closed classes -------------------------------------------------
+  insert_all(closed_, Pos::kPronoun1,
+             {"i", "we", "me", "us", "my", "our", "mine", "ours", "myself",
+              "ourselves"});
+  insert_all(closed_, Pos::kPronoun2,
+             {"you", "your", "yours", "yourself", "yourselves"});
+  insert_all(closed_, Pos::kPronoun3,
+             {"he", "she", "it", "they", "him", "her", "them", "his", "its",
+              "their", "theirs", "hers", "himself", "herself", "itself",
+              "themselves", "someone", "somebody", "anyone", "anybody",
+              "everyone", "everybody", "something", "anything", "everything",
+              "one"});
+  insert_all(closed_, Pos::kAuxBe,
+             {"am", "is", "are", "was", "were", "be", "been", "being", "'m",
+              "'re"});
+  insert_all(closed_, Pos::kAuxHave, {"have", "has", "had", "having", "'ve"});
+  insert_all(closed_, Pos::kAuxDo, {"do", "does", "did"});
+  insert_all(closed_, Pos::kModal,
+             {"will", "would", "shall", "should", "can", "could", "may",
+              "might", "must", "'ll", "'d", "cannot"});
+  insert_all(closed_, Pos::kWhWord,
+             {"what", "which", "who", "whom", "whose", "where", "when", "why",
+              "how", "whether"});
+  insert_all(closed_, Pos::kNegation,
+             {"not", "n't", "never", "no", "none", "nothing", "nobody",
+              "neither", "nor"});
+  insert_all(closed_, Pos::kDeterminer,
+             {"a", "an", "the", "this", "that", "these", "those", "some",
+              "any", "each", "every", "all", "both", "another", "such"});
+  insert_all(closed_, Pos::kPreposition,
+             {"of", "in", "for", "with", "on", "at", "by", "from", "about",
+              "as", "into", "like", "through", "after", "over", "between",
+              "out", "against", "during", "without", "before", "under",
+              "around", "among", "within", "across", "behind", "beyond",
+              "near", "since", "despite", "onto", "upon", "via", "per",
+              "off", "up", "down", "inside", "outside"});
+  insert_all(closed_, Pos::kConjunction,
+             {"and", "but", "or", "so", "because", "although", "though",
+              "while", "if", "unless", "whereas", "until", "once", "than"});
+  closed_.emplace("to", Pos::kTo);
+  insert_all(closed_, Pos::kAdverb,
+             {"very", "too", "also", "just", "still", "already", "again",
+              "always", "often", "sometimes", "usually", "now", "then",
+              "here", "there", "yesterday", "today", "tomorrow", "soon",
+              "later", "recently", "finally", "really", "quite", "rather",
+              "almost", "even", "only", "maybe", "perhaps", "however",
+              "instead", "anyway", "meanwhile", "moreover", "please",
+              "ago", "yet", "twice", "once", "definitely", "probably",
+              "unfortunately", "luckily", "immediately", "eventually",
+              "somewhere", "anywhere", "everywhere", "elsewhere", "voila",
+              "ok", "okay", "well", "far", "ever"});
+
+  // --- Irregular verbs -------------------------------------------------
+  // Past tense forms.
+  for (const char* w :
+       {"went",  "said",    "made",   "got",     "took",   "came",  "saw",
+        "knew",  "gave",    "found",  "thought", "told",   "became", "left",
+        "felt",  "kept",    "held",   "wrote",   "stood",  "heard", "meant",
+        "met",   "ran",     "paid",   "sat",     "spoke",  "lay",   "led",
+        "grew",  "lost",    "fell",   "sent",    "built",  "understood",
+        "drew",  "broke",   "spent",  "rose",    "drove",  "bought", "wore",
+        "chose", "ate",     "began",  "woke",    "threw",  "flew",  "rode",
+        "sold",  "brought", "caught", "taught",  "fought", "sought", "slept",
+        "swam",  "sang",    "rang",   "won",     "shook",  "froze", "forgot",
+        "bit",   "hid",     "laid",   "lent",    "bent",   "dealt", "dug",
+        "hung",  "stuck",   "struck", "swept",   "tore",   "wound", "upgraded"}) {
+    irregular_.emplace(w, IrregularVerbForm{Pos::kVerbPast});
+  }
+  // Past participles that differ from the simple past.
+  for (const char* w :
+       {"gone",   "taken",   "seen",    "known",   "given",  "written",
+        "spoken", "grown",   "fallen",  "broken",  "risen",  "driven",
+        "worn",   "chosen",  "eaten",   "begun",   "woken",  "thrown",
+        "flown",  "ridden",  "sung",    "rung",    "shaken", "frozen",
+        "forgotten", "bitten", "hidden", "torn",    "done",   "drawn",
+        "swum",   "stood",   "become",  "come",    "run"}) {
+    irregular_.emplace(w, IrregularVerbForm{Pos::kVerbPastPart});
+  }
+  // Invariant forms usable as past (context decides); tagged past here and
+  // corrected to base by the tagger when preceded by to/modal.
+  for (const char* w : {"put", "let", "cut", "set", "hit", "cost", "read",
+                        "quit", "split", "shut", "hurt", "upset"}) {
+    irregular_.emplace(w, IrregularVerbForm{Pos::kVerbBase});
+  }
+
+  // --- Frequent verb base forms (forum register) ------------------------
+  for (const char* w :
+       {"install",  "work",      "try",       "call",     "ask",
+        "need",     "want",      "think",     "know",     "use",
+        "run",      "stop",      "fail",      "get",      "make",
+        "go",       "see",       "look",      "find",     "give",
+        "tell",     "recommend", "stay",      "book",     "love",
+        "hate",     "suggest",   "add",       "remove",   "upgrade",
+        "download", "update",    "click",     "restart",  "reboot",
+        "fix",      "solve",     "help",      "wonder",   "appreciate",
+        "thank",    "hope",      "expect",    "plan",     "decide",
+        "visit",    "arrive",    "return",    "check",    "buy",
+        "pay",      "enjoy",     "describe",  "explain",  "write",
+        "read",     "post",      "reply",     "happen",   "occur",
+        "crash",    "freeze",    "print",     "connect",  "boot",
+        "compile",  "throw",     "import",    "export",   "configure",
+        "change",   "replace",   "degrade",   "perform",  "improve",
+        "rebuild",  "reformat",  "suppose",   "seem",     "consider",
+        "believe",  "guess",     "notice",    "report",   "manage",
+        "attempt",  "start",     "begin",     "finish",   "complete",
+        "open",     "close",     "turn",      "move",     "bring",
+        "keep",     "hold",      "follow",    "search",   "browse",
+        "order",    "cancel",    "confirm",   "travel",   "fly",
+        "drive",    "walk",      "eat",       "drink",    "sleep",
+        "relax",    "swim",      "spend",     "cost",     "include",
+        "offer",    "provide",   "serve",     "clean",    "smell",
+        "feel",     "sound",     "taste",     "like",     "prefer",
+        "avoid",    "wait",      "leave",     "come",     "say",
+        "take",     "wish",      "advise",    "share",    "mention",
+        "contact",  "email",     "phone",     "refund",   "charge",
+        "overheat", "shut",      "render",    "execute",  "debug",
+        "deploy",   "build",     "test",      "parse",    "load",
+        "save",     "delete",    "create",    "insert",   "select",
+        "query",    "index",     "format",    "partition", "mount",
+        "flash",    "swap",      "blink",     "beep",     "plug",
+        "unplug",   "press",     "type",      "scroll",   "reinstall",
+        "depend",   "touch",     "respond",   "behave",   "contain",
+        "exist",    "remain",    "appear",    "require",  "receive",
+        "prevent",  "cause",     "affect",    "reproduce", "monitor",
+        "measure",  "track",     "reduce",    "increase", "schedule",
+        "record",   "treat",     "trace",     "patch",    "wrap",
+        "merge",    "deploy",    "refactor"}) {
+    verbs_.insert(w);
+  }
+
+  // --- Adjectives that morphology misses ---------------------------------
+  for (const char* w :
+       {"good",   "bad",    "great",   "nice",    "new",     "old",
+        "big",    "small",  "large",   "long",    "short",   "high",
+        "low",    "slow",   "fast",    "quick",   "clean",   "dirty",
+        "noisy",  "quiet",  "cheap",   "expensive", "free",  "busy",
+        "full",   "empty",  "hot",     "cold",    "warm",    "cool",
+        "right",  "wrong",  "same",    "different", "similar", "extra",
+        "main",   "whole",  "entire",  "certain", "sure",    "ready",
+        "fine",   "weird",  "strange", "odd",     "common",  "rare",
+        "broken", "dead",   "stuck",   "frozen",  "loose",   "tight",
+        "modern", "ancient", "friendly", "rude",  "polite",  "happy",
+        "sad",    "angry",  "frustrated", "glad", "sorry",   "able",
+        "unable", "available", "compatible", "incompatible", "stable",
+        "unstable", "corrupt", "faulty", "defective", "brilliant",
+        "adequate", "partial", "technical", "official", "pre-installed",
+        "comfortable", "uncomfortable", "spacious", "cramped", "central",
+        "perfect", "terrible", "awful", "amazing", "wonderful", "lovely",
+        "cozy", "shabby", "overpriced", "underwhelming", "decent"}) {
+    adjectives_.insert(w);
+  }
+
+  // --- Non -ly adverbs handled above in closed_; extra open-class adverbs -
+  for (const char* w : {"online", "offline", "overnight", "upstairs",
+                        "downstairs", "abroad", "nearby", "worldwide"}) {
+    adverbs_.insert(w);
+  }
+
+  // --- Nouns that look like verb forms ------------------------------------
+  for (const char* w :
+       {"meeting",  "building",  "rating",   "setting",  "morning",
+        "evening",  "booking",   "feeling",  "warning",  "housekeeping",
+        "thing",    "nothing",   "something", "anything", "everything",
+        "king",     "string",    "ring",     "spring",   "ceiling",
+        "heating",  "lighting",  "parking",  "shopping", "wedding",
+        "bed",      "shed",      "speed",    "feed",     "seed",
+        "need",     "breed",     "thread",   "bread",    "head",
+        "weekend",  "friend",    "end",      "hand",     "brand",
+        "sound",    "round",     "background", "keyboard", "motherboard",
+        "dashboard", "standard", "password",  "word",
+        "world",    "field",     "child",     "gold",
+        "cable",    "table",     "trouble",   "example",  "article",
+        "people",   "couple",    "title",     "middle",   "bottle"}) {
+    nouns_.insert(w);
+  }
+}
+
+std::optional<Pos> Lexicon::closed_class(std::string_view lower) const {
+  auto it = closed_.find(std::string(lower));
+  if (it == closed_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<IrregularVerbForm> Lexicon::irregular_verb(
+    std::string_view lower) const {
+  auto it = irregular_.find(std::string(lower));
+  if (it == irregular_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Lexicon::is_known_verb_base(std::string_view lower) const {
+  return verbs_.count(std::string(lower)) > 0;
+}
+
+bool Lexicon::is_known_adjective(std::string_view lower) const {
+  return adjectives_.count(std::string(lower)) > 0;
+}
+
+bool Lexicon::is_known_adverb(std::string_view lower) const {
+  return adverbs_.count(std::string(lower)) > 0;
+}
+
+bool Lexicon::is_known_noun(std::string_view lower) const {
+  return nouns_.count(std::string(lower)) > 0;
+}
+
+const Lexicon& lexicon() {
+  static const Lexicon* kInstance = new Lexicon();
+  return *kInstance;
+}
+
+}  // namespace ibseg

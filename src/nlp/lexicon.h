@@ -1,0 +1,68 @@
+#ifndef IBSEG_NLP_LEXICON_H_
+#define IBSEG_NLP_LEXICON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "nlp/pos_tag.h"
+
+namespace ibseg {
+
+/// Entry for an irregular verb form.
+struct IrregularVerbForm {
+  Pos tag;  // kVerbPast or kVerbPastPart (or kVerbBase for suppletives)
+};
+
+/// Hand-built English lexicon backing the rule-based POS tagger. Covers the
+/// closed classes exhaustively and the open classes through (a) a frequent
+/// verb list tuned to forum language and (b) an irregular-verb table; the
+/// tagger falls back to suffix morphology for everything else.
+///
+/// Thread-safe after construction; obtain the process-wide instance through
+/// `lexicon()`.
+class Lexicon {
+ public:
+  Lexicon();
+
+  Lexicon(const Lexicon&) = delete;
+  Lexicon& operator=(const Lexicon&) = delete;
+
+  /// Closed-class lookup: returns the tag when `lower` is a known
+  /// closed-class word (pronoun, aux, modal, determiner, preposition,
+  /// conjunction, wh-word, negation, "to").
+  std::optional<Pos> closed_class(std::string_view lower) const;
+
+  /// Irregular verb-form lookup ("went" -> past, "gone" -> past participle).
+  std::optional<IrregularVerbForm> irregular_verb(std::string_view lower) const;
+
+  /// True when `lower` is the base form of a known (frequent) verb.
+  bool is_known_verb_base(std::string_view lower) const;
+
+  /// True when `lower` is a known adjective that suffix rules misclassify.
+  bool is_known_adjective(std::string_view lower) const;
+
+  /// True when `lower` is a known adverb without the -ly suffix.
+  bool is_known_adverb(std::string_view lower) const;
+
+  /// True when `lower` is a known common noun that looks like a verb form
+  /// ("meeting", "building", "rating").
+  bool is_known_noun(std::string_view lower) const;
+
+ private:
+  std::unordered_map<std::string, Pos> closed_;
+  std::unordered_map<std::string, IrregularVerbForm> irregular_;
+  std::unordered_set<std::string> verbs_;
+  std::unordered_set<std::string> adjectives_;
+  std::unordered_set<std::string> adverbs_;
+  std::unordered_set<std::string> nouns_;
+};
+
+/// Process-wide lexicon instance (constructed on first use, never freed).
+const Lexicon& lexicon();
+
+}  // namespace ibseg
+
+#endif  // IBSEG_NLP_LEXICON_H_

@@ -1,0 +1,48 @@
+#ifndef IBSEG_NLP_POS_TAG_H_
+#define IBSEG_NLP_POS_TAG_H_
+
+namespace ibseg {
+
+/// Part-of-speech tag set. Deliberately coarse: the communication-means
+/// features of the paper (Table 1) only need verb/noun/adjective-adverb
+/// distinctions plus the closed classes that signal tense, person, negation
+/// and voice.
+enum class Pos {
+  kNoun,
+  kVerbBase,      // install, go ("I install", "to install", "will install")
+  kVerbPresent3,  // installs, goes
+  kVerbPast,      // installed, went
+  kVerbPastPart,  // installed, gone (after have/be)
+  kVerbGerund,    // installing, going
+  kModal,         // will, would, can, could, may, might, shall, should, must
+  kAuxBe,         // am, is, are, was, were, be, been, being
+  kAuxHave,       // have, has, had, having
+  kAuxDo,         // do, does, did
+  kAdjective,
+  kAdverb,
+  kPronoun1,      // I, we, me, us, my, our, mine, ours, myself, ourselves
+  kPronoun2,      // you, your, yours, yourself, yourselves
+  kPronoun3,      // he, she, it, they, him, her, them, his, its, their, ...
+  kDeterminer,
+  kPreposition,
+  kConjunction,
+  kWhWord,        // what, which, who, where, when, why, how, ...
+  kNegation,      // not, n't, never, no, none, nothing, neither, nor
+  kTo,            // infinitival/prepositional "to"
+  kNumber,
+  kPunct,
+  kOther,
+};
+
+/// Human-readable tag name (for debugging and the explorer example).
+const char* pos_name(Pos tag);
+
+/// True for any of the verb tags (base/3rd/past/past-participle/gerund).
+bool is_main_verb(Pos tag);
+
+/// True for auxiliaries and modals.
+bool is_auxiliary(Pos tag);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_NLP_POS_TAG_H_

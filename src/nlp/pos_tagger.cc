@@ -1,0 +1,197 @@
+#include "nlp/pos_tagger.h"
+
+#include <string>
+
+#include "nlp/lexicon.h"
+#include "util/strings.h"
+
+namespace ibseg {
+
+const char* pos_name(Pos tag) {
+  switch (tag) {
+    case Pos::kNoun: return "NOUN";
+    case Pos::kVerbBase: return "VB";
+    case Pos::kVerbPresent3: return "VBZ";
+    case Pos::kVerbPast: return "VBD";
+    case Pos::kVerbPastPart: return "VBN";
+    case Pos::kVerbGerund: return "VBG";
+    case Pos::kModal: return "MD";
+    case Pos::kAuxBe: return "BE";
+    case Pos::kAuxHave: return "HV";
+    case Pos::kAuxDo: return "DO";
+    case Pos::kAdjective: return "ADJ";
+    case Pos::kAdverb: return "ADV";
+    case Pos::kPronoun1: return "PRP1";
+    case Pos::kPronoun2: return "PRP2";
+    case Pos::kPronoun3: return "PRP3";
+    case Pos::kDeterminer: return "DET";
+    case Pos::kPreposition: return "PREP";
+    case Pos::kConjunction: return "CONJ";
+    case Pos::kWhWord: return "WH";
+    case Pos::kNegation: return "NEG";
+    case Pos::kTo: return "TO";
+    case Pos::kNumber: return "NUM";
+    case Pos::kPunct: return "PUNCT";
+    case Pos::kOther: return "OTHER";
+  }
+  return "?";
+}
+
+bool is_main_verb(Pos tag) {
+  return tag == Pos::kVerbBase || tag == Pos::kVerbPresent3 ||
+         tag == Pos::kVerbPast || tag == Pos::kVerbPastPart ||
+         tag == Pos::kVerbGerund;
+}
+
+bool is_auxiliary(Pos tag) {
+  return tag == Pos::kModal || tag == Pos::kAuxBe || tag == Pos::kAuxHave ||
+         tag == Pos::kAuxDo;
+}
+
+namespace {
+
+// Lexical tag: the best guess from the word alone.
+Pos lexical_tag(const Token& token) {
+  if (token.kind == TokenKind::kPunctuation) return Pos::kPunct;
+  if (token.kind == TokenKind::kNumber) return Pos::kNumber;
+  const std::string& w = token.lower;
+  const Lexicon& lex = lexicon();
+
+  if (auto closed = lex.closed_class(w)) return *closed;
+  if (auto irr = lex.irregular_verb(w)) return irr->tag;
+  if (lex.is_known_noun(w)) return Pos::kNoun;
+  if (lex.is_known_adjective(w)) return Pos::kAdjective;
+  if (lex.is_known_adverb(w)) return Pos::kAdverb;
+  if (lex.is_known_verb_base(w)) return Pos::kVerbBase;
+
+  // Suffix morphology; longest informative suffixes first.
+  if (w.size() > 4 && ends_with(w, "ly")) return Pos::kAdverb;
+  if (w.size() > 4 && ends_with(w, "ing")) {
+    // "installing" -> gerund unless the -ing-less stem is unknown AND the
+    // word is a lexicon noun (handled above).
+    return Pos::kVerbGerund;
+  }
+  if (w.size() > 3 && ends_with(w, "ed")) return Pos::kVerbPast;
+  if (w.size() > 5 && (ends_with(w, "tion") || ends_with(w, "sion") ||
+                       ends_with(w, "ment") || ends_with(w, "ness") ||
+                       ends_with(w, "ance") || ends_with(w, "ence") ||
+                       ends_with(w, "ship") || ends_with(w, "hood"))) {
+    return Pos::kNoun;
+  }
+  if (w.size() > 3 && (ends_with(w, "ity") || ends_with(w, "ism") ||
+                       ends_with(w, "age") || ends_with(w, "ure"))) {
+    return Pos::kNoun;
+  }
+  if (w.size() > 4 && (ends_with(w, "ful") || ends_with(w, "ous") ||
+                       ends_with(w, "ive") || ends_with(w, "able") ||
+                       ends_with(w, "ible") || ends_with(w, "less") ||
+                       ends_with(w, "ish") || ends_with(w, "ical"))) {
+    return Pos::kAdjective;
+  }
+  if (w.size() > 3 && (ends_with(w, "ize") || ends_with(w, "ise") ||
+                       ends_with(w, "ify"))) {
+    return Pos::kVerbBase;
+  }
+  if (w.size() > 4 && ends_with(w, "est")) return Pos::kAdjective;
+  if (w.size() > 2 && ends_with(w, "s") && !ends_with(w, "ss") &&
+      !ends_with(w, "us") && !ends_with(w, "is")) {
+    // Plural noun or 3rd-person verb: if the s-less stem is a known verb
+    // base, guess verb; contextual pass may override either way.
+    std::string stem = w.substr(0, w.size() - 1);
+    if (ends_with(stem, "e") && lex.is_known_verb_base(
+                                    stem.substr(0, stem.size() - 1))) {
+      return Pos::kVerbPresent3;
+    }
+    if (lex.is_known_verb_base(stem)) return Pos::kVerbPresent3;
+    if (w.size() > 3 && ends_with(w, "ies") &&
+        lex.is_known_verb_base(w.substr(0, w.size() - 3) + "y")) {
+      return Pos::kVerbPresent3;
+    }
+    if (w.size() > 3 && ends_with(w, "es") &&
+        lex.is_known_verb_base(w.substr(0, w.size() - 2))) {
+      return Pos::kVerbPresent3;
+    }
+    return Pos::kNoun;
+  }
+  return Pos::kNoun;
+}
+
+// True when the token at `i` can start a verb phrase complement (used by
+// the to/modal correction rules).
+bool is_subject_pronoun(Pos tag) {
+  return tag == Pos::kPronoun1 || tag == Pos::kPronoun2 ||
+         tag == Pos::kPronoun3;
+}
+
+// Index of the previous non-adverb, non-negation tag, or npos.
+size_t prev_content(const std::vector<Pos>& tags, size_t i) {
+  while (i > 0) {
+    --i;
+    if (tags[i] != Pos::kAdverb && tags[i] != Pos::kNegation) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+}  // namespace
+
+std::vector<Pos> tag_tokens(const std::vector<Token>& tokens) {
+  std::vector<Pos> tags(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) tags[i] = lexical_tag(tokens[i]);
+
+  const Lexicon& lex = lexicon();
+  // Contextual corrections.
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    size_t p = prev_content(tags, i);
+    bool has_prev = p != static_cast<size_t>(-1);
+    Pos prev = has_prev ? tags[p] : Pos::kOther;
+
+    // to/modal/do + V -> base form ("to install", "did not work").
+    if ((tags[i] == Pos::kVerbPast || tags[i] == Pos::kVerbPresent3) &&
+        has_prev &&
+        (prev == Pos::kTo || prev == Pos::kModal || prev == Pos::kAuxDo)) {
+      tags[i] = Pos::kVerbBase;
+      continue;
+    }
+    // have + VBD -> past participle ("have installed").
+    if (tags[i] == Pos::kVerbPast && has_prev && prev == Pos::kAuxHave) {
+      tags[i] = Pos::kVerbPastPart;
+      continue;
+    }
+    // be + VBD -> past participle (passive: "was installed").
+    if (tags[i] == Pos::kVerbPast && has_prev && prev == Pos::kAuxBe) {
+      tags[i] = Pos::kVerbPastPart;
+      continue;
+    }
+    // det/adj + gerund -> noun ("the booking", "a warning").
+    if (tags[i] == Pos::kVerbGerund && has_prev &&
+        (prev == Pos::kDeterminer || prev == Pos::kAdjective)) {
+      tags[i] = Pos::kNoun;
+      continue;
+    }
+    // det + base verb -> noun ("a try", "the fix").
+    if (tags[i] == Pos::kVerbBase && has_prev && prev == Pos::kDeterminer) {
+      tags[i] = Pos::kNoun;
+      continue;
+    }
+    // subject pronoun + known verb stays a verb; subject pronoun + noun that
+    // is a known verb base becomes a present-tense verb ("I print daily").
+    if (tags[i] == Pos::kNoun && has_prev && is_subject_pronoun(prev) &&
+        lex.is_known_verb_base(tokens[i].lower)) {
+      tags[i] = Pos::kVerbBase;
+      continue;
+    }
+    // modal/do + unknown word -> verb base ("cannot reproduce", "did
+    // frobnicate"). kTo is deliberately excluded: it is also the
+    // preposition ("to school").
+    if (tags[i] == Pos::kNoun && has_prev &&
+        (prev == Pos::kModal || prev == Pos::kAuxDo)) {
+      tags[i] = Pos::kVerbBase;
+      continue;
+    }
+    // noun + noun where the first could be adjective-like is left alone; the
+    // CM features only need the coarse classes.
+  }
+  return tags;
+}
+
+}  // namespace ibseg

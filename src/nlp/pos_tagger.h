@@ -1,0 +1,22 @@
+#ifndef IBSEG_NLP_POS_TAGGER_H_
+#define IBSEG_NLP_POS_TAGGER_H_
+
+#include <vector>
+
+#include "nlp/pos_tag.h"
+#include "text/tokenizer.h"
+
+namespace ibseg {
+
+/// Rule-based part-of-speech tagger: closed-class lexicon lookup, an
+/// irregular-verb table, suffix morphology, then a contextual correction
+/// pass (Brill-style, hand-written rules). Coarse but deterministic; it
+/// exists to drive the communication-means features of paper Table 1, not
+/// to win tagging benchmarks.
+///
+/// Returns one tag per input token.
+std::vector<Pos> tag_tokens(const std::vector<Token>& tokens);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_NLP_POS_TAGGER_H_

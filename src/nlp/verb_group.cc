@@ -1,0 +1,121 @@
+#include "nlp/verb_group.h"
+
+#include <cassert>
+
+namespace ibseg {
+namespace {
+
+bool is_group_element(Pos tag) {
+  return is_main_verb(tag) || is_auxiliary(tag) || tag == Pos::kAdverb ||
+         tag == Pos::kNegation || tag == Pos::kTo;
+}
+
+bool is_past_aux(const Token& t, Pos tag) {
+  if (tag == Pos::kAuxBe) return t.lower == "was" || t.lower == "were";
+  if (tag == Pos::kAuxDo) return t.lower == "did";
+  if (tag == Pos::kAuxHave) return t.lower == "had";
+  return false;
+}
+
+bool is_future_modal(const Token& t) {
+  return t.lower == "will" || t.lower == "shall" || t.lower == "'ll" ||
+         t.lower == "wo";  // "won't" tokenizes as "wo" + "n't"
+}
+
+}  // namespace
+
+std::vector<VerbGroup> find_verb_groups(const std::vector<Token>& tokens,
+                                        const std::vector<Pos>& tags,
+                                        size_t begin, size_t end) {
+  assert(tokens.size() == tags.size());
+  assert(end <= tokens.size());
+  std::vector<VerbGroup> groups;
+  size_t i = begin;
+  while (i < end) {
+    if (!is_main_verb(tags[i]) && !is_auxiliary(tags[i])) {
+      ++i;
+      continue;
+    }
+    VerbGroup g;
+    g.begin = i;
+    bool saw_be = false;
+    bool saw_have = false;
+    bool saw_past_finite = false;
+    bool saw_future = false;
+    bool saw_going_to = false;
+    Pos head = Pos::kOther;  // last main-verb tag in the group
+    size_t j = i;
+    size_t adverb_run = 0;
+    while (j < end && is_group_element(tags[j])) {
+      const Token& t = tokens[j];
+      Pos tag = tags[j];
+      if (tag == Pos::kAdverb) {
+        // Allow at most 2 interleaved adverbs so that an adverb-heavy
+        // clause does not glue distinct verb groups together.
+        if (++adverb_run > 2) break;
+        ++j;
+        continue;
+      }
+      adverb_run = 0;
+      if (tag == Pos::kNegation) {
+        g.negated = true;
+        ++j;
+        continue;
+      }
+      if (tag == Pos::kTo) {
+        // "going to fix": keep only when a be+going chain is open,
+        // otherwise the infinitive starts a separate (non-finite) group.
+        if (!saw_going_to && head == Pos::kVerbGerund &&
+            tokens[j - 1].lower == "going" && saw_be) {
+          saw_going_to = true;
+          ++j;
+          continue;
+        }
+        break;
+      }
+      if (tag == Pos::kModal) {
+        if (is_future_modal(t)) saw_future = true;
+        ++j;
+        continue;
+      }
+      if (tag == Pos::kAuxBe || tag == Pos::kAuxHave || tag == Pos::kAuxDo) {
+        if (is_past_aux(t, tag)) saw_past_finite = true;
+        if (tag == Pos::kAuxBe) saw_be = true;
+        if (tag == Pos::kAuxHave) saw_have = true;
+        ++j;
+        continue;
+      }
+      // Main verb.
+      head = tag;
+      if (tag == Pos::kVerbPast) saw_past_finite = true;
+      ++j;
+      // A second finite verb ends the group ("stopped working" keeps the
+      // gerund, but "found said" would not occur; keep gerunds/participles).
+      if (j < end && is_main_verb(tags[j]) && tags[j] != Pos::kVerbGerund &&
+          tags[j] != Pos::kVerbPastPart) {
+        break;
+      }
+    }
+    g.end = j;
+    if (g.end == g.begin) {  // pathological; avoid infinite loop
+      ++i;
+      continue;
+    }
+    // Tense resolution.
+    if (saw_future || saw_going_to) {
+      g.tense = Tense::kFuture;
+    } else if (saw_past_finite || (saw_have && head == Pos::kVerbPastPart)) {
+      g.tense = Tense::kPast;
+    } else {
+      g.tense = Tense::kPresent;
+    }
+    // Voice.
+    g.voice = (saw_be && head == Pos::kVerbPastPart) ? Voice::kPassive
+                                                     : Voice::kActive;
+    groups.push_back(g);
+    i = j;
+  }
+  return groups;
+}
+
+}  // namespace ibseg

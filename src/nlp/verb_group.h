@@ -1,0 +1,43 @@
+#ifndef IBSEG_NLP_VERB_GROUP_H_
+#define IBSEG_NLP_VERB_GROUP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nlp/pos_tag.h"
+#include "text/tokenizer.h"
+
+namespace ibseg {
+
+/// Grammatical tense of a verb group, the domain of CM_tense (paper
+/// Table 1).
+enum class Tense { kPresent, kPast, kFuture };
+
+/// Voice of a verb group, the domain of CM_pasact.
+enum class Voice { kActive, kPassive };
+
+/// One verb group ("will have been installed", "did not work") found in a
+/// token window, with the grammatical attributes that feed the CM features.
+struct VerbGroup {
+  size_t begin = 0;  ///< Token index of the first element (aux or verb).
+  size_t end = 0;    ///< One past the last element.
+  Tense tense = Tense::kPresent;
+  Voice voice = Voice::kActive;
+  bool negated = false;
+};
+
+/// Scans tagged tokens in [begin, end) and extracts verb groups.
+///
+/// Tense mapping (coarse, following the paper's 3-value domain):
+///  * will/shall/'ll + V, and be-form + "going to" + V     -> future
+///  * was/were/did/had + V, simple past V, have/has + VBN  -> past
+///  * everything else (incl. modals can/may/must/would)    -> present
+/// Voice: passive iff the group contains a be-form and its head is a past
+/// participle.
+std::vector<VerbGroup> find_verb_groups(const std::vector<Token>& tokens,
+                                        const std::vector<Pos>& tags,
+                                        size_t begin, size_t end);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_NLP_VERB_GROUP_H_

@@ -1,0 +1,209 @@
+#include "seg/border_strategies.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/vector_math.h"
+
+namespace ibseg {
+
+const char* border_strategy_name(BorderStrategyKind kind) {
+  switch (kind) {
+    case BorderStrategyKind::kTile: return "Tile";
+    case BorderStrategyKind::kStepByStep: return "StepbyStep";
+    case BorderStrategyKind::kGreedy: return "Greedy";
+    case BorderStrategyKind::kSentences: return "Sentences";
+    case BorderStrategyKind::kTopDown: return "TopDown";
+  }
+  return "?";
+}
+
+namespace {
+
+// Scores every border of `borders` over `doc`: border i separates the
+// segment ending at borders[i] from the one starting there, with each side
+// clamped to at most `context_window` units when non-zero.
+std::vector<double> score_border_list(const Document& doc,
+                                      const std::vector<size_t>& borders,
+                                      const SegScoring& scoring,
+                                      size_t context_window) {
+  std::vector<double> scores(borders.size());
+  size_t n = doc.num_units();
+  for (size_t i = 0; i < borders.size(); ++i) {
+    size_t left_begin = i == 0 ? 0 : borders[i - 1];
+    size_t right_end = i + 1 < borders.size() ? borders[i + 1] : n;
+    if (context_window > 0) {
+      if (borders[i] - left_begin > context_window) {
+        left_begin = borders[i] - context_window;
+      }
+      if (right_end - borders[i] > context_window) {
+        right_end = borders[i] + context_window;
+      }
+    }
+    CmProfile left = doc.range_profile(left_begin, borders[i]);
+    CmProfile right = doc.range_profile(borders[i], right_end);
+    scores[i] = border_score(left, right, scoring);
+  }
+  return scores;
+}
+
+Segmentation run_tile(const Document& doc, const SegScoring& scoring,
+                      const BorderStrategyOptions& options) {
+  Segmentation seg = Segmentation::all_units(doc.num_units());
+  for (int pass = 0; pass < options.max_passes && !seg.borders.empty();
+       ++pass) {
+    std::vector<double> scores =
+        score_border_list(doc, seg.borders, scoring, options.context_window);
+    double m = mean(scores);
+    double sd = stddev(scores);
+    double threshold = m - options.tile_stddev_factor * sd;
+    std::vector<size_t> kept;
+    kept.reserve(seg.borders.size());
+    for (size_t i = 0; i < seg.borders.size(); ++i) {
+      if (scores[i] >= threshold) kept.push_back(seg.borders[i]);
+    }
+    if (kept.size() == seg.borders.size()) break;  // converged
+    seg.borders = std::move(kept);
+  }
+  return seg;
+}
+
+Segmentation run_step_by_step(const Document& doc, const SegScoring& scoring) {
+  size_t n = doc.num_units();
+  Segmentation seg;
+  seg.num_units = n;
+  double doc_coherence =
+      segment_coherence(doc.document_profile(), scoring);
+  size_t segment_start = 0;
+  for (size_t b = 1; b < n; ++b) {
+    CmProfile left = doc.range_profile(segment_start, b);
+    if (segment_coherence(left, scoring) < doc_coherence) {
+      continue;  // delete the border: the left segment keeps growing
+    }
+    seg.borders.push_back(b);
+    segment_start = b;
+  }
+  return seg;
+}
+
+// One single-CM Greedy run: repeatedly removes the worst-scoring border
+// while it scores below mean - stddev. Returns the set of borders removed.
+std::vector<size_t> greedy_single_cm(const Document& doc,
+                                     const SegScoring& scoring,
+                                     const BorderStrategyOptions& options) {
+  std::vector<size_t> borders = Segmentation::all_units(doc.num_units()).borders;
+  std::vector<size_t> removed;
+  for (int pass = 0; pass < options.max_passes && borders.size() > 1; ++pass) {
+    std::vector<double> scores =
+        score_border_list(doc, borders, scoring, options.context_window);
+    double threshold =
+        mean(scores) - options.greedy_stddev_factor * stddev(scores);
+    size_t worst = 0;
+    for (size_t i = 1; i < scores.size(); ++i) {
+      if (scores[i] < scores[worst]) worst = i;
+    }
+    if (scores[worst] >= threshold - 1e-12) break;
+    removed.push_back(borders[worst]);
+    borders.erase(borders.begin() + static_cast<long>(worst));
+  }
+  return removed;
+}
+
+Segmentation run_greedy(const Document& doc, const SegScoring& scoring,
+                        const BorderStrategyOptions& options) {
+  size_t n = doc.num_units();
+  // Marks per border position: how many single-CM runs removed it.
+  std::vector<int> marks(n, 0);
+  int active_cms = 0;
+  for (int c = 0; c < kNumCms; ++c) {
+    if (!((scoring.cm_mask >> c) & 1u)) continue;
+    ++active_cms;
+    SegScoring single = scoring;
+    single.cm_mask = 1u << c;
+    for (size_t b : greedy_single_cm(doc, single, options)) ++marks[b];
+  }
+  if (active_cms == 0) return Segmentation::whole(n);
+  int needed = static_cast<int>(
+      std::ceil(options.greedy_majority * active_cms));
+  if (needed < 1) needed = 1;
+  Segmentation seg;
+  seg.num_units = n;
+  for (size_t b = 1; b < n; ++b) {
+    if (marks[b] < needed) seg.borders.push_back(b);
+  }
+  return seg;
+}
+
+// Recursively splits [begin, end): places the best-scoring border when
+// splitting beats the unsplit segment's coherence by the configured margin
+// (the "average score better than before the split" criterion of the
+// paper's top-down sketch).
+void topdown_split(const Document& doc, const SegScoring& scoring,
+                   const BorderStrategyOptions& options, size_t begin,
+                   size_t end, int depth, std::vector<size_t>* borders) {
+  if (end - begin < 2 || depth >= options.topdown_max_depth) return;
+  double unsplit = segment_coherence(doc.range_profile(begin, end), scoring);
+  size_t best_pos = 0;
+  double best_score = -1.0;
+  for (size_t p = begin + 1; p < end; ++p) {
+    double score = border_score(doc.range_profile(begin, p),
+                                doc.range_profile(p, end), scoring);
+    if (score > best_score) {
+      best_score = score;
+      best_pos = p;
+    }
+  }
+  if (best_score <= unsplit + options.topdown_margin) return;
+  borders->push_back(best_pos);
+  topdown_split(doc, scoring, options, begin, best_pos, depth + 1, borders);
+  topdown_split(doc, scoring, options, best_pos, end, depth + 1, borders);
+}
+
+Segmentation run_top_down(const Document& doc, const SegScoring& scoring,
+                          const BorderStrategyOptions& options) {
+  Segmentation seg;
+  seg.num_units = doc.num_units();
+  topdown_split(doc, scoring, options, 0, doc.num_units(), 0, &seg.borders);
+  std::sort(seg.borders.begin(), seg.borders.end());
+  return seg;
+}
+
+}  // namespace
+
+Segmentation select_borders(const Document& doc, BorderStrategyKind kind,
+                            const SegScoring& scoring,
+                            const BorderStrategyOptions& options) {
+  if (doc.num_units() < 2) return Segmentation::whole(doc.num_units());
+  switch (kind) {
+    case BorderStrategyKind::kTile:
+      return run_tile(doc, scoring, options);
+    case BorderStrategyKind::kStepByStep:
+      return run_step_by_step(doc, scoring);
+    case BorderStrategyKind::kGreedy:
+      return run_greedy(doc, scoring, options);
+    case BorderStrategyKind::kSentences:
+      return Segmentation::all_units(doc.num_units());
+    case BorderStrategyKind::kTopDown:
+      return run_top_down(doc, scoring, options);
+  }
+  return Segmentation::whole(doc.num_units());
+}
+
+std::vector<double> score_borders(const Document& doc, const Segmentation& seg,
+                                  const SegScoring& scoring) {
+  assert(seg.num_units == doc.num_units());
+  return score_border_list(doc, seg.borders, scoring,
+                           /*context_window=*/0);
+}
+
+double mean_segment_coherence(const Document& doc, const Segmentation& seg,
+                              const SegScoring& scoring) {
+  std::vector<double> cohs;
+  for (auto [begin, end] : seg.segments()) {
+    cohs.push_back(segment_coherence(doc.range_profile(begin, end), scoring));
+  }
+  return mean(cohs);
+}
+
+}  // namespace ibseg

@@ -1,0 +1,73 @@
+#ifndef IBSEG_SEG_BORDER_STRATEGIES_H_
+#define IBSEG_SEG_BORDER_STRATEGIES_H_
+
+#include "seg/coherence.h"
+#include "seg/document.h"
+#include "seg/segmentation.h"
+
+namespace ibseg {
+
+/// The bottom-up border selection mechanisms of Sec. 5.3. All start from
+/// the all-units segmentation (every sentence a segment) and merge.
+enum class BorderStrategyKind {
+  kTile,        ///< iterative threshold sweep over border scores
+  kStepByStep,  ///< left-to-right single pass, merge while left segment is
+                ///  less coherent than the whole document
+  kGreedy,      ///< per-CM repeated worst-border removal + majority voting
+  kSentences,   ///< no merging: every sentence a segment (SentIntent-MR)
+  kTopDown,     ///< recursive best-split while splitting beats not splitting
+                ///  (the top-down alternative the paper sketches first)
+};
+
+const char* border_strategy_name(BorderStrategyKind kind);
+
+/// Tunables for the strategies. Defaults follow the paper's descriptions;
+/// knobs exist for the ablation benches.
+struct BorderStrategyOptions {
+  /// Tile: borders scoring below mean - tile_stddev_factor * stddev are
+  /// removed each sweep.
+  double tile_stddev_factor = 0.75;
+  /// Tile/Greedy: hard cap on passes (safety; the paper's loops converge).
+  int max_passes = 64;
+  /// Greedy: a per-CM pass removes the worst border while its score is
+  /// below mean - greedy_stddev_factor * stddev of the present borders. A
+  /// single-CM run is deliberately aggressive (factor 0 keeps removing
+  /// until its CM sees a clearly-above-average border); the majority vote
+  /// across CMs is what preserves borders that any single CM would drop.
+  double greedy_stddev_factor = 0.0;
+  /// Majority voting: a border is removed when at least
+  /// ceil(greedy_majority * #CMs) single-CM runs marked it.
+  double greedy_majority = 0.6;
+  /// Maximum number of units considered on each side of a border when
+  /// scoring it (0 = whole adjacent segments). Bounding the context keeps
+  /// long segments from diluting the local CM shift — the failure mode the
+  /// paper attributes to comparisons between long segments (Sec. 5.3).
+  size_t context_window = 3;
+  /// TopDown: a segment is split at its best border only when that
+  /// border's Eq. 4 score exceeds the unsplit segment's coherence (the
+  /// score of "no border") by this margin.
+  double topdown_margin = 0.05;
+  /// TopDown: recursion depth cap (2^depth segments at most).
+  int topdown_max_depth = 6;
+};
+
+/// Computes the intention-based segmentation of `doc` with the selected
+/// mechanism and scoring. Documents with fewer than 2 units return the
+/// trivial segmentation.
+Segmentation select_borders(const Document& doc, BorderStrategyKind kind,
+                            const SegScoring& scoring = {},
+                            const BorderStrategyOptions& options = {});
+
+/// Score of every border in `seg` under `scoring` (for diagnostics, the
+/// Tile threshold and Fig. 8(b)-style reporting). Element i corresponds to
+/// seg.borders[i].
+std::vector<double> score_borders(const Document& doc, const Segmentation& seg,
+                                  const SegScoring& scoring);
+
+/// Mean coherence of the segments of `seg` (Fig. 8(b)).
+double mean_segment_coherence(const Document& doc, const Segmentation& seg,
+                              const SegScoring& scoring);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_SEG_BORDER_STRATEGIES_H_

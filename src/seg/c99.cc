@@ -1,0 +1,157 @@
+#include "seg/c99.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "text/term_vector.h"
+#include "util/vector_math.h"
+
+namespace ibseg {
+namespace {
+
+// Within-segment rank density bookkeeping for the divisive phase: for a
+// candidate segmentation, D = sum of within-segment rank mass / sum of
+// within-segment areas.
+struct RegionSums {
+  // prefix[i][j] = sum of rank[0..i)[0..j); (n+1)^2 table.
+  std::vector<std::vector<double>> prefix;
+
+  explicit RegionSums(const std::vector<std::vector<double>>& rank) {
+    size_t n = rank.size();
+    prefix.assign(n + 1, std::vector<double>(n + 1, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        prefix[i + 1][j + 1] = rank[i][j] + prefix[i][j + 1] +
+                               prefix[i + 1][j] - prefix[i][j];
+      }
+    }
+  }
+
+  // Rank mass of the square block [b, e) x [b, e).
+  double block(size_t b, size_t e) const {
+    return prefix[e][e] - prefix[b][e] - prefix[e][b] + prefix[b][b];
+  }
+};
+
+}  // namespace
+
+Segmentation c99_segment(const Document& doc, Vocabulary& vocab,
+                         const C99Options& options) {
+  const size_t n = doc.num_units();
+  if (n < 2) return Segmentation::whole(n);
+
+  // Sentence term vectors and the similarity matrix.
+  std::vector<TermVector> units(n);
+  for (size_t u = 0; u < n; ++u) {
+    const Sentence& s = doc.sentences()[u];
+    units[u] =
+        build_term_vector(doc.tokens(), s.token_begin, s.token_end, vocab);
+  }
+  std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = i == j ? 1.0 : TermVector::cosine(units[i], units[j]);
+      sim[i][j] = v;
+      sim[j][i] = v;
+    }
+  }
+
+  // Local rank transform: each cell becomes the fraction of its mask
+  // neighbors with strictly smaller similarity (Choi's insight: absolute
+  // cosines are unreliable for short texts; local ordering is not).
+  const int half = std::max(1, options.rank_mask_half);
+  std::vector<std::vector<double>> rank(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      int smaller = 0;
+      int total = 0;
+      for (int di = -half; di <= half; ++di) {
+        for (int dj = -half; dj <= half; ++dj) {
+          long ni = static_cast<long>(i) + di;
+          long nj = static_cast<long>(j) + dj;
+          if (ni < 0 || nj < 0 || ni >= static_cast<long>(n) ||
+              nj >= static_cast<long>(n)) {
+            continue;
+          }
+          if (ni == static_cast<long>(i) && nj == static_cast<long>(j)) {
+            continue;
+          }
+          ++total;
+          if (sim[static_cast<size_t>(ni)][static_cast<size_t>(nj)] <
+              sim[i][j]) {
+            ++smaller;
+          }
+        }
+      }
+      rank[i][j] = total > 0 ? static_cast<double>(smaller) / total : 0.0;
+    }
+  }
+
+  RegionSums sums(rank);
+
+  // Divisive clustering: repeatedly apply the split that maximizes the
+  // inside density D = sum(block mass) / sum(block area).
+  std::vector<size_t> boundaries = {0, n};  // segment edges
+  auto density = [&](const std::vector<size_t>& edges) {
+    double mass = 0.0;
+    double area = 0.0;
+    for (size_t s = 0; s + 1 < edges.size(); ++s) {
+      size_t b = edges[s];
+      size_t e = edges[s + 1];
+      mass += sums.block(b, e);
+      double len = static_cast<double>(e - b);
+      area += len * len;
+    }
+    return area > 0.0 ? mass / area : 0.0;
+  };
+
+  std::vector<double> gains;
+  for (;;) {
+    if (options.max_segments > 0 &&
+        boundaries.size() - 1 >= options.max_segments) {
+      break;
+    }
+    double base = density(boundaries);
+    double best_gain = -1.0;
+    size_t best_pos = 0;
+    for (size_t s = 0; s + 1 < boundaries.size(); ++s) {
+      for (size_t split = boundaries[s] + 1; split < boundaries[s + 1];
+           ++split) {
+        std::vector<size_t> candidate = boundaries;
+        candidate.insert(
+            std::upper_bound(candidate.begin(), candidate.end(), split),
+            split);
+        double gain = density(candidate) - base;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_pos = split;
+        }
+      }
+    }
+    if (best_gain <= 0.0) break;
+    // Choi's automatic termination: stop when the gain drops well below
+    // the profile of gains seen so far.
+    if (gains.size() >= 2) {
+      double m = mean(gains);
+      double sd = stddev(gains);
+      if (best_gain < m - options.threshold_stddev_factor * sd) break;
+    }
+    gains.push_back(best_gain);
+    boundaries.insert(
+        std::upper_bound(boundaries.begin(), boundaries.end(), best_pos),
+        best_pos);
+  }
+
+  Segmentation seg;
+  seg.num_units = n;
+  for (size_t s = 1; s + 1 < boundaries.size() + 0; ++s) {
+    if (boundaries[s] > 0 && boundaries[s] < n) {
+      seg.borders.push_back(boundaries[s]);
+    }
+  }
+  std::sort(seg.borders.begin(), seg.borders.end());
+  return seg;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,32 @@
+#ifndef IBSEG_SEG_C99_H_
+#define IBSEG_SEG_C99_H_
+
+#include "seg/document.h"
+#include "seg/segmentation.h"
+#include "text/vocabulary.h"
+
+namespace ibseg {
+
+/// Options for the C99 segmenter.
+struct C99Options {
+  /// Rank-mask half-width (the original uses an 11x11 mask: half = 5).
+  int rank_mask_half = 5;
+  /// Stop splitting when the density gain of the best split falls below
+  /// mean(gains) - threshold_stddev_factor * stddev(gains) of the gain
+  /// profile collected so far (Choi's automatic termination).
+  double threshold_stddev_factor = 1.2;
+  /// Hard cap on the number of segments (0 = none).
+  size_t max_segments = 0;
+};
+
+/// Choi's C99 topical segmenter (Choi 2000): cosine similarity matrix over
+/// sentence term vectors, local rank transform, then divisive clustering
+/// maximizing within-segment rank density. The second member of the
+/// topical-segmentation family the paper contrasts with (Sec. 8 groups
+/// Hearst's TextTiling and similarity-matrix methods together).
+Segmentation c99_segment(const Document& doc, Vocabulary& vocab,
+                         const C99Options& options = {});
+
+}  // namespace ibseg
+
+#endif  // IBSEG_SEG_C99_H_

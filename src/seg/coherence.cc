@@ -1,0 +1,84 @@
+#include "seg/coherence.h"
+
+#include <cmath>
+
+#include "util/vector_math.h"
+
+namespace ibseg {
+namespace {
+
+bool cm_selected(const SegScoring& scoring, int cm) {
+  return (scoring.cm_mask >> cm) & 1u;
+}
+
+}  // namespace
+
+double segment_coherence(const CmProfile& profile, const SegScoring& scoring) {
+  double sum = 0.0;
+  int active = 0;
+  for (int c = 0; c < kNumCms; ++c) {
+    if (!cm_selected(scoring, c)) continue;
+    sum += 1.0 -
+           cm_diversity(profile, static_cast<CmKind>(c), scoring.diversity);
+    ++active;
+  }
+  return active == 0 ? 0.0 : sum / active;
+}
+
+std::vector<double> cm_distribution_vector(const CmProfile& profile,
+                                           const SegScoring& scoring) {
+  std::vector<double> v;
+  v.reserve(kNumCmFeatures);
+  for (int c = 0; c < kNumCms; ++c) {
+    if (!cm_selected(scoring, c)) continue;
+    CmKind cm = static_cast<CmKind>(c);
+    double total = profile.cm_total(cm);
+    for (int val = 0; val < kCmArity[c]; ++val) {
+      v.push_back(total > 0.0 ? profile.count(cm, val) / total : 0.0);
+    }
+  }
+  return v;
+}
+
+double border_depth(const CmProfile& left, const CmProfile& right,
+                    const SegScoring& scoring) {
+  if (scoring.depth == DepthFn::kCoherence) {
+    // Eq. 3: merge the two segments and compare coherences.
+    CmProfile merged = left;
+    merged.merge(right);
+    double coh_merged = segment_coherence(merged, scoring);
+    double coh_left = segment_coherence(left, scoring);
+    double coh_right = segment_coherence(right, scoring);
+    if (coh_merged <= 0.0) {
+      // A fully diverse merged segment: treat as maximally deep when the
+      // sides are coherent at all, else flat.
+      return (coh_left > 0.0 || coh_right > 0.0) ? 1.0 : 0.0;
+    }
+    return (std::fabs(coh_left - coh_merged) +
+            std::fabs(coh_right - coh_merged)) /
+           (2.0 * coh_merged);
+  }
+  std::vector<double> a = cm_distribution_vector(left, scoring);
+  std::vector<double> b = cm_distribution_vector(right, scoring);
+  switch (scoring.depth) {
+    case DepthFn::kCosine:
+      return cosine_dissimilarity(a, b);
+    case DepthFn::kEuclidean:
+      return euclidean_distance(a, b);
+    case DepthFn::kManhattan:
+      return manhattan_distance(a, b);
+    case DepthFn::kCoherence:
+      break;  // handled above
+  }
+  return 0.0;
+}
+
+double border_score(const CmProfile& left, const CmProfile& right,
+                    const SegScoring& scoring) {
+  return (segment_coherence(left, scoring) +
+          segment_coherence(right, scoring) +
+          border_depth(left, right, scoring)) /
+         3.0;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,51 @@
+#ifndef IBSEG_SEG_COHERENCE_H_
+#define IBSEG_SEG_COHERENCE_H_
+
+#include <vector>
+
+#include "nlp/cm_profile.h"
+#include "seg/diversity.h"
+
+namespace ibseg {
+
+/// Depth (border dissimilarity) function family (Sec. 5.2 and Fig. 9).
+enum class DepthFn {
+  kCoherence,  ///< Eq. 3: coherence drop of the hypothetical merged segment.
+  kCosine,     ///< cosine dissimilarity of normalized CM vectors.
+  kEuclidean,  ///< Euclidean distance of normalized CM vectors.
+  kManhattan,  ///< Manhattan distance of normalized CM vectors.
+};
+
+/// Scoring configuration for segmentation quality.
+struct SegScoring {
+  DiversityIndex diversity = DiversityIndex::kShannon;
+  DepthFn depth = DepthFn::kCoherence;
+  /// Bit mask over CmKind selecting which CMs participate (Greedy runs one
+  /// CM at a time). Default: all five.
+  unsigned cm_mask = 0x1F;
+};
+
+/// Coherence of a segment profile: Eq. 2, averaged over the CMs selected by
+/// `scoring.cm_mask`. In [0, 1]; 1 means every active CM is concentrated on
+/// a single value.
+double segment_coherence(const CmProfile& profile, const SegScoring& scoring);
+
+/// Per-CM normalized distribution vector (concatenated over selected CMs),
+/// used by the distance-based depth functions.
+std::vector<double> cm_distribution_vector(const CmProfile& profile,
+                                           const SegScoring& scoring);
+
+/// Depth of the border between two adjacent segment profiles (Eq. 3 for
+/// DepthFn::kCoherence; a distance between CM distribution vectors
+/// otherwise). Non-negative.
+double border_depth(const CmProfile& left, const CmProfile& right,
+                    const SegScoring& scoring);
+
+/// Border score: Eq. 4, the average of the two segment coherences and the
+/// border depth.
+double border_score(const CmProfile& left, const CmProfile& right,
+                    const SegScoring& scoring);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_SEG_COHERENCE_H_

@@ -1,0 +1,55 @@
+#include "seg/diversity.h"
+
+#include <cmath>
+
+namespace ibseg {
+
+int cm_richness_count(const CmProfile& profile, CmKind cm) {
+  int nonzero = 0;
+  for (int v = 0; v < kCmArity[static_cast<int>(cm)]; ++v) {
+    if (profile.count(cm, v) > 0.0) ++nonzero;
+  }
+  return nonzero;
+}
+
+double cm_evenness(const CmProfile& profile, CmKind cm) {
+  int nonzero = cm_richness_count(profile, cm);
+  if (nonzero <= 1) return 1.0;
+  double total = profile.cm_total(cm);
+  double h = 0.0;
+  for (int v = 0; v < kCmArity[static_cast<int>(cm)]; ++v) {
+    double c = profile.count(cm, v);
+    if (c <= 0.0) continue;
+    double p = c / total;
+    h -= p * std::log(p);
+  }
+  return h / std::log(static_cast<double>(nonzero));
+}
+
+double cm_diversity(const CmProfile& profile, CmKind cm,
+                    DiversityIndex index) {
+  int arity = kCmArity[static_cast<int>(cm)];
+  double total = profile.cm_total(cm);
+  if (total <= 0.0) return 0.0;
+  switch (index) {
+    case DiversityIndex::kShannon: {
+      // Eq. 1, with the log normalized by log(arity) so the index is at
+      // most 1 regardless of the CM's number of categorical values (the
+      // paper notes the index must stay below one for coherence Eq. 2).
+      double h = 0.0;
+      for (int v = 0; v < arity; ++v) {
+        double c = profile.count(cm, v);
+        if (c <= 0.0) continue;
+        double p = c / total;
+        h -= p * std::log(p);
+      }
+      return h / std::log(static_cast<double>(arity));
+    }
+    case DiversityIndex::kRichness:
+      return static_cast<double>(cm_richness_count(profile, cm)) /
+             static_cast<double>(arity);
+  }
+  return 0.0;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,30 @@
+#ifndef IBSEG_SEG_DIVERSITY_H_
+#define IBSEG_SEG_DIVERSITY_H_
+
+#include "nlp/cm_profile.h"
+
+namespace ibseg {
+
+/// Diversity index family (Sec. 5.2). A diversity index grows with both
+/// richness (how many CM values occur) and evenness (how uniformly they
+/// occur); coherence is its complement.
+enum class DiversityIndex {
+  kShannon,   ///< Eq. 1, normalized by log(arity) so values lie in [0, 1].
+  kRichness,  ///< #non-zero values / arity, in [0, 1].
+};
+
+/// Diversity of one communication mean within a segment profile.
+/// Returns 0 for a CM with no occurrences (an absent CM is trivially even).
+double cm_diversity(const CmProfile& profile, CmKind cm, DiversityIndex index);
+
+/// Evenness (Pielou): Shannon entropy / log(#non-zero values); 1 when the
+/// observed values are uniform, approaching 0 when one value dominates.
+/// Exposed for tests and the feature-selection analysis.
+double cm_evenness(const CmProfile& profile, CmKind cm);
+
+/// Number of CM values with non-zero counts.
+int cm_richness_count(const CmProfile& profile, CmKind cm);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_SEG_DIVERSITY_H_

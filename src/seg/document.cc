@@ -1,0 +1,54 @@
+#include "seg/document.h"
+
+#include <cassert>
+
+#include "nlp/cm_annotator.h"
+#include "nlp/pos_tagger.h"
+
+namespace ibseg {
+
+Document Document::analyze(DocId id, std::string text) {
+  Document d;
+  d.id_ = id;
+  d.text_ = std::move(text);
+  d.tokens_ = tokenize(d.text_);
+  d.tags_ = tag_tokens(d.tokens_);
+  d.sentences_ = split_sentences(d.tokens_, d.text_);
+  d.unit_profiles_ = annotate_sentences(d.tokens_, d.tags_, d.sentences_);
+
+  d.prefix_profiles_.resize(d.sentences_.size() + 1);
+  for (size_t i = 0; i < d.sentences_.size(); ++i) {
+    d.prefix_profiles_[i + 1] = d.prefix_profiles_[i];
+    d.prefix_profiles_[i + 1].merge(d.unit_profiles_[i]);
+  }
+  return d;
+}
+
+CmProfile Document::range_profile(size_t begin, size_t end) const {
+  assert(begin <= end && end <= num_units());
+  CmProfile p;
+  for (size_t i = 0; i < p.counts.size(); ++i) {
+    p.counts[i] =
+        prefix_profiles_[end].counts[i] - prefix_profiles_[begin].counts[i];
+    // Floating-point subtraction can leave tiny negatives; clamp.
+    if (p.counts[i] < 0.0) p.counts[i] = 0.0;
+  }
+  return p;
+}
+
+size_t Document::border_char_offset(size_t u) const {
+  assert(u <= num_units());
+  if (num_units() == 0) return 0;
+  if (u == num_units()) return sentences_.back().char_end;
+  return sentences_[u].char_begin;
+}
+
+std::string_view Document::range_text(size_t begin, size_t end) const {
+  assert(begin <= end && end <= num_units());
+  if (begin == end) return {};
+  size_t b = sentences_[begin].char_begin;
+  size_t e = sentences_[end - 1].char_end;
+  return std::string_view(text_).substr(b, e - b);
+}
+
+}  // namespace ibseg

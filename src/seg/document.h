@@ -1,0 +1,70 @@
+#ifndef IBSEG_SEG_DOCUMENT_H_
+#define IBSEG_SEG_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nlp/cm_profile.h"
+#include "nlp/pos_tag.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace ibseg {
+
+/// Dense document identifier within a corpus.
+using DocId = uint32_t;
+
+/// A fully analyzed forum post: cleaned text, tokens, POS tags, sentences
+/// (the segmentation text units) and one CmProfile per sentence. Immutable
+/// after construction; built once per post in the offline phase.
+class Document {
+ public:
+  /// An empty document (no text, no units); useful as a container
+  /// placeholder before analyze() results are moved in.
+  Document() = default;
+
+  /// Analyzes `text` (plain text; run strip_html first for raw forum dumps).
+  static Document analyze(DocId id, std::string text);
+
+  DocId id() const { return id_; }
+  const std::string& text() const { return text_; }
+  const std::vector<Token>& tokens() const { return tokens_; }
+  const std::vector<Pos>& tags() const { return tags_; }
+  const std::vector<Sentence>& sentences() const { return sentences_; }
+
+  /// Number of text units (sentences).
+  size_t num_units() const { return sentences_.size(); }
+
+  /// CM profile of sentence `u`.
+  const CmProfile& unit_profile(size_t u) const { return unit_profiles_[u]; }
+
+  /// Merged CM profile over sentence range [begin, end) — the distribution
+  /// tables DSb_CM of a candidate segment (Sec. 5.2). O(1) via prefix sums.
+  CmProfile range_profile(size_t begin, size_t end) const;
+
+  /// Merged CM profile of the whole document (DSb* of Eq. 6).
+  CmProfile document_profile() const { return range_profile(0, num_units()); }
+
+  /// Character offset in `text()` where a border *before* unit `u` falls
+  /// (the start of sentence u). Used for offset-based agreement metrics.
+  size_t border_char_offset(size_t u) const;
+
+  /// Concatenated source text of the sentence range [begin, end).
+  std::string_view range_text(size_t begin, size_t end) const;
+
+ private:
+  DocId id_ = 0;
+  std::string text_;
+  std::vector<Token> tokens_;
+  std::vector<Pos> tags_;
+  std::vector<Sentence> sentences_;
+  std::vector<CmProfile> unit_profiles_;
+  /// prefix_profiles_[i] = sum of unit_profiles_[0, i); size num_units+1.
+  std::vector<CmProfile> prefix_profiles_;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_SEG_DOCUMENT_H_

@@ -1,0 +1,58 @@
+#include "seg/feature_selection.h"
+
+#include <algorithm>
+
+#include "seg/border_strategies.h"
+
+namespace ibseg {
+
+double coherence_gain(const Document& doc, const Segmentation& seg,
+                      const SegScoring& scoring) {
+  double whole = segment_coherence(doc.document_profile(), scoring);
+  return mean_segment_coherence(doc, seg, scoring) - whole;
+}
+
+std::string cm_mask_name(unsigned cm_mask) {
+  std::string name;
+  for (int c = 0; c < kNumCms; ++c) {
+    if (!((cm_mask >> c) & 1u)) continue;
+    if (!name.empty()) name += "+";
+    name += cm_name(static_cast<CmKind>(c));
+  }
+  return name.empty() ? "(none)" : name;
+}
+
+std::vector<CmSubsetScore> rank_cm_subsets(const std::vector<Document>& docs) {
+  std::vector<CmSubsetScore> scores;
+  for (unsigned mask = 1; mask < (1u << kNumCms); ++mask) {
+    SegScoring scoring;
+    scoring.cm_mask = mask;
+    CmSubsetScore score;
+    score.cm_mask = mask;
+    score.name = cm_mask_name(mask);
+    double gain_total = 0.0;
+    double segment_total = 0.0;
+    size_t counted = 0;
+    for (const Document& doc : docs) {
+      if (doc.num_units() < 2) continue;
+      Segmentation seg =
+          select_borders(doc, BorderStrategyKind::kTile, scoring);
+      gain_total += coherence_gain(doc, seg, scoring);
+      segment_total += static_cast<double>(seg.num_segments());
+      ++counted;
+    }
+    if (counted > 0) {
+      score.mean_gain = gain_total / static_cast<double>(counted);
+      score.mean_segments = segment_total / static_cast<double>(counted);
+    }
+    scores.push_back(std::move(score));
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const CmSubsetScore& a, const CmSubsetScore& b) {
+              if (a.mean_gain != b.mean_gain) return a.mean_gain > b.mean_gain;
+              return a.cm_mask < b.cm_mask;
+            });
+  return scores;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,55 @@
+#include "seg/segmentation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ibseg {
+
+std::vector<std::pair<size_t, size_t>> Segmentation::segments() const {
+  std::vector<std::pair<size_t, size_t>> out;
+  if (num_units == 0) return out;
+  size_t begin = 0;
+  for (size_t b : borders) {
+    out.emplace_back(begin, b);
+    begin = b;
+  }
+  out.emplace_back(begin, num_units);
+  return out;
+}
+
+size_t Segmentation::segment_of_unit(size_t u) const {
+  assert(u < num_units);
+  size_t idx = 0;
+  for (size_t b : borders) {
+    if (u < b) return idx;
+    ++idx;
+  }
+  return idx;
+}
+
+bool Segmentation::is_valid() const {
+  size_t prev = 0;
+  for (size_t b : borders) {
+    if (b <= prev || b >= num_units) return false;
+    prev = b;
+  }
+  return true;
+}
+
+Segmentation Segmentation::all_units(size_t num_units) {
+  Segmentation s;
+  s.num_units = num_units;
+  for (size_t b = 1; b < num_units; ++b) s.borders.push_back(b);
+  return s;
+}
+
+std::vector<int> boundary_indicator(const Segmentation& seg) {
+  std::vector<int> gaps(seg.num_units > 0 ? seg.num_units - 1 : 0, 0);
+  for (size_t b : seg.borders) {
+    assert(b >= 1 && b - 1 < gaps.size());
+    gaps[b - 1] = 1;
+  }
+  return gaps;
+}
+
+}  // namespace ibseg

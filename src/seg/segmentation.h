@@ -1,0 +1,51 @@
+#ifndef IBSEG_SEG_SEGMENTATION_H_
+#define IBSEG_SEG_SEGMENTATION_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ibseg {
+
+/// A segmentation of a document of `num_units` text units (Def. 1),
+/// represented by its border set (Sec. 3): border `b` means a segment
+/// starts at unit index `b`. Borders are strictly increasing and lie in
+/// (0, num_units). An empty border set is the trivial one-segment
+/// segmentation.
+struct Segmentation {
+  size_t num_units = 0;
+  std::vector<size_t> borders;
+
+  /// Number of segments (|S^d| in the paper). 0 only for an empty document.
+  size_t num_segments() const {
+    return num_units == 0 ? 0 : borders.size() + 1;
+  }
+
+  /// Half-open [begin, end) unit ranges of the segments, in order.
+  std::vector<std::pair<size_t, size_t>> segments() const;
+
+  /// The segment index that contains unit `u`.
+  size_t segment_of_unit(size_t u) const;
+
+  /// True when borders are sorted, unique and within (0, num_units).
+  bool is_valid() const;
+
+  /// The trivial segmentation (whole document, no borders).
+  static Segmentation whole(size_t num_units) {
+    return Segmentation{num_units, {}};
+  }
+
+  /// Every unit its own segment (the bottom-up starting point).
+  static Segmentation all_units(size_t num_units);
+
+  bool operator==(const Segmentation&) const = default;
+};
+
+/// Converts a segmentation into a 0/1 boundary indicator per gap (gap i is
+/// between units i and i+1; there are num_units-1 gaps). Used by the
+/// WindowDiff metric.
+std::vector<int> boundary_indicator(const Segmentation& seg);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_SEG_SEGMENTATION_H_

@@ -1,0 +1,97 @@
+#include "seg/segmenter.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace ibseg {
+
+Segmenter Segmenter::intention(BorderStrategyKind strategy,
+                               const SegScoring& scoring,
+                               const BorderStrategyOptions& options) {
+  Segmenter s;
+  s.mode_ = Mode::kIntention;
+  s.strategy_ = strategy;
+  s.scoring_ = scoring;
+  s.strategy_options_ = options;
+  s.name_ = std::string("Intention/") + border_strategy_name(strategy);
+  return s;
+}
+
+Segmenter Segmenter::topical(const TextTilingOptions& options) {
+  Segmenter s;
+  s.mode_ = Mode::kTopical;
+  s.tiling_options_ = options;
+  s.name_ = "Topical/TextTiling";
+  return s;
+}
+
+Segmenter Segmenter::cm_tiling(const TextTilingOptions& options) {
+  Segmenter s;
+  s.mode_ = Mode::kCmTiling;
+  s.tiling_options_ = options;
+  s.name_ = "Intention/CmTiling";
+  return s;
+}
+
+Segmenter Segmenter::sentences() {
+  Segmenter s;
+  s.mode_ = Mode::kSentences;
+  s.name_ = "Sentences";
+  return s;
+}
+
+Segmenter Segmenter::random_baseline(double border_prob, uint64_t seed) {
+  Segmenter s;
+  s.mode_ = Mode::kRandom;
+  s.random_border_prob_ = border_prob;
+  s.random_seed_ = seed;
+  s.name_ = "Baseline/Random";
+  return s;
+}
+
+Segmenter Segmenter::even_split(size_t num_segments) {
+  Segmenter s;
+  s.mode_ = Mode::kEvenSplit;
+  s.even_segments_ = num_segments == 0 ? 1 : num_segments;
+  s.name_ = "Baseline/EvenSplit";
+  return s;
+}
+
+Segmentation Segmenter::segment(const Document& doc, Vocabulary& vocab) const {
+  switch (mode_) {
+    case Mode::kIntention:
+      return select_borders(doc, strategy_, scoring_, strategy_options_);
+    case Mode::kTopical:
+      return texttiling_segment(doc, vocab, tiling_options_);
+    case Mode::kCmTiling:
+      return cm_tiling_segment(doc, tiling_options_);
+    case Mode::kSentences:
+      return select_borders(doc, BorderStrategyKind::kSentences);
+    case Mode::kRandom: {
+      Segmentation s;
+      s.num_units = doc.num_units();
+      Rng rng(random_seed_ ^ (static_cast<uint64_t>(doc.id()) * 0x9E37ULL));
+      for (size_t b = 1; b < doc.num_units(); ++b) {
+        if (rng.next_bool(random_border_prob_)) s.borders.push_back(b);
+      }
+      return s;
+    }
+    case Mode::kEvenSplit: {
+      Segmentation s;
+      s.num_units = doc.num_units();
+      size_t parts = std::min(even_segments_, std::max<size_t>(doc.num_units(), 1));
+      for (size_t p = 1; p < parts; ++p) {
+        size_t b = p * doc.num_units() / parts;
+        if (b >= 1 && b < doc.num_units() &&
+            (s.borders.empty() || s.borders.back() < b)) {
+          s.borders.push_back(b);
+        }
+      }
+      return s;
+    }
+  }
+  return Segmentation::whole(doc.num_units());
+}
+
+}  // namespace ibseg

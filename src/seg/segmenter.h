@@ -1,0 +1,75 @@
+#ifndef IBSEG_SEG_SEGMENTER_H_
+#define IBSEG_SEG_SEGMENTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "seg/border_strategies.h"
+#include "seg/texttiling.h"
+
+namespace ibseg {
+
+/// Facade over the segmentation back ends so the pipeline and benchmarks
+/// can swap segmenters uniformly:
+///  * intention-based (CM features + a border selection strategy, Sec. 5),
+///  * topical (term-based TextTiling, the Content-MR/Hearst comparator),
+///  * sentences (no merging, the SentIntent-MR comparator).
+class Segmenter {
+ public:
+  /// Intention-based segmenter (default: Greedy + Shannon + Eq. 3 depth,
+  /// the configuration the paper selects for the overall evaluation).
+  static Segmenter intention(
+      BorderStrategyKind strategy = BorderStrategyKind::kGreedy,
+      const SegScoring& scoring = {},
+      const BorderStrategyOptions& options = {});
+
+  /// Term-based TextTiling segmenter.
+  static Segmenter topical(const TextTilingOptions& options = {});
+
+  /// Hearst's mechanism over CM vectors (Sec. 9.1.2.A "Tile on CMs").
+  static Segmenter cm_tiling(const TextTilingOptions& options = {});
+
+  /// Sentence-granularity segmenter.
+  static Segmenter sentences();
+
+  /// Baseline: borders at uniform random gaps with probability
+  /// `border_prob` (deterministic in the document id). Grounds the
+  /// segmentation metrics the way the Random method grounds precision.
+  static Segmenter random_baseline(double border_prob = 0.25,
+                                   uint64_t seed = 97);
+
+  /// Baseline: splits into `num_segments` near-equal parts.
+  static Segmenter even_split(size_t num_segments = 3);
+
+  /// Segments one document. `vocab` is only touched by the topical mode
+  /// (term interning); it must be the corpus-shared vocabulary.
+  Segmentation segment(const Document& doc, Vocabulary& vocab) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  enum class Mode {
+    kIntention,
+    kTopical,
+    kCmTiling,
+    kSentences,
+    kRandom,
+    kEvenSplit,
+  };
+
+  Segmenter() = default;
+
+  Mode mode_ = Mode::kIntention;
+  BorderStrategyKind strategy_ = BorderStrategyKind::kGreedy;
+  SegScoring scoring_;
+  BorderStrategyOptions strategy_options_;
+  TextTilingOptions tiling_options_;
+  double random_border_prob_ = 0.25;
+  uint64_t random_seed_ = 97;
+  size_t even_segments_ = 3;
+  std::string name_;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_SEG_SEGMENTER_H_

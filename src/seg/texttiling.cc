@@ -1,0 +1,123 @@
+#include "seg/texttiling.h"
+
+#include <algorithm>
+
+#include "seg/coherence.h"
+#include "text/term_vector.h"
+#include "util/vector_math.h"
+
+namespace ibseg {
+namespace {
+
+// Shared tail of the TextTiling mechanism: smooth the gap-score sequence,
+// compute valley depth scores, cut at mean - f*stddev, keep local maxima.
+Segmentation borders_from_gap_scores(std::vector<double> gap_scores, size_t n,
+                                     const TextTilingOptions& options) {
+  size_t num_gaps = gap_scores.size();
+  for (int pass = 0; pass < options.smoothing_passes; ++pass) {
+    std::vector<double> smoothed(gap_scores);
+    for (size_t g = 0; g < num_gaps; ++g) {
+      double sum = gap_scores[g];
+      int cnt = 1;
+      if (g > 0) {
+        sum += gap_scores[g - 1];
+        ++cnt;
+      }
+      if (g + 1 < num_gaps) {
+        sum += gap_scores[g + 1];
+        ++cnt;
+      }
+      smoothed[g] = sum / cnt;
+    }
+    gap_scores = std::move(smoothed);
+  }
+
+  // Depth scores: height of the peaks on both sides of each valley.
+  std::vector<double> depth(num_gaps, 0.0);
+  for (size_t g = 0; g < num_gaps; ++g) {
+    double left_peak = gap_scores[g];
+    for (size_t i = g; i-- > 0;) {
+      if (gap_scores[i] >= left_peak) {
+        left_peak = gap_scores[i];
+      } else {
+        break;
+      }
+    }
+    double right_peak = gap_scores[g];
+    for (size_t i = g + 1; i < num_gaps; ++i) {
+      if (gap_scores[i] >= right_peak) {
+        right_peak = gap_scores[i];
+      } else {
+        break;
+      }
+    }
+    depth[g] = (left_peak - gap_scores[g]) + (right_peak - gap_scores[g]);
+  }
+
+  double cutoff = mean(depth) - options.cutoff_stddev_factor * stddev(depth);
+  Segmentation seg;
+  seg.num_units = n;
+  for (size_t g = 0; g < num_gaps; ++g) {
+    if (depth[g] > cutoff && depth[g] > 0.0) {
+      // Local maximum check: avoid adjacent boundaries from one valley.
+      bool local_max = (g == 0 || depth[g] >= depth[g - 1]) &&
+                       (g + 1 == num_gaps || depth[g] > depth[g + 1]);
+      if (local_max) seg.borders.push_back(g + 1);
+    }
+  }
+  return seg;
+}
+
+}  // namespace
+
+Segmentation texttiling_segment(const Document& doc, Vocabulary& vocab,
+                                const TextTilingOptions& options) {
+  size_t n = doc.num_units();
+  if (n < 2) return Segmentation::whole(n);
+
+  std::vector<TermVector> unit_terms(n);
+  for (size_t u = 0; u < n; ++u) {
+    const Sentence& s = doc.sentences()[u];
+    unit_terms[u] =
+        build_term_vector(doc.tokens(), s.token_begin, s.token_end, vocab);
+  }
+
+  size_t num_gaps = n - 1;
+  std::vector<double> gap_scores(num_gaps, 0.0);
+  int bs = std::max(1, options.block_size);
+  for (size_t g = 0; g < num_gaps; ++g) {
+    TermVector left;
+    TermVector right;
+    for (int k = 0; k < bs; ++k) {
+      long li = static_cast<long>(g) - k;
+      if (li >= 0) left.merge(unit_terms[static_cast<size_t>(li)]);
+      size_t ri = g + 1 + static_cast<size_t>(k);
+      if (ri < n) right.merge(unit_terms[ri]);
+    }
+    gap_scores[g] = TermVector::cosine(left, right);
+  }
+  return borders_from_gap_scores(std::move(gap_scores), n, options);
+}
+
+Segmentation cm_tiling_segment(const Document& doc,
+                               const TextTilingOptions& options) {
+  size_t n = doc.num_units();
+  if (n < 2) return Segmentation::whole(n);
+
+  SegScoring scoring;  // all CMs
+  size_t num_gaps = n - 1;
+  std::vector<double> gap_scores(num_gaps, 0.0);
+  int bs = std::max(1, options.block_size);
+  for (size_t g = 0; g < num_gaps; ++g) {
+    size_t left_begin = g + 1 >= static_cast<size_t>(bs) ? g + 1 - bs : 0;
+    size_t right_end = std::min(n, g + 1 + static_cast<size_t>(bs));
+    std::vector<double> left = cm_distribution_vector(
+        doc.range_profile(left_begin, g + 1), scoring);
+    std::vector<double> right =
+        cm_distribution_vector(doc.range_profile(g + 1, right_end), scoring);
+    gap_scores[g] = cosine_similarity(left, right);
+  }
+  return borders_from_gap_scores(std::move(gap_scores), n, options);
+}
+
+}  // namespace ibseg

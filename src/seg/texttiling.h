@@ -1,0 +1,42 @@
+#ifndef IBSEG_SEG_TEXTTILING_H_
+#define IBSEG_SEG_TEXTTILING_H_
+
+#include "seg/document.h"
+#include "seg/segmentation.h"
+#include "text/vocabulary.h"
+
+namespace ibseg {
+
+/// Options for the Hearst (1997) TextTiling baseline, adapted to sentences
+/// as text units (the same granularity the intention-based strategies use,
+/// so WindowDiff comparisons are apples-to-apples).
+struct TextTilingOptions {
+  /// Number of sentences in each comparison block.
+  int block_size = 2;
+  /// Smoothing passes over the gap-score sequence (simple 3-point mean).
+  int smoothing_passes = 1;
+  /// A gap becomes a boundary when its depth score exceeds
+  /// mean(depth) - cutoff_stddev_factor * stddev(depth).
+  double cutoff_stddev_factor = 0.5;
+};
+
+/// Thematic (term-based) segmentation per Hearst's TextTiling: lexical
+/// cohesion between adjacent sentence blocks, depth scoring at the gap
+/// valleys, mean/stddev cutoff. This is the paper's topical-segmentation
+/// comparator ([12], Sec. 9.1.2.A) and the segmenter behind Content-MR.
+///
+/// `vocab` is shared so that term ids remain consistent across a corpus.
+Segmentation texttiling_segment(const Document& doc, Vocabulary& vocab,
+                                const TextTilingOptions& options = {});
+
+/// Hearst's border selection mechanism over *CM feature vectors* instead of
+/// term vectors — the paper's Sec. 9.1.2.A "Tile with CM features and
+/// cosine dissimilarity border score" configuration: block vectors are the
+/// summed CM profiles of the block's sentences (per-CM normalized), gap
+/// score is their cosine similarity, boundaries fall at deep valleys.
+Segmentation cm_tiling_segment(const Document& doc,
+                               const TextTilingOptions& options = {});
+
+}  // namespace ibseg
+
+#endif  // IBSEG_SEG_TEXTTILING_H_

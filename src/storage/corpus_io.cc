@@ -1,0 +1,182 @@
+#include "storage/corpus_io.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace ibseg {
+namespace {
+
+constexpr const char* kMagic = "IBSEG-CORPUS v1";
+
+ForumDomain domain_from_name(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "TechSupport") return ForumDomain::kTechSupport;
+  if (name == "Travel") return ForumDomain::kTravel;
+  if (name == "Programming") return ForumDomain::kProgramming;
+  if (name == "Health") return ForumDomain::kHealth;
+  *ok = false;
+  return ForumDomain::kTechSupport;
+}
+
+void write_size_list(std::ostream& os, const char* key,
+                     const std::vector<size_t>& values) {
+  os << key;
+  for (size_t v : values) os << ' ' << v;
+  os << '\n';
+}
+
+void write_int_list(std::ostream& os, const char* key,
+                    const std::vector<int>& values) {
+  os << key;
+  for (int v : values) os << ' ' << v;
+  os << '\n';
+}
+
+// Parses "key v1 v2 ..." lines; returns false when the key mismatches.
+template <typename T>
+bool parse_list(const std::string& line, const std::string& key,
+                std::vector<T>* out) {
+  if (!starts_with(line, key)) return false;
+  std::istringstream ss(line.substr(key.size()));
+  T v;
+  out->clear();
+  while (ss >> v) out->push_back(v);
+  return !ss.bad();
+}
+
+}  // namespace
+
+std::string escape_text(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescape_text(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      ++i;
+      out.push_back(line[i] == 'n' ? '\n' : line[i]);
+    } else {
+      out.push_back(line[i]);
+    }
+  }
+  return out;
+}
+
+bool save_corpus(const SyntheticCorpus& corpus, std::ostream& os) {
+  os << kMagic << '\n';
+  os << "domain " << forum_domain_name(corpus.domain) << '\n';
+  os << "scenarios " << corpus.num_scenarios << '\n';
+  os << "posts " << corpus.posts.size() << '\n';
+  for (const GeneratedPost& post : corpus.posts) {
+    os << "post\n";
+    os << "scenario " << post.scenario_id << '\n';
+    os << "component " << post.component_id << '\n';
+    write_int_list(os, "contaminants", post.contaminants);
+    os << "units " << post.true_segmentation.num_units << '\n';
+    write_size_list(os, "borders", post.true_segmentation.borders);
+    write_int_list(os, "intents", post.segment_intents);
+    os << "text " << escape_text(post.text) << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+bool save_corpus_file(const SyntheticCorpus& corpus,
+                      const std::string& path) {
+  std::ofstream os(path);
+  return os && save_corpus(corpus, os);
+}
+
+std::optional<SyntheticCorpus> load_corpus(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) return std::nullopt;
+
+  SyntheticCorpus corpus;
+  size_t expected_posts = 0;
+  if (!std::getline(is, line) || !starts_with(line, "domain ")) {
+    return std::nullopt;
+  }
+  bool domain_ok = false;
+  corpus.domain = domain_from_name(line.substr(7), &domain_ok);
+  if (!domain_ok) return std::nullopt;
+  if (!std::getline(is, line) || !starts_with(line, "scenarios ")) {
+    return std::nullopt;
+  }
+  corpus.num_scenarios = std::strtoull(line.c_str() + 10, nullptr, 10);
+  if (!std::getline(is, line) || !starts_with(line, "posts ")) {
+    return std::nullopt;
+  }
+  expected_posts = std::strtoull(line.c_str() + 6, nullptr, 10);
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line != "post") return std::nullopt;
+    GeneratedPost post;
+    if (!std::getline(is, line) || !starts_with(line, "scenario ")) {
+      return std::nullopt;
+    }
+    post.scenario_id = std::atoi(line.c_str() + 9);
+    if (!std::getline(is, line) || !starts_with(line, "component ")) {
+      return std::nullopt;
+    }
+    post.component_id = std::atoi(line.c_str() + 10);
+    if (!std::getline(is, line) ||
+        !parse_list(line, "contaminants", &post.contaminants)) {
+      return std::nullopt;
+    }
+    post.contaminant_scenario =
+        post.contaminants.empty() ? -1 : post.contaminants.front();
+    if (!std::getline(is, line) || !starts_with(line, "units ")) {
+      return std::nullopt;
+    }
+    post.true_segmentation.num_units =
+        std::strtoull(line.c_str() + 6, nullptr, 10);
+    if (!std::getline(is, line) ||
+        !parse_list(line, "borders", &post.true_segmentation.borders)) {
+      return std::nullopt;
+    }
+    if (!std::getline(is, line) ||
+        !parse_list(line, "intents", &post.segment_intents)) {
+      return std::nullopt;
+    }
+    if (!std::getline(is, line) || !starts_with(line, "text ")) {
+      return std::nullopt;
+    }
+    post.text = unescape_text(line.substr(5));
+    if (!post.true_segmentation.is_valid()) return std::nullopt;
+    corpus.posts.push_back(std::move(post));
+  }
+  if (corpus.posts.size() != expected_posts) return std::nullopt;
+  return corpus;
+}
+
+std::optional<SyntheticCorpus> load_corpus_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  return load_corpus(is);
+}
+
+std::vector<std::string> load_plain_posts(std::istream& is) {
+  std::vector<std::string> posts;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::string_view stripped = strip(line);
+    if (!stripped.empty()) posts.emplace_back(stripped);
+  }
+  return posts;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,49 @@
+#ifndef IBSEG_STORAGE_CORPUS_IO_H_
+#define IBSEG_STORAGE_CORPUS_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datagen/post_generator.h"
+
+namespace ibseg {
+
+/// Plain-text persistence for corpora so that experiments are replayable
+/// and user data can be loaded without the generator.
+///
+/// Two formats:
+///  * `save_corpus`/`load_corpus` — the full synthetic corpus including
+///    ground truth (scenario/component ids, borders, intentions), a
+///    line-oriented format with one `post` record per post;
+///  * `load_plain_posts` — one raw post per line (blank lines skipped),
+///    the simplest way to bring your own forum dump.
+///
+/// Texts are stored single-line with `\n` / `\\` escaping.
+
+/// Writes `corpus` to `os`. Returns false on stream failure.
+bool save_corpus(const SyntheticCorpus& corpus, std::ostream& os);
+
+/// Writes `corpus` to `path`. Returns false on I/O failure.
+bool save_corpus_file(const SyntheticCorpus& corpus, const std::string& path);
+
+/// Parses a corpus previously written by save_corpus. Returns nullopt on
+/// malformed input.
+std::optional<SyntheticCorpus> load_corpus(std::istream& is);
+
+/// Reads a corpus from `path`.
+std::optional<SyntheticCorpus> load_corpus_file(const std::string& path);
+
+/// Reads one post per non-empty line of `is`.
+std::vector<std::string> load_plain_posts(std::istream& is);
+
+/// Escapes newlines and backslashes so a text fits on one line.
+std::string escape_text(const std::string& text);
+
+/// Inverse of escape_text.
+std::string unescape_text(const std::string& line);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_STORAGE_CORPUS_IO_H_

@@ -1,0 +1,126 @@
+#include "storage/snapshot.h"
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace ibseg {
+namespace {
+
+constexpr const char* kMagic = "IBSEG-SNAPSHOT v1";
+
+}  // namespace
+
+bool PipelineSnapshot::is_consistent() const {
+  size_t segments = 0;
+  for (const Segmentation& s : segmentations) {
+    if (!s.is_valid()) return false;
+    if (s.num_units > 0) segments += s.num_segments();
+  }
+  if (segments != segment_labels.size()) return false;
+  for (int l : segment_labels) {
+    if (l < 0 || l >= num_clusters) return false;
+  }
+  return true;
+}
+
+PipelineSnapshot make_snapshot(const std::vector<Segmentation>& segmentations,
+                               const IntentionClustering& clustering) {
+  PipelineSnapshot snap;
+  snap.segmentations = segmentations;
+  snap.num_clusters = clustering.num_clusters();
+
+  // Map (doc, unit) -> cluster via the refined segments, then read off the
+  // label of each raw segment from its first unit.
+  std::map<std::pair<DocId, size_t>, int> unit_cluster;
+  for (const RefinedSegment& seg : clustering.segments()) {
+    for (auto [b, e] : seg.ranges) {
+      for (size_t u = b; u < e; ++u) {
+        unit_cluster[{seg.doc, u}] = seg.cluster;
+      }
+    }
+  }
+  for (size_t d = 0; d < segmentations.size(); ++d) {
+    for (auto [b, e] : segmentations[d].segments()) {
+      if (b == e) continue;
+      auto it = unit_cluster.find({static_cast<DocId>(d), b});
+      snap.segment_labels.push_back(it == unit_cluster.end() ? 0
+                                                             : it->second);
+    }
+  }
+  return snap;
+}
+
+IntentionClustering restore_clustering(const std::vector<Document>& docs,
+                                       const PipelineSnapshot& snapshot) {
+  return IntentionClustering::from_labels(docs, snapshot.segmentations,
+                                          snapshot.segment_labels,
+                                          snapshot.num_clusters);
+}
+
+bool save_snapshot(const PipelineSnapshot& snapshot, std::ostream& os) {
+  os << kMagic << '\n';
+  os << "clusters " << snapshot.num_clusters << '\n';
+  os << "documents " << snapshot.segmentations.size() << '\n';
+  for (const Segmentation& s : snapshot.segmentations) {
+    os << "seg " << s.num_units;
+    for (size_t b : s.borders) os << ' ' << b;
+    os << '\n';
+  }
+  os << "labels";
+  for (int l : snapshot.segment_labels) os << ' ' << l;
+  os << '\n';
+  return static_cast<bool>(os);
+}
+
+bool save_snapshot_file(const PipelineSnapshot& snapshot,
+                        const std::string& path) {
+  std::ofstream os(path);
+  return os && save_snapshot(snapshot, os);
+}
+
+std::optional<PipelineSnapshot> load_snapshot(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) return std::nullopt;
+  PipelineSnapshot snap;
+  if (!std::getline(is, line) || !starts_with(line, "clusters ")) {
+    return std::nullopt;
+  }
+  snap.num_clusters = std::atoi(line.c_str() + 9);
+  if (!std::getline(is, line) || !starts_with(line, "documents ")) {
+    return std::nullopt;
+  }
+  size_t documents = std::strtoull(line.c_str() + 10, nullptr, 10);
+  for (size_t d = 0; d < documents; ++d) {
+    if (!std::getline(is, line) || !starts_with(line, "seg ")) {
+      return std::nullopt;
+    }
+    std::istringstream ss(line.substr(4));
+    Segmentation s;
+    if (!(ss >> s.num_units)) return std::nullopt;
+    size_t b;
+    while (ss >> b) s.borders.push_back(b);
+    snap.segmentations.push_back(std::move(s));
+  }
+  if (!std::getline(is, line) || !starts_with(line, "labels")) {
+    return std::nullopt;
+  }
+  {
+    std::istringstream ss(line.substr(6));
+    int l;
+    while (ss >> l) snap.segment_labels.push_back(l);
+  }
+  if (!snap.is_consistent()) return std::nullopt;
+  return snap;
+}
+
+std::optional<PipelineSnapshot> load_snapshot_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  return load_snapshot(is);
+}
+
+}  // namespace ibseg

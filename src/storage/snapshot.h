@@ -1,0 +1,50 @@
+#ifndef IBSEG_STORAGE_SNAPSHOT_H_
+#define IBSEG_STORAGE_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/intention_clusters.h"
+#include "seg/segmentation.h"
+
+namespace ibseg {
+
+/// The offline state of the related-post pipeline that is expensive to
+/// recompute: the per-document segmentations and the intention-cluster
+/// assignment of every segment. Together with the raw post texts this is
+/// enough to rebuild the matcher exactly (indices re-derive from it), so a
+/// deployment can segment+cluster once and reload on every restart — the
+/// paper's offline/online split (Sec. 7 "Indexing").
+struct PipelineSnapshot {
+  /// One segmentation per document, in corpus order.
+  std::vector<Segmentation> segmentations;
+  /// Cluster label per segment, flattened in document order then segment
+  /// order (the layout IntentionClustering::from_labels consumes).
+  std::vector<int> segment_labels;
+  int num_clusters = 0;
+
+  /// True when the label count matches the segment count and every label
+  /// is within [0, num_clusters).
+  bool is_consistent() const;
+};
+
+/// Captures a snapshot from the clustering built over `segmentations`.
+PipelineSnapshot make_snapshot(const std::vector<Segmentation>& segmentations,
+                               const IntentionClustering& clustering);
+
+/// Rebuilds the clustering (including refinement) from a snapshot.
+IntentionClustering restore_clustering(const std::vector<Document>& docs,
+                                       const PipelineSnapshot& snapshot);
+
+/// Serialization (line-oriented text, like corpus_io).
+bool save_snapshot(const PipelineSnapshot& snapshot, std::ostream& os);
+bool save_snapshot_file(const PipelineSnapshot& snapshot,
+                        const std::string& path);
+std::optional<PipelineSnapshot> load_snapshot(std::istream& is);
+std::optional<PipelineSnapshot> load_snapshot_file(const std::string& path);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_STORAGE_SNAPSHOT_H_

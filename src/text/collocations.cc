@@ -1,0 +1,120 @@
+#include "text/collocations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+
+namespace ibseg {
+namespace {
+
+// Stemmed content-word sequence of a token stream; "" marks an adjacency
+// break (stopword, punctuation or number).
+std::vector<std::string> content_stream(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kWord && !is_stopword(t.lower)) {
+      out.push_back(porter_stem(t.lower));
+    } else {
+      out.emplace_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CollocationModel::joined_term(const std::string& first_stem,
+                                          const std::string& second_stem) {
+  return first_stem + "_" + second_stem;
+}
+
+CollocationModel CollocationModel::learn(
+    const std::vector<const std::vector<Token>*>& token_streams,
+    const CollocationOptions& options) {
+  std::unordered_map<std::string, size_t> unigrams;
+  std::unordered_map<std::string, size_t> bigrams;
+  size_t total_unigrams = 0;
+  size_t total_bigrams = 0;
+  for (const std::vector<Token>* tokens : token_streams) {
+    std::vector<std::string> stream = content_stream(*tokens);
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (stream[i].empty()) continue;
+      ++unigrams[stream[i]];
+      ++total_unigrams;
+      if (i + 1 < stream.size() && !stream[i + 1].empty()) {
+        ++bigrams[stream[i] + " " + stream[i + 1]];
+        ++total_bigrams;
+      }
+    }
+  }
+  CollocationModel model;
+  if (total_bigrams == 0 || total_unigrams == 0) return model;
+
+  struct Scored {
+    std::string key;
+    double pmi;
+  };
+  std::vector<Scored> accepted;
+  for (const auto& [key, count] : bigrams) {
+    if (count < options.min_count) continue;
+    size_t space = key.find(' ');
+    double p_ab = static_cast<double>(count) / total_bigrams;
+    double p_a = static_cast<double>(unigrams[key.substr(0, space)]) /
+                 total_unigrams;
+    double p_b = static_cast<double>(unigrams[key.substr(space + 1)]) /
+                 total_unigrams;
+    double pmi = std::log(p_ab / (p_a * p_b));
+    if (pmi >= options.min_pmi) accepted.push_back(Scored{key, pmi});
+  }
+  std::sort(accepted.begin(), accepted.end(),
+            [](const Scored& a, const Scored& b) {
+              if (a.pmi != b.pmi) return a.pmi > b.pmi;
+              return a.key < b.key;
+            });
+  if (accepted.size() > options.max_collocations) {
+    accepted.resize(options.max_collocations);
+  }
+  for (const Scored& s : accepted) model.pairs_.insert(s.key);
+  return model;
+}
+
+bool CollocationModel::is_collocation(const std::string& first_stem,
+                                      const std::string& second_stem) const {
+  return pairs_.count(first_stem + " " + second_stem) > 0;
+}
+
+TermVector build_term_vector_with_collocations(
+    const std::vector<Token>& tokens, size_t begin, size_t end,
+    const CollocationModel& model, Vocabulary& vocab) {
+  TermVector tv;
+  // Stemmed view of the window with adjacency breaks.
+  std::vector<std::string> stems;
+  stems.reserve(end - begin);
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == TokenKind::kWord && !is_stopword(t.lower)) {
+      stems.push_back(porter_stem(t.lower));
+    } else if (t.kind == TokenKind::kNumber) {
+      stems.push_back(t.lower);  // numbers are terms but never collocate
+    } else {
+      stems.emplace_back();
+    }
+  }
+  for (size_t i = 0; i < stems.size(); ++i) {
+    if (stems[i].empty()) continue;
+    if (i + 1 < stems.size() && !stems[i + 1].empty() &&
+        model.is_collocation(stems[i], stems[i + 1])) {
+      tv.add(vocab.intern(
+          CollocationModel::joined_term(stems[i], stems[i + 1])));
+      ++i;  // the pair is one unit
+      continue;
+    }
+    tv.add(vocab.intern(stems[i]));
+  }
+  return tv;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,63 @@
+#ifndef IBSEG_TEXT_COLLOCATIONS_H_
+#define IBSEG_TEXT_COLLOCATIONS_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "text/term_vector.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace ibseg {
+
+/// Options for PMI-based bigram collocation learning.
+struct CollocationOptions {
+  /// Minimum number of occurrences for a bigram to be considered.
+  size_t min_count = 5;
+  /// Minimum pointwise mutual information (natural log) to accept.
+  double min_pmi = 3.0;
+  /// Keep at most this many collocations (highest PMI first).
+  size_t max_collocations = 2000;
+};
+
+/// Learns "undivided combinations of words" (paper Sec. 3 allows multiword
+/// text units such as "New York") from a corpus: adjacent word pairs whose
+/// pointwise mutual information exceeds a threshold. Downstream, the
+/// collocation-aware term-vector builder folds each detected pair into a
+/// single `first_second` term so indices and similarity treat it as one
+/// unit.
+class CollocationModel {
+ public:
+  /// Counts adjacent stemmed word pairs (stopwords break adjacency) over
+  /// the given token streams (one per document; pass &doc.tokens()) and
+  /// keeps the high-PMI pairs.
+  static CollocationModel learn(
+      const std::vector<const std::vector<Token>*>& token_streams,
+      const CollocationOptions& options = {});
+
+  /// True when the stemmed pair (first, second) is a known collocation.
+  bool is_collocation(const std::string& first_stem,
+                      const std::string& second_stem) const;
+
+  size_t size() const { return pairs_.size(); }
+
+  /// The joined term form used for an accepted pair.
+  static std::string joined_term(const std::string& first_stem,
+                                 const std::string& second_stem);
+
+ private:
+  std::unordered_set<std::string> pairs_;  // "first second" keys
+};
+
+/// Like build_term_vector, but folds learned collocations into single
+/// terms: a matching adjacent pair contributes one `first_second` term
+/// instead of two unigrams.
+TermVector build_term_vector_with_collocations(
+    const std::vector<Token>& tokens, size_t begin, size_t end,
+    const CollocationModel& model, Vocabulary& vocab);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_TEXT_COLLOCATIONS_H_

@@ -1,0 +1,128 @@
+#include "text/html_cleaner.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace ibseg {
+namespace {
+
+struct NamedEntity {
+  std::string_view name;  // includes & and ;
+  char replacement;
+};
+
+constexpr std::array<NamedEntity, 7> kEntities = {{
+    {"&amp;", '&'},
+    {"&lt;", '<'},
+    {"&gt;", '>'},
+    {"&quot;", '"'},
+    {"&apos;", '\''},
+    {"&nbsp;", ' '},
+    {"&#39;", '\''},
+}};
+
+// Returns the lowercased tag name starting at `pos` (which points just past
+// '<' and an optional '/').
+std::string tag_name_at(std::string_view s, size_t pos) {
+  std::string name;
+  while (pos < s.size() && is_ascii_alnum(s[pos])) {
+    name.push_back(static_cast<char>(std::tolower(s[pos])));
+    ++pos;
+  }
+  return name;
+}
+
+bool is_block_tag(const std::string& name) {
+  return name == "p" || name == "br" || name == "div" || name == "li" ||
+         name == "tr" || name == "pre" || name == "blockquote" ||
+         name == "h1" || name == "h2" || name == "h3" || name == "h4" ||
+         name == "ul" || name == "ol" || name == "table";
+}
+
+}  // namespace
+
+char decode_entity(std::string_view s, size_t pos, size_t* consumed) {
+  for (const NamedEntity& e : kEntities) {
+    if (s.substr(pos, e.name.size()) == e.name) {
+      *consumed = e.name.size();
+      return e.replacement;
+    }
+  }
+  // Numeric entity &#NNN;
+  if (pos + 2 < s.size() && s[pos + 1] == '#') {
+    size_t i = pos + 2;
+    int value = 0;
+    while (i < s.size() && is_ascii_digit(s[i]) && i - pos < 8) {
+      value = value * 10 + (s[i] - '0');
+      ++i;
+    }
+    if (i < s.size() && s[i] == ';' && i > pos + 2) {
+      *consumed = i - pos + 1;
+      // Only ASCII survives; anything else becomes a space.
+      return (value >= 32 && value < 127) ? static_cast<char>(value) : ' ';
+    }
+  }
+  *consumed = 1;
+  return '&';
+}
+
+std::string strip_html(std::string_view html) {
+  std::string out;
+  out.reserve(html.size());
+  size_t i = 0;
+  bool skipping_element = false;  // inside <script>/<style>
+  std::string skip_until;        // the closing tag name we wait for
+  while (i < html.size()) {
+    char c = html[i];
+    if (c == '<') {
+      size_t name_start = i + 1;
+      bool closing = name_start < html.size() && html[name_start] == '/';
+      if (closing) ++name_start;
+      std::string name = tag_name_at(html, name_start);
+      size_t close = html.find('>', i);
+      if (close == std::string_view::npos) break;  // truncated markup
+      if (skipping_element) {
+        if (closing && name == skip_until) skipping_element = false;
+      } else if (!closing && (name == "script" || name == "style")) {
+        skipping_element = true;
+        skip_until = name;
+      } else if (is_block_tag(name)) {
+        if (!out.empty() && out.back() != '\n') out.push_back('\n');
+      }
+      i = close + 1;
+      continue;
+    }
+    if (skipping_element) {
+      ++i;
+      continue;
+    }
+    if (c == '&') {
+      size_t consumed = 0;
+      out.push_back(decode_entity(html, i, &consumed));
+      i += consumed;
+      continue;
+    }
+    if (c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t') {
+      if (!out.empty() && out.back() != ' ' && out.back() != '\n') {
+        out.push_back(' ');
+      }
+      ++i;
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  // Trim trailing whitespace/newlines.
+  while (!out.empty() && (out.back() == ' ' || out.back() == '\n')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,32 @@
+#ifndef IBSEG_TEXT_HTML_CLEANER_H_
+#define IBSEG_TEXT_HTML_CLEANER_H_
+
+#include <string>
+#include <string_view>
+
+namespace ibseg {
+
+/// Strips HTML markup from raw forum-post bodies, mirroring the "html and
+/// special symbols cleaning" pre-processing step the paper reports as part
+/// of its segmentation timings (Sec. 9.2.4).
+///
+/// Behaviour:
+///  * tags are removed; block-level tags (`<p>`, `<br>`, `<div>`, `<li>`,
+///    headings, `<pre>`, `<tr>`) become sentence-friendly newlines;
+///  * `<script>` and `<style>` elements are dropped with their content;
+///  * `<code>`/`<pre>` contents are kept (StackOverflow posts carry signal
+///    there) but flattened to plain text;
+///  * common entities (&amp; &lt; &gt; &quot; &apos; &nbsp; &#NN;) are
+///    decoded;
+///  * runs of whitespace collapse to a single space, preserving newlines
+///    produced by block tags.
+std::string strip_html(std::string_view html);
+
+/// Decodes the entity at s[pos] (which must be '&'). On success returns the
+/// decoded character and sets *consumed to the entity length; otherwise
+/// returns '&' with *consumed = 1.
+char decode_entity(std::string_view s, size_t pos, size_t* consumed);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_TEXT_HTML_CLEANER_H_

@@ -1,0 +1,76 @@
+#include "text/normalizer.h"
+
+#include <array>
+
+namespace ibseg {
+namespace {
+
+struct Mapping {
+  std::string_view utf8;
+  std::string_view ascii;
+};
+
+// The common cases; checked in order (all are prefix-free).
+constexpr std::array<Mapping, 18> kMappings = {{
+    {"‘", "'"},   // left single quote
+    {"’", "'"},   // right single quote (apostrophe!)
+    {"‚", "'"},   // low single quote
+    {"“", "\""},  // left double quote
+    {"”", "\""},  // right double quote
+    {"„", "\""},  // low double quote
+    {"–", "-"},   // en dash
+    {"—", "-"},   // em dash
+    {"―", "-"},   // horizontal bar
+    {"…", "..."}, // ellipsis
+    {" ", " "},   // non-breaking space
+    {"•", " "},   // bullet
+    {"·", " "},   // middle dot
+    {"→", " "},   // right arrow
+    {"™", " "},   // trademark
+    {"®", " "},   // registered
+    {"°", " "},   // degree
+    {"€", " "},   // euro sign (amounts keep their digits)
+}};
+
+// Length of the UTF-8 sequence starting at `c`, or 1 for ASCII/invalid.
+size_t utf8_length(unsigned char c) {
+  if (c < 0x80) return 1;
+  if ((c >> 5) == 0x6) return 2;
+  if ((c >> 4) == 0xE) return 3;
+  if ((c >> 3) == 0x1E) return 4;
+  return 1;  // continuation or invalid byte: consume singly
+}
+
+}  // namespace
+
+std::string normalize_punctuation(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c < 0x80) {
+      out.push_back(static_cast<char>(c));
+      ++i;
+      continue;
+    }
+    bool mapped = false;
+    for (const Mapping& m : kMappings) {
+      if (text.substr(i, m.utf8.size()) == m.utf8) {
+        out.append(m.ascii);
+        i += m.utf8.size();
+        mapped = true;
+        break;
+      }
+    }
+    if (mapped) continue;
+    // Unknown multi-byte sequence: one space for the whole code point.
+    size_t len = utf8_length(c);
+    if (i + len > text.size()) len = 1;
+    out.push_back(' ');
+    i += len;
+  }
+  return out;
+}
+
+}  // namespace ibseg

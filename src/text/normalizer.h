@@ -1,0 +1,21 @@
+#ifndef IBSEG_TEXT_NORMALIZER_H_
+#define IBSEG_TEXT_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+
+namespace ibseg {
+
+/// Maps the UTF-8 punctuation that real forum dumps are full of onto the
+/// ASCII equivalents the tokenizer understands:
+///   smart quotes  -> ' and "        ellipsis ...      -> ...
+///   en/em dashes  -> -              non-breaking space -> space
+///   bullet/middle dot -> space      arrows/TM/degree etc. -> space
+/// Other multi-byte UTF-8 sequences are replaced by a single space (the
+/// pipeline is ASCII-oriented; dropping an emoji must not glue two words
+/// together). ASCII bytes pass through unchanged.
+std::string normalize_punctuation(std::string_view text);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_TEXT_NORMALIZER_H_

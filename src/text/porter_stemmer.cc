@@ -1,0 +1,242 @@
+#include "text/porter_stemmer.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace ibseg {
+namespace {
+
+// The implementation follows Porter (1980), "An algorithm for suffix
+// stripping", using the original measure/condition vocabulary:
+//   m()      - the measure of the stem (number of VC sequences)
+//   *v*      - the stem contains a vowel
+//   *d       - the stem ends with a double consonant
+//   *o       - the stem ends cvc where the final c is not w, x or y
+
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word) : b_(word) {}
+
+  std::string run() {
+    if (b_.size() < 3) return b_;
+    step1a();
+    step1b();
+    step1c();
+    step2();
+    step3();
+    step4();
+    step5a();
+    step5b();
+    return b_;
+  }
+
+ private:
+  bool is_consonant(size_t i) const {
+    char c = b_[i];
+    switch (c) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !is_consonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of b_[0, end): number of VC sequences.
+  int measure(size_t end) const {
+    int m = 0;
+    size_t i = 0;
+    while (i < end && is_consonant(i)) ++i;  // skip initial C*
+    while (i < end) {
+      while (i < end && !is_consonant(i)) ++i;  // V+
+      if (i >= end) break;
+      while (i < end && is_consonant(i)) ++i;  // C+
+      ++m;
+    }
+    return m;
+  }
+
+  bool has_vowel(size_t end) const {
+    for (size_t i = 0; i < end; ++i) {
+      if (!is_consonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool double_consonant_at_end(size_t end) const {
+    if (end < 2) return false;
+    return b_[end - 1] == b_[end - 2] && is_consonant(end - 1);
+  }
+
+  bool cvc_at_end(size_t end) const {
+    if (end < 3) return false;
+    if (!is_consonant(end - 3) || is_consonant(end - 2) ||
+        !is_consonant(end - 1)) {
+      return false;
+    }
+    char c = b_[end - 1];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  bool ends(std::string_view suffix) const {
+    return ends_with(b_, suffix) && b_.size() > suffix.size();
+  }
+
+  size_t stem_len(std::string_view suffix) const {
+    return b_.size() - suffix.size();
+  }
+
+  void set_suffix(std::string_view suffix, std::string_view replacement) {
+    b_.resize(b_.size() - suffix.size());
+    b_.append(replacement);
+  }
+
+  // Replaces `suffix` by `replacement` when m(stem) > 0.
+  bool replace_m0(std::string_view suffix, std::string_view replacement) {
+    if (!ends(suffix)) return false;
+    if (measure(stem_len(suffix)) > 0) set_suffix(suffix, replacement);
+    return true;
+  }
+
+  // Replaces `suffix` by `replacement` when m(stem) > 1.
+  bool replace_m1(std::string_view suffix, std::string_view replacement) {
+    if (!ends(suffix)) return false;
+    if (measure(stem_len(suffix)) > 1) set_suffix(suffix, replacement);
+    return true;
+  }
+
+  void step1a() {
+    if (ends("sses")) {
+      set_suffix("sses", "ss");
+    } else if (ends("ies")) {
+      set_suffix("ies", "i");
+    } else if (ends("ss")) {
+      // keep
+    } else if (ends("s")) {
+      set_suffix("s", "");
+    }
+  }
+
+  void step1b() {
+    if (ends("eed")) {
+      if (measure(stem_len("eed")) > 0) set_suffix("eed", "ee");
+      return;
+    }
+    bool stripped = false;
+    if (ends("ed") && has_vowel(stem_len("ed"))) {
+      set_suffix("ed", "");
+      stripped = true;
+    } else if (ends("ing") && has_vowel(stem_len("ing"))) {
+      set_suffix("ing", "");
+      stripped = true;
+    }
+    if (!stripped) return;
+    if (ends("at")) {
+      set_suffix("at", "ate");
+    } else if (ends("bl")) {
+      set_suffix("bl", "ble");
+    } else if (ends("iz")) {
+      set_suffix("iz", "ize");
+    } else if (double_consonant_at_end(b_.size())) {
+      char last = b_.back();
+      if (last != 'l' && last != 's' && last != 'z') b_.pop_back();
+    } else if (measure(b_.size()) == 1 && cvc_at_end(b_.size())) {
+      b_.push_back('e');
+    }
+  }
+
+  void step1c() {
+    if (ends("y") && has_vowel(stem_len("y"))) {
+      b_.back() = 'i';
+    }
+  }
+
+  void step2() {
+    struct Rule {
+      std::string_view from;
+      std::string_view to;
+    };
+    // The original 1980 list plus the two additions of Porter's reference
+    // implementation (fulli -> ful, logi -> log), which the published test
+    // vocabulary assumes.
+    static constexpr std::array<Rule, 22> kRules = {{
+        {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+        {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+        {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+        {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+        {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+        {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+        {"iviti", "ive"},   {"biliti", "ble"},  {"fulli", "ful"},
+        {"logi", "log"},
+    }};
+    for (const Rule& r : kRules) {
+      if (replace_m0(r.from, r.to)) return;
+    }
+  }
+
+  void step3() {
+    struct Rule {
+      std::string_view from;
+      std::string_view to;
+    };
+    static constexpr std::array<Rule, 7> kRules = {{
+        {"icate", "ic"}, {"ative", ""},  {"alize", "al"}, {"iciti", "ic"},
+        {"ical", "ic"},  {"ful", ""},    {"ness", ""},
+    }};
+    for (const Rule& r : kRules) {
+      if (replace_m0(r.from, r.to)) return;
+    }
+  }
+
+  void step4() {
+    static constexpr std::array<std::string_view, 18> kSuffixes = {
+        "al",   "ance", "ence", "er",  "ic",   "able", "ible", "ant", "ement",
+        "ment", "ent",  "ou",   "ism", "ate",  "iti",  "ous",  "ive", "ize"};
+    for (std::string_view s : kSuffixes) {
+      if (ends(s)) {
+        replace_m1(s, "");
+        return;
+      }
+    }
+    // (m>1 and (*S or *T)) ION ->
+    if (ends("ion")) {
+      size_t stem = stem_len("ion");
+      if (stem > 0 && (b_[stem - 1] == 's' || b_[stem - 1] == 't') &&
+          measure(stem) > 1) {
+        set_suffix("ion", "");
+      }
+    }
+  }
+
+  void step5a() {
+    if (!ends("e")) return;
+    size_t stem = stem_len("e");
+    int m = measure(stem);
+    if (m > 1 || (m == 1 && !cvc_at_end(stem))) {
+      set_suffix("e", "");
+    }
+  }
+
+  void step5b() {
+    if (b_.size() >= 2 && b_.back() == 'l' &&
+        double_consonant_at_end(b_.size()) && measure(b_.size()) > 1) {
+      b_.pop_back();
+    }
+  }
+
+  std::string b_;
+};
+
+}  // namespace
+
+std::string porter_stem(std::string_view word) {
+  return Stemmer(word).run();
+}
+
+}  // namespace ibseg

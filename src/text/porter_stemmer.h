@@ -1,0 +1,20 @@
+#ifndef IBSEG_TEXT_PORTER_STEMMER_H_
+#define IBSEG_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace ibseg {
+
+/// Porter's stemming algorithm (Porter 1980), steps 1a-5b, implemented from
+/// the published description. The retrieval indices stem terms so that
+/// "installing"/"installed"/"install" share postings, matching the behaviour
+/// of the MySQL full-text setup the paper builds on.
+///
+/// Input must be a lowercase ASCII word; words shorter than 3 characters are
+/// returned unchanged (per the original algorithm's guard).
+std::string porter_stem(std::string_view word);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,37 @@
+#ifndef IBSEG_TEXT_SENTENCE_SPLITTER_H_
+#define IBSEG_TEXT_SENTENCE_SPLITTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace ibseg {
+
+/// A sentence as a half-open range over a token stream, plus its character
+/// span in the source text. Sentences are the paper's text units for
+/// segmentation (Sec. 9.1.2.B: "sentences ... constitute natural and
+/// intuitive text units").
+struct Sentence {
+  size_t token_begin = 0;  ///< Index of the first token.
+  size_t token_end = 0;    ///< One past the last token.
+  size_t char_begin = 0;   ///< Byte offset of the first token.
+  size_t char_end = 0;     ///< Byte offset one past the last token.
+
+  size_t num_tokens() const { return token_end - token_begin; }
+};
+
+/// Splits a token stream into sentences.
+///
+/// Rules (tuned for forum prose rather than edited text):
+///  * '.', '!', '?' end a sentence, as does a newline in the source when the
+///    next token starts a new line (forum users often omit final periods);
+///  * '.' does not split after a known abbreviation (e.g., "e.g.", "dr");
+///  * runs of terminators ("?!", "...") fold into the same boundary;
+///  * an empty token stream yields no sentences.
+std::vector<Sentence> split_sentences(const std::vector<Token>& tokens,
+                                      std::string_view source_text);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_TEXT_SENTENCE_SPLITTER_H_

@@ -1,0 +1,45 @@
+#include "text/stopwords.h"
+
+#include <unordered_set>
+
+namespace ibseg {
+namespace {
+
+const std::unordered_set<std::string_view>& stopword_set() {
+  static const auto* kSet = new std::unordered_set<std::string_view>{
+      "a",       "about",   "above",   "after",   "again",  "against",
+      "all",     "am",      "an",      "and",     "any",    "are",
+      "as",      "at",      "be",      "because", "been",   "before",
+      "being",   "below",   "between", "both",    "but",    "by",
+      "can",     "could",   "did",     "do",      "does",   "doing",
+      "down",    "during",  "each",    "few",     "for",    "from",
+      "further", "had",     "has",     "have",    "having", "he",
+      "her",     "here",    "hers",    "herself", "him",    "himself",
+      "his",     "how",     "i",       "if",      "in",     "into",
+      "is",      "it",      "its",     "itself",  "just",   "me",
+      "more",    "most",    "my",      "myself",  "no",     "nor",
+      "not",     "now",     "of",      "off",     "on",     "once",
+      "only",    "or",      "other",   "our",     "ours",   "ourselves",
+      "out",     "over",    "own",     "same",    "she",    "should",
+      "so",      "some",    "such",    "than",    "that",   "the",
+      "their",   "theirs",  "them",    "themselves", "then", "there",
+      "these",   "they",    "this",    "those",   "through", "to",
+      "too",     "under",   "until",   "up",      "very",   "was",
+      "we",      "were",    "what",    "when",    "where",  "which",
+      "while",   "who",     "whom",    "why",     "will",   "with",
+      "would",   "you",     "your",    "yours",   "yourself", "yourselves",
+      "n't",     "'s",      "'m",      "'re",     "'ve",    "'ll",
+      "'d",      "also",    "however", "yet",     "ok",     "okay",
+  };
+  return *kSet;
+}
+
+}  // namespace
+
+bool is_stopword(std::string_view lower_word) {
+  return stopword_set().count(lower_word) > 0;
+}
+
+size_t stopword_count() { return stopword_set().size(); }
+
+}  // namespace ibseg

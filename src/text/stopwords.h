@@ -1,0 +1,20 @@
+#ifndef IBSEG_TEXT_STOPWORDS_H_
+#define IBSEG_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace ibseg {
+
+/// True if `lower_word` is an English stop word. The list covers the usual
+/// closed-class inventory (determiners, prepositions, conjunctions,
+/// pronouns, auxiliaries); the paper excludes stop words from its corpus
+/// statistics and term indices but *not* from the CM feature extraction
+/// (pronouns and auxiliaries are exactly the CM signal).
+bool is_stopword(std::string_view lower_word);
+
+/// Number of entries in the built-in list (exposed for tests).
+size_t stopword_count();
+
+}  // namespace ibseg
+
+#endif  // IBSEG_TEXT_STOPWORDS_H_

@@ -1,0 +1,67 @@
+#include "text/term_vector.h"
+
+#include <cmath>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+
+namespace ibseg {
+
+void TermVector::add(TermId term, double weight) { weights_[term] += weight; }
+
+double TermVector::weight(TermId term) const {
+  auto it = weights_.find(term);
+  return it == weights_.end() ? 0.0 : it->second;
+}
+
+double TermVector::total_weight() const {
+  double s = 0.0;
+  for (const auto& [term, w] : weights_) s += w;
+  return s;
+}
+
+double TermVector::cosine(const TermVector& a, const TermVector& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double dot = 0.0;
+  auto ia = a.weights_.begin();
+  auto ib = b.weights_.begin();
+  while (ia != a.weights_.end() && ib != b.weights_.end()) {
+    if (ia->first < ib->first) {
+      ++ia;
+    } else if (ib->first < ia->first) {
+      ++ib;
+    } else {
+      dot += ia->second * ib->second;
+      ++ia;
+      ++ib;
+    }
+  }
+  double na = 0.0;
+  double nb = 0.0;
+  for (const auto& [t, w] : a.weights_) na += w * w;
+  for (const auto& [t, w] : b.weights_) nb += w * w;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void TermVector::merge(const TermVector& other) {
+  for (const auto& [term, w] : other.weights_) weights_[term] += w;
+}
+
+TermVector build_term_vector(const std::vector<Token>& tokens, size_t begin,
+                             size_t end, Vocabulary& vocab) {
+  TermVector tv;
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == TokenKind::kPunctuation) continue;
+    if (t.kind == TokenKind::kWord) {
+      if (is_stopword(t.lower)) continue;
+      tv.add(vocab.intern(porter_stem(t.lower)));
+    } else {
+      tv.add(vocab.intern(t.lower));  // numbers/units kept verbatim
+    }
+  }
+  return tv;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,55 @@
+#ifndef IBSEG_TEXT_TERM_VECTOR_H_
+#define IBSEG_TEXT_TERM_VECTOR_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace ibseg {
+
+/// Sparse bag-of-words with double weights, ordered by TermId so that merge
+/// operations are linear. Used by the TextTiling baseline, the Content-MR
+/// clustering and the TF/IDF machinery.
+class TermVector {
+ public:
+  TermVector() = default;
+
+  /// Adds `weight` to the entry for `term`.
+  void add(TermId term, double weight = 1.0);
+
+  /// Weight of `term` (0 when absent).
+  double weight(TermId term) const;
+
+  /// Number of distinct terms.
+  size_t num_terms() const { return weights_.size(); }
+
+  /// Sum of all weights (the "length" for tf purposes).
+  double total_weight() const;
+
+  bool empty() const { return weights_.empty(); }
+
+  /// Cosine similarity between sparse vectors; 0 when either is empty.
+  static double cosine(const TermVector& a, const TermVector& b);
+
+  /// Merges `other` into this (element-wise sum).
+  void merge(const TermVector& other);
+
+  /// Ordered (term, weight) view.
+  const std::map<TermId, double>& entries() const { return weights_; }
+
+ private:
+  std::map<TermId, double> weights_;
+};
+
+/// Builds a stemmed, stopword-filtered term vector from word tokens in
+/// [begin, end). Interns new terms into `vocab`.
+TermVector build_term_vector(const std::vector<Token>& tokens, size_t begin,
+                             size_t end, Vocabulary& vocab);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_TEXT_TERM_VECTOR_H_

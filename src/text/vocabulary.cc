@@ -1,0 +1,19 @@
+#include "text/vocabulary.h"
+
+namespace ibseg {
+
+TermId Vocabulary::intern(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::find(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,43 @@
+#ifndef IBSEG_TEXT_VOCABULARY_H_
+#define IBSEG_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ibseg {
+
+/// Integer id for an interned term. Ids are dense and start at 0.
+using TermId = uint32_t;
+
+/// Sentinel returned by Vocabulary::find for unknown terms.
+inline constexpr TermId kInvalidTerm = static_cast<TermId>(-1);
+
+/// Bidirectional term <-> id mapping shared by indices, LDA and term
+/// vectors. Not thread-safe for concurrent interning; lookups of existing
+/// ids are safe once interning stops.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `term`, interning it if new.
+  TermId intern(std::string_view term);
+
+  /// Returns the id of `term` or kInvalidTerm when unknown.
+  TermId find(std::string_view term) const;
+
+  /// Term string for an id. `id` must be valid.
+  const std::string& term(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_TEXT_VOCABULARY_H_

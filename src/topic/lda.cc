@@ -1,0 +1,118 @@
+#include "topic/lda.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ibseg {
+
+LdaModel LdaModel::train(const std::vector<std::vector<TermId>>& docs,
+                         size_t vocab_size, const LdaParams& params) {
+  LdaModel m;
+  m.params_ = params;
+  m.vocab_size_ = vocab_size;
+  const int K = params.num_topics;
+  assert(K >= 1);
+
+  m.topic_word_counts_.assign(static_cast<size_t>(K),
+                              std::vector<int>(vocab_size, 0));
+  m.topic_totals_.assign(static_cast<size_t>(K), 0);
+  m.doc_topic_counts_.assign(docs.size(), std::vector<int>(K, 0));
+  m.doc_totals_.assign(docs.size(), 0);
+
+  Rng rng(params.seed);
+  // Topic assignment per token.
+  std::vector<std::vector<int>> z(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    z[d].resize(docs[d].size());
+    for (size_t i = 0; i < docs[d].size(); ++i) {
+      assert(docs[d][i] < vocab_size);
+      int topic = static_cast<int>(rng.next_below(static_cast<uint64_t>(K)));
+      z[d][i] = topic;
+      ++m.topic_word_counts_[topic][docs[d][i]];
+      ++m.topic_totals_[topic];
+      ++m.doc_topic_counts_[d][topic];
+      ++m.doc_totals_[d];
+      ++m.total_tokens_;
+    }
+  }
+
+  const double alpha = params.alpha;
+  const double beta = params.beta;
+  const double v_beta = beta * static_cast<double>(vocab_size);
+  std::vector<double> probs(static_cast<size_t>(K));
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    for (size_t d = 0; d < docs.size(); ++d) {
+      for (size_t i = 0; i < docs[d].size(); ++i) {
+        TermId w = docs[d][i];
+        int old = z[d][i];
+        // Remove the token from the counts.
+        --m.topic_word_counts_[old][w];
+        --m.topic_totals_[old];
+        --m.doc_topic_counts_[d][old];
+        // Full conditional.
+        for (int k = 0; k < K; ++k) {
+          probs[static_cast<size_t>(k)] =
+              (m.doc_topic_counts_[d][k] + alpha) *
+              (m.topic_word_counts_[k][w] + beta) /
+              (m.topic_totals_[k] + v_beta);
+        }
+        int fresh = static_cast<int>(rng.next_weighted(probs));
+        z[d][i] = fresh;
+        ++m.topic_word_counts_[fresh][w];
+        ++m.topic_totals_[fresh];
+        ++m.doc_topic_counts_[d][fresh];
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<double> LdaModel::doc_topics(size_t doc) const {
+  const int K = params_.num_topics;
+  std::vector<double> theta(static_cast<size_t>(K), 0.0);
+  double denom = doc_totals_[doc] + params_.alpha * K;
+  for (int k = 0; k < K; ++k) {
+    theta[static_cast<size_t>(k)] =
+        (doc_topic_counts_[doc][k] + params_.alpha) / denom;
+  }
+  return theta;
+}
+
+double LdaModel::topic_word(int topic, TermId word) const {
+  double denom =
+      topic_totals_[topic] + params_.beta * static_cast<double>(vocab_size_);
+  return (topic_word_counts_[topic][word] + params_.beta) / denom;
+}
+
+std::vector<TermId> LdaModel::top_words(int topic, size_t n) const {
+  std::vector<TermId> ids(vocab_size_);
+  for (size_t w = 0; w < vocab_size_; ++w) ids[w] = static_cast<TermId>(w);
+  size_t keep = std::min(n, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<long>(keep),
+                    ids.end(), [&](TermId a, TermId b) {
+                      return topic_word_counts_[topic][a] >
+                             topic_word_counts_[topic][b];
+                    });
+  ids.resize(keep);
+  return ids;
+}
+
+double LdaModel::log_likelihood() const {
+  // Per-word predictive log likelihood under the point estimates.
+  double ll = 0.0;
+  const int K = params_.num_topics;
+  for (size_t d = 0; d < doc_topic_counts_.size(); ++d) {
+    std::vector<double> theta = doc_topics(d);
+    for (int k = 0; k < K; ++k) {
+      // Expected contribution: sum over assigned counts.
+      if (doc_topic_counts_[d][k] == 0) continue;
+      ll += doc_topic_counts_[d][k] * std::log(theta[static_cast<size_t>(k)]);
+    }
+  }
+  return total_tokens_ > 0 ? ll / static_cast<double>(total_tokens_) : 0.0;
+}
+
+}  // namespace ibseg

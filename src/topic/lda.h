@@ -1,0 +1,57 @@
+#ifndef IBSEG_TOPIC_LDA_H_
+#define IBSEG_TOPIC_LDA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace ibseg {
+
+/// Latent Dirichlet Allocation trained with collapsed Gibbs sampling
+/// (Griffiths & Steyvers 2004) — the paper's *LDA* baseline ([7], [35],
+/// Sec. 9.2.2) is "matching based on LDA topics with Gibbs sampling".
+struct LdaParams {
+  int num_topics = 10;
+  double alpha = 0.5;   ///< symmetric document-topic prior
+  double beta = 0.1;    ///< symmetric topic-word prior
+  int iterations = 200; ///< Gibbs sweeps
+  uint64_t seed = 7;
+};
+
+class LdaModel {
+ public:
+  /// Trains on a corpus given as term-id sequences (one vector per doc).
+  /// `vocab_size` must exceed every term id.
+  static LdaModel train(const std::vector<std::vector<TermId>>& docs,
+                        size_t vocab_size, const LdaParams& params = {});
+
+  int num_topics() const { return params_.num_topics; }
+
+  /// Smoothed document-topic distribution theta_d (sums to 1).
+  std::vector<double> doc_topics(size_t doc) const;
+
+  /// Smoothed topic-word probability phi_k(w).
+  double topic_word(int topic, TermId word) const;
+
+  /// The `n` highest-probability words of `topic`.
+  std::vector<TermId> top_words(int topic, size_t n) const;
+
+  /// Per-word log likelihood of the training corpus under the final state
+  /// (diagnostic; rises as sampling mixes).
+  double log_likelihood() const;
+
+ private:
+  LdaParams params_;
+  size_t vocab_size_ = 0;
+  size_t total_tokens_ = 0;
+  /// counts: topic x word and doc x topic.
+  std::vector<std::vector<int>> topic_word_counts_;
+  std::vector<int> topic_totals_;
+  std::vector<std::vector<int>> doc_topic_counts_;
+  std::vector<int> doc_totals_;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_TOPIC_LDA_H_

@@ -1,0 +1,62 @@
+#include "topic/lda_matcher.h"
+
+#include <algorithm>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "util/vector_math.h"
+
+namespace ibseg {
+
+LdaMatcher LdaMatcher::build(const std::vector<Document>& docs,
+                             Vocabulary& vocab, const LdaParams& params) {
+  // Corpus as term-id sequences (stemmed, stopword-filtered).
+  std::vector<std::vector<TermId>> sequences;
+  sequences.reserve(docs.size());
+  for (const Document& doc : docs) {
+    std::vector<TermId> seq;
+    for (const Token& t : doc.tokens()) {
+      if (t.kind == TokenKind::kPunctuation) continue;
+      if (t.kind == TokenKind::kWord) {
+        if (is_stopword(t.lower)) continue;
+        seq.push_back(vocab.intern(porter_stem(t.lower)));
+      } else {
+        seq.push_back(vocab.intern(t.lower));
+      }
+    }
+    sequences.push_back(std::move(seq));
+  }
+
+  LdaMatcher m;
+  m.model_ = LdaModel::train(sequences, vocab.size(), params);
+  m.doc_ids_.reserve(docs.size());
+  m.thetas_.reserve(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    m.doc_ids_.push_back(docs[d].id());
+    m.thetas_.push_back(m.model_.doc_topics(d));
+    m.doc_index_[docs[d].id()] = d;
+  }
+  return m;
+}
+
+std::vector<ScoredDoc> LdaMatcher::find_related(DocId query, int k) const {
+  std::vector<ScoredDoc> out;
+  auto it = doc_index_.find(query);
+  if (it == doc_index_.end() || k <= 0) return out;
+  const std::vector<double>& q = thetas_[it->second];
+
+  out.reserve(thetas_.size());
+  for (size_t d = 0; d < thetas_.size(); ++d) {
+    if (doc_ids_[d] == query) continue;
+    double s = cosine_similarity(q, thetas_[d]);
+    if (s > 0.0) out.push_back(ScoredDoc{doc_ids_[d], s});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  if (out.size() > static_cast<size_t>(k)) out.resize(static_cast<size_t>(k));
+  return out;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,39 @@
+#ifndef IBSEG_TOPIC_LDA_MATCHER_H_
+#define IBSEG_TOPIC_LDA_MATCHER_H_
+
+#include <map>
+#include <vector>
+
+#include "index/intention_matcher.h"
+#include "seg/document.h"
+#include "text/vocabulary.h"
+#include "topic/lda.h"
+
+namespace ibseg {
+
+/// The *LDA* baseline: trains an LDA model over the corpus and ranks
+/// documents by similarity of their topic distributions to the query's.
+/// The paper notes this method has no index and is the slowest retriever
+/// (Sec. 9.2.4); the linear scan here mirrors that.
+class LdaMatcher {
+ public:
+  static LdaMatcher build(const std::vector<Document>& docs, Vocabulary& vocab,
+                          const LdaParams& params = {});
+
+  /// Top-k docs by cosine similarity of theta vectors (query excluded).
+  std::vector<ScoredDoc> find_related(DocId query, int k) const;
+
+  const LdaModel& model() const { return model_; }
+
+ private:
+  LdaMatcher() : model_(LdaModel::train({}, 1, LdaParams{})) {}
+
+  LdaModel model_;
+  std::vector<DocId> doc_ids_;
+  std::vector<std::vector<double>> thetas_;
+  std::map<DocId, size_t> doc_index_;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_TOPIC_LDA_MATCHER_H_

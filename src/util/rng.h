@@ -1,0 +1,67 @@
+#ifndef IBSEG_UTIL_RNG_H_
+#define IBSEG_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ibseg {
+
+/// Deterministic pseudo-random number generator (splitmix64 core).
+///
+/// Every stochastic component in the library (data generation, annotator
+/// simulation, DBSCAN tie-breaking, LDA Gibbs sampling) takes an explicit
+/// `Rng&` so that experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t next_below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t next_int(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with success probability `p`.
+  bool next_bool(double p);
+
+  /// Standard normal via Box-Muller.
+  double next_gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double next_gaussian(double mean, double stddev);
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// All weights must be >= 0 and at least one must be > 0.
+  size_t next_weighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator (useful for per-thread or
+  /// per-document streams that must not interleave).
+  Rng fork();
+
+ private:
+  uint64_t state_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_UTIL_RNG_H_

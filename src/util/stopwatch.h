@@ -1,0 +1,32 @@
+#ifndef IBSEG_UTIL_STOPWATCH_H_
+#define IBSEG_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ibseg {
+
+/// Wall-clock stopwatch used by the scaling benchmarks (paper Table 6 /
+/// Fig. 11). Starts running at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/restart.
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/restart.
+  double elapsed_millis() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_UTIL_STOPWATCH_H_

@@ -1,0 +1,44 @@
+#ifndef IBSEG_UTIL_STRINGS_H_
+#define IBSEG_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibseg {
+
+/// ASCII-lowercases `s` in place and returns it. The corpora this library
+/// targets (forum posts) are processed as byte strings; non-ASCII bytes are
+/// passed through untouched.
+std::string to_lower(std::string_view s);
+
+/// True if `c` is an ASCII letter.
+bool is_ascii_alpha(char c);
+
+/// True if `c` is an ASCII digit.
+bool is_ascii_digit(char c);
+
+/// True if `c` is an ASCII letter or digit.
+bool is_ascii_alnum(char c);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string> split(std::string_view s, std::string_view delims);
+
+/// Joins `pieces` with `sep`.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view strip(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ibseg
+
+#endif  // IBSEG_UTIL_STRINGS_H_

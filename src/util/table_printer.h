@@ -1,0 +1,34 @@
+#ifndef IBSEG_UTIL_TABLE_PRINTER_H_
+#define IBSEG_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ibseg {
+
+/// Renders aligned ASCII tables; the benchmark binaries use it to print the
+/// same row/column layouts the paper's tables and figures report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed string/double rows; doubles are formatted with
+  /// `precision` decimals.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 3);
+
+  /// Writes the table (with a separator under the header) to `os`.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,275 @@
+// Tests for the later additions: OPTICS, the C99 segmenter, the Unicode
+// punctuation normalizer, the Sec. 5.1 feature-selection utility and the
+// pipeline snapshot integration.
+
+#include <gtest/gtest.h>
+
+#include "cluster/optics.h"
+#include "core/pipeline.h"
+#include "datagen/post_generator.h"
+#include "seg/c99.h"
+#include "seg/feature_selection.h"
+#include "text/normalizer.h"
+#include "util/rng.h"
+
+namespace ibseg {
+namespace {
+
+// ----------------------------------------------------------------- optics ----
+
+std::vector<std::vector<double>> three_blobs(size_t per_blob) {
+  Rng rng(14);
+  std::vector<std::vector<double>> points;
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (auto& center : centers) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      points.push_back({center[0] + rng.next_gaussian(0, 0.3),
+                        center[1] + rng.next_gaussian(0, 0.3)});
+    }
+  }
+  return points;
+}
+
+TEST(Optics, OrderingCoversAllPoints) {
+  auto points = three_blobs(30);
+  OpticsParams params;
+  params.min_pts = 5;
+  OpticsResult result = optics(points, params);
+  EXPECT_EQ(result.ordering.size(), points.size());
+  EXPECT_EQ(result.reachability.size(), points.size());
+  std::vector<bool> seen(points.size(), false);
+  for (size_t p : result.ordering) {
+    ASSERT_LT(p, points.size());
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Optics, ExtractionRecoversThreeBlobs) {
+  auto points = three_blobs(40);
+  OpticsParams params;
+  params.min_pts = 5;
+  params.eps = 5.0;
+  OpticsResult result = optics(points, params);
+  DbscanResult clusters =
+      extract_dbscan_clustering(result, points.size(), 1.5);
+  EXPECT_EQ(clusters.num_clusters, 3);
+  for (size_t b = 0; b < 3; ++b) {
+    int label = clusters.labels[b * 40];
+    EXPECT_GE(label, 0);
+    for (size_t i = 1; i < 40; ++i) {
+      EXPECT_EQ(clusters.labels[b * 40 + i], label) << b << "/" << i;
+    }
+  }
+}
+
+TEST(Optics, ExtractionMatchesDbscanStructure) {
+  // At the same radius, OPTICS extraction and DBSCAN agree on the blob
+  // partition (labels may be permuted).
+  auto points = three_blobs(25);
+  OpticsParams op;
+  op.min_pts = 5;
+  op.eps = 5.0;
+  auto extracted = extract_dbscan_clustering(optics(points, op),
+                                             points.size(), 1.5);
+  DbscanParams dp;
+  dp.min_pts = 5;
+  dp.eps = 1.5;
+  auto direct = dbscan(points, dp);
+  EXPECT_EQ(extracted.num_clusters, direct.num_clusters);
+  // Same co-membership relation.
+  for (size_t i = 0; i < points.size(); i += 7) {
+    for (size_t j = i + 1; j < points.size(); j += 11) {
+      bool same_a = extracted.labels[i] == extracted.labels[j] &&
+                    extracted.labels[i] >= 0;
+      bool same_b = direct.labels[i] == direct.labels[j] &&
+                    direct.labels[i] >= 0;
+      EXPECT_EQ(same_a, same_b) << i << "," << j;
+    }
+  }
+}
+
+TEST(Optics, TightCutMakesIsolatedPointNoise) {
+  auto points = three_blobs(20);
+  points.push_back({100.0, 100.0});
+  OpticsParams params;
+  params.min_pts = 5;
+  params.eps = 3.0;
+  auto clusters = extract_dbscan_clustering(optics(points, params),
+                                            points.size(), 1.0);
+  EXPECT_EQ(clusters.labels.back(), kNoise);
+}
+
+TEST(Optics, EmptyInput) {
+  OpticsResult r = optics({}, {});
+  EXPECT_TRUE(r.ordering.empty());
+  DbscanResult c = extract_dbscan_clustering(r, 0, 1.0);
+  EXPECT_EQ(c.num_clusters, 0);
+}
+
+// -------------------------------------------------------------------- c99 ----
+
+TEST(C99, ValidSegmentationOnGeneratedPosts) {
+  GeneratorOptions gen;
+  gen.num_posts = 30;
+  gen.seed = 61;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  Vocabulary vocab;
+  for (const Document& doc : analyze_corpus(corpus)) {
+    Segmentation seg = c99_segment(doc, vocab);
+    EXPECT_TRUE(seg.is_valid());
+    EXPECT_EQ(seg.num_units, doc.num_units());
+  }
+}
+
+TEST(C99, FindsStrongLexicalShift) {
+  // Two halves with disjoint vocabularies: C99 must place a border at the
+  // midpoint.
+  Document doc = Document::analyze(
+      0,
+      "The printer cartridge leaked ink today. The printer tray jammed "
+      "with paper again. New ink for the printer costs a fortune. The "
+      "cartridge smears ink on every page. "
+      "Our holiday beach had golden sand. The waves reached the shore at "
+      "noon. Umbrellas covered the beach sand completely. The shore "
+      "promenade was lovely at sunset.");
+  Vocabulary vocab;
+  C99Options options;
+  options.max_segments = 2;
+  Segmentation seg = c99_segment(doc, vocab, options);
+  ASSERT_EQ(seg.borders.size(), 1u);
+  EXPECT_EQ(seg.borders[0], 4u);
+}
+
+TEST(C99, TinyDocumentWhole) {
+  Document doc = Document::analyze(0, "One sentence only.");
+  Vocabulary vocab;
+  EXPECT_TRUE(c99_segment(doc, vocab).borders.empty());
+}
+
+TEST(C99, MaxSegmentsRespected) {
+  GeneratorOptions gen;
+  gen.num_posts = 10;
+  gen.seed = 62;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  Vocabulary vocab;
+  C99Options options;
+  options.max_segments = 2;
+  options.threshold_stddev_factor = -100.0;  // never stop early
+  for (const Document& doc : analyze_corpus(corpus)) {
+    Segmentation seg = c99_segment(doc, vocab, options);
+    EXPECT_LE(seg.num_segments(), 2u);
+  }
+}
+
+// -------------------------------------------------------------- normalizer ----
+
+TEST(Normalizer, SmartPunctuationToAscii) {
+  EXPECT_EQ(normalize_punctuation("it\xE2\x80\x99s \xE2\x80\x9C"
+                                  "fine\xE2\x80\x9D"),
+            "it's \"fine\"");
+  EXPECT_EQ(normalize_punctuation("a \xE2\x80\x93 b \xE2\x80\x94 c"),
+            "a - b - c");
+  EXPECT_EQ(normalize_punctuation("wait\xE2\x80\xA6"), "wait...");
+}
+
+TEST(Normalizer, UnknownCodepointsBecomeOneSpace) {
+  // U+1F600 emoji (4 bytes) -> exactly one space.
+  EXPECT_EQ(normalize_punctuation("a\xF0\x9F\x98\x80z"), "a z");
+  // Latin-1 accented e (2 bytes) -> one space (ASCII pipeline).
+  EXPECT_EQ(normalize_punctuation("caf\xC3\xA9"), "caf ");
+}
+
+TEST(Normalizer, AsciiPassesThrough) {
+  std::string ascii = "plain ASCII text, 100% safe!";
+  EXPECT_EQ(normalize_punctuation(ascii), ascii);
+}
+
+TEST(Normalizer, NormalizedApostropheFeedsTokenizer) {
+  std::string text = normalize_punctuation("I didn\xE2\x80\x99t sleep");
+  auto tokens = tokenize(text);
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2].lower, "n't");
+}
+
+// -------------------------------------------------------- feature selection ----
+
+TEST(FeatureSelection, CoherenceGainPositiveForTrueBorders) {
+  GeneratorOptions gen;
+  gen.num_posts = 25;
+  gen.seed = 63;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  std::vector<Document> docs = analyze_corpus(corpus);
+  double total = 0.0;
+  size_t counted = 0;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    if (corpus.posts[d].true_segmentation.borders.empty()) continue;
+    total += coherence_gain(docs[d], corpus.posts[d].true_segmentation);
+    ++counted;
+  }
+  ASSERT_GT(counted, 0u);
+  EXPECT_GT(total / counted, 0.0);
+}
+
+TEST(FeatureSelection, RanksAllThirtyOneSubsets) {
+  GeneratorOptions gen;
+  gen.num_posts = 12;
+  gen.seed = 64;
+  std::vector<Document> docs = analyze_corpus(generate_corpus(gen));
+  auto ranked = rank_cm_subsets(docs);
+  ASSERT_EQ(ranked.size(), 31u);
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].mean_gain, ranked[i].mean_gain);
+  }
+  std::set<unsigned> masks;
+  for (const CmSubsetScore& s : ranked) masks.insert(s.cm_mask);
+  EXPECT_EQ(masks.size(), 31u);
+}
+
+TEST(FeatureSelection, MaskNames) {
+  EXPECT_EQ(cm_mask_name(1u << static_cast<int>(CmKind::kTense)), "Tense");
+  EXPECT_EQ(cm_mask_name(0), "(none)");
+  EXPECT_NE(cm_mask_name(0x1F).find("+"), std::string::npos);
+}
+
+// --------------------------------------------------------- pipeline snapshot ----
+
+TEST(PipelineSnapshot, RoundTripThroughPipeline) {
+  GeneratorOptions gen;
+  gen.num_posts = 50;
+  gen.seed = 65;
+  SyntheticCorpus corpus = generate_corpus(gen);
+
+  RelatedPostPipeline original =
+      RelatedPostPipeline::build(analyze_corpus(corpus));
+  PipelineSnapshot snap = original.snapshot();
+  EXPECT_TRUE(snap.is_consistent());
+
+  RelatedPostPipeline restored = RelatedPostPipeline::build_from_snapshot(
+      analyze_corpus(corpus), snap);
+  EXPECT_EQ(restored.clustering().num_clusters(),
+            original.clustering().num_clusters());
+  for (DocId q = 0; q < 50; q += 9) {
+    auto a = original.find_related(q, 5);
+    auto b = restored.find_related(q, 5);
+    ASSERT_EQ(a.size(), b.size()) << q;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc);
+      EXPECT_NEAR(a[i].score, b[i].score, 1e-9);
+    }
+  }
+}
+
+TEST(PipelineSnapshot, MismatchedSnapshotFallsBackToFreshBuild) {
+  GeneratorOptions gen;
+  gen.num_posts = 20;
+  gen.seed = 66;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  PipelineSnapshot bogus;  // empty: inconsistent with any corpus
+  RelatedPostPipeline p = RelatedPostPipeline::build_from_snapshot(
+      analyze_corpus(corpus), bogus);
+  EXPECT_GE(p.clustering().num_clusters(), 1);
+}
+
+}  // namespace
+}  // namespace ibseg

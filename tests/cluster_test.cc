@@ -1,0 +1,321 @@
+// Unit tests for src/cluster: Eq. 5/6 feature vectors, VP-tree, DBSCAN,
+// k-means and the intention clustering with segmentation refinement.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/dbscan.h"
+#include "cluster/feature_vector.h"
+#include "cluster/intention_clusters.h"
+#include "cluster/kmeans.h"
+#include "cluster/vp_tree.h"
+#include "seg/document.h"
+#include "util/rng.h"
+#include "util/vector_math.h"
+
+namespace ibseg {
+namespace {
+
+// Three well-separated 2-D blobs.
+std::vector<std::vector<double>> three_blobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points;
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      points.push_back({centers[b][0] + rng.next_gaussian(0, 0.3),
+                        centers[b][1] + rng.next_gaussian(0, 0.3)});
+    }
+  }
+  return points;
+}
+
+// -------------------------------------------------------- feature vector ----
+
+TEST(FeatureVector, FirstTypeIsPerCmDistribution) {
+  Document d = Document::analyze(
+      0, "I installed it yesterday. We replaced the cable.");
+  auto f = segment_feature_vector(d, 0, d.num_units());
+  ASSERT_EQ(f.size(), static_cast<size_t>(kSegmentFeatureDims));
+  // Eq. 5: each CM's slice sums to 1 (when the CM occurs) and lies in [0,1].
+  int idx = 0;
+  for (int c = 0; c < kNumCms; ++c) {
+    double sum = 0.0;
+    for (int v = 0; v < kCmArity[c]; ++v) {
+      EXPECT_GE(f[idx], 0.0);
+      EXPECT_LE(f[idx], 1.0);
+      sum += f[idx++];
+    }
+    EXPECT_TRUE(sum == 0.0 || std::abs(sum - 1.0) < 1e-9) << "cm " << c;
+  }
+}
+
+TEST(FeatureVector, SecondTypeDocRatioInUnitRange) {
+  Document d = Document::analyze(
+      0, "I installed it yesterday. We replaced the cable. It works now.");
+  auto f = segment_feature_vector(d, 0, 1);
+  for (int i = kNumCmFeatures; i < kSegmentFeatureDims; ++i) {
+    EXPECT_GE(f[i], 0.0);
+    EXPECT_LE(f[i], 1.0 + 1e-9);
+  }
+  // Whole-document segment: every ratio is 0 or 1.
+  auto whole = segment_feature_vector(d, 0, d.num_units());
+  for (int i = kNumCmFeatures; i < kSegmentFeatureDims; ++i) {
+    EXPECT_TRUE(whole[i] == 0.0 || std::abs(whole[i] - 1.0) < 1e-9);
+  }
+}
+
+TEST(FeatureVector, RawCountVariant) {
+  Document d = Document::analyze(0, "I installed it. I replaced it.");
+  FeatureVectorOptions opts;
+  opts.second_type = FeatureVectorOptions::SecondType::kRawCount;
+  auto f = segment_feature_vector(d, 0, d.num_units(), opts);
+  // Raw counts can exceed 1 (e.g. two past-tense verb groups).
+  double max_second = 0.0;
+  for (int i = kNumCmFeatures; i < kSegmentFeatureDims; ++i) {
+    max_second = std::max(max_second, f[i]);
+  }
+  EXPECT_GT(max_second, 1.0);
+}
+
+TEST(FeatureVector, MultiRangeEqualsMergedRange) {
+  Document d = Document::analyze(
+      0, "I installed it. We replaced the cable. It works. They left.");
+  auto split = segment_feature_vector(d, {{0, 1}, {2, 4}});
+  // Compare against a contiguous computation over the union profile.
+  CmProfile merged = d.range_profile(0, 1);
+  merged.merge(d.range_profile(2, 4));
+  // First-type slice of `split` must match distribution of `merged`.
+  int idx = 0;
+  for (int c = 0; c < kNumCms; ++c) {
+    CmKind cm = static_cast<CmKind>(c);
+    double total = merged.cm_total(cm);
+    for (int v = 0; v < kCmArity[c]; ++v) {
+      double expected = total > 0.0 ? merged.count(cm, v) / total : 0.0;
+      EXPECT_NEAR(split[idx++], expected, 1e-9);
+    }
+  }
+}
+
+// --------------------------------------------------------------- vp tree ----
+
+TEST(VpTree, RangeQueryMatchesBruteForce) {
+  auto points = three_blobs(40, 5);
+  VpTree tree(points);
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t q = rng.next_below(points.size());
+    double eps = 0.5 + rng.next_double() * 10.0;
+    std::vector<size_t> got;
+    tree.range_query(points[q], eps, &got);
+    std::set<size_t> got_set(got.begin(), got.end());
+    std::set<size_t> want;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (euclidean_distance(points[q], points[i]) <= eps) want.insert(i);
+    }
+    EXPECT_EQ(got_set, want) << "trial " << trial;
+  }
+}
+
+TEST(VpTree, KthNeighborDistance) {
+  std::vector<std::vector<double>> points = {
+      {0.0}, {1.0}, {2.0}, {4.0}, {8.0}};
+  VpTree tree(points);
+  EXPECT_DOUBLE_EQ(tree.kth_neighbor_distance(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(tree.kth_neighbor_distance(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(tree.kth_neighbor_distance(0, 4), 8.0);
+}
+
+// ---------------------------------------------------------------- dbscan ----
+
+TEST(Dbscan, FindsThreeBlobs) {
+  auto points = three_blobs(50, 1);
+  DbscanParams params;
+  params.eps = 1.5;
+  params.min_pts = 5;
+  DbscanResult r = dbscan(points, params);
+  EXPECT_EQ(r.num_clusters, 3);
+  // Points of a blob share a label.
+  for (size_t b = 0; b < 3; ++b) {
+    int label = r.labels[b * 50];
+    EXPECT_GE(label, 0);
+    for (size_t i = 0; i < 50; ++i) EXPECT_EQ(r.labels[b * 50 + i], label);
+  }
+}
+
+TEST(Dbscan, IsolatedPointIsNoise) {
+  auto points = three_blobs(30, 2);
+  points.push_back({100.0, 100.0});
+  DbscanParams params;
+  params.eps = 1.5;
+  params.min_pts = 5;
+  DbscanResult r = dbscan(points, params);
+  EXPECT_EQ(r.labels.back(), kNoise);
+}
+
+TEST(Dbscan, AutoEpsFindsStructure) {
+  auto points = three_blobs(50, 3);
+  DbscanParams params;  // eps auto
+  DbscanResult r = dbscan(points, params);
+  EXPECT_GE(r.num_clusters, 3);
+  EXPECT_GT(r.eps_used, 0.0);
+}
+
+TEST(Dbscan, Deterministic) {
+  auto points = three_blobs(40, 4);
+  DbscanParams params;
+  params.eps = 1.5;
+  params.min_pts = 4;
+  DbscanResult a = dbscan(points, params);
+  DbscanResult b = dbscan(points, params);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Dbscan, EmptyInput) {
+  DbscanResult r = dbscan({}, {});
+  EXPECT_TRUE(r.labels.empty());
+  EXPECT_EQ(r.num_clusters, 0);
+}
+
+// ---------------------------------------------------------------- kmeans ----
+
+TEST(KMeans, SeparatesBlobs) {
+  auto points = three_blobs(40, 6);
+  KMeansParams params;
+  params.k = 3;
+  KMeansResult r = kmeans(points, params);
+  ASSERT_EQ(r.centroids.size(), 3u);
+  // Each blob maps to a single cluster.
+  for (size_t b = 0; b < 3; ++b) {
+    int label = r.labels[b * 40];
+    for (size_t i = 0; i < 40; ++i) EXPECT_EQ(r.labels[b * 40 + i], label);
+  }
+  EXPECT_LT(r.inertia, 100.0);
+}
+
+TEST(KMeans, FewerPointsThanK) {
+  std::vector<std::vector<double>> points = {{0.0}, {5.0}};
+  KMeansParams params;
+  params.k = 5;
+  KMeansResult r = kmeans(points, params);
+  EXPECT_EQ(r.centroids.size(), 2u);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  auto points = three_blobs(30, 7);
+  KMeansParams params;
+  params.k = 3;
+  EXPECT_EQ(kmeans(points, params).labels, kmeans(points, params).labels);
+}
+
+// -------------------------------------------------- intention clustering ----
+
+std::vector<Document> make_two_intent_corpus(size_t n) {
+  std::vector<Document> docs;
+  for (size_t i = 0; i < n; ++i) {
+    // Every doc: a descriptive present-tense segment, then questions.
+    docs.push_back(Document::analyze(
+        static_cast<DocId>(i),
+        "I have a fast laptop and it runs a printer. "
+        "The system uses a long cable and the drive works. "
+        "Can you replace the printer? "
+        "What should I do about the cable?"));
+  }
+  return docs;
+}
+
+TEST(IntentionClustering, RefinementKeepsOneSegmentPerDocPerCluster) {
+  auto docs = make_two_intent_corpus(30);
+  std::vector<Segmentation> segs(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    segs[d] = Segmentation::all_units(docs[d].num_units());
+  }
+  auto clustering = IntentionClustering::build(docs, segs);
+  ASSERT_GE(clustering.num_clusters(), 1);
+  std::set<std::pair<DocId, int>> seen;
+  for (const RefinedSegment& s : clustering.segments()) {
+    auto key = std::make_pair(s.doc, s.cluster);
+    EXPECT_TRUE(seen.insert(key).second)
+        << "doc " << s.doc << " has two segments in cluster " << s.cluster;
+    EXPECT_GE(s.num_units(), 1u);
+  }
+}
+
+TEST(IntentionClustering, EveryInputSegmentIsCovered) {
+  auto docs = make_two_intent_corpus(20);
+  std::vector<Segmentation> segs(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    segs[d] = Segmentation{docs[d].num_units(), {2}};
+  }
+  auto clustering = IntentionClustering::build(docs, segs);
+  // Units covered by refined segments == total units.
+  size_t covered = 0;
+  for (const RefinedSegment& s : clustering.segments()) {
+    covered += s.num_units();
+  }
+  size_t total = 0;
+  for (const Document& d : docs) total += d.num_units();
+  EXPECT_EQ(covered, total);
+}
+
+TEST(IntentionClustering, FromLabelsRespectsLabels) {
+  auto docs = make_two_intent_corpus(10);
+  std::vector<Segmentation> segs(docs.size());
+  std::vector<int> labels;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    segs[d] = Segmentation{docs[d].num_units(), {2}};
+    labels.push_back(0);  // first segment -> cluster 0
+    labels.push_back(1);  // second -> cluster 1
+  }
+  auto clustering = IntentionClustering::from_labels(docs, segs, labels, 2);
+  EXPECT_EQ(clustering.num_clusters(), 2);
+  EXPECT_EQ(clustering.cluster_members()[0].size(), docs.size());
+  EXPECT_EQ(clustering.cluster_members()[1].size(), docs.size());
+  for (const RefinedSegment& s : clustering.segments()) {
+    if (s.cluster == 0) {
+      EXPECT_EQ(s.ranges.front().first, 0u);
+    } else {
+      EXPECT_EQ(s.ranges.front().first, 2u);
+    }
+  }
+}
+
+TEST(IntentionClustering, NonAdjacentSameClusterSegmentsConcatenate) {
+  auto docs = make_two_intent_corpus(6);
+  std::vector<Segmentation> segs(docs.size());
+  std::vector<int> labels;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    segs[d] = Segmentation{docs[d].num_units(), {1, 2, 3}};  // 4 segments
+    labels.push_back(0);
+    labels.push_back(1);
+    labels.push_back(0);  // same cluster as the first, non-adjacent
+    labels.push_back(1);
+  }
+  auto clustering = IntentionClustering::from_labels(docs, segs, labels, 2);
+  for (const RefinedSegment& s : clustering.segments()) {
+    EXPECT_EQ(s.ranges.size(), 2u);  // each refined segment holds 2 ranges
+    EXPECT_EQ(s.num_units(), 2u);
+  }
+}
+
+TEST(IntentionClustering, CentroidsHaveFeatureDims) {
+  auto docs = make_two_intent_corpus(15);
+  std::vector<Segmentation> segs(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    segs[d] = Segmentation{docs[d].num_units(), {2}};
+  }
+  auto clustering = IntentionClustering::build(docs, segs);
+  for (const auto& c : clustering.centroids()) {
+    EXPECT_EQ(c.size(), static_cast<size_t>(kSegmentFeatureDims));
+  }
+}
+
+TEST(IntentionClustering, EmptyCorpus) {
+  auto clustering = IntentionClustering::build({}, {});
+  EXPECT_EQ(clustering.num_clusters(), 0);
+  EXPECT_TRUE(clustering.segments().empty());
+}
+
+}  // namespace
+}  // namespace ibseg

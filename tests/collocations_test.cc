@@ -1,0 +1,103 @@
+// Tests for the multiword text-unit substrate (paper Sec. 3: a text unit
+// can be an "undivided combination of words, e.g. 'New York'").
+
+#include <gtest/gtest.h>
+
+#include "text/collocations.h"
+
+namespace ibseg {
+namespace {
+
+std::vector<Token> toks(const std::string& text) { return tokenize(text); }
+
+CollocationModel learn_from(const std::vector<std::vector<Token>>& streams,
+                            const CollocationOptions& options) {
+  std::vector<const std::vector<Token>*> ptrs;
+  for (const auto& s : streams) ptrs.push_back(&s);
+  return CollocationModel::learn(ptrs, options);
+}
+
+TEST(Collocations, DetectsRepeatedPair) {
+  // "new york" always together; "hotel" appears with varied neighbors.
+  std::vector<std::vector<Token>> streams;
+  for (int i = 0; i < 10; ++i) {
+    streams.push_back(toks("we visited new york and the hotel lobby"));
+    streams.push_back(toks("new york was great but the hotel bar closed"));
+  }
+  CollocationOptions options;
+  options.min_count = 5;
+  options.min_pmi = 0.5;
+  CollocationModel model = learn_from(streams, options);
+  EXPECT_TRUE(model.is_collocation("new", "york"));
+  EXPECT_FALSE(model.is_collocation("york", "new"));       // order matters
+  EXPECT_FALSE(model.is_collocation("visited", "hotel"));  // never adjacent
+}
+
+TEST(Collocations, MinCountFiltersRarePairs) {
+  std::vector<std::vector<Token>> streams;
+  streams.push_back(toks("rare pair appears once"));
+  CollocationOptions options;
+  options.min_count = 2;
+  options.min_pmi = 0.0;
+  CollocationModel model = learn_from(streams, options);
+  EXPECT_FALSE(model.is_collocation("rare", "pair"));
+  EXPECT_EQ(model.size(), 0u);
+}
+
+TEST(Collocations, StopwordsBreakAdjacency) {
+  std::vector<std::vector<Token>> streams;
+  for (int i = 0; i < 10; ++i) {
+    streams.push_back(toks("printer of doom printer of doom"));
+  }
+  CollocationOptions options;
+  options.min_count = 2;
+  options.min_pmi = 0.0;
+  CollocationModel model = learn_from(streams, options);
+  // "of" is a stopword: printer/doom are never adjacent.
+  EXPECT_FALSE(model.is_collocation("printer", "doom"));
+}
+
+TEST(Collocations, TermVectorFoldsPairs) {
+  std::vector<std::vector<Token>> streams;
+  for (int i = 0; i < 10; ++i) {
+    streams.push_back(toks("new york city"));
+  }
+  CollocationOptions options;
+  options.min_count = 5;
+  options.min_pmi = 0.0;
+  options.max_collocations = 1;  // keep only the top pair
+  CollocationModel model = learn_from(streams, options);
+  ASSERT_EQ(model.size(), 1u);
+
+  Vocabulary vocab;
+  auto tokens = toks("we love new york city");
+  TermVector tv = build_term_vector_with_collocations(
+      tokens, 0, tokens.size(), model, vocab);
+  // Exactly one of the joined forms exists, and its parts are not counted
+  // separately when folded.
+  bool ny = vocab.find("new_york") != kInvalidTerm;
+  bool yc = vocab.find("york_citi") != kInvalidTerm;
+  EXPECT_TRUE(ny != yc) << "exactly one pair should be kept";
+  if (ny) {
+    EXPECT_DOUBLE_EQ(tv.weight(vocab.find("new_york")), 1.0);
+    EXPECT_EQ(vocab.find("new"), kInvalidTerm);
+    EXPECT_NE(vocab.find("citi"), kInvalidTerm);
+  }
+}
+
+TEST(Collocations, EmptyCorpus) {
+  CollocationModel model = learn_from({}, {});
+  EXPECT_EQ(model.size(), 0u);
+  Vocabulary vocab;
+  auto tokens = toks("plain words matter");  // no stopwords among these
+  TermVector tv = build_term_vector_with_collocations(
+      tokens, 0, tokens.size(), model, vocab);
+  EXPECT_EQ(tv.num_terms(), 3u);
+}
+
+TEST(Collocations, JoinedTermFormat) {
+  EXPECT_EQ(CollocationModel::joined_term("new", "york"), "new_york");
+}
+
+}  // namespace
+}  // namespace ibseg

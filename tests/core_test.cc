@@ -1,0 +1,152 @@
+// Integration tests for src/core: the end-to-end pipeline and the method
+// registry behind the paper's overall evaluation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/methods.h"
+#include "core/pipeline.h"
+#include "datagen/post_generator.h"
+#include "eval/precision.h"
+
+namespace ibseg {
+namespace {
+
+SyntheticCorpus small_corpus(ForumDomain domain = ForumDomain::kTechSupport,
+                             uint64_t seed = 42, size_t posts = 80) {
+  GeneratorOptions gen;
+  gen.domain = domain;
+  gen.num_posts = posts;
+  gen.posts_per_scenario = 4;
+  gen.seed = seed;
+  return generate_corpus(gen);
+}
+
+TEST(Pipeline, BuildsAndAnswersQueries) {
+  SyntheticCorpus corpus = small_corpus();
+  std::vector<Document> docs = analyze_corpus(corpus);
+  RelatedPostPipeline pipeline = RelatedPostPipeline::build(std::move(docs));
+  EXPECT_GE(pipeline.clustering().num_clusters(), 1);
+  EXPECT_EQ(pipeline.segmentations().size(), corpus.posts.size());
+  auto related = pipeline.find_related(1, 5);
+  EXPECT_LE(related.size(), 5u);
+  for (const ScoredDoc& sd : related) EXPECT_NE(sd.doc, 1u);
+  // Timings populated.
+  EXPECT_GE(pipeline.timings().segmentation_total_sec, 0.0);
+  EXPECT_GE(pipeline.timings().grouping_sec, 0.0);
+}
+
+TEST(Pipeline, ParallelSegmentationMatchesSerial) {
+  SyntheticCorpus corpus = small_corpus(ForumDomain::kTravel, 7);
+  PipelineOptions serial;
+  serial.num_threads = 1;
+  PipelineOptions parallel;
+  parallel.num_threads = 4;
+  auto p1 = RelatedPostPipeline::build(analyze_corpus(corpus), serial);
+  auto p2 = RelatedPostPipeline::build(analyze_corpus(corpus), parallel);
+  ASSERT_EQ(p1.segmentations().size(), p2.segmentations().size());
+  for (size_t d = 0; d < p1.segmentations().size(); ++d) {
+    EXPECT_EQ(p1.segmentations()[d], p2.segmentations()[d]) << d;
+  }
+}
+
+TEST(Methods, AllFiveBuildAndRespectContract) {
+  SyntheticCorpus corpus = small_corpus(ForumDomain::kProgramming, 3);
+  std::vector<Document> docs = analyze_corpus(corpus);
+  MethodConfig config;
+  config.lda.iterations = 20;
+  for (MethodKind kind :
+       {MethodKind::kLda, MethodKind::kFullText, MethodKind::kContentMR,
+        MethodKind::kSentIntentMR, MethodKind::kIntentIntentMR}) {
+    MethodBuildStats stats;
+    auto method = build_method(kind, docs, config, &stats);
+    ASSERT_NE(method, nullptr);
+    EXPECT_EQ(method->kind(), kind);
+    EXPECT_STRNE(method->name(), "?");
+    auto related = method->find_related(2, 5);
+    EXPECT_LE(related.size(), 5u);
+    std::set<DocId> seen;
+    for (const ScoredDoc& sd : related) {
+      EXPECT_NE(sd.doc, 2u) << method->name();
+      EXPECT_TRUE(seen.insert(sd.doc).second) << "duplicate in top-k";
+      EXPECT_GT(sd.score, 0.0);
+    }
+  }
+}
+
+TEST(Methods, IntentMethodsReportClusterCounts) {
+  SyntheticCorpus corpus = small_corpus(ForumDomain::kTechSupport, 5, 100);
+  std::vector<Document> docs = analyze_corpus(corpus);
+  MethodBuildStats stats;
+  auto method =
+      build_method(MethodKind::kIntentIntentMR, docs, MethodConfig{}, &stats);
+  EXPECT_GE(stats.num_clusters, 1);
+  EXPECT_LE(stats.num_clusters, 16);
+  EXPECT_GE(stats.segmentation_sec, 0.0);
+}
+
+TEST(Methods, SegmentationAwareMethodsBeatLda) {
+  // The clearest Table 4 shape: LDA is far below every retrieval method.
+  SyntheticCorpus corpus = small_corpus(ForumDomain::kTechSupport, 11, 120);
+  std::vector<Document> docs = analyze_corpus(corpus);
+  MethodConfig config;
+  config.lda.iterations = 60;
+  auto evaluate = [&](MethodKind kind) {
+    auto method = build_method(kind, docs, config, nullptr);
+    std::vector<double> precisions;
+    for (DocId q = 0; q < docs.size(); q += 2) {
+      auto related = method->find_related(q, 5);
+      std::vector<DocId> ids;
+      for (const ScoredDoc& sd : related) ids.push_back(sd.doc);
+      int scenario = corpus.posts[q].scenario_id;
+      precisions.push_back(list_precision(ids, [&](DocId d) {
+        return corpus.posts[d].scenario_id == scenario;
+      }));
+    }
+    return summarize_precision(precisions).mean;
+  };
+  double lda = evaluate(MethodKind::kLda);
+  double intent = evaluate(MethodKind::kIntentIntentMR);
+  double fulltext = evaluate(MethodKind::kFullText);
+  EXPECT_GT(intent, lda);
+  EXPECT_GT(fulltext, lda);
+}
+
+TEST(TfidfProjection, ShapeAndNormalization) {
+  Vocabulary vocab;
+  std::vector<TermVector> segments(3);
+  segments[0].add(vocab.intern("alpha"), 2.0);
+  segments[0].add(vocab.intern("beta"), 1.0);
+  segments[1].add(vocab.intern("alpha"), 1.0);
+  segments[2].add(vocab.intern("gamma"), 1.0);
+  auto dense = tfidf_dense_projection(segments, 8);
+  ASSERT_EQ(dense.size(), 3u);
+  for (const auto& row : dense) {
+    double norm2 = 0.0;
+    for (double v : row) norm2 += v * v;
+    EXPECT_TRUE(norm2 == 0.0 || std::abs(norm2 - 1.0) < 1e-9);
+  }
+}
+
+TEST(TfidfProjection, DimsCapRespected) {
+  Vocabulary vocab;
+  std::vector<TermVector> segments(2);
+  for (int i = 0; i < 20; ++i) {
+    segments[0].add(vocab.intern("t" + std::to_string(i)), 1.0);
+  }
+  segments[1].add(vocab.intern("t0"), 1.0);
+  auto dense = tfidf_dense_projection(segments, 5);
+  EXPECT_EQ(dense[0].size(), 5u);
+}
+
+TEST(MethodNames, Stable) {
+  EXPECT_STREQ(method_name(MethodKind::kLda), "LDA");
+  EXPECT_STREQ(method_name(MethodKind::kFullText), "FullText");
+  EXPECT_STREQ(method_name(MethodKind::kContentMR), "Content-MR");
+  EXPECT_STREQ(method_name(MethodKind::kSentIntentMR), "SentIntent-MR");
+  EXPECT_STREQ(method_name(MethodKind::kIntentIntentMR), "IntentIntent-MR");
+}
+
+}  // namespace
+}  // namespace ibseg

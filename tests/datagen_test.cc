@@ -1,0 +1,273 @@
+// Unit tests for src/datagen: the template engine, domain profiles and the
+// synthetic forum-post generator (the corpus substitute; see DESIGN.md).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/domain_profiles.h"
+#include "datagen/post_generator.h"
+#include "datagen/template_engine.h"
+#include "util/rng.h"
+
+namespace ibseg {
+namespace {
+
+TemplatePools test_pools() {
+  TemplatePools pools;
+  pools.scenario_terms = {"printer", "cartridge", "ink"};
+  pools.shared_terms = {"laptop", "system"};
+  pools.adjectives = {"fast"};
+  pools.generic_terms = {"thing"};
+  pools.verbs = {{"check", "checks", "checked", "checking"}};
+  return pools;
+}
+
+// ------------------------------------------------------- template engine ----
+
+TEST(TemplateEngine, SubstitutesPlaceholders) {
+  Rng rng(1);
+  std::string out =
+      render_template("The {S1} and the {D} look {A}.", test_pools(), rng);
+  EXPECT_EQ(out.find('{'), std::string::npos);
+  EXPECT_NE(out.find("fast"), std::string::npos);
+}
+
+TEST(TemplateEngine, RepeatedPlaceholderReusesDraw) {
+  Rng rng(2);
+  std::string out = render_template("{S1} then {S1}.", test_pools(), rng);
+  // Both occurrences identical: "X then X."
+  size_t then = out.find(" then ");
+  ASSERT_NE(then, std::string::npos);
+  EXPECT_EQ(out.substr(0, then), out.substr(then + 6, then));
+}
+
+TEST(TemplateEngine, DistinctScenarioDraws) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    std::string out = render_template("{S1}-{S2}", test_pools(), rng);
+    size_t dash = out.find('-');
+    EXPECT_NE(out.substr(0, dash), out.substr(dash + 1)) << out;
+  }
+}
+
+TEST(TemplateEngine, VerbFormsBySurfaceCode) {
+  Rng rng(4);
+  EXPECT_EQ(render_template("{VB}", test_pools(), rng), "check");
+  EXPECT_EQ(render_template("{VZ}", test_pools(), rng), "checks");
+  EXPECT_EQ(render_template("{VP}", test_pools(), rng), "checked");
+  EXPECT_EQ(render_template("{VN}", test_pools(), rng), "checked");
+  EXPECT_EQ(render_template("{VG}", test_pools(), rng), "checking");
+}
+
+TEST(TemplateEngine, UnknownPlaceholderKeptLiteral) {
+  Rng rng(5);
+  EXPECT_EQ(render_template("{WAT}", test_pools(), rng), "{WAT}");
+}
+
+TEST(TemplateEngine, EmptyPoolsFallBack) {
+  Rng rng(6);
+  TemplatePools empty;
+  std::string out = render_template("{S1} {D} {G} {A} {VB}", empty, rng);
+  EXPECT_EQ(out.find('{'), std::string::npos);
+}
+
+// -------------------------------------------------------- domain profiles ----
+
+TEST(DomainProfiles, AllDomainsWellFormed) {
+  for (ForumDomain domain :
+       {ForumDomain::kTechSupport, ForumDomain::kTravel,
+        ForumDomain::kProgramming, ForumDomain::kHealth}) {
+    const DomainProfile& p = domain_profile(domain);
+    EXPECT_GE(p.intentions.size(), 5u) << p.name;
+    EXPECT_FALSE(p.shared_terms.empty());
+    EXPECT_FALSE(p.adjectives.empty());
+    EXPECT_FALSE(p.verbs.empty());
+    EXPECT_GE(p.curated_scenarios.size(), 8u);
+    EXPECT_FALSE(p.segment_count_weights.empty());
+    bool has_core = false;
+    bool has_opener = false;
+    bool has_background = false;
+    for (const IntentionSpec& spec : p.intentions) {
+      EXPECT_FALSE(spec.templates.empty()) << spec.name;
+      EXPECT_FALSE(spec.labels.empty()) << spec.name;
+      has_core |= spec.core;
+      has_opener |= spec.opener;
+      has_background |= spec.background;
+    }
+    EXPECT_TRUE(has_core) << p.name;
+    EXPECT_TRUE(has_opener) << p.name;
+    EXPECT_TRUE(has_background) << p.name;
+  }
+}
+
+TEST(DomainProfiles, TemplatesAreSingleSentences) {
+  // One template must render to exactly one sentence, or the ground-truth
+  // borders would disagree with the sentence splitter.
+  for (ForumDomain domain :
+       {ForumDomain::kTechSupport, ForumDomain::kTravel,
+        ForumDomain::kProgramming, ForumDomain::kHealth}) {
+    const DomainProfile& p = domain_profile(domain);
+    for (const IntentionSpec& spec : p.intentions) {
+      for (const std::string& tmpl : spec.templates) {
+        // No internal sentence terminators.
+        for (size_t i = 0; i + 1 < tmpl.size(); ++i) {
+          EXPECT_FALSE(tmpl[i] == '.' || tmpl[i] == '!' || tmpl[i] == '?')
+              << p.name << " template: " << tmpl;
+        }
+        char last = tmpl.back();
+        EXPECT_TRUE(last == '.' || last == '?') << tmpl;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- post generator ----
+
+TEST(PostGenerator, DeterministicForSeed) {
+  GeneratorOptions opts;
+  opts.num_posts = 30;
+  opts.seed = 77;
+  SyntheticCorpus a = generate_corpus(opts);
+  SyntheticCorpus b = generate_corpus(opts);
+  ASSERT_EQ(a.posts.size(), b.posts.size());
+  for (size_t i = 0; i < a.posts.size(); ++i) {
+    EXPECT_EQ(a.posts[i].text, b.posts[i].text);
+    EXPECT_EQ(a.posts[i].true_segmentation, b.posts[i].true_segmentation);
+  }
+}
+
+TEST(PostGenerator, GroundTruthMatchesSentenceSplitter) {
+  // The central integrity property: the generator's sentence counts agree
+  // with Document::analyze, so ground-truth borders are directly usable.
+  for (ForumDomain domain :
+       {ForumDomain::kTechSupport, ForumDomain::kTravel,
+        ForumDomain::kProgramming, ForumDomain::kHealth}) {
+    GeneratorOptions opts;
+    opts.domain = domain;
+    opts.num_posts = 80;
+    opts.seed = 3;
+    SyntheticCorpus corpus = generate_corpus(opts);
+    std::vector<Document> docs = analyze_corpus(corpus);
+    for (size_t i = 0; i < docs.size(); ++i) {
+      EXPECT_EQ(docs[i].num_units(),
+                corpus.posts[i].true_segmentation.num_units)
+          << forum_domain_name(domain) << " post " << i << ": "
+          << corpus.posts[i].text;
+      EXPECT_TRUE(corpus.posts[i].true_segmentation.is_valid());
+      EXPECT_EQ(corpus.posts[i].segment_intents.size(),
+                corpus.posts[i].true_segmentation.num_segments());
+    }
+  }
+}
+
+TEST(PostGenerator, EveryPostHasACoreIntention) {
+  GeneratorOptions opts;
+  opts.num_posts = 120;
+  opts.seed = 4;
+  SyntheticCorpus corpus = generate_corpus(opts);
+  const DomainProfile& profile = corpus.profile();
+  for (const GeneratedPost& post : corpus.posts) {
+    bool has_core = false;
+    for (int intent : post.segment_intents) {
+      has_core |= profile.intentions[static_cast<size_t>(intent)].core;
+    }
+    EXPECT_TRUE(has_core);
+  }
+}
+
+TEST(PostGenerator, NoAdjacentDuplicateIntentions) {
+  GeneratorOptions opts;
+  opts.num_posts = 120;
+  opts.seed = 5;
+  SyntheticCorpus corpus = generate_corpus(opts);
+  for (const GeneratedPost& post : corpus.posts) {
+    for (size_t s = 1; s < post.segment_intents.size(); ++s) {
+      EXPECT_NE(post.segment_intents[s], post.segment_intents[s - 1]);
+    }
+  }
+}
+
+TEST(PostGenerator, ScenarioAndComponentAssignment) {
+  GeneratorOptions opts;
+  opts.num_posts = 60;
+  opts.posts_per_scenario = 4;
+  opts.problems_per_component = 2;
+  opts.seed = 6;
+  SyntheticCorpus corpus = generate_corpus(opts);
+  EXPECT_EQ(corpus.num_scenarios, 15u);
+  for (size_t i = 0; i < corpus.posts.size(); ++i) {
+    EXPECT_EQ(corpus.posts[i].scenario_id, static_cast<int>(i / 4));
+    EXPECT_EQ(corpus.posts[i].component_id,
+              corpus.posts[i].scenario_id / 2);
+  }
+}
+
+TEST(PostGenerator, ContaminantsAreOtherComponents) {
+  GeneratorOptions opts;
+  opts.num_posts = 90;
+  opts.seed = 7;
+  SyntheticCorpus corpus = generate_corpus(opts);
+  for (const GeneratedPost& post : corpus.posts) {
+    for (int c : post.contaminants) {
+      EXPECT_NE(c, post.component_id);
+    }
+    EXPECT_FALSE(post.contaminants.empty());
+    EXPECT_EQ(post.contaminant_scenario, post.contaminants.front());
+  }
+}
+
+TEST(PostGenerator, SameScenarioPostsShareVocabulary) {
+  GeneratorOptions opts;
+  opts.num_posts = 40;
+  opts.posts_per_scenario = 4;
+  opts.seed = 8;
+  SyntheticCorpus corpus = generate_corpus(opts);
+  // Posts 0..3 share scenario 0: their texts overlap on component terms.
+  auto words = [](const std::string& text) {
+    std::set<std::string> out;
+    std::string cur;
+    for (char c : text) {
+      if (isalpha(static_cast<unsigned char>(c))) {
+        cur.push_back(static_cast<char>(tolower(c)));
+      } else if (!cur.empty()) {
+        out.insert(cur);
+        cur.clear();
+      }
+    }
+    if (!cur.empty()) out.insert(cur);
+    return out;
+  };
+  auto w0 = words(corpus.posts[0].text);
+  auto w1 = words(corpus.posts[1].text);
+  int shared = 0;
+  for (const std::string& w : w0) shared += w1.count(w);
+  EXPECT_GT(shared, 5);
+}
+
+TEST(PostGenerator, SynthesizedScenarioTermsAreStable) {
+  auto a = synthesize_scenario_terms(3, 8);
+  auto b = synthesize_scenario_terms(3, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 8u);
+  std::set<std::string> uniq(a.begin(), a.end());
+  EXPECT_EQ(uniq.size(), 8u);
+  EXPECT_NE(a, synthesize_scenario_terms(4, 8));
+}
+
+TEST(PostGenerator, SegmentCountsFollowDomainMix) {
+  GeneratorOptions opts;
+  opts.domain = ForumDomain::kProgramming;  // 43% single-segment target
+  opts.num_posts = 400;
+  opts.seed = 9;
+  SyntheticCorpus corpus = generate_corpus(opts);
+  size_t singles = 0;
+  for (const GeneratedPost& p : corpus.posts) {
+    if (p.true_segmentation.num_segments() == 1) ++singles;
+  }
+  double fraction = static_cast<double>(singles) / corpus.posts.size();
+  EXPECT_NEAR(fraction, 0.43, 0.1);
+}
+
+}  // namespace
+}  // namespace ibseg

@@ -1,0 +1,243 @@
+// Unit tests for src/eval: WindowDiff/multWinDiff/Pk, Fleiss kappa, border
+// agreement with character-offset tolerance, precision, annotator sim.
+
+#include <gtest/gtest.h>
+
+#include "eval/agreement.h"
+#include "eval/annotator_sim.h"
+#include "eval/fleiss_kappa.h"
+#include "eval/precision.h"
+#include "eval/window_diff.h"
+#include "seg/document.h"
+
+namespace ibseg {
+namespace {
+
+// ------------------------------------------------------------ windowdiff ----
+
+TEST(WindowDiff, ZeroForIdenticalSegmentations) {
+  Segmentation ref{12, {4, 8}};
+  EXPECT_DOUBLE_EQ(window_diff(ref, ref), 0.0);
+  EXPECT_DOUBLE_EQ(pk_metric(ref, ref), 0.0);
+}
+
+TEST(WindowDiff, BoundedByOne) {
+  Segmentation ref{12, {6}};
+  Segmentation hyp = Segmentation::all_units(12);
+  double wd = window_diff(ref, hyp);
+  EXPECT_GT(wd, 0.0);
+  EXPECT_LE(wd, 1.0);
+}
+
+TEST(WindowDiff, MissedBorderCostsLessThanManySpurious) {
+  Segmentation ref{12, {6}};
+  Segmentation none{12, {}};
+  Segmentation all = Segmentation::all_units(12);
+  EXPECT_LT(window_diff(ref, none), window_diff(ref, all));
+}
+
+TEST(WindowDiff, NearMissCheaperThanFarMiss) {
+  Segmentation ref{20, {10}};
+  Segmentation near{20, {11}};
+  Segmentation far{20, {18}};
+  EXPECT_LE(window_diff(ref, near), window_diff(ref, far));
+}
+
+TEST(WindowDiff, TinyDocumentIsZero) {
+  Segmentation a{1, {}};
+  EXPECT_DOUBLE_EQ(window_diff(a, a), 0.0);
+}
+
+TEST(MultWinDiff, AveragesOverReferences) {
+  Segmentation hyp{12, {6}};
+  Segmentation same{12, {6}};
+  Segmentation off{12, {3}};
+  double avg = mult_win_diff({same, off}, hyp);
+  double only_same = mult_win_diff({same}, hyp);
+  double only_off = mult_win_diff({off}, hyp);
+  EXPECT_NEAR(avg, (only_same + only_off) / 2.0, 0.2);
+  EXPECT_DOUBLE_EQ(mult_win_diff({}, hyp), 0.0);
+}
+
+TEST(MultWinDiff, MonotoneInPerturbation) {
+  // More noise against the same references -> more error (on average).
+  Segmentation ref{30, {10, 20}};
+  Segmentation mild{30, {11, 20}};
+  Segmentation wild{30, {2, 5, 9, 13, 17, 23, 27}};
+  EXPECT_LT(mult_win_diff({ref}, mild), mult_win_diff({ref}, wild));
+}
+
+// ---------------------------------------------------------- fleiss kappa ----
+
+TEST(FleissKappa, PerfectAgreementIsOne) {
+  // 4 raters, binary categories, always unanimous.
+  std::vector<std::vector<int>> ratings = {{4, 0}, {0, 4}, {4, 0}, {0, 4}};
+  EXPECT_NEAR(fleiss_kappa(ratings), 1.0, 1e-9);
+  EXPECT_NEAR(observed_agreement(ratings), 1.0, 1e-9);
+}
+
+TEST(FleissKappa, ChanceLevelNearZero) {
+  // Perfect 50/50 splits: observed agreement equals chance.
+  std::vector<std::vector<int>> ratings = {{2, 2}, {2, 2}, {2, 2}, {2, 2}};
+  EXPECT_LT(fleiss_kappa(ratings), 0.01);
+}
+
+TEST(FleissKappa, WikipediaWorkedExample) {
+  // The classic 14-rater, 5-category example; kappa ~= 0.210.
+  std::vector<std::vector<int>> ratings = {
+      {0, 0, 0, 0, 14}, {0, 2, 6, 4, 2}, {0, 0, 3, 5, 6}, {0, 3, 9, 2, 0},
+      {2, 2, 8, 1, 1},  {7, 7, 0, 0, 0}, {3, 2, 6, 3, 0}, {2, 5, 3, 2, 2},
+      {6, 5, 2, 1, 0},  {0, 2, 2, 3, 7}};
+  EXPECT_NEAR(fleiss_kappa(ratings), 0.210, 0.005);
+}
+
+TEST(FleissKappa, SkipsUnderRatedItems) {
+  std::vector<std::vector<int>> ratings = {{1, 0}, {3, 0}};  // first has 1 rater
+  EXPECT_NEAR(fleiss_kappa(ratings), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(fleiss_kappa({}), 0.0);
+}
+
+// ------------------------------------------------------------- agreement ----
+
+TEST(Agreement, PerfectPlacementGivesFullAgreement) {
+  BorderAgreementAccumulator acc(10.0);
+  acc.add_post({{100.0, 200.0}, {101.0, 199.0}, {99.0, 202.0}});
+  AgreementResult r = acc.result();
+  EXPECT_NEAR(r.observed_percent, 100.0, 1e-9);
+  EXPECT_EQ(r.num_items, 2u);
+}
+
+TEST(Agreement, DisagreementLowersScores) {
+  BorderAgreementAccumulator acc(10.0);
+  acc.add_post({{100.0}, {300.0}, {500.0}});  // three distinct sites
+  AgreementResult r = acc.result();
+  EXPECT_LT(r.observed_percent, 100.0);
+  EXPECT_EQ(r.num_items, 3u);
+}
+
+TEST(Agreement, WiderToleranceRaisesAgreement) {
+  auto measure = [](double offset) {
+    BorderAgreementAccumulator acc(offset);
+    for (int p = 0; p < 20; ++p) {
+      acc.add_post({{100.0, 300.0}, {112.0, 295.0}, {90.0, 315.0}});
+    }
+    return acc.result();
+  };
+  AgreementResult narrow = measure(5.0);
+  AgreementResult wide = measure(40.0);
+  EXPECT_GT(wide.observed_percent, narrow.observed_percent);
+  EXPECT_GE(wide.fleiss_kappa, narrow.fleiss_kappa);
+}
+
+TEST(Agreement, SingleAnnotatorPostsIgnored) {
+  BorderAgreementAccumulator acc(10.0);
+  acc.add_post({{100.0}});
+  EXPECT_EQ(acc.result().num_items, 0u);
+}
+
+// ------------------------------------------------------------- precision ----
+
+TEST(Precision, ListPrecisionCountsRelevant) {
+  auto relevant = [](DocId d) { return d < 2; };
+  EXPECT_DOUBLE_EQ(list_precision({0, 1, 5, 6}, relevant), 0.5);
+  EXPECT_DOUBLE_EQ(list_precision({}, relevant), 0.0);
+  EXPECT_DOUBLE_EQ(list_precision({7}, relevant), 0.0);
+}
+
+TEST(Precision, SummaryStatistics) {
+  PrecisionSummary s = summarize_precision({0.0, 0.5, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(s.mean, 0.375);
+  EXPECT_DOUBLE_EQ(s.zero_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(summarize_precision({}).mean, 0.0);
+}
+
+// ----------------------------------------------------------- annotator sim ----
+
+Document make_doc() {
+  return Document::analyze(
+      0,
+      "I have a new laptop with a printer. It runs the usual setup. "
+      "I called the support twice. They suggested a reset quickly. "
+      "Can you replace the printer? What should I do about the cable?");
+}
+
+TEST(AnnotatorSim, NoNoiseReproducesTruth) {
+  Document doc = make_doc();
+  Segmentation truth{doc.num_units(), {2, 4}};
+  std::vector<int> labels = {0, 1, 2};
+  AnnotatorNoise silent;
+  silent.drop_prob = 0.0;
+  silent.shift_prob = 0.0;
+  silent.insert_prob = 0.0;
+  silent.char_jitter = 0.0;
+  Rng rng(5);
+  HumanAnnotation ann =
+      simulate_annotation(doc, truth, labels, 3, silent, rng, 0.0);
+  EXPECT_EQ(ann.segmentation.borders, truth.borders);
+  EXPECT_EQ(ann.segment_labels, labels);
+  ASSERT_EQ(ann.border_chars.size(), 2u);
+  EXPECT_DOUBLE_EQ(ann.border_chars[0],
+                   static_cast<double>(doc.border_char_offset(2)));
+}
+
+TEST(AnnotatorSim, NoisyAnnotationStaysValid) {
+  Document doc = make_doc();
+  Segmentation truth{doc.num_units(), {2, 4}};
+  std::vector<int> labels = {0, 1, 2};
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    HumanAnnotation ann = simulate_annotation(doc, truth, labels, 3,
+                                              AnnotatorNoise{}, rng, 0.1);
+    EXPECT_TRUE(ann.segmentation.is_valid());
+    EXPECT_EQ(ann.segmentation.num_units, doc.num_units());
+    EXPECT_EQ(ann.border_chars.size(), ann.segmentation.borders.size());
+    EXPECT_EQ(ann.segment_labels.size(), ann.segmentation.num_segments());
+    for (double pos : ann.border_chars) {
+      EXPECT_GE(pos, 0.0);
+      EXPECT_LE(pos, static_cast<double>(doc.text().size()));
+    }
+  }
+}
+
+TEST(AnnotatorSim, MultipleAnnotatorsDiffer) {
+  Document doc = make_doc();
+  Segmentation truth{doc.num_units(), {2, 4}};
+  Rng rng(11);
+  auto anns = simulate_annotators(doc, truth, {0, 1, 2}, 3, 8,
+                                  AnnotatorNoise{}, rng);
+  ASSERT_EQ(anns.size(), 8u);
+  bool any_different = false;
+  for (size_t i = 1; i < anns.size(); ++i) {
+    if (anns[i].segmentation.borders != anns[0].segmentation.borders) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(AnnotatorSim, HigherNoiseRaisesWindowDiff) {
+  Document doc = make_doc();
+  Segmentation truth{doc.num_units(), {2, 4}};
+  auto avg_error = [&](const AnnotatorNoise& noise, uint64_t seed) {
+    Rng rng(seed);
+    double total = 0.0;
+    const int trials = 200;
+    for (int i = 0; i < trials; ++i) {
+      auto ann = simulate_annotation(doc, truth, {0, 1, 2}, 3, noise, rng);
+      total += window_diff(truth, ann.segmentation);
+    }
+    return total / trials;
+  };
+  AnnotatorNoise mild;
+  mild.drop_prob = 0.05;
+  mild.shift_prob = 0.05;
+  mild.insert_prob = 0.01;
+  AnnotatorNoise heavy;
+  heavy.drop_prob = 0.4;
+  heavy.shift_prob = 0.4;
+  heavy.insert_prob = 0.2;
+  EXPECT_LT(avg_error(mild, 1), avg_error(heavy, 1));
+}
+
+}  // namespace
+}  // namespace ibseg

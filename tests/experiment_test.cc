@@ -1,0 +1,116 @@
+// Tests for the experiment harness (core/experiment).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.h"
+
+namespace ibseg {
+namespace {
+
+struct Fixture {
+  SyntheticCorpus corpus;
+  std::vector<Document> docs;
+};
+
+Fixture make_setup() {
+  Fixture s;
+  GeneratorOptions gen;
+  gen.num_posts = 60;
+  gen.posts_per_scenario = 4;
+  gen.seed = 55;
+  s.corpus = generate_corpus(gen);
+  s.docs = analyze_corpus(s.corpus);
+  return s;
+}
+
+TEST(Experiment, RunsRequestedMethods) {
+  Fixture s = make_setup();
+  ExperimentOptions options;
+  options.methods = {MethodKind::kFullText, MethodKind::kIntentIntentMR};
+  options.k = 5;
+  options.query_stride = 3;
+  auto reports = run_experiment(s.corpus, s.docs, options);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].method, "FullText");
+  EXPECT_EQ(reports[1].method, "IntentIntent-MR");
+  size_t expected_queries = (s.docs.size() + 2) / 3;
+  for (const MethodReport& r : reports) {
+    EXPECT_EQ(r.queries.size(), expected_queries);
+    EXPECT_EQ(r.precision.per_query.size(), expected_queries);
+    EXPECT_GE(r.precision.mean, 0.0);
+    EXPECT_LE(r.precision.mean, 1.0);
+    EXPECT_GE(r.avg_query_ms, 0.0);
+    for (const QueryResult& q : r.queries) {
+      EXPECT_LE(q.retrieved.size(), 5u);
+      for (const ScoredDoc& sd : q.retrieved) EXPECT_NE(sd.doc, q.query);
+    }
+  }
+}
+
+TEST(Experiment, RecallAndF1Bounds) {
+  Fixture s = make_setup();
+  ExperimentOptions options;
+  options.methods = {MethodKind::kFullText, MethodKind::kRandom};
+  auto reports = run_experiment(s.corpus, s.docs, options);
+  ASSERT_EQ(reports.size(), 2u);
+  for (const MethodReport& r : reports) {
+    EXPECT_GE(r.mean_recall, 0.0);
+    EXPECT_LE(r.mean_recall, 1.0);
+    EXPECT_GE(r.mean_f1, 0.0);
+    EXPECT_LE(r.mean_f1, 1.0);
+    for (const QueryResult& q : r.queries) {
+      EXPECT_GE(q.recall, 0.0);
+      EXPECT_LE(q.recall, 1.0);
+    }
+  }
+  // A real matcher recalls far more than chance.
+  EXPECT_GT(reports[0].mean_recall, reports[1].mean_recall);
+}
+
+TEST(Experiment, PrecisionConsistentWithQueryResults) {
+  Fixture s = make_setup();
+  ExperimentOptions options;
+  options.methods = {MethodKind::kFullText};
+  auto reports = run_experiment(s.corpus, s.docs, options);
+  ASSERT_EQ(reports.size(), 1u);
+  for (const QueryResult& q : reports[0].queries) {
+    size_t hits = 0;
+    for (const ScoredDoc& sd : q.retrieved) {
+      if (s.corpus.posts[sd.doc].scenario_id ==
+          s.corpus.posts[q.query].scenario_id) {
+        ++hits;
+      }
+    }
+    double expected = q.retrieved.empty()
+                          ? 0.0
+                          : static_cast<double>(hits) / q.retrieved.size();
+    EXPECT_DOUBLE_EQ(q.precision, expected);
+  }
+}
+
+TEST(Experiment, CsvContainsEveryRetrievedRow) {
+  Fixture s = make_setup();
+  ExperimentOptions options;
+  options.methods = {MethodKind::kFullText};
+  options.query_stride = 5;
+  auto reports = run_experiment(s.corpus, s.docs, options);
+  std::ostringstream os;
+  ASSERT_TRUE(write_experiment_csv(reports, s.corpus, os));
+  std::string csv = os.str();
+  EXPECT_NE(csv.find("method,query,precision,rank,doc,score,relevant"),
+            std::string::npos);
+  size_t expected_rows = 0;
+  for (const QueryResult& q : reports[0].queries) {
+    expected_rows += q.retrieved.empty() ? 1 : q.retrieved.size();
+  }
+  size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, expected_rows + 1);  // + header
+}
+
+}  // namespace
+}  // namespace ibseg

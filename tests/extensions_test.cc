@@ -1,0 +1,169 @@
+// Tests for the paper's optional/extension features: the top-down border
+// strategy (Sec. 5.3's first approach), weighted Algorithm 2 and the
+// Fagin-style per-intention score threshold (both mentioned in Sec. 7).
+
+#include <gtest/gtest.h>
+
+#include "cluster/intention_clusters.h"
+#include "datagen/post_generator.h"
+#include "index/intention_matcher.h"
+#include "seg/border_strategies.h"
+
+namespace ibseg {
+namespace {
+
+const char* kThreeIntentPost =
+    "I have a new laptop with a printer and a scanner. "
+    "My system runs with a wireless router and it has a fast drive. "
+    "I called the support and they suggested a reset. "
+    "I replaced the cable and installed the update twice. "
+    "Do you know whether the scanner would degrade the speed? "
+    "What should I do about the router?";
+
+// -------------------------------------------------------------- topdown ----
+
+TEST(TopDown, ValidSegmentation) {
+  Document d = Document::analyze(0, kThreeIntentPost);
+  Segmentation s = select_borders(d, BorderStrategyKind::kTopDown);
+  EXPECT_TRUE(s.is_valid());
+  EXPECT_EQ(s.num_units, d.num_units());
+}
+
+TEST(TopDown, SplitsClearIntentionShift) {
+  Document d = Document::analyze(0, kThreeIntentPost);
+  Segmentation s = select_borders(d, BorderStrategyKind::kTopDown);
+  EXPECT_GE(s.borders.size(), 1u);
+  EXPECT_LT(s.borders.size(), d.num_units() - 1);
+}
+
+TEST(TopDown, HighMarginMeansNoSplit) {
+  Document d = Document::analyze(0, kThreeIntentPost);
+  BorderStrategyOptions opts;
+  opts.topdown_margin = 100.0;  // nothing can beat this
+  Segmentation s =
+      select_borders(d, BorderStrategyKind::kTopDown, SegScoring{}, opts);
+  EXPECT_TRUE(s.borders.empty());
+}
+
+TEST(TopDown, DepthCapBoundsSegments) {
+  Document d = Document::analyze(0, kThreeIntentPost);
+  BorderStrategyOptions opts;
+  opts.topdown_margin = -10.0;  // always split when possible
+  opts.topdown_max_depth = 1;   // at most one split level
+  Segmentation s =
+      select_borders(d, BorderStrategyKind::kTopDown, SegScoring{}, opts);
+  EXPECT_LE(s.num_segments(), 2u);
+}
+
+TEST(TopDown, SweepStaysValidOnCorpus) {
+  GeneratorOptions gen;
+  gen.num_posts = 40;
+  gen.seed = 77;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  for (const Document& doc : analyze_corpus(corpus)) {
+    Segmentation s = select_borders(doc, BorderStrategyKind::kTopDown);
+    EXPECT_TRUE(s.is_valid());
+  }
+}
+
+// --------------------------------------------- weighted / threshold Alg.2 ----
+
+struct MatchFixture {
+  std::vector<Document> docs;
+  IntentionClustering clustering;
+};
+
+MatchFixture paired_fixture() {
+  MatchFixture f;
+  std::vector<std::string> topics = {"printer", "printer", "router",
+                                     "router"};
+  for (size_t i = 0; i < topics.size(); ++i) {
+    std::string text =
+        "I have a fast laptop and it runs the usual setup. "
+        "The machine works with a standard cable most days. "
+        "Can you replace the " + topics[i] + "? " +
+        "What should I do about the " + topics[i] + "?";
+    f.docs.push_back(Document::analyze(static_cast<DocId>(i), text));
+  }
+  std::vector<Segmentation> segs(f.docs.size());
+  std::vector<int> labels;
+  for (size_t d = 0; d < f.docs.size(); ++d) {
+    segs[d] = Segmentation{f.docs[d].num_units(), {2}};
+    labels.push_back(0);
+    labels.push_back(1);
+  }
+  f.clustering = IntentionClustering::from_labels(f.docs, segs, labels, 2);
+  return f;
+}
+
+TEST(WeightedMatching, ZeroWeightSilencesACluster) {
+  MatchFixture f = paired_fixture();
+  MatcherOptions options;
+  options.cluster_weights = {0.0, 1.0};  // ignore the description cluster
+  Vocabulary vocab;
+  auto matcher =
+      IntentionMatcher::build(f.docs, f.clustering, vocab, options);
+  // Only question-cluster evidence remains: doc 0's partner is doc 1.
+  auto related = matcher.find_related(0, 3);
+  ASSERT_FALSE(related.empty());
+  EXPECT_EQ(related[0].doc, 1u);
+  // With the question cluster silenced instead, the topic signal is gone
+  // and every doc matches through the identical description.
+  MatcherOptions inverse;
+  inverse.cluster_weights = {1.0, 0.0};
+  Vocabulary vocab2;
+  auto desc_only =
+      IntentionMatcher::build(f.docs, f.clustering, vocab2, inverse);
+  auto related2 = desc_only.find_related(0, 3);
+  // Scores across candidates must be (nearly) tied: identical descriptions.
+  if (related2.size() >= 2) {
+    EXPECT_NEAR(related2[0].score, related2[1].score, 1e-9);
+  }
+}
+
+TEST(WeightedMatching, WeightsScaleScores) {
+  MatchFixture f = paired_fixture();
+  Vocabulary v1;
+  Vocabulary v2;
+  MatcherOptions unit;
+  MatcherOptions doubled;
+  doubled.cluster_weights = {2.0, 2.0};
+  auto a = IntentionMatcher::build(f.docs, f.clustering, v1, unit);
+  auto b = IntentionMatcher::build(f.docs, f.clustering, v2, doubled);
+  auto ra = a.find_related(0, 3);
+  auto rb = b.find_related(0, 3);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].doc, rb[i].doc);
+    EXPECT_NEAR(rb[i].score, 2.0 * ra[i].score, 1e-9);
+  }
+}
+
+TEST(ThresholdMatching, HighThresholdPrunesWeakMatches) {
+  MatchFixture f = paired_fixture();
+  Vocabulary v1;
+  MatcherOptions options;
+  options.score_threshold = 1e9;  // nothing passes
+  auto matcher =
+      IntentionMatcher::build(f.docs, f.clustering, v1, options);
+  EXPECT_TRUE(matcher.find_related(0, 5).empty());
+}
+
+TEST(ThresholdMatching, LowThresholdKeepsEverything) {
+  MatchFixture f = paired_fixture();
+  Vocabulary v1;
+  Vocabulary v2;
+  MatcherOptions topn;
+  MatcherOptions threshold;
+  threshold.score_threshold = 1e-12;
+  auto a = IntentionMatcher::build(f.docs, f.clustering, v1, topn);
+  auto b = IntentionMatcher::build(f.docs, f.clustering, v2, threshold);
+  // With a tiny threshold every scored doc survives, so results are a
+  // superset of (here: equal to) the top-n behaviour for small corpora.
+  auto ra = a.find_related(0, 10);
+  auto rb = b.find_related(0, 10);
+  EXPECT_EQ(ra.size(), rb.size());
+}
+
+}  // namespace
+}  // namespace ibseg

@@ -1,0 +1,137 @@
+// Tests for online ingestion (IntentionMatcher::add_document) and the
+// graded-relevance metrics (eval/ndcg).
+
+#include <gtest/gtest.h>
+
+#include "cluster/intention_clusters.h"
+#include "datagen/post_generator.h"
+#include "eval/ndcg.h"
+#include "index/intention_matcher.h"
+#include "seg/segmenter.h"
+
+namespace ibseg {
+namespace {
+
+struct Built {
+  SyntheticCorpus corpus;
+  std::vector<Document> docs;
+  std::vector<Segmentation> segs;
+  IntentionClustering clustering;
+  Vocabulary vocab;
+};
+
+Built build_base(size_t posts) {
+  Built b;
+  GeneratorOptions gen;
+  gen.num_posts = posts;
+  gen.posts_per_scenario = 4;
+  gen.seed = 33;
+  b.corpus = generate_corpus(gen);
+  b.docs = analyze_corpus(b.corpus);
+  Segmenter segmenter = Segmenter::cm_tiling();
+  Vocabulary scratch;
+  b.segs.resize(b.docs.size());
+  for (size_t d = 0; d < b.docs.size(); ++d) {
+    b.segs[d] = segmenter.segment(b.docs[d], scratch);
+  }
+  b.clustering = IntentionClustering::build(b.docs, b.segs);
+  return b;
+}
+
+TEST(IncrementalIngestion, NewDocumentBecomesQueryable) {
+  Built b = build_base(60);
+  auto matcher = IntentionMatcher::build(b.docs, b.clustering, b.vocab);
+  size_t segments_before = matcher.num_segments();
+
+  // A new post reusing scenario-0 vocabulary, unseen id.
+  Document fresh = Document::analyze(
+      9000, b.corpus.posts[0].text + " I also checked everything again.");
+  Segmenter segmenter = Segmenter::cm_tiling();
+  Vocabulary scratch;
+  Segmentation seg = segmenter.segment(fresh, scratch);
+  matcher.add_document(fresh, seg, b.clustering.centroids(), b.vocab);
+
+  EXPECT_GT(matcher.num_segments(), segments_before);
+  auto related = matcher.find_related(9000, 5);
+  ASSERT_FALSE(related.empty());
+  for (const ScoredDoc& sd : related) EXPECT_NE(sd.doc, 9000u);
+}
+
+TEST(IncrementalIngestion, NewDocumentIsFoundByOldQueries) {
+  Built b = build_base(60);
+  auto matcher = IntentionMatcher::build(b.docs, b.clustering, b.vocab);
+
+  // Ingest a near-duplicate of post 0; querying post 0 should surface it.
+  Document fresh = Document::analyze(9001, b.corpus.posts[0].text);
+  Segmenter segmenter = Segmenter::cm_tiling();
+  Vocabulary scratch;
+  matcher.add_document(fresh, segmenter.segment(fresh, scratch),
+                       b.clustering.centroids(), b.vocab);
+  auto related = matcher.find_related(0, 5);
+  bool found = false;
+  for (const ScoredDoc& sd : related) found |= (sd.doc == 9001u);
+  EXPECT_TRUE(found);
+  if (!related.empty()) EXPECT_EQ(related[0].doc, 9001u);
+}
+
+TEST(IncrementalIngestion, ManyIngestionsKeepInvariants) {
+  Built b = build_base(40);
+  auto matcher = IntentionMatcher::build(b.docs, b.clustering, b.vocab);
+  Segmenter segmenter = Segmenter::cm_tiling();
+  Vocabulary scratch;
+  GeneratorOptions gen;
+  gen.num_posts = 20;
+  gen.seed = 91;
+  SyntheticCorpus extra = generate_corpus(gen);
+  for (size_t i = 0; i < extra.posts.size(); ++i) {
+    Document doc =
+        Document::analyze(static_cast<DocId>(5000 + i), extra.posts[i].text);
+    matcher.add_document(doc, segmenter.segment(doc, scratch),
+                         b.clustering.centroids(), b.vocab);
+    auto related = matcher.find_related(static_cast<DocId>(5000 + i), 3);
+    for (const ScoredDoc& sd : related) {
+      EXPECT_NE(sd.doc, static_cast<DocId>(5000 + i));
+      EXPECT_GT(sd.score, 0.0);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ nDCG ----
+
+TEST(Ndcg, PerfectRankingIsOne) {
+  auto grade = [](DocId d) { return d == 0 ? 2 : (d == 1 ? 1 : 0); };
+  std::vector<DocId> ranked = {0, 1, 7, 8};
+  EXPECT_NEAR(ndcg(ranked, grade, {2, 1, 0, 0}), 1.0, 1e-12);
+}
+
+TEST(Ndcg, SwappedRankingBelowOne) {
+  auto grade = [](DocId d) { return d == 0 ? 2 : (d == 1 ? 1 : 0); };
+  std::vector<DocId> swapped = {1, 0, 7, 8};
+  double v = ndcg(swapped, grade, {2, 1, 0, 0});
+  EXPECT_LT(v, 1.0);
+  EXPECT_GT(v, 0.5);
+}
+
+TEST(Ndcg, NoRelevantDocsIsZero) {
+  auto grade = [](DocId) { return 0; };
+  EXPECT_DOUBLE_EQ(ndcg({3, 4}, grade, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(dcg({3, 4}, grade), 0.0);
+}
+
+TEST(Ndcg, DcgDiscountsByRank) {
+  auto grade = [](DocId d) { return d == 5 ? 1 : 0; };
+  double first = dcg({5, 1, 2}, grade);
+  double third = dcg({1, 2, 5}, grade);
+  EXPECT_GT(first, third);
+  EXPECT_NEAR(first, 1.0, 1e-12);          // (2^1-1)/log2(2)
+  EXPECT_NEAR(third, 1.0 / 2.0, 1e-12);    // /log2(4)
+}
+
+TEST(Ndcg, HigherGradeGainsMore) {
+  auto g2 = [](DocId d) { return d == 0 ? 2 : 0; };
+  auto g1 = [](DocId d) { return d == 0 ? 1 : 0; };
+  EXPECT_GT(dcg({0}, g2), dcg({0}, g1));
+}
+
+}  // namespace
+}  // namespace ibseg

@@ -1,0 +1,150 @@
+// Tests for boundary similarity, the Random baseline, parallel corpus
+// analysis and corpus statistics.
+
+#include <gtest/gtest.h>
+
+#include "core/methods.h"
+#include "datagen/post_generator.h"
+#include "eval/boundary_similarity.h"
+#include "eval/precision.h"
+
+namespace ibseg {
+namespace {
+
+// --------------------------------------------------- boundary similarity ----
+
+TEST(BoundarySimilarity, IdenticalIsOne) {
+  Segmentation s{12, {3, 7}};
+  EXPECT_DOUBLE_EQ(boundary_similarity(s, s), 1.0);
+  Segmentation empty{12, {}};
+  EXPECT_DOUBLE_EQ(boundary_similarity(empty, empty), 1.0);
+}
+
+TEST(BoundarySimilarity, DisjointFarBoundariesAreZero) {
+  Segmentation a{20, {3}};
+  Segmentation b{20, {15}};
+  EXPECT_DOUBLE_EQ(boundary_similarity(a, b), 0.0);
+}
+
+TEST(BoundarySimilarity, NearMissIsATransposition) {
+  Segmentation a{20, {10}};
+  Segmentation near{20, {11}};
+  BoundaryEditStats stats = boundary_edit(a, near);
+  EXPECT_EQ(stats.matches, 0u);
+  EXPECT_EQ(stats.transpositions, 1u);
+  EXPECT_EQ(stats.additions, 0u);
+  EXPECT_DOUBLE_EQ(boundary_similarity(a, near), 0.5);
+}
+
+TEST(BoundarySimilarity, OrderingNearBeatsFarBeatsMissing) {
+  Segmentation ref{30, {10, 20}};
+  Segmentation exact{30, {10, 20}};
+  Segmentation near{30, {11, 20}};
+  Segmentation missing{30, {20}};
+  Segmentation wrong{30, {2, 27}};
+  double s_exact = boundary_similarity(ref, exact);
+  double s_near = boundary_similarity(ref, near);
+  double s_missing = boundary_similarity(ref, missing);
+  double s_wrong = boundary_similarity(ref, wrong);
+  EXPECT_GT(s_exact, s_near);
+  EXPECT_GT(s_near, s_missing);
+  EXPECT_GT(s_missing, s_wrong);
+}
+
+TEST(BoundarySimilarity, Symmetry) {
+  Segmentation a{25, {5, 12, 18}};
+  Segmentation b{25, {6, 12}};
+  EXPECT_DOUBLE_EQ(boundary_similarity(a, b), boundary_similarity(b, a));
+}
+
+TEST(BoundarySimilarity, EditStatsCountEverything) {
+  Segmentation a{40, {5, 10, 20, 30}};
+  Segmentation b{40, {5, 11, 35}};
+  BoundaryEditStats stats = boundary_edit(a, b, 2);
+  EXPECT_EQ(stats.matches, 1u);         // 5
+  EXPECT_EQ(stats.transpositions, 1u);  // 10 ~ 11
+  EXPECT_EQ(stats.additions, 3u);       // 20, 30 | 35
+}
+
+// ------------------------------------------------------- random baseline ----
+
+TEST(RandomBaseline, ChanceLevelPrecision) {
+  GeneratorOptions gen;
+  gen.num_posts = 200;
+  gen.posts_per_scenario = 4;
+  gen.seed = 77;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  std::vector<Document> docs = analyze_corpus(corpus);
+  auto method = build_method(MethodKind::kRandom, docs, MethodConfig{});
+  double total = 0.0;
+  size_t queries = 0;
+  for (DocId q = 0; q < docs.size(); ++q) {
+    auto related = method->find_related(q, 5);
+    EXPECT_EQ(related.size(), 5u);
+    std::vector<DocId> ids;
+    for (const ScoredDoc& sd : related) {
+      EXPECT_NE(sd.doc, q);
+      ids.push_back(sd.doc);
+    }
+    int scenario = corpus.posts[q].scenario_id;
+    total += list_precision(ids, [&](DocId d) {
+      return corpus.posts[d].scenario_id == scenario;
+    });
+    ++queries;
+  }
+  // Chance: 3 relevant of 199 candidates ~ 0.015.
+  EXPECT_LT(total / queries, 0.06);
+  // Deterministic per query.
+  auto again = method->find_related(3, 5);
+  auto first = method->find_related(3, 5);
+  ASSERT_EQ(again.size(), first.size());
+  for (size_t i = 0; i < again.size(); ++i) {
+    EXPECT_EQ(again[i].doc, first[i].doc);
+  }
+}
+
+// ------------------------------------------------------ parallel analysis ----
+
+TEST(ParallelAnalysis, MatchesSerial) {
+  GeneratorOptions gen;
+  gen.num_posts = 80;
+  gen.seed = 78;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  auto serial = analyze_corpus(corpus);
+  auto parallel = analyze_corpus_parallel(corpus, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t d = 0; d < serial.size(); ++d) {
+    EXPECT_EQ(serial[d].id(), parallel[d].id());
+    EXPECT_EQ(serial[d].num_units(), parallel[d].num_units());
+    EXPECT_EQ(serial[d].tokens().size(), parallel[d].tokens().size());
+  }
+}
+
+// ---------------------------------------------------------- corpus stats ----
+
+TEST(CorpusStats, PlausibleValues) {
+  GeneratorOptions gen;
+  gen.num_posts = 150;
+  gen.seed = 79;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  CorpusStats stats = compute_corpus_stats(corpus);
+  EXPECT_EQ(stats.num_posts, 150u);
+  EXPECT_GT(stats.avg_terms_per_post, 10.0);
+  EXPECT_LT(stats.avg_terms_per_post, 200.0);
+  // The paper reports 2.3-3.2% unique terms for its forums; the generator
+  // is calibrated to that order of magnitude.
+  EXPECT_GT(stats.unique_term_percent, 0.5);
+  EXPECT_LT(stats.unique_term_percent, 15.0);
+  EXPECT_GT(stats.avg_sentences_per_post, 2.0);
+  EXPECT_GE(stats.avg_segments_per_post, 1.0);
+}
+
+TEST(CorpusStats, EmptyCorpus) {
+  SyntheticCorpus corpus;
+  CorpusStats stats = compute_corpus_stats(corpus);
+  EXPECT_EQ(stats.num_posts, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_terms_per_post, 0.0);
+}
+
+}  // namespace
+}  // namespace ibseg

@@ -1,0 +1,221 @@
+// Parameterized property sweeps (TEST_P): invariants that must hold for
+// every (strategy x domain x seed) combination rather than one example.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <cmath>
+#include <tuple>
+
+#include "cluster/intention_clusters.h"
+#include "datagen/post_generator.h"
+#include "eval/window_diff.h"
+#include "seg/segmenter.h"
+#include "util/rng.h"
+
+namespace ibseg {
+namespace {
+
+// ------------------------------------------- segmentation invariants ----
+
+using SegCase = std::tuple<BorderStrategyKind, ForumDomain, uint64_t>;
+
+class SegmentationProperty : public ::testing::TestWithParam<SegCase> {};
+
+TEST_P(SegmentationProperty, ValidAndCovering) {
+  auto [strategy, domain, seed] = GetParam();
+  GeneratorOptions gen;
+  gen.domain = domain;
+  gen.num_posts = 25;
+  gen.seed = seed;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  std::vector<Document> docs = analyze_corpus(corpus);
+  for (const Document& doc : docs) {
+    Segmentation s = select_borders(doc, strategy);
+    // Invariant 1: structural validity.
+    ASSERT_TRUE(s.is_valid());
+    ASSERT_EQ(s.num_units, doc.num_units());
+    // Invariant 2: the concatenation of the segments is the document
+    // (every unit covered exactly once, in order) — Def. 1.
+    size_t covered = 0;
+    size_t expected_begin = 0;
+    for (auto [b, e] : s.segments()) {
+      EXPECT_EQ(b, expected_begin);
+      EXPECT_LE(e, doc.num_units());
+      covered += e - b;
+      expected_begin = e;
+    }
+    EXPECT_EQ(covered, doc.num_units());
+    // Invariant 3: determinism.
+    EXPECT_EQ(select_borders(doc, strategy), s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesAllDomains, SegmentationProperty,
+    ::testing::Combine(
+        ::testing::Values(BorderStrategyKind::kTile,
+                          BorderStrategyKind::kStepByStep,
+                          BorderStrategyKind::kGreedy,
+                          BorderStrategyKind::kSentences),
+        ::testing::Values(ForumDomain::kTechSupport, ForumDomain::kTravel,
+                          ForumDomain::kProgramming, ForumDomain::kHealth),
+        ::testing::Values(1u, 99u)));
+
+// ------------------------------------------ scoring-variant invariants ----
+
+using ScoringCase = std::tuple<DiversityIndex, DepthFn>;
+
+class ScoringProperty : public ::testing::TestWithParam<ScoringCase> {};
+
+TEST_P(ScoringProperty, BorderScoresFiniteAndNonNegative) {
+  auto [diversity, depth] = GetParam();
+  GeneratorOptions gen;
+  gen.num_posts = 15;
+  gen.seed = 17;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  std::vector<Document> docs = analyze_corpus(corpus);
+  SegScoring scoring;
+  scoring.diversity = diversity;
+  scoring.depth = depth;
+  for (const Document& doc : docs) {
+    if (doc.num_units() < 2) continue;
+    Segmentation all = Segmentation::all_units(doc.num_units());
+    for (double s : score_borders(doc, all, scoring)) {
+      EXPECT_TRUE(std::isfinite(s));
+      EXPECT_GE(s, 0.0);
+    }
+    Segmentation seg = select_borders(doc, BorderStrategyKind::kTile, scoring);
+    EXPECT_TRUE(seg.is_valid());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFunctions, ScoringProperty,
+    ::testing::Combine(::testing::Values(DiversityIndex::kShannon,
+                                         DiversityIndex::kRichness),
+                       ::testing::Values(DepthFn::kCoherence, DepthFn::kCosine,
+                                         DepthFn::kEuclidean,
+                                         DepthFn::kManhattan)));
+
+// ----------------------------------------------- WindowDiff properties ----
+
+class WindowDiffProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WindowDiffProperty, IdentityZeroBoundedAndSane) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t n = 4 + rng.next_below(30);
+    // Random reference and hypothesis segmentations.
+    auto random_seg = [&](double border_prob) {
+      Segmentation s;
+      s.num_units = n;
+      for (size_t b = 1; b < n; ++b) {
+        if (rng.next_bool(border_prob)) s.borders.push_back(b);
+      }
+      return s;
+    };
+    Segmentation ref = random_seg(0.3);
+    Segmentation hyp = random_seg(0.3);
+    double wd = window_diff(ref, hyp);
+    EXPECT_GE(wd, 0.0);
+    EXPECT_LE(wd, 1.0);
+    EXPECT_DOUBLE_EQ(window_diff(ref, ref), 0.0);
+    double pk = pk_metric(ref, hyp);
+    EXPECT_GE(pk, 0.0);
+    EXPECT_LE(pk, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowDiffProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// -------------------------------------------- clustering invariants ----
+
+class GroupingProperty
+    : public ::testing::TestWithParam<std::tuple<ForumDomain, uint64_t>> {};
+
+TEST_P(GroupingProperty, RefinementInvariantsHold) {
+  auto [domain, seed] = GetParam();
+  GeneratorOptions gen;
+  gen.domain = domain;
+  gen.num_posts = 60;
+  gen.seed = seed;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  std::vector<Document> docs = analyze_corpus(corpus);
+  Segmenter segmenter = Segmenter::cm_tiling();
+  Vocabulary vocab;
+  std::vector<Segmentation> segs(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    segs[d] = segmenter.segment(docs[d], vocab);
+  }
+  IntentionClustering clustering = IntentionClustering::build(docs, segs);
+
+  // (1) At most one refined segment per (doc, cluster).
+  std::set<std::pair<DocId, int>> keys;
+  for (const RefinedSegment& s : clustering.segments()) {
+    EXPECT_TRUE(keys.insert({s.doc, s.cluster}).second);
+    EXPECT_GE(s.cluster, 0);
+    EXPECT_LT(s.cluster, clustering.num_clusters());
+  }
+  // (2) Unit coverage is exact.
+  size_t covered = 0;
+  for (const RefinedSegment& s : clustering.segments()) {
+    covered += s.num_units();
+  }
+  size_t total = 0;
+  for (const Document& d : docs) total += d.num_units();
+  EXPECT_EQ(covered, total);
+  // (3) Member lists are consistent with the segment table.
+  size_t member_total = 0;
+  for (int c = 0; c < clustering.num_clusters(); ++c) {
+    for (size_t idx : clustering.cluster_members()[static_cast<size_t>(c)]) {
+      EXPECT_EQ(clustering.segments()[idx].cluster, c);
+      ++member_total;
+    }
+  }
+  EXPECT_EQ(member_total, clustering.segments().size());
+  // (4) Cluster count within the configured target band (plus slack for
+  // degenerate corpora).
+  EXPECT_GE(clustering.num_clusters(), 1);
+  EXPECT_LE(clustering.num_clusters(), 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DomainsAndSeeds, GroupingProperty,
+    ::testing::Combine(::testing::Values(ForumDomain::kTechSupport,
+                                         ForumDomain::kTravel,
+                                         ForumDomain::kProgramming,
+                                         ForumDomain::kHealth),
+                       ::testing::Values(21u, 22u)));
+
+// ----------------------------------------- generator integrity sweep ----
+
+class GeneratorProperty
+    : public ::testing::TestWithParam<std::tuple<ForumDomain, uint64_t>> {};
+
+TEST_P(GeneratorProperty, UnitsAlwaysMatchAnalyzer) {
+  auto [domain, seed] = GetParam();
+  GeneratorOptions gen;
+  gen.domain = domain;
+  gen.num_posts = 50;
+  gen.seed = seed;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  std::vector<Document> docs = analyze_corpus(corpus);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    ASSERT_EQ(docs[i].num_units(),
+              corpus.posts[i].true_segmentation.num_units)
+        << corpus.posts[i].text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DomainsAndSeeds, GeneratorProperty,
+    ::testing::Combine(::testing::Values(ForumDomain::kTechSupport,
+                                         ForumDomain::kTravel,
+                                         ForumDomain::kProgramming,
+                                         ForumDomain::kHealth),
+                       ::testing::Values(100u, 200u, 300u)));
+
+}  // namespace
+}  // namespace ibseg

@@ -1,0 +1,158 @@
+// Robustness sweeps: the text/NLP/segmentation stack must never crash or
+// violate invariants on messy, adversarial, or randomly generated input —
+// real forum dumps contain all of it.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/intention_clusters.h"
+#include "seg/segmenter.h"
+#include "text/html_cleaner.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace ibseg {
+namespace {
+
+// ---------------------------------------------------------- messy input ----
+
+class MessyInput : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MessyInput, FullStackSurvives) {
+  std::string text = strip_html(GetParam());
+  Document doc = Document::analyze(0, text);
+  // Tokens must tile their spans monotonically.
+  size_t prev_end = 0;
+  for (const Token& t : doc.tokens()) {
+    EXPECT_LE(t.begin, t.end);
+    EXPECT_GE(t.begin, prev_end);
+    EXPECT_LE(t.end, doc.text().size());
+    prev_end = t.end;
+  }
+  Vocabulary vocab;
+  for (auto kind : {BorderStrategyKind::kTile, BorderStrategyKind::kGreedy,
+                    BorderStrategyKind::kStepByStep,
+                    BorderStrategyKind::kTopDown}) {
+    EXPECT_TRUE(select_borders(doc, kind).is_valid());
+  }
+  EXPECT_TRUE(texttiling_segment(doc, vocab).is_valid());
+  EXPECT_TRUE(cm_tiling_segment(doc).is_valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MessyInput,
+    ::testing::Values(
+        "",                                       // empty
+        "   \n\t  ",                              // whitespace only
+        "!!!???...",                              // punctuation only
+        "HELP MY PRINTER IS ON FIRE AND I DONT KNOW WHAT TO DO",  // caps
+        "no punctuation at all just words running on and on and on",
+        "a",                                      // single char
+        "one. two. three. four. five. six. seven. eight. nine. ten. "
+        "eleven. twelve. thirteen. fourteen. fifteen.",  // many tiny units
+        "word " /* repeated below */ "word word word word word word.",
+        "<div><p>html <b>soup</b> &amp; entities &#65;</p><script>bad()"
+        "</script></div>",
+        "5.5.3 320GB 100% #hashtag @user http://example.com/path?q=1",
+        "don't can't won't shouldn't it's we're they'll I'd you've",
+        "\xc3\xa9\xc3\xa8\xe2\x82\xac non-ascii bytes mixed in caf\xc3\xa9.",
+        "e.g. i.e. etc. Mr. Smith vs. Dr. Jones fig. 3 no. 7.",
+        "line one\nline two\r\nline three\n\n\nline four"));
+
+// --------------------------------------------------------- random fuzzing ----
+
+TEST(Fuzz, RandomAsciiNeverBreaksInvariants) {
+  Rng rng(424242);
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+      "0123456789 .,!?'-\n\t<>&;/\\\"()[]{}";
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t len = rng.next_below(400);
+    std::string text;
+    text.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng.next_below(alphabet.size())]);
+    }
+    std::string cleaned = strip_html(text);
+    Document doc = Document::analyze(0, cleaned);
+    size_t prev_end = 0;
+    for (const Token& t : doc.tokens()) {
+      ASSERT_LE(t.begin, t.end);
+      ASSERT_GE(t.begin, prev_end);
+      ASSERT_LE(t.end, cleaned.size());
+      prev_end = t.end;
+    }
+    // Sentences must partition the token stream.
+    size_t expected_begin = 0;
+    for (const Sentence& s : doc.sentences()) {
+      ASSERT_EQ(s.token_begin, expected_begin);
+      ASSERT_LE(s.token_end, doc.tokens().size());
+      ASSERT_LT(s.token_begin, s.token_end);
+      expected_begin = s.token_end;
+    }
+    ASSERT_EQ(expected_begin, doc.tokens().size());
+    ASSERT_TRUE(cm_tiling_segment(doc).is_valid());
+  }
+}
+
+TEST(Fuzz, PorterStemmerTotalOnRandomWords) {
+  Rng rng(777);
+  for (int trial = 0; trial < 2000; ++trial) {
+    size_t len = 1 + rng.next_below(18);
+    std::string word;
+    for (size_t i = 0; i < len; ++i) {
+      word.push_back(static_cast<char>('a' + rng.next_below(26)));
+    }
+    std::string stem = porter_stem(word);
+    ASSERT_FALSE(stem.empty());
+    ASSERT_LE(stem.size(), word.size());
+    // Idempotence on already-stemmed-looking words is NOT guaranteed by
+    // Porter, but determinism is.
+    ASSERT_EQ(stem, porter_stem(word));
+  }
+}
+
+TEST(Fuzz, HtmlCleanerHandlesTruncatedMarkup) {
+  EXPECT_NO_FATAL_FAILURE(strip_html("<div unclosed"));
+  EXPECT_NO_FATAL_FAILURE(strip_html("<script>never closed"));
+  EXPECT_NO_FATAL_FAILURE(strip_html("&#999999999;"));
+  EXPECT_NO_FATAL_FAILURE(strip_html("&notanentity;"));
+  EXPECT_NO_FATAL_FAILURE(strip_html("<"));
+  EXPECT_EQ(strip_html("&amp"), "&amp");  // unterminated entity kept as-is
+}
+
+// ----------------------------------------------------- degenerate corpora ----
+
+TEST(Degenerate, ClusteringSingleDocCorpus) {
+  std::vector<Document> docs;
+  docs.push_back(Document::analyze(0, "Only one post. It asks nothing."));
+  std::vector<Segmentation> segs = {
+      Segmentation::all_units(docs[0].num_units())};
+  IntentionClustering clustering = IntentionClustering::build(docs, segs);
+  EXPECT_GE(clustering.num_clusters(), 1);
+}
+
+TEST(Degenerate, ClusteringIdenticalDocuments) {
+  std::vector<Document> docs;
+  for (int i = 0; i < 12; ++i) {
+    docs.push_back(Document::analyze(
+        static_cast<DocId>(i),
+        "The printer failed. I tried a reset. Can you help?"));
+  }
+  std::vector<Segmentation> segs(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    segs[d] = Segmentation::all_units(docs[d].num_units());
+  }
+  IntentionClustering clustering = IntentionClustering::build(docs, segs);
+  EXPECT_GE(clustering.num_clusters(), 1);
+  size_t covered = 0;
+  for (const RefinedSegment& s : clustering.segments()) {
+    covered += s.num_units();
+  }
+  EXPECT_EQ(covered, docs.size() * 3);
+}
+
+}  // namespace
+}  // namespace ibseg

@@ -1,0 +1,173 @@
+// Tests for the pluggable segment comparators (paper Sec. 7: "any text
+// comparison, e.g. ... IR techniques may be employed"): BM25 and the
+// Jelinek-Mercer query-likelihood model next to the paper's Eq. 9, plus
+// the external-query entry point.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/intention_clusters.h"
+#include "index/fulltext_matcher.h"
+#include "index/intention_matcher.h"
+#include "index/inverted_index.h"
+#include "index/scoring.h"
+#include "seg/segmenter.h"
+
+namespace ibseg {
+namespace {
+
+TermVector tv(Vocabulary& vocab,
+              std::initializer_list<std::pair<const char*, double>> terms) {
+  TermVector out;
+  for (const auto& [term, weight] : terms) out.add(vocab.intern(term), weight);
+  return out;
+}
+
+struct SmallIndex {
+  Vocabulary vocab;
+  InvertedIndex index;
+  uint32_t strong = 0;  // shares 2 query terms
+  uint32_t weak = 0;    // shares 1
+};
+
+SmallIndex make_index() {
+  SmallIndex s;
+  s.strong = s.index.add_unit(tv(s.vocab, {{"printer", 2.0}, {"ink", 1.0},
+                                           {"tray", 1.0}}));
+  s.weak = s.index.add_unit(tv(s.vocab, {{"printer", 1.0}, {"fan", 2.0}}));
+  s.index.add_unit(tv(s.vocab, {{"router", 1.0}, {"wifi", 1.0}}));
+  s.index.add_unit(tv(s.vocab, {{"battery", 2.0}, {"plug", 1.0}}));
+  s.index.finalize();
+  return s;
+}
+
+class ScorerCase : public ::testing::TestWithParam<ScoringFunction> {};
+
+TEST_P(ScorerCase, RanksStrongerOverlapHigher) {
+  SmallIndex s = make_index();
+  ScoringOptions options;
+  options.function = GetParam();
+  TermVector query = tv(s.vocab, {{"printer", 1.0}, {"ink", 1.0}});
+  auto hits = score_units(s.index, query, options);
+  keep_top_n(hits, 10);
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_EQ(hits[0].unit, s.strong);
+  EXPECT_EQ(hits[1].unit, s.weak);
+  for (const ScoredUnit& h : hits) EXPECT_GT(h.score, 0.0);
+}
+
+TEST_P(ScorerCase, NoOverlapNoHits) {
+  SmallIndex s = make_index();
+  ScoringOptions options;
+  options.function = GetParam();
+  auto hits = score_units(s.index, tv(s.vocab, {{"ghost", 1.0}}), options);
+  EXPECT_TRUE(hits.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScorers, ScorerCase,
+                         ::testing::Values(ScoringFunction::kPaperTfIdf,
+                                           ScoringFunction::kBm25,
+                                           ScoringFunction::kQueryLikelihood));
+
+TEST(Bm25, HandComputedSingleTerm) {
+  Vocabulary vocab;
+  InvertedIndex index;
+  TermVector u0;
+  TermId t = vocab.intern("t");
+  u0.add(t, 3.0);
+  u0.add(vocab.intern("x"), 1.0);  // len 4
+  uint32_t unit0 = index.add_unit(u0);
+  TermVector u1;
+  u1.add(vocab.intern("y"), 4.0);  // len 4
+  index.add_unit(u1);
+  index.finalize();
+  ASSERT_DOUBLE_EQ(index.avg_unit_length(), 4.0);
+
+  ScoringOptions options;
+  options.function = ScoringFunction::kBm25;
+  TermVector q;
+  q.add(t, 1.0);
+  auto hits = score_units(index, q, options);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].unit, unit0);
+  // idf = log(1 + (2 - 1 + 0.5)/(1 + 0.5)) = log(2);
+  // tf-part = 3*(1.2+1)/(3 + 1.2*(1 - 0.75 + 0.75*4/4)) = 6.6/4.2.
+  double expected = std::log(2.0) * (3.0 * 2.2) / (3.0 + 1.2);
+  EXPECT_NEAR(hits[0].score, expected, 1e-12);
+}
+
+TEST(QueryLikelihood, HandComputedSingleTerm) {
+  Vocabulary vocab;
+  InvertedIndex index;
+  TermId t = vocab.intern("t");
+  TermVector u0;
+  u0.add(t, 2.0);
+  u0.add(vocab.intern("x"), 2.0);  // len 4, p(t|u0) = 0.5
+  uint32_t unit0 = index.add_unit(u0);
+  TermVector u1;
+  u1.add(vocab.intern("y"), 4.0);  // len 4
+  index.add_unit(u1);
+  index.finalize();
+  // Collection: len 8, ctf(t) = 2 -> p(t|C) = 0.25.
+  ScoringOptions options;
+  options.function = ScoringFunction::kQueryLikelihood;
+  options.lm_lambda = 0.5;
+  TermVector q;
+  q.add(t, 2.0);
+  auto hits = score_units(index, q, options);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].unit, unit0);
+  double expected = 2.0 * std::log(1.0 + (0.5 * 0.5) / (0.5 * 0.25));
+  EXPECT_NEAR(hits[0].score, expected, 1e-12);
+}
+
+TEST(IndexStats, LengthsAndCollectionTf) {
+  SmallIndex s = make_index();
+  EXPECT_DOUBLE_EQ(s.index.unit_length(s.strong), 4.0);
+  EXPECT_DOUBLE_EQ(s.index.collection_tf(s.vocab.find("printer")), 3.0);
+  EXPECT_DOUBLE_EQ(s.index.collection_length(), 4.0 + 3.0 + 2.0 + 3.0);
+  EXPECT_NEAR(s.index.avg_unit_length(), 3.0, 1e-12);
+}
+
+// --------------------------------------------------------- external query ----
+
+TEST(ExternalQuery, FindsRelatedWithoutIngesting) {
+  // Corpus of topic pairs, as in index_test.
+  std::vector<std::string> topics = {"printer", "printer", "router",
+                                     "router"};
+  std::vector<Document> docs;
+  for (size_t i = 0; i < topics.size(); ++i) {
+    docs.push_back(Document::analyze(
+        static_cast<DocId>(i),
+        "I have a fast laptop and it runs the usual setup. "
+        "Can you replace the " + topics[i] + "? "
+        "What should I do about the " + topics[i] + "?"));
+  }
+  std::vector<Segmentation> segs(docs.size());
+  std::vector<int> labels;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    segs[d] = Segmentation{docs[d].num_units(), {1}};
+    labels.push_back(0);
+    labels.push_back(1);
+  }
+  auto clustering = IntentionClustering::from_labels(docs, segs, labels, 2);
+  Vocabulary vocab;
+  auto matcher = IntentionMatcher::build(docs, clustering, vocab);
+  size_t segments_before = matcher.num_segments();
+
+  Document external = Document::analyze(
+      999, "My machine is mostly fine. Should I replace the router today?");
+  Segmentation ext_seg{external.num_units(), {1}};
+  auto related = matcher.find_related_external(
+      external, ext_seg, clustering.centroids(), vocab, 2);
+  ASSERT_FALSE(related.empty());
+  EXPECT_TRUE(related[0].doc == 2u || related[0].doc == 3u)
+      << "router posts should win, got " << related[0].doc;
+  // Nothing ingested.
+  EXPECT_EQ(matcher.num_segments(), segments_before);
+  EXPECT_TRUE(matcher.find_related(999, 2).empty());
+}
+
+}  // namespace
+}  // namespace ibseg

@@ -1,0 +1,60 @@
+// End-to-end smoke test: generate a small corpus, run the full pipeline,
+// and sanity-check every stage's output shape.
+
+#include <gtest/gtest.h>
+
+#include "core/methods.h"
+#include "core/pipeline.h"
+#include "datagen/post_generator.h"
+
+namespace ibseg {
+namespace {
+
+TEST(Smoke, EndToEndPipeline) {
+  GeneratorOptions gen;
+  gen.domain = ForumDomain::kTechSupport;
+  gen.num_posts = 60;
+  gen.posts_per_scenario = 6;
+  gen.seed = 1;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  ASSERT_EQ(corpus.posts.size(), 60u);
+
+  std::vector<Document> docs = analyze_corpus(corpus);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_GT(docs[i].num_units(), 0u) << "post " << i;
+  }
+
+  RelatedPostPipeline pipeline = RelatedPostPipeline::build(std::move(docs));
+  EXPECT_GE(pipeline.clustering().num_clusters(), 1);
+
+  std::vector<ScoredDoc> related = pipeline.find_related(0, 5);
+  EXPECT_LE(related.size(), 5u);
+  for (const ScoredDoc& sd : related) {
+    EXPECT_NE(sd.doc, 0u);
+    EXPECT_GT(sd.score, 0.0);
+  }
+}
+
+TEST(Smoke, AllMethodsBuildAndAnswer) {
+  GeneratorOptions gen;
+  gen.domain = ForumDomain::kProgramming;
+  gen.num_posts = 40;
+  gen.posts_per_scenario = 5;
+  gen.seed = 2;
+  std::vector<Document> docs = analyze_corpus(generate_corpus(gen));
+
+  MethodConfig config;
+  config.lda.iterations = 30;  // keep the smoke test fast
+  for (MethodKind kind :
+       {MethodKind::kLda, MethodKind::kFullText, MethodKind::kContentMR,
+        MethodKind::kSentIntentMR, MethodKind::kIntentIntentMR}) {
+    MethodBuildStats stats;
+    auto method = build_method(kind, docs, config, &stats);
+    ASSERT_NE(method, nullptr) << method_name(kind);
+    auto related = method->find_related(3, 5);
+    EXPECT_LE(related.size(), 5u) << method_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ibseg

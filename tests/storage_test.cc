@@ -1,0 +1,207 @@
+// Unit tests for src/storage: corpus persistence and pipeline snapshots.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/intention_clusters.h"
+#include "datagen/post_generator.h"
+#include "index/intention_matcher.h"
+#include "seg/segmenter.h"
+#include "storage/corpus_io.h"
+#include "storage/snapshot.h"
+
+namespace ibseg {
+namespace {
+
+SyntheticCorpus sample_corpus() {
+  GeneratorOptions gen;
+  gen.num_posts = 30;
+  gen.posts_per_scenario = 3;
+  gen.seed = 12;
+  return generate_corpus(gen);
+}
+
+// ------------------------------------------------------------- escaping ----
+
+TEST(CorpusIo, EscapeRoundTrip) {
+  std::string nasty = "line one\nline\\two \\n literal";
+  EXPECT_EQ(unescape_text(escape_text(nasty)), nasty);
+  EXPECT_EQ(escape_text("plain"), "plain");
+  EXPECT_EQ(escape_text("a\nb"), "a\\nb");
+}
+
+// --------------------------------------------------------- corpus io ----
+
+TEST(CorpusIo, SaveLoadRoundTrip) {
+  SyntheticCorpus corpus = sample_corpus();
+  std::stringstream ss;
+  ASSERT_TRUE(save_corpus(corpus, ss));
+  auto loaded = load_corpus(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->domain, corpus.domain);
+  EXPECT_EQ(loaded->num_scenarios, corpus.num_scenarios);
+  ASSERT_EQ(loaded->posts.size(), corpus.posts.size());
+  for (size_t i = 0; i < corpus.posts.size(); ++i) {
+    EXPECT_EQ(loaded->posts[i].text, corpus.posts[i].text) << i;
+    EXPECT_EQ(loaded->posts[i].scenario_id, corpus.posts[i].scenario_id);
+    EXPECT_EQ(loaded->posts[i].component_id, corpus.posts[i].component_id);
+    EXPECT_EQ(loaded->posts[i].contaminants, corpus.posts[i].contaminants);
+    EXPECT_EQ(loaded->posts[i].true_segmentation,
+              corpus.posts[i].true_segmentation);
+    EXPECT_EQ(loaded->posts[i].segment_intents,
+              corpus.posts[i].segment_intents);
+  }
+}
+
+TEST(CorpusIo, RejectsGarbage) {
+  std::stringstream empty("");
+  EXPECT_FALSE(load_corpus(empty).has_value());
+  std::stringstream wrong("NOT-A-CORPUS\n");
+  EXPECT_FALSE(load_corpus(wrong).has_value());
+  std::stringstream truncated("IBSEG-CORPUS v1\ndomain TechSupport\n");
+  EXPECT_FALSE(load_corpus(truncated).has_value());
+}
+
+TEST(CorpusIo, RejectsCorruptedPostCount) {
+  SyntheticCorpus corpus = sample_corpus();
+  std::stringstream ss;
+  ASSERT_TRUE(save_corpus(corpus, ss));
+  std::string data = ss.str();
+  // Claim one more post than present.
+  size_t pos = data.find("posts 30");
+  ASSERT_NE(pos, std::string::npos);
+  data.replace(pos, 8, "posts 31");
+  std::stringstream corrupted(data);
+  EXPECT_FALSE(load_corpus(corrupted).has_value());
+}
+
+TEST(CorpusIo, LoadPlainPosts) {
+  std::stringstream ss("first post\n\n  second post  \n");
+  auto posts = load_plain_posts(ss);
+  ASSERT_EQ(posts.size(), 2u);
+  EXPECT_EQ(posts[0], "first post");
+  EXPECT_EQ(posts[1], "second post");
+}
+
+
+// Round-trip across every domain (TEST_P).
+class CorpusIoDomains
+    : public ::testing::TestWithParam<ForumDomain> {};
+
+TEST_P(CorpusIoDomains, RoundTrip) {
+  GeneratorOptions gen;
+  gen.domain = GetParam();
+  gen.num_posts = 20;
+  gen.seed = 5;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  std::stringstream ss;
+  ASSERT_TRUE(save_corpus(corpus, ss));
+  auto loaded = load_corpus(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->domain, corpus.domain);
+  ASSERT_EQ(loaded->posts.size(), corpus.posts.size());
+  for (size_t i = 0; i < corpus.posts.size(); ++i) {
+    EXPECT_EQ(loaded->posts[i].text, corpus.posts[i].text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, CorpusIoDomains,
+                         ::testing::Values(ForumDomain::kTechSupport,
+                                           ForumDomain::kTravel,
+                                           ForumDomain::kProgramming,
+                                           ForumDomain::kHealth));
+
+// ------------------------------------------------------------ snapshot ----
+
+struct Built {
+  std::vector<Document> docs;
+  std::vector<Segmentation> segs;
+  IntentionClustering clustering;
+};
+
+Built build_pipeline_state() {
+  Built b;
+  b.docs = analyze_corpus(sample_corpus());
+  Segmenter segmenter = Segmenter::cm_tiling();
+  Vocabulary vocab;
+  b.segs.resize(b.docs.size());
+  for (size_t d = 0; d < b.docs.size(); ++d) {
+    b.segs[d] = segmenter.segment(b.docs[d], vocab);
+  }
+  b.clustering = IntentionClustering::build(b.docs, b.segs);
+  return b;
+}
+
+TEST(Snapshot, CapturesConsistentState) {
+  Built b = build_pipeline_state();
+  PipelineSnapshot snap = make_snapshot(b.segs, b.clustering);
+  EXPECT_TRUE(snap.is_consistent());
+  EXPECT_EQ(snap.num_clusters, b.clustering.num_clusters());
+  EXPECT_EQ(snap.segmentations.size(), b.docs.size());
+}
+
+TEST(Snapshot, RestoreReproducesClustering) {
+  Built b = build_pipeline_state();
+  PipelineSnapshot snap = make_snapshot(b.segs, b.clustering);
+  IntentionClustering restored = restore_clustering(b.docs, snap);
+  EXPECT_EQ(restored.num_clusters(), b.clustering.num_clusters());
+  ASSERT_EQ(restored.segments().size(), b.clustering.segments().size());
+  // Same refined segment table (doc, cluster, ranges).
+  for (size_t i = 0; i < restored.segments().size(); ++i) {
+    EXPECT_EQ(restored.segments()[i].doc, b.clustering.segments()[i].doc);
+    EXPECT_EQ(restored.segments()[i].cluster,
+              b.clustering.segments()[i].cluster);
+    EXPECT_EQ(restored.segments()[i].ranges,
+              b.clustering.segments()[i].ranges);
+  }
+}
+
+TEST(Snapshot, SaveLoadRoundTrip) {
+  Built b = build_pipeline_state();
+  PipelineSnapshot snap = make_snapshot(b.segs, b.clustering);
+  std::stringstream ss;
+  ASSERT_TRUE(save_snapshot(snap, ss));
+  auto loaded = load_snapshot(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_clusters, snap.num_clusters);
+  EXPECT_EQ(loaded->segment_labels, snap.segment_labels);
+  ASSERT_EQ(loaded->segmentations.size(), snap.segmentations.size());
+  for (size_t d = 0; d < snap.segmentations.size(); ++d) {
+    EXPECT_EQ(loaded->segmentations[d], snap.segmentations[d]);
+  }
+}
+
+TEST(Snapshot, RestoredMatcherAnswersIdentically) {
+  Built b = build_pipeline_state();
+  PipelineSnapshot snap = make_snapshot(b.segs, b.clustering);
+  std::stringstream ss;
+  ASSERT_TRUE(save_snapshot(snap, ss));
+  auto loaded = load_snapshot(ss);
+  ASSERT_TRUE(loaded.has_value());
+  IntentionClustering restored = restore_clustering(b.docs, *loaded);
+  Vocabulary v1;
+  Vocabulary v2;
+  auto original = IntentionMatcher::build(b.docs, b.clustering, v1);
+  auto reloaded = IntentionMatcher::build(b.docs, restored, v2);
+  for (DocId q = 0; q < b.docs.size(); q += 5) {
+    auto a = original.find_related(q, 5);
+    auto c = reloaded.find_related(q, 5);
+    ASSERT_EQ(a.size(), c.size()) << q;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, c[i].doc);
+      EXPECT_NEAR(a[i].score, c[i].score, 1e-9);
+    }
+  }
+}
+
+TEST(Snapshot, RejectsInconsistentInput) {
+  std::stringstream bad(
+      "IBSEG-SNAPSHOT v1\nclusters 2\ndocuments 1\nseg 3 1\nlabels 0 5\n");
+  EXPECT_FALSE(load_snapshot(bad).has_value());  // label 5 out of range
+  std::stringstream garbage("nope");
+  EXPECT_FALSE(load_snapshot(garbage).has_value());
+}
+
+}  // namespace
+}  // namespace ibseg

@@ -1,0 +1,136 @@
+// Unit tests for src/topic: LDA Gibbs sampling and the topic matcher.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "topic/lda.h"
+#include "topic/lda_matcher.h"
+
+namespace ibseg {
+namespace {
+
+// Two crisply separated "topics": docs 0..4 use words 0..4, docs 5..9 use
+// words 5..9.
+std::vector<std::vector<TermId>> separable_corpus() {
+  std::vector<std::vector<TermId>> docs;
+  for (int d = 0; d < 10; ++d) {
+    std::vector<TermId> doc;
+    TermId base = d < 5 ? 0 : 5;
+    for (int i = 0; i < 40; ++i) {
+      doc.push_back(base + static_cast<TermId>(i % 5));
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+TEST(Lda, DocTopicsSumToOne) {
+  LdaParams params;
+  params.num_topics = 3;
+  params.iterations = 20;
+  auto model = LdaModel::train(separable_corpus(), 10, params);
+  for (size_t d = 0; d < 10; ++d) {
+    auto theta = model.doc_topics(d);
+    ASSERT_EQ(theta.size(), 3u);
+    double sum = 0.0;
+    for (double p : theta) {
+      EXPECT_GT(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Lda, SeparatesTwoTopicGroups) {
+  LdaParams params;
+  params.num_topics = 2;
+  params.iterations = 150;
+  params.alpha = 0.1;
+  auto model = LdaModel::train(separable_corpus(), 10, params);
+  // Dominant topic of group 1 differs from group 2.
+  auto dominant = [&](size_t d) {
+    auto theta = model.doc_topics(d);
+    return theta[0] > theta[1] ? 0 : 1;
+  };
+  int g1 = dominant(0);
+  for (size_t d = 0; d < 5; ++d) EXPECT_EQ(dominant(d), g1) << d;
+  for (size_t d = 5; d < 10; ++d) EXPECT_NE(dominant(d), g1) << d;
+}
+
+TEST(Lda, TopicWordIsDistribution) {
+  LdaParams params;
+  params.num_topics = 2;
+  params.iterations = 30;
+  auto model = LdaModel::train(separable_corpus(), 10, params);
+  for (int k = 0; k < 2; ++k) {
+    double sum = 0.0;
+    for (TermId w = 0; w < 10; ++w) {
+      double p = model.topic_word(k, w);
+      EXPECT_GT(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Lda, TopWordsReflectTopic) {
+  LdaParams params;
+  params.num_topics = 2;
+  params.iterations = 150;
+  params.alpha = 0.1;
+  auto model = LdaModel::train(separable_corpus(), 10, params);
+  auto top = model.top_words(0, 5);
+  ASSERT_EQ(top.size(), 5u);
+  // All top-5 words of one topic come from one word group.
+  bool low = top[0] < 5;
+  for (TermId w : top) EXPECT_EQ(w < 5, low);
+}
+
+TEST(Lda, DeterministicForSeed) {
+  LdaParams params;
+  params.num_topics = 2;
+  params.iterations = 10;
+  auto a = LdaModel::train(separable_corpus(), 10, params);
+  auto b = LdaModel::train(separable_corpus(), 10, params);
+  for (size_t d = 0; d < 10; ++d) {
+    auto ta = a.doc_topics(d);
+    auto tb = b.doc_topics(d);
+    for (size_t k = 0; k < ta.size(); ++k) EXPECT_DOUBLE_EQ(ta[k], tb[k]);
+  }
+}
+
+TEST(Lda, EmptyCorpus) {
+  auto model = LdaModel::train({}, 1, LdaParams{});
+  EXPECT_EQ(model.num_topics(), LdaParams{}.num_topics);
+  EXPECT_DOUBLE_EQ(model.log_likelihood(), 0.0);
+}
+
+TEST(LdaMatcher, MatchesWithinTopicGroup) {
+  // Documents about printers vs documents about hotels.
+  std::vector<Document> docs;
+  for (int i = 0; i < 4; ++i) {
+    docs.push_back(Document::analyze(
+        static_cast<DocId>(i),
+        "The printer cartridge ink tray spooler stopped printing pages."));
+  }
+  for (int i = 4; i < 8; ++i) {
+    docs.push_back(Document::analyze(
+        static_cast<DocId>(i),
+        "The hotel beach pool breakfast balcony view was lovely."));
+  }
+  Vocabulary vocab;
+  LdaParams params;
+  params.num_topics = 2;
+  params.iterations = 150;
+  auto matcher = LdaMatcher::build(docs, vocab, params);
+  auto related = matcher.find_related(0, 3);
+  ASSERT_EQ(related.size(), 3u);
+  for (const ScoredDoc& sd : related) {
+    EXPECT_LT(sd.doc, 4u) << "printer doc matched hotel doc";
+  }
+  EXPECT_TRUE(matcher.find_related(99, 3).empty());
+}
+
+}  // namespace
+}  // namespace ibseg

@@ -1,0 +1,241 @@
+// Unit tests for src/util: RNG, string helpers, vector math, table printer,
+// thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "util/vector_math.h"
+
+namespace ibseg {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.next_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+  }
+  // Degenerate single-value range.
+  EXPECT_EQ(rng.next_int(5, 5), 5);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.next_gaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, WeightedSamplingFollowsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.next_weighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+// ------------------------------------------------------------- strings ----
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("HeLLo Wo-RLD"), "hello wo-rld");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+  EXPECT_TRUE(ends_with("bar", "bar"));
+}
+
+TEST(Strings, SplitDropsEmptyPieces) {
+  auto pieces = split("a,,b, c", ", ");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(Strings, Strip) {
+  EXPECT_EQ(strip("  hi \n"), "hi");
+  EXPECT_EQ(strip("\t\n "), "");
+  EXPECT_EQ(strip("x"), "x");
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(str_format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(str_format("%.2f", 1.5), "1.50");
+}
+
+// ---------------------------------------------------------- vector math ----
+
+TEST(VectorMath, DotAndNorm) {
+  std::vector<double> a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(l2_norm(a), 5.0);
+}
+
+TEST(VectorMath, Distances) {
+  std::vector<double> a = {0.0, 0.0};
+  std::vector<double> b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(manhattan_distance(a, b), 7.0);
+}
+
+TEST(VectorMath, CosineBounds) {
+  std::vector<double> a = {1.0, 0.0};
+  std::vector<double> b = {0.0, 2.0};
+  std::vector<double> c = {2.0, 0.0};
+  std::vector<double> zero = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, c), 1.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, zero), 0.0);  // zero-vector guard
+  EXPECT_DOUBLE_EQ(cosine_dissimilarity(a, c), 0.0);
+}
+
+TEST(VectorMath, MeanAndStddev) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(VectorMath, ShannonEntropy) {
+  EXPECT_DOUBLE_EQ(shannon_entropy({1.0, 0.0}), 0.0);
+  EXPECT_NEAR(shannon_entropy({1.0, 1.0}), std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(shannon_entropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(shannon_entropy({0.0, 0.0}), 0.0);
+}
+
+// --------------------------------------------------------- table printer ----
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row_numeric("long-label", {2.5}, 1);
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("long-label"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+// ----------------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](size_t) { FAIL(); });
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  double t0 = w.elapsed_seconds();
+  EXPECT_GE(t0, 0.0);
+  w.restart();
+  EXPECT_LT(w.elapsed_seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace ibseg
