@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/drift_over_time"
+  "../bench/drift_over_time.pdb"
+  "CMakeFiles/drift_over_time.dir/drift_over_time.cc.o"
+  "CMakeFiles/drift_over_time.dir/drift_over_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_over_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

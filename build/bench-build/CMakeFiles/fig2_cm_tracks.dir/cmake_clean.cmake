@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_cm_tracks"
+  "../bench/fig2_cm_tracks.pdb"
+  "CMakeFiles/fig2_cm_tracks.dir/fig2_cm_tracks.cc.o"
+  "CMakeFiles/fig2_cm_tracks.dir/fig2_cm_tracks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cm_tracks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

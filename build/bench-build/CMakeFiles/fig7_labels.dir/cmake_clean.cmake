@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_labels"
+  "../bench/fig7_labels.pdb"
+  "CMakeFiles/fig7_labels.dir/fig7_labels.cc.o"
+  "CMakeFiles/fig7_labels.dir/fig7_labels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_border_selection"
+  "../bench/fig8_border_selection.pdb"
+  "CMakeFiles/fig8_border_selection.dir/fig8_border_selection.cc.o"
+  "CMakeFiles/fig8_border_selection.dir/fig8_border_selection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_border_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

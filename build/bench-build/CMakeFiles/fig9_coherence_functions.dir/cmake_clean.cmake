@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_coherence_functions"
+  "../bench/fig9_coherence_functions.pdb"
+  "CMakeFiles/fig9_coherence_functions.dir/fig9_coherence_functions.cc.o"
+  "CMakeFiles/fig9_coherence_functions.dir/fig9_coherence_functions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_coherence_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/graded_eval"
+  "../bench/graded_eval.pdb"
+  "CMakeFiles/graded_eval.dir/graded_eval.cc.o"
+  "CMakeFiles/graded_eval.dir/graded_eval.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graded_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

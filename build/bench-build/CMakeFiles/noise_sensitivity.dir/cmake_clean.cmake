@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/noise_sensitivity"
+  "../bench/noise_sensitivity.pdb"
+  "CMakeFiles/noise_sensitivity.dir/noise_sensitivity.cc.o"
+  "CMakeFiles/noise_sensitivity.dir/noise_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec912a_cm_vs_terms"
+  "../bench/sec912a_cm_vs_terms.pdb"
+  "CMakeFiles/sec912a_cm_vs_terms.dir/sec912a_cm_vs_terms.cc.o"
+  "CMakeFiles/sec912a_cm_vs_terms.dir/sec912a_cm_vs_terms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec912a_cm_vs_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

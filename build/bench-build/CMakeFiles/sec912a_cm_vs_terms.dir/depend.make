@@ -1,0 +1,2 @@
+# Empty dependencies file for sec912a_cm_vs_terms.
+# This may be replaced when dependencies are built.

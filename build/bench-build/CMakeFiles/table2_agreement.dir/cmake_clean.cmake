@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_agreement"
+  "../bench/table2_agreement.pdb"
+  "CMakeFiles/table2_agreement.dir/table2_agreement.cc.o"
+  "CMakeFiles/table2_agreement.dir/table2_agreement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

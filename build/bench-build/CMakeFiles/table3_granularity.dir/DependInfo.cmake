@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_granularity.cc" "bench-build/CMakeFiles/table3_granularity.dir/table3_granularity.cc.o" "gcc" "bench-build/CMakeFiles/table3_granularity.dir/table3_granularity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ibseg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ibseg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/ibseg_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ibseg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/topic/CMakeFiles/ibseg_topic.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ibseg_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ibseg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/seg/CMakeFiles/ibseg_seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/ibseg_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ibseg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibseg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_granularity"
+  "../bench/table3_granularity.pdb"
+  "CMakeFiles/table3_granularity.dir/table3_granularity.cc.o"
+  "CMakeFiles/table3_granularity.dir/table3_granularity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

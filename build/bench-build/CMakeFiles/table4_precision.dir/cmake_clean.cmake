@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_precision"
+  "../bench/table4_precision.pdb"
+  "CMakeFiles/table4_precision.dir/table4_precision.cc.o"
+  "CMakeFiles/table4_precision.dir/table4_precision.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

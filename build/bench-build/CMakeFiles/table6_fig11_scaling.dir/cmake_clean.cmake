@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_fig11_scaling"
+  "../bench/table6_fig11_scaling.pdb"
+  "CMakeFiles/table6_fig11_scaling.dir/table6_fig11_scaling.cc.o"
+  "CMakeFiles/table6_fig11_scaling.dir/table6_fig11_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_fig11_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibseg_cli.dir/ibseg_cli.cpp.o"
+  "CMakeFiles/ibseg_cli.dir/ibseg_cli.cpp.o.d"
+  "ibseg_cli"
+  "ibseg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibseg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_support_forum.dir/tech_support_forum.cpp.o"
+  "CMakeFiles/tech_support_forum.dir/tech_support_forum.cpp.o.d"
+  "tech_support_forum"
+  "tech_support_forum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_support_forum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

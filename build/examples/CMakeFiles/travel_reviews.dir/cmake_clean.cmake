@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_reviews.dir/travel_reviews.cpp.o"
+  "CMakeFiles/travel_reviews.dir/travel_reviews.cpp.o.d"
+  "travel_reviews"
+  "travel_reviews.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_reviews.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

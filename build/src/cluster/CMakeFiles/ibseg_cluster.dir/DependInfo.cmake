@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/dbscan.cc" "src/cluster/CMakeFiles/ibseg_cluster.dir/dbscan.cc.o" "gcc" "src/cluster/CMakeFiles/ibseg_cluster.dir/dbscan.cc.o.d"
+  "/root/repo/src/cluster/feature_vector.cc" "src/cluster/CMakeFiles/ibseg_cluster.dir/feature_vector.cc.o" "gcc" "src/cluster/CMakeFiles/ibseg_cluster.dir/feature_vector.cc.o.d"
+  "/root/repo/src/cluster/intention_clusters.cc" "src/cluster/CMakeFiles/ibseg_cluster.dir/intention_clusters.cc.o" "gcc" "src/cluster/CMakeFiles/ibseg_cluster.dir/intention_clusters.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/ibseg_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/ibseg_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/optics.cc" "src/cluster/CMakeFiles/ibseg_cluster.dir/optics.cc.o" "gcc" "src/cluster/CMakeFiles/ibseg_cluster.dir/optics.cc.o.d"
+  "/root/repo/src/cluster/vp_tree.cc" "src/cluster/CMakeFiles/ibseg_cluster.dir/vp_tree.cc.o" "gcc" "src/cluster/CMakeFiles/ibseg_cluster.dir/vp_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seg/CMakeFiles/ibseg_seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibseg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/ibseg_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ibseg_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

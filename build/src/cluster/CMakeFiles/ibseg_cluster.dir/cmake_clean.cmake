@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibseg_cluster.dir/dbscan.cc.o"
+  "CMakeFiles/ibseg_cluster.dir/dbscan.cc.o.d"
+  "CMakeFiles/ibseg_cluster.dir/feature_vector.cc.o"
+  "CMakeFiles/ibseg_cluster.dir/feature_vector.cc.o.d"
+  "CMakeFiles/ibseg_cluster.dir/intention_clusters.cc.o"
+  "CMakeFiles/ibseg_cluster.dir/intention_clusters.cc.o.d"
+  "CMakeFiles/ibseg_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/ibseg_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/ibseg_cluster.dir/optics.cc.o"
+  "CMakeFiles/ibseg_cluster.dir/optics.cc.o.d"
+  "CMakeFiles/ibseg_cluster.dir/vp_tree.cc.o"
+  "CMakeFiles/ibseg_cluster.dir/vp_tree.cc.o.d"
+  "libibseg_cluster.a"
+  "libibseg_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibseg_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

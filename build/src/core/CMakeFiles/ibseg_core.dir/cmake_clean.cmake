@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibseg_core.dir/experiment.cc.o"
+  "CMakeFiles/ibseg_core.dir/experiment.cc.o.d"
+  "CMakeFiles/ibseg_core.dir/methods.cc.o"
+  "CMakeFiles/ibseg_core.dir/methods.cc.o.d"
+  "CMakeFiles/ibseg_core.dir/pipeline.cc.o"
+  "CMakeFiles/ibseg_core.dir/pipeline.cc.o.d"
+  "libibseg_core.a"
+  "libibseg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibseg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/domain_profiles.cc" "src/datagen/CMakeFiles/ibseg_datagen.dir/domain_profiles.cc.o" "gcc" "src/datagen/CMakeFiles/ibseg_datagen.dir/domain_profiles.cc.o.d"
+  "/root/repo/src/datagen/post_generator.cc" "src/datagen/CMakeFiles/ibseg_datagen.dir/post_generator.cc.o" "gcc" "src/datagen/CMakeFiles/ibseg_datagen.dir/post_generator.cc.o.d"
+  "/root/repo/src/datagen/template_engine.cc" "src/datagen/CMakeFiles/ibseg_datagen.dir/template_engine.cc.o" "gcc" "src/datagen/CMakeFiles/ibseg_datagen.dir/template_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seg/CMakeFiles/ibseg_seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibseg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/ibseg_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ibseg_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

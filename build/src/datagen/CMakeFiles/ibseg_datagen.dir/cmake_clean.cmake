@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibseg_datagen.dir/domain_profiles.cc.o"
+  "CMakeFiles/ibseg_datagen.dir/domain_profiles.cc.o.d"
+  "CMakeFiles/ibseg_datagen.dir/post_generator.cc.o"
+  "CMakeFiles/ibseg_datagen.dir/post_generator.cc.o.d"
+  "CMakeFiles/ibseg_datagen.dir/template_engine.cc.o"
+  "CMakeFiles/ibseg_datagen.dir/template_engine.cc.o.d"
+  "libibseg_datagen.a"
+  "libibseg_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibseg_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/agreement.cc" "src/eval/CMakeFiles/ibseg_eval.dir/agreement.cc.o" "gcc" "src/eval/CMakeFiles/ibseg_eval.dir/agreement.cc.o.d"
+  "/root/repo/src/eval/annotator_sim.cc" "src/eval/CMakeFiles/ibseg_eval.dir/annotator_sim.cc.o" "gcc" "src/eval/CMakeFiles/ibseg_eval.dir/annotator_sim.cc.o.d"
+  "/root/repo/src/eval/boundary_similarity.cc" "src/eval/CMakeFiles/ibseg_eval.dir/boundary_similarity.cc.o" "gcc" "src/eval/CMakeFiles/ibseg_eval.dir/boundary_similarity.cc.o.d"
+  "/root/repo/src/eval/fleiss_kappa.cc" "src/eval/CMakeFiles/ibseg_eval.dir/fleiss_kappa.cc.o" "gcc" "src/eval/CMakeFiles/ibseg_eval.dir/fleiss_kappa.cc.o.d"
+  "/root/repo/src/eval/ndcg.cc" "src/eval/CMakeFiles/ibseg_eval.dir/ndcg.cc.o" "gcc" "src/eval/CMakeFiles/ibseg_eval.dir/ndcg.cc.o.d"
+  "/root/repo/src/eval/precision.cc" "src/eval/CMakeFiles/ibseg_eval.dir/precision.cc.o" "gcc" "src/eval/CMakeFiles/ibseg_eval.dir/precision.cc.o.d"
+  "/root/repo/src/eval/window_diff.cc" "src/eval/CMakeFiles/ibseg_eval.dir/window_diff.cc.o" "gcc" "src/eval/CMakeFiles/ibseg_eval.dir/window_diff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seg/CMakeFiles/ibseg_seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibseg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/ibseg_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ibseg_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibseg_eval.dir/agreement.cc.o"
+  "CMakeFiles/ibseg_eval.dir/agreement.cc.o.d"
+  "CMakeFiles/ibseg_eval.dir/annotator_sim.cc.o"
+  "CMakeFiles/ibseg_eval.dir/annotator_sim.cc.o.d"
+  "CMakeFiles/ibseg_eval.dir/boundary_similarity.cc.o"
+  "CMakeFiles/ibseg_eval.dir/boundary_similarity.cc.o.d"
+  "CMakeFiles/ibseg_eval.dir/fleiss_kappa.cc.o"
+  "CMakeFiles/ibseg_eval.dir/fleiss_kappa.cc.o.d"
+  "CMakeFiles/ibseg_eval.dir/ndcg.cc.o"
+  "CMakeFiles/ibseg_eval.dir/ndcg.cc.o.d"
+  "CMakeFiles/ibseg_eval.dir/precision.cc.o"
+  "CMakeFiles/ibseg_eval.dir/precision.cc.o.d"
+  "CMakeFiles/ibseg_eval.dir/window_diff.cc.o"
+  "CMakeFiles/ibseg_eval.dir/window_diff.cc.o.d"
+  "libibseg_eval.a"
+  "libibseg_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibseg_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

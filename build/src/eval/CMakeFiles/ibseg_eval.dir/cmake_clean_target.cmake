@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libibseg_eval.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibseg_index.dir/fulltext_matcher.cc.o"
+  "CMakeFiles/ibseg_index.dir/fulltext_matcher.cc.o.d"
+  "CMakeFiles/ibseg_index.dir/intention_matcher.cc.o"
+  "CMakeFiles/ibseg_index.dir/intention_matcher.cc.o.d"
+  "CMakeFiles/ibseg_index.dir/inverted_index.cc.o"
+  "CMakeFiles/ibseg_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/ibseg_index.dir/scoring.cc.o"
+  "CMakeFiles/ibseg_index.dir/scoring.cc.o.d"
+  "libibseg_index.a"
+  "libibseg_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibseg_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

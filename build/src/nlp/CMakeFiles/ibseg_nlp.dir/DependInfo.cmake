@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/cm_annotator.cc" "src/nlp/CMakeFiles/ibseg_nlp.dir/cm_annotator.cc.o" "gcc" "src/nlp/CMakeFiles/ibseg_nlp.dir/cm_annotator.cc.o.d"
+  "/root/repo/src/nlp/cm_profile.cc" "src/nlp/CMakeFiles/ibseg_nlp.dir/cm_profile.cc.o" "gcc" "src/nlp/CMakeFiles/ibseg_nlp.dir/cm_profile.cc.o.d"
+  "/root/repo/src/nlp/lexicon.cc" "src/nlp/CMakeFiles/ibseg_nlp.dir/lexicon.cc.o" "gcc" "src/nlp/CMakeFiles/ibseg_nlp.dir/lexicon.cc.o.d"
+  "/root/repo/src/nlp/pos_tagger.cc" "src/nlp/CMakeFiles/ibseg_nlp.dir/pos_tagger.cc.o" "gcc" "src/nlp/CMakeFiles/ibseg_nlp.dir/pos_tagger.cc.o.d"
+  "/root/repo/src/nlp/verb_group.cc" "src/nlp/CMakeFiles/ibseg_nlp.dir/verb_group.cc.o" "gcc" "src/nlp/CMakeFiles/ibseg_nlp.dir/verb_group.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/ibseg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibseg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibseg_nlp.dir/cm_annotator.cc.o"
+  "CMakeFiles/ibseg_nlp.dir/cm_annotator.cc.o.d"
+  "CMakeFiles/ibseg_nlp.dir/cm_profile.cc.o"
+  "CMakeFiles/ibseg_nlp.dir/cm_profile.cc.o.d"
+  "CMakeFiles/ibseg_nlp.dir/lexicon.cc.o"
+  "CMakeFiles/ibseg_nlp.dir/lexicon.cc.o.d"
+  "CMakeFiles/ibseg_nlp.dir/pos_tagger.cc.o"
+  "CMakeFiles/ibseg_nlp.dir/pos_tagger.cc.o.d"
+  "CMakeFiles/ibseg_nlp.dir/verb_group.cc.o"
+  "CMakeFiles/ibseg_nlp.dir/verb_group.cc.o.d"
+  "libibseg_nlp.a"
+  "libibseg_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibseg_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

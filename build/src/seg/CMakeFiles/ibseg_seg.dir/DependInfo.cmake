@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seg/border_strategies.cc" "src/seg/CMakeFiles/ibseg_seg.dir/border_strategies.cc.o" "gcc" "src/seg/CMakeFiles/ibseg_seg.dir/border_strategies.cc.o.d"
+  "/root/repo/src/seg/c99.cc" "src/seg/CMakeFiles/ibseg_seg.dir/c99.cc.o" "gcc" "src/seg/CMakeFiles/ibseg_seg.dir/c99.cc.o.d"
+  "/root/repo/src/seg/coherence.cc" "src/seg/CMakeFiles/ibseg_seg.dir/coherence.cc.o" "gcc" "src/seg/CMakeFiles/ibseg_seg.dir/coherence.cc.o.d"
+  "/root/repo/src/seg/diversity.cc" "src/seg/CMakeFiles/ibseg_seg.dir/diversity.cc.o" "gcc" "src/seg/CMakeFiles/ibseg_seg.dir/diversity.cc.o.d"
+  "/root/repo/src/seg/document.cc" "src/seg/CMakeFiles/ibseg_seg.dir/document.cc.o" "gcc" "src/seg/CMakeFiles/ibseg_seg.dir/document.cc.o.d"
+  "/root/repo/src/seg/feature_selection.cc" "src/seg/CMakeFiles/ibseg_seg.dir/feature_selection.cc.o" "gcc" "src/seg/CMakeFiles/ibseg_seg.dir/feature_selection.cc.o.d"
+  "/root/repo/src/seg/segmentation.cc" "src/seg/CMakeFiles/ibseg_seg.dir/segmentation.cc.o" "gcc" "src/seg/CMakeFiles/ibseg_seg.dir/segmentation.cc.o.d"
+  "/root/repo/src/seg/segmenter.cc" "src/seg/CMakeFiles/ibseg_seg.dir/segmenter.cc.o" "gcc" "src/seg/CMakeFiles/ibseg_seg.dir/segmenter.cc.o.d"
+  "/root/repo/src/seg/texttiling.cc" "src/seg/CMakeFiles/ibseg_seg.dir/texttiling.cc.o" "gcc" "src/seg/CMakeFiles/ibseg_seg.dir/texttiling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nlp/CMakeFiles/ibseg_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ibseg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibseg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibseg_seg.dir/border_strategies.cc.o"
+  "CMakeFiles/ibseg_seg.dir/border_strategies.cc.o.d"
+  "CMakeFiles/ibseg_seg.dir/c99.cc.o"
+  "CMakeFiles/ibseg_seg.dir/c99.cc.o.d"
+  "CMakeFiles/ibseg_seg.dir/coherence.cc.o"
+  "CMakeFiles/ibseg_seg.dir/coherence.cc.o.d"
+  "CMakeFiles/ibseg_seg.dir/diversity.cc.o"
+  "CMakeFiles/ibseg_seg.dir/diversity.cc.o.d"
+  "CMakeFiles/ibseg_seg.dir/document.cc.o"
+  "CMakeFiles/ibseg_seg.dir/document.cc.o.d"
+  "CMakeFiles/ibseg_seg.dir/feature_selection.cc.o"
+  "CMakeFiles/ibseg_seg.dir/feature_selection.cc.o.d"
+  "CMakeFiles/ibseg_seg.dir/segmentation.cc.o"
+  "CMakeFiles/ibseg_seg.dir/segmentation.cc.o.d"
+  "CMakeFiles/ibseg_seg.dir/segmenter.cc.o"
+  "CMakeFiles/ibseg_seg.dir/segmenter.cc.o.d"
+  "CMakeFiles/ibseg_seg.dir/texttiling.cc.o"
+  "CMakeFiles/ibseg_seg.dir/texttiling.cc.o.d"
+  "libibseg_seg.a"
+  "libibseg_seg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibseg_seg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/corpus_io.cc" "src/storage/CMakeFiles/ibseg_storage.dir/corpus_io.cc.o" "gcc" "src/storage/CMakeFiles/ibseg_storage.dir/corpus_io.cc.o.d"
+  "/root/repo/src/storage/snapshot.cc" "src/storage/CMakeFiles/ibseg_storage.dir/snapshot.cc.o" "gcc" "src/storage/CMakeFiles/ibseg_storage.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/ibseg_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ibseg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibseg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/seg/CMakeFiles/ibseg_seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/ibseg_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ibseg_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibseg_storage.dir/corpus_io.cc.o"
+  "CMakeFiles/ibseg_storage.dir/corpus_io.cc.o.d"
+  "CMakeFiles/ibseg_storage.dir/snapshot.cc.o"
+  "CMakeFiles/ibseg_storage.dir/snapshot.cc.o.d"
+  "libibseg_storage.a"
+  "libibseg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibseg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

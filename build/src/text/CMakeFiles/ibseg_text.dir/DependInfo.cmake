@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/collocations.cc" "src/text/CMakeFiles/ibseg_text.dir/collocations.cc.o" "gcc" "src/text/CMakeFiles/ibseg_text.dir/collocations.cc.o.d"
+  "/root/repo/src/text/html_cleaner.cc" "src/text/CMakeFiles/ibseg_text.dir/html_cleaner.cc.o" "gcc" "src/text/CMakeFiles/ibseg_text.dir/html_cleaner.cc.o.d"
+  "/root/repo/src/text/normalizer.cc" "src/text/CMakeFiles/ibseg_text.dir/normalizer.cc.o" "gcc" "src/text/CMakeFiles/ibseg_text.dir/normalizer.cc.o.d"
+  "/root/repo/src/text/porter_stemmer.cc" "src/text/CMakeFiles/ibseg_text.dir/porter_stemmer.cc.o" "gcc" "src/text/CMakeFiles/ibseg_text.dir/porter_stemmer.cc.o.d"
+  "/root/repo/src/text/sentence_splitter.cc" "src/text/CMakeFiles/ibseg_text.dir/sentence_splitter.cc.o" "gcc" "src/text/CMakeFiles/ibseg_text.dir/sentence_splitter.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/text/CMakeFiles/ibseg_text.dir/stopwords.cc.o" "gcc" "src/text/CMakeFiles/ibseg_text.dir/stopwords.cc.o.d"
+  "/root/repo/src/text/term_vector.cc" "src/text/CMakeFiles/ibseg_text.dir/term_vector.cc.o" "gcc" "src/text/CMakeFiles/ibseg_text.dir/term_vector.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/ibseg_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/ibseg_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/text/CMakeFiles/ibseg_text.dir/vocabulary.cc.o" "gcc" "src/text/CMakeFiles/ibseg_text.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibseg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

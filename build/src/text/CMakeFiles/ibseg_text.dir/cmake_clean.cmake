@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibseg_text.dir/collocations.cc.o"
+  "CMakeFiles/ibseg_text.dir/collocations.cc.o.d"
+  "CMakeFiles/ibseg_text.dir/html_cleaner.cc.o"
+  "CMakeFiles/ibseg_text.dir/html_cleaner.cc.o.d"
+  "CMakeFiles/ibseg_text.dir/normalizer.cc.o"
+  "CMakeFiles/ibseg_text.dir/normalizer.cc.o.d"
+  "CMakeFiles/ibseg_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/ibseg_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/ibseg_text.dir/sentence_splitter.cc.o"
+  "CMakeFiles/ibseg_text.dir/sentence_splitter.cc.o.d"
+  "CMakeFiles/ibseg_text.dir/stopwords.cc.o"
+  "CMakeFiles/ibseg_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/ibseg_text.dir/term_vector.cc.o"
+  "CMakeFiles/ibseg_text.dir/term_vector.cc.o.d"
+  "CMakeFiles/ibseg_text.dir/tokenizer.cc.o"
+  "CMakeFiles/ibseg_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/ibseg_text.dir/vocabulary.cc.o"
+  "CMakeFiles/ibseg_text.dir/vocabulary.cc.o.d"
+  "libibseg_text.a"
+  "libibseg_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibseg_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibseg_topic.dir/lda.cc.o"
+  "CMakeFiles/ibseg_topic.dir/lda.cc.o.d"
+  "CMakeFiles/ibseg_topic.dir/lda_matcher.cc.o"
+  "CMakeFiles/ibseg_topic.dir/lda_matcher.cc.o.d"
+  "libibseg_topic.a"
+  "libibseg_topic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibseg_topic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

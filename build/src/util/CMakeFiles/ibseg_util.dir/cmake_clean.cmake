@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibseg_util.dir/rng.cc.o"
+  "CMakeFiles/ibseg_util.dir/rng.cc.o.d"
+  "CMakeFiles/ibseg_util.dir/strings.cc.o"
+  "CMakeFiles/ibseg_util.dir/strings.cc.o.d"
+  "CMakeFiles/ibseg_util.dir/table_printer.cc.o"
+  "CMakeFiles/ibseg_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/ibseg_util.dir/thread_pool.cc.o"
+  "CMakeFiles/ibseg_util.dir/thread_pool.cc.o.d"
+  "CMakeFiles/ibseg_util.dir/vector_math.cc.o"
+  "CMakeFiles/ibseg_util.dir/vector_math.cc.o.d"
+  "libibseg_util.a"
+  "libibseg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibseg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

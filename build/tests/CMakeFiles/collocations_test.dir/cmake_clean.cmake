@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collocations_test.dir/collocations_test.cc.o"
+  "CMakeFiles/collocations_test.dir/collocations_test.cc.o.d"
+  "collocations_test"
+  "collocations_test.pdb"
+  "collocations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collocations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

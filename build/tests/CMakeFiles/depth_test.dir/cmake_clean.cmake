@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depth_test.dir/depth_test.cc.o"
+  "CMakeFiles/depth_test.dir/depth_test.cc.o.d"
+  "depth_test"
+  "depth_test.pdb"
+  "depth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

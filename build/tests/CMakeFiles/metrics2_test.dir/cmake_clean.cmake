@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics2_test.dir/metrics2_test.cc.o"
+  "CMakeFiles/metrics2_test.dir/metrics2_test.cc.o.d"
+  "metrics2_test"
+  "metrics2_test.pdb"
+  "metrics2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_online_test.dir/pipeline_online_test.cc.o"
+  "CMakeFiles/pipeline_online_test.dir/pipeline_online_test.cc.o.d"
+  "pipeline_online_test"
+  "pipeline_online_test.pdb"
+  "pipeline_online_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_online_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmenter_extras_test.dir/segmenter_extras_test.cc.o"
+  "CMakeFiles/segmenter_extras_test.dir/segmenter_extras_test.cc.o.d"
+  "segmenter_extras_test"
+  "segmenter_extras_test.pdb"
+  "segmenter_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmenter_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
