@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Builds the whole project (library, tests, benches, examples) under each
+# sanitizer and runs the test suite in every mode. The concurrency serving
+# layer is only considered correct when TSan is silent on the stress suite
+# and ASan/UBSan are silent on everything.
+#
+# Usage: scripts/check_sanitizers.sh [thread|address|undefined]...
+#   With no arguments, all three modes run. Each mode uses its own build
+#   directory (build-thread/, build-address/, build-undefined/).
+#
+# Environment:
+#   IBSEG_SAN_JOBS    parallel build/test jobs (default: nproc)
+#   IBSEG_SAN_LABELS  ctest -L label regex (default: "unit|stress")
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODES=("$@")
+if [ ${#MODES[@]} -eq 0 ]; then
+  MODES=(thread address undefined)
+fi
+JOBS="${IBSEG_SAN_JOBS:-$(nproc)}"
+LABELS="${IBSEG_SAN_LABELS:-unit|stress}"
+
+for mode in "${MODES[@]}"; do
+  dir="build-${mode}"
+  echo "== [${mode}] configure + build (${dir}) =="
+  cmake -B "${dir}" -S . \
+    -DIBSEG_SANITIZE="${mode}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+
+  echo "== [${mode}] ctest -L '${LABELS}' =="
+  # halt_on_error turns any report into a test failure instead of a log
+  # line, so a single race/overflow fails the run.
+  env \
+    TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ASAN_OPTIONS="halt_on_error=1 detect_stack_use_after_return=1" \
+    UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    ctest --test-dir "${dir}" -L "${LABELS}" -j "${JOBS}" \
+      --output-on-failure
+  echo "== [${mode}] OK =="
+done
+
+echo "sanitizer matrix clean: ${MODES[*]}"

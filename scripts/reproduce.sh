@@ -6,6 +6,11 @@
 # Usage: scripts/reproduce.sh [scale]
 #   scale  multiplies the bench corpus sizes (default 1; the paper-sized
 #          corpora need scale >= 10 and correspondingly more time).
+#
+# Opt-in extras:
+#   IBSEG_SANITIZE_CHECK=1  also run scripts/check_sanitizers.sh (three
+#                           extra instrumented builds; slow but proves the
+#                           concurrent serving layer race/overflow-free).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,6 +23,11 @@ cmake --build build
 
 echo "== tests =="
 ctest --test-dir build 2>&1 | tee test_output.txt
+
+if [ "${IBSEG_SANITIZE_CHECK:-0}" = "1" ]; then
+  echo "== sanitizer matrix (IBSEG_SANITIZE_CHECK=1) =="
+  scripts/check_sanitizers.sh
+fi
 
 echo "== benches (IBSEG_BENCH_SCALE=${SCALE}) =="
 export IBSEG_BENCH_SCALE="${SCALE}"

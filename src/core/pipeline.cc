@@ -13,6 +13,7 @@ RelatedPostPipeline RelatedPostPipeline::build(std::vector<Document> docs,
   p.vocab_ = std::make_unique<Vocabulary>();
   p.segmenter_ = options.segmenter;
   p.segmentations_.resize(p.docs_.size());
+  for (const Document& d : p.docs_) p.next_id_ = std::max(p.next_id_, d.id() + 1);
 
   // --- Segmentation (parallel; per-thread scratch vocabularies keep the
   // topical segmenter's term ids consistent within each document, which is
@@ -51,24 +52,33 @@ RelatedPostPipeline RelatedPostPipeline::build(std::vector<Document> docs,
 }
 
 std::vector<ScoredDoc> RelatedPostPipeline::find_related_external(
-    const Document& doc, int k) {
+    const Document& doc, int k) const {
   Vocabulary scratch;
   Segmentation seg = segmenter_.segment(doc, scratch);
   return matcher_->find_related_external(doc, seg, clustering_->centroids(),
                                          *vocab_, k);
 }
 
-DocId RelatedPostPipeline::add_post(std::string text) {
-  // Fresh id above every existing one.
-  DocId id = 0;
-  for (const Document& d : docs_) id = std::max(id, d.id());
-  ++id;
-  Document doc = Document::analyze(id, std::move(text));
+PreparedPost RelatedPostPipeline::prepare_post(DocId id,
+                                               std::string text) const {
+  PreparedPost post;
+  post.doc = Document::analyze(id, std::move(text));
   Vocabulary scratch;
-  Segmentation seg = segmenter_.segment(doc, scratch);
-  matcher_->add_document(doc, seg, clustering_->centroids(), *vocab_);
-  segmentations_.push_back(seg);
-  docs_.push_back(std::move(doc));
+  post.seg = segmenter_.segment(post.doc, scratch);
+  return post;
+}
+
+void RelatedPostPipeline::ingest(PreparedPost post) {
+  matcher_->add_document(post.doc, post.seg, clustering_->centroids(),
+                         *vocab_);
+  next_id_ = std::max(next_id_, post.doc.id() + 1);
+  segmentations_.push_back(std::move(post.seg));
+  docs_.push_back(std::move(post.doc));
+}
+
+DocId RelatedPostPipeline::add_post(std::string text) {
+  DocId id = next_id_;
+  ingest(prepare_post(id, std::move(text)));
   return id;
 }
 
@@ -87,7 +97,9 @@ RelatedPostPipeline RelatedPostPipeline::build_from_snapshot(
   RelatedPostPipeline p;
   p.docs_ = std::move(docs);
   p.vocab_ = std::make_unique<Vocabulary>();
+  p.segmenter_ = options.segmenter;
   p.segmentations_ = snapshot.segmentations;
+  for (const Document& d : p.docs_) p.next_id_ = std::max(p.next_id_, d.id() + 1);
 
   Stopwatch group_watch;
   p.clustering_ = std::make_unique<IntentionClustering>(

@@ -35,9 +35,25 @@ struct PipelineOptions {
   size_t num_threads = 1;
 };
 
+/// A post that has been analyzed and segmented but not yet published into
+/// the indices — the expensive, state-free half of add_post. Preparing is
+/// safe to run on any thread without synchronization; publishing
+/// (RelatedPostPipeline::ingest) mutates the pipeline and is not.
+/// ServingPipeline uses this split to keep analysis outside its write lock.
+struct PreparedPost {
+  Document doc;
+  Segmentation seg;
+};
+
 /// The complete offline+online system of Sec. 4: segmentation ->
 /// segment grouping -> refinement -> per-intention indexing, then top-k
 /// retrieval by Algorithms 1 and 2.
+///
+/// Thread-safety: all query methods (find_related, find_related_external,
+/// the getters) are strictly read-only; any number of threads may call
+/// them concurrently as long as no mutation (add_post / ingest) runs.
+/// Mutations require exclusive access — ServingPipeline (core/serving.h)
+/// provides the reader/writer layer that enforces this at runtime.
 class RelatedPostPipeline {
  public:
   /// Builds the pipeline over `docs` (moved in).
@@ -65,8 +81,9 @@ class RelatedPostPipeline {
 
   /// Top-k related posts for an external post (not ingested). The post is
   /// segmented with the pipeline's segmenter and its segments assigned to
-  /// the nearest intention centroids.
-  std::vector<ScoredDoc> find_related_external(const Document& doc, int k);
+  /// the nearest intention centroids. Read-only.
+  std::vector<ScoredDoc> find_related_external(const Document& doc,
+                                               int k) const;
 
   /// Online ingestion: segments `text`, assigns its segments to the
   /// nearest intention centroids and adds it to the indices under a fresh
@@ -74,6 +91,21 @@ class RelatedPostPipeline {
   /// periodic maintenance path (Sec. 9.2).
   DocId add_post(std::string text);
 
+  /// The analysis half of add_post: cleans, tokenizes and segments `text`
+  /// under document id `id` without touching pipeline state. Read-only.
+  PreparedPost prepare_post(DocId id, std::string text) const;
+
+  /// The publication half of add_post: assigns the prepared post's
+  /// segments to the nearest centroids and adds it to the indices.
+  /// `post.doc.id()` must be fresh. Mutates the pipeline.
+  void ingest(PreparedPost post);
+
+  /// The id add_post would assign next. Always strictly greater than every
+  /// ingested document id (seed ids need not be contiguous).
+  DocId next_id() const { return next_id_; }
+
+  const Segmenter& segmenter() const { return segmenter_; }
+  const Vocabulary& vocab() const { return *vocab_; }
   const std::vector<Document>& docs() const { return docs_; }
   const std::vector<Segmentation>& segmentations() const {
     return segmentations_;
@@ -92,6 +124,9 @@ class RelatedPostPipeline {
   std::unique_ptr<Vocabulary> vocab_;
   Segmenter segmenter_ = Segmenter::cm_tiling();
   PipelineTimings timings_;
+  /// Cached fresh-id watermark: max seed id + 1, bumped on every ingest.
+  /// Replaces the former per-add_post linear scan over docs_.
+  DocId next_id_ = 1;
 };
 
 }  // namespace ibseg

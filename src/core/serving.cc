@@ -1,0 +1,74 @@
+#include "core/serving.h"
+
+#include <utility>
+
+namespace ibseg {
+
+ServingPipeline::ServingPipeline(RelatedPostPipeline pipeline)
+    : pipeline_(std::move(pipeline)),
+      segmenter_(pipeline_.segmenter()),
+      seed_docs_(pipeline_.docs().size()),
+      next_id_(pipeline_.next_id()) {}
+
+ServingPipeline::QueryResult ServingPipeline::find_related(DocId query,
+                                                           int k) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  QueryResult r;
+  r.results = pipeline_.find_related(query, k);
+  r.epoch = epoch_.load(std::memory_order_relaxed);
+  r.num_docs = pipeline_.docs().size();
+  return r;
+}
+
+ServingPipeline::QueryResult ServingPipeline::find_related_external(
+    const Document& doc, int k) const {
+  // Segment the query post before taking the lock — the expensive part of
+  // an external query needs no pipeline state beyond the immutable
+  // segmenter copy.
+  Vocabulary scratch;
+  Segmentation seg = segmenter_.segment(doc, scratch);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  QueryResult r;
+  r.results = pipeline_.matcher().find_related_external(
+      doc, seg, pipeline_.clustering().centroids(), pipeline_.vocab(), k);
+  r.epoch = epoch_.load(std::memory_order_relaxed);
+  r.num_docs = pipeline_.docs().size();
+  return r;
+}
+
+DocId ServingPipeline::add_post(std::string text) {
+  DocId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  PreparedPost post = prepare(id, std::move(text));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  pipeline_.ingest(std::move(post));
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::vector<DocId> ServingPipeline::add_posts(std::vector<std::string> texts) {
+  std::vector<PreparedPost> prepared;
+  std::vector<DocId> ids;
+  prepared.reserve(texts.size());
+  ids.reserve(texts.size());
+  for (std::string& text : texts) {
+    DocId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    prepared.push_back(prepare(id, std::move(text)));
+    ids.push_back(id);
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (PreparedPost& post : prepared) {
+    pipeline_.ingest(std::move(post));
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ids;
+}
+
+PreparedPost ServingPipeline::prepare(DocId id, std::string text) const {
+  PreparedPost post;
+  post.doc = Document::analyze(id, std::move(text));
+  Vocabulary scratch;
+  post.seg = segmenter_.segment(post.doc, scratch);
+  return post;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,111 @@
+#ifndef IBSEG_CORE_SERVING_H_
+#define IBSEG_CORE_SERVING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace ibseg {
+
+/// Concurrent serving facade over RelatedPostPipeline: the layer a
+/// multi-client deployment talks to. Forum workloads are ingest-heavy —
+/// queries must keep flowing while new posts stream in — so the design is
+/// a reader/writer split with all expensive per-post work hoisted outside
+/// the critical sections:
+///
+///  * Queries (find_related, find_related_external) run under a shared
+///    lock. The underlying pipeline's whole query path is strictly const,
+///    so any number of query threads proceed concurrently. For external
+///    queries, segmentation of the query post — the dominant cost — happens
+///    before the lock is taken; only index probing is inside it.
+///  * Ingests (add_post, add_posts) reserve a fresh id with an atomic
+///    counter, then analyze + segment the post with no lock held, and take
+///    the exclusive lock only for index publication. add_posts publishes a
+///    whole batch under one lock acquisition.
+///
+/// Publication semantics: `epoch()` counts published documents. A query
+/// result carries the epoch and corpus size observed under its shared
+/// lock, so `num_docs == seed_docs + epoch` holds for every query — the
+/// invariant the concurrency stress suite checks. Queries never observe a
+/// half-published post: either all of a post's segments (and its
+/// vocabulary entries, norms and postings) are visible, or none are.
+/// Documents are never removed, so anything a query returns stays
+/// queryable afterwards.
+class ServingPipeline {
+ public:
+  /// Wraps an offline-built pipeline (moved in). The pipeline must not be
+  /// accessed through any other handle afterwards.
+  explicit ServingPipeline(RelatedPostPipeline pipeline);
+
+  ServingPipeline(const ServingPipeline&) = delete;
+  ServingPipeline& operator=(const ServingPipeline&) = delete;
+
+  /// A query answer plus the snapshot coordinates it was computed under.
+  struct QueryResult {
+    std::vector<ScoredDoc> results;
+    /// Number of documents published (via add_post/add_posts) at the
+    /// moment the query held the read lock.
+    uint64_t epoch = 0;
+    /// Corpus size at the same moment; always seed_docs() + epoch.
+    size_t num_docs = 0;
+  };
+
+  /// Top-k related posts for an in-corpus reference post (Algorithm 2).
+  QueryResult find_related(DocId query, int k) const;
+
+  /// Top-k related posts for an external (non-ingested) post. The post is
+  /// segmented outside the lock.
+  QueryResult find_related_external(const Document& doc, int k) const;
+
+  /// Ingests one post; returns its (globally unique, monotonically
+  /// reserved) document id. Analysis and segmentation run without the
+  /// write lock; only publication is exclusive.
+  DocId add_post(std::string text);
+
+  /// Batched ingestion: every post is prepared lock-free, then the whole
+  /// batch is published under a single exclusive acquisition — concurrent
+  /// queries observe either none or all of the batch.
+  std::vector<DocId> add_posts(std::vector<std::string> texts);
+
+  /// Number of documents published since construction. Monotone.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  /// Corpus size the pipeline was built with (before any online ingest).
+  size_t seed_docs() const { return seed_docs_; }
+
+  /// Current corpus size (seed_docs() + epoch(), read consistently).
+  size_t num_docs() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return pipeline_.docs().size();
+  }
+
+  /// Upper bound on handed-out ids: every id add_post has reserved is
+  /// < next_id(). (Reservation precedes publication, so an id may be below
+  /// this bound yet not published for a short window.)
+  DocId next_id() const { return next_id_.load(std::memory_order_relaxed); }
+
+  /// Direct read access to the wrapped pipeline. Only valid while no
+  /// writer is running (e.g. after joining all ingest threads in a test,
+  /// or during single-threaded shutdown inspection).
+  const RelatedPostPipeline& quiescent() const { return pipeline_; }
+
+ private:
+  /// Lock-free half of ingestion: analyze + segment with the serving
+  /// layer's own segmenter copy, never touching guarded pipeline state.
+  PreparedPost prepare(DocId id, std::string text) const;
+
+  mutable std::shared_mutex mu_;
+  RelatedPostPipeline pipeline_;  ///< guarded by mu_
+  const Segmenter segmenter_;     ///< immutable copy for lock-free prep
+  const size_t seed_docs_;
+  std::atomic<DocId> next_id_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_CORE_SERVING_H_

@@ -67,8 +67,9 @@ std::vector<IntentionMatcher::MatchExplanation> IntentionMatcher::explain(
 
 std::vector<ScoredDoc> IntentionMatcher::find_related_external(
     const Document& doc, const Segmentation& segmentation,
-    const std::vector<std::vector<double>>& centroids, Vocabulary& vocab,
-    int k, const FeatureVectorOptions& features) const {
+    const std::vector<std::vector<double>>& centroids,
+    const Vocabulary& vocab, int k,
+    const FeatureVectorOptions& features) const {
   std::vector<ScoredDoc> out;
   if (k <= 0 || indices_.empty()) return out;
 
@@ -89,7 +90,7 @@ std::vector<ScoredDoc> IntentionMatcher::find_related_external(
     size_t tok_b = doc.sentences()[b].token_begin;
     size_t tok_e = doc.sentences()[e - 1].token_end;
     per_cluster_terms[best].merge(
-        build_term_vector(doc.tokens(), tok_b, tok_e, vocab));
+        build_term_vector_lookup(doc.tokens(), tok_b, tok_e, vocab));
   }
 
   int n = options_.top_n_factor * k;

@@ -84,11 +84,14 @@ class IntentionMatcher {
   /// the corpus (the paper assumes d_q in D; downstream users rarely can).
   /// Segments are assigned to the nearest intention centroid exactly as in
   /// add_document, but nothing is ingested. `vocab` must be the matcher's
-  /// build vocabulary (new terms are interned but unmatched by definition).
+  /// build vocabulary; terms it does not contain are dropped (they are
+  /// unmatched by definition). Strictly read-only — safe to call from many
+  /// threads concurrently as long as no ingestion runs.
   std::vector<ScoredDoc> find_related_external(
       const Document& doc, const Segmentation& segmentation,
-      const std::vector<std::vector<double>>& centroids, Vocabulary& vocab,
-      int k, const FeatureVectorOptions& features = {}) const;
+      const std::vector<std::vector<double>>& centroids,
+      const Vocabulary& vocab, int k,
+      const FeatureVectorOptions& features = {}) const;
 
   /// Online ingestion: adds a new post after the offline build. Its
   /// segments are assigned to the nearest intention centroid (the paper

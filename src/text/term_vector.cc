@@ -64,4 +64,23 @@ TermVector build_term_vector(const std::vector<Token>& tokens, size_t begin,
   return tv;
 }
 
+TermVector build_term_vector_lookup(const std::vector<Token>& tokens,
+                                    size_t begin, size_t end,
+                                    const Vocabulary& vocab) {
+  TermVector tv;
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == TokenKind::kPunctuation) continue;
+    TermId id = kInvalidTerm;
+    if (t.kind == TokenKind::kWord) {
+      if (is_stopword(t.lower)) continue;
+      id = vocab.find(porter_stem(t.lower));
+    } else {
+      id = vocab.find(t.lower);  // numbers/units kept verbatim
+    }
+    if (id != kInvalidTerm) tv.add(id);
+  }
+  return tv;
+}
+
 }  // namespace ibseg

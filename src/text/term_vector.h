@@ -50,6 +50,15 @@ class TermVector {
 TermVector build_term_vector(const std::vector<Token>& tokens, size_t begin,
                              size_t end, Vocabulary& vocab);
 
+/// Read-only variant for query paths: terms missing from `vocab` are
+/// dropped instead of interned. A term unknown to the build vocabulary
+/// cannot match any indexed unit, so lookups lose nothing — and the query
+/// path stays `const`, which is what lets N query threads share the serving
+/// layer's read lock without synchronizing on the vocabulary.
+TermVector build_term_vector_lookup(const std::vector<Token>& tokens,
+                                    size_t begin, size_t end,
+                                    const Vocabulary& vocab);
+
 }  // namespace ibseg
 
 #endif  // IBSEG_TEXT_TERM_VECTOR_H_

@@ -1,0 +1,80 @@
+#ifndef IBSEG_UTIL_SYNC_H_
+#define IBSEG_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ibseg {
+
+/// Reusable cyclic barrier: `parties` threads block in arrive_and_wait()
+/// until all have arrived, then all are released and the barrier resets for
+/// the next round. Condition-variable based (rather than std::barrier) so
+/// the stress tests and the concurrent-QPS bench behave identically across
+/// standard-library versions. Used to line threads up for "thundering
+/// herd" bursts where every query must start at the same instant.
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(size_t parties) : parties_(parties == 0 ? 1 : parties) {}
+
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t my_generation = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != my_generation; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const size_t parties_;
+  size_t waiting_ = 0;
+  uint64_t generation_ = 0;
+};
+
+/// Owns a set of std::threads and joins them all on destruction (or on an
+/// explicit join_all()), so a throwing assertion in a stress test cannot
+/// leak running threads past the end of the scope that owns the shared
+/// state they touch.
+class ScopedThreads {
+ public:
+  ScopedThreads() = default;
+
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+  ~ScopedThreads() { join_all(); }
+
+  template <typename Fn, typename... Args>
+  void spawn(Fn&& fn, Args&&... args) {
+    threads_.emplace_back(std::forward<Fn>(fn), std::forward<Args>(args)...);
+  }
+
+  void join_all() {
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  size_t size() const { return threads_.size(); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_UTIL_SYNC_H_

@@ -1,0 +1,365 @@
+// Deterministic stress suite for the concurrent serving core
+// (core/serving.h). Seeded datagen corpora drive mixed reader/writer
+// thread mixes, a barrier-synchronized "thundering herd" query burst, and
+// an invariant checker asserting that every query observes a consistent
+// snapshot: the corpus size and publication epoch move in lockstep, result
+// ids only ever reference documents that were reserved for publication,
+// and batched ingests are all-or-nothing. Run under
+// IBSEG_SANITIZE=thread (scripts/check_sanitizers.sh) these tests are the
+// proof that the reader/writer layer is race-free, not accidentally so.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/serving.h"
+#include "datagen/post_generator.h"
+#include "util/rng.h"
+#include "util/sync.h"
+
+namespace ibseg {
+namespace {
+
+// Sizes are chosen for a TSan-instrumented single-core runner: large
+// enough that readers and writers genuinely overlap, small enough that the
+// whole binary stays in the seconds range.
+constexpr size_t kSeedPosts = 48;
+constexpr uint64_t kSeedCorpusSeed = 4242;
+constexpr uint64_t kIngestCorpusSeed = 777;
+
+RelatedPostPipeline make_pipeline(size_t posts = kSeedPosts,
+                                  uint64_t seed = kSeedCorpusSeed) {
+  GeneratorOptions gen;
+  gen.num_posts = posts;
+  gen.posts_per_scenario = 4;
+  gen.seed = seed;
+  return RelatedPostPipeline::build(analyze_corpus(generate_corpus(gen)));
+}
+
+std::vector<std::string> make_ingest_texts(size_t count,
+                                           uint64_t seed = kIngestCorpusSeed) {
+  GeneratorOptions gen;
+  gen.num_posts = count;
+  gen.posts_per_scenario = 4;
+  gen.seed = seed;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  std::vector<std::string> texts;
+  texts.reserve(corpus.posts.size());
+  for (const auto& post : corpus.posts) texts.push_back(post.text);
+  return texts;
+}
+
+// Checks the per-query snapshot invariants and returns an explanation on
+// violation (empty string = consistent).
+std::string check_snapshot(const ServingPipeline& serving,
+                           const ServingPipeline::QueryResult& r,
+                           DocId seed_next_id, size_t total_ingests) {
+  // A query must observe epoch and corpus size from the same publication
+  // point: every published document bumps both by exactly one.
+  if (r.num_docs != serving.seed_docs() + r.epoch) {
+    return "torn snapshot: num_docs " + std::to_string(r.num_docs) +
+           " != seed " + std::to_string(serving.seed_docs()) + " + epoch " +
+           std::to_string(r.epoch);
+  }
+  std::set<DocId> seen;
+  double prev_score = std::numeric_limits<double>::infinity();
+  for (const ScoredDoc& sd : r.results) {
+    // Result ids are either seed documents (< seed_next_id) or ids the
+    // id-reservation counter could actually have handed out.
+    if (sd.doc >= seed_next_id + static_cast<DocId>(total_ingests)) {
+      return "result references unreserved id " + std::to_string(sd.doc);
+    }
+    if (!seen.insert(sd.doc).second) {
+      return "duplicate result id " + std::to_string(sd.doc);
+    }
+    if (!(sd.score > 0.0) || !std::isfinite(sd.score)) {
+      return "non-positive/non-finite score for id " + std::to_string(sd.doc);
+    }
+    if (sd.score > prev_score) {
+      return "results not sorted by descending score";
+    }
+    prev_score = sd.score;
+  }
+  return "";
+}
+
+// ----------------------------------------------------- serving basics ----
+
+TEST(ServingPipeline, MatchesWrappedPipelineWhenQuiet) {
+  RelatedPostPipeline reference = make_pipeline();
+  auto expected = reference.find_related(4, 5);
+  Document external = Document::analyze(1u << 30, reference.docs()[0].text());
+  auto expected_ext = reference.find_related_external(external, 5);
+
+  ServingPipeline serving(make_pipeline());
+  auto got = serving.find_related(4, 5);
+  EXPECT_EQ(got.epoch, 0u);
+  EXPECT_EQ(got.num_docs, serving.seed_docs());
+  ASSERT_EQ(got.results.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got.results[i].doc, expected[i].doc);
+    EXPECT_DOUBLE_EQ(got.results[i].score, expected[i].score);
+  }
+  auto got_ext = serving.find_related_external(external, 5);
+  ASSERT_EQ(got_ext.results.size(), expected_ext.size());
+  for (size_t i = 0; i < expected_ext.size(); ++i) {
+    EXPECT_EQ(got_ext.results[i].doc, expected_ext[i].doc);
+    EXPECT_DOUBLE_EQ(got_ext.results[i].score, expected_ext[i].score);
+  }
+}
+
+TEST(ServingPipeline, SingleThreadedIngestMatchesPipelineSemantics) {
+  ServingPipeline serving(make_pipeline(20));
+  std::vector<std::string> texts = make_ingest_texts(3);
+  DocId first = serving.next_id();
+  DocId a = serving.add_post(texts[0]);
+  EXPECT_EQ(a, first);
+  auto ids = serving.add_posts({texts[1], texts[2]});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], first + 1);
+  EXPECT_EQ(ids[1], first + 2);
+  EXPECT_EQ(serving.epoch(), 3u);
+  EXPECT_EQ(serving.num_docs(), serving.seed_docs() + 3);
+  // The ingested posts answer queries.
+  for (DocId id : {a, ids[0], ids[1]}) {
+    auto r = serving.find_related(id, 5);
+    EXPECT_EQ(r.num_docs, serving.seed_docs() + r.epoch);
+  }
+}
+
+// ------------------------------------------------- mixed reader/writer ----
+
+TEST(ConcurrencyStress, MixedReadersAndWritersKeepInvariants) {
+  constexpr size_t kWriters = 2;
+  constexpr size_t kReaders = 3;
+  constexpr size_t kIngestsPerWriter = 8;
+  constexpr size_t kQueriesPerReader = 40;
+  constexpr size_t kTotalIngests = kWriters * kIngestsPerWriter;
+
+  ServingPipeline serving(make_pipeline());
+  const DocId seed_next_id = serving.next_id();
+  std::vector<std::string> texts = make_ingest_texts(kTotalIngests);
+
+  // External query posts are analyzed before the threads start (Document
+  // analysis is deterministic, so this keeps the workload seeded).
+  std::vector<Document> externals;
+  for (size_t i = 0; i < 4; ++i) {
+    externals.push_back(Document::analyze(
+        static_cast<DocId>((1u << 30) + i), texts[i]));
+  }
+
+  std::atomic<size_t> violations{0};
+  std::vector<std::string> first_violation(kReaders);
+
+  {
+    ScopedThreads threads;
+    for (size_t w = 0; w < kWriters; ++w) {
+      threads.spawn([&, w] {
+        for (size_t i = 0; i < kIngestsPerWriter; ++i) {
+          serving.add_post(texts[w * kIngestsPerWriter + i]);
+        }
+      });
+    }
+    for (size_t t = 0; t < kReaders; ++t) {
+      threads.spawn([&, t] {
+        Rng rng(1000 + t);  // per-thread deterministic query schedule
+        uint64_t last_epoch = 0;
+        for (size_t q = 0; q < kQueriesPerReader; ++q) {
+          ServingPipeline::QueryResult r;
+          if (q % 4 == 3) {
+            r = serving.find_related_external(
+                externals[q % externals.size()], 5);
+          } else {
+            DocId query = static_cast<DocId>(
+                rng.next_below(static_cast<uint64_t>(kSeedPosts)));
+            r = serving.find_related(query, 5);
+          }
+          std::string why =
+              check_snapshot(serving, r, seed_next_id, kTotalIngests);
+          if (why.empty() && r.epoch < last_epoch) {
+            why = "epoch moved backwards within one reader";
+          }
+          if (!why.empty()) {
+            if (violations.fetch_add(1) == 0) first_violation[t] = why;
+            return;
+          }
+          last_epoch = r.epoch;
+        }
+      });
+    }
+  }  // joins all threads
+
+  ASSERT_EQ(violations.load(), 0u)
+      << "first violation: "
+      << *std::find_if(first_violation.begin(), first_violation.end(),
+                       [](const std::string& s) { return !s.empty(); });
+
+  // Quiescent state: everything published, every ingested id queryable.
+  EXPECT_EQ(serving.epoch(), kTotalIngests);
+  EXPECT_EQ(serving.num_docs(), serving.seed_docs() + kTotalIngests);
+  EXPECT_EQ(serving.next_id(), seed_next_id + kTotalIngests);
+  for (DocId id = seed_next_id; id < seed_next_id + kTotalIngests; ++id) {
+    auto r = serving.find_related(id, 3);
+    EXPECT_EQ(r.epoch, kTotalIngests);
+    for (const ScoredDoc& sd : r.results) EXPECT_NE(sd.doc, id);
+  }
+}
+
+// ---------------------------------------------------- thundering herd ----
+
+TEST(ConcurrencyStress, ThunderingHerdAgreesWithoutWriters) {
+  constexpr size_t kHerd = 8;
+  ServingPipeline serving(make_pipeline());
+  auto reference = serving.find_related(7, 5);
+
+  CyclicBarrier barrier(kHerd);
+  std::vector<ServingPipeline::QueryResult> results(kHerd);
+  {
+    ScopedThreads threads;
+    for (size_t t = 0; t < kHerd; ++t) {
+      threads.spawn([&, t] {
+        barrier.arrive_and_wait();  // all queries released at once
+        results[t] = serving.find_related(7, 5);
+      });
+    }
+  }
+  // With no writer, every thread of the herd must see the identical
+  // ranking — byte-for-byte agreement across concurrent shared-lock reads.
+  for (size_t t = 0; t < kHerd; ++t) {
+    ASSERT_EQ(results[t].results.size(), reference.results.size());
+    EXPECT_EQ(results[t].epoch, 0u);
+    for (size_t i = 0; i < reference.results.size(); ++i) {
+      EXPECT_EQ(results[t].results[i].doc, reference.results[i].doc);
+      EXPECT_DOUBLE_EQ(results[t].results[i].score,
+                       reference.results[i].score);
+    }
+  }
+}
+
+TEST(ConcurrencyStress, ThunderingHerdStaysConsistentDuringIngest) {
+  constexpr size_t kHerd = 6;
+  constexpr size_t kRounds = 6;
+  ServingPipeline serving(make_pipeline());
+  const DocId seed_next_id = serving.next_id();
+  std::vector<std::string> texts = make_ingest_texts(kRounds);
+
+  // kHerd query threads + 1 writer thread rendezvous each round, then the
+  // herd bursts while the writer publishes one more post.
+  CyclicBarrier barrier(kHerd + 1);
+  std::atomic<size_t> violations{0};
+  {
+    ScopedThreads threads;
+    threads.spawn([&] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        barrier.arrive_and_wait();
+        serving.add_post(texts[round]);
+      }
+    });
+    for (size_t t = 0; t < kHerd; ++t) {
+      threads.spawn([&, t] {
+        uint64_t last_epoch = 0;
+        for (size_t round = 0; round < kRounds; ++round) {
+          barrier.arrive_and_wait();
+          auto r = serving.find_related(
+              static_cast<DocId>((t * 7 + round) % kSeedPosts), 5);
+          if (!check_snapshot(serving, r, seed_next_id, kRounds).empty() ||
+              r.epoch < last_epoch) {
+            violations.fetch_add(1);
+          }
+          last_epoch = r.epoch;
+        }
+      });
+    }
+  }
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(serving.epoch(), kRounds);
+}
+
+// ------------------------------------------------------ batched ingest ----
+
+TEST(ConcurrencyStress, BatchedIngestPublishesAtomically) {
+  constexpr size_t kBatch = 10;
+  constexpr size_t kProbes = 200;
+  ServingPipeline serving(make_pipeline(24));
+  std::vector<std::string> texts = make_ingest_texts(kBatch);
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> done{false};
+  std::atomic<size_t> partial_observations{0};
+  {
+    ScopedThreads threads;
+    threads.spawn([&] {
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      serving.add_posts(texts);
+      done.store(true, std::memory_order_release);
+    });
+    threads.spawn([&] {
+      start.store(true, std::memory_order_release);
+      for (size_t i = 0; i < kProbes && !done.load(std::memory_order_acquire);
+           ++i) {
+        auto r = serving.find_related(3, 5);
+        // The batch publishes under one exclusive acquisition: a query
+        // sees either the pre-batch corpus or the complete batch.
+        uint64_t published = r.num_docs - serving.seed_docs();
+        if (published != 0 && published != kBatch) {
+          partial_observations.fetch_add(1);
+        }
+      }
+    });
+  }
+  EXPECT_EQ(partial_observations.load(), 0u);
+  EXPECT_EQ(serving.num_docs(), serving.seed_docs() + kBatch);
+}
+
+// ------------------------------------------------ workload determinism ----
+
+TEST(ConcurrencyStress, ConcurrentWorkloadReachesDeterministicFinalState) {
+  // The same seeded workload, run twice with different interleavings, must
+  // converge to the same corpus: identical document count, epoch, and
+  // (sorted) ingested texts — ids may be assigned in a different order,
+  // but the published set is the same.
+  auto run_workload = [] {
+    ServingPipeline serving(make_pipeline(24));
+    std::vector<std::string> texts = make_ingest_texts(8);
+    {
+      ScopedThreads threads;
+      for (size_t w = 0; w < 2; ++w) {
+        threads.spawn([&, w] {
+          for (size_t i = 0; i < 4; ++i) serving.add_post(texts[w * 4 + i]);
+        });
+      }
+      threads.spawn([&] {
+        for (size_t q = 0; q < 20; ++q) {
+          serving.find_related(static_cast<DocId>(q % 24), 3);
+        }
+      });
+    }
+    std::vector<std::string> ingested;
+    for (size_t d = serving.seed_docs();
+         d < serving.quiescent().docs().size(); ++d) {
+      ingested.push_back(serving.quiescent().docs()[d].text());
+    }
+    std::sort(ingested.begin(), ingested.end());
+    return std::make_tuple(serving.num_docs(), serving.epoch(),
+                           std::move(ingested));
+  };
+  auto a = run_workload();
+  auto b = run_workload();
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+}
+
+}  // namespace
+}  // namespace ibseg

@@ -182,5 +182,86 @@ TEST(Eq9, RelatednessScoreComposition) {
   EXPECT_NEAR(probabilistic_idf(3, 1), std::log(2.5) / 1.5, 1e-12);
 }
 
+// ----------------------------------------------- absolute golden values ----
+// The tests above verify the formulas against re-derivations that share
+// subexpressions with the implementation (index.weight() appears on both
+// sides). The goldens below pin fully hand-computed literals instead, so
+// any refactor of the scoring path — including the concurrent-serving
+// work, which must not perturb ranking math — trips an exact numeric diff.
+
+TEST(Eq8Golden, AbsoluteTermWeights) {
+  // Cluster of three segments:
+  //   u0: a^4 b      u1: a c d      u2: b^2 c
+  // unique = [2, 3, 2], avg_unique = 7/3.
+  // NU(u)      = 0.25 + 0.75 * unique / (7/3)
+  // norm(u0)   = (ln4 + 2)          * NU(u0) = 3.0234771081427594
+  // norm(u1)   = 3                  * NU(u1) = 3.6428571428571428
+  // norm(u2)   = (ln2 + 2)          * NU(u2) = 2.4045956969285225
+  Vocabulary vocab;
+  InvertedIndex index;
+  index.min_norm_fraction = 0.0;  // the formula exactly as printed
+  TermId a = vocab.intern("a"), b = vocab.intern("b"), c = vocab.intern("c"),
+         d = vocab.intern("d");
+  TermVector u0, u1, u2;
+  u0.add(a, 4.0);
+  u0.add(b, 1.0);
+  u1.add(a, 1.0);
+  u1.add(c, 1.0);
+  u1.add(d, 1.0);
+  u2.add(b, 2.0);
+  u2.add(c, 1.0);
+  uint32_t i0 = index.add_unit(u0);
+  uint32_t i1 = index.add_unit(u1);
+  uint32_t i2 = index.add_unit(u2);
+  index.finalize();
+
+  EXPECT_NEAR(index.unit_norm(i0), 3.0234771081427594, 1e-12);
+  EXPECT_NEAR(index.unit_norm(i1), 3.6428571428571428, 1e-12);
+  EXPECT_NEAR(index.unit_norm(i2), 2.4045956969285225, 1e-12);
+  // w(t, u) = (ln tf + 1) / norm(u):
+  EXPECT_NEAR(index.weight(a, i0), 0.78925497887620100, 1e-12);
+  EXPECT_NEAR(index.weight(b, i0), 0.33074502112379911, 1e-12);
+  EXPECT_NEAR(index.weight(a, i1), 0.27450980392156865, 1e-12);
+  EXPECT_NEAR(index.weight(b, i2), 0.70412967249449210, 1e-12);
+}
+
+TEST(Eq9Golden, AbsoluteRelatednessScores) {
+  // Same cluster as Eq8Golden; query bag q = {a: 2, b: 1}.
+  // pidf(3, 2) = ln(1.5) / 2.5 = 0.16218604324326574
+  // scr(q,u0) = 2 w(a,u0) pidf + 1 w(b,u0) pidf = 0.30965451056643595
+  // scr(q,u1) = 2 w(a,u1) pidf                  = 0.08904331785904787
+  // scr(q,u2) = 1 w(b,u2) pidf                  = 0.11420000551205824
+  Vocabulary vocab;
+  InvertedIndex index;
+  index.min_norm_fraction = 0.0;
+  TermId a = vocab.intern("a"), b = vocab.intern("b"), c = vocab.intern("c"),
+         d = vocab.intern("d");
+  TermVector u0, u1, u2;
+  u0.add(a, 4.0);
+  u0.add(b, 1.0);
+  u1.add(a, 1.0);
+  u1.add(c, 1.0);
+  u1.add(d, 1.0);
+  u2.add(b, 2.0);
+  u2.add(c, 1.0);
+  index.add_unit(u0);
+  index.add_unit(u1);
+  index.add_unit(u2);
+  index.finalize();
+
+  TermVector query;
+  query.add(a, 2.0);
+  query.add(b, 1.0);
+  auto hits = score_units(index, query);
+  keep_top_n(hits, hits.size());
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].unit, 0u);
+  EXPECT_NEAR(hits[0].score, 0.30965451056643595, 1e-12);
+  EXPECT_EQ(hits[1].unit, 2u);
+  EXPECT_NEAR(hits[1].score, 0.11420000551205824, 1e-12);
+  EXPECT_EQ(hits[2].unit, 1u);
+  EXPECT_NEAR(hits[2].score, 0.08904331785904787, 1e-12);
+}
+
 }  // namespace
 }  // namespace ibseg

@@ -49,10 +49,40 @@ TEST(PipelineOnline, AddPostBecomesRetrievable) {
 
 TEST(PipelineOnline, AddPostIdsAreFresh) {
   RelatedPostPipeline pipeline = make_pipeline(20);
+  EXPECT_EQ(pipeline.next_id(), 20u);
   DocId a = pipeline.add_post("A brand new post about nothing much.");
   DocId b = pipeline.add_post("Another new post. It asks a question?");
   EXPECT_NE(a, b);
   EXPECT_GT(b, a);
+  EXPECT_EQ(pipeline.next_id(), b + 1);
+}
+
+// Regression for the fresh-id computation: next_id_ is cached at build
+// time (max seed id + 1) instead of re-scanning docs_ per add_post, and
+// must stay correct when seed ids are non-contiguous and unordered.
+TEST(PipelineOnline, AddPostIdsAreFreshWithNonContiguousSeedIds) {
+  GeneratorOptions gen;
+  gen.num_posts = 4;
+  gen.seed = 7;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  std::vector<Document> docs;
+  const DocId seed_ids[] = {5, 17, 3, 9};  // gap-ridden, out of order
+  for (size_t i = 0; i < corpus.posts.size(); ++i) {
+    docs.push_back(Document::analyze(seed_ids[i], corpus.posts[i].text));
+  }
+  RelatedPostPipeline pipeline = RelatedPostPipeline::build(std::move(docs));
+  EXPECT_EQ(pipeline.next_id(), 18u);  // max(5,17,3,9) + 1
+  DocId a = pipeline.add_post("A fresh post. Does it collide with id 17?");
+  DocId b = pipeline.add_post("One more fresh post after the gaps.");
+  EXPECT_EQ(a, 18u);
+  EXPECT_EQ(b, 19u);
+  // Fresh posts remain queryable and distinct from every seed id.
+  for (DocId seed : seed_ids) {
+    EXPECT_NE(a, seed);
+    EXPECT_NE(b, seed);
+  }
+  auto related = pipeline.find_related(a, 3);
+  for (const ScoredDoc& sd : related) EXPECT_NE(sd.doc, a);
 }
 
 // --------------------------------------------------- generator goldens ----

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "cluster/intention_clusters.h"
+#include "core/pipeline.h"
 #include "datagen/post_generator.h"
 #include "eval/window_diff.h"
 #include "seg/segmenter.h"
@@ -216,6 +217,58 @@ INSTANTIATE_TEST_SUITE_P(
                                          ForumDomain::kProgramming,
                                          ForumDomain::kHealth),
                        ::testing::Values(100u, 200u, 300u)));
+
+// -------------------------------------------- build determinism sweep ----
+
+// The offline build must be bit-identical regardless of how many worker
+// threads segment the corpus: per-document scratch vocabularies make each
+// document's segmentation self-contained, so thread count may only change
+// wall-clock, never output. Guards the parallel build path against
+// accidental cross-thread state (and, under TSan, against races).
+TEST(BuildDeterminism, ThreadCountDoesNotChangeResults) {
+  GeneratorOptions gen;
+  gen.num_posts = 40;
+  gen.posts_per_scenario = 4;
+  gen.seed = 1234;
+  SyntheticCorpus corpus = generate_corpus(gen);
+
+  PipelineOptions serial;
+  serial.num_threads = 1;
+  RelatedPostPipeline p1 =
+      RelatedPostPipeline::build(analyze_corpus(corpus), serial);
+
+  PipelineOptions parallel;
+  parallel.num_threads = 8;
+  RelatedPostPipeline p8 =
+      RelatedPostPipeline::build(analyze_corpus(corpus), parallel);
+
+  // Identical segmentations...
+  ASSERT_EQ(p1.segmentations().size(), p8.segmentations().size());
+  for (size_t d = 0; d < p1.segmentations().size(); ++d) {
+    EXPECT_EQ(p1.segmentations()[d], p8.segmentations()[d]) << "doc " << d;
+  }
+  // ...identical cluster structure and segment->cluster assignments...
+  ASSERT_EQ(p1.clustering().num_clusters(), p8.clustering().num_clusters());
+  ASSERT_EQ(p1.clustering().segments().size(),
+            p8.clustering().segments().size());
+  for (size_t s = 0; s < p1.clustering().segments().size(); ++s) {
+    const RefinedSegment& a = p1.clustering().segments()[s];
+    const RefinedSegment& b = p8.clustering().segments()[s];
+    EXPECT_EQ(a.doc, b.doc);
+    EXPECT_EQ(a.cluster, b.cluster);
+    EXPECT_EQ(a.ranges, b.ranges);
+  }
+  // ...and identical top-k rankings (scores included).
+  for (DocId q = 0; q < 40; q += 5) {
+    auto r1 = p1.find_related(q, 5);
+    auto r8 = p8.find_related(q, 5);
+    ASSERT_EQ(r1.size(), r8.size()) << "query " << q;
+    for (size_t i = 0; i < r1.size(); ++i) {
+      EXPECT_EQ(r1[i].doc, r8[i].doc) << "query " << q << " rank " << i;
+      EXPECT_DOUBLE_EQ(r1[i].score, r8[i].score);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace ibseg

@@ -169,5 +169,80 @@ TEST(ExternalQuery, FindsRelatedWithoutIngesting) {
   EXPECT_TRUE(matcher.find_related(999, 2).empty());
 }
 
+// ------------------------------------- per-intention relatedness golden ----
+
+// Hand-computed end-to-end golden for Algorithm 1 + Algorithm 2 over two
+// intention clusters. Number tokens are interned verbatim (no stemming, no
+// stopword filtering), so the exact term bags — and therefore every Eq. 8
+// weight and Eq. 9 score — are derivable on paper:
+//
+//   cluster 0 (first sentence of each doc):
+//     d0: {11:4, 12:1}   d1: {11:1, 13:1, 14:1}   d2: {12:2, 13:1}
+//   cluster 1 (second sentence):
+//     d0: {21:1, 22:1}   d1: {21:2, 23:1}         d2: {22:1, 24:1}
+//
+// Querying d0 (min_norm_fraction = 0, i.e. the formulas as printed):
+//   cluster 0, pidf(3,2) = ln(1.5)/2.5:
+//     scr(d1) = 2 * (1/3.6428571428571428) * pidf = 0.08904331785904787
+//     scr(d2) = 1 * ((ln2+1)/2.4045956969285225) * pidf
+//             = 0.11420000551205824
+//   cluster 1 (all NU = 1):
+//     scr(d1) = 1 * ((ln2+1)/(ln2+2)) * pidf = 0.10196429063576626
+//     scr(d2) = 1 * (1/2) * pidf             = 0.08109302162163287
+//   Algorithm 2 sums: d2 = 0.19529302713369112 > d1 = 0.19100760849481413.
+//
+// The pinned literals mean any refactor of the scoring or serving path
+// that perturbs ranking math — even in the 3rd decimal of a tie-breaking
+// sum — fails here with an exact numeric diff.
+TEST(PerIntentionGolden, HandComputedAlgorithm1And2) {
+  std::vector<std::string> texts = {
+      "11 11 11 11 12. 21 22.",
+      "11 13 14. 21 21 23.",
+      "12 12 13. 22 24.",
+  };
+  std::vector<Document> docs;
+  std::vector<Segmentation> segs;
+  std::vector<int> labels;
+  for (size_t i = 0; i < texts.size(); ++i) {
+    docs.push_back(Document::analyze(static_cast<DocId>(i), texts[i]));
+    ASSERT_EQ(docs[i].num_units(), 2u) << texts[i];
+    segs.push_back(Segmentation{docs[i].num_units(), {1}});
+    labels.push_back(0);
+    labels.push_back(1);
+  }
+  auto clustering = IntentionClustering::from_labels(docs, segs, labels, 2);
+  Vocabulary vocab;
+  MatcherOptions options;
+  options.min_norm_fraction = 0.0;
+  auto matcher = IntentionMatcher::build(docs, clustering, vocab, options);
+
+  // Query = doc 0's cluster-0 unit, raw tfs {11:4, 12:1}.
+  //   d1: 4 * w(11,d1) * pidf(3,2) = 4 * 0.27450980392156865 * log(1.5)/2.5
+  //   d2: 1 * w(12,d2) * pidf(3,2) = 0.70412967249449210 * log(1.5)/2.5
+  auto c0 = matcher.match_single_intention(0, 0, 4);
+  ASSERT_EQ(c0.size(), 2u);
+  EXPECT_EQ(c0[0].doc, 1u);
+  EXPECT_NEAR(c0[0].score, 0.17808663571809574, 1e-12);
+  EXPECT_EQ(c0[1].doc, 2u);
+  EXPECT_NEAR(c0[1].score, 0.11420000551205824, 1e-12);
+
+  auto c1 = matcher.match_single_intention(1, 0, 4);
+  ASSERT_EQ(c1.size(), 2u);
+  EXPECT_EQ(c1[0].doc, 1u);
+  EXPECT_NEAR(c1[0].score, 0.10196429063576626, 1e-12);
+  EXPECT_EQ(c1[1].doc, 2u);
+  EXPECT_NEAR(c1[1].score, 0.08109302162163287, 1e-12);
+
+  // Algorithm 2 sums each document's per-cluster scores:
+  //   d1: 0.17808663571809574 + 0.10196429063576626
+  //   d2: 0.11420000551205824 + 0.08109302162163287
+  auto related = matcher.find_related(0, 2);
+  ASSERT_EQ(related.size(), 2u);
+  EXPECT_EQ(related[0].doc, 1u);
+  EXPECT_NEAR(related[0].score, 0.28005092635386200, 1e-12);
+  EXPECT_EQ(related[1].doc, 2u);
+  EXPECT_NEAR(related[1].score, 0.19529302713369112, 1e-12);
+}
+
 }  // namespace
 }  // namespace ibseg
