@@ -17,6 +17,13 @@
 //       Top-k related posts for a NEW post read from stdin (external
 //       query: nothing is ingested).
 //
+// A leading `--metrics` (Prometheus text) or `--metrics=json` flag makes
+// the process dump its metrics registry — query/ingest counters, latency
+// and per-stage timing histograms, corpus gauges — after the command
+// finishes:
+//
+//   ibseg_cli --metrics query posts.corpus 0 5
+//
 // Corpus files are either the ibseg corpus format (from `generate`) or a
 // plain text file with one post per line.
 
@@ -28,7 +35,8 @@
 #include <sstream>
 #include <string>
 
-#include "core/pipeline.h"
+#include "core/serving.h"
+#include "obs/metrics.h"
 #include "storage/corpus_io.h"
 #include "storage/snapshot.h"
 
@@ -38,12 +46,16 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage:\n"
+               "usage: ibseg_cli [--metrics[=json]] <command> ...\n"
                "  ibseg_cli generate <tech|travel|prog|health> <num-posts> <file>\n"
                "  ibseg_cli segment            (post on stdin)\n"
                "  ibseg_cli snapshot <corpus-file> <snapshot-file>\n"
                "  ibseg_cli query <corpus-file> <doc-id> [k] [snapshot]\n"
-               "  ibseg_cli ask <corpus-file> [k]     (post on stdin)\n");
+               "  ibseg_cli ask <corpus-file> [k]     (post on stdin)\n"
+               "  --metrics        print the Prometheus text exposition after\n"
+               "                   the command (latency/stage histograms,\n"
+               "                   ingest counters, corpus gauges)\n"
+               "  --metrics=json   same, as a JSON dump with p50/p95/p99\n");
   return 2;
 }
 
@@ -146,34 +158,27 @@ int cmd_query(int argc, char** argv) {
   int k = argc >= 3 ? std::atoi(argv[2]) : 5;
   if (query >= docs.size() || k <= 0) return usage();
 
-  std::unique_ptr<IntentionMatcher> matcher;
-  Vocabulary vocab;
-  if (argc == 4) {
-    auto snap = load_snapshot_file(argv[3]);
-    if (!snap || snap->segmentations.size() != docs.size()) {
-      std::fprintf(stderr, "error: snapshot %s missing or inconsistent\n",
-                   argv[3]);
-      return 1;
+  // Serve through ServingPipeline — the layer a deployment queries — so a
+  // --metrics run shows the full serving catalog (query latency, lock
+  // wait, corpus gauges), not just the offline stage timings.
+  std::string query_text = docs[query].text();
+  ServingPipeline serving([&] {
+    if (argc == 4) {
+      auto snap = load_snapshot_file(argv[3]);
+      if (!snap || snap->segmentations.size() != docs.size()) {
+        std::fprintf(stderr, "error: snapshot %s missing or inconsistent\n",
+                     argv[3]);
+        std::exit(1);
+      }
+      return RelatedPostPipeline::build_from_snapshot(std::move(docs), *snap);
     }
-    IntentionClustering clustering = restore_clustering(docs, *snap);
-    matcher = std::make_unique<IntentionMatcher>(
-        IntentionMatcher::build(docs, clustering, vocab));
-  } else {
-    Segmenter segmenter = Segmenter::cm_tiling();
-    Vocabulary scratch;
-    std::vector<Segmentation> segs(docs.size());
-    for (size_t d = 0; d < docs.size(); ++d) {
-      segs[d] = segmenter.segment(docs[d], scratch);
-    }
-    IntentionClustering clustering = IntentionClustering::build(docs, segs);
-    matcher = std::make_unique<IntentionMatcher>(
-        IntentionMatcher::build(docs, clustering, vocab));
-  }
+    return RelatedPostPipeline::build(std::move(docs));
+  }());
 
-  std::printf("query %u: \"%.70s...\"\n", query, docs[query].text().c_str());
-  for (const ScoredDoc& sd : matcher->find_related(query, k)) {
+  std::printf("query %u: \"%.70s...\"\n", query, query_text.c_str());
+  for (const ScoredDoc& sd : serving.find_related(query, k).results) {
     std::printf("  %4u  %.3f  \"%.70s...\"", sd.doc, sd.score,
-                docs[sd.doc].text().c_str());
+                serving.quiescent().docs()[sd.doc].text().c_str());
     if (!corpus.posts.empty()) {
       std::printf("  [scenario %d%s]", corpus.posts[sd.doc].scenario_id,
                   corpus.posts[sd.doc].scenario_id ==
@@ -202,15 +207,15 @@ int cmd_ask(int argc, char** argv) {
     std::fprintf(stderr, "error: empty post on stdin\n");
     return 1;
   }
-  RelatedPostPipeline pipeline = RelatedPostPipeline::build(std::move(docs));
-  auto related = pipeline.find_related_external(query, k);
+  ServingPipeline serving(RelatedPostPipeline::build(std::move(docs)));
+  auto related = serving.find_related_external(query, k).results;
   if (related.empty()) {
     std::printf("no related posts found\n");
     return 0;
   }
   for (const ScoredDoc& sd : related) {
     std::printf("  %4u  %.3f  \"%.70s...\"\n", sd.doc, sd.score,
-                pipeline.docs()[sd.doc].text().c_str());
+                serving.quiescent().docs()[sd.doc].text().c_str());
   }
   return 0;
 }
@@ -218,12 +223,43 @@ int cmd_ask(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  if (cmd == "generate") return cmd_generate(argc - 2, argv + 2);
-  if (cmd == "segment") return cmd_segment();
-  if (cmd == "snapshot") return cmd_snapshot(argc - 2, argv + 2);
-  if (cmd == "query") return cmd_query(argc - 2, argv + 2);
-  if (cmd == "ask") return cmd_ask(argc - 2, argv + 2);
-  return usage();
+  int arg = 1;
+  const char* metrics_mode = nullptr;  // "text" or "json"
+  if (arg < argc && std::strncmp(argv[arg], "--metrics", 9) == 0) {
+    const char* suffix = argv[arg] + 9;
+    if (*suffix == '\0') {
+      metrics_mode = "text";
+    } else if (std::strcmp(suffix, "=text") == 0) {
+      metrics_mode = "text";
+    } else if (std::strcmp(suffix, "=json") == 0) {
+      metrics_mode = "json";
+    } else {
+      return usage();
+    }
+    ++arg;
+  }
+  if (arg >= argc) return usage();
+  const std::string cmd = argv[arg];
+  int rc;
+  if (cmd == "generate") {
+    rc = cmd_generate(argc - arg - 1, argv + arg + 1);
+  } else if (cmd == "segment") {
+    rc = cmd_segment();
+  } else if (cmd == "snapshot") {
+    rc = cmd_snapshot(argc - arg - 1, argv + arg + 1);
+  } else if (cmd == "query") {
+    rc = cmd_query(argc - arg - 1, argv + arg + 1);
+  } else if (cmd == "ask") {
+    rc = cmd_ask(argc - arg - 1, argv + arg + 1);
+  } else {
+    return usage();
+  }
+  if (metrics_mode != nullptr && rc == 0) {
+    if (std::strcmp(metrics_mode, "json") == 0) {
+      std::fputs(obs::render_json().c_str(), stdout);
+    } else {
+      std::fputs(obs::render_text().c_str(), stdout);
+    }
+  }
+  return rc;
 }

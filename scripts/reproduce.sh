@@ -11,6 +11,10 @@
 #   IBSEG_SANITIZE_CHECK=1  also run scripts/check_sanitizers.sh (three
 #                           extra instrumented builds; slow but proves the
 #                           concurrent serving layer race/overflow-free).
+#   IBSEG_DOCS_CHECK=1      also run doxygen and fail on documentation
+#                           warnings from src/obs, src/core or src/index
+#                           (the documented operational surface). Skipped
+#                           with a notice when doxygen is not installed.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,6 +31,21 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 if [ "${IBSEG_SANITIZE_CHECK:-0}" = "1" ]; then
   echo "== sanitizer matrix (IBSEG_SANITIZE_CHECK=1) =="
   scripts/check_sanitizers.sh
+fi
+
+if [ "${IBSEG_DOCS_CHECK:-0}" = "1" ]; then
+  echo "== docs check (IBSEG_DOCS_CHECK=1) =="
+  if command -v doxygen >/dev/null 2>&1; then
+    doxygen Doxyfile 2> doxygen_warnings.txt || true
+    if grep -E 'src/(obs|core|index)/' doxygen_warnings.txt; then
+      echo "error: doxygen warnings in src/obs, src/core or src/index" >&2
+      echo "       (full list: doxygen_warnings.txt)" >&2
+      exit 1
+    fi
+    echo "doxygen warning-clean over src/obs, src/core, src/index"
+  else
+    echo "doxygen not installed; skipping docs check"
+  fi
 fi
 
 echo "== benches (IBSEG_BENCH_SCALE=${SCALE}) =="

@@ -13,9 +13,9 @@ namespace ibseg {
 
 /// One query's outcome under one method.
 struct QueryResult {
-  DocId query = 0;
-  std::vector<ScoredDoc> retrieved;
-  double precision = 0.0;
+  DocId query = 0;                  ///< the reference post
+  std::vector<ScoredDoc> retrieved; ///< its top-k, best first
+  double precision = 0.0;           ///< fraction of retrieved that is relevant
   /// Fraction of the query's relevant documents retrieved (possible here
   /// because the generator's ground truth is exhaustive — the paper's
   /// pooled human judgments could only estimate precision).
@@ -24,13 +24,13 @@ struct QueryResult {
 
 /// A method's full report over an experiment run.
 struct MethodReport {
-  std::string method;
-  PrecisionSummary precision;
-  double mean_recall = 0.0;
-  double mean_f1 = 0.0;
-  MethodBuildStats build;
-  double avg_query_ms = 0.0;
-  std::vector<QueryResult> queries;
+  std::string method;               ///< display name (method_name)
+  PrecisionSummary precision;       ///< mean/min/max precision over queries
+  double mean_recall = 0.0;         ///< mean recall over queries
+  double mean_f1 = 0.0;             ///< harmonic mean of the two
+  MethodBuildStats build;           ///< offline timing breakdown
+  double avg_query_ms = 0.0;        ///< online cost per query
+  std::vector<QueryResult> queries; ///< per-query detail
 };
 
 /// Experiment configuration: which methods, over which queries.
@@ -38,8 +38,8 @@ struct ExperimentOptions {
   std::vector<MethodKind> methods = {
       MethodKind::kLda, MethodKind::kFullText, MethodKind::kContentMR,
       MethodKind::kSentIntentMR, MethodKind::kIntentIntentMR};
-  MethodConfig config;
-  int k = 5;
+  MethodConfig config;  ///< shared configuration bag for every method
+  int k = 5;            ///< result list length per query
   /// Every `query_stride`-th post serves as a reference query.
   size_t query_stride = 2;
 };

@@ -23,6 +23,7 @@ enum class MethodKind {
                     ///  chance floor that grounds every precision number)
 };
 
+/// \brief The paper's display name for `kind` (e.g. "IntentIntent-MR").
 const char* method_name(MethodKind kind);
 
 /// All methods share one configuration bag; each reads the parts it needs.
@@ -33,15 +34,15 @@ struct MethodConfig {
   /// evaluation). Swap in Segmenter::intention(BorderStrategyKind::kGreedy)
   /// for the paper's literal Greedy choice.
   Segmenter intent_segmenter = Segmenter::cm_tiling();
-  // Intention grouping (IntentIntent-MR and SentIntent-MR).
+  /// Intention grouping (IntentIntent-MR and SentIntent-MR).
   GroupingOptions grouping;
-  // Algorithm 1/2.
+  /// Algorithm 1/2 list selection and scoring.
   MatcherOptions matcher;
-  // Content-MR.
+  /// TextTiling parameters for Content-MR's topical segments.
   TextTilingOptions tiling;
   int content_clusters = 6;     ///< k for the TF/IDF k-means
   int content_dims = 256;       ///< dense TF/IDF projection width
-  // LDA.
+  /// Gibbs-LDA training parameters for the LDA baseline.
   LdaParams lda;
   /// Threads for the segmentation phase.
   size_t num_threads = 1;
@@ -49,9 +50,9 @@ struct MethodConfig {
 
 /// Offline-phase timing breakdown (Fig. 11 reports these per method).
 struct MethodBuildStats {
-  double segmentation_sec = 0.0;
-  double grouping_sec = 0.0;   ///< clustering / LDA training
-  double indexing_sec = 0.0;
+  double segmentation_sec = 0.0;  ///< segmentation wall time
+  double grouping_sec = 0.0;      ///< clustering / LDA training
+  double indexing_sec = 0.0;      ///< index construction
   /// Number of intention clusters the method ended up with (0 where not
   /// applicable).
   int num_clusters = 0;
@@ -63,9 +64,15 @@ class RelatedPostMethod {
  public:
   virtual ~RelatedPostMethod() = default;
 
+  /// \brief Top-k related posts for in-corpus reference post `query`.
+  /// \param query document id of the reference post
+  /// \param k result list length
   virtual std::vector<ScoredDoc> find_related(DocId query, int k) const = 0;
+
+  /// \brief Which of the five evaluation methods this instance is.
   virtual MethodKind kind() const = 0;
 
+  /// \brief Display name, as used in the paper's tables.
   const char* name() const { return method_name(kind()); }
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace ibseg {
@@ -39,14 +40,20 @@ RelatedPostPipeline RelatedPostPipeline::build(std::vector<Document> docs,
 
   // --- Segment grouping + refinement.
   Stopwatch group_watch;
-  p.clustering_ = std::make_unique<IntentionClustering>(
-      IntentionClustering::build(p.docs_, p.segmentations_, options.grouping));
+  {
+    obs::TraceScope grouping(obs::Stage::kClusterAssign);
+    p.clustering_ = std::make_unique<IntentionClustering>(IntentionClustering::build(
+        p.docs_, p.segmentations_, options.grouping));
+  }
   p.timings_.grouping_sec = group_watch.elapsed_seconds();
 
   // --- Per-intention indexing.
   Stopwatch index_watch;
-  p.matcher_ = std::make_unique<IntentionMatcher>(IntentionMatcher::build(
-      p.docs_, *p.clustering_, *p.vocab_, options.matcher));
+  {
+    obs::TraceScope indexing(obs::Stage::kIndexPublish);
+    p.matcher_ = std::make_unique<IntentionMatcher>(IntentionMatcher::build(
+        p.docs_, *p.clustering_, *p.vocab_, options.matcher));
+  }
   p.timings_.indexing_sec = index_watch.elapsed_seconds();
   return p;
 }
@@ -61,6 +68,8 @@ std::vector<ScoredDoc> RelatedPostPipeline::find_related_external(
 
 PreparedPost RelatedPostPipeline::prepare_post(DocId id,
                                                std::string text) const {
+  // Stage attribution happens inside the callees: Document::analyze
+  // records "analyze", Segmenter::segment records "segment".
   PreparedPost post;
   post.doc = Document::analyze(id, std::move(text));
   Vocabulary scratch;
@@ -102,13 +111,19 @@ RelatedPostPipeline RelatedPostPipeline::build_from_snapshot(
   for (const Document& d : p.docs_) p.next_id_ = std::max(p.next_id_, d.id() + 1);
 
   Stopwatch group_watch;
-  p.clustering_ = std::make_unique<IntentionClustering>(
-      restore_clustering(p.docs_, snapshot));
+  {
+    obs::TraceScope grouping(obs::Stage::kClusterAssign);
+    p.clustering_ = std::make_unique<IntentionClustering>(
+        restore_clustering(p.docs_, snapshot));
+  }
   p.timings_.grouping_sec = group_watch.elapsed_seconds();
 
   Stopwatch index_watch;
-  p.matcher_ = std::make_unique<IntentionMatcher>(IntentionMatcher::build(
-      p.docs_, *p.clustering_, *p.vocab_, options.matcher));
+  {
+    obs::TraceScope indexing(obs::Stage::kIndexPublish);
+    p.matcher_ = std::make_unique<IntentionMatcher>(IntentionMatcher::build(
+        p.docs_, *p.clustering_, *p.vocab_, options.matcher));
+  }
   p.timings_.indexing_sec = index_watch.elapsed_seconds();
   return p;
 }

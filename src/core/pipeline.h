@@ -104,14 +104,21 @@ class RelatedPostPipeline {
   /// ingested document id (seed ids need not be contiguous).
   DocId next_id() const { return next_id_; }
 
+  /// \brief The segmenter the pipeline was built with.
   const Segmenter& segmenter() const { return segmenter_; }
+  /// \brief The corpus-shared vocabulary (stemmed, stopword-filtered).
   const Vocabulary& vocab() const { return *vocab_; }
+  /// \brief The corpus, in build order (ingested posts appended).
   const std::vector<Document>& docs() const { return docs_; }
+  /// \brief Per-document segmentations, parallel to docs().
   const std::vector<Segmentation>& segmentations() const {
     return segmentations_;
   }
+  /// \brief The intention clustering of the offline phase.
   const IntentionClustering& clustering() const { return *clustering_; }
+  /// \brief The per-intention index machinery (Algorithms 1/2).
   const IntentionMatcher& matcher() const { return *matcher_; }
+  /// \brief Offline-phase timing breakdown (Table 6 / Fig. 11).
   const PipelineTimings& timings() const { return timings_; }
 
  private:

@@ -2,50 +2,145 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace ibseg {
+
+namespace {
+
+/// Every serving-layer metric, registered once in the process-wide
+/// registry. Grouping them in one struct (instead of scattered
+/// function-local statics) guarantees the whole serving catalog appears
+/// in the exposition from the moment a ServingPipeline exists, even for
+/// instruments that have not fired yet — operators grep for a metric name
+/// and find it at zero rather than absent.
+struct ServingMetrics {
+  obs::Counter& queries_related;
+  obs::Counter& queries_external;
+  obs::Counter& posts_ingested;
+  obs::Counter& ingest_batches;
+  obs::Histogram& query_related_seconds;
+  obs::Histogram& query_external_seconds;
+  obs::Histogram& ingest_seconds;
+  obs::Histogram& shared_lock_wait;
+  obs::Histogram& exclusive_lock_wait;
+  obs::Gauge& corpus_docs;
+  obs::Gauge& index_segments;
+
+  static ServingMetrics& get() {
+    static ServingMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      // Touching any stage histogram registers all seven stage series,
+      // completing the exposition alongside the serving metrics below.
+      obs::stage_histogram(obs::Stage::kAnalyze);
+      return new ServingMetrics{
+          r.counter("ibseg_queries_total", "Queries served.",
+                    {{"op", "find_related"}}),
+          r.counter("ibseg_queries_total", "Queries served.",
+                    {{"op", "find_related_external"}}),
+          r.counter("ibseg_ingested_posts_total",
+                    "Posts published into the serving indices."),
+          r.counter("ibseg_ingest_batches_total",
+                    "add_posts batches published (each under one "
+                    "exclusive lock acquisition)."),
+          r.histogram("ibseg_query_seconds",
+                      "End-to-end serving query latency, including lock "
+                      "wait, in seconds.",
+                      {{"op", "find_related"}}),
+          r.histogram("ibseg_query_seconds",
+                      "End-to-end serving query latency, including lock "
+                      "wait, in seconds.",
+                      {{"op", "find_related_external"}}),
+          r.histogram("ibseg_ingest_seconds",
+                      "End-to-end add_post latency (prepare + publish), "
+                      "in seconds."),
+          r.histogram("ibseg_lock_wait_seconds",
+                      "Time spent acquiring the serving reader/writer "
+                      "lock, in seconds.",
+                      {{"lock", "shared"}}),
+          r.histogram("ibseg_lock_wait_seconds",
+                      "Time spent acquiring the serving reader/writer "
+                      "lock, in seconds.",
+                      {{"lock", "exclusive"}}),
+          r.gauge("ibseg_corpus_docs",
+                  "Documents in the serving corpus (seed + published)."),
+          r.gauge("ibseg_index_segments",
+                  "Segments indexed across all intention clusters."),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 ServingPipeline::ServingPipeline(RelatedPostPipeline pipeline)
     : pipeline_(std::move(pipeline)),
       segmenter_(pipeline_.segmenter()),
       seed_docs_(pipeline_.docs().size()),
-      next_id_(pipeline_.next_id()) {}
+      next_id_(pipeline_.next_id()) {
+  ServingMetrics& m = ServingMetrics::get();
+  m.corpus_docs.set(static_cast<double>(pipeline_.docs().size()));
+  m.index_segments.set(static_cast<double>(pipeline_.matcher().num_segments()));
+}
 
 ServingPipeline::QueryResult ServingPipeline::find_related(DocId query,
                                                            int k) const {
+  ServingMetrics& m = ServingMetrics::get();
+  obs::TraceScope latency(m.query_related_seconds);
+  obs::TraceScope lock_wait(m.shared_lock_wait);
   std::shared_lock<std::shared_mutex> lock(mu_);
+  lock_wait.stop();
   QueryResult r;
   r.results = pipeline_.find_related(query, k);
   r.epoch = epoch_.load(std::memory_order_relaxed);
   r.num_docs = pipeline_.docs().size();
+  m.queries_related.inc();
   return r;
 }
 
 ServingPipeline::QueryResult ServingPipeline::find_related_external(
     const Document& doc, int k) const {
+  ServingMetrics& m = ServingMetrics::get();
+  obs::TraceScope latency(m.query_external_seconds);
   // Segment the query post before taking the lock — the expensive part of
   // an external query needs no pipeline state beyond the immutable
   // segmenter copy.
   Vocabulary scratch;
   Segmentation seg = segmenter_.segment(doc, scratch);
+  obs::TraceScope lock_wait(m.shared_lock_wait);
   std::shared_lock<std::shared_mutex> lock(mu_);
+  lock_wait.stop();
   QueryResult r;
   r.results = pipeline_.matcher().find_related_external(
       doc, seg, pipeline_.clustering().centroids(), pipeline_.vocab(), k);
   r.epoch = epoch_.load(std::memory_order_relaxed);
   r.num_docs = pipeline_.docs().size();
+  m.queries_external.inc();
   return r;
 }
 
 DocId ServingPipeline::add_post(std::string text) {
+  ServingMetrics& m = ServingMetrics::get();
+  obs::TraceScope latency(m.ingest_seconds);
   DocId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   PreparedPost post = prepare(id, std::move(text));
+  obs::TraceScope lock_wait(m.exclusive_lock_wait);
   std::unique_lock<std::shared_mutex> lock(mu_);
-  pipeline_.ingest(std::move(post));
+  lock_wait.stop();
+  {
+    obs::TraceScope publish(obs::Stage::kIndexPublish);
+    pipeline_.ingest(std::move(post));
+  }
   epoch_.fetch_add(1, std::memory_order_relaxed);
+  m.posts_ingested.inc();
+  m.corpus_docs.set(static_cast<double>(pipeline_.docs().size()));
+  m.index_segments.set(static_cast<double>(pipeline_.matcher().num_segments()));
   return id;
 }
 
 std::vector<DocId> ServingPipeline::add_posts(std::vector<std::string> texts) {
+  ServingMetrics& m = ServingMetrics::get();
   std::vector<PreparedPost> prepared;
   std::vector<DocId> ids;
   prepared.reserve(texts.size());
@@ -55,15 +150,26 @@ std::vector<DocId> ServingPipeline::add_posts(std::vector<std::string> texts) {
     prepared.push_back(prepare(id, std::move(text)));
     ids.push_back(id);
   }
+  obs::TraceScope lock_wait(m.exclusive_lock_wait);
   std::unique_lock<std::shared_mutex> lock(mu_);
-  for (PreparedPost& post : prepared) {
-    pipeline_.ingest(std::move(post));
-    epoch_.fetch_add(1, std::memory_order_relaxed);
+  lock_wait.stop();
+  {
+    obs::TraceScope publish(obs::Stage::kIndexPublish);
+    for (PreparedPost& post : prepared) {
+      pipeline_.ingest(std::move(post));
+      epoch_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
+  m.posts_ingested.inc(ids.size());
+  if (!ids.empty()) m.ingest_batches.inc();
+  m.corpus_docs.set(static_cast<double>(pipeline_.docs().size()));
+  m.index_segments.set(static_cast<double>(pipeline_.matcher().num_segments()));
   return ids;
 }
 
 PreparedPost ServingPipeline::prepare(DocId id, std::string text) const {
+  // Stage attribution happens inside the callees: Document::analyze
+  // records "analyze", Segmenter::segment records "segment".
   PreparedPost post;
   post.doc = Document::analyze(id, std::move(text));
   Vocabulary scratch;

@@ -18,6 +18,10 @@ namespace ibseg {
 /// precision below IntentIntent-MR.
 class FullTextMatcher {
  public:
+  /// \brief Builds the single whole-post index over `docs`.
+  /// \param docs the corpus; one unit per document
+  /// \param vocab corpus-shared vocabulary (extended with unseen terms)
+  /// \param scoring the segment-comparison function (paper Eq. 9 default)
   static FullTextMatcher build(const std::vector<Document>& docs,
                                Vocabulary& vocab,
                                const ScoringOptions& scoring = {});
@@ -26,6 +30,7 @@ class FullTextMatcher {
   /// the result).
   std::vector<ScoredDoc> find_related(DocId query, int k) const;
 
+  /// \brief Number of indexed documents.
   size_t num_docs() const { return unit_doc_.size(); }
 
  private:

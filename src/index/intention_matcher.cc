@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/vector_math.h"
 
 namespace ibseg {
@@ -75,22 +76,25 @@ std::vector<ScoredDoc> IntentionMatcher::find_related_external(
 
   // Nearest-centroid assignment + refinement, mirroring add_document.
   std::map<int, TermVector> per_cluster_terms;
-  for (auto [b, e] : segmentation.segments()) {
-    if (b == e) continue;
-    std::vector<double> f = segment_feature_vector(doc, b, e, features);
-    int best = 0;
-    double best_d = std::numeric_limits<double>::max();
-    for (size_t c = 0; c < centroids.size() && c < indices_.size(); ++c) {
-      double d = euclidean_distance(f, centroids[c]);
-      if (d < best_d) {
-        best_d = d;
-        best = static_cast<int>(c);
+  {
+    obs::TraceScope assign(obs::Stage::kClusterAssign);
+    for (auto [b, e] : segmentation.segments()) {
+      if (b == e) continue;
+      std::vector<double> f = segment_feature_vector(doc, b, e, features);
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < centroids.size() && c < indices_.size(); ++c) {
+        double d = euclidean_distance(f, centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
       }
+      size_t tok_b = doc.sentences()[b].token_begin;
+      size_t tok_e = doc.sentences()[e - 1].token_end;
+      per_cluster_terms[best].merge(
+          build_term_vector_lookup(doc.tokens(), tok_b, tok_e, vocab));
     }
-    size_t tok_b = doc.sentences()[b].token_begin;
-    size_t tok_e = doc.sentences()[e - 1].token_end;
-    per_cluster_terms[best].merge(
-        build_term_vector_lookup(doc.tokens(), tok_b, tok_e, vocab));
   }
 
   int n = options_.top_n_factor * k;
@@ -110,6 +114,7 @@ std::vector<ScoredDoc> IntentionMatcher::find_related_external(
       merged[ci.unit_doc[h.unit]] += weight * h.score;
     }
   }
+  obs::TraceScope top_k(obs::Stage::kTopK);
   out.reserve(merged.size());
   for (const auto& [d, score] : merged) out.push_back(ScoredDoc{d, score});
   std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
@@ -129,22 +134,25 @@ void IntentionMatcher::add_document(
   // Assign each raw segment to the nearest centroid, merging same-cluster
   // segments (refinement).
   std::map<int, TermVector> per_cluster_terms;
-  for (auto [b, e] : segmentation.segments()) {
-    if (b == e) continue;
-    std::vector<double> f = segment_feature_vector(doc, b, e, features);
-    int best = 0;
-    double best_d = std::numeric_limits<double>::max();
-    for (size_t c = 0; c < centroids.size() && c < indices_.size(); ++c) {
-      double d = euclidean_distance(f, centroids[c]);
-      if (d < best_d) {
-        best_d = d;
-        best = static_cast<int>(c);
+  {
+    obs::TraceScope assign(obs::Stage::kClusterAssign);
+    for (auto [b, e] : segmentation.segments()) {
+      if (b == e) continue;
+      std::vector<double> f = segment_feature_vector(doc, b, e, features);
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < centroids.size() && c < indices_.size(); ++c) {
+        double d = euclidean_distance(f, centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
       }
+      size_t tok_b = doc.sentences()[b].token_begin;
+      size_t tok_e = doc.sentences()[e - 1].token_end;
+      per_cluster_terms[best].merge(
+          build_term_vector(doc.tokens(), tok_b, tok_e, vocab));
     }
-    size_t tok_b = doc.sentences()[b].token_begin;
-    size_t tok_e = doc.sentences()[e - 1].token_end;
-    per_cluster_terms[best].merge(
-        build_term_vector(doc.tokens(), tok_b, tok_e, vocab));
   }
   for (auto& [cluster, terms] : per_cluster_terms) {
     ClusterIndex& ci = indices_[static_cast<size_t>(cluster)];
@@ -223,6 +231,7 @@ std::vector<ScoredDoc> IntentionMatcher::find_related(DocId query,
       merged[sd.doc] += weight * sd.score;
     }
   }
+  obs::TraceScope top_k(obs::Stage::kTopK);
   out.reserve(merged.size());
   for (const auto& [doc, score] : merged) out.push_back(ScoredDoc{doc, score});
   std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {

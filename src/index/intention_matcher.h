@@ -106,6 +106,7 @@ class IntentionMatcher {
                     Vocabulary& vocab,
                     const FeatureVectorOptions& features = {});
 
+  /// \brief Number of intention clusters (= per-cluster indices).
   int num_clusters() const { return static_cast<int>(indices_.size()); }
 
   /// Total number of indexed segments (diagnostics).

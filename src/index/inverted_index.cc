@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace ibseg {
 
 uint32_t InvertedIndex::add_unit(const TermVector& terms) {
@@ -25,6 +27,10 @@ uint32_t InvertedIndex::add_unit(const TermVector& terms) {
 
 void InvertedIndex::finalize() {
   if (finalized_) return;
+  // Timed only when norms are actually recomputed; the idempotent
+  // early-return above would otherwise flood the stage histogram with
+  // no-op samples.
+  obs::TraceScope term_weight(obs::Stage::kTermWeight);
   double total_unique = 0.0;
   for (const UnitStats& s : stats_) total_unique += s.unique_terms;
   avg_unique_terms_ =

@@ -43,6 +43,7 @@ class InvertedIndex {
   /// Number of units containing `term` (document frequency).
   size_t df(TermId term) const;
 
+  /// \brief Number of units added so far.
   size_t num_units() const { return unit_norms_.size(); }
 
   /// Average number of unique terms per unit (the pivot of NU, Eq. 7/8).

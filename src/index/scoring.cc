@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace ibseg {
 
 double probabilistic_idf(size_t collection_size, size_t df) {
@@ -86,6 +88,7 @@ void accumulate_query_likelihood(const InvertedIndex& index,
 std::vector<ScoredUnit> score_units(const InvertedIndex& index,
                                     const TermVector& query,
                                     const ScoringOptions& options) {
+  obs::TraceScope score(obs::Stage::kScore);
   std::unordered_map<uint32_t, double> acc;
   switch (options.function) {
     case ScoringFunction::kPaperTfIdf:

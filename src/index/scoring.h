@@ -33,10 +33,12 @@ enum class ScoringFunction {
   kQueryLikelihood,  ///< Jelinek-Mercer smoothed query-likelihood LM
 };
 
+/// Parameters of the selectable scoring functions; each function reads
+/// only its own knobs.
 struct ScoringOptions {
   ScoringFunction function = ScoringFunction::kPaperTfIdf;
-  double bm25_k1 = 1.2;
-  double bm25_b = 0.75;
+  double bm25_k1 = 1.2;   ///< BM25 term-frequency saturation
+  double bm25_b = 0.75;   ///< BM25 length-normalization slope
   /// Jelinek-Mercer interpolation weight of the collection model.
   double lm_lambda = 0.7;
 };

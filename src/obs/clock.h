@@ -1,0 +1,33 @@
+#ifndef IBSEG_OBS_CLOCK_H_
+#define IBSEG_OBS_CLOCK_H_
+
+#include <chrono>
+
+namespace ibseg {
+namespace obs {
+
+/// \brief The one clock every timing facility in the library reads.
+///
+/// std::chrono::steady_clock, deliberately: latency histograms, stage
+/// traces and the benchmark stopwatch all measure *durations*, and a
+/// duration taken across a system_clock adjustment (NTP slew, manual
+/// clock set) is garbage — negative or wildly inflated samples would land
+/// in the p99 tail exactly where operators look first. steady_clock is
+/// monotonic by contract, so elapsed = now() - start is always
+/// well-defined; its epoch is meaningless, which is fine because nothing
+/// here ever needs wall-calendar time. Stopwatch (util/stopwatch.h) and
+/// TraceScope (obs/trace.h) are both implemented on this alias so the two
+/// can never silently diverge.
+using Clock = std::chrono::steady_clock;
+
+/// \brief Seconds between two obs clock readings, as a double.
+/// \param begin the earlier reading
+/// \param end the later reading
+inline double seconds_between(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+}  // namespace obs
+}  // namespace ibseg
+
+#endif  // IBSEG_OBS_CLOCK_H_

@@ -1,0 +1,298 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ibseg {
+namespace obs {
+
+namespace {
+
+// %g keeps the exposition compact and deterministic (6 significant
+// digits; scrapers re-aggregate from buckets anyway).
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string fmt_u64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Canonical `k1="v1",k2="v2"` form, used both for rendering and as the
+// identity key of a label set.
+std::string label_body(const Labels& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += '"';
+  }
+  return out;
+}
+
+// `{k="v"}` or empty, for a sample with no extra labels.
+std::string label_block(const Labels& labels) {
+  if (labels.empty()) return "";
+  return "{" + label_body(labels) + "}";
+}
+
+// Sample name + labels with one extra label appended (the histogram `le`).
+std::string label_block_with(const Labels& labels, const std::string& key,
+                             const std::string& value) {
+  std::string body = label_body(labels);
+  if (!body.empty()) body += ',';
+  body += key + "=\"" + value + "\"";
+  return "{" + body + "}";
+}
+
+}  // namespace
+
+const std::array<double, Histogram::kNumBounds>& Histogram::bounds() {
+  // 1-2-5 per decade, 1 microsecond .. 100 seconds. Everything the
+  // pipeline times lives comfortably inside this range: a single bucket
+  // scan is ~1 µs-resolution at the fast end and the overflow bucket only
+  // catches pathological stalls.
+  static const std::array<double, kNumBounds> kBounds = {
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+      1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,
+      1.0,  2.0,  5.0,  10.0, 20.0, 50.0, 100.0};
+  return kBounds;
+}
+
+size_t Histogram::bucket_for(double value) {
+  if (!(value > 0.0)) return 0;  // also catches NaN
+  const auto& b = bounds();
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (value <= b[i]) return i;
+  }
+  return kNumBounds;  // overflow
+}
+
+void Histogram::observe(double value) {
+  buckets_[bucket_for(value)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t fixed =
+      value > 0.0 ? static_cast<uint64_t>(value / kSumResolution + 0.5) : 0;
+  sum_fixed_.fetch_add(fixed, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::quantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target =
+      std::clamp(q * static_cast<double>(total), 1.0,
+                 static_cast<double>(total));
+  const auto& b = bounds();
+  double cum_before = 0.0;
+  for (size_t i = 0; i <= kNumBounds; ++i) {
+    double in_bucket = static_cast<double>(bucket_count(i));
+    if (in_bucket <= 0.0) continue;
+    if (cum_before + in_bucket >= target) {
+      if (i == kNumBounds) return b.back();  // overflow: best finite guess
+      double lower = i == 0 ? 0.0 : b[i - 1];
+      double upper = b[i];
+      double fraction = (target - cum_before) / in_bucket;
+      return lower + fraction * (upper - lower);
+    }
+    cum_before += in_bucket;
+  }
+  return b.back();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    Kind kind, const std::string& name, const std::string& help,
+    const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->kind == kind && e->name == name && e->labels == labels) return *e;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = name;
+  entry->help = help;
+  entry->labels = labels;
+  switch (kind) {
+    case Kind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  return *find_or_create(Kind::kCounter, name, help, labels).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  return *find_or_create(Kind::kGauge, name, help, labels).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const Labels& labels) {
+  return *find_or_create(Kind::kHistogram, name, help, labels).histogram;
+}
+
+std::string MetricsRegistry::render_text() const {
+  std::vector<const Entry*> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted.reserve(entries_.size());
+    for (const auto& e : entries_) sorted.push_back(e.get());
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Entry* a, const Entry* b) {
+    if (a->name != b->name) return a->name < b->name;
+    return label_body(a->labels) < label_body(b->labels);
+  });
+
+  std::string out;
+  const std::string* prev_name = nullptr;
+  for (const Entry* e : sorted) {
+    if (prev_name == nullptr || *prev_name != e->name) {
+      out += "# HELP " + e->name + " " + e->help + "\n";
+      out += "# TYPE " + e->name + " ";
+      switch (e->kind) {
+        case Kind::kCounter: out += "counter\n"; break;
+        case Kind::kGauge: out += "gauge\n"; break;
+        case Kind::kHistogram: out += "histogram\n"; break;
+      }
+      prev_name = &e->name;
+    }
+    switch (e->kind) {
+      case Kind::kCounter:
+        out += e->name + label_block(e->labels) + " " +
+               fmt_u64(e->counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += e->name + label_block(e->labels) + " " +
+               fmt_double(e->gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e->histogram;
+        const auto& bounds = Histogram::bounds();
+        uint64_t cum = 0;
+        for (size_t i = 0; i < Histogram::kNumBounds; ++i) {
+          cum += h.bucket_count(i);
+          out += e->name + "_bucket" +
+                 label_block_with(e->labels, "le", fmt_double(bounds[i])) +
+                 " " + fmt_u64(cum) + "\n";
+        }
+        cum += h.bucket_count(Histogram::kNumBounds);
+        out += e->name + "_bucket" +
+               label_block_with(e->labels, "le", "+Inf") + " " +
+               fmt_u64(cum) + "\n";
+        out += e->name + "_sum" + label_block(e->labels) + " " +
+               fmt_double(h.sum()) + "\n";
+        out += e->name + "_count" + label_block(e->labels) + " " +
+               fmt_u64(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_json() const {
+  std::vector<const Entry*> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted.reserve(entries_.size());
+    for (const auto& e : entries_) sorted.push_back(e.get());
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Entry* a, const Entry* b) {
+    if (a->name != b->name) return a->name < b->name;
+    return label_body(a->labels) < label_body(b->labels);
+  });
+
+  auto labels_json = [](const Labels& labels) {
+    std::string out = "{";
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + labels[i].first + "\": \"" + labels[i].second + "\"";
+    }
+    return out + "}";
+  };
+
+  std::string counters, gauges, histograms;
+  for (const Entry* e : sorted) {
+    switch (e->kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters += ",\n";
+        counters += "    {\"name\": \"" + e->name + "\", \"labels\": " +
+                    labels_json(e->labels) + ", \"value\": " +
+                    fmt_u64(e->counter->value()) + "}";
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ",\n";
+        gauges += "    {\"name\": \"" + e->name + "\", \"labels\": " +
+                  labels_json(e->labels) + ", \"value\": " +
+                  fmt_double(e->gauge->value()) + "}";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e->histogram;
+        const auto& bounds = Histogram::bounds();
+        if (!histograms.empty()) histograms += ",\n";
+        histograms += "    {\"name\": \"" + e->name + "\", \"labels\": " +
+                      labels_json(e->labels) +
+                      ", \"count\": " + fmt_u64(h.count()) +
+                      ", \"sum\": " + fmt_double(h.sum()) +
+                      ", \"p50\": " + fmt_double(h.quantile(0.50)) +
+                      ", \"p95\": " + fmt_double(h.quantile(0.95)) +
+                      ", \"p99\": " + fmt_double(h.quantile(0.99)) +
+                      ", \"buckets\": [";
+        bool first = true;
+        uint64_t cum = 0;
+        for (size_t i = 0; i <= Histogram::kNumBounds; ++i) {
+          uint64_t n = h.bucket_count(i);
+          cum += n;
+          if (n == 0) continue;  // sparse: only occupied buckets
+          if (!first) histograms += ", ";
+          first = false;
+          histograms +=
+              "{\"le\": " +
+              (i == Histogram::kNumBounds ? std::string("\"+Inf\"")
+                                          : fmt_double(bounds[i])) +
+              ", \"cumulative\": " + fmt_u64(cum) + "}";
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  return "{\n  \"counters\": [\n" + counters + "\n  ],\n  \"gauges\": [\n" +
+         gauges + "\n  ],\n  \"histograms\": [\n" + histograms + "\n  ]\n}\n";
+}
+
+std::string render_text() { return MetricsRegistry::global().render_text(); }
+
+std::string render_json() { return MetricsRegistry::global().render_json(); }
+
+}  // namespace obs
+}  // namespace ibseg

@@ -1,0 +1,242 @@
+#ifndef IBSEG_OBS_METRICS_H_
+#define IBSEG_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ibseg {
+namespace obs {
+
+/// \brief Label set attached to one metric instance, e.g.
+/// {{"stage", "score"}}. Order is part of the identity; keep call sites
+/// consistent. Values must be plain text (no quotes/backslashes/newlines) —
+/// they are emitted verbatim into the Prometheus exposition.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonically increasing event count (queries served, posts
+/// published, ...).
+///
+/// A single relaxed atomic: inc() is one fetch_add, safe from any number
+/// of threads, and deliberately unordered with respect to everything else
+/// — metrics are statistical, never synchronization.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// \brief Adds `n` to the count.
+  /// \param n increment (default 1)
+  void inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+
+  /// \brief Current count (relaxed read; may trail in-flight increments).
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief A value that goes up and down (corpus size, indexed segments).
+///
+/// Stored as the bit pattern of a double in a relaxed atomic; set() is a
+/// plain store, add() a CAS loop. Writers racing on set() last-write-win,
+/// which is the right semantic for "current size" style gauges.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  /// \brief Sets the gauge to `v` (last writer wins).
+  /// \param v new value
+  void set(double v) {
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+
+  /// \brief Adds `d` to the gauge (atomic read-modify-write).
+  /// \param d signed delta
+  void add(double d) {
+    uint64_t old = bits_.load(std::memory_order_relaxed);
+    uint64_t next;
+    do {
+      next = std::bit_cast<uint64_t>(std::bit_cast<double>(old) + d);
+    } while (!bits_.compare_exchange_weak(old, next,
+                                          std::memory_order_relaxed));
+  }
+
+  /// \brief Current value.
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{std::bit_cast<uint64_t>(0.0)};
+};
+
+/// \brief Fixed-bucket log-scale histogram for latency-like values
+/// (seconds), with p50/p95/p99 extraction.
+///
+/// Buckets follow a 1-2-5 decade series from 1 microsecond to 100
+/// seconds (25 finite upper bounds) plus one overflow bucket. observe()
+/// is a short bounded scan to find the bucket plus exactly two relaxed
+/// integer fetch_adds (the bucket, and a fixed-point running sum) — no
+/// CAS loops whose retries would compound under contention, no locks, so
+/// any number of threads may record concurrently. The total count is not
+/// stored separately; count() sums the buckets, shifting that cost from
+/// every hot-path writer to the rare reader. Readers (quantile(), render)
+/// see a statistically consistent view: individual loads are relaxed,
+/// which is fine because the exposition is advisory, never a
+/// synchronization point.
+class Histogram {
+ public:
+  /// Number of finite bucket upper bounds; bucket index kNumBounds is the
+  /// overflow bucket (values above the largest bound).
+  static constexpr size_t kNumBounds = 25;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// \brief The finite bucket upper bounds (ascending; 1-2-5 series,
+  /// 1e-6 .. 100 seconds). bounds()[i] is the inclusive upper edge of
+  /// bucket i.
+  static const std::array<double, kNumBounds>& bounds();
+
+  /// \brief Index of the bucket `value` falls into: the first bucket whose
+  /// upper bound is >= value; kNumBounds for values above the last bound.
+  /// Non-positive and NaN values map to bucket 0.
+  /// \param value observed value (seconds)
+  static size_t bucket_for(double value);
+
+  /// \brief Records one observation.
+  /// \param value observed value (seconds)
+  void observe(double value);
+
+  /// \brief Total number of observations (sum over all buckets: a handful
+  /// of relaxed loads for the reader, zero extra cost for writers).
+  uint64_t count() const;
+
+  /// \brief Sum of all observed values. Accumulated in fixed point at
+  /// kSumResolution so observers need one integer fetch_add instead of a
+  /// floating-point CAS loop; each observation rounds to the nearest
+  /// resolution step (≤0.5 ns error for seconds-valued histograms).
+  double sum() const {
+    return static_cast<double>(sum_fixed_.load(std::memory_order_relaxed)) *
+           kSumResolution;
+  }
+
+  /// \brief Observations in bucket `i` (NOT cumulative).
+  /// \param i bucket index in [0, kNumBounds]; kNumBounds = overflow
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// \brief Quantile estimate by linear interpolation inside the bucket
+  /// containing the target rank (rank = clamp(q * count, 1, count)).
+  /// Returns 0 for an empty histogram; observations in the overflow
+  /// bucket resolve to the largest finite bound.
+  /// \param q quantile in [0, 1], e.g. 0.5 / 0.95 / 0.99
+  double quantile(double q) const;
+
+ private:
+  /// Fixed-point step of the running sum: 1 nanosecond for seconds-valued
+  /// histograms. 2^64 steps ≈ 584 years of accumulated wall time before
+  /// the sum could wrap.
+  static constexpr double kSumResolution = 1e-9;
+
+  std::array<std::atomic<uint64_t>, kNumBounds + 1> buckets_{};
+  std::atomic<uint64_t> sum_fixed_{0};
+};
+
+/// \brief Process-wide metric directory: owns every Counter/Gauge/
+/// Histogram and renders them as Prometheus text or JSON.
+///
+/// Registration (counter()/gauge()/histogram()) takes a mutex and is
+/// expected at setup time; the returned references are stable for the
+/// registry's lifetime, so hot paths hold them (typically via a
+/// function-local static) and never touch the lock again. Re-requesting
+/// the same (kind, name, labels) returns the existing instance — the
+/// first registration's help string wins.
+///
+/// Use global() for the process-wide instance the library instruments;
+/// tests may construct private registries for deterministic snapshots.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// \brief The process-wide registry every library metric lives in.
+  static MetricsRegistry& global();
+
+  /// \brief Finds or creates a counter.
+  /// \param name Prometheus family name (e.g. "ibseg_queries_total")
+  /// \param help one-line description, emitted as # HELP
+  /// \param labels label set distinguishing this instance in the family
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+
+  /// \brief Finds or creates a gauge.
+  /// \param name Prometheus family name
+  /// \param help one-line description
+  /// \param labels label set
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
+
+  /// \brief Finds or creates a histogram.
+  /// \param name Prometheus family name (a "_seconds" suffix by
+  /// convention; buckets are the fixed log-scale seconds series)
+  /// \param help one-line description
+  /// \param labels label set
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const Labels& labels = {});
+
+  /// \brief Prometheus text exposition format (version 0.0.4): # HELP /
+  /// # TYPE per family, cumulative le-labeled buckets plus _sum and
+  /// _count for histograms. Deterministically ordered by (name, labels).
+  std::string render_text() const;
+
+  /// \brief JSON dump of the same state, with p50/p95/p99 precomputed per
+  /// histogram. Deterministically ordered like render_text().
+  std::string render_json() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string help;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(Kind kind, const std::string& name,
+                        const std::string& help, const Labels& labels);
+
+  mutable std::mutex mu_;
+  /// Pointer-stable storage: entries are never erased, and the metric
+  /// objects live behind their own unique_ptr.
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// \brief Renders the global registry as Prometheus text exposition.
+std::string render_text();
+
+/// \brief Renders the global registry as JSON.
+std::string render_json();
+
+}  // namespace obs
+}  // namespace ibseg
+
+#endif  // IBSEG_OBS_METRICS_H_

@@ -4,10 +4,14 @@
 
 #include "nlp/cm_annotator.h"
 #include "nlp/pos_tagger.h"
+#include "obs/trace.h"
 
 namespace ibseg {
 
 Document Document::analyze(DocId id, std::string text) {
+  // The one place every document flows through — corpus load, ingest
+  // prepare, external queries — so this scope IS the "analyze" stage.
+  obs::TraceScope analyze_stage(obs::Stage::kAnalyze);
   Document d;
   d.id_ = id;
   d.text_ = std::move(text);

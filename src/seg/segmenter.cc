@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace ibseg {
@@ -59,6 +60,10 @@ Segmenter Segmenter::even_split(size_t num_segments) {
 }
 
 Segmentation Segmenter::segment(const Document& doc, Vocabulary& vocab) const {
+  // Every segmentation call — offline build, ingest prepare, external
+  // query — flows through here, so this one scope is the whole "segment"
+  // stage (border selection included).
+  obs::TraceScope segment_stage(obs::Stage::kSegment);
   switch (mode_) {
     case Mode::kIntention:
       return select_borders(doc, strategy_, scoring_, strategy_options_);

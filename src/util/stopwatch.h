@@ -3,28 +3,36 @@
 
 #include <chrono>
 
+#include "obs/clock.h"
+
 namespace ibseg {
 
-/// Wall-clock stopwatch used by the scaling benchmarks (paper Table 6 /
-/// Fig. 11). Starts running at construction.
+/// \brief Wall-clock stopwatch used by the scaling benchmarks (paper
+/// Table 6 / Fig. 11). Starts running at construction.
+///
+/// Implemented on obs::Clock — the same steady (monotonic) clock the
+/// TraceScope stage timers read — so benchmark numbers and the
+/// ibseg_stage_seconds histograms can never disagree about what a second
+/// is. See obs/clock.h for why steady_clock specifically: durations must
+/// survive NTP slews and manual clock sets, and neither facility ever
+/// needs calendar time.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(obs::Clock::now()) {}
 
-  /// Resets the start point to now.
-  void restart() { start_ = Clock::now(); }
+  /// \brief Resets the start point to now.
+  void restart() { start_ = obs::Clock::now(); }
 
-  /// Elapsed seconds since construction/restart.
+  /// \brief Elapsed seconds since construction/restart.
   double elapsed_seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return obs::seconds_between(start_, obs::Clock::now());
   }
 
-  /// Elapsed milliseconds since construction/restart.
+  /// \brief Elapsed milliseconds since construction/restart.
   double elapsed_millis() const { return elapsed_seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  obs::Clock::time_point start_;
 };
 
 }  // namespace ibseg
