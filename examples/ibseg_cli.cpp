@@ -24,6 +24,14 @@
 //
 //   ibseg_cli --metrics query posts.corpus 0 5
 //
+// Two more leading flags tune the query path (only `query` uses them):
+// `--threads=N` fans per-intention scoring out over N worker threads
+// (results are bit-identical to serial), and `--cache[=N]` enables the
+// epoch-invalidated result cache with capacity N (default 1024) — combine
+// with --metrics to see ibseg_query_cache_{hits,misses,evictions,size}:
+//
+//   ibseg_cli --metrics --cache=256 --threads=4 query posts.corpus 0 5
+//
 // Corpus files are either the ibseg corpus format (from `generate`) or a
 // plain text file with one post per line.
 
@@ -44,9 +52,14 @@ using namespace ibseg;
 
 namespace {
 
+// Leading-flag state for the query path (see usage()).
+int g_query_threads = 0;      // --threads=N: parallel per-intention fan-out
+size_t g_cache_capacity = 0;  // --cache[=N]: result-cache capacity, 0 = off
+
 int usage() {
   std::fprintf(stderr,
-               "usage: ibseg_cli [--metrics[=json]] <command> ...\n"
+               "usage: ibseg_cli [--metrics[=json]] [--cache[=N]] "
+               "[--threads=N] <command> ...\n"
                "  ibseg_cli generate <tech|travel|prog|health> <num-posts> <file>\n"
                "  ibseg_cli segment            (post on stdin)\n"
                "  ibseg_cli snapshot <corpus-file> <snapshot-file>\n"
@@ -55,7 +68,11 @@ int usage() {
                "  --metrics        print the Prometheus text exposition after\n"
                "                   the command (latency/stage histograms,\n"
                "                   ingest counters, corpus gauges)\n"
-               "  --metrics=json   same, as a JSON dump with p50/p95/p99\n");
+               "  --metrics=json   same, as a JSON dump with p50/p95/p99\n"
+               "  --cache[=N]      enable the epoch-invalidated query result\n"
+               "                   cache, capacity N (default 1024)\n"
+               "  --threads=N      score intention clusters on N worker\n"
+               "                   threads (bit-identical to serial)\n");
   return 2;
 }
 
@@ -162,18 +179,26 @@ int cmd_query(int argc, char** argv) {
   // --metrics run shows the full serving catalog (query latency, lock
   // wait, corpus gauges), not just the offline stage timings.
   std::string query_text = docs[query].text();
-  ServingPipeline serving([&] {
-    if (argc == 4) {
-      auto snap = load_snapshot_file(argv[3]);
-      if (!snap || snap->segmentations.size() != docs.size()) {
-        std::fprintf(stderr, "error: snapshot %s missing or inconsistent\n",
-                     argv[3]);
-        std::exit(1);
-      }
-      return RelatedPostPipeline::build_from_snapshot(std::move(docs), *snap);
-    }
-    return RelatedPostPipeline::build(std::move(docs));
-  }());
+  PipelineOptions build_options;
+  build_options.matcher.query_threads = g_query_threads;
+  ServingOptions serving_options;
+  serving_options.cache.capacity = g_cache_capacity;
+  ServingPipeline serving(
+      [&] {
+        if (argc == 4) {
+          auto snap = load_snapshot_file(argv[3]);
+          if (!snap || snap->segmentations.size() != docs.size()) {
+            std::fprintf(stderr,
+                         "error: snapshot %s missing or inconsistent\n",
+                         argv[3]);
+            std::exit(1);
+          }
+          return RelatedPostPipeline::build_from_snapshot(
+              std::move(docs), *snap, build_options);
+        }
+        return RelatedPostPipeline::build(std::move(docs), build_options);
+      }(),
+      serving_options);
 
   std::printf("query %u: \"%.70s...\"\n", query, query_text.c_str());
   for (const ScoredDoc& sd : serving.find_related(query, k).results) {
@@ -225,14 +250,31 @@ int cmd_ask(int argc, char** argv) {
 int main(int argc, char** argv) {
   int arg = 1;
   const char* metrics_mode = nullptr;  // "text" or "json"
-  if (arg < argc && std::strncmp(argv[arg], "--metrics", 9) == 0) {
-    const char* suffix = argv[arg] + 9;
-    if (*suffix == '\0') {
-      metrics_mode = "text";
-    } else if (std::strcmp(suffix, "=text") == 0) {
-      metrics_mode = "text";
-    } else if (std::strcmp(suffix, "=json") == 0) {
-      metrics_mode = "json";
+  while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
+    if (std::strncmp(argv[arg], "--metrics", 9) == 0) {
+      const char* suffix = argv[arg] + 9;
+      if (*suffix == '\0') {
+        metrics_mode = "text";
+      } else if (std::strcmp(suffix, "=text") == 0) {
+        metrics_mode = "text";
+      } else if (std::strcmp(suffix, "=json") == 0) {
+        metrics_mode = "json";
+      } else {
+        return usage();
+      }
+    } else if (std::strncmp(argv[arg], "--cache", 7) == 0) {
+      const char* suffix = argv[arg] + 7;
+      if (*suffix == '\0') {
+        g_cache_capacity = 1024;
+      } else if (*suffix == '=') {
+        g_cache_capacity = std::strtoull(suffix + 1, nullptr, 10);
+        if (g_cache_capacity == 0) return usage();
+      } else {
+        return usage();
+      }
+    } else if (std::strncmp(argv[arg], "--threads=", 10) == 0) {
+      g_query_threads = std::atoi(argv[arg] + 10);
+      if (g_query_threads <= 0) return usage();
     } else {
       return usage();
     }

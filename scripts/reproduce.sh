@@ -15,6 +15,10 @@
 #                           warnings from src/obs, src/core or src/index
 #                           (the documented operational surface). Skipped
 #                           with a notice when doxygen is not installed.
+#   IBSEG_DIFF_CHECK=1      also run the differential suite (serial ==
+#                           parallel == batched == cached query results,
+#                           bit for bit) plus the concurrency stress suite
+#                           under ThreadSanitizer — one instrumented build.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,6 +35,11 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 if [ "${IBSEG_SANITIZE_CHECK:-0}" = "1" ]; then
   echo "== sanitizer matrix (IBSEG_SANITIZE_CHECK=1) =="
   scripts/check_sanitizers.sh
+fi
+
+if [ "${IBSEG_DIFF_CHECK:-0}" = "1" ]; then
+  echo "== differential + stress under TSan (IBSEG_DIFF_CHECK=1) =="
+  IBSEG_SAN_LABELS="differential|stress" scripts/check_sanitizers.sh thread
 fi
 
 if [ "${IBSEG_DOCS_CHECK:-0}" = "1" ]; then
@@ -51,6 +60,17 @@ fi
 echo "== benches (IBSEG_BENCH_SCALE=${SCALE}) =="
 export IBSEG_BENCH_SCALE="${SCALE}"
 for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo "== bench JSON schema check =="
+# The QPS benches must have produced machine-readable results with the
+# fields the dashboards consume; a silent format drift fails here.
+for key in '"bench"' '"configs"' '"query_threads"' '"cache"' '"qps"'; do
+  if ! grep -q "${key}" BENCH_parallel_query_qps.json; then
+    echo "error: BENCH_parallel_query_qps.json missing key ${key}" >&2
+    exit 1
+  fi
+done
+echo "BENCH_parallel_query_qps.json schema OK"
 
 echo "== examples =="
 ./build/examples/quickstart

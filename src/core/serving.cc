@@ -17,6 +17,7 @@ namespace {
 struct ServingMetrics {
   obs::Counter& queries_related;
   obs::Counter& queries_external;
+  obs::Counter& queries_batched;
   obs::Counter& posts_ingested;
   obs::Counter& ingest_batches;
   obs::Histogram& query_related_seconds;
@@ -38,6 +39,8 @@ struct ServingMetrics {
                     {{"op", "find_related"}}),
           r.counter("ibseg_queries_total", "Queries served.",
                     {{"op", "find_related_external"}}),
+          r.counter("ibseg_queries_total", "Queries served.",
+                    {{"op", "find_related_batch"}}),
           r.counter("ibseg_ingested_posts_total",
                     "Posts published into the serving indices."),
           r.counter("ibseg_ingest_batches_total",
@@ -74,11 +77,17 @@ struct ServingMetrics {
 
 }  // namespace
 
-ServingPipeline::ServingPipeline(RelatedPostPipeline pipeline)
+ServingPipeline::ServingPipeline(RelatedPostPipeline pipeline,
+                                 ServingOptions options)
     : pipeline_(std::move(pipeline)),
       segmenter_(pipeline_.segmenter()),
       seed_docs_(pipeline_.docs().size()),
       next_id_(pipeline_.next_id()) {
+  if (options.cache.capacity > 0) {
+    cache_ = std::make_unique<QueryCache>(std::move(options.cache));
+  }
+  matcher_fingerprint_ = matcher_options_fingerprint(
+      pipeline_.matcher().options());
   ServingMetrics& m = ServingMetrics::get();
   m.corpus_docs.set(static_cast<double>(pipeline_.docs().size()));
   m.index_segments.set(static_cast<double>(pipeline_.matcher().num_segments()));
@@ -88,6 +97,20 @@ ServingPipeline::QueryResult ServingPipeline::find_related(DocId query,
                                                            int k) const {
   ServingMetrics& m = ServingMetrics::get();
   obs::TraceScope latency(m.query_related_seconds);
+  QueryCache::Key key{query, k, matcher_fingerprint_};
+  if (cache_ != nullptr) {
+    // Validate against the epoch as of now: a hit means the entry was
+    // filled after the latest publish, so it equals what the index would
+    // return. (epoch_ is monotone and a thread's reads of one atomic
+    // never go backwards, so per-reader epoch monotonicity holds across
+    // mixed hit/miss sequences.)
+    uint64_t epoch_now = epoch_.load(std::memory_order_relaxed);
+    if (auto cached = cache_->lookup(key, epoch_now)) {
+      m.queries_related.inc();
+      return QueryResult{std::move(cached->results), cached->epoch,
+                         cached->num_docs};
+    }
+  }
   obs::TraceScope lock_wait(m.shared_lock_wait);
   std::shared_lock<std::shared_mutex> lock(mu_);
   lock_wait.stop();
@@ -95,8 +118,66 @@ ServingPipeline::QueryResult ServingPipeline::find_related(DocId query,
   r.results = pipeline_.find_related(query, k);
   r.epoch = epoch_.load(std::memory_order_relaxed);
   r.num_docs = pipeline_.docs().size();
+  lock.unlock();
+  if (cache_ != nullptr) {
+    // The entry's epoch was read under the shared lock, so it matches
+    // the results exactly; if a writer publishes before this insert
+    // lands, the entry is born stale and the next lookup discards it.
+    cache_->insert(key, QueryCache::Value{r.results, r.epoch, r.num_docs});
+  }
   m.queries_related.inc();
   return r;
+}
+
+std::vector<ServingPipeline::QueryResult> ServingPipeline::find_related_batch(
+    const std::vector<DocId>& queries, int k) const {
+  ServingMetrics& m = ServingMetrics::get();
+  std::vector<QueryResult> out(queries.size());
+  // Pass 1: serve what the cache can, lock-free.
+  std::vector<size_t> miss_positions;
+  if (cache_ != nullptr) {
+    uint64_t epoch_now = epoch_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      QueryCache::Key key{queries[i], k, matcher_fingerprint_};
+      if (auto cached = cache_->lookup(key, epoch_now)) {
+        out[i] = QueryResult{std::move(cached->results), cached->epoch,
+                             cached->num_docs};
+      } else {
+        miss_positions.push_back(i);
+      }
+    }
+  } else {
+    miss_positions.resize(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) miss_positions[i] = i;
+  }
+  // Pass 2: one shared-lock acquisition for all misses; the matcher
+  // pipelines them across its query pool (if configured).
+  if (!miss_positions.empty()) {
+    std::vector<DocId> miss_ids;
+    miss_ids.reserve(miss_positions.size());
+    for (size_t i : miss_positions) miss_ids.push_back(queries[i]);
+    obs::TraceScope lock_wait(m.shared_lock_wait);
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    lock_wait.stop();
+    std::vector<std::vector<ScoredDoc>> results =
+        pipeline_.matcher().find_related_batch(miss_ids, k);
+    uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    size_t num_docs = pipeline_.docs().size();
+    lock.unlock();
+    for (size_t j = 0; j < miss_positions.size(); ++j) {
+      out[miss_positions[j]] =
+          QueryResult{std::move(results[j]), epoch, num_docs};
+    }
+    if (cache_ != nullptr) {
+      for (size_t j = 0; j < miss_positions.size(); ++j) {
+        const QueryResult& r = out[miss_positions[j]];
+        cache_->insert(QueryCache::Key{miss_ids[j], k, matcher_fingerprint_},
+                       QueryCache::Value{r.results, r.epoch, r.num_docs});
+      }
+    }
+  }
+  m.queries_batched.inc(queries.size());
+  return out;
 }
 
 ServingPipeline::QueryResult ServingPipeline::find_related_external(

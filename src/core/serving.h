@@ -3,13 +3,23 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "core/query_cache.h"
 
 namespace ibseg {
+
+/// Serving-layer configuration (everything beyond the wrapped pipeline's
+/// own build options).
+struct ServingOptions {
+  /// Result cache for in-corpus find_related queries. capacity 0 (the
+  /// default) disables caching entirely — no cache is constructed.
+  QueryCacheOptions cache;
+};
 
 /// Concurrent serving facade over RelatedPostPipeline: the layer a
 /// multi-client deployment talks to. Forum workloads are ingest-heavy —
@@ -39,7 +49,8 @@ class ServingPipeline {
  public:
   /// Wraps an offline-built pipeline (moved in). The pipeline must not be
   /// accessed through any other handle afterwards.
-  explicit ServingPipeline(RelatedPostPipeline pipeline);
+  explicit ServingPipeline(RelatedPostPipeline pipeline,
+                           ServingOptions options = {});
 
   ServingPipeline(const ServingPipeline&) = delete;
   ServingPipeline& operator=(const ServingPipeline&) = delete;
@@ -55,7 +66,21 @@ class ServingPipeline {
   };
 
   /// Top-k related posts for an in-corpus reference post (Algorithm 2).
+  /// With a cache configured, a repeated (query, k) whose entry was
+  /// filled at the current publication epoch is answered without taking
+  /// the shared lock; any ingest publish bumps the epoch and thereby
+  /// invalidates every prior entry, so a hit is never staler than a
+  /// lock-taking query issued at the same moment.
   QueryResult find_related(DocId query, int k) const;
+
+  /// Batched find_related: result[i] answers queries[i]. Cache hits are
+  /// collected first (lock-free); the misses are computed under ONE
+  /// shared-lock acquisition via IntentionMatcher::find_related_batch,
+  /// which pipelines them across the matcher's query pool when
+  /// MatcherOptions::query_threads > 1. Each result is identical to a
+  /// per-query find_related call.
+  std::vector<QueryResult> find_related_batch(
+      const std::vector<DocId>& queries, int k) const;
 
   /// Top-k related posts for an external (non-ingested) post. The post is
   /// segmented outside the lock.
@@ -93,6 +118,10 @@ class ServingPipeline {
   /// or during single-threaded shutdown inspection).
   const RelatedPostPipeline& quiescent() const { return pipeline_; }
 
+  /// The result cache, or nullptr when disabled (capacity 0). Exposed
+  /// for stats (hits/misses/evictions/size); the cache is thread-safe.
+  const QueryCache* query_cache() const { return cache_.get(); }
+
  private:
   /// Lock-free half of ingestion: analyze + segment with the serving
   /// layer's own segmenter copy, never touching guarded pipeline state.
@@ -104,6 +133,12 @@ class ServingPipeline {
   const size_t seed_docs_;
   std::atomic<DocId> next_id_;
   std::atomic<uint64_t> epoch_{0};
+  /// Result cache (nullptr = disabled). Entries are validated against
+  /// epoch_ on lookup, so writers never touch it.
+  mutable std::unique_ptr<QueryCache> cache_;
+  /// Fingerprint of the wrapped matcher's options, precomputed once —
+  /// the third cache-key component.
+  uint64_t matcher_fingerprint_ = 0;
 };
 
 }  // namespace ibseg

@@ -16,6 +16,10 @@ IntentionMatcher IntentionMatcher::build(const std::vector<Document>& docs,
                                          const MatcherOptions& options) {
   IntentionMatcher m;
   m.options_ = options;
+  if (options.query_threads > 1) {
+    m.pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options.query_threads));
+  }
   m.indices_.resize(static_cast<size_t>(clustering.num_clusters()));
 
   std::map<DocId, size_t> doc_index;
@@ -109,9 +113,26 @@ std::vector<ScoredDoc> IntentionMatcher::find_related_external(
     if (weight <= 0.0) continue;
     std::vector<ScoredUnit> hits =
         score_units(ci.index, terms, options_.scoring);
-    keep_top_n(hits, static_cast<size_t>(n));
+    // Select the per-intention list on (score, DocId) — same
+    // deterministic tie rule as match_single_intention.
+    std::vector<ScoredDoc> list;
+    list.reserve(hits.size());
     for (const ScoredUnit& h : hits) {
-      merged[ci.unit_doc[h.unit]] += weight * h.score;
+      list.push_back(ScoredDoc{ci.unit_doc[h.unit], h.score});
+    }
+    auto by_score_then_doc = [](const ScoredDoc& a, const ScoredDoc& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.doc < b.doc;
+    };
+    if (list.size() > static_cast<size_t>(n)) {
+      std::partial_sort(list.begin(), list.begin() + n, list.end(),
+                        by_score_then_doc);
+      list.resize(static_cast<size_t>(n));
+    } else {
+      std::sort(list.begin(), list.end(), by_score_then_doc);
+    }
+    for (const ScoredDoc& sd : list) {
+      merged[sd.doc] += weight * sd.score;
     }
   }
   obs::TraceScope top_k(obs::Stage::kTopK);
@@ -198,40 +219,81 @@ std::vector<ScoredDoc> IntentionMatcher::match_single_intention(
                                 return h.score < options_.score_threshold;
                               }),
                hits.end());
-    keep_top_n(hits, hits.size());  // sort only
-  } else {
-    keep_top_n(hits, static_cast<size_t>(n));
   }
+  // Rank (and, in top-n mode, select) on (score, DocId) rather than
+  // (score, unit id): unit ids encode insertion order, so a tie at the
+  // list boundary used to keep whichever segment happened to be indexed
+  // first — deterministic for one build, but not a property of the
+  // corpus. DocId ties make every execution (serial, parallel, rebuilt)
+  // agree, which the differential suite relies on.
   out.reserve(hits.size());
   for (const ScoredUnit& h : hits) {
     out.push_back(ScoredDoc{ci.unit_doc[h.unit], h.score});
   }
+  auto by_score_then_doc = [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  };
+  if (options_.score_threshold <= 0.0 &&
+      out.size() > static_cast<size_t>(n)) {
+    std::partial_sort(out.begin(), out.begin() + n, out.end(),
+                      by_score_then_doc);
+    out.resize(static_cast<size_t>(n));
+  } else {
+    std::sort(out.begin(), out.end(), by_score_then_doc);
+  }
   return out;
 }
 
-std::vector<ScoredDoc> IntentionMatcher::find_related(DocId query,
-                                                      int k) const {
+double IntentionMatcher::cluster_weight(int cluster) const {
+  return static_cast<size_t>(cluster) < options_.cluster_weights.size()
+             ? options_.cluster_weights[static_cast<size_t>(cluster)]
+             : 1.0;
+}
+
+std::vector<ScoredDoc> IntentionMatcher::find_related_impl(
+    DocId query, int k, bool allow_parallel) const {
   std::vector<ScoredDoc> out;
   if (k <= 0) return out;
   auto it = doc_units_.find(query);
   if (it == doc_units_.end()) return out;
+  const std::vector<std::pair<int, uint32_t>>& clusters = it->second;
 
   int n = options_.top_n_factor * k;
-  // Algorithm 2: sum the (optionally weighted) per-intention scores of
-  // every doc appearing in at least one per-intention list.
+  // Algorithm 2, phase 1: the per-intention lists. Each cluster's scoring
+  // is independent of every other's (the paper only sums afterwards), so
+  // with a pool the lists are produced concurrently — one task per
+  // cluster, score/top-k stage histograms recorded from whichever worker
+  // runs it. lists[i] holds cluster i's result either way, so phase 2
+  // consumes the identical inputs in the identical order.
+  std::vector<std::vector<ScoredDoc>> lists(clusters.size());
+  auto score_one = [&](size_t i) {
+    int cluster = clusters[i].first;
+    if (cluster_weight(cluster) <= 0.0) return;  // list stays empty
+    lists[i] = match_single_intention(cluster, query, n);
+  };
+  if (allow_parallel && pool_ != nullptr && clusters.size() > 1) {
+    TaskGroup group(*pool_);
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      group.run([&score_one, i] { score_one(i); });
+    }
+    group.wait();
+  } else {
+    for (size_t i = 0; i < clusters.size(); ++i) score_one(i);
+  }
+
+  // Phase 2: sum the (optionally weighted) per-intention scores of every
+  // doc appearing in at least one list. Always serial and in cluster
+  // order — floating-point accumulation order is part of the result
+  // contract (parallel == serial, bit for bit).
+  obs::TraceScope top_k(obs::Stage::kTopK);
   std::unordered_map<DocId, double> merged;
-  for (auto [cluster, unit] : it->second) {
-    (void)unit;
-    double weight =
-        static_cast<size_t>(cluster) < options_.cluster_weights.size()
-            ? options_.cluster_weights[static_cast<size_t>(cluster)]
-            : 1.0;
-    if (weight <= 0.0) continue;
-    for (const ScoredDoc& sd : match_single_intention(cluster, query, n)) {
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    double weight = cluster_weight(clusters[i].first);
+    for (const ScoredDoc& sd : lists[i]) {
       merged[sd.doc] += weight * sd.score;
     }
   }
-  obs::TraceScope top_k(obs::Stage::kTopK);
   out.reserve(merged.size());
   for (const auto& [doc, score] : merged) out.push_back(ScoredDoc{doc, score});
   std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
@@ -239,6 +301,33 @@ std::vector<ScoredDoc> IntentionMatcher::find_related(DocId query,
     return a.doc < b.doc;
   });
   if (out.size() > static_cast<size_t>(k)) out.resize(static_cast<size_t>(k));
+  return out;
+}
+
+std::vector<ScoredDoc> IntentionMatcher::find_related(DocId query,
+                                                      int k) const {
+  return find_related_impl(query, k, /*allow_parallel=*/true);
+}
+
+std::vector<std::vector<ScoredDoc>> IntentionMatcher::find_related_batch(
+    const std::vector<DocId>& queries, int k) const {
+  std::vector<std::vector<ScoredDoc>> out(queries.size());
+  if (pool_ != nullptr && queries.size() > 1) {
+    TaskGroup group(*pool_);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      // Each task is one whole query run serially: queries are the
+      // parallel grain (perfect independence, no merge), and a task that
+      // fanned out sub-tasks and waited would deadlock the fixed pool.
+      group.run([this, &queries, &out, i, k] {
+        out[i] = find_related_impl(queries[i], k, /*allow_parallel=*/false);
+      });
+    }
+    group.wait();
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out[i] = find_related_impl(queries[i], k, /*allow_parallel=*/false);
+    }
+  }
   return out;
 }
 

@@ -2,6 +2,7 @@
 #define IBSEG_INDEX_INTENTION_MATCHER_H_
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "cluster/intention_clusters.h"
@@ -9,6 +10,7 @@
 #include "index/scoring.h"
 #include "seg/document.h"
 #include "text/vocabulary.h"
+#include "util/thread_pool.h"
 
 namespace ibseg {
 
@@ -39,6 +41,17 @@ struct MatcherOptions {
   /// query-likelihood language model are selectable, per the paper's
   /// "any text comparison may be employed", Sec. 7).
   ScoringOptions scoring;
+  /// Worker threads for the online query path. Per-intention scoring is
+  /// embarrassingly parallel (Algorithm 2 scores each cluster
+  /// independently and only then sums), so find_related fans the
+  /// per-cluster lists out over a matcher-owned pool when > 1, and
+  /// find_related_batch pipelines whole queries across it. 0/1 = serial.
+  /// Parallel and serial results are bit-identical: scoring is pure
+  /// per-cluster work and the merge accumulates in cluster order either
+  /// way. NOTE: when adding a field here, extend
+  /// matcher_options_fingerprint() (core/query_cache.h) — the
+  /// static-coverage test in tests/query_cache_test.cc enforces this.
+  int query_threads = 0;
 };
 
 /// The paper's online matching machinery (Sec. 7): one full-text inverted
@@ -59,7 +72,20 @@ class IntentionMatcher {
 
   /// Algorithm 2: the top-k documents related to reference document
   /// `query`. The query document itself is excluded from the result.
+  /// With MatcherOptions::query_threads > 1 the per-intention lists are
+  /// scored concurrently on the matcher's pool; the merge is serial and
+  /// in cluster order, so the ranking (scores included) is bit-identical
+  /// to the serial execution.
   std::vector<ScoredDoc> find_related(DocId query, int k) const;
+
+  /// Batched Algorithm 2: result[i] is find_related(queries[i], k).
+  /// With query_threads > 1 the queries are pipelined across the pool,
+  /// one task per query (each query runs its clusters serially — whole
+  /// queries are the better parallel grain for throughput, and nesting
+  /// fork/join on a fixed pool would deadlock). Results are bit-identical
+  /// to per-query find_related in any thread configuration.
+  std::vector<std::vector<ScoredDoc>> find_related_batch(
+      const std::vector<DocId>& queries, int k) const;
 
   /// Algorithm 1: the top-n documents related to `query` considering only
   /// intention cluster `cluster` (empty when the query has no segment
@@ -109,6 +135,10 @@ class IntentionMatcher {
   /// \brief Number of intention clusters (= per-cluster indices).
   int num_clusters() const { return static_cast<int>(indices_.size()); }
 
+  /// \brief The options the matcher was built with (fingerprinted by the
+  /// serving layer's result cache).
+  const MatcherOptions& options() const { return options_; }
+
   /// Total number of indexed segments (diagnostics).
   size_t num_segments() const { return total_segments_; }
 
@@ -121,11 +151,25 @@ class IntentionMatcher {
     std::vector<TermVector> unit_terms;
   };
 
+  /// Effective weight of `cluster` (cluster_weights entry, default 1).
+  double cluster_weight(int cluster) const;
+
+  /// find_related with the fan-out decision explicit: `allow_parallel`
+  /// false forces the serial path (used by batch tasks already running on
+  /// the pool — see find_related_batch).
+  std::vector<ScoredDoc> find_related_impl(DocId query, int k,
+                                           bool allow_parallel) const;
+
   std::vector<ClusterIndex> indices_;
   /// doc -> (cluster, unit-in-cluster) pairs.
   std::map<DocId, std::vector<std::pair<int, uint32_t>>> doc_units_;
   MatcherOptions options_;
   size_t total_segments_ = 0;
+  /// Query-path worker pool, created at build() when
+  /// options.query_threads > 1. Shared by all concurrent queries; each
+  /// query tracks its own tasks with a TaskGroup, so callers never wait
+  /// on each other's work. (Makes the matcher move-only.)
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace ibseg

@@ -362,6 +362,105 @@ TEST(ConcurrencyStress, ConcurrentWorkloadReachesDeterministicFinalState) {
   EXPECT_EQ(std::get<2>(a), std::get<2>(b));
 }
 
+// --------------------------------------------------- query-cache hammer ----
+
+TEST(ConcurrencyStress, CacheHammerKeepsSnapshotInvariants) {
+  // A deliberately tiny sharded cache under three simultaneous pressures:
+  // hot-key readers replaying one (query, k) (maximal hit traffic on one
+  // shard's LRU head), sweep readers cycling many keys (constant capacity
+  // evictions), and writers bumping the epoch (every publish invalidates
+  // every entry). Every result — hit or miss — must still satisfy the
+  // snapshot invariants, and no reader may ever see the epoch move
+  // backwards (a stale cache hit after a fresh miss would do exactly
+  // that). Run under IBSEG_SANITIZE=thread this is the race-freedom proof
+  // for the cache's lock-free epoch validation + per-shard mutexes.
+  constexpr size_t kWriters = 2;
+  constexpr size_t kHotReaders = 2;
+  constexpr size_t kSweepReaders = 2;
+  constexpr size_t kIngestsPerWriter = 5;
+  constexpr size_t kQueriesPerReader = 60;
+  constexpr size_t kTotalIngests = kWriters * kIngestsPerWriter;
+  constexpr DocId kHotKey = 7;
+
+  ServingOptions options;
+  options.cache.capacity = 8;  // far below the live key set
+  options.cache.shards = 2;
+  ServingPipeline serving(make_pipeline(), options);
+  ASSERT_NE(serving.query_cache(), nullptr);
+  const DocId seed_next_id = serving.next_id();
+  std::vector<std::string> texts = make_ingest_texts(kTotalIngests);
+
+  std::atomic<size_t> violations{0};
+  std::vector<std::string> first_violation(kHotReaders + kSweepReaders);
+
+  {
+    ScopedThreads threads;
+    for (size_t w = 0; w < kWriters; ++w) {
+      threads.spawn([&, w] {
+        for (size_t i = 0; i < kIngestsPerWriter; ++i) {
+          serving.add_post(texts[w * kIngestsPerWriter + i]);
+        }
+      });
+    }
+    auto reader = [&](size_t slot, auto pick_query) {
+      uint64_t last_epoch = 0;
+      for (size_t q = 0; q < kQueriesPerReader; ++q) {
+        auto [query, k] = pick_query(q);
+        ServingPipeline::QueryResult r = serving.find_related(query, k);
+        std::string why =
+            check_snapshot(serving, r, seed_next_id, kTotalIngests);
+        if (why.empty() && r.epoch < last_epoch) {
+          why = "epoch moved backwards within one reader (stale cache hit)";
+        }
+        if (!why.empty()) {
+          if (violations.fetch_add(1) == 0) first_violation[slot] = why;
+          return;
+        }
+        last_epoch = r.epoch;
+      }
+    };
+    for (size_t t = 0; t < kHotReaders; ++t) {
+      threads.spawn([&, t] {
+        reader(t, [kHotKey](size_t) { return std::make_pair(kHotKey, 5); });
+      });
+    }
+    for (size_t t = 0; t < kSweepReaders; ++t) {
+      threads.spawn([&, t] {
+        Rng rng(2000 + t);
+        reader(kHotReaders + t, [&rng](size_t q) {
+          // Vary query AND k: distinct cache keys even for one doc id.
+          DocId query = static_cast<DocId>(
+              rng.next_below(static_cast<uint64_t>(kSeedPosts)));
+          return std::make_pair(query, q % 2 == 0 ? 3 : 5);
+        });
+      });
+    }
+  }  // joins all threads
+
+  ASSERT_EQ(violations.load(), 0u)
+      << "first violation: "
+      << *std::find_if(first_violation.begin(), first_violation.end(),
+                       [](const std::string& s) { return !s.empty(); });
+
+  // The sweep over ~2x-capacity keys must have evicted; the hot key must
+  // have hit at least once.
+  EXPECT_GT(serving.query_cache()->evictions(), 0u);
+  EXPECT_GT(serving.query_cache()->hits(), 0u);
+
+  // Quiescent cross-check: with all writers joined, a cache-served answer
+  // must equal the wrapped pipeline's direct answer.
+  auto fill = serving.find_related(kHotKey, 5);
+  auto hit = serving.find_related(kHotKey, 5);
+  auto want = serving.quiescent().find_related(kHotKey, 5);
+  EXPECT_EQ(fill.epoch, kTotalIngests);
+  EXPECT_EQ(hit.epoch, kTotalIngests);
+  ASSERT_EQ(hit.results.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(hit.results[i].doc, want[i].doc);
+    EXPECT_EQ(hit.results[i].score, want[i].score);
+  }
+}
+
 TEST(ConcurrencyStress, MetricPrimitivesAreRaceFreeUnderMixedHammer) {
   // Counter/Gauge/Histogram are relaxed-atomic by design; this hammer is
   // what lets TSan certify that claim. Eight threads hit one instance of
