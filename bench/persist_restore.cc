@@ -1,0 +1,185 @@
+// Persistence cost and warm-restart payoff: what a deployment pays for
+// crash safety (snapshot save time, WAL append overhead on the ingest
+// path) and what it gets back at startup (restore-from-snapshot versus a
+// cold offline rebuild of the same corpus). Three measurements:
+//
+//   1. cold build   — RelatedPostPipeline::build over the corpus (the
+//                     segmentation + clustering + indexing a restart
+//                     without persistence repeats every time),
+//   2. save         — ServingPipeline::save to a snapshot v2 file,
+//   3. warm restore — ServingPipeline::restore from that file, including
+//                     WAL replay of a tail of post-snapshot ingests.
+//
+// Also reported: ingest latency with the WAL off / fsync=none /
+// fsync=every-append, isolating the durability tax on add_post.
+//
+// Results print as a table and are recorded in BENCH_persist_restore.json
+// (current working directory, like the other reproduce.sh outputs).
+// IBSEG_BENCH_SCALE scales the corpus.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/serving.h"
+#include "storage/snapshot_v2.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace ibseg {
+namespace {
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string tmp_file(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? dir : "/tmp";
+  path += "/ibseg_bench_";
+  path += name;
+  return path;
+}
+
+/// Mean add_post latency (seconds) over `texts` for one WAL config.
+double ingest_latency(const SyntheticCorpus& corpus,
+                      const std::vector<std::string>& texts,
+                      const ServingOptions& options) {
+  ServingPipeline serving(RelatedPostPipeline::build(analyze_corpus(corpus)),
+                          options);
+  Stopwatch watch;
+  for (const std::string& text : texts) serving.add_post(text);
+  return texts.empty() ? 0.0
+                       : watch.elapsed_seconds() /
+                             static_cast<double>(texts.size());
+}
+
+int run() {
+  const size_t corpus_size =
+      static_cast<size_t>(240 * bench::bench_scale());
+  const size_t wal_tail = 32;  // ingests between last snapshot and "crash"
+  GeneratorOptions gen =
+      bench::eval_profile(ForumDomain::kTechSupport, corpus_size);
+  SyntheticCorpus corpus = generate_corpus(gen);
+
+  GeneratorOptions extra_gen =
+      bench::eval_profile(ForumDomain::kTechSupport, wal_tail, 17);
+  SyntheticCorpus extra = generate_corpus(extra_gen);
+  std::vector<std::string> tail_texts;
+  for (const GeneratedPost& p : extra.posts) tail_texts.push_back(p.text);
+
+  const std::string snap_path = tmp_file("persist.snap");
+  const std::string wal_path = tmp_file("persist.wal");
+  std::remove(snap_path.c_str());
+  std::remove(wal_path.c_str());
+
+  // 1. Cold build (what every restart costs without persistence).
+  Stopwatch cold_watch;
+  auto serving = std::make_unique<ServingPipeline>(
+      RelatedPostPipeline::build(analyze_corpus(corpus)));
+  const double cold_build_sec = cold_watch.elapsed_seconds();
+
+  // 2. Save.
+  Stopwatch save_watch;
+  if (!serving->save(snap_path)) {
+    std::fprintf(stderr, "error: snapshot save failed\n");
+    return 1;
+  }
+  const double save_sec = save_watch.elapsed_seconds();
+  uint64_t snapshot_bytes = 0;
+  {
+    std::ifstream is(snap_path, std::ios::binary | std::ios::ate);
+    snapshot_bytes = is ? static_cast<uint64_t>(is.tellg()) : 0;
+  }
+  serving.reset();
+
+  // 3. Warm restore, with a WAL tail to replay on top of the snapshot.
+  {
+    ServingOptions wal_options;
+    wal_options.persist.wal_path = wal_path;
+    auto writer = ServingPipeline::restore(snap_path, {}, wal_options);
+    if (writer == nullptr) {
+      std::fprintf(stderr, "error: restore (WAL writer) failed\n");
+      return 1;
+    }
+    for (const std::string& text : tail_texts) writer->add_post(text);
+  }
+  ServingOptions wal_options;
+  wal_options.persist.wal_path = wal_path;
+  Stopwatch restore_watch;
+  auto restored = ServingPipeline::restore(snap_path, {}, wal_options);
+  const double restore_sec = restore_watch.elapsed_seconds();
+  if (restored == nullptr || restored->epoch() != wal_tail) {
+    std::fprintf(stderr, "error: warm restore failed\n");
+    return 1;
+  }
+
+  // 4. Durability tax on the ingest path.
+  ServingOptions no_wal;
+  ServingOptions wal_nosync;
+  wal_nosync.persist.wal_path = wal_path + ".nosync";
+  wal_nosync.persist.wal.fsync = WalFsync::kNone;
+  ServingOptions wal_sync;
+  wal_sync.persist.wal_path = wal_path + ".sync";
+  wal_sync.persist.wal.fsync = WalFsync::kEveryAppend;
+  const double ingest_off = ingest_latency(corpus, tail_texts, no_wal);
+  const double ingest_nosync = ingest_latency(corpus, tail_texts, wal_nosync);
+  const double ingest_sync = ingest_latency(corpus, tail_texts, wal_sync);
+  std::remove((wal_path + ".nosync").c_str());
+  std::remove((wal_path + ".sync").c_str());
+
+  const double speedup =
+      restore_sec > 0.0 ? cold_build_sec / restore_sec : 0.0;
+
+  TablePrinter table({"measurement", "value"});
+  table.add_row({"corpus posts", std::to_string(corpus_size)});
+  table.add_row({"cold build (s)", fmt(cold_build_sec, 3)});
+  table.add_row({"snapshot save (s)", fmt(save_sec, 3)});
+  table.add_row({"snapshot bytes",
+                 std::to_string(static_cast<unsigned long long>(
+                     snapshot_bytes))});
+  table.add_row({"warm restore (s), " + std::to_string(wal_tail) +
+                     " WAL records",
+                 fmt(restore_sec, 3)});
+  table.add_row({"restore speedup vs cold", fmt(speedup, 2)});
+  table.add_row({"add_post, no WAL (ms)", fmt(ingest_off * 1e3, 3)});
+  table.add_row({"add_post, WAL fsync=none (ms)", fmt(ingest_nosync * 1e3, 3)});
+  table.add_row({"add_post, WAL fsync=every (ms)", fmt(ingest_sync * 1e3, 3)});
+  std::printf("persist_restore: crash-safe persistence cost/payoff\n");
+  table.print(std::cout);
+
+  FILE* out = std::fopen("BENCH_persist_restore.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n  \"bench\": \"persist_restore\",\n");
+    std::fprintf(out, "  \"corpus_posts\": %zu,\n", corpus_size);
+    std::fprintf(out, "  \"wal_tail_records\": %zu,\n", wal_tail);
+    std::fprintf(out, "  \"cold_build_sec\": %.6f,\n", cold_build_sec);
+    std::fprintf(out, "  \"snapshot_save_sec\": %.6f,\n", save_sec);
+    std::fprintf(out, "  \"snapshot_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(snapshot_bytes));
+    std::fprintf(out, "  \"warm_restore_sec\": %.6f,\n", restore_sec);
+    std::fprintf(out, "  \"restore_speedup_vs_cold\": %.3f,\n", speedup);
+    std::fprintf(out, "  \"ingest_ms_no_wal\": %.6f,\n", ingest_off * 1e3);
+    std::fprintf(out, "  \"ingest_ms_wal_nosync\": %.6f,\n",
+                 ingest_nosync * 1e3);
+    std::fprintf(out, "  \"ingest_ms_wal_fsync\": %.6f\n", ingest_sync * 1e3);
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_persist_restore.json\n");
+  }
+  std::remove(snap_path.c_str());
+  std::remove(wal_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ibseg
+
+int main() { return ibseg::run(); }

@@ -32,6 +32,16 @@
 //
 //   ibseg_cli --metrics --cache=256 --threads=4 query posts.corpus 0 5
 //
+// Persistence flags (query command; see docs/ARCHITECTURE.md §5):
+// `--save=PATH` writes the complete serving state as a binary snapshot v2
+// after the command, `--restore=PATH` builds the serving pipeline from
+// such a snapshot instead of recomputing the offline phase (the corpus
+// file is then only consulted for scenario annotation), and `--wal=PATH`
+// attaches the write-ahead ingest log — together the warm-restart loop:
+//
+//   ibseg_cli --save=state.snap query posts.corpus 0 5   # cold start, save
+//   ibseg_cli --restore=state.snap --wal=ingest.wal query posts.corpus 0 5
+//
 // Corpus files are either the ibseg corpus format (from `generate`) or a
 // plain text file with one post per line.
 
@@ -47,6 +57,7 @@
 #include "obs/metrics.h"
 #include "storage/corpus_io.h"
 #include "storage/snapshot.h"
+#include "storage/snapshot_v2.h"
 
 using namespace ibseg;
 
@@ -55,11 +66,16 @@ namespace {
 // Leading-flag state for the query path (see usage()).
 int g_query_threads = 0;      // --threads=N: parallel per-intention fan-out
 size_t g_cache_capacity = 0;  // --cache[=N]: result-cache capacity, 0 = off
+std::string g_save_path;      // --save=PATH: write snapshot v2 after query
+std::string g_restore_path;   // --restore=PATH: warm-start from snapshot v2
+std::string g_wal_path;       // --wal=PATH: attach the write-ahead ingest log
 
 int usage() {
   std::fprintf(stderr,
                "usage: ibseg_cli [--metrics[=json]] [--cache[=N]] "
-               "[--threads=N] <command> ...\n"
+               "[--threads=N]\n"
+               "                 [--save=PATH] [--restore=PATH] [--wal=PATH] "
+               "<command> ...\n"
                "  ibseg_cli generate <tech|travel|prog|health> <num-posts> <file>\n"
                "  ibseg_cli segment            (post on stdin)\n"
                "  ibseg_cli snapshot <corpus-file> <snapshot-file>\n"
@@ -72,7 +88,14 @@ int usage() {
                "  --cache[=N]      enable the epoch-invalidated query result\n"
                "                   cache, capacity N (default 1024)\n"
                "  --threads=N      score intention clusters on N worker\n"
-               "                   threads (bit-identical to serial)\n");
+               "                   threads (bit-identical to serial)\n"
+               "  --save=PATH      (query) after serving, persist the full\n"
+               "                   state as a binary snapshot v2 (atomic,\n"
+               "                   CRC-framed; see docs/ARCHITECTURE.md)\n"
+               "  --restore=PATH   (query) warm-start from a snapshot v2\n"
+               "                   instead of recomputing the offline phase\n"
+               "  --wal=PATH       (query) write-ahead ingest log: replayed\n"
+               "                   on start, appended before publication\n");
   return 2;
 }
 
@@ -165,46 +188,66 @@ int cmd_snapshot(int argc, char** argv) {
 
 int cmd_query(int argc, char** argv) {
   if (argc < 2 || argc > 4) return usage();
-  SyntheticCorpus corpus;
-  std::vector<Document> docs = load_docs(argv[0], &corpus);
-  if (docs.empty()) {
-    std::fprintf(stderr, "error: cannot load corpus %s\n", argv[0]);
-    return 1;
-  }
   DocId query = static_cast<DocId>(std::strtoul(argv[1], nullptr, 10));
   int k = argc >= 3 ? std::atoi(argv[2]) : 5;
-  if (query >= docs.size() || k <= 0) return usage();
+  if (k <= 0) return usage();
 
-  // Serve through ServingPipeline — the layer a deployment queries — so a
-  // --metrics run shows the full serving catalog (query latency, lock
-  // wait, corpus gauges), not just the offline stage timings.
-  std::string query_text = docs[query].text();
   PipelineOptions build_options;
   build_options.matcher.query_threads = g_query_threads;
   ServingOptions serving_options;
   serving_options.cache.capacity = g_cache_capacity;
-  ServingPipeline serving(
-      [&] {
-        if (argc == 4) {
-          auto snap = load_snapshot_file(argv[3]);
-          if (!snap || snap->segmentations.size() != docs.size()) {
-            std::fprintf(stderr,
-                         "error: snapshot %s missing or inconsistent\n",
-                         argv[3]);
-            std::exit(1);
-          }
-          return RelatedPostPipeline::build_from_snapshot(
-              std::move(docs), *snap, build_options);
-        }
-        return RelatedPostPipeline::build(std::move(docs), build_options);
-      }(),
-      serving_options);
+  serving_options.persist.wal_path = g_wal_path;
 
+  // Serve through ServingPipeline — the layer a deployment queries — so a
+  // --metrics run shows the full serving catalog (query latency, lock
+  // wait, corpus gauges), not just the offline stage timings.
+  SyntheticCorpus corpus;
+  std::unique_ptr<ServingPipeline> serving;
+  if (!g_restore_path.empty()) {
+    // Warm restart: the snapshot is self-contained (texts, segmentations,
+    // labels, vocabulary), so the corpus file is only consulted for the
+    // scenario annotation of the output.
+    serving = ServingPipeline::restore(g_restore_path, build_options,
+                                       serving_options);
+    if (serving == nullptr) {
+      std::fprintf(stderr, "error: cannot restore from %s\n",
+                   g_restore_path.c_str());
+      return 1;
+    }
+    if (auto c = load_corpus_file(argv[0])) corpus = *c;
+  } else {
+    std::vector<Document> docs = load_docs(argv[0], &corpus);
+    if (docs.empty()) {
+      std::fprintf(stderr, "error: cannot load corpus %s\n", argv[0]);
+      return 1;
+    }
+    if (argc == 4) {
+      // Offline-phase snapshot (v2 or the legacy v1 text format — the
+      // loader sniffs the magic).
+      auto snap = load_snapshot_any_file(argv[3]);
+      if (!snap || snap->segmentations.size() != docs.size()) {
+        std::fprintf(stderr, "error: snapshot %s missing or inconsistent\n",
+                     argv[3]);
+        return 1;
+      }
+      serving = std::make_unique<ServingPipeline>(
+          RelatedPostPipeline::build_from_snapshot(std::move(docs), *snap,
+                                                   build_options),
+          serving_options);
+    } else {
+      serving = std::make_unique<ServingPipeline>(
+          RelatedPostPipeline::build(std::move(docs), build_options),
+          serving_options);
+    }
+  }
+  if (query >= serving->num_docs()) return usage();
+
+  const std::string query_text = serving->quiescent().docs()[query].text();
   std::printf("query %u: \"%.70s...\"\n", query, query_text.c_str());
-  for (const ScoredDoc& sd : serving.find_related(query, k).results) {
+  for (const ScoredDoc& sd : serving->find_related(query, k).results) {
     std::printf("  %4u  %.3f  \"%.70s...\"", sd.doc, sd.score,
-                serving.quiescent().docs()[sd.doc].text().c_str());
-    if (!corpus.posts.empty()) {
+                serving->quiescent().docs()[sd.doc].text().c_str());
+    if (sd.doc < corpus.posts.size() && query < corpus.posts.size()) {
       std::printf("  [scenario %d%s]", corpus.posts[sd.doc].scenario_id,
                   corpus.posts[sd.doc].scenario_id ==
                           corpus.posts[query].scenario_id
@@ -212,6 +255,17 @@ int cmd_query(int argc, char** argv) {
                       : "");
     }
     std::printf("\n");
+  }
+  if (!g_save_path.empty()) {
+    if (!serving->save(g_save_path)) {
+      std::fprintf(stderr, "error: cannot save snapshot to %s\n",
+                   g_save_path.c_str());
+      return 1;
+    }
+    std::printf("saved serving state (%zu docs, epoch %llu) to %s\n",
+                serving->num_docs(),
+                static_cast<unsigned long long>(serving->epoch()),
+                g_save_path.c_str());
   }
   return 0;
 }
@@ -275,6 +329,15 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[arg], "--threads=", 10) == 0) {
       g_query_threads = std::atoi(argv[arg] + 10);
       if (g_query_threads <= 0) return usage();
+    } else if (std::strncmp(argv[arg], "--save=", 7) == 0) {
+      g_save_path = argv[arg] + 7;
+      if (g_save_path.empty()) return usage();
+    } else if (std::strncmp(argv[arg], "--restore=", 10) == 0) {
+      g_restore_path = argv[arg] + 10;
+      if (g_restore_path.empty()) return usage();
+    } else if (std::strncmp(argv[arg], "--wal=", 6) == 0) {
+      g_wal_path = argv[arg] + 6;
+      if (g_wal_path.empty()) return usage();
     } else {
       return usage();
     }

@@ -19,6 +19,12 @@
 #                           parallel == batched == cached query results,
 #                           bit for bit) plus the concurrency stress suite
 #                           under ThreadSanitizer — one instrumented build.
+#   IBSEG_PERSIST_CHECK=1   also run the persistence suites (snapshot v2 +
+#                           WAL formats, "storage") and the crash-injection
+#                           suite (fork + _exit mid-ingest, "killsafety")
+#                           under AddressSanitizer — one instrumented
+#                           build; the plain builds of both labels already
+#                           ran with the normal test step.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,6 +46,17 @@ fi
 if [ "${IBSEG_DIFF_CHECK:-0}" = "1" ]; then
   echo "== differential + stress under TSan (IBSEG_DIFF_CHECK=1) =="
   IBSEG_SAN_LABELS="differential|stress" scripts/check_sanitizers.sh thread
+fi
+
+if [ "${IBSEG_PERSIST_CHECK:-0}" = "1" ]; then
+  echo "== persistence + crash injection (IBSEG_PERSIST_CHECK=1) =="
+  # Plain run of both labels (fast; also covered by the full ctest above,
+  # repeated here so a persistence regression is named explicitly) ...
+  ctest --test-dir build -L 'storage|killsafety' --output-on-failure
+  # ... then the same labels under ASan: the recovery paths shuffle raw
+  # buffers (CRC frames, torn tails) and fork children that die by _exit,
+  # exactly where a heap overflow would otherwise hide.
+  IBSEG_SAN_LABELS="storage|killsafety" scripts/check_sanitizers.sh address
 fi
 
 if [ "${IBSEG_DOCS_CHECK:-0}" = "1" ]; then
@@ -71,6 +88,14 @@ for key in '"bench"' '"configs"' '"query_threads"' '"cache"' '"qps"'; do
   fi
 done
 echo "BENCH_parallel_query_qps.json schema OK"
+for key in '"bench"' '"cold_build_sec"' '"snapshot_save_sec"' \
+           '"warm_restore_sec"' '"snapshot_bytes"'; do
+  if ! grep -q "${key}" BENCH_persist_restore.json; then
+    echo "error: BENCH_persist_restore.json missing key ${key}" >&2
+    exit 1
+  fi
+done
+echo "BENCH_persist_restore.json schema OK"
 
 echo "== examples =="
 ./build/examples/quickstart

@@ -93,7 +93,8 @@ DocId RelatedPostPipeline::add_post(std::string text) {
 
 RelatedPostPipeline RelatedPostPipeline::build_from_snapshot(
     std::vector<Document> docs, const PipelineSnapshot& snapshot,
-    const PipelineOptions& options) {
+    const PipelineOptions& options,
+    const std::vector<std::string>* preload_vocab) {
   if (!snapshot.is_consistent() ||
       snapshot.segmentations.size() != docs.size()) {
     return build(std::move(docs), options);
@@ -106,6 +107,9 @@ RelatedPostPipeline RelatedPostPipeline::build_from_snapshot(
   RelatedPostPipeline p;
   p.docs_ = std::move(docs);
   p.vocab_ = std::make_unique<Vocabulary>();
+  if (preload_vocab != nullptr) {
+    for (const std::string& term : *preload_vocab) p.vocab_->intern(term);
+  }
   p.segmenter_ = options.segmenter;
   p.segmentations_ = snapshot.segmentations;
   for (const Document& d : p.docs_) p.next_id_ = std::max(p.next_id_, d.id() + 1);

@@ -64,10 +64,16 @@ class RelatedPostPipeline {
   /// (segmentations + intention assignment), skipping the segmentation and
   /// clustering phases — the restart path of a deployment. The snapshot
   /// must cover exactly these documents (checked; returns a fresh build on
-  /// mismatch).
+  /// mismatch). When `preload_vocab` is non-null its terms are interned —
+  /// in order — into the fresh vocabulary before indexing, pinning every
+  /// TermId to the value it had when the snapshot was captured (snapshot
+  /// v2 stores the vocabulary for exactly this purpose); indexing the same
+  /// documents would assign the same ids anyway, so preloading is a
+  /// determinism anchor, never a behavior change.
   static RelatedPostPipeline build_from_snapshot(
       std::vector<Document> docs, const PipelineSnapshot& snapshot,
-      const PipelineOptions& options = {});
+      const PipelineOptions& options = {},
+      const std::vector<std::string>* preload_vocab = nullptr);
 
   /// Captures the offline state for build_from_snapshot / save_snapshot.
   PipelineSnapshot snapshot() const {

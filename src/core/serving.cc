@@ -1,8 +1,12 @@
 #include "core/serving.h"
 
+#include <algorithm>
+#include <unordered_set>
 #include <utility>
 
 #include "obs/trace.h"
+#include "storage/snapshot_v2.h"
+#include "util/stopwatch.h"
 
 namespace ibseg {
 
@@ -27,6 +31,11 @@ struct ServingMetrics {
   obs::Histogram& exclusive_lock_wait;
   obs::Gauge& corpus_docs;
   obs::Gauge& index_segments;
+  obs::Counter& wal_appends;
+  obs::Counter& wal_replayed;
+  obs::Gauge& snapshot_bytes;
+  obs::Histogram& snapshot_save_seconds;
+  obs::Histogram& restore_seconds;
 
   static ServingMetrics& get() {
     static ServingMetrics* m = [] {
@@ -69,6 +78,19 @@ struct ServingMetrics {
                   "Documents in the serving corpus (seed + published)."),
           r.gauge("ibseg_index_segments",
                   "Segments indexed across all intention clusters."),
+          r.counter("ibseg_wal_appends_total",
+                    "Ingest records appended to the write-ahead log."),
+          r.counter("ibseg_wal_replayed_records",
+                    "WAL records re-published during warm restart (torn or "
+                    "already-snapshotted records excluded)."),
+          r.gauge("ibseg_snapshot_bytes",
+                  "Encoded size of the most recent snapshot v2 save."),
+          r.histogram("ibseg_persist_seconds",
+                      "Snapshot save / warm-restore latency, in seconds.",
+                      {{"op", "save"}}),
+          r.histogram("ibseg_persist_seconds",
+                      "Snapshot save / warm-restore latency, in seconds.",
+                      {{"op", "restore"}}),
       };
     }();
     return *m;
@@ -79,16 +101,48 @@ struct ServingMetrics {
 
 ServingPipeline::ServingPipeline(RelatedPostPipeline pipeline,
                                  ServingOptions options)
+    : ServingPipeline(std::move(pipeline), std::move(options),
+                      RestoreState{}) {}
+
+ServingPipeline::ServingPipeline(RelatedPostPipeline pipeline,
+                                 ServingOptions options, RestoreState state)
     : pipeline_(std::move(pipeline)),
       segmenter_(pipeline_.segmenter()),
-      seed_docs_(pipeline_.docs().size()),
-      next_id_(pipeline_.next_id()) {
+      seed_docs_(pipeline_.docs().size() - state.ingested_docs),
+      next_id_(std::max(pipeline_.next_id(), state.next_id)),
+      epoch_(state.epoch) {
   if (options.cache.capacity > 0) {
     cache_ = std::make_unique<QueryCache>(std::move(options.cache));
   }
   matcher_fingerprint_ = matcher_options_fingerprint(
       pipeline_.matcher().options());
+  persist_ = std::move(options.persist);
   ServingMetrics& m = ServingMetrics::get();
+  if (!persist_.wal_path.empty()) {
+    std::vector<WalRecord> replayed;
+    wal_ = IngestWal::open(persist_.wal_path, persist_.wal, &replayed);
+    if (wal_ != nullptr && !replayed.empty()) {
+      // Crash recovery: re-publish every logged ingest the wrapped
+      // pipeline does not already contain. Records for documents already
+      // in the corpus are skipped — they were baked into a snapshot whose
+      // save crashed between the rename and the WAL truncation.
+      std::unordered_set<DocId> present;
+      present.reserve(pipeline_.docs().size());
+      for (const Document& d : pipeline_.docs()) present.insert(d.id());
+      uint64_t applied = 0;
+      for (const WalRecord& rec : replayed) {
+        if (present.count(rec.id) != 0) continue;
+        pipeline_.ingest(prepare(rec.id, rec.text));
+        epoch_.fetch_add(1, std::memory_order_relaxed);
+        ++applied;
+      }
+      next_id_.store(
+          std::max(next_id_.load(std::memory_order_relaxed),
+                   pipeline_.next_id()),
+          std::memory_order_relaxed);
+      m.wal_replayed.inc(applied);
+    }
+  }
   m.corpus_docs.set(static_cast<double>(pipeline_.docs().size()));
   m.index_segments.set(static_cast<double>(pipeline_.matcher().num_segments()));
 }
@@ -205,10 +259,19 @@ DocId ServingPipeline::add_post(std::string text) {
   ServingMetrics& m = ServingMetrics::get();
   obs::TraceScope latency(m.ingest_seconds);
   DocId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  WalRecord rec;
+  if (wal_ != nullptr) rec = WalRecord{id, text};
   PreparedPost post = prepare(id, std::move(text));
   obs::TraceScope lock_wait(m.exclusive_lock_wait);
   std::unique_lock<std::shared_mutex> lock(mu_);
   lock_wait.stop();
+  // Write-ahead: the record hits the log (and, per policy, the disk)
+  // before the post becomes queryable. Appending under the exclusive lock
+  // makes WAL order identical to publication order, which replay relies
+  // on. A failed append does not block publication — availability wins —
+  // but is visible as ibseg_wal_appends_total falling behind
+  // ibseg_ingested_posts_total.
+  if (wal_ != nullptr && wal_->append(rec)) m.wal_appends.inc();
   {
     obs::TraceScope publish(obs::Stage::kIndexPublish);
     pipeline_.ingest(std::move(post));
@@ -224,16 +287,24 @@ std::vector<DocId> ServingPipeline::add_posts(std::vector<std::string> texts) {
   ServingMetrics& m = ServingMetrics::get();
   std::vector<PreparedPost> prepared;
   std::vector<DocId> ids;
+  std::vector<WalRecord> records;
   prepared.reserve(texts.size());
   ids.reserve(texts.size());
+  if (wal_ != nullptr) records.reserve(texts.size());
   for (std::string& text : texts) {
     DocId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    if (wal_ != nullptr) records.push_back(WalRecord{id, text});
     prepared.push_back(prepare(id, std::move(text)));
     ids.push_back(id);
   }
   obs::TraceScope lock_wait(m.exclusive_lock_wait);
   std::unique_lock<std::shared_mutex> lock(mu_);
   lock_wait.stop();
+  // Write-ahead, one frame per record but one fsync per batch (see
+  // IngestWal::append_batch); same ordering rationale as add_post.
+  if (wal_ != nullptr && !records.empty() && wal_->append_batch(records)) {
+    m.wal_appends.inc(records.size());
+  }
   {
     obs::TraceScope publish(obs::Stage::kIndexPublish);
     for (PreparedPost& post : prepared) {
@@ -246,6 +317,96 @@ std::vector<DocId> ServingPipeline::add_posts(std::vector<std::string> texts) {
   m.corpus_docs.set(static_cast<double>(pipeline_.docs().size()));
   m.index_segments.set(static_cast<double>(pipeline_.matcher().num_segments()));
   return ids;
+}
+
+bool ServingPipeline::save(const std::string& path) {
+  ServingMetrics& m = ServingMetrics::get();
+  Stopwatch watch;
+  obs::TraceScope lock_wait(m.exclusive_lock_wait);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  lock_wait.stop();
+  ServingSnapshot snap;
+  const std::vector<Document>& docs = pipeline_.docs();
+  const std::vector<Segmentation>& segs = pipeline_.segmentations();
+  snap.doc_ids.reserve(docs.size());
+  snap.doc_texts.reserve(docs.size());
+  for (const Document& d : docs) {
+    snap.doc_ids.push_back(d.id());
+    snap.doc_texts.push_back(d.text());
+  }
+  snap.segmentations = segs;
+  snap.num_seed_docs = static_cast<uint32_t>(seed_docs_);
+  // Cluster labels exist only for the offline-clustered (seed) segments;
+  // ingested documents are re-published through the nearest-centroid
+  // ingest path on restore, so labeling them here would be wrong (the
+  // clustering never covered them — make_snapshot would emit label 0).
+  std::vector<Segmentation> seed_segs(
+      segs.begin(), segs.begin() + static_cast<std::ptrdiff_t>(seed_docs_));
+  PipelineSnapshot offline = make_snapshot(seed_segs, pipeline_.clustering());
+  snap.seed_labels = std::move(offline.segment_labels);
+  snap.num_clusters = offline.num_clusters;
+  const Vocabulary& vocab = pipeline_.vocab();
+  snap.vocab_terms.reserve(vocab.size());
+  for (size_t t = 0; t < vocab.size(); ++t) {
+    snap.vocab_terms.push_back(vocab.term(static_cast<TermId>(t)));
+  }
+  snap.next_id = next_id_.load(std::memory_order_relaxed);
+  uint64_t bytes = 0;
+  if (!save_snapshot_v2_file(snap, path, &bytes)) return false;
+  // Every logged record is now baked into the snapshot; an empty WAL makes
+  // the next restart replay nothing. Ordering matters: truncating first
+  // and crashing before the snapshot rename would lose the records. The
+  // reverse crash window (snapshot renamed, WAL not yet truncated) is
+  // harmless — replay skips records whose document is already present.
+  if (wal_ != nullptr) wal_->reset();
+  m.snapshot_bytes.set(static_cast<double>(bytes));
+  m.snapshot_save_seconds.observe(watch.elapsed_seconds());
+  return true;
+}
+
+std::unique_ptr<ServingPipeline> ServingPipeline::restore(
+    const std::string& snapshot_path, const PipelineOptions& pipeline_options,
+    ServingOptions options) {
+  ServingMetrics& m = ServingMetrics::get();
+  Stopwatch watch;
+  std::optional<ServingSnapshot> snap = load_snapshot_v2_file(snapshot_path);
+  if (!snap.has_value()) return nullptr;
+  const size_t total = snap->doc_ids.size();
+  const size_t seed = snap->num_seed_docs;
+  std::vector<Document> seed_docs;
+  seed_docs.reserve(seed);
+  for (size_t d = 0; d < seed; ++d) {
+    seed_docs.push_back(
+        Document::analyze(snap->doc_ids[d], snap->doc_texts[d]));
+  }
+  // Offline part: stored segmentations + labels + vocabulary skip the
+  // segmentation and clustering phases; preloading the vocabulary pins
+  // every TermId to its pre-save value.
+  RelatedPostPipeline pipeline = RelatedPostPipeline::build_from_snapshot(
+      std::move(seed_docs), snap->offline(), pipeline_options,
+      &snap->vocab_terms);
+  // Online part: re-publish ingested documents through the same
+  // nearest-centroid ingest path that placed them originally, with their
+  // *stored* segmentations — deterministic given the restored centroids,
+  // and immune to segmenter-option drift between save and restore.
+  for (size_t d = seed; d < total; ++d) {
+    PreparedPost post;
+    post.doc =
+        Document::analyze(snap->doc_ids[d], std::move(snap->doc_texts[d]));
+    post.seg = std::move(snap->segmentations[d]);
+    pipeline.ingest(std::move(post));
+  }
+  RestoreState state;
+  state.epoch = total - seed;
+  state.ingested_docs = total - seed;
+  state.next_id = snap->next_id;
+  // The constructor replays the WAL (if configured) on top of the
+  // snapshot, completing recovery to the exact pre-crash epoch.
+  std::unique_ptr<ServingPipeline> sp(
+      new ServingPipeline(std::move(pipeline), std::move(options), state));
+  if (!sp->persist_.wal_path.empty() && sp->wal_ == nullptr) return nullptr;
+  m.restore_seconds.observe(watch.elapsed_seconds());
+  return sp;
 }
 
 PreparedPost ServingPipeline::prepare(DocId id, std::string text) const {

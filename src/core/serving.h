@@ -10,8 +10,22 @@
 
 #include "core/pipeline.h"
 #include "core/query_cache.h"
+#include "storage/wal.h"
 
 namespace ibseg {
+
+/// Durability configuration for the serving layer (see also
+/// ServingPipeline::save/restore and docs/ARCHITECTURE.md §5).
+struct ServingPersistOptions {
+  /// Path of the write-ahead ingest log. Empty (the default) disables the
+  /// WAL entirely. When set, the constructor replays any complete records
+  /// already in the file (warm restart / crash recovery) and every
+  /// subsequent add_post/add_posts appends to it *before* publication.
+  std::string wal_path;
+  /// fsync policy for WAL appends (WalFsync::kEveryAppend by default —
+  /// strongest; see the fsync policy table in docs/ARCHITECTURE.md).
+  WalOptions wal;
+};
 
 /// Serving-layer configuration (everything beyond the wrapped pipeline's
 /// own build options).
@@ -19,6 +33,8 @@ struct ServingOptions {
   /// Result cache for in-corpus find_related queries. capacity 0 (the
   /// default) disables caching entirely — no cache is constructed.
   QueryCacheOptions cache;
+  /// Snapshot + WAL durability (off by default).
+  ServingPersistOptions persist;
 };
 
 /// Concurrent serving facade over RelatedPostPipeline: the layer a
@@ -48,12 +64,41 @@ struct ServingOptions {
 class ServingPipeline {
  public:
   /// Wraps an offline-built pipeline (moved in). The pipeline must not be
-  /// accessed through any other handle afterwards.
+  /// accessed through any other handle afterwards. With
+  /// options.persist.wal_path set, any complete records already in that
+  /// log are replayed (published) before the constructor returns — the
+  /// crash-recovery path — and later ingests append to it.
   explicit ServingPipeline(RelatedPostPipeline pipeline,
                            ServingOptions options = {});
 
   ServingPipeline(const ServingPipeline&) = delete;
   ServingPipeline& operator=(const ServingPipeline&) = delete;
+
+  /// Persists the full serving state (snapshot v2: every document's text
+  /// and segmentation, offline cluster labels, vocabulary, id watermark)
+  /// to `path` atomically, then truncates the WAL (every logged record is
+  /// now baked into the snapshot). Runs under the exclusive lock so the
+  /// snapshot is a publication boundary: it contains exactly the posts a
+  /// query could see at that moment. Returns false (previous file intact,
+  /// WAL untouched) on any I/O failure.
+  bool save(const std::string& path);
+
+  /// Warm restart: loads a v2 snapshot from `snapshot_path`, rebuilds the
+  /// pipeline (offline part via build_from_snapshot with the stored
+  /// vocabulary preloaded; online-ingested posts re-published through the
+  /// deterministic ingest path), then — when options.persist.wal_path is
+  /// set — replays the WAL. Records whose document id is already in the
+  /// snapshot are skipped, so a crash between snapshot rename and WAL
+  /// truncation never double-publishes. The restored pipeline reaches the
+  /// exact pre-crash published epoch: epoch() continues from
+  /// (snapshot docs - seed docs) + replayed records, and query results are
+  /// score-identical to a never-crashed pipeline at the same epoch.
+  /// Returns nullptr when the snapshot is missing/corrupt or the WAL
+  /// cannot be opened.
+  static std::unique_ptr<ServingPipeline> restore(
+      const std::string& snapshot_path,
+      const PipelineOptions& pipeline_options = {},
+      ServingOptions options = {});
 
   /// A query answer plus the snapshot coordinates it was computed under.
   struct QueryResult {
@@ -123,6 +168,19 @@ class ServingPipeline {
   const QueryCache* query_cache() const { return cache_.get(); }
 
  private:
+  /// State carried by restore() into the private constructor: how far the
+  /// rebuilt pipeline had already progressed before the snapshot was cut.
+  struct RestoreState {
+    uint64_t epoch = 0;          ///< published-ingest count at snapshot time
+    size_t ingested_docs = 0;    ///< docs beyond the original seed corpus
+    DocId next_id = 0;           ///< id watermark at snapshot time
+  };
+
+  /// Shared constructor body; the public constructor delegates with a
+  /// default RestoreState (fresh pipeline: epoch 0, everything is seed).
+  ServingPipeline(RelatedPostPipeline pipeline, ServingOptions options,
+                  RestoreState state);
+
   /// Lock-free half of ingestion: analyze + segment with the serving
   /// layer's own segmenter copy, never touching guarded pipeline state.
   PreparedPost prepare(DocId id, std::string text) const;
@@ -139,6 +197,12 @@ class ServingPipeline {
   /// Fingerprint of the wrapped matcher's options, precomputed once —
   /// the third cache-key component.
   uint64_t matcher_fingerprint_ = 0;
+  /// Write-ahead ingest log (nullptr = persistence disabled). Appends
+  /// happen under mu_'s exclusive lock, so WAL order == publication order
+  /// — the property replay correctness depends on.
+  std::unique_ptr<IngestWal> wal_;
+  /// Durability configuration (kept for save(): WAL truncation).
+  ServingPersistOptions persist_;
 };
 
 }  // namespace ibseg

@@ -4,6 +4,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "storage/format_util.h"
 #include "util/strings.h"
 
 namespace ibseg {
@@ -35,18 +36,6 @@ void write_int_list(std::ostream& os, const char* key,
   os << '\n';
 }
 
-// Parses "key v1 v2 ..." lines; returns false when the key mismatches.
-template <typename T>
-bool parse_list(const std::string& line, const std::string& key,
-                std::vector<T>* out) {
-  if (!starts_with(line, key)) return false;
-  std::istringstream ss(line.substr(key.size()));
-  T v;
-  out->clear();
-  while (ss >> v) out->push_back(v);
-  return !ss.bad();
-}
-
 }  // namespace
 
 std::string escape_text(const std::string& text) {
@@ -56,21 +45,34 @@ std::string escape_text(const std::string& text) {
     switch (c) {
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
+      // '\r' must be escaped too: Windows-origin forum dumps carry CRLF
+      // inside post bodies, and a raw '\r' at end of line would be
+      // swallowed by the CRLF-tolerant reader on reload (silent one-byte
+      // corruption that round-trips differently on different platforms).
+      case '\r': out += "\\r"; break;
       default: out.push_back(c);
     }
   }
   return out;
 }
 
-std::string unescape_text(const std::string& line) {
+std::optional<std::string> unescape_text(const std::string& line) {
   std::string out;
   out.reserve(line.size());
   for (size_t i = 0; i < line.size(); ++i) {
-    if (line[i] == '\\' && i + 1 < line.size()) {
-      ++i;
-      out.push_back(line[i] == 'n' ? '\n' : line[i]);
-    } else {
+    if (line[i] != '\\') {
       out.push_back(line[i]);
+      continue;
+    }
+    // A lone backslash at end of line has no escaped character — the file
+    // is truncated or corrupt. The old reader silently swallowed it.
+    if (i + 1 >= line.size()) return std::nullopt;
+    ++i;
+    switch (line[i]) {
+      case '\\': out.push_back('\\'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      default: return std::nullopt;  // unknown escape = corruption
     }
   }
   return out;
@@ -91,72 +93,79 @@ bool save_corpus(const SyntheticCorpus& corpus, std::ostream& os) {
     write_int_list(os, "intents", post.segment_intents);
     os << "text " << escape_text(post.text) << '\n';
   }
+  os.flush();
   return static_cast<bool>(os);
 }
 
 bool save_corpus_file(const SyntheticCorpus& corpus,
                       const std::string& path) {
-  std::ofstream os(path);
-  return os && save_corpus(corpus, os);
+  return atomic_write_file(
+      path, [&](std::ostream& os) { return save_corpus(corpus, os); });
 }
 
 std::optional<SyntheticCorpus> load_corpus(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || line != kMagic) return std::nullopt;
+  if (!read_line(is, &line) || line != kMagic) return std::nullopt;
 
   SyntheticCorpus corpus;
   size_t expected_posts = 0;
-  if (!std::getline(is, line) || !starts_with(line, "domain ")) {
+  if (!read_line(is, &line) || !starts_with(line, "domain ")) {
     return std::nullopt;
   }
   bool domain_ok = false;
   corpus.domain = domain_from_name(line.substr(7), &domain_ok);
   if (!domain_ok) return std::nullopt;
-  if (!std::getline(is, line) || !starts_with(line, "scenarios ")) {
+  if (!read_line(is, &line) ||
+      !parse_scalar(line, "scenarios", &corpus.num_scenarios)) {
     return std::nullopt;
   }
-  corpus.num_scenarios = std::strtoull(line.c_str() + 10, nullptr, 10);
-  if (!std::getline(is, line) || !starts_with(line, "posts ")) {
+  if (!read_line(is, &line) || !parse_scalar(line, "posts", &expected_posts)) {
     return std::nullopt;
   }
-  expected_posts = std::strtoull(line.c_str() + 6, nullptr, 10);
 
-  while (std::getline(is, line)) {
+  while (read_line(is, &line)) {
     if (line.empty()) continue;
     if (line != "post") return std::nullopt;
     GeneratedPost post;
-    if (!std::getline(is, line) || !starts_with(line, "scenario ")) {
+    if (!read_line(is, &line) ||
+        !parse_scalar(line, "scenario", &post.scenario_id)) {
       return std::nullopt;
     }
-    post.scenario_id = std::atoi(line.c_str() + 9);
-    if (!std::getline(is, line) || !starts_with(line, "component ")) {
+    if (!read_line(is, &line) ||
+        !parse_scalar(line, "component", &post.component_id)) {
       return std::nullopt;
     }
-    post.component_id = std::atoi(line.c_str() + 10);
-    if (!std::getline(is, line) ||
+    if (!read_line(is, &line) ||
         !parse_list(line, "contaminants", &post.contaminants)) {
       return std::nullopt;
     }
     post.contaminant_scenario =
         post.contaminants.empty() ? -1 : post.contaminants.front();
-    if (!std::getline(is, line) || !starts_with(line, "units ")) {
+    if (!read_line(is, &line) ||
+        !parse_scalar(line, "units", &post.true_segmentation.num_units)) {
       return std::nullopt;
     }
-    post.true_segmentation.num_units =
-        std::strtoull(line.c_str() + 6, nullptr, 10);
-    if (!std::getline(is, line) ||
+    if (!read_line(is, &line) ||
         !parse_list(line, "borders", &post.true_segmentation.borders)) {
       return std::nullopt;
     }
-    if (!std::getline(is, line) ||
+    if (!read_line(is, &line) ||
         !parse_list(line, "intents", &post.segment_intents)) {
       return std::nullopt;
     }
-    if (!std::getline(is, line) || !starts_with(line, "text ")) {
+    if (!read_line(is, &line) || !starts_with(line, "text ")) {
       return std::nullopt;
     }
-    post.text = unescape_text(line.substr(5));
+    std::optional<std::string> text = unescape_text(line.substr(5));
+    if (!text) return std::nullopt;
+    post.text = std::move(*text);
     if (!post.true_segmentation.is_valid()) return std::nullopt;
+    // One intent label per ground-truth segment — a short intents line
+    // (truncated file) must not produce a post with mismatched truth.
+    if (post.segment_intents.size() !=
+        post.true_segmentation.num_segments()) {
+      return std::nullopt;
+    }
     corpus.posts.push_back(std::move(post));
   }
   if (corpus.posts.size() != expected_posts) return std::nullopt;
@@ -164,7 +173,7 @@ std::optional<SyntheticCorpus> load_corpus(std::istream& is) {
 }
 
 std::optional<SyntheticCorpus> load_corpus_file(const std::string& path) {
-  std::ifstream is(path);
+  std::ifstream is(path, std::ios::binary);
   if (!is) return std::nullopt;
   return load_corpus(is);
 }
@@ -172,7 +181,7 @@ std::optional<SyntheticCorpus> load_corpus_file(const std::string& path) {
 std::vector<std::string> load_plain_posts(std::istream& is) {
   std::vector<std::string> posts;
   std::string line;
-  while (std::getline(is, line)) {
+  while (read_line(is, &line)) {
     std::string_view stripped = strip(line);
     if (!stripped.empty()) posts.emplace_back(stripped);
   }

@@ -20,7 +20,13 @@ namespace ibseg {
 ///  * `load_plain_posts` — one raw post per line (blank lines skipped),
 ///    the simplest way to bring your own forum dump.
 ///
-/// Texts are stored single-line with `\n` / `\\` escaping.
+/// Texts are stored single-line with `\n` / `\r` / `\\` escaping.
+///
+/// Robustness: loading is CRLF-tolerant (a file saved or transferred with
+/// Windows line endings parses identically), numeric lines reject trailing
+/// garbage and short reads, and the file writers replace the target
+/// atomically (temp file + rename) so a crash mid-save never destroys the
+/// previous good file.
 
 /// Writes `corpus` to `os`. Returns false on stream failure.
 bool save_corpus(const SyntheticCorpus& corpus, std::ostream& os);
@@ -38,11 +44,14 @@ std::optional<SyntheticCorpus> load_corpus_file(const std::string& path);
 /// Reads one post per non-empty line of `is`.
 std::vector<std::string> load_plain_posts(std::istream& is);
 
-/// Escapes newlines and backslashes so a text fits on one line.
+/// Escapes newlines, carriage returns and backslashes so a text fits on
+/// one line (and survives CRLF-translating transports).
 std::string escape_text(const std::string& text);
 
-/// Inverse of escape_text.
-std::string unescape_text(const std::string& line);
+/// Inverse of escape_text. Returns nullopt on a dangling trailing
+/// backslash or an unknown escape sequence — both indicate truncation or
+/// corruption, which the old signature silently papered over.
+std::optional<std::string> unescape_text(const std::string& line);
 
 }  // namespace ibseg
 

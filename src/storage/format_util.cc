@@ -1,0 +1,109 @@
+#include "storage/format_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <string>
+
+namespace ibseg {
+namespace {
+
+/// Byte-at-a-time CRC-32 table for the reflected IEEE polynomial
+/// 0xEDB88320, built once. Throughput is irrelevant here — snapshots are
+/// written rarely and WAL records are small — simplicity and zero
+/// dependencies win.
+const std::array<uint32_t, 256>& crc_table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// fsyncs the directory containing `path` so a rename into it is durable.
+/// Best-effort: some filesystems reject O_RDONLY directory fsync; the data
+/// file itself is already synced by then.
+void fsync_parent_dir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir;
+  if (slash == std::string::npos) {
+    dir = ".";
+  } else if (slash == 0) {
+    dir = "/";
+  } else {
+    dir = path.substr(0, slash);
+  }
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+bool read_line(std::istream& is, std::string* line) {
+  if (!std::getline(is, *line)) return false;
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
+}
+
+uint32_t crc32(const void* data, size_t len, uint32_t crc) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = crc_table();
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+bool atomic_write_file(const std::string& path,
+                       const std::function<bool(std::ostream&)>& writer) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os || !writer(os)) {
+      os.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+    os.flush();
+    // The stream must be healthy after the final flush — a full disk or
+    // I/O error surfaces here, before the previous good file is replaced.
+    if (!os) {
+      os.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  // Push the temp file's data to stable storage before the rename makes it
+  // the live file; otherwise a crash could leave a renamed-but-empty file.
+  int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd < 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  fsync_parent_dir(path);
+  return true;
+}
+
+}  // namespace ibseg

@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "storage/format_util.h"
 #include "util/strings.h"
 
 namespace ibseg {
@@ -73,52 +74,51 @@ bool save_snapshot(const PipelineSnapshot& snapshot, std::ostream& os) {
   os << "labels";
   for (int l : snapshot.segment_labels) os << ' ' << l;
   os << '\n';
+  os.flush();
   return static_cast<bool>(os);
 }
 
 bool save_snapshot_file(const PipelineSnapshot& snapshot,
                         const std::string& path) {
-  std::ofstream os(path);
-  return os && save_snapshot(snapshot, os);
+  return atomic_write_file(
+      path, [&](std::ostream& os) { return save_snapshot(snapshot, os); });
 }
 
 std::optional<PipelineSnapshot> load_snapshot(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || line != kMagic) return std::nullopt;
+  if (!read_line(is, &line) || line != kMagic) return std::nullopt;
   PipelineSnapshot snap;
-  if (!std::getline(is, line) || !starts_with(line, "clusters ")) {
+  if (!read_line(is, &line) ||
+      !parse_scalar(line, "clusters", &snap.num_clusters)) {
     return std::nullopt;
   }
-  snap.num_clusters = std::atoi(line.c_str() + 9);
-  if (!std::getline(is, line) || !starts_with(line, "documents ")) {
+  size_t documents = 0;
+  if (!read_line(is, &line) || !parse_scalar(line, "documents", &documents)) {
     return std::nullopt;
   }
-  size_t documents = std::strtoull(line.c_str() + 10, nullptr, 10);
   for (size_t d = 0; d < documents; ++d) {
-    if (!std::getline(is, line) || !starts_with(line, "seg ")) {
+    if (!read_line(is, &line)) return std::nullopt;
+    // "seg <num_units> <borders...>": parse as one strict list so a line
+    // with trailing garbage is rejected instead of truncated.
+    std::vector<size_t> values;
+    if (!parse_list(line, "seg", &values) || values.empty()) {
       return std::nullopt;
     }
-    std::istringstream ss(line.substr(4));
     Segmentation s;
-    if (!(ss >> s.num_units)) return std::nullopt;
-    size_t b;
-    while (ss >> b) s.borders.push_back(b);
+    s.num_units = values.front();
+    s.borders.assign(values.begin() + 1, values.end());
     snap.segmentations.push_back(std::move(s));
   }
-  if (!std::getline(is, line) || !starts_with(line, "labels")) {
+  if (!read_line(is, &line) ||
+      !parse_list(line, "labels", &snap.segment_labels)) {
     return std::nullopt;
-  }
-  {
-    std::istringstream ss(line.substr(6));
-    int l;
-    while (ss >> l) snap.segment_labels.push_back(l);
   }
   if (!snap.is_consistent()) return std::nullopt;
   return snap;
 }
 
 std::optional<PipelineSnapshot> load_snapshot_file(const std::string& path) {
-  std::ifstream is(path);
+  std::ifstream is(path, std::ios::binary);
   if (!is) return std::nullopt;
   return load_snapshot(is);
 }

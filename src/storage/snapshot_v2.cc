@@ -1,0 +1,350 @@
+#include "storage/snapshot_v2.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "storage/format_util.h"
+
+namespace ibseg {
+namespace {
+
+constexpr char kMagic[8] = {'I', 'B', 'S', 'G', 'S', 'N', 'P', '2'};
+constexpr uint32_t kVersion = 2;
+
+// Section ids. Unknown ids are rejected (the format is versioned; v2
+// readers read exactly v2 files).
+enum SectionId : uint32_t {
+  kSectionMeta = 1,
+  kSectionDocs = 2,
+  kSectionSegs = 3,
+  kSectionLabels = 4,
+  kSectionVocab = 5,
+};
+constexpr uint32_t kNumSections = 5;
+
+/// Hard ceiling on any single declared size; a corrupt length field must
+/// not turn into a multi-gigabyte allocation before the CRC check runs.
+constexpr uint64_t kMaxSaneSize = uint64_t{1} << 34;  // 16 GiB
+
+// ---- little-endian encode into / decode out of a byte buffer ----
+
+void put_u32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_u64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_bytes(std::string* out, const std::string& s) {
+  put_u64(out, s.size());
+  out->append(s);
+}
+
+/// Bounds-checked reader over a decoded section payload.
+class Cursor {
+ public:
+  Cursor(const std::string& data) : data_(data) {}
+
+  bool u32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(
+                static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool u64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(
+                static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool bytes(std::string* s) {
+    uint64_t len = 0;
+    if (!u64(&len) || len > kMaxSaneSize || pos_ + len > data_.size()) {
+      return false;
+    }
+    s->assign(data_, pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return true;
+  }
+
+  /// A fully consumed payload is part of the contract: trailing bytes in a
+  /// section mean a writer/reader disagreement, not padding.
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+bool write_section(std::ostream& os, uint32_t id, const std::string& payload) {
+  std::string header;
+  put_u32(&header, id);
+  put_u64(&header, payload.size());
+  put_u32(&header, crc32(payload.data(), payload.size()));
+  os.write(header.data(), static_cast<std::streamsize>(header.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  return static_cast<bool>(os);
+}
+
+/// Reads one section frame; returns false on truncation, an insane size or
+/// a CRC mismatch.
+bool read_section(std::istream& is, uint32_t* id, std::string* payload) {
+  char header[16];
+  if (!is.read(header, sizeof(header))) return false;
+  std::string hdr(header, sizeof(header));
+  Cursor c(hdr);
+  uint64_t size = 0;
+  uint32_t crc = 0;
+  if (!c.u32(id) || !c.u64(&size) || !c.u32(&crc)) return false;
+  if (size > kMaxSaneSize) return false;
+  payload->resize(static_cast<size_t>(size));
+  if (size > 0 &&
+      !is.read(payload->data(), static_cast<std::streamsize>(size))) {
+    return false;
+  }
+  return crc32(payload->data(), payload->size()) == crc;
+}
+
+}  // namespace
+
+bool ServingSnapshot::is_consistent() const {
+  if (doc_ids.size() != doc_texts.size() ||
+      doc_ids.size() != segmentations.size()) {
+    return false;
+  }
+  if (num_seed_docs > doc_ids.size()) return false;
+  size_t seed_segments = 0;
+  for (size_t d = 0; d < segmentations.size(); ++d) {
+    if (!segmentations[d].is_valid()) return false;
+    if (d < num_seed_docs && segmentations[d].num_units > 0) {
+      seed_segments += segmentations[d].num_segments();
+    }
+  }
+  if (seed_segments != seed_labels.size()) return false;
+  for (int l : seed_labels) {
+    if (l < 0 || l >= num_clusters) return false;
+  }
+  for (DocId id : doc_ids) {
+    if (id >= next_id) return false;
+  }
+  return true;
+}
+
+PipelineSnapshot ServingSnapshot::offline() const {
+  PipelineSnapshot snap;
+  snap.segmentations.assign(segmentations.begin(),
+                            segmentations.begin() + num_seed_docs);
+  snap.segment_labels = seed_labels;
+  snap.num_clusters = num_clusters;
+  return snap;
+}
+
+bool save_snapshot_v2(const ServingSnapshot& snapshot, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  std::string prologue;
+  put_u32(&prologue, kVersion);
+  put_u32(&prologue, kNumSections);
+  os.write(prologue.data(), static_cast<std::streamsize>(prologue.size()));
+
+  std::string meta;
+  put_u32(&meta, snapshot.num_seed_docs);
+  put_u64(&meta, snapshot.doc_ids.size());
+  put_u32(&meta, static_cast<uint32_t>(snapshot.num_clusters));
+  put_u32(&meta, snapshot.next_id);
+  if (!write_section(os, kSectionMeta, meta)) return false;
+
+  std::string docs;
+  for (size_t i = 0; i < snapshot.doc_ids.size(); ++i) {
+    put_u32(&docs, snapshot.doc_ids[i]);
+    put_bytes(&docs, snapshot.doc_texts[i]);
+  }
+  if (!write_section(os, kSectionDocs, docs)) return false;
+
+  std::string segs;
+  for (const Segmentation& s : snapshot.segmentations) {
+    put_u64(&segs, s.num_units);
+    put_u64(&segs, s.borders.size());
+    for (size_t b : s.borders) put_u64(&segs, b);
+  }
+  if (!write_section(os, kSectionSegs, segs)) return false;
+
+  std::string labels;
+  put_u64(&labels, snapshot.seed_labels.size());
+  for (int l : snapshot.seed_labels) {
+    put_u32(&labels, static_cast<uint32_t>(l));
+  }
+  if (!write_section(os, kSectionLabels, labels)) return false;
+
+  std::string vocab;
+  put_u64(&vocab, snapshot.vocab_terms.size());
+  for (const std::string& term : snapshot.vocab_terms) {
+    put_bytes(&vocab, term);
+  }
+  if (!write_section(os, kSectionVocab, vocab)) return false;
+
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+bool save_snapshot_v2_file(const ServingSnapshot& snapshot,
+                           const std::string& path, uint64_t* bytes_out) {
+  uint64_t bytes = 0;
+  bool ok = atomic_write_file(path, [&](std::ostream& os) {
+    if (!save_snapshot_v2(snapshot, os)) return false;
+    bytes = static_cast<uint64_t>(os.tellp());
+    return true;
+  });
+  if (ok && bytes_out != nullptr) *bytes_out = bytes;
+  return ok;
+}
+
+std::optional<ServingSnapshot> load_snapshot_v2(std::istream& is) {
+  char magic[sizeof(kMagic)];
+  if (!is.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  char prologue_raw[8];
+  if (!is.read(prologue_raw, sizeof(prologue_raw))) return std::nullopt;
+  std::string prologue(prologue_raw, sizeof(prologue_raw));
+  Cursor pc(prologue);
+  uint32_t version = 0;
+  uint32_t section_count = 0;
+  if (!pc.u32(&version) || !pc.u32(&section_count)) return std::nullopt;
+  if (version != kVersion || section_count != kNumSections) {
+    return std::nullopt;
+  }
+
+  std::string sections[kNumSections + 1];
+  bool seen[kNumSections + 1] = {};
+  for (uint32_t i = 0; i < section_count; ++i) {
+    uint32_t id = 0;
+    std::string payload;
+    if (!read_section(is, &id, &payload)) return std::nullopt;
+    if (id < 1 || id > kNumSections || seen[id]) return std::nullopt;
+    seen[id] = true;
+    sections[id] = std::move(payload);
+  }
+  // Trailing bytes after the declared sections are corruption, not slack.
+  if (is.peek() != std::istream::traits_type::eof()) return std::nullopt;
+
+  ServingSnapshot snap;
+  uint64_t num_docs = 0;
+  {
+    Cursor c(sections[kSectionMeta]);
+    uint32_t clusters = 0;
+    uint32_t next_id = 0;
+    if (!c.u32(&snap.num_seed_docs) || !c.u64(&num_docs) ||
+        !c.u32(&clusters) || !c.u32(&next_id) || !c.exhausted()) {
+      return std::nullopt;
+    }
+    if (num_docs > kMaxSaneSize) return std::nullopt;
+    snap.num_clusters = static_cast<int>(clusters);
+    snap.next_id = next_id;
+  }
+  {
+    Cursor c(sections[kSectionDocs]);
+    snap.doc_ids.reserve(static_cast<size_t>(num_docs));
+    snap.doc_texts.reserve(static_cast<size_t>(num_docs));
+    for (uint64_t i = 0; i < num_docs; ++i) {
+      uint32_t id = 0;
+      std::string text;
+      if (!c.u32(&id) || !c.bytes(&text)) return std::nullopt;
+      snap.doc_ids.push_back(id);
+      snap.doc_texts.push_back(std::move(text));
+    }
+    if (!c.exhausted()) return std::nullopt;
+  }
+  {
+    Cursor c(sections[kSectionSegs]);
+    snap.segmentations.reserve(static_cast<size_t>(num_docs));
+    for (uint64_t i = 0; i < num_docs; ++i) {
+      Segmentation s;
+      uint64_t units = 0;
+      uint64_t num_borders = 0;
+      if (!c.u64(&units) || !c.u64(&num_borders) ||
+          num_borders > kMaxSaneSize) {
+        return std::nullopt;
+      }
+      s.num_units = static_cast<size_t>(units);
+      s.borders.reserve(static_cast<size_t>(num_borders));
+      for (uint64_t b = 0; b < num_borders; ++b) {
+        uint64_t border = 0;
+        if (!c.u64(&border)) return std::nullopt;
+        s.borders.push_back(static_cast<size_t>(border));
+      }
+      snap.segmentations.push_back(std::move(s));
+    }
+    if (!c.exhausted()) return std::nullopt;
+  }
+  {
+    Cursor c(sections[kSectionLabels]);
+    uint64_t count = 0;
+    if (!c.u64(&count) || count > kMaxSaneSize) return std::nullopt;
+    snap.seed_labels.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t label = 0;
+      if (!c.u32(&label)) return std::nullopt;
+      snap.seed_labels.push_back(static_cast<int>(label));
+    }
+    if (!c.exhausted()) return std::nullopt;
+  }
+  {
+    Cursor c(sections[kSectionVocab]);
+    uint64_t count = 0;
+    if (!c.u64(&count) || count > kMaxSaneSize) return std::nullopt;
+    snap.vocab_terms.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string term;
+      if (!c.bytes(&term)) return std::nullopt;
+      snap.vocab_terms.push_back(std::move(term));
+    }
+    if (!c.exhausted()) return std::nullopt;
+  }
+
+  if (!snap.is_consistent()) return std::nullopt;
+  return snap;
+}
+
+std::optional<ServingSnapshot> load_snapshot_v2_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  return load_snapshot_v2(is);
+}
+
+std::optional<PipelineSnapshot> load_snapshot_any_file(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  char magic[sizeof(kMagic)];
+  if (is.read(magic, sizeof(magic)) &&
+      std::memcmp(magic, kMagic, sizeof(kMagic)) == 0) {
+    is.seekg(0);
+    auto v2 = load_snapshot_v2(is);
+    if (!v2) return std::nullopt;
+    return v2->offline();
+  }
+  // v1 text fallback.
+  is.clear();
+  is.seekg(0);
+  return load_snapshot(is);
+}
+
+}  // namespace ibseg

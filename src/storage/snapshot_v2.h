@@ -1,0 +1,91 @@
+#ifndef IBSEG_STORAGE_SNAPSHOT_V2_H_
+#define IBSEG_STORAGE_SNAPSHOT_V2_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "seg/document.h"
+#include "storage/snapshot.h"
+
+namespace ibseg {
+
+/// Binary snapshot v2: the complete durable state of a ServingPipeline,
+/// not just the offline phase. Where the v1 text snapshot stores only
+/// segmentations + labels (and relies on an external corpus file for the
+/// texts), v2 is self-contained and crash-evident:
+///
+///   magic "IBSGSNP2" | u32 version | u32 section count | sections...
+///   section := u32 id | u64 payload size | u32 CRC-32(payload) | payload
+///
+/// All integers are little-endian. Every section is CRC-framed, so any
+/// truncation or bit rot — including the mid-text truncations the v1 text
+/// formats cannot detect — fails the load instead of producing a mangled
+/// corpus. Files are written via atomic_write_file (temp + fsync + rename),
+/// so the previous snapshot survives a crash mid-save.
+///
+/// Contents: every document's id + raw text + segmentation (in pipeline
+/// order), the intention-cluster label of every *offline* segment, the
+/// vocabulary in interning order, and the id watermark. Documents beyond
+/// `num_seed_docs` were ingested online; their cluster assignment is not
+/// stored — on restore they are re-published through the same
+/// nearest-centroid ingest path that placed them originally, which is
+/// deterministic given the (restored) offline centroids and reproduces the
+/// exact pre-save matcher state.
+struct ServingSnapshot {
+  /// All documents, in pipeline (publication) order: ids, raw texts and
+  /// segmentations are parallel vectors.
+  std::vector<DocId> doc_ids;
+  std::vector<std::string> doc_texts;
+  std::vector<Segmentation> segmentations;
+  /// How many leading documents the offline clustering covers; the rest
+  /// were ingested online.
+  uint32_t num_seed_docs = 0;
+  /// Cluster label per segment of the first `num_seed_docs` segmentations,
+  /// flattened like PipelineSnapshot::segment_labels.
+  std::vector<int> seed_labels;
+  int num_clusters = 0;
+  /// Vocabulary terms in interning order; preloading them on restore pins
+  /// every TermId to its pre-save value.
+  std::vector<std::string> vocab_terms;
+  /// Id watermark at save time (>= every handed-out id, including ids
+  /// reserved by in-flight ingests that had not yet published).
+  DocId next_id = 1;
+
+  /// Structural validity: parallel vectors agree, every segmentation is
+  /// valid, the seed label count matches the seed segment count and every
+  /// label is within [0, num_clusters).
+  bool is_consistent() const;
+
+  /// The offline part in v1 form (seed segmentations + labels), e.g. for
+  /// RelatedPostPipeline::build_from_snapshot.
+  PipelineSnapshot offline() const;
+};
+
+/// Serializes `snapshot` to `os` (binary). Returns false on stream failure.
+bool save_snapshot_v2(const ServingSnapshot& snapshot, std::ostream& os);
+
+/// Writes `snapshot` to `path` atomically (temp file + fsync + rename). On
+/// success `*bytes_out` (if non-null) receives the encoded size. The
+/// previous file at `path` is untouched on any failure.
+bool save_snapshot_v2_file(const ServingSnapshot& snapshot,
+                           const std::string& path,
+                           uint64_t* bytes_out = nullptr);
+
+/// Parses a v2 snapshot. Returns nullopt on bad magic/version, any
+/// section CRC or size mismatch, truncation, or structural inconsistency.
+std::optional<ServingSnapshot> load_snapshot_v2(std::istream& is);
+std::optional<ServingSnapshot> load_snapshot_v2_file(const std::string& path);
+
+/// Version-sniffing loader for the offline pipeline state: reads the v2
+/// binary format when the magic matches, and falls back to the v1 text
+/// format otherwise — old snapshot files keep working everywhere a
+/// PipelineSnapshot is consumed.
+std::optional<PipelineSnapshot> load_snapshot_any_file(
+    const std::string& path);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_STORAGE_SNAPSHOT_V2_H_

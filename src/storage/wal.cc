@@ -1,0 +1,165 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "storage/format_util.h"
+
+namespace ibseg {
+namespace {
+
+/// Upper bound on one record's payload; a corrupt length field must look
+/// torn, not trigger a giant allocation. Far above any real forum post.
+constexpr uint32_t kMaxPayload = 64u << 20;  // 64 MiB
+
+void put_u32_raw(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t get_u32_raw(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
+}
+
+/// Writes all of `data`, retrying short writes. Returns false on error.
+bool write_fully(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::write(fd, data, len);
+    if (n < 0) return false;
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads the whole file into `out` (the WAL between snapshots is bounded
+/// by the ingest volume since the last save; reading it whole keeps the
+/// frame scan trivial). Returns false on read error.
+bool read_fully(int fd, std::string* out) {
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) return false;
+    if (n == 0) return true;
+    out->append(buf, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<IngestWal> IngestWal::open(const std::string& path,
+                                           const WalOptions& options,
+                                           std::vector<WalRecord>* replayed) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return nullptr;
+
+  std::string data;
+  if (!read_fully(fd, &data)) {
+    ::close(fd);
+    return nullptr;
+  }
+
+  // Scan frames; stop at the first invalid one — that offset becomes the
+  // new end of the log.
+  size_t pos = 0;
+  if (replayed != nullptr) replayed->clear();
+  while (data.size() - pos >= 8) {
+    const auto* p = reinterpret_cast<const unsigned char*>(data.data() + pos);
+    uint32_t len = get_u32_raw(p);
+    uint32_t crc = get_u32_raw(p + 4);
+    if (len < 4 || len > kMaxPayload || data.size() - pos - 8 < len) break;
+    const char* payload = data.data() + pos + 8;
+    if (crc32(payload, len) != crc) break;
+    if (replayed != nullptr) {
+      WalRecord rec;
+      rec.id = get_u32_raw(reinterpret_cast<const unsigned char*>(payload));
+      rec.text.assign(payload + 4, len - 4);
+      replayed->push_back(std::move(rec));
+    }
+    pos += 8 + len;
+  }
+
+  if (pos != data.size()) {
+    // Torn (or trailing-corrupt) tail: drop it so the next append starts
+    // on a clean frame boundary and recovery never sees it again.
+    if (::ftruncate(fd, static_cast<off_t>(pos)) != 0 ||
+        ::fsync(fd) != 0) {
+      ::close(fd);
+      return nullptr;
+    }
+  }
+  if (::lseek(fd, static_cast<off_t>(pos), SEEK_SET) < 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<IngestWal>(new IngestWal(fd, path, options));
+}
+
+IngestWal::~IngestWal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool IngestWal::write_frame(const WalRecord& record) {
+  std::string payload;
+  payload.reserve(4 + record.text.size());
+  put_u32_raw(&payload, record.id);
+  payload.append(record.text);
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  put_u32_raw(&frame, static_cast<uint32_t>(payload.size()));
+  put_u32_raw(&frame, crc32(payload.data(), payload.size()));
+  frame.append(payload);
+  // One write(2) for the whole frame: a process kill between appends can
+  // only tear the record currently being written, never an earlier one.
+  if (!write_fully(fd_, frame.data(), frame.size())) return false;
+  ++appended_;
+  ++unsynced_;
+  return true;
+}
+
+bool IngestWal::maybe_sync() {
+  switch (options_.fsync) {
+    case WalFsync::kNone:
+      return true;
+    case WalFsync::kEveryAppend:
+      return sync();
+    case WalFsync::kEveryN:
+      if (unsynced_ >= options_.fsync_every_n) return sync();
+      return true;
+  }
+  return true;
+}
+
+bool IngestWal::append(const WalRecord& record) {
+  return write_frame(record) && maybe_sync();
+}
+
+bool IngestWal::append_batch(const std::vector<WalRecord>& records) {
+  for (const WalRecord& record : records) {
+    if (!write_frame(record)) return false;
+  }
+  // One durability decision per batch; kEveryAppend still syncs once here
+  // (the batch publishes atomically, so per-record syncs buy nothing).
+  if (options_.fsync == WalFsync::kEveryAppend && !records.empty()) {
+    return sync();
+  }
+  return maybe_sync();
+}
+
+bool IngestWal::sync() {
+  if (::fsync(fd_) != 0) return false;
+  unsynced_ = 0;
+  return true;
+}
+
+bool IngestWal::reset() {
+  if (::ftruncate(fd_, 0) != 0) return false;
+  if (::lseek(fd_, 0, SEEK_SET) < 0) return false;
+  return sync();
+}
+
+}  // namespace ibseg

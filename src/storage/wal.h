@@ -1,0 +1,105 @@
+#ifndef IBSEG_STORAGE_WAL_H_
+#define IBSEG_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "seg/document.h"
+
+namespace ibseg {
+
+/// One logged ingest: the reserved document id and the raw post text —
+/// everything add_post needs to re-run deterministically on replay.
+struct WalRecord {
+  DocId id = 0;
+  std::string text;
+};
+
+/// When appends reach the disk platter, not just the page cache. Records
+/// always reach the kernel via write(2) per append (so a process crash —
+/// as opposed to an OS/power failure — loses nothing either way); fsync
+/// narrows the OS-crash window at the cost of latency inside the ingest
+/// publish path.
+enum class WalFsync {
+  kNone,        ///< never fsync; OS-crash may lose the page-cache tail
+  kEveryN,      ///< fsync every fsync_every_n appends (and on batch ends)
+  kEveryAppend  ///< fsync after every record; strongest, slowest
+};
+
+struct WalOptions {
+  WalFsync fsync = WalFsync::kEveryAppend;
+  /// Used when fsync == kEveryN.
+  size_t fsync_every_n = 64;
+};
+
+/// Write-ahead log of online ingests, the durability half of the serving
+/// layer's warm restart (snapshot v2 + WAL replay). Framing per record:
+///
+///   u32 payload length | u32 CRC-32(payload) | payload
+///   payload := u32 doc id | text bytes
+///
+/// (little-endian). open() replays every complete record and then
+/// truncates the file after the last one, so a torn tail — a record whose
+/// write was cut by a crash — is dropped, never replayed and never allowed
+/// to fail recovery. Appends go through a single full-frame write(2), so a
+/// process kill between appends can only ever tear the final record.
+///
+/// Not thread-safe: the serving layer serializes append()/reset() under
+/// its exclusive publication lock (which also makes WAL order identical to
+/// publication order — the property replay correctness rests on).
+class IngestWal {
+ public:
+  /// Opens (creating if absent) the log at `path`. Complete records land
+  /// in `*replayed` in append order, up to the first invalid frame (bad
+  /// length, short payload, or CRC mismatch); the file is truncated there,
+  /// so a torn tail is dropped instead of failing recovery. Replaying past
+  /// a gap would reorder publication, so everything after the first bad
+  /// frame is discarded with it. Returns nullptr only when the file cannot
+  /// be opened or the truncation itself fails.
+  static std::unique_ptr<IngestWal> open(const std::string& path,
+                                         const WalOptions& options,
+                                         std::vector<WalRecord>* replayed);
+
+  ~IngestWal();
+  IngestWal(const IngestWal&) = delete;
+  IngestWal& operator=(const IngestWal&) = delete;
+
+  /// Appends one record (one write(2) of the whole frame), then applies
+  /// the fsync policy. Returns false on write failure.
+  bool append(const WalRecord& record);
+
+  /// Appends a batch with at most one policy-driven fsync at the end —
+  /// batched ingests pay one durability wait, not one per post.
+  bool append_batch(const std::vector<WalRecord>& records);
+
+  /// Forces an fsync regardless of policy.
+  bool sync();
+
+  /// Truncates the log to empty — called right after a snapshot save has
+  /// made every logged record redundant. The truncation is fsync'd.
+  bool reset();
+
+  /// Records appended through this handle (excludes replayed ones).
+  uint64_t appended() const { return appended_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  IngestWal(int fd, std::string path, const WalOptions& options)
+      : fd_(fd), path_(std::move(path)), options_(options) {}
+
+  bool write_frame(const WalRecord& record);
+  bool maybe_sync();
+
+  int fd_ = -1;
+  std::string path_;
+  WalOptions options_;
+  uint64_t appended_ = 0;
+  size_t unsynced_ = 0;  ///< appends since the last fsync (kEveryN)
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_STORAGE_WAL_H_

@@ -1,0 +1,225 @@
+// Crash-injection suite (ctest label "killsafety"): a child process is
+// forked, ingests posts through the WAL-backed serving layer, and is
+// killed with _exit(2) mid-stream at a randomized point K. The parent
+// then performs the warm restart (snapshot v2 + WAL replay) and asserts
+// recovery lands on the EXACT pre-crash published state: epoch == K and
+// find_related answers bit-identical to a never-crashed reference that
+// restored the same snapshot and ingested the same first K posts.
+//
+// _exit skips every destructor and flush — the strongest process-death
+// model short of SIGKILL, and deterministic. The WAL writes each frame
+// with a single write(2) before publication, so a post whose add_post
+// returned must survive; a post mid-append may only ever be torn at the
+// tail, which replay truncates.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/serving.h"
+#include "datagen/post_generator.h"
+#include "storage/snapshot_v2.h"
+
+namespace ibseg {
+namespace {
+
+constexpr int kChildExitCode = 2;
+
+std::vector<Document> seed_docs() {
+  GeneratorOptions gen;
+  gen.num_posts = 18;
+  gen.posts_per_scenario = 3;
+  gen.seed = 4242;
+  return analyze_corpus(generate_corpus(gen));
+}
+
+std::vector<std::string> ingest_stream() {
+  GeneratorOptions gen;
+  gen.num_posts = 10;
+  gen.posts_per_scenario = 2;
+  gen.seed = 777;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  std::vector<std::string> texts;
+  for (const GeneratedPost& p : corpus.posts) texts.push_back(p.text);
+  return texts;
+}
+
+std::string tmp_path(const std::string& name) {
+  std::string path =
+      ::testing::TempDir() + "/ibseg_kill_" + name + "_" +
+      std::to_string(static_cast<long>(::getpid()));
+  std::remove(path.c_str());
+  return path;
+}
+
+/// Bit-identical comparison: both sides restored from the same snapshot
+/// and ran the same ingest code path, so even the floating-point scores
+/// must match exactly — any drift means recovery rebuilt different state.
+void expect_identical_answers(const ServingPipeline& a,
+                              const ServingPipeline& b) {
+  ASSERT_EQ(a.num_docs(), b.num_docs());
+  ASSERT_EQ(a.epoch(), b.epoch());
+  for (const Document& d : a.quiescent().docs()) {
+    auto ra = a.find_related(d.id(), 5);
+    auto rb = b.find_related(d.id(), 5);
+    ASSERT_EQ(ra.results.size(), rb.results.size()) << "query " << d.id();
+    for (size_t i = 0; i < ra.results.size(); ++i) {
+      ASSERT_EQ(ra.results[i].doc, rb.results[i].doc)
+          << "query " << d.id() << " rank " << i;
+      ASSERT_EQ(ra.results[i].score, rb.results[i].score)
+          << "query " << d.id() << " rank " << i;
+    }
+  }
+}
+
+/// Writes the base snapshot every trial starts from: a serving pipeline
+/// over the seed corpus, saved through the normal save() path.
+void write_base_snapshot(const std::string& snap_path) {
+  ServingPipeline serving(RelatedPostPipeline::build(seed_docs()));
+  ASSERT_TRUE(serving.save(snap_path));
+}
+
+/// One crash trial: child restores snapshot+WAL, ingests `crash_after`
+/// posts from the deterministic stream, then dies with _exit. Parent
+/// recovers and compares against a never-crashed reference at the same
+/// epoch. `torn_tail_bytes` is appended to the WAL between crash and
+/// recovery to additionally exercise torn-tail truncation.
+void run_crash_trial(size_t crash_after, const std::string& torn_tail_bytes) {
+  const std::vector<std::string> stream = ingest_stream();
+  ASSERT_LE(crash_after, stream.size());
+  std::string snap_path = tmp_path("snap");
+  std::string wal_path = tmp_path("wal");
+  write_base_snapshot(snap_path);
+
+  ServingOptions persist;
+  persist.persist.wal_path = wal_path;
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // ---- child: ingest, then die without any cleanup. No gtest
+    // assertions here — a child failure must surface as a wrong exit
+    // code, never as a confusingly duplicated test result.
+    auto serving = ServingPipeline::restore(snap_path, {}, persist);
+    if (serving == nullptr) _exit(42);
+    for (size_t i = 0; i < crash_after; ++i) {
+      serving->add_post(stream[i]);
+    }
+    _exit(kChildExitCode);  // mid-stream: destructors and flushes skipped
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), kChildExitCode);
+
+  if (!torn_tail_bytes.empty()) {
+    std::ofstream os(wal_path, std::ios::binary | std::ios::app);
+    os << torn_tail_bytes;
+  }
+
+  // ---- parent: warm restart from what the dead child left on disk.
+  auto recovered = ServingPipeline::restore(snap_path, {}, persist);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->epoch(), crash_after)
+      << "recovery must land on the exact pre-crash epoch";
+  EXPECT_EQ(recovered->num_docs(),
+            recovered->seed_docs() + recovered->epoch());
+
+  // Never-crashed reference: same snapshot, same first K ingests, no WAL.
+  auto reference = ServingPipeline::restore(snap_path);
+  ASSERT_NE(reference, nullptr);
+  for (size_t i = 0; i < crash_after; ++i) reference->add_post(stream[i]);
+  expect_identical_answers(*recovered, *reference);
+
+  // Recovery is stable: restoring again from the same files (the WAL now
+  // holds the same K records) reproduces the same state.
+  auto again = ServingPipeline::restore(snap_path, {}, persist);
+  ASSERT_NE(again, nullptr);
+  expect_identical_answers(*recovered, *again);
+
+  std::remove(snap_path.c_str());
+  std::remove(wal_path.c_str());
+}
+
+TEST(KillSafety, CrashAtRandomizedPoints) {
+  // Randomized but reproducible crash points across the stream, always
+  // including the boundaries (crash before any ingest / after all).
+  std::mt19937 rng(20260805);
+  std::uniform_int_distribution<size_t> point(1, ingest_stream().size() - 1);
+  std::vector<size_t> crash_points = {0, ingest_stream().size()};
+  for (int i = 0; i < 2; ++i) crash_points.push_back(point(rng));
+  for (size_t k : crash_points) {
+    SCOPED_TRACE("crash after " + std::to_string(k) + " ingests");
+    run_crash_trial(k, "");
+  }
+}
+
+TEST(KillSafety, TornWalTailIsTruncatedNeverReplayed) {
+  // Garbage after the last complete record — as if the process died
+  // mid-append. Recovery must drop the tail and still land on epoch K.
+  SCOPED_TRACE("garbage tail");
+  run_crash_trial(3, "torn-frame-garbage-bytes");
+  // A tail that *looks* like a frame header but lies about its length.
+  SCOPED_TRACE("fake header tail");
+  run_crash_trial(2, std::string("\xff\x00\x00\x00\x01\x02\x03\x04", 8));
+}
+
+TEST(KillSafety, CrashBetweenSnapshotAndWalTruncation) {
+  // The save()-time crash window: snapshot renamed, WAL not yet reset.
+  // Replay must skip every record already baked into the snapshot.
+  const std::vector<std::string> stream = ingest_stream();
+  std::string snap_path = tmp_path("snap_window");
+  std::string wal_path = tmp_path("wal_window");
+  write_base_snapshot(snap_path);
+  ServingOptions persist;
+  persist.persist.wal_path = wal_path;
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto serving = ServingPipeline::restore(snap_path, {}, persist);
+    if (serving == nullptr) _exit(42);
+    for (size_t i = 0; i < 4; ++i) serving->add_post(stream[i]);
+    // Simulate the torn save: capture the WAL, save (which truncates it),
+    // then put the stale WAL back — the on-disk state of a process that
+    // died after the rename but before the ftruncate hit the disk.
+    std::ifstream is(wal_path, std::ios::binary);
+    std::string stale((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    is.close();
+    if (!serving->save(snap_path)) _exit(43);
+    std::ofstream os(wal_path, std::ios::binary | std::ios::trunc);
+    os << stale;
+    os.flush();
+    _exit(kChildExitCode);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), kChildExitCode);
+
+  auto recovered = ServingPipeline::restore(snap_path, {}, persist);
+  ASSERT_NE(recovered, nullptr);
+  // The four posts are in the snapshot; the stale WAL's copies of them
+  // must be skipped, not published a second time.
+  EXPECT_EQ(recovered->epoch(), 4u);
+  EXPECT_EQ(recovered->num_docs(),
+            recovered->seed_docs() + recovered->epoch());
+
+  auto reference = ServingPipeline::restore(snap_path);
+  ASSERT_NE(reference, nullptr);
+  expect_identical_answers(*recovered, *reference);
+  std::remove(snap_path.c_str());
+  std::remove(wal_path.c_str());
+}
+
+}  // namespace
+}  // namespace ibseg

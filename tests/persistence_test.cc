@@ -1,0 +1,388 @@
+// Persistence tests (ctest label "storage"): the snapshot v2 binary
+// format, the ingest WAL, and ServingPipeline::save/restore. Crash
+// *injection* (fork + _exit mid-ingest) lives in kill_safety_test.cc;
+// this file covers the formats and the single-process recovery paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/serving.h"
+#include "datagen/post_generator.h"
+#include "storage/snapshot.h"
+#include "storage/snapshot_v2.h"
+#include "storage/wal.h"
+
+namespace ibseg {
+namespace {
+
+std::vector<Document> seed_docs(size_t num_posts = 24) {
+  GeneratorOptions gen;
+  gen.num_posts = num_posts;
+  gen.posts_per_scenario = 3;
+  gen.seed = 99;
+  return analyze_corpus(generate_corpus(gen));
+}
+
+std::vector<std::string> extra_posts(size_t count = 6) {
+  GeneratorOptions gen;
+  gen.num_posts = count;
+  gen.posts_per_scenario = 2;
+  gen.seed = 123;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  std::vector<std::string> texts;
+  for (const GeneratedPost& p : corpus.posts) texts.push_back(p.text);
+  return texts;
+}
+
+RelatedPostPipeline build_seed_pipeline(size_t num_posts = 24) {
+  return RelatedPostPipeline::build(seed_docs(num_posts));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& data) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << data;
+}
+
+size_t file_size(const std::string& path) { return read_file(path).size(); }
+
+/// Fresh per-test file path under gtest's temp dir.
+std::string tmp_path(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/ibseg_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// Expects identical answers (same docs, same ranking) with scores equal
+/// to within floating-point noise — the tolerance the existing snapshot-v1
+/// matcher test uses for original-vs-rebuilt comparisons.
+void expect_same_answers(const ServingPipeline& a, const ServingPipeline& b,
+                         double tolerance) {
+  ASSERT_EQ(a.num_docs(), b.num_docs());
+  for (const Document& d : a.quiescent().docs()) {
+    auto ra = a.find_related(d.id(), 5);
+    auto rb = b.find_related(d.id(), 5);
+    ASSERT_EQ(ra.results.size(), rb.results.size()) << "query " << d.id();
+    for (size_t i = 0; i < ra.results.size(); ++i) {
+      EXPECT_EQ(ra.results[i].doc, rb.results[i].doc)
+          << "query " << d.id() << " rank " << i;
+      if (tolerance == 0.0) {
+        EXPECT_EQ(ra.results[i].score, rb.results[i].score)
+            << "query " << d.id() << " rank " << i;
+      } else {
+        EXPECT_NEAR(ra.results[i].score, rb.results[i].score, tolerance)
+            << "query " << d.id() << " rank " << i;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- snapshot v2 ----
+
+TEST(SnapshotV2, SaveRestoreRoundTrip) {
+  std::string path = tmp_path("snap_roundtrip");
+  ServingPipeline serving(build_seed_pipeline());
+  size_t seed = serving.seed_docs();
+  for (const std::string& text : extra_posts()) serving.add_post(text);
+  ASSERT_TRUE(serving.save(path));
+
+  auto snap = load_snapshot_v2_file(path);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_TRUE(snap->is_consistent());
+  EXPECT_EQ(snap->doc_ids.size(), serving.num_docs());
+  EXPECT_EQ(snap->num_seed_docs, seed);
+  EXPECT_EQ(snap->next_id, serving.next_id());
+  EXPECT_FALSE(snap->vocab_terms.empty());
+  EXPECT_GT(snap->num_clusters, 0);
+  // Labels cover exactly the seed segments, not the ingested tail.
+  size_t seed_segments = 0;
+  for (size_t d = 0; d < seed; ++d) {
+    seed_segments += snap->segmentations[d].num_segments();
+  }
+  EXPECT_EQ(snap->seed_labels.size(), seed_segments);
+
+  auto restored = ServingPipeline::restore(path);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->seed_docs(), seed);
+  EXPECT_EQ(restored->epoch(), serving.epoch());
+  EXPECT_EQ(restored->num_docs(), serving.num_docs());
+  EXPECT_GE(restored->next_id(), serving.next_id());
+  expect_same_answers(serving, *restored, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV2, RestoredPipelineKeepsServing) {
+  std::string path = tmp_path("snap_keeps_serving");
+  ServingPipeline serving(build_seed_pipeline(12));
+  ASSERT_TRUE(serving.save(path));
+  auto restored = ServingPipeline::restore(path);
+  ASSERT_NE(restored, nullptr);
+  // Ids keep incrementing past the snapshot watermark; the invariant
+  // num_docs == seed_docs + epoch survives the restart.
+  DocId id = restored->add_post("the printer fails after the latest update");
+  EXPECT_GE(id, serving.next_id());
+  EXPECT_EQ(restored->num_docs(), restored->seed_docs() + restored->epoch());
+  auto r = restored->find_related(id, 3);
+  EXPECT_EQ(r.num_docs, restored->num_docs());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV2, EveryPrefixIsRejected) {
+  std::string path = tmp_path("snap_prefix");
+  ServingPipeline serving(build_seed_pipeline(6));
+  ASSERT_TRUE(serving.save(path));
+  const std::string data = read_file(path);
+  ASSERT_GT(data.size(), 16u);
+  for (size_t len = 0; len < data.size(); ++len) {
+    std::istringstream prefix(data.substr(0, len));
+    EXPECT_FALSE(load_snapshot_v2(prefix).has_value()) << "prefix " << len;
+  }
+  std::istringstream full(data);
+  EXPECT_TRUE(load_snapshot_v2(full).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV2, SingleByteCorruptionIsRejected) {
+  std::string path = tmp_path("snap_bitflip");
+  ServingPipeline serving(build_seed_pipeline(6));
+  ASSERT_TRUE(serving.save(path));
+  std::string data = read_file(path);
+  // Flip one byte at a stride of positions across the whole file — magic,
+  // section headers, stored CRCs and payloads alike; every flip must fail
+  // the load (this is the detection the v1 text formats cannot give).
+  for (size_t pos = 0; pos < data.size(); pos += 13) {
+    std::string corrupt = data;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
+    std::istringstream is(corrupt);
+    EXPECT_FALSE(load_snapshot_v2(is).has_value()) << "byte " << pos;
+  }
+  // Trailing garbage after the last section is also rejected.
+  std::istringstream padded(data + "x");
+  EXPECT_FALSE(load_snapshot_v2(padded).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV2, AnyLoaderFallsBackToV1) {
+  // A v1 text snapshot keeps loading through the sniffing loader.
+  RelatedPostPipeline pipeline = build_seed_pipeline(8);
+  PipelineSnapshot v1 = pipeline.snapshot();
+  std::string v1_path = tmp_path("snap_any_v1");
+  ASSERT_TRUE(save_snapshot_file(v1, v1_path));
+  auto via_any = load_snapshot_any_file(v1_path);
+  ASSERT_TRUE(via_any.has_value());
+  EXPECT_EQ(via_any->segment_labels, v1.segment_labels);
+  EXPECT_EQ(via_any->num_clusters, v1.num_clusters);
+
+  // And a v2 file yields its offline part through the same entry point.
+  std::string v2_path = tmp_path("snap_any_v2");
+  ServingPipeline serving(std::move(pipeline));
+  ASSERT_TRUE(serving.save(v2_path));
+  auto offline = load_snapshot_any_file(v2_path);
+  ASSERT_TRUE(offline.has_value());
+  EXPECT_TRUE(offline->is_consistent());
+  EXPECT_EQ(offline->segmentations.size(), serving.seed_docs());
+
+  // Garbage matches neither format.
+  std::string bad_path = tmp_path("snap_any_bad");
+  write_file(bad_path, "neither format");
+  EXPECT_FALSE(load_snapshot_any_file(bad_path).has_value());
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+// --------------------------------------------------------------- WAL ----
+
+TEST(Wal, AppendThenReplay) {
+  std::string path = tmp_path("wal_replay");
+  std::vector<WalRecord> records = {
+      {7, "first post text"}, {8, ""}, {9, "text with \n newline \\ slash"}};
+  {
+    std::vector<WalRecord> replayed;
+    auto wal = IngestWal::open(path, WalOptions{}, &replayed);
+    ASSERT_NE(wal, nullptr);
+    EXPECT_TRUE(replayed.empty());
+    for (const WalRecord& r : records) ASSERT_TRUE(wal->append(r));
+    EXPECT_EQ(wal->appended(), 3u);
+  }
+  std::vector<WalRecord> replayed;
+  auto wal = IngestWal::open(path, WalOptions{}, &replayed);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_EQ(replayed.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(replayed[i].id, records[i].id);
+    EXPECT_EQ(replayed[i].text, records[i].text);
+  }
+  EXPECT_EQ(wal->appended(), 0u);  // replays don't count as appends
+  std::remove(path.c_str());
+}
+
+TEST(Wal, TornTailIsTruncatedNotReplayed) {
+  std::string path = tmp_path("wal_torn");
+  {
+    std::vector<WalRecord> replayed;
+    auto wal = IngestWal::open(path, WalOptions{}, &replayed);
+    ASSERT_NE(wal, nullptr);
+    ASSERT_TRUE(wal->append({1, "intact record one"}));
+    ASSERT_TRUE(wal->append({2, "intact record two"}));
+  }
+  const std::string intact = read_file(path);
+
+  // (a) garbage appended after the last complete record;
+  // (b) a record torn mid-payload;
+  // (c) a record torn inside the 8-byte frame header.
+  const std::string torn_cases[] = {
+      intact + std::string("\x2a\x00\x00\x00garbage-not-a-frame", 23),
+      intact + std::string("\x10\x00\x00\x00\xde\xad\xbe\xef half", 13),
+      intact + std::string("\x10\x00\x00", 3),
+  };
+  for (const std::string& torn : torn_cases) {
+    write_file(path, torn);
+    std::vector<WalRecord> replayed;
+    auto wal = IngestWal::open(path, WalOptions{}, &replayed);
+    ASSERT_NE(wal, nullptr);
+    ASSERT_EQ(replayed.size(), 2u);
+    EXPECT_EQ(replayed[0].text, "intact record one");
+    EXPECT_EQ(replayed[1].text, "intact record two");
+    // The torn tail was physically truncated, so the next open (and any
+    // append in between) starts from a clean end-of-log.
+    EXPECT_EQ(file_size(path), intact.size());
+  }
+
+  // A corrupted byte *inside* an earlier record drops that record AND
+  // everything after it — replaying past a gap would reorder publication.
+  std::string mid_corrupt = intact;
+  mid_corrupt[10] = static_cast<char>(mid_corrupt[10] ^ 0x01);
+  write_file(path, mid_corrupt);
+  std::vector<WalRecord> replayed;
+  auto wal = IngestWal::open(path, WalOptions{}, &replayed);
+  ASSERT_NE(wal, nullptr);
+  EXPECT_TRUE(replayed.empty());
+  EXPECT_EQ(file_size(path), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Wal, ResetEmptiesTheLog) {
+  std::string path = tmp_path("wal_reset");
+  std::vector<WalRecord> replayed;
+  auto wal = IngestWal::open(path, WalOptions{}, &replayed);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_TRUE(wal->append({1, "soon to be obsolete"}));
+  ASSERT_GT(file_size(path), 0u);
+  ASSERT_TRUE(wal->reset());
+  EXPECT_EQ(file_size(path), 0u);
+  // The log keeps working after a reset.
+  ASSERT_TRUE(wal->append({2, "post-reset record"}));
+  wal.reset();
+  std::vector<WalRecord> replayed2;
+  auto wal2 = IngestWal::open(path, WalOptions{}, &replayed2);
+  ASSERT_NE(wal2, nullptr);
+  ASSERT_EQ(replayed2.size(), 1u);
+  EXPECT_EQ(replayed2[0].id, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Wal, FsyncPoliciesAllPersist) {
+  for (WalFsync policy :
+       {WalFsync::kNone, WalFsync::kEveryN, WalFsync::kEveryAppend}) {
+    std::string path = tmp_path("wal_policy");
+    WalOptions opts;
+    opts.fsync = policy;
+    opts.fsync_every_n = 2;
+    {
+      std::vector<WalRecord> replayed;
+      auto wal = IngestWal::open(path, opts, &replayed);
+      ASSERT_NE(wal, nullptr);
+      std::vector<WalRecord> batch = {{1, "a"}, {2, "b"}, {3, "c"}};
+      ASSERT_TRUE(wal->append_batch(batch));
+      EXPECT_EQ(wal->appended(), 3u);
+    }
+    std::vector<WalRecord> replayed;
+    auto wal = IngestWal::open(path, opts, &replayed);
+    ASSERT_NE(wal, nullptr);
+    EXPECT_EQ(replayed.size(), 3u);
+    std::remove(path.c_str());
+  }
+}
+
+// ----------------------------------------------- serving + WAL wiring ----
+
+TEST(ServingPersistence, WalReplayRebuildsIdenticalState) {
+  std::string wal_path = tmp_path("serving_wal_replay");
+  ServingOptions with_wal;
+  with_wal.persist.wal_path = wal_path;
+  std::vector<std::string> extras = extra_posts();
+
+  auto original =
+      std::make_unique<ServingPipeline>(build_seed_pipeline(), with_wal);
+  for (const std::string& text : extras) original->add_post(text);
+
+  // Reference: the same ingests with no persistence at all.
+  ServingPipeline reference(build_seed_pipeline());
+  for (const std::string& text : extras) reference.add_post(text);
+  expect_same_answers(*original, reference, 0.0);
+
+  // "Restart": a fresh pipeline over the same seed corpus plus the WAL.
+  original.reset();
+  ServingPipeline recovered(build_seed_pipeline(), with_wal);
+  EXPECT_EQ(recovered.epoch(), extras.size());
+  EXPECT_EQ(recovered.num_docs(), recovered.seed_docs() + recovered.epoch());
+  expect_same_answers(recovered, reference, 0.0);
+  std::remove(wal_path.c_str());
+}
+
+TEST(ServingPersistence, SaveTruncatesWalAndRestoreSkipsDuplicates) {
+  std::string wal_path = tmp_path("serving_wal_dup");
+  std::string snap_path = tmp_path("serving_snap_dup");
+  ServingOptions with_wal;
+  with_wal.persist.wal_path = wal_path;
+  std::vector<std::string> extras = extra_posts();
+
+  auto serving =
+      std::make_unique<ServingPipeline>(build_seed_pipeline(), with_wal);
+  for (const std::string& text : extras) serving->add_post(text);
+  ASSERT_GT(file_size(wal_path), 0u);
+  const std::string wal_before_save = read_file(wal_path);
+  ASSERT_TRUE(serving->save(snap_path));
+  // save() bakes every logged record into the snapshot and empties the log.
+  EXPECT_EQ(file_size(wal_path), 0u);
+  const uint64_t epoch_at_save = serving->epoch();
+  serving.reset();
+
+  // Crash window: snapshot renamed but the WAL truncation never happened.
+  // Restore must skip the already-snapshotted records — no double publish.
+  write_file(wal_path, wal_before_save);
+  auto recovered = ServingPipeline::restore(snap_path, {}, with_wal);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->epoch(), epoch_at_save);
+  EXPECT_EQ(recovered->num_docs(),
+            recovered->seed_docs() + recovered->epoch());
+
+  ServingPipeline reference(build_seed_pipeline());
+  for (const std::string& text : extras) reference.add_post(text);
+  expect_same_answers(*recovered, reference, 1e-9);
+  std::remove(wal_path.c_str());
+  std::remove(snap_path.c_str());
+}
+
+TEST(ServingPersistence, RestoreRejectsMissingOrCorruptSnapshot) {
+  EXPECT_EQ(ServingPipeline::restore(tmp_path("no_such_snapshot")), nullptr);
+  std::string path = tmp_path("corrupt_snapshot");
+  write_file(path, "IBSGSNP2 but then nonsense");
+  EXPECT_EQ(ServingPipeline::restore(path), nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ibseg

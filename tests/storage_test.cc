@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <random>
 #include <sstream>
 
 #include "cluster/intention_clusters.h"
@@ -9,6 +12,7 @@
 #include "index/intention_matcher.h"
 #include "seg/segmenter.h"
 #include "storage/corpus_io.h"
+#include "storage/format_util.h"
 #include "storage/snapshot.h"
 
 namespace ibseg {
@@ -29,6 +33,117 @@ TEST(CorpusIo, EscapeRoundTrip) {
   EXPECT_EQ(unescape_text(escape_text(nasty)), nasty);
   EXPECT_EQ(escape_text("plain"), "plain");
   EXPECT_EQ(escape_text("a\nb"), "a\\nb");
+}
+
+TEST(CorpusIo, EscapesCarriageReturn) {
+  // A raw '\r' in a stored text would be silently eaten by the
+  // CRLF-tolerant loader; the writer must escape it.
+  EXPECT_EQ(escape_text("a\rb"), "a\\rb");
+  EXPECT_EQ(escape_text("crlf\r\n"), "crlf\\r\\n");
+  std::string s = "mixed\rline\nend\r";
+  std::string escaped = escape_text(s);
+  EXPECT_EQ(escaped.find('\r'), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(unescape_text(escaped), s);
+}
+
+TEST(CorpusIo, UnescapeRejectsDanglingBackslash) {
+  EXPECT_FALSE(unescape_text("truncated mid-escape\\").has_value());
+  EXPECT_FALSE(unescape_text("\\").has_value());
+  EXPECT_FALSE(unescape_text("unknown escape \\t").has_value());
+  // Well-formed inputs still pass.
+  EXPECT_TRUE(unescape_text("trailing double \\\\").has_value());
+  EXPECT_TRUE(unescape_text("").has_value());
+}
+
+TEST(CorpusIo, EscapeRoundTripRandomBytes) {
+  // Property test: escape/unescape is a bijection on arbitrary byte
+  // strings (including NULs, high bytes, '\r', '\n' and backslash runs),
+  // and the escaped form never contains a line break.
+  std::mt19937 rng(20260805);
+  std::uniform_int_distribution<int> len_dist(0, 64);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  // Bias toward the interesting bytes so runs of them are common.
+  const char special[] = {'\\', '\n', '\r', 'n', 'r', '\0'};
+  std::uniform_int_distribution<int> special_dist(0, 5);
+  std::bernoulli_distribution pick_special(0.4);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string s;
+    int len = len_dist(rng);
+    for (int i = 0; i < len; ++i) {
+      s.push_back(pick_special(rng)
+                      ? special[special_dist(rng)]
+                      : static_cast<char>(byte_dist(rng)));
+    }
+    std::string escaped = escape_text(s);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << trial;
+    EXPECT_EQ(escaped.find('\r'), std::string::npos) << trial;
+    auto back = unescape_text(escaped);
+    ASSERT_TRUE(back.has_value()) << trial;
+    EXPECT_EQ(*back, s) << trial;
+  }
+}
+
+// ------------------------------------------------------- format helpers ----
+
+TEST(FormatUtil, ReadLineStripsCr) {
+  std::istringstream is("plain\ncrlf\r\nonly-cr-kept\rx\nlast");
+  std::string line;
+  ASSERT_TRUE(read_line(is, &line));
+  EXPECT_EQ(line, "plain");
+  ASSERT_TRUE(read_line(is, &line));
+  EXPECT_EQ(line, "crlf");
+  ASSERT_TRUE(read_line(is, &line));
+  EXPECT_EQ(line, "only-cr-kept\rx");  // interior \r is data, not a break
+  ASSERT_TRUE(read_line(is, &line));
+  EXPECT_EQ(line, "last");
+  EXPECT_FALSE(read_line(is, &line));
+}
+
+TEST(FormatUtil, ParseListStrict) {
+  std::vector<int> out;
+  EXPECT_TRUE(parse_list(std::string("labels 0 1 2"), "labels", &out));
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  // Trailing whitespace is fine; trailing garbage is not.
+  EXPECT_TRUE(parse_list(std::string("labels 0 1 "), "labels", &out));
+  EXPECT_FALSE(parse_list(std::string("labels 0 1 x"), "labels", &out));
+  EXPECT_FALSE(parse_list(std::string("labels 0 1.5"), "labels", &out));
+  EXPECT_FALSE(parse_list(std::string("wrong 0 1"), "labels", &out));
+  // Empty list parses (consistency checks reject it later if wrong).
+  EXPECT_TRUE(parse_list(std::string("labels"), "labels", &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FormatUtil, Crc32KnownVector) {
+  // The classic check value for the IEEE reflected polynomial.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(FormatUtil, AtomicWriteKeepsPreviousFileOnFailure) {
+  std::string path = ::testing::TempDir() + "/ibseg_atomic_write_test";
+  ASSERT_TRUE(atomic_write_file(path, [](std::ostream& os) {
+    os << "old contents";
+    return true;
+  }));
+  // A writer that reports failure must leave the old file untouched.
+  ASSERT_FALSE(atomic_write_file(path, [](std::ostream& os) {
+    os << "half-written new";
+    return false;
+  }));
+  std::ifstream is(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "old contents");
+  std::remove(path.c_str());
+}
+
+TEST(FormatUtil, AtomicWriteFailsOnMissingDirectory) {
+  EXPECT_FALSE(atomic_write_file("/nonexistent-ibseg-dir/file",
+                                 [](std::ostream& os) {
+                                   os << "x";
+                                   return true;
+                                 }));
 }
 
 // --------------------------------------------------------- corpus io ----
@@ -201,6 +316,136 @@ TEST(Snapshot, RejectsInconsistentInput) {
   EXPECT_FALSE(load_snapshot(bad).has_value());  // label 5 out of range
   std::stringstream garbage("nope");
   EXPECT_FALSE(load_snapshot(garbage).has_value());
+}
+
+TEST(Snapshot, RejectsTrailingGarbageOnNumericLines) {
+  std::stringstream seg_garbage(
+      "IBSEG-SNAPSHOT v1\nclusters 2\ndocuments 1\nseg 3 1 oops\nlabels 0 1\n");
+  EXPECT_FALSE(load_snapshot(seg_garbage).has_value());
+  std::stringstream label_garbage(
+      "IBSEG-SNAPSHOT v1\nclusters 2\ndocuments 1\nseg 3 1\nlabels 0 1 x\n");
+  EXPECT_FALSE(load_snapshot(label_garbage).has_value());
+}
+
+// ------------------------------------------------- CRLF / truncation ----
+
+/// Rewrites every LF line ending as CRLF — what a Windows checkout or a
+/// text-mode transfer does to these files.
+std::string to_crlf(const std::string& data) {
+  std::string out;
+  out.reserve(data.size());
+  for (char c : data) {
+    if (c == '\n') out += '\r';
+    out += c;
+  }
+  return out;
+}
+
+TEST(CorpusIo, LoadsCrlfFiles) {
+  SyntheticCorpus corpus = sample_corpus();
+  std::stringstream ss;
+  ASSERT_TRUE(save_corpus(corpus, ss));
+  std::stringstream crlf(to_crlf(ss.str()));
+  auto loaded = load_corpus(crlf);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->posts.size(), corpus.posts.size());
+  for (size_t i = 0; i < corpus.posts.size(); ++i) {
+    EXPECT_EQ(loaded->posts[i].text, corpus.posts[i].text) << i;
+    EXPECT_EQ(loaded->posts[i].true_segmentation,
+              corpus.posts[i].true_segmentation);
+  }
+}
+
+TEST(CorpusIo, LoadPlainPostsCrlf) {
+  std::stringstream ss("first post\r\n\r\n  second post  \r\n");
+  auto posts = load_plain_posts(ss);
+  ASSERT_EQ(posts.size(), 2u);
+  EXPECT_EQ(posts[0], "first post");
+  EXPECT_EQ(posts[1], "second post");
+}
+
+TEST(Snapshot, LoadsCrlfFiles) {
+  Built b = build_pipeline_state();
+  PipelineSnapshot snap = make_snapshot(b.segs, b.clustering);
+  std::stringstream ss;
+  ASSERT_TRUE(save_snapshot(snap, ss));
+  std::stringstream crlf(to_crlf(ss.str()));
+  auto loaded = load_snapshot(crlf);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_clusters, snap.num_clusters);
+  EXPECT_EQ(loaded->segment_labels, snap.segment_labels);
+  ASSERT_EQ(loaded->segmentations.size(), snap.segmentations.size());
+  for (size_t d = 0; d < snap.segmentations.size(); ++d) {
+    EXPECT_EQ(loaded->segmentations[d], snap.segmentations[d]);
+  }
+}
+
+TEST(Snapshot, EveryPrefixOfTruncatedFileIsRejected) {
+  // Single-digit units/borders/labels so that chopping any byte changes a
+  // count some later validation checks — the v1 text format's detection
+  // limit (multi-digit values truncated mid-number are undetectable in
+  // v1; snapshot v2's CRC framing closes that hole).
+  PipelineSnapshot snap;
+  snap.num_clusters = 3;
+  for (int d = 0; d < 3; ++d) {
+    Segmentation s;
+    s.num_units = 6;
+    s.borders = {2, 4};
+    snap.segmentations.push_back(s);
+    snap.segment_labels.push_back(0);
+    snap.segment_labels.push_back(1);
+    snap.segment_labels.push_back(2);
+  }
+  ASSERT_TRUE(snap.is_consistent());
+  std::stringstream ss;
+  ASSERT_TRUE(save_snapshot(snap, ss));
+  const std::string data = ss.str();
+  // The final byte is the trailing newline: dropping only it still parses
+  // (getline tolerates a missing final terminator), so every *strictly
+  // shorter* prefix must be rejected.
+  for (size_t len = 0; len + 1 < data.size(); ++len) {
+    std::stringstream prefix(data.substr(0, len));
+    EXPECT_FALSE(load_snapshot(prefix).has_value()) << "prefix len " << len;
+  }
+  std::stringstream full(data);
+  EXPECT_TRUE(load_snapshot(full).has_value());
+}
+
+TEST(CorpusIo, TruncationPrefixesAreRejected) {
+  GeneratorOptions gen;
+  gen.num_posts = 4;
+  gen.seed = 7;
+  SyntheticCorpus corpus = generate_corpus(gen);
+  std::stringstream ss;
+  ASSERT_TRUE(save_corpus(corpus, ss));
+  const std::string data = ss.str();
+  // The file ends with the last post's "text <escaped>" line. Cutting
+  // inside that free-form payload just yields a shorter (still valid)
+  // text — the v1 text format's inherent detection limit, which snapshot
+  // v2's CRC framing exists to close. Every cut point up to and including
+  // the truncated keyword "text" itself must be rejected.
+  size_t last_text = data.rfind("\ntext ");
+  ASSERT_NE(last_text, std::string::npos);
+  for (size_t len = 0; len <= last_text + 5; ++len) {
+    std::stringstream prefix(data.substr(0, len));
+    EXPECT_FALSE(load_corpus(prefix).has_value()) << "prefix len " << len;
+  }
+  std::stringstream full(data);
+  EXPECT_TRUE(load_corpus(full).has_value());
+}
+
+TEST(Snapshot, SaveFileIsAtomicAndLoadable) {
+  Built b = build_pipeline_state();
+  PipelineSnapshot snap = make_snapshot(b.segs, b.clustering);
+  std::string path = ::testing::TempDir() + "/ibseg_snapshot_v1_test";
+  ASSERT_TRUE(save_snapshot_file(snap, path));
+  auto loaded = load_snapshot_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->segment_labels, snap.segment_labels);
+  // Unwritable target: reports failure, leaves the good file alone.
+  EXPECT_FALSE(save_snapshot_file(snap, "/nonexistent-ibseg-dir/snap"));
+  EXPECT_TRUE(load_snapshot_file(path).has_value());
+  std::remove(path.c_str());
 }
 
 }  // namespace
