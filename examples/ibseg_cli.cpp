@@ -42,6 +42,15 @@
 //   ibseg_cli --save=state.snap query posts.corpus 0 5   # cold start, save
 //   ibseg_cli --restore=state.snap --wal=ingest.wal query posts.corpus 0 5
 //
+// `--shards=N` serves the query through N hash-partitioned shards behind
+// the scatter-gather layer (core/sharded_serving.h) — results are
+// bit-identical to unsharded serving at any N. With --shards, --save/
+// --restore name a sharded state *directory* (per-shard snapshots + WALs,
+// publication journal, manifest) instead of a single snapshot file:
+//
+//   ibseg_cli --shards=4 --save=state.d query posts.corpus 0 5
+//   ibseg_cli --shards=4 --restore=state.d query posts.corpus 0 5
+//
 // Corpus files are either the ibseg corpus format (from `generate`) or a
 // plain text file with one post per line.
 
@@ -54,6 +63,7 @@
 #include <string>
 
 #include "core/serving.h"
+#include "core/sharded_serving.h"
 #include "obs/metrics.h"
 #include "storage/corpus_io.h"
 #include "storage/snapshot.h"
@@ -69,6 +79,7 @@ size_t g_cache_capacity = 0;  // --cache[=N]: result-cache capacity, 0 = off
 std::string g_save_path;      // --save=PATH: write snapshot v2 after query
 std::string g_restore_path;   // --restore=PATH: warm-start from snapshot v2
 std::string g_wal_path;       // --wal=PATH: attach the write-ahead ingest log
+int g_num_shards = 1;         // --shards=N: hash-partitioned scatter-gather
 
 int usage() {
   std::fprintf(stderr,
@@ -95,7 +106,11 @@ int usage() {
                "  --restore=PATH   (query) warm-start from a snapshot v2\n"
                "                   instead of recomputing the offline phase\n"
                "  --wal=PATH       (query) write-ahead ingest log: replayed\n"
-               "                   on start, appended before publication\n");
+               "                   on start, appended before publication\n"
+               "  --shards=N       (query) serve through N hash-partitioned\n"
+               "                   shards (bit-identical to unsharded);\n"
+               "                   --save/--restore then name a sharded\n"
+               "                   state directory, --wal does not apply\n");
   return 2;
 }
 
@@ -186,11 +201,90 @@ int cmd_snapshot(int argc, char** argv) {
   return 0;
 }
 
+// The --shards=N query path: same command surface, served through the
+// scatter-gather layer. --save/--restore address a sharded state
+// directory; the answers are bit-identical to the unsharded path.
+int cmd_query_sharded(char** argv, DocId query, int k) {
+  ServingOptions serving_options;
+  serving_options.cache.capacity = g_cache_capacity;
+  serving_options.num_shards = g_num_shards;
+  PipelineOptions build_options;
+  build_options.matcher.query_threads = g_query_threads;
+
+  SyntheticCorpus corpus;
+  std::unique_ptr<ShardedServing> serving;
+  if (!g_restore_path.empty()) {
+    serving = ShardedServing::restore(g_restore_path, build_options,
+                                      serving_options);
+    if (serving == nullptr) {
+      std::fprintf(stderr, "error: cannot restore sharded state from %s\n",
+                   g_restore_path.c_str());
+      return 1;
+    }
+    if (auto c = load_corpus_file(argv[0])) corpus = *c;
+  } else {
+    std::vector<Document> docs = load_docs(argv[0], &corpus);
+    if (docs.empty()) {
+      std::fprintf(stderr, "error: cannot load corpus %s\n", argv[0]);
+      return 1;
+    }
+    serving = ShardedServing::create(std::move(docs), build_options,
+                                     serving_options);
+    if (serving == nullptr) {
+      std::fprintf(stderr, "error: cannot build sharded serving\n");
+      return 1;
+    }
+  }
+
+  // Texts live on the owner shard; the partition function finds it.
+  auto doc_text = [&](DocId id) -> std::string {
+    const ServingPipeline& shard =
+        serving->shard(ShardedServing::shard_of(id, serving->num_shards()));
+    for (const Document& d : shard.quiescent().docs()) {
+      if (d.id() == id) return d.text();
+    }
+    return "";
+  };
+  if (query >= serving->num_docs()) return usage();
+
+  std::printf("query %u (%u shards): \"%.70s...\"\n", query,
+              serving->num_shards(), doc_text(query).c_str());
+  for (const ScoredDoc& sd : serving->find_related(query, k).results) {
+    std::printf("  %4u  %.3f  \"%.70s...\"", sd.doc, sd.score,
+                doc_text(sd.doc).c_str());
+    if (sd.doc < corpus.posts.size() && query < corpus.posts.size()) {
+      std::printf("  [scenario %d%s]", corpus.posts[sd.doc].scenario_id,
+                  corpus.posts[sd.doc].scenario_id ==
+                          corpus.posts[query].scenario_id
+                      ? " *"
+                      : "");
+    }
+    std::printf("\n");
+  }
+  if (!g_save_path.empty()) {
+    if (!serving->save(g_save_path)) {
+      std::fprintf(stderr, "error: cannot save sharded state to %s\n",
+                   g_save_path.c_str());
+      return 1;
+    }
+    std::printf(
+        "saved sharded state (%zu docs, %u shards, epoch %llu) to %s\n",
+        serving->num_docs(), serving->num_shards(),
+        static_cast<unsigned long long>(serving->epoch()),
+        g_save_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_query(int argc, char** argv) {
   if (argc < 2 || argc > 4) return usage();
   DocId query = static_cast<DocId>(std::strtoul(argv[1], nullptr, 10));
   int k = argc >= 3 ? std::atoi(argv[2]) : 5;
   if (k <= 0) return usage();
+  if (g_num_shards > 1) {
+    if (!g_wal_path.empty() || argc == 4) return usage();
+    return cmd_query_sharded(argv, query, k);
+  }
 
   PipelineOptions build_options;
   build_options.matcher.query_threads = g_query_threads;
@@ -338,6 +432,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[arg], "--wal=", 6) == 0) {
       g_wal_path = argv[arg] + 6;
       if (g_wal_path.empty()) return usage();
+    } else if (std::strncmp(argv[arg], "--shards=", 9) == 0) {
+      g_num_shards = std::atoi(argv[arg] + 9);
+      if (g_num_shards <= 0) return usage();
     } else {
       return usage();
     }

@@ -25,6 +25,12 @@
 #                           under AddressSanitizer — one instrumented
 #                           build; the plain builds of both labels already
 #                           ran with the normal test step.
+#   IBSEG_FUZZ_CHECK=1      also run the fuzz targets (snapshot loader, WAL
+#                           replay, text unescaping — tests/fuzz/) for 30
+#                           seconds each under AddressSanitizer. The short
+#                           2s smoke of the same targets runs with the
+#                           normal test step (ctest label "fuzz");
+#                           IBSEG_FUZZ_TIME_SEC overrides the 30s.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -57,6 +63,24 @@ if [ "${IBSEG_PERSIST_CHECK:-0}" = "1" ]; then
   # buffers (CRC frames, torn tails) and fork children that die by _exit,
   # exactly where a heap overflow would otherwise hide.
   IBSEG_SAN_LABELS="storage|killsafety" scripts/check_sanitizers.sh address
+fi
+
+if [ "${IBSEG_FUZZ_CHECK:-0}" = "1" ]; then
+  echo "== fuzz smoke under ASan (IBSEG_FUZZ_CHECK=1) =="
+  # One ASan build (shared with the other address-mode checks), then a
+  # deterministic timed mutation run per target. Any crasher reproduces
+  # from the printed PRNG seed; promote it to a regression test.
+  cmake -B build-address -S . \
+    -DIBSEG_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-address -j "$(nproc)" \
+    --target fuzz_snapshot fuzz_wal fuzz_unescape
+  for target in fuzz_snapshot fuzz_wal fuzz_unescape; do
+    echo "-- ${target}"
+    env ASAN_OPTIONS="halt_on_error=1 detect_stack_use_after_return=1" \
+        IBSEG_FUZZ_TIME_SEC="${IBSEG_FUZZ_TIME_SEC:-30}" \
+        "build-address/tests/fuzz/${target}"
+  done
 fi
 
 if [ "${IBSEG_DOCS_CHECK:-0}" = "1" ]; then
@@ -96,6 +120,13 @@ for key in '"bench"' '"cold_build_sec"' '"snapshot_save_sec"' \
   fi
 done
 echo "BENCH_persist_restore.json schema OK"
+for key in '"bench"' '"configs"' '"shards"' '"qps"' '"ingests"'; do
+  if ! grep -q "${key}" BENCH_sharded_qps.json; then
+    echo "error: BENCH_sharded_qps.json missing key ${key}" >&2
+    exit 1
+  fi
+done
+echo "BENCH_sharded_qps.json schema OK"
 
 echo "== examples =="
 ./build/examples/quickstart

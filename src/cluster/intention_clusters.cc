@@ -195,7 +195,10 @@ IntentionClustering IntentionClustering::from_labels(
   assert(docs.size() == segmentations.size());
   std::vector<RawRange> raw = flatten_segments(segmentations);
   assert(raw.size() == labels.size());
-  if (raw.empty()) return IntentionClustering();
+  // A segment-less slice still carries the collection's cluster count when
+  // one is given (a document-partitioned shard may hold no seed segments
+  // yet must accept ingests into any of the global clusters).
+  if (raw.empty() && num_clusters <= 0) return IntentionClustering();
   return assemble(docs, raw, labels, num_clusters, features, 0.0);
 }
 

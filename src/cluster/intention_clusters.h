@@ -1,6 +1,7 @@
 #ifndef IBSEG_CLUSTER_INTENTION_CLUSTERS_H_
 #define IBSEG_CLUSTER_INTENTION_CLUSTERS_H_
 
+#include <cassert>
 #include <utility>
 #include <vector>
 
@@ -96,6 +97,17 @@ class IntentionClustering {
   /// Cluster centroids in the 28-dim feature space (Fig. 3).
   const std::vector<std::vector<double>>& centroids() const {
     return centroids_;
+  }
+
+  /// Replaces the centroids (size must match num_clusters). A
+  /// document-partitioned shard rebuilds its clustering from the global
+  /// label slice covering only its own documents, which would yield
+  /// shard-local centroids; overriding with the full corpus's centroids
+  /// makes every shard assign ingested/external segments exactly as the
+  /// unpartitioned clustering would.
+  void override_centroids(std::vector<std::vector<double>> centroids) {
+    assert(static_cast<int>(centroids.size()) == num_clusters_);
+    centroids_ = std::move(centroids);
   }
 
   /// The eps DBSCAN ended up using (diagnostics).

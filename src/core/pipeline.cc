@@ -11,7 +11,7 @@ RelatedPostPipeline RelatedPostPipeline::build(std::vector<Document> docs,
                                                const PipelineOptions& options) {
   RelatedPostPipeline p;
   p.docs_ = std::move(docs);
-  p.vocab_ = std::make_unique<Vocabulary>();
+  p.vocab_ = std::make_shared<Vocabulary>();
   p.segmenter_ = options.segmenter;
   p.segmentations_.resize(p.docs_.size());
   for (const Document& d : p.docs_) p.next_id_ = std::max(p.next_id_, d.id() + 1);
@@ -106,7 +106,7 @@ RelatedPostPipeline RelatedPostPipeline::build_from_snapshot(
   }
   RelatedPostPipeline p;
   p.docs_ = std::move(docs);
-  p.vocab_ = std::make_unique<Vocabulary>();
+  p.vocab_ = std::make_shared<Vocabulary>();
   if (preload_vocab != nullptr) {
     for (const std::string& term : *preload_vocab) p.vocab_->intern(term);
   }
@@ -119,6 +119,52 @@ RelatedPostPipeline RelatedPostPipeline::build_from_snapshot(
     obs::TraceScope grouping(obs::Stage::kClusterAssign);
     p.clustering_ = std::make_unique<IntentionClustering>(
         restore_clustering(p.docs_, snapshot));
+  }
+  p.timings_.grouping_sec = group_watch.elapsed_seconds();
+
+  Stopwatch index_watch;
+  {
+    obs::TraceScope indexing(obs::Stage::kIndexPublish);
+    p.matcher_ = std::make_unique<IntentionMatcher>(IntentionMatcher::build(
+        p.docs_, *p.clustering_, *p.vocab_, options.matcher));
+  }
+  p.timings_.indexing_sec = index_watch.elapsed_seconds();
+  return p;
+}
+
+RelatedPostPipeline RelatedPostPipeline::build_shard(
+    std::vector<Document> docs, const PipelineSnapshot& snapshot,
+    std::shared_ptr<Vocabulary> shared_vocab,
+    const std::vector<std::vector<double>>& centroids,
+    const PipelineOptions& options) {
+  if (!snapshot.is_consistent() ||
+      snapshot.segmentations.size() != docs.size()) {
+    return build(std::move(docs), options);
+  }
+  for (size_t d = 0; d < docs.size(); ++d) {
+    if (snapshot.segmentations[d].num_units != docs[d].num_units()) {
+      return build(std::move(docs), options);
+    }
+  }
+  RelatedPostPipeline p;
+  p.docs_ = std::move(docs);
+  p.vocab_ = std::move(shared_vocab);
+  p.segmenter_ = options.segmenter;
+  p.segmentations_ = snapshot.segmentations;
+  for (const Document& d : p.docs_) p.next_id_ = std::max(p.next_id_, d.id() + 1);
+
+  Stopwatch group_watch;
+  {
+    obs::TraceScope grouping(obs::Stage::kClusterAssign);
+    p.clustering_ = std::make_unique<IntentionClustering>(
+        restore_clustering(p.docs_, snapshot));
+    // Every shard assigns against the full corpus's centroids; the
+    // shard-local centroids restore_clustering derived from this slice
+    // would drift from the unpartitioned assignment.
+    if (p.clustering_->num_clusters() ==
+        static_cast<int>(centroids.size())) {
+      p.clustering_->override_centroids(centroids);
+    }
   }
   p.timings_.grouping_sec = group_watch.elapsed_seconds();
 

@@ -75,9 +75,29 @@ class RelatedPostPipeline {
       const PipelineOptions& options = {},
       const std::vector<std::string>* preload_vocab = nullptr);
 
+  /// Builds one document-partitioned shard of a sharded deployment
+  /// (core/sharded_serving.h): like build_from_snapshot, but the pipeline
+  /// adopts `shared_vocab` (one vocabulary instance shared by every shard,
+  /// pre-seeded in the unpartitioned interning order so TermIds are
+  /// corpus-global) instead of creating its own, and its clustering's
+  /// centroids are overridden with `centroids` (the full corpus's) so
+  /// nearest-centroid ingest assignment matches the unpartitioned
+  /// pipeline. `snapshot` must cover exactly `docs` — this shard's slice
+  /// of the global segmentations and labels, in global document order —
+  /// and carry the global cluster count. Falls back to a fresh build on
+  /// an inconsistent snapshot, exactly like build_from_snapshot.
+  static RelatedPostPipeline build_shard(
+      std::vector<Document> docs, const PipelineSnapshot& snapshot,
+      std::shared_ptr<Vocabulary> shared_vocab,
+      const std::vector<std::vector<double>>& centroids,
+      const PipelineOptions& options = {});
+
   /// Captures the offline state for build_from_snapshot / save_snapshot.
   PipelineSnapshot snapshot() const {
-    return make_snapshot(segmentations_, *clustering_);
+    std::vector<DocId> ids;
+    ids.reserve(docs_.size());
+    for (const Document& d : docs_) ids.push_back(d.id());
+    return make_snapshot(segmentations_, *clustering_, ids);
   }
 
   /// Top-k related posts for a reference post already in the corpus.
@@ -124,6 +144,13 @@ class RelatedPostPipeline {
   const IntentionClustering& clustering() const { return *clustering_; }
   /// \brief The per-intention index machinery (Algorithms 1/2).
   const IntentionMatcher& matcher() const { return *matcher_; }
+
+  /// Forwards to IntentionMatcher::set_stats_sink: every subsequent
+  /// ingest() also appends its per-cluster term bags to `sink` (the
+  /// cross-shard statistics board). Not owned.
+  void set_stats_sink(GlobalIndexStats* sink) {
+    matcher_->set_stats_sink(sink);
+  }
   /// \brief Offline-phase timing breakdown (Table 6 / Fig. 11).
   const PipelineTimings& timings() const { return timings_; }
 
@@ -134,7 +161,10 @@ class RelatedPostPipeline {
   std::vector<Segmentation> segmentations_;
   std::unique_ptr<IntentionClustering> clustering_;
   std::unique_ptr<IntentionMatcher> matcher_;
-  std::unique_ptr<Vocabulary> vocab_;
+  /// shared_ptr (not unique_ptr) so sharded deployments can point every
+  /// shard at one corpus-global vocabulary; a standalone pipeline is the
+  /// sole owner.
+  std::shared_ptr<Vocabulary> vocab_;
   Segmenter segmenter_ = Segmenter::cm_tiling();
   PipelineTimings timings_;
   /// Cached fresh-id watermark: max seed id + 1, bumped on every ingest.

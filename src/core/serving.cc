@@ -342,7 +342,11 @@ bool ServingPipeline::save(const std::string& path) {
   // clustering never covered them — make_snapshot would emit label 0).
   std::vector<Segmentation> seed_segs(
       segs.begin(), segs.begin() + static_cast<std::ptrdiff_t>(seed_docs_));
-  PipelineSnapshot offline = make_snapshot(seed_segs, pipeline_.clustering());
+  std::vector<DocId> seed_ids(snap.doc_ids.begin(),
+                              snap.doc_ids.begin() +
+                                  static_cast<std::ptrdiff_t>(seed_docs_));
+  PipelineSnapshot offline =
+      make_snapshot(seed_segs, pipeline_.clustering(), seed_ids);
   snap.seed_labels = std::move(offline.segment_labels);
   snap.num_clusters = offline.num_clusters;
   const Vocabulary& vocab = pipeline_.vocab();
@@ -407,6 +411,63 @@ std::unique_ptr<ServingPipeline> ServingPipeline::restore(
   if (!sp->persist_.wal_path.empty() && sp->wal_ == nullptr) return nullptr;
   m.restore_seconds.observe(watch.elapsed_seconds());
   return sp;
+}
+
+void ServingPipeline::publish_prepared(PreparedPost post) {
+  ServingMetrics& m = ServingMetrics::get();
+  obs::TraceScope lock_wait(m.exclusive_lock_wait);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  lock_wait.stop();
+  DocId id = post.doc.id();
+  {
+    obs::TraceScope publish(obs::Stage::kIndexPublish);
+    pipeline_.ingest(std::move(post));
+  }
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  // The caller reserved the id from its own counter; keep this shard's
+  // watermark consistent anyway so save()/diagnostics stay meaningful.
+  DocId floor = id + 1;
+  DocId seen = next_id_.load(std::memory_order_relaxed);
+  while (seen < floor &&
+         !next_id_.compare_exchange_weak(seen, floor,
+                                         std::memory_order_relaxed)) {
+  }
+  m.posts_ingested.inc();
+  m.corpus_docs.set(static_cast<double>(pipeline_.docs().size()));
+  m.index_segments.set(static_cast<double>(pipeline_.matcher().num_segments()));
+}
+
+std::vector<std::pair<int, TermVector>> ServingPipeline::doc_cluster_terms(
+    DocId doc) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return pipeline_.matcher().doc_cluster_terms(doc);
+}
+
+ServingPipeline::ShardMatch ServingPipeline::match_clusters(
+    const std::vector<std::pair<int, TermVector>>& queries, DocId exclude,
+    int n,
+    const std::vector<std::shared_ptr<const ClusterCollectionStats>>& stats)
+    const {
+  ServingMetrics& m = ServingMetrics::get();
+  ShardMatch out;
+  out.lists.resize(queries.size());
+  obs::TraceScope lock_wait(m.shared_lock_wait);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  lock_wait.stop();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const ClusterCollectionStats* view =
+        i < stats.size() ? stats[i].get() : nullptr;
+    out.lists[i] = pipeline_.matcher().match_cluster_terms(
+        queries[i].first, queries[i].second, exclude, n, view);
+  }
+  out.epoch = epoch_.load(std::memory_order_relaxed);
+  out.num_docs = pipeline_.docs().size();
+  return out;
+}
+
+void ServingPipeline::set_stats_sink(GlobalIndexStats* sink) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  pipeline_.set_stats_sink(sink);
 }
 
 PreparedPost ServingPipeline::prepare(DocId id, std::string text) const {

@@ -25,6 +25,12 @@ struct ServingPersistOptions {
   /// fsync policy for WAL appends (WalFsync::kEveryAppend by default —
   /// strongest; see the fsync policy table in docs/ARCHITECTURE.md).
   WalOptions wal;
+  /// Root directory of a *sharded* deployment's durable state (per-shard
+  /// WALs, publication journal, snapshots + manifest on save). Consumed by
+  /// ShardedServing only — a plain ServingPipeline uses wal_path and
+  /// ignores this; ShardedServing uses this and ignores wal_path. Empty
+  /// (the default) disables sharded persistence.
+  std::string shard_dir;
 };
 
 /// Serving-layer configuration (everything beyond the wrapped pipeline's
@@ -35,6 +41,11 @@ struct ServingOptions {
   QueryCacheOptions cache;
   /// Snapshot + WAL durability (off by default).
   ServingPersistOptions persist;
+  /// Number of document-partitioned shards. Consumed by
+  /// ShardedServing::create (core/sharded_serving.h) — a plain
+  /// ServingPipeline is always a single partition and ignores the field.
+  /// Values <= 1 mean unsharded.
+  int num_shards = 1;
 };
 
 /// Concurrent serving facade over RelatedPostPipeline: the layer a
@@ -166,6 +177,51 @@ class ServingPipeline {
   /// The result cache, or nullptr when disabled (capacity 0). Exposed
   /// for stats (hits/misses/evictions/size); the cache is thread-safe.
   const QueryCache* query_cache() const { return cache_.get(); }
+
+  // --- Sharding SPI (used by ShardedServing, core/sharded_serving.h).
+  // A sharded deployment drives each partition through these primitives:
+  // the scatter layer prepares posts and serializes publications itself
+  // (global publication order is its responsibility), so none of them
+  // touch this pipeline's WAL or cache.
+
+  /// The analysis half of an ingest, lock-free (immutable segmenter copy).
+  PreparedPost prepare_post(DocId id, std::string text) const {
+    return prepare(id, std::move(text));
+  }
+
+  /// The publication half: ingests an already-prepared post under the
+  /// exclusive lock and bumps the epoch. Unlike add_post, the id was
+  /// reserved by the caller (the sharded layer's global counter) and
+  /// nothing is WAL-logged here — the caller write-ahead-logs before
+  /// calling.
+  void publish_prepared(PreparedPost post);
+
+  /// The per-cluster term bags of an indexed document (ascending cluster
+  /// order), read under the shared lock. Empty when unknown.
+  std::vector<std::pair<int, TermVector>> doc_cluster_terms(DocId doc) const;
+
+  /// One scatter leg: evaluates IntentionMatcher::match_cluster_terms for
+  /// every (cluster, query-bag) pair against this shard's indices —
+  /// scoring with the caller-supplied cross-shard statistics views
+  /// (stats[i] pairs with queries[i]; nullptr entries fall back to local
+  /// statistics) — under a single shared-lock acquisition. Also reports
+  /// the epoch/num_docs observed under that lock so the gather layer can
+  /// stamp its combined result.
+  struct ShardMatch {
+    std::vector<std::vector<ScoredDoc>> lists;  ///< parallel to queries
+    uint64_t epoch = 0;
+    size_t num_docs = 0;
+  };
+  ShardMatch match_clusters(
+      const std::vector<std::pair<int, TermVector>>& queries, DocId exclude,
+      int n,
+      const std::vector<std::shared_ptr<const ClusterCollectionStats>>& stats)
+      const;
+
+  /// Forwards RelatedPostPipeline::set_stats_sink under the exclusive
+  /// lock: subsequent publications also feed the cross-shard statistics
+  /// board.
+  void set_stats_sink(GlobalIndexStats* sink);
 
  private:
   /// State carried by restore() into the private constructor: how far the

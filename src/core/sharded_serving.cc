@@ -1,0 +1,640 @@
+#include "core/sharded_serving.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/snapshot_v2.h"
+#include "text/term_vector.h"
+#include "util/stopwatch.h"
+
+namespace ibseg {
+namespace {
+
+std::string shard_subdir(const std::string& dir, uint32_t s) {
+  return dir + "/shard-" + std::to_string(s);
+}
+std::string shard_snapshot_path(const std::string& dir, uint32_t s) {
+  return shard_subdir(dir, s) + "/snapshot.v2";
+}
+std::string shard_wal_path(const std::string& dir, uint32_t s) {
+  return shard_subdir(dir, s) + "/wal";
+}
+std::string journal_path(const std::string& dir) {
+  return dir + "/ingest.order";
+}
+
+/// One refined segment's term bag, interned into `vocab` — byte-for-byte
+/// the accumulation IntentionMatcher::build performs per cluster member.
+TermVector refined_segment_terms(const Document& doc,
+                                 const RefinedSegment& seg,
+                                 Vocabulary& vocab) {
+  TermVector terms;
+  for (auto [b, e] : seg.ranges) {
+    size_t tok_b = doc.sentences()[b].token_begin;
+    size_t tok_e = doc.sentences()[e - 1].token_end;
+    terms.merge(build_term_vector(doc.tokens(), tok_b, tok_e, vocab));
+  }
+  return terms;
+}
+
+/// How many labels make_snapshot emitted for this segmentation: one per
+/// non-empty raw segment (documents with no units contribute none).
+size_t num_labels(const Segmentation& seg) {
+  if (seg.num_units == 0) return 0;
+  size_t n = 0;
+  for (auto [b, e] : seg.segments()) {
+    if (b != e) ++n;
+  }
+  return n;
+}
+
+double weight_of(const MatcherOptions& options, int cluster) {
+  return static_cast<size_t>(cluster) < options.cluster_weights.size()
+             ? options.cluster_weights[static_cast<size_t>(cluster)]
+             : 1.0;
+}
+
+bool by_score_then_doc(const ScoredDoc& a, const ScoredDoc& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
+
+}  // namespace
+
+uint32_t ShardedServing::shard_of(DocId id, uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // FNV-1a over the id's 4 little-endian bytes.
+  uint64_t h = 14695981039346656037ull;
+  for (int i = 0; i < 4; ++i) {
+    h ^= (static_cast<uint64_t>(id) >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return static_cast<uint32_t>(h % num_shards);
+}
+
+std::unique_ptr<ShardedServing> ShardedServing::create(
+    std::vector<Document> docs, const PipelineOptions& pipeline_options,
+    ServingOptions options) {
+  uint32_t ns =
+      options.num_shards <= 1 ? 1 : static_cast<uint32_t>(options.num_shards);
+
+  // Offline phase over the FULL corpus — segmentation and clustering see
+  // exactly what an unpartitioned build would, so centroids, labels and
+  // every derived statistic are the unpartitioned values by construction.
+  std::vector<Segmentation> segmentations(docs.size());
+  if (pipeline_options.num_threads > 1 && docs.size() > 1) {
+    ThreadPool pool(pipeline_options.num_threads);
+    pool.parallel_for(docs.size(), [&](size_t d) {
+      Vocabulary scratch;
+      segmentations[d] = pipeline_options.segmenter.segment(docs[d], scratch);
+    });
+  } else {
+    Vocabulary scratch;
+    for (size_t d = 0; d < docs.size(); ++d) {
+      segmentations[d] = pipeline_options.segmenter.segment(docs[d], scratch);
+    }
+  }
+  IntentionClustering clustering;
+  {
+    obs::TraceScope grouping(obs::Stage::kClusterAssign);
+    clustering = IntentionClustering::build(docs, segmentations,
+                                            pipeline_options.grouping);
+  }
+
+  std::unique_ptr<ShardedServing> s(new ShardedServing());
+  if (!s->init_shards(std::move(docs), std::move(segmentations), clustering,
+                      pipeline_options, options, ns)) {
+    return nullptr;
+  }
+  s->persist_dir_ = options.persist.shard_dir;
+  s->wal_options_ = options.persist.wal;
+  if (!s->persist_dir_.empty() && !s->open_persistence(/*fresh=*/true)) {
+    return nullptr;
+  }
+  return s;
+}
+
+bool ShardedServing::init_shards(std::vector<Document> docs,
+                                 std::vector<Segmentation> segmentations,
+                                 const IntentionClustering& clustering,
+                                 const PipelineOptions& pipeline_options,
+                                 const ServingOptions& options,
+                                 uint32_t num_shards) {
+  num_clusters_ = clustering.num_clusters();
+  centroids_ = clustering.centroids();
+  matcher_options_ = pipeline_options.matcher;
+  segmenter_ = pipeline_options.segmenter;
+  matcher_fingerprint_ = matcher_options_fingerprint(matcher_options_);
+
+  // Global label assignment, resolved against real document ids.
+  std::vector<DocId> ids;
+  ids.reserve(docs.size());
+  for (const Document& d : docs) ids.push_back(d.id());
+  PipelineSnapshot global_snap = make_snapshot(segmentations, clustering, ids);
+
+  // Seeding pass: intern the shared vocabulary and feed the statistics
+  // board in EXACTLY the order IntentionMatcher::build would — cluster-
+  // major, member order within each cluster. Every shard build below then
+  // finds all of its terms pre-interned, so TermIds are corpus-global and
+  // independent of the partitioning.
+  vocab_ = std::make_shared<Vocabulary>();
+  stats_ = std::make_unique<GlobalIndexStats>(
+      num_clusters_, matcher_options_.min_norm_fraction);
+  std::map<DocId, size_t> doc_index;
+  for (size_t d = 0; d < docs.size(); ++d) doc_index[docs[d].id()] = d;
+  for (int c = 0; c < num_clusters_; ++c) {
+    for (size_t seg_idx :
+         clustering.cluster_members()[static_cast<size_t>(c)]) {
+      const RefinedSegment& seg = clustering.segments()[seg_idx];
+      const Document& doc = docs[doc_index[seg.doc]];
+      stats_->append(c, refined_segment_terms(doc, seg, *vocab_),
+                     /*refresh_now=*/false);
+    }
+    stats_->refresh(c);
+  }
+
+  // Partition the corpus in global document order: per-shard docs,
+  // segmentations and label slices stay in that order, so each shard's
+  // restore_clustering sees its members in the global relative order.
+  std::vector<std::vector<Document>> shard_docs(num_shards);
+  std::vector<std::vector<Segmentation>> shard_segs(num_shards);
+  std::vector<std::vector<int>> shard_labels(num_shards);
+  DocId watermark = 1;
+  size_t label_pos = 0;
+  seed_order_.reserve(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    DocId id = docs[d].id();
+    uint32_t s = shard_of(id, num_shards);
+    size_t labels = num_labels(segmentations[d]);
+    for (size_t i = 0; i < labels; ++i) {
+      shard_labels[s].push_back(global_snap.segment_labels[label_pos + i]);
+    }
+    label_pos += labels;
+    shard_segs[s].push_back(std::move(segmentations[d]));
+    shard_docs[s].push_back(std::move(docs[d]));
+    seed_order_.push_back(id);
+    watermark = std::max(watermark, id + 1);
+  }
+  next_id_.store(watermark, std::memory_order_relaxed);
+
+  // Build each shard over its slice: shared vocabulary, global centroids,
+  // global cluster count. Shard pipelines carry no cache and no WAL of
+  // their own — both live at this layer.
+  shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    PipelineSnapshot snap;
+    snap.segmentations = std::move(shard_segs[s]);
+    snap.segment_labels = std::move(shard_labels[s]);
+    snap.num_clusters = num_clusters_;
+    RelatedPostPipeline p = RelatedPostPipeline::build_shard(
+        std::move(shard_docs[s]), snap, vocab_, centroids_, pipeline_options);
+    shards_.push_back(
+        std::make_unique<ServingPipeline>(std::move(p), ServingOptions{}));
+    shards_.back()->set_stats_sink(stats_.get());
+  }
+
+  if (options.cache.capacity > 0) {
+    cache_ = std::make_unique<QueryCache>(options.cache);
+  }
+  if (num_shards > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_shards);
+  }
+
+  obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+  scatter_seconds_ = &r.histogram(
+      "ibseg_scatter_seconds",
+      "Scatter-phase latency of a sharded query (all shard legs), in "
+      "seconds.");
+  merge_seconds_ = &r.histogram(
+      "ibseg_merge_seconds",
+      "Gather/merge-phase latency of a sharded query, in seconds.");
+  shard_queries_.reserve(num_shards);
+  shard_docs_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    obs::Labels labels{{"shard", std::to_string(s)}};
+    shard_queries_.push_back(&r.counter(
+        "ibseg_shard_queries_total",
+        "Scatter legs dispatched to this shard.", labels));
+    shard_docs_.push_back(&r.gauge(
+        "ibseg_shard_docs", "Documents resident on this shard.", labels));
+    shard_docs_.back()->set(static_cast<double>(shards_[s]->num_docs()));
+  }
+  return true;
+}
+
+bool ShardedServing::open_persistence(bool fresh) {
+  std::error_code ec;
+  std::filesystem::create_directories(persist_dir_, ec);
+  if (ec) return false;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    std::filesystem::create_directories(shard_subdir(persist_dir_, s), ec);
+    if (ec) return false;
+  }
+  std::vector<WalRecord> discard;
+  journal_ = IngestWal::open(journal_path(persist_dir_), wal_options_,
+                             &discard);
+  if (journal_ == nullptr) return false;
+  if (fresh && !discard.empty() && !journal_->reset()) return false;
+  wals_.clear();
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    discard.clear();
+    std::unique_ptr<IngestWal> wal = IngestWal::open(
+        shard_wal_path(persist_dir_, s), wal_options_, &discard);
+    if (wal == nullptr) return false;
+    if (fresh && !discard.empty() && !wal->reset()) return false;
+    wals_.push_back(std::move(wal));
+  }
+  return true;
+}
+
+uint64_t ShardedServing::epoch() const {
+  uint64_t e = 0;
+  for (const auto& s : shards_) e += s->epoch();
+  return e;
+}
+
+size_t ShardedServing::num_docs() const {
+  size_t n = 0;
+  for (const auto& s : shards_) n += s->num_docs();
+  return n;
+}
+
+ShardedServing::QueryResult ShardedServing::scatter_gather(
+    const std::vector<std::pair<int, TermVector>>& queries, DocId exclude,
+    int k) const {
+  QueryResult r;
+  if (queries.empty() || k <= 0) {
+    r.epoch = epoch();
+    r.num_docs = num_docs();
+    return r;
+  }
+  int n = matcher_options_.top_n_factor * k;
+
+  // One copy-on-write statistics view per queried cluster, grabbed once —
+  // every shard scores against the same snapshot, and a publication racing
+  // this query cannot shift the collection statistics mid-scatter.
+  std::vector<std::shared_ptr<const ClusterCollectionStats>> views;
+  views.reserve(queries.size());
+  for (const auto& [cluster, terms] : queries) {
+    views.push_back(stats_->cluster(cluster));
+  }
+
+  const uint32_t ns = num_shards();
+  std::vector<ServingPipeline::ShardMatch> legs(ns);
+  {
+    Stopwatch watch;
+    auto leg = [&](uint32_t s) {
+      legs[s] = shards_[s]->match_clusters(queries, exclude, n, views);
+      shard_queries_[s]->inc();
+    };
+    if (pool_ != nullptr && ns > 1) {
+      TaskGroup group(*pool_);
+      for (uint32_t s = 0; s < ns; ++s) {
+        group.run([&leg, s] { leg(s); });
+      }
+      group.wait();
+    } else {
+      for (uint32_t s = 0; s < ns; ++s) leg(s);
+    }
+    scatter_seconds_->observe(watch.elapsed_seconds());
+  }
+
+  // Gather. Per cluster: concatenate the shard lists, re-sort by the
+  // deterministic (score desc, DocId asc) rule and cut to n — within one
+  // cluster a document has at most one refined segment, so the ordering
+  // is total and the merged list equals the unpartitioned per-intention
+  // list element for element. Then Algorithm 2's weighted sum runs in
+  // ascending cluster order over those identical sequences, making the
+  // accumulated doubles bit-identical to the single-pipeline path.
+  Stopwatch merge_watch;
+  std::unordered_map<DocId, double> merged;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::vector<ScoredDoc> combined;
+    size_t total = 0;
+    for (uint32_t s = 0; s < ns; ++s) total += legs[s].lists[i].size();
+    combined.reserve(total);
+    for (uint32_t s = 0; s < ns; ++s) {
+      combined.insert(combined.end(), legs[s].lists[i].begin(),
+                      legs[s].lists[i].end());
+    }
+    std::sort(combined.begin(), combined.end(), by_score_then_doc);
+    if (matcher_options_.score_threshold <= 0.0 &&
+        combined.size() > static_cast<size_t>(n)) {
+      combined.resize(static_cast<size_t>(n));
+    }
+    double weight = weight_of(matcher_options_, queries[i].first);
+    for (const ScoredDoc& sd : combined) {
+      merged[sd.doc] += weight * sd.score;
+    }
+  }
+  obs::TraceScope top_k(obs::Stage::kTopK);
+  r.results.reserve(merged.size());
+  for (const auto& [doc, score] : merged) {
+    r.results.push_back(ScoredDoc{doc, score});
+  }
+  std::sort(r.results.begin(), r.results.end(), by_score_then_doc);
+  if (r.results.size() > static_cast<size_t>(k)) {
+    r.results.resize(static_cast<size_t>(k));
+  }
+  for (uint32_t s = 0; s < ns; ++s) {
+    r.epoch += legs[s].epoch;
+    r.num_docs += legs[s].num_docs;
+  }
+  merge_seconds_->observe(merge_watch.elapsed_seconds());
+  return r;
+}
+
+ShardedServing::QueryResult ShardedServing::find_related(DocId query,
+                                                         int k) const {
+  QueryCache::Key key{query, k, matcher_fingerprint_};
+  if (cache_ != nullptr) {
+    if (auto cached = cache_->lookup(key, epoch())) {
+      return QueryResult{std::move(cached->results), cached->epoch,
+                         cached->num_docs};
+    }
+  }
+  uint32_t owner = shard_of(query, num_shards());
+  std::vector<std::pair<int, TermVector>> qterms =
+      shards_[owner]->doc_cluster_terms(query);
+  // Zero-weight clusters never contribute (their unpartitioned lists stay
+  // empty), so dropping them before the scatter is exact.
+  qterms.erase(std::remove_if(qterms.begin(), qterms.end(),
+                              [&](const std::pair<int, TermVector>& q) {
+                                return weight_of(matcher_options_, q.first) <=
+                                       0.0;
+                              }),
+               qterms.end());
+  QueryResult r = scatter_gather(qterms, query, k);
+  if (cache_ != nullptr && epoch() == r.epoch) {
+    // Only a quiescent cut is worth caching: if any shard published while
+    // the scatter ran, the combined epoch moved and the entry would be
+    // born stale anyway.
+    cache_->insert(key, QueryCache::Value{r.results, r.epoch, r.num_docs});
+  }
+  return r;
+}
+
+std::vector<ShardedServing::QueryResult> ShardedServing::find_related_batch(
+    const std::vector<DocId>& queries, int k) const {
+  std::vector<QueryResult> out;
+  out.reserve(queries.size());
+  for (DocId q : queries) out.push_back(find_related(q, k));
+  return out;
+}
+
+ShardedServing::QueryResult ShardedServing::find_related_external(
+    const Document& doc, int k) const {
+  Vocabulary scratch;
+  Segmentation seg = segmenter_.segment(doc, scratch);
+  std::map<int, TermVector> per_cluster;
+  {
+    // The shared vocabulary grows under publish_mu_; assignment only reads
+    // it, so shared mode suffices and queries still run concurrently.
+    std::shared_lock<std::shared_mutex> lock(publish_mu_);
+    per_cluster = IntentionMatcher::assign_external(
+        doc, seg, centroids_, *vocab_,
+        static_cast<size_t>(num_clusters_));
+  }
+  std::vector<std::pair<int, TermVector>> queries;
+  queries.reserve(per_cluster.size());
+  for (auto& [cluster, terms] : per_cluster) {
+    if (terms.empty()) continue;
+    if (weight_of(matcher_options_, cluster) <= 0.0) continue;
+    queries.emplace_back(cluster, std::move(terms));
+  }
+  return scatter_gather(queries, IntentionMatcher::kNoDocId, k);
+}
+
+PreparedPost ShardedServing::prepare(DocId id, std::string text) const {
+  PreparedPost post;
+  post.doc = Document::analyze(id, std::move(text));
+  Vocabulary scratch;
+  post.seg = segmenter_.segment(post.doc, scratch);
+  return post;
+}
+
+void ShardedServing::publish_locked(uint32_t owner, PreparedPost post,
+                                    bool log, const std::string& text) {
+  DocId id = post.doc.id();
+  if (log && journal_ != nullptr) {
+    // Journal first (global order), then the owner's WAL (payload), then
+    // the index publish — so on replay a journal entry without WAL data
+    // means "never published" and is skipped, never guessed at.
+    journal_->append(WalRecord{id, std::string()});
+    wals_[owner]->append(WalRecord{id, text});
+  }
+  shards_[owner]->publish_prepared(std::move(post));
+  publication_order_.push_back(id);
+  shard_docs_[owner]->set(static_cast<double>(shards_[owner]->num_docs()));
+}
+
+DocId ShardedServing::add_post(std::string text) {
+  DocId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  uint32_t owner = shard_of(id, num_shards());
+  std::string logged = journal_ != nullptr ? text : std::string();
+  PreparedPost post = prepare(id, std::move(text));
+  std::unique_lock<std::shared_mutex> lock(publish_mu_);
+  publish_locked(owner, std::move(post), /*log=*/true, logged);
+  return id;
+}
+
+std::vector<DocId> ShardedServing::add_posts(std::vector<std::string> texts) {
+  std::vector<DocId> ids;
+  std::vector<PreparedPost> prepared;
+  std::vector<std::string> logged;
+  ids.reserve(texts.size());
+  prepared.reserve(texts.size());
+  if (journal_ != nullptr) logged.reserve(texts.size());
+  for (std::string& text : texts) {
+    DocId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    ids.push_back(id);
+    if (journal_ != nullptr) logged.push_back(text);
+    prepared.push_back(prepare(id, std::move(text)));
+  }
+  std::unique_lock<std::shared_mutex> lock(publish_mu_);
+  for (size_t i = 0; i < prepared.size(); ++i) {
+    publish_locked(shard_of(ids[i], num_shards()), std::move(prepared[i]),
+                   /*log=*/true,
+                   journal_ != nullptr ? logged[i] : std::string());
+  }
+  return ids;
+}
+
+bool ShardedServing::save(const std::string& dir) {
+  std::unique_lock<std::shared_mutex> lock(publish_mu_);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    std::filesystem::create_directories(shard_subdir(dir, s), ec);
+    if (ec) return false;
+    if (!shards_[s]->save(shard_snapshot_path(dir, s))) return false;
+  }
+  ShardManifest m;
+  m.num_shards = num_shards();
+  m.next_id = next_id_.load(std::memory_order_relaxed);
+  m.num_clusters = num_clusters_;
+  m.seed_order = seed_order_;
+  m.publication_order = publication_order_;
+  m.shards.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    m.shards.push_back(
+        ShardManifestEntry{s->num_docs(), s->seed_docs(), s->epoch()});
+  }
+  // The manifest rename is the commit point: every snapshot it describes
+  // is already on disk. A crash before this line restores from the OLD
+  // manifest (new snapshots are "ahead" — the legal direction); after it,
+  // from the new one.
+  if (!save_shard_manifest_file(m, dir + "/MANIFEST")) return false;
+  // Logged records are now baked into the snapshots; truncate AFTER the
+  // commit so a crash in between merely replays-and-dedups.
+  if (journal_ != nullptr && dir == persist_dir_) {
+    for (auto& wal : wals_) wal->reset();
+    journal_->reset();
+  }
+  return true;
+}
+
+std::unique_ptr<ShardedServing> ShardedServing::restore(
+    const std::string& dir, const PipelineOptions& pipeline_options,
+    ServingOptions options) {
+  std::optional<ShardManifest> m =
+      load_shard_manifest_file(dir + "/MANIFEST");
+  if (!m.has_value()) return nullptr;
+  const uint32_t ns = m->num_shards;
+
+  std::vector<ServingSnapshot> snaps;
+  snaps.reserve(ns);
+  for (uint32_t s = 0; s < ns; ++s) {
+    std::optional<ServingSnapshot> snap =
+        load_snapshot_v2_file(shard_snapshot_path(dir, s));
+    if (!snap.has_value()) return nullptr;
+    // Cross-file torn-restore checks against the sibling manifest entry:
+    // the committed manifest was written AFTER every snapshot rename, so a
+    // snapshot with fewer documents than its entry claims — or a different
+    // seed partition, or a different cluster count — cannot be the file
+    // this manifest committed. Snapshot AHEAD of the entry is the legal
+    // crash window (save interrupted between renames and commit).
+    if (snap->num_seed_docs != m->shards[s].seed_docs) return nullptr;
+    if (snap->doc_ids.size() < m->shards[s].docs) return nullptr;
+    if (snap->num_clusters != m->num_clusters) return nullptr;
+    snaps.push_back(std::move(*snap));
+  }
+
+  // Reassemble the global seed corpus in the recorded global order; every
+  // seed document must be at its hash-owner shard's seed section.
+  std::vector<std::unordered_map<DocId, size_t>> seed_pos(ns);
+  std::vector<std::vector<size_t>> label_offset(ns);
+  for (uint32_t s = 0; s < ns; ++s) {
+    size_t off = 0;
+    label_offset[s].reserve(snaps[s].num_seed_docs);
+    for (size_t d = 0; d < snaps[s].num_seed_docs; ++d) {
+      seed_pos[s][snaps[s].doc_ids[d]] = d;
+      label_offset[s].push_back(off);
+      off += num_labels(snaps[s].segmentations[d]);
+    }
+    if (off != snaps[s].seed_labels.size()) return nullptr;
+  }
+  std::vector<Document> docs;
+  std::vector<Segmentation> segmentations;
+  std::vector<int> labels;
+  docs.reserve(m->seed_order.size());
+  segmentations.reserve(m->seed_order.size());
+  for (DocId id : m->seed_order) {
+    uint32_t s = shard_of(id, ns);
+    auto it = seed_pos[s].find(id);
+    if (it == seed_pos[s].end()) return nullptr;
+    size_t d = it->second;
+    docs.push_back(Document::analyze(id, snaps[s].doc_texts[d]));
+    segmentations.push_back(snaps[s].segmentations[d]);
+    size_t off = label_offset[s][d];
+    size_t count = num_labels(snaps[s].segmentations[d]);
+    for (size_t i = 0; i < count; ++i) {
+      labels.push_back(snaps[s].seed_labels[off + i]);
+    }
+  }
+  PipelineSnapshot global_snap;
+  global_snap.segmentations = segmentations;
+  global_snap.segment_labels = std::move(labels);
+  global_snap.num_clusters = m->num_clusters;
+  if (!global_snap.is_consistent()) return nullptr;
+  IntentionClustering clustering = restore_clustering(docs, global_snap);
+
+  std::unique_ptr<ShardedServing> sp(new ShardedServing());
+  if (!sp->init_shards(std::move(docs), std::move(segmentations), clustering,
+                       pipeline_options, options, ns)) {
+    return nullptr;
+  }
+  sp->persist_dir_ = dir;
+  sp->wal_options_ = options.persist.wal;
+
+  // Open journal + WALs with replay (torn tails are truncated by open).
+  std::vector<WalRecord> journal_recs;
+  sp->journal_ =
+      IngestWal::open(journal_path(dir), sp->wal_options_, &journal_recs);
+  if (sp->journal_ == nullptr) return nullptr;
+  std::vector<std::unordered_map<DocId, std::string>> wal_text(ns);
+  for (uint32_t s = 0; s < ns; ++s) {
+    std::vector<WalRecord> recs;
+    std::unique_ptr<IngestWal> wal =
+        IngestWal::open(shard_wal_path(dir, s), sp->wal_options_, &recs);
+    if (wal == nullptr) return nullptr;
+    for (WalRecord& rec : recs) wal_text[s][rec.id] = std::move(rec.text);
+    sp->wals_.push_back(std::move(wal));
+  }
+  // Snapshot tails: ingested documents baked into each shard snapshot,
+  // with their stored segmentations.
+  std::vector<std::unordered_map<DocId, size_t>> tail_pos(ns);
+  for (uint32_t s = 0; s < ns; ++s) {
+    for (size_t d = snaps[s].num_seed_docs; d < snaps[s].doc_ids.size();
+         ++d) {
+      tail_pos[s][snaps[s].doc_ids[d]] = d;
+    }
+  }
+
+  // Replay every publication in the recorded global order. Manifest-listed
+  // publications are committed state: each must exist in its shard's
+  // snapshot tail or WAL, anything else is a torn directory. Journal
+  // entries beyond the manifest are the crash tail: already-published ids
+  // dedup away, ids with no durable payload were never published and are
+  // dropped (write-ahead order guarantees no later entry could have been).
+  DocId watermark = m->next_id;
+  std::unordered_set<DocId> published;
+  auto replay_one = [&](DocId id) -> int {
+    uint32_t s = shard_of(id, ns);
+    PreparedPost post;
+    auto tail = tail_pos[s].find(id);
+    if (tail != tail_pos[s].end()) {
+      size_t d = tail->second;
+      post.doc = Document::analyze(id, std::move(snaps[s].doc_texts[d]));
+      post.seg = std::move(snaps[s].segmentations[d]);
+    } else {
+      auto walled = wal_text[s].find(id);
+      if (walled == wal_text[s].end()) return -1;
+      post.doc = Document::analyze(id, std::move(walled->second));
+      Vocabulary scratch;
+      post.seg = sp->segmenter_.segment(post.doc, scratch);
+    }
+    sp->publish_locked(s, std::move(post), /*log=*/false, std::string());
+    published.insert(id);
+    watermark = std::max(watermark, id + 1);
+    return 0;
+  };
+  for (DocId id : m->publication_order) {
+    if (replay_one(id) != 0) return nullptr;
+  }
+  for (const WalRecord& rec : journal_recs) {
+    if (published.count(rec.id) != 0) continue;
+    replay_one(rec.id);  // -1 = journaled but never published; skip
+  }
+  DocId seen = sp->next_id_.load(std::memory_order_relaxed);
+  sp->next_id_.store(std::max(seen, watermark), std::memory_order_relaxed);
+  return sp;
+}
+
+}  // namespace ibseg

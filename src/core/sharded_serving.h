@@ -1,0 +1,245 @@
+#ifndef IBSEG_CORE_SHARDED_SERVING_H_
+#define IBSEG_CORE_SHARDED_SERVING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/serving.h"
+#include "index/collection_stats.h"
+#include "obs/metrics.h"
+#include "storage/shard_manifest.h"
+#include "util/thread_pool.h"
+
+namespace ibseg {
+
+/// Document-partitioned serving: N ServingPipeline shards behind one
+/// scatter-gather facade, with results **bit-identical** to a single
+/// unpartitioned pipeline at any shard count (the differential suite
+/// enforces exact score-and-order equality, not approximate agreement).
+///
+/// Partitioning. Every document — seed or ingested — lives on exactly one
+/// shard, `shard_of(id)` (a stable FNV-1a hash of the id; pure function,
+/// identical across processes and runs). Each shard wraps a full
+/// ServingPipeline over its slice: its own reader/writer lock, epoch, and
+/// per-intention indices.
+///
+/// Why naive partitioning breaks bit-identity, and what fixes it: the
+/// Eq. 8/9 scores depend on *collection* statistics — |I| and |I^t| in the
+/// probabilistic IDF, the average-unique-terms pivot and the norm floor in
+/// the unit norms, the BM25 length pivot, the LM collection model. A shard
+/// that scored against its own slice's statistics would produce different
+/// bits (and different rankings) than the unpartitioned index. Three
+/// shared pieces restore exactness:
+///
+///   * one GlobalIndexStats board aggregates per-cluster collection
+///     statistics across all shards, in the unpartitioned publication
+///     order (the norm floor is an order-sensitive float sum; everything
+///     else is a sum of integer-valued doubles and therefore exact in any
+///     order). Queries score every shard against the same copy-on-write
+///     stats view (index/collection_stats.h);
+///   * one shared Vocabulary, seeded in the unpartitioned interning order
+///     before any shard index is built, keeps TermIds — and with them the
+///     TermId-ordered per-unit accumulation order — corpus-global;
+///   * a global publication lock serializes ingest publications, so board
+///     order, vocabulary growth and the id watermark evolve exactly as a
+///     single pipeline's would. Only publication is serialized: analysis
+///     and segmentation (the expensive part of an ingest) stay parallel,
+///     and queries never take the global lock.
+///
+/// Scatter-gather. A query resolves its per-cluster term bags once, fans
+/// them out to all shards (each evaluates Algorithm 1's candidate list
+/// over its slice under its own shared lock), then merges: per cluster,
+/// the shard lists are concatenated, re-sorted by the deterministic
+/// (score desc, DocId asc) rule and cut to n. Within one cluster a
+/// document has at most one refined segment, so that ordering is total
+/// and the global top-n is a subset of the union of per-shard top-n —
+/// the merged list *is* the unpartitioned list, bit for bit. Algorithm 2's
+/// weighted score summation then runs in ascending cluster order over
+/// identical sorted sequences, reproducing the unpartitioned accumulation
+/// order exactly.
+///
+/// Caching. The PR-3 epoch-invalidated result cache sits above the
+/// scatter layer, keyed on the *combined* epoch (the sum of per-shard
+/// epochs — each publication bumps exactly one shard by one, so the sum
+/// is monotone and equality implies every addend is unchanged). An entry
+/// is only inserted when no publication raced the scatter, so hits always
+/// reproduce a quiescent-cut answer.
+///
+/// Consistency. Each shard's answer is a consistent cut of that shard;
+/// under concurrent ingest the combined answer may straddle publications
+/// on different shards (per-shard, not global, snapshot isolation). The
+/// invariant num_docs == seed_docs + epoch holds for the summed values of
+/// every result. At quiescence (no in-flight ingests) every query is
+/// bit-identical to the unpartitioned pipeline.
+///
+/// Persistence. save(dir) writes one snapshot-v2 per shard
+/// (dir/shard-<i>/snapshot.v2) and then commits dir/MANIFEST atomically
+/// (storage/shard_manifest.h); per-shard WALs (dir/shard-<i>/wal) and the
+/// publication-order journal (dir/ingest.order) absorb ingests between
+/// saves and are truncated after the manifest commit. restore(dir)
+/// rebuilds the global offline state from the shard slices, replays every
+/// publication in the recorded global order, and rejects torn directories
+/// (a shard snapshot shorter than its manifest entry, or a
+/// manifest-listed document missing from snapshot+WAL).
+class ShardedServing {
+ public:
+  /// The stable partition function: FNV-1a over the id's 4 little-endian
+  /// bytes, reduced modulo num_shards. Pure — same mapping in every
+  /// process, every run, every shard count.
+  static uint32_t shard_of(DocId id, uint32_t num_shards);
+
+  /// Builds a sharded deployment over `docs` (moved in). Shard count
+  /// comes from options.num_shards (<= 1 means one shard — still exact,
+  /// still scatter-gather, useful as the differential baseline). When
+  /// options.persist.shard_dir is set, per-shard WALs and the publication
+  /// journal are created under it (fresh — create() truncates any
+  /// leftovers; restore() is the recovery path). Returns nullptr only
+  /// when persistence directories cannot be created.
+  static std::unique_ptr<ShardedServing> create(
+      std::vector<Document> docs, const PipelineOptions& pipeline_options = {},
+      ServingOptions options = {});
+
+  /// Warm restart from a directory written by save() (+ any WAL/journal
+  /// tail since). The shard count is read from the manifest;
+  /// options.num_shards is ignored. Returns nullptr when the manifest or
+  /// any shard snapshot is missing/corrupt, when a shard snapshot holds
+  /// fewer documents than its manifest entry committed (stale snapshot —
+  /// a torn directory, since snapshots are renamed before the manifest),
+  /// or when a manifest-listed publication is found in neither its
+  /// shard's snapshot nor its WAL. The restored instance reaches the
+  /// exact pre-crash combined epoch with bit-identical query results.
+  static std::unique_ptr<ShardedServing> restore(
+      const std::string& dir, const PipelineOptions& pipeline_options = {},
+      ServingOptions options = {});
+
+  ShardedServing(const ShardedServing&) = delete;
+  ShardedServing& operator=(const ShardedServing&) = delete;
+
+  /// Persists every shard's snapshot, then commits the manifest (the
+  /// atomic commit point), then truncates WALs + journal — in that order,
+  /// so a crash anywhere leaves a restorable directory (see
+  /// storage/shard_manifest.h for the window-by-window analysis). Runs
+  /// under the global publication lock. Returns false with the previous
+  /// manifest intact on any failure.
+  bool save(const std::string& dir);
+
+  using QueryResult = ServingPipeline::QueryResult;
+
+  /// Top-k related posts for an in-corpus reference post — Algorithm 2
+  /// over all shards, bit-identical to the unpartitioned pipeline.
+  /// epoch/num_docs are the summed per-shard values observed under the
+  /// shards' shared locks.
+  QueryResult find_related(DocId query, int k) const;
+
+  /// Batched find_related; result[i] answers queries[i].
+  std::vector<QueryResult> find_related_batch(const std::vector<DocId>& queries,
+                                              int k) const;
+
+  /// Top-k related posts for an external (non-ingested) post. Segmented
+  /// lock-free; centroid assignment under the global lock in shared mode
+  /// (the shared vocabulary may be growing); scoring scattered like
+  /// find_related.
+  QueryResult find_related_external(const Document& doc, int k) const;
+
+  /// Ingests one post into its hash-owner shard; returns the reserved id.
+  /// Analysis/segmentation run lock-free; the publication (journal + WAL
+  /// append + index publish) is serialized globally.
+  DocId add_post(std::string text);
+
+  /// Batched ingestion, published in order under one global-lock section.
+  std::vector<DocId> add_posts(std::vector<std::string> texts);
+
+  /// Combined publication epoch: the sum of per-shard epochs.
+  uint64_t epoch() const;
+
+  /// Total documents across shards.
+  size_t num_docs() const;
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+
+  /// Upper bound on handed-out ids (global watermark).
+  DocId next_id() const { return next_id_.load(std::memory_order_relaxed); }
+
+  /// Shard access for tests/diagnostics.
+  const ServingPipeline& shard(uint32_t i) const { return *shards_[i]; }
+
+  /// The cross-shard result cache, or nullptr when disabled.
+  const QueryCache* query_cache() const { return cache_.get(); }
+
+  /// The cross-shard statistics board (diagnostics).
+  const GlobalIndexStats& stats_board() const { return *stats_; }
+
+ private:
+  ShardedServing() = default;
+
+  /// Shared construction tail: seeds vocabulary + statistics board from
+  /// the global clustering (in the unpartitioned interning order), slices
+  /// the corpus per shard, builds the shard pipelines and wires the sink.
+  bool init_shards(std::vector<Document> docs,
+                   std::vector<Segmentation> segmentations,
+                   const IntentionClustering& clustering,
+                   const PipelineOptions& pipeline_options,
+                   const ServingOptions& options, uint32_t num_shards);
+
+  /// Opens (or creates) WALs + journal under persist_dir_. When `fresh`,
+  /// existing contents are truncated (create() path).
+  bool open_persistence(bool fresh);
+
+  QueryResult scatter_gather(
+      const std::vector<std::pair<int, TermVector>>& queries, DocId exclude,
+      int k) const;
+
+  PreparedPost prepare(DocId id, std::string text) const;
+
+  /// Publication body shared by add_post/add_posts/restore replay; caller
+  /// holds publish_mu_ exclusively. `log` false skips journal/WAL appends
+  /// (restore replay — the records are already durable).
+  void publish_locked(uint32_t owner, PreparedPost post, bool log,
+                      const std::string& text);
+
+  std::vector<std::unique_ptr<ServingPipeline>> shards_;
+  std::shared_ptr<Vocabulary> vocab_;
+  std::unique_ptr<GlobalIndexStats> stats_;
+  std::vector<std::vector<double>> centroids_;  ///< global centroids
+  int num_clusters_ = 0;
+  MatcherOptions matcher_options_;
+  Segmenter segmenter_ = Segmenter::cm_tiling();
+  std::atomic<DocId> next_id_{1};
+
+  /// Global publication order lock: exclusive for publications and save()
+  /// (board order == vocabulary order == journal order == publication
+  /// order), shared for external-query vocabulary lookups. Queries never
+  /// take it.
+  mutable std::shared_mutex publish_mu_;
+  std::vector<DocId> seed_order_;         ///< immutable after construction
+  std::vector<DocId> publication_order_;  ///< guarded by publish_mu_
+
+  /// Persistence (empty dir = disabled).
+  std::string persist_dir_;
+  WalOptions wal_options_;
+  std::vector<std::unique_ptr<IngestWal>> wals_;  ///< guarded by publish_mu_
+  std::unique_ptr<IngestWal> journal_;            ///< guarded by publish_mu_
+
+  /// Result cache above the scatter layer (combined-epoch invalidation).
+  mutable std::unique_ptr<QueryCache> cache_;
+  uint64_t matcher_fingerprint_ = 0;
+
+  /// Scatter fan-out pool (nullptr when one shard).
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Per-shard instruments (ibseg_shard_queries_total{shard},
+  /// ibseg_shard_docs{shard}) + scatter/merge stage timers.
+  std::vector<obs::Counter*> shard_queries_;
+  std::vector<obs::Gauge*> shard_docs_;
+  obs::Histogram* scatter_seconds_ = nullptr;
+  obs::Histogram* merge_seconds_ = nullptr;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_CORE_SHARDED_SERVING_H_

@@ -1,0 +1,149 @@
+#ifndef IBSEG_INDEX_COLLECTION_STATS_H_
+#define IBSEG_INDEX_COLLECTION_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "text/term_vector.h"
+#include "text/vocabulary.h"
+
+namespace ibseg {
+
+/// BM25-style pivot slope b of the Eq. 7/8 unique-term normalization NU.
+/// Shared by InvertedIndex::finalize and the sharded scoring path so both
+/// compute unit norms with literally the same constant.
+inline constexpr double kNormPivotSlope = 0.75;
+
+/// Per-unit lexical statistics of Eqs. 7/8 — everything about one unit the
+/// term-weight denominator needs. Computed once at add time; the values are
+/// a pure function of the unit's term bag, so the sharded stats board and a
+/// shard's local InvertedIndex derive bit-identical numbers from the same
+/// TermVector (both call compute_unit_lex_stats).
+struct UnitLexStats {
+  double log_tf_sum = 0.0;  ///< sum of (log tf + 1) over the unit's terms
+  double length = 0.0;      ///< sum of tf (the |d| of BM25 / LM scoring)
+  size_t unique_terms = 0;  ///< number of distinct terms with tf > 0
+};
+
+/// Folds a term bag into UnitLexStats, iterating entries in TermId order
+/// (TermVector is id-ordered) and skipping non-positive weights — the exact
+/// accumulation InvertedIndex::add_unit performs.
+UnitLexStats compute_unit_lex_stats(const TermVector& terms);
+
+/// The Eq. 7/8 denominator of one unit, *before* the collection-average
+/// floor: (sum of log tf + 1) * NU, where NU pivots the unit's unique-term
+/// count against the collection average; degenerate denominators fall back
+/// to 1. Shared by InvertedIndex::finalize (which then applies the floor
+/// via max) and the external-stats scoring path, so a unit's norm is the
+/// same double no matter which side computes it.
+inline double pre_floor_unit_norm(double log_tf_sum, size_t unique_terms,
+                                  double avg_unique_terms) {
+  double nu = 1.0;
+  if (avg_unique_terms > 0.0) {
+    nu = (1.0 - kNormPivotSlope) +
+         kNormPivotSlope * static_cast<double>(unique_terms) /
+             avg_unique_terms;
+  }
+  double denom = log_tf_sum * nu;
+  return denom > 0.0 ? denom : 1.0;
+}
+
+/// Immutable snapshot of one intention cluster's collection-dependent
+/// scoring statistics, aggregated over EVERY shard of a document-partitioned
+/// deployment. A shard's inverted index holds only its own documents'
+/// postings; scoring them against these global numbers reproduces — bit for
+/// bit — the scores a single unpartitioned index would produce, because
+/// every collection-dependent input (|I|, |I^t|, the NU pivot average, the
+/// norm floor, the LM collection model) is the global value. See
+/// docs/ARCHITECTURE.md §6.
+struct ClusterCollectionStats {
+  size_t num_units = 0;          ///< |I|: units across all shards
+  double avg_unique_terms = 0.0; ///< NU pivot average (global)
+  double norm_floor = 0.0;       ///< Eq. 7/8 norm floor; 0 = no floor
+  double avg_unit_length = 0.0;  ///< BM25 length pivot (global)
+  double collection_length = 0.0;  ///< LM collection mass (global)
+  /// |I^t| per term (global document frequency).
+  std::unordered_map<TermId, size_t> df;
+  /// Collection term frequency per term (LM collection model numerator).
+  std::unordered_map<TermId, double> collection_tf;
+
+  size_t df_of(TermId term) const {
+    auto it = df.find(term);
+    return it == df.end() ? 0 : it->second;
+  }
+  double collection_tf_of(TermId term) const {
+    auto it = collection_tf.find(term);
+    return it == collection_tf.end() ? 0.0 : it->second;
+  }
+};
+
+/// The sharded deployment's global statistics board: one ClusterCollection-
+/// Stats per intention cluster, aggregated over all shards in publication
+/// order. The board mirrors InvertedIndex arithmetic exactly:
+///
+///  * append() replicates add_unit's per-unit accumulation (same TermVector,
+///    same iteration order, same skip rules) via compute_unit_lex_stats;
+///  * refresh() replicates finalize()'s derived-stat pass — averages from
+///    exact integer-valued sums, then the norm floor from a *serial* sweep
+///    over every unit's pre-floor norm in global publication order. The
+///    floor is the one order-sensitive float sum in the whole scoring
+///    stack, which is why the board keeps the per-unit stats vector and
+///    why sharded publication is serialized (ShardedServing's publish
+///    mutex): the board's unit order must equal the order a single
+///    unsharded index would have inserted them in.
+///
+/// Readers never block writers: cluster() hands out a shared_ptr to an
+/// immutable snapshot (copy-on-write — refresh() builds a new snapshot and
+/// swaps the pointer under the board mutex). A query grabs the snapshots it
+/// needs once up front and scores against them without further
+/// synchronization.
+class GlobalIndexStats {
+ public:
+  GlobalIndexStats(int num_clusters, double min_norm_fraction);
+
+  GlobalIndexStats(const GlobalIndexStats&) = delete;
+  GlobalIndexStats& operator=(const GlobalIndexStats&) = delete;
+
+  /// Appends one unit's term bag to `cluster`. With `refresh_now` (the
+  /// online-ingest path) the cluster's derived stats and published snapshot
+  /// are rebuilt immediately, mirroring the per-ingest finalize() of the
+  /// unsharded matcher; bulk seeding passes false and calls refresh() once
+  /// per cluster afterwards, mirroring the offline build's single finalize.
+  void append(int cluster, const TermVector& terms, bool refresh_now = true);
+
+  /// Recomputes `cluster`'s derived statistics and publishes a fresh
+  /// immutable snapshot.
+  void refresh(int cluster);
+
+  /// The current immutable snapshot of `cluster`'s statistics. Never null
+  /// for a valid cluster id. Thread-safe against concurrent append/refresh.
+  std::shared_ptr<const ClusterCollectionStats> cluster(int c) const;
+
+  int num_clusters() const { return static_cast<int>(accums_.size()); }
+
+  /// Total units appended across all clusters (diagnostics).
+  size_t total_units() const;
+
+ private:
+  struct ClusterAccum {
+    /// Per-unit stats in global publication order — the inputs of the
+    /// serial norm-floor sweep.
+    std::vector<UnitLexStats> units;
+    std::unordered_map<TermId, size_t> df;
+    std::unordered_map<TermId, double> collection_tf;
+    double collection_length = 0.0;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<ClusterAccum> accums_;
+  std::vector<std::shared_ptr<const ClusterCollectionStats>> views_;
+  double min_norm_fraction_ = 1.0;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_INDEX_COLLECTION_STATS_H_

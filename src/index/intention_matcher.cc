@@ -70,6 +70,34 @@ std::vector<IntentionMatcher::MatchExplanation> IntentionMatcher::explain(
   return out;
 }
 
+std::map<int, TermVector> IntentionMatcher::assign_external(
+    const Document& doc, const Segmentation& segmentation,
+    const std::vector<std::vector<double>>& centroids,
+    const Vocabulary& vocab, size_t num_clusters,
+    const FeatureVectorOptions& features) {
+  // Nearest-centroid assignment + refinement, mirroring add_document.
+  std::map<int, TermVector> per_cluster_terms;
+  obs::TraceScope assign(obs::Stage::kClusterAssign);
+  for (auto [b, e] : segmentation.segments()) {
+    if (b == e) continue;
+    std::vector<double> f = segment_feature_vector(doc, b, e, features);
+    int best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < centroids.size() && c < num_clusters; ++c) {
+      double d = euclidean_distance(f, centroids[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(c);
+      }
+    }
+    size_t tok_b = doc.sentences()[b].token_begin;
+    size_t tok_e = doc.sentences()[e - 1].token_end;
+    per_cluster_terms[best].merge(
+        build_term_vector_lookup(doc.tokens(), tok_b, tok_e, vocab));
+  }
+  return per_cluster_terms;
+}
+
 std::vector<ScoredDoc> IntentionMatcher::find_related_external(
     const Document& doc, const Segmentation& segmentation,
     const std::vector<std::vector<double>>& centroids,
@@ -78,59 +106,17 @@ std::vector<ScoredDoc> IntentionMatcher::find_related_external(
   std::vector<ScoredDoc> out;
   if (k <= 0 || indices_.empty()) return out;
 
-  // Nearest-centroid assignment + refinement, mirroring add_document.
-  std::map<int, TermVector> per_cluster_terms;
-  {
-    obs::TraceScope assign(obs::Stage::kClusterAssign);
-    for (auto [b, e] : segmentation.segments()) {
-      if (b == e) continue;
-      std::vector<double> f = segment_feature_vector(doc, b, e, features);
-      int best = 0;
-      double best_d = std::numeric_limits<double>::max();
-      for (size_t c = 0; c < centroids.size() && c < indices_.size(); ++c) {
-        double d = euclidean_distance(f, centroids[c]);
-        if (d < best_d) {
-          best_d = d;
-          best = static_cast<int>(c);
-        }
-      }
-      size_t tok_b = doc.sentences()[b].token_begin;
-      size_t tok_e = doc.sentences()[e - 1].token_end;
-      per_cluster_terms[best].merge(
-          build_term_vector_lookup(doc.tokens(), tok_b, tok_e, vocab));
-    }
-  }
+  std::map<int, TermVector> per_cluster_terms = assign_external(
+      doc, segmentation, centroids, vocab, indices_.size(), features);
 
   int n = options_.top_n_factor * k;
   std::unordered_map<DocId, double> merged;
   for (const auto& [cluster, terms] : per_cluster_terms) {
     if (terms.empty()) continue;
-    const ClusterIndex& ci = indices_[static_cast<size_t>(cluster)];
-    double weight =
-        static_cast<size_t>(cluster) < options_.cluster_weights.size()
-            ? options_.cluster_weights[static_cast<size_t>(cluster)]
-            : 1.0;
+    double weight = cluster_weight(cluster);
     if (weight <= 0.0) continue;
-    std::vector<ScoredUnit> hits =
-        score_units(ci.index, terms, options_.scoring);
-    // Select the per-intention list on (score, DocId) — same
-    // deterministic tie rule as match_single_intention.
-    std::vector<ScoredDoc> list;
-    list.reserve(hits.size());
-    for (const ScoredUnit& h : hits) {
-      list.push_back(ScoredDoc{ci.unit_doc[h.unit], h.score});
-    }
-    auto by_score_then_doc = [](const ScoredDoc& a, const ScoredDoc& b) {
-      if (a.score != b.score) return a.score > b.score;
-      return a.doc < b.doc;
-    };
-    if (list.size() > static_cast<size_t>(n)) {
-      std::partial_sort(list.begin(), list.begin() + n, list.end(),
-                        by_score_then_doc);
-      list.resize(static_cast<size_t>(n));
-    } else {
-      std::sort(list.begin(), list.end(), by_score_then_doc);
-    }
+    std::vector<ScoredDoc> list =
+        match_cluster_terms(cluster, terms, kNoDocId, n);
     for (const ScoredDoc& sd : list) {
       merged[sd.doc] += weight * sd.score;
     }
@@ -177,6 +163,7 @@ void IntentionMatcher::add_document(
   }
   for (auto& [cluster, terms] : per_cluster_terms) {
     ClusterIndex& ci = indices_[static_cast<size_t>(cluster)];
+    if (stats_sink_ != nullptr) stats_sink_->append(cluster, terms);
     uint32_t unit = ci.index.add_unit(terms);
     ci.index.finalize();
     ci.unit_doc.push_back(doc.id());
@@ -184,6 +171,19 @@ void IntentionMatcher::add_document(
     doc_units_[doc.id()].emplace_back(cluster, unit);
     ++total_segments_;
   }
+}
+
+std::vector<std::pair<int, TermVector>> IntentionMatcher::doc_cluster_terms(
+    DocId doc) const {
+  std::vector<std::pair<int, TermVector>> out;
+  auto it = doc_units_.find(doc);
+  if (it == doc_units_.end()) return out;
+  out.reserve(it->second.size());
+  for (auto [cluster, unit] : it->second) {
+    const ClusterIndex& ci = indices_[static_cast<size_t>(cluster)];
+    out.emplace_back(cluster, ci.unit_terms[unit]);
+  }
+  return out;
 }
 
 std::vector<ScoredDoc> IntentionMatcher::match_single_intention(
@@ -204,13 +204,23 @@ std::vector<ScoredDoc> IntentionMatcher::match_single_intention(
     }
   }
   if (query_terms == nullptr || query_terms->empty()) return out;
+  return match_cluster_terms(cluster, *query_terms, query, n);
+}
+
+std::vector<ScoredDoc> IntentionMatcher::match_cluster_terms(
+    int cluster, const TermVector& terms, DocId exclude, int n,
+    const ClusterCollectionStats* global) const {
+  std::vector<ScoredDoc> out;
+  if (cluster < 0 || cluster >= num_clusters() || n <= 0) return out;
+  if (terms.empty()) return out;
+  const ClusterIndex& ci = indices_[static_cast<size_t>(cluster)];
 
   std::vector<ScoredUnit> hits =
-      score_units(ci.index, *query_terms, options_.scoring);
+      score_units(ci.index, terms, options_.scoring, global);
   // Exclude the query document's own segment(s).
   hits.erase(std::remove_if(hits.begin(), hits.end(),
                             [&](const ScoredUnit& h) {
-                              return ci.unit_doc[h.unit] == query;
+                              return ci.unit_doc[h.unit] == exclude;
                             }),
              hits.end());
   if (options_.score_threshold > 0.0) {

@@ -1,11 +1,14 @@
 #ifndef IBSEG_INDEX_INTENTION_MATCHER_H_
 #define IBSEG_INDEX_INTENTION_MATCHER_H_
 
+#include <limits>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cluster/intention_clusters.h"
+#include "index/collection_stats.h"
 #include "index/inverted_index.h"
 #include "index/scoring.h"
 #include "seg/document.h"
@@ -93,6 +96,39 @@ class IntentionMatcher {
   std::vector<ScoredDoc> match_single_intention(int cluster, DocId query,
                                                 int n) const;
 
+  /// Sentinel for match_cluster_terms: exclude no document.
+  static constexpr DocId kNoDocId = std::numeric_limits<DocId>::max();
+
+  /// The Algorithm 1 core with the query supplied as a term bag instead of
+  /// a corpus DocId: scores `terms` against cluster `cluster`'s index,
+  /// drops `exclude`'s own segment (pass kNoDocId to keep everything),
+  /// applies MatcherOptions::score_threshold, and selects/ranks on
+  /// (score desc, DocId asc). This is the scatter primitive of the sharded
+  /// serving layer: each shard evaluates it over its own partition, with
+  /// `global` carrying the cross-shard collection statistics so per-unit
+  /// scores are bit-identical to an unpartitioned index (see score_units).
+  /// nullptr `global` scores against this matcher's own statistics.
+  std::vector<ScoredDoc> match_cluster_terms(
+      int cluster, const TermVector& terms, DocId exclude, int n,
+      const ClusterCollectionStats* global = nullptr) const;
+
+  /// The term bag of each cluster where `doc` has a (refined) segment, in
+  /// ascending cluster order. Copies — safe to ship across shards. Empty
+  /// when `doc` is not indexed here.
+  std::vector<std::pair<int, TermVector>> doc_cluster_terms(DocId doc) const;
+
+  /// Nearest-centroid assignment of an external (non-ingested) post:
+  /// merges same-cluster segments exactly as add_document refinement does
+  /// and returns the per-cluster term bags, keyed by cluster, restricted
+  /// to clusters < num_clusters. Pure function of its inputs (vocabulary
+  /// lookup only, nothing interned) — the sharded layer assigns once and
+  /// scatters the bags to every shard.
+  static std::map<int, TermVector> assign_external(
+      const Document& doc, const Segmentation& segmentation,
+      const std::vector<std::vector<double>>& centroids,
+      const Vocabulary& vocab, size_t num_clusters,
+      const FeatureVectorOptions& features = {});
+
   /// Per-intention contribution of a (query, candidate) pair: why the
   /// matcher considers them related. One entry per cluster where the query
   /// has a segment and the candidate scored, with the candidate's score
@@ -132,6 +168,15 @@ class IntentionMatcher {
                     Vocabulary& vocab,
                     const FeatureVectorOptions& features = {});
 
+  /// Routes ingested per-cluster term bags to a cross-shard statistics
+  /// board: after this call every add_document also append()s each
+  /// refined segment's bag to `sink` (in the same ascending-cluster order
+  /// the local indices ingest them). The sharded serving layer points all
+  /// shards at one board so queries can score against collection-wide
+  /// statistics. nullptr (default) disables. Not owned; must outlive the
+  /// matcher or be reset first.
+  void set_stats_sink(GlobalIndexStats* sink) { stats_sink_ = sink; }
+
   /// \brief Number of intention clusters (= per-cluster indices).
   int num_clusters() const { return static_cast<int>(indices_.size()); }
 
@@ -165,6 +210,9 @@ class IntentionMatcher {
   std::map<DocId, std::vector<std::pair<int, uint32_t>>> doc_units_;
   MatcherOptions options_;
   size_t total_segments_ = 0;
+  /// Cross-shard statistics board fed by add_document (see
+  /// set_stats_sink). Not owned.
+  GlobalIndexStats* stats_sink_ = nullptr;
   /// Query-path worker pool, created at build() when
   /// options.query_threads > 1. Shared by all concurrent queries; each
   /// query tracks its own tasks with a TaskGroup, so callers never wait

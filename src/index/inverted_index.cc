@@ -10,17 +10,13 @@ namespace ibseg {
 uint32_t InvertedIndex::add_unit(const TermVector& terms) {
   finalized_ = false;  // norms must be recomputed
   uint32_t unit = static_cast<uint32_t>(stats_.size());
-  UnitStats stats;
   for (const auto& [term, tf] : terms.entries()) {
     if (tf <= 0.0) continue;
     postings_[term].push_back(Posting{unit, tf});
     collection_tf_[term] += tf;
     collection_length_ += tf;
-    stats.log_tf_sum += std::log(tf) + 1.0;
-    stats.length += tf;
-    ++stats.unique_terms;
   }
-  stats_.push_back(stats);
+  stats_.push_back(compute_unit_lex_stats(terms));
   unit_norms_.push_back(1.0);  // placeholder until finalize()
   return unit;
 }
@@ -32,23 +28,18 @@ void InvertedIndex::finalize() {
   // no-op samples.
   obs::TraceScope term_weight(obs::Stage::kTermWeight);
   double total_unique = 0.0;
-  for (const UnitStats& s : stats_) total_unique += s.unique_terms;
+  for (const UnitLexStats& s : stats_) total_unique += s.unique_terms;
   avg_unique_terms_ =
       stats_.empty() ? 0.0 : total_unique / static_cast<double>(stats_.size());
   double length_sum = 0.0;
-  for (const UnitStats& s : stats_) length_sum += s.length;
+  for (const UnitLexStats& s : stats_) length_sum += s.length;
   avg_length_ =
       stats_.empty() ? 0.0 : length_sum / static_cast<double>(stats_.size());
   double norm_sum = 0.0;
   for (size_t u = 0; u < stats_.size(); ++u) {
-    double nu = 1.0;
-    if (avg_unique_terms_ > 0.0) {
-      nu = (1.0 - kPivotSlope) +
-           kPivotSlope * static_cast<double>(stats_[u].unique_terms) /
-               avg_unique_terms_;
-    }
-    double denom = stats_[u].log_tf_sum * nu;
-    unit_norms_[u] = denom > 0.0 ? denom : 1.0;
+    unit_norms_[u] = pre_floor_unit_norm(stats_[u].log_tf_sum,
+                                         stats_[u].unique_terms,
+                                         avg_unique_terms_);
     norm_sum += unit_norms_[u];
   }
   if (!unit_norms_.empty() && min_norm_fraction > 0.0) {

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "index/collection_stats.h"
 #include "text/term_vector.h"
 #include "text/vocabulary.h"
 
@@ -73,8 +74,22 @@ class InvertedIndex {
   /// Total term-occurrence mass of the collection.
   double collection_length() const { return collection_length_; }
 
-  /// Pivot slope b of NU.
-  static constexpr double kPivotSlope = 0.75;
+  /// Per-unit sum of (log tf + 1) — the Eq. 7/8 numerator of the unit's
+  /// norm. Exposed (with unit_unique_terms) so a document-partitioned
+  /// shard's units can be re-normalized on the fly against *global*
+  /// collection statistics (see ClusterCollectionStats): the norm is a pure
+  /// function of these two locals plus the collection's NU average + floor.
+  double unit_log_tf_sum(uint32_t unit) const {
+    return stats_[unit].log_tf_sum;
+  }
+
+  /// Number of distinct terms in `unit` (the NU pivot input).
+  size_t unit_unique_terms(uint32_t unit) const {
+    return stats_[unit].unique_terms;
+  }
+
+  /// Pivot slope b of NU (alias of the shared kNormPivotSlope).
+  static constexpr double kPivotSlope = kNormPivotSlope;
 
   /// Floor applied to unit norms, as a fraction of the collection-average
   /// norm. Eq. 7/8 divide by a per-unit sum that gets tiny for very short
@@ -84,15 +99,9 @@ class InvertedIndex {
   double min_norm_fraction = 1.0;
 
  private:
-  struct UnitStats {
-    double log_tf_sum = 0.0;  // sum of (log tf + 1)
-    double length = 0.0;      // sum of tf
-    size_t unique_terms = 0;
-  };
-
   std::unordered_map<TermId, std::vector<Posting>> postings_;
   std::unordered_map<TermId, double> collection_tf_;
-  std::vector<UnitStats> stats_;
+  std::vector<UnitLexStats> stats_;
   std::vector<double> unit_norms_;
   double avg_unique_terms_ = 0.0;
   double avg_length_ = 0.0;

@@ -18,18 +18,38 @@ double probabilistic_idf(size_t collection_size, size_t df) {
 
 namespace {
 
+// Eq. 7/8 norm of `unit` under external collection statistics: the same
+// pre-floor expression finalize() evaluates, with the *global* NU average
+// and floor substituted. Bit-identical to the norm an unpartitioned index
+// would have stored for this unit.
+double global_unit_norm(const InvertedIndex& index, uint32_t unit,
+                        const ClusterCollectionStats& global) {
+  double norm = pre_floor_unit_norm(index.unit_log_tf_sum(unit),
+                                    index.unit_unique_terms(unit),
+                                    global.avg_unique_terms);
+  if (global.norm_floor > 0.0) norm = std::max(norm, global.norm_floor);
+  return norm;
+}
+
 // The paper's Eq. 9 (default).
 void accumulate_paper_tfidf(const InvertedIndex& index,
                             const TermVector& query,
+                            const ClusterCollectionStats* global,
                             std::unordered_map<uint32_t, double>* acc) {
   for (const auto& [term, f_q] : query.entries()) {
     if (f_q <= 0.0) continue;
     const std::vector<Posting>& plist = index.postings(term);
     if (plist.empty()) continue;
-    double pidf = probabilistic_idf(index.num_units(), plist.size());
+    double pidf = global == nullptr
+                      ? probabilistic_idf(index.num_units(), plist.size())
+                      : probabilistic_idf(global->num_units,
+                                          global->df_of(term));
     if (pidf <= 0.0) continue;
     for (const Posting& p : plist) {
-      double w = (std::log(p.tf) + 1.0) / index.unit_norm(p.unit);
+      double norm = global == nullptr ? index.unit_norm(p.unit)
+                                      : global_unit_norm(index, p.unit,
+                                                         *global);
+      double w = (std::log(p.tf) + 1.0) / norm;
       (*acc)[p.unit] += f_q * w * pidf;
     }
   }
@@ -38,16 +58,21 @@ void accumulate_paper_tfidf(const InvertedIndex& index,
 // Okapi BM25 with the standard +1-smoothed RSJ idf.
 void accumulate_bm25(const InvertedIndex& index, const TermVector& query,
                      const ScoringOptions& options,
+                     const ClusterCollectionStats* global,
                      std::unordered_map<uint32_t, double>* acc) {
   const double k1 = options.bm25_k1;
   const double b = options.bm25_b;
-  const double n = static_cast<double>(index.num_units());
-  const double avg_len = std::max(index.avg_unit_length(), 1e-9);
+  const double n = static_cast<double>(
+      global == nullptr ? index.num_units() : global->num_units);
+  const double avg_len = std::max(
+      global == nullptr ? index.avg_unit_length() : global->avg_unit_length,
+      1e-9);
   for (const auto& [term, f_q] : query.entries()) {
     if (f_q <= 0.0) continue;
     const std::vector<Posting>& plist = index.postings(term);
     if (plist.empty()) continue;
-    double df = static_cast<double>(plist.size());
+    double df = static_cast<double>(
+        global == nullptr ? plist.size() : global->df_of(term));
     double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
     for (const Posting& p : plist) {
       double len = index.unit_length(p.unit);
@@ -64,14 +89,21 @@ void accumulate_bm25(const InvertedIndex& index, const TermVector& query,
 void accumulate_query_likelihood(const InvertedIndex& index,
                                  const TermVector& query,
                                  const ScoringOptions& options,
+                                 const ClusterCollectionStats* global,
                                  std::unordered_map<uint32_t, double>* acc) {
   const double lambda = std::clamp(options.lm_lambda, 1e-6, 1.0 - 1e-6);
-  const double collection_len = std::max(index.collection_length(), 1e-9);
+  const double collection_len = std::max(
+      global == nullptr ? index.collection_length()
+                        : global->collection_length,
+      1e-9);
   for (const auto& [term, f_q] : query.entries()) {
     if (f_q <= 0.0) continue;
     const std::vector<Posting>& plist = index.postings(term);
     if (plist.empty()) continue;
-    double p_collection = index.collection_tf(term) / collection_len;
+    double p_collection =
+        (global == nullptr ? index.collection_tf(term)
+                           : global->collection_tf_of(term)) /
+        collection_len;
     if (p_collection <= 0.0) continue;
     for (const Posting& p : plist) {
       double len = std::max(index.unit_length(p.unit), 1e-9);
@@ -87,18 +119,19 @@ void accumulate_query_likelihood(const InvertedIndex& index,
 
 std::vector<ScoredUnit> score_units(const InvertedIndex& index,
                                     const TermVector& query,
-                                    const ScoringOptions& options) {
+                                    const ScoringOptions& options,
+                                    const ClusterCollectionStats* global) {
   obs::TraceScope score(obs::Stage::kScore);
   std::unordered_map<uint32_t, double> acc;
   switch (options.function) {
     case ScoringFunction::kPaperTfIdf:
-      accumulate_paper_tfidf(index, query, &acc);
+      accumulate_paper_tfidf(index, query, global, &acc);
       break;
     case ScoringFunction::kBm25:
-      accumulate_bm25(index, query, options, &acc);
+      accumulate_bm25(index, query, options, global, &acc);
       break;
     case ScoringFunction::kQueryLikelihood:
-      accumulate_query_likelihood(index, query, options, &acc);
+      accumulate_query_likelihood(index, query, options, global, &acc);
       break;
   }
   std::vector<ScoredUnit> hits;

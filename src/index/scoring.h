@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "index/collection_stats.h"
 #include "index/inverted_index.h"
 #include "text/term_vector.h"
 
@@ -52,9 +53,21 @@ struct ScoringOptions {
 ///   sum_t f_q(t) * log(1 + ((1-l)*tf/len) / (l*ctf/C))
 /// so non-matching units keep score 0). Returns the units with positive
 /// score, unordered. Term-at-a-time evaluation over the postings lists.
+///
+/// `global` switches every collection-dependent input — |I|, |I^t|, the NU
+/// pivot average, the norm floor, the BM25 length pivot, the LM collection
+/// model — from the index's own statistics to the supplied cross-shard
+/// aggregate, and re-derives unit norms on the fly from the index's
+/// per-unit lexical stats via pre_floor_unit_norm. A document-partitioned
+/// shard scored this way produces, for each of its units, exactly the
+/// bits a single unpartitioned index holding the full collection would
+/// produce (same per-term accumulation order, same arithmetic, same skip
+/// rules). nullptr (the default) keeps the classic local-statistics path.
 std::vector<ScoredUnit> score_units(const InvertedIndex& index,
                                     const TermVector& query,
-                                    const ScoringOptions& options = {});
+                                    const ScoringOptions& options = {},
+                                    const ClusterCollectionStats* global =
+                                        nullptr);
 
 /// Sorts hits by descending score (ties by ascending unit id for
 /// determinism) and truncates to `n`.

@@ -1,0 +1,112 @@
+#include "storage/shard_manifest.h"
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+
+#include "storage/format_util.h"
+
+namespace ibseg {
+namespace {
+
+constexpr const char* kMagic = "IBSEG-SHARD-MANIFEST v1";
+
+}  // namespace
+
+bool ShardManifest::is_consistent() const {
+  if (num_shards == 0) return false;
+  if (shards.size() != num_shards) return false;
+  if (num_clusters < 0) return false;
+  uint64_t seed_total = 0;
+  uint64_t epoch_total = 0;
+  for (const ShardManifestEntry& e : shards) {
+    if (e.docs != e.seed_docs + e.epoch) return false;
+    seed_total += e.seed_docs;
+    epoch_total += e.epoch;
+  }
+  if (seed_total != seed_order.size()) return false;
+  if (epoch_total != publication_order.size()) return false;
+  return true;
+}
+
+bool save_shard_manifest_file(const ShardManifest& manifest,
+                              const std::string& path) {
+  if (!manifest.is_consistent()) return false;
+  return atomic_write_file(path, [&](std::ostream& os) {
+    os << kMagic << '\n';
+    os << "shards " << manifest.num_shards << '\n';
+    os << "next_id " << manifest.next_id << '\n';
+    os << "clusters " << manifest.num_clusters << '\n';
+    os << "seed_order " << manifest.seed_order.size();
+    for (DocId id : manifest.seed_order) os << ' ' << id;
+    os << '\n';
+    os << "publication_order " << manifest.publication_order.size();
+    for (DocId id : manifest.publication_order) os << ' ' << id;
+    os << '\n';
+    for (uint32_t s = 0; s < manifest.num_shards; ++s) {
+      const ShardManifestEntry& e = manifest.shards[s];
+      os << "shard " << s << ' ' << e.docs << ' ' << e.seed_docs << ' '
+         << e.epoch << '\n';
+    }
+    os.flush();
+    return static_cast<bool>(os);
+  });
+}
+
+std::optional<ShardManifest> load_shard_manifest_file(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  // Every line the writer emits is newline-terminated, so a file whose last
+  // byte is not '\n' lost at least part of its final line — reject it rather
+  // than gamble on the surviving digits parsing as a consistent entry.
+  is.seekg(0, std::ios::end);
+  if (is.tellg() <= 0) return std::nullopt;
+  is.seekg(-1, std::ios::end);
+  if (is.get() != '\n') return std::nullopt;
+  is.seekg(0, std::ios::beg);
+  std::string line;
+  if (!read_line(is, &line) || line != kMagic) return std::nullopt;
+
+  ShardManifest m;
+  if (!read_line(is, &line) || !parse_scalar(line, "shards ", &m.num_shards)) {
+    return std::nullopt;
+  }
+  if (!read_line(is, &line) || !parse_scalar(line, "next_id ", &m.next_id)) {
+    return std::nullopt;
+  }
+  if (!read_line(is, &line) ||
+      !parse_scalar(line, "clusters ", &m.num_clusters)) {
+    return std::nullopt;
+  }
+
+  // The order lines carry an explicit element count ahead of the ids, so a
+  // line truncated mid-write parses as a count mismatch, not as a shorter
+  // history.
+  std::vector<uint64_t> values;
+  if (!read_line(is, &line) || !parse_list(line, "seed_order ", &values) ||
+      values.empty() || values.size() - 1 != values.front()) {
+    return std::nullopt;
+  }
+  m.seed_order.assign(values.begin() + 1, values.end());
+  if (!read_line(is, &line) ||
+      !parse_list(line, "publication_order ", &values) || values.empty() ||
+      values.size() - 1 != values.front()) {
+    return std::nullopt;
+  }
+  m.publication_order.assign(values.begin() + 1, values.end());
+
+  m.shards.resize(m.num_shards);
+  for (uint32_t s = 0; s < m.num_shards; ++s) {
+    if (!read_line(is, &line) || !parse_list(line, "shard ", &values) ||
+        values.size() != 4 || values[0] != s) {
+      return std::nullopt;
+    }
+    m.shards[s] = ShardManifestEntry{values[1], values[2], values[3]};
+  }
+  if (read_line(is, &line)) return std::nullopt;  // trailing garbage
+  if (!m.is_consistent()) return std::nullopt;
+  return m;
+}
+
+}  // namespace ibseg

@@ -29,7 +29,8 @@ bool PipelineSnapshot::is_consistent() const {
 }
 
 PipelineSnapshot make_snapshot(const std::vector<Segmentation>& segmentations,
-                               const IntentionClustering& clustering) {
+                               const IntentionClustering& clustering,
+                               const std::vector<DocId>& doc_ids) {
   PipelineSnapshot snap;
   snap.segmentations = segmentations;
   snap.num_clusters = clustering.num_clusters();
@@ -45,14 +46,20 @@ PipelineSnapshot make_snapshot(const std::vector<Segmentation>& segmentations,
     }
   }
   for (size_t d = 0; d < segmentations.size(); ++d) {
+    DocId id = d < doc_ids.size() ? doc_ids[d] : static_cast<DocId>(d);
     for (auto [b, e] : segmentations[d].segments()) {
       if (b == e) continue;
-      auto it = unit_cluster.find({static_cast<DocId>(d), b});
+      auto it = unit_cluster.find({id, b});
       snap.segment_labels.push_back(it == unit_cluster.end() ? 0
                                                              : it->second);
     }
   }
   return snap;
+}
+
+PipelineSnapshot make_snapshot(const std::vector<Segmentation>& segmentations,
+                               const IntentionClustering& clustering) {
+  return make_snapshot(segmentations, clustering, {});
 }
 
 IntentionClustering restore_clustering(const std::vector<Document>& docs,

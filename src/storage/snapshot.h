@@ -31,6 +31,16 @@ struct PipelineSnapshot {
 };
 
 /// Captures a snapshot from the clustering built over `segmentations`.
+/// `doc_ids[d]` is the document id of segmentations[d] — required whenever
+/// corpus ids are not the dense 0..n-1 identity (shard slices, seed
+/// corpora with id gaps); the labels are resolved against the clustering's
+/// RefinedSegment doc ids, so an index/id mismatch silently mislabels
+/// every segment of the affected documents as cluster 0.
+PipelineSnapshot make_snapshot(const std::vector<Segmentation>& segmentations,
+                               const IntentionClustering& clustering,
+                               const std::vector<DocId>& doc_ids);
+
+/// Identity-id convenience overload: document d has id d.
 PipelineSnapshot make_snapshot(const std::vector<Segmentation>& segmentations,
                                const IntentionClustering& clustering);
 

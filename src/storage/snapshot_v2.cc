@@ -1,5 +1,6 @@
 #include "storage/snapshot_v2.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -88,6 +89,12 @@ class Cursor {
   /// section mean a writer/reader disagreement, not padding.
   bool exhausted() const { return pos_ == data_.size(); }
 
+  /// Bytes left to decode — the ceiling for any declared element count
+  /// (reserve() from an unvalidated count is an allocation bomb: every
+  /// element occupies at least a few payload bytes, so a count the
+  /// remaining bytes cannot back is corruption, rejected before reserving).
+  size_t remaining() const { return data_.size() - pos_; }
+
  private:
   const std::string& data_;
   size_t pos_ = 0;
@@ -104,7 +111,10 @@ bool write_section(std::ostream& os, uint32_t id, const std::string& payload) {
 }
 
 /// Reads one section frame; returns false on truncation, an insane size or
-/// a CRC mismatch.
+/// a CRC mismatch. The payload is read in bounded chunks so a corrupt
+/// length prefix never allocates more than the stream actually holds (a
+/// single up-front resize would commit gigabytes to a header some bit rot
+/// — or a fuzzer — inflated, before the read had a chance to fail).
 bool read_section(std::istream& is, uint32_t* id, std::string* payload) {
   char header[16];
   if (!is.read(header, sizeof(header))) return false;
@@ -114,10 +124,14 @@ bool read_section(std::istream& is, uint32_t* id, std::string* payload) {
   uint32_t crc = 0;
   if (!c.u32(id) || !c.u64(&size) || !c.u32(&crc)) return false;
   if (size > kMaxSaneSize) return false;
-  payload->resize(static_cast<size_t>(size));
-  if (size > 0 &&
-      !is.read(payload->data(), static_cast<std::streamsize>(size))) {
-    return false;
+  payload->clear();
+  char buf[1 << 13];
+  for (uint64_t done = 0; done < size;) {
+    size_t want =
+        static_cast<size_t>(std::min<uint64_t>(sizeof(buf), size - done));
+    if (!is.read(buf, static_cast<std::streamsize>(want))) return false;
+    payload->append(buf, want);
+    done += want;
   }
   return crc32(payload->data(), payload->size()) == crc;
 }
@@ -261,6 +275,8 @@ std::optional<ServingSnapshot> load_snapshot_v2(std::istream& is) {
   }
   {
     Cursor c(sections[kSectionDocs]);
+    // Every document costs >= 12 payload bytes (u32 id + u64 text length).
+    if (num_docs * 12 > c.remaining()) return std::nullopt;
     snap.doc_ids.reserve(static_cast<size_t>(num_docs));
     snap.doc_texts.reserve(static_cast<size_t>(num_docs));
     for (uint64_t i = 0; i < num_docs; ++i) {
@@ -274,13 +290,15 @@ std::optional<ServingSnapshot> load_snapshot_v2(std::istream& is) {
   }
   {
     Cursor c(sections[kSectionSegs]);
+    // Every segmentation costs >= 16 payload bytes (two u64 counts).
+    if (num_docs * 16 > c.remaining()) return std::nullopt;
     snap.segmentations.reserve(static_cast<size_t>(num_docs));
     for (uint64_t i = 0; i < num_docs; ++i) {
       Segmentation s;
       uint64_t units = 0;
       uint64_t num_borders = 0;
       if (!c.u64(&units) || !c.u64(&num_borders) ||
-          num_borders > kMaxSaneSize) {
+          num_borders > c.remaining() / 8) {
         return std::nullopt;
       }
       s.num_units = static_cast<size_t>(units);
@@ -297,7 +315,7 @@ std::optional<ServingSnapshot> load_snapshot_v2(std::istream& is) {
   {
     Cursor c(sections[kSectionLabels]);
     uint64_t count = 0;
-    if (!c.u64(&count) || count > kMaxSaneSize) return std::nullopt;
+    if (!c.u64(&count) || count > c.remaining() / 4) return std::nullopt;
     snap.seed_labels.reserve(static_cast<size_t>(count));
     for (uint64_t i = 0; i < count; ++i) {
       uint32_t label = 0;
@@ -309,7 +327,8 @@ std::optional<ServingSnapshot> load_snapshot_v2(std::istream& is) {
   {
     Cursor c(sections[kSectionVocab]);
     uint64_t count = 0;
-    if (!c.u64(&count) || count > kMaxSaneSize) return std::nullopt;
+    // Every term costs >= 8 payload bytes (u64 length prefix).
+    if (!c.u64(&count) || count > c.remaining() / 8) return std::nullopt;
     snap.vocab_terms.reserve(static_cast<size_t>(count));
     for (uint64_t i = 0; i < count; ++i) {
       std::string term;

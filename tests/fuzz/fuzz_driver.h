@@ -1,0 +1,39 @@
+#ifndef IBSEG_TESTS_FUZZ_FUZZ_DRIVER_H_
+#define IBSEG_TESTS_FUZZ_FUZZ_DRIVER_H_
+
+// Shared contract between the fuzz targets and the standalone driver.
+//
+// Each target translation unit defines the libFuzzer entry point
+// LLVMFuzzerTestOneInput plus fuzz_seed_inputs(), a programmatic seed
+// corpus (well-formed inputs serialized in-process, so the seeds track the
+// real formats instead of rotting as checked-in binaries). Under Clang
+// with IBSEG_LIBFUZZER=ON the target links against libFuzzer and the seeds
+// are ignored in favor of the on-disk corpus; everywhere else (gcc — this
+// container) fuzz_driver_main.cc supplies a main() that replays argv files
+// and, when IBSEG_FUZZ_TIME_SEC is set, runs a deterministic structure-
+// blind mutation loop over the seeds for that many seconds.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+/// Well-formed starting points for the mutation loop, built fresh at
+/// startup by each target.
+std::vector<std::string> fuzz_seed_inputs();
+
+namespace ibseg_fuzz {
+
+/// Scratch file path for targets that exercise file-based loaders; unique
+/// per process, reused across iterations.
+std::string scratch_path(const char* tag);
+
+/// Writes `data` to `path` (truncating). Aborts on I/O failure — a fuzz
+/// harness that silently skips inputs reports clean runs it never did.
+void write_scratch(const std::string& path, const uint8_t* data, size_t size);
+
+}  // namespace ibseg_fuzz
+
+#endif  // IBSEG_TESTS_FUZZ_FUZZ_DRIVER_H_

@@ -1,0 +1,160 @@
+// Standalone fuzz driver for toolchains without libFuzzer (gcc): replays
+// any files given on the command line (crash-regression mode), then — when
+// IBSEG_FUZZ_TIME_SEC is set — runs a time-bounded, DETERMINISTIC
+// structure-blind mutation loop over the target's programmatic seed
+// corpus. Determinism (fixed PRNG seed, overridable via IBSEG_FUZZ_SEED)
+// means a failing smoke run reproduces exactly; the interesting inputs it
+// finds should be promoted to regression tests, not left in the corpus.
+//
+// The mutations are the classic byte-level set: bit flips, random byte
+// stores, truncation, block duplication, and cross-seed splices. The
+// targets' parsers are all length-prefixed/CRC-framed formats, so blind
+// mutation is an effective probe for over-reads and missing bounds checks
+// (the crash classes ASan turns into hard failures).
+
+#include "fuzz_driver.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+
+namespace ibseg_fuzz {
+
+std::string scratch_path(const char* tag) {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = (base != nullptr && *base != '\0') ? base : "/tmp";
+  return dir + "/ibseg_fuzz_" + tag + "_" +
+         std::to_string(static_cast<long>(::getpid()));
+}
+
+void write_scratch(const std::string& path, const uint8_t* data,
+                   size_t size) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(data),
+           static_cast<std::streamsize>(size));
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "fuzz: cannot write scratch file %s\n",
+                 path.c_str());
+    std::abort();
+  }
+}
+
+namespace {
+
+void run_one(const std::string& input) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                         input.size());
+}
+
+std::string mutate(std::string input, std::mt19937_64& rng,
+                   const std::vector<std::string>& seeds) {
+  std::uniform_int_distribution<int> strategy(0, 4);
+  std::uniform_int_distribution<uint64_t> any(0);
+  int rounds = 1 + static_cast<int>(any(rng) % 4);
+  for (int r = 0; r < rounds; ++r) {
+    switch (strategy(rng)) {
+      case 0:  // bit flip
+        if (!input.empty()) {
+          size_t pos = any(rng) % input.size();
+          input[pos] = static_cast<char>(input[pos] ^ (1u << (any(rng) % 8)));
+        }
+        break;
+      case 1:  // byte store (favors format-relevant small values)
+        if (!input.empty()) {
+          input[any(rng) % input.size()] =
+              static_cast<char>(any(rng) % 3 == 0 ? any(rng) % 8
+                                                  : any(rng) & 0xff);
+        }
+        break;
+      case 2:  // truncate — torn-tail probes
+        if (!input.empty()) input.resize(any(rng) % input.size());
+        break;
+      case 3:  // duplicate a block — length-prefix confusion probes
+        if (!input.empty()) {
+          size_t from = any(rng) % input.size();
+          size_t len = 1 + any(rng) % (input.size() - from);
+          input.insert(any(rng) % (input.size() + 1),
+                       input.substr(from, len));
+        }
+        break;
+      default:  // splice a window from another seed
+        if (!seeds.empty()) {
+          const std::string& other = seeds[any(rng) % seeds.size()];
+          if (!other.empty() && !input.empty()) {
+            size_t from = any(rng) % other.size();
+            size_t len = 1 + any(rng) % (other.size() - from);
+            size_t at = any(rng) % input.size();
+            input.replace(at, std::min(len, input.size() - at),
+                          other.substr(from, len));
+          }
+        }
+        break;
+    }
+  }
+  // Bound growth so the loop probes many inputs, not one giant one.
+  if (input.size() > 1 << 16) input.resize(1 << 16);
+  return input;
+}
+
+}  // namespace
+}  // namespace ibseg_fuzz
+
+int main(int argc, char** argv) {
+  // Replay mode: every argv file runs once (crash regressions, corpora).
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream is(argv[i], std::ios::binary);
+    if (!is) {
+      std::fprintf(stderr, "fuzz: cannot read %s\n", argv[i]);
+      return 1;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    ibseg_fuzz::run_one(bytes);
+    std::printf("replayed %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+
+  const char* time_env = std::getenv("IBSEG_FUZZ_TIME_SEC");
+  long seconds = time_env != nullptr ? std::atol(time_env) : 0;
+  if (seconds <= 0) {
+    if (argc <= 1) {
+      std::printf(
+          "usage: %s [input files...]; set IBSEG_FUZZ_TIME_SEC=N for a "
+          "timed mutation run\n",
+          argv[0]);
+    }
+    return 0;
+  }
+
+  const char* seed_env = std::getenv("IBSEG_FUZZ_SEED");
+  uint64_t prng_seed =
+      seed_env != nullptr ? std::strtoull(seed_env, nullptr, 10) : 20260805u;
+  std::mt19937_64 rng(prng_seed);
+
+  std::vector<std::string> seeds = fuzz_seed_inputs();
+  if (seeds.empty()) seeds.push_back("");
+  // The seeds themselves must pass before anything mutated runs.
+  for (const std::string& s : seeds) ibseg_fuzz::run_one(s);
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(seconds);
+  uint64_t execs = 0;
+  std::uniform_int_distribution<size_t> pick(0, seeds.size() - 1);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Small batches between clock reads; each batch mutates a fresh copy
+    // of some seed so the walk never strays unrecoverably far from the
+    // format.
+    for (int i = 0; i < 64; ++i) {
+      ibseg_fuzz::run_one(ibseg_fuzz::mutate(seeds[pick(rng)], rng, seeds));
+      ++execs;
+    }
+  }
+  std::printf("fuzz smoke done: %llu execs in %lds (seed %llu)\n",
+              static_cast<unsigned long long>(execs), seconds,
+              static_cast<unsigned long long>(prng_seed));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fuzz target: the snapshot loaders (storage/snapshot_v2.h). Arbitrary
+// bytes go through the version-sniffing load_snapshot_any_file — which
+// exercises BOTH the v2 binary section parser (length prefixes, CRC
+// frames) and the v1 text fallback — plus the full ServingSnapshot v2
+// loader. The contract under fuzzing: never crash, never over-read
+// (ASan-checked), and never return a structurally inconsistent snapshot.
+
+#include "fuzz_driver.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/serving.h"
+#include "datagen/post_generator.h"
+#include "storage/snapshot.h"
+#include "storage/snapshot_v2.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const std::string path = ibseg_fuzz::scratch_path("snapshot");
+  ibseg_fuzz::write_scratch(path, data, size);
+
+  std::optional<ibseg::ServingSnapshot> v2 =
+      ibseg::load_snapshot_v2_file(path);
+  if (v2.has_value()) {
+    // The loader promises structural validity — an accepted-but-broken
+    // snapshot would crash restore later, far from the bad bytes.
+    if (!v2->is_consistent()) std::abort();
+    (void)v2->offline();
+  }
+
+  std::optional<ibseg::PipelineSnapshot> any =
+      ibseg::load_snapshot_any_file(path);
+  if (any.has_value() && !any->is_consistent()) std::abort();
+  return 0;
+}
+
+std::vector<std::string> fuzz_seed_inputs() {
+  std::vector<std::string> seeds;
+  // v2 seed: a real serving pipeline saved through the real writer.
+  ibseg::GeneratorOptions gen;
+  gen.num_posts = 6;
+  gen.posts_per_scenario = 3;
+  gen.seed = 99;
+  std::vector<ibseg::Document> docs =
+      ibseg::analyze_corpus(ibseg::generate_corpus(gen));
+  std::vector<ibseg::Segmentation> segs;
+  {
+    ibseg::ServingPipeline serving(
+        ibseg::RelatedPostPipeline::build(docs));
+    for (const ibseg::Segmentation& s :
+         serving.quiescent().segmentations()) {
+      segs.push_back(s);
+    }
+    std::string path = ibseg_fuzz::scratch_path("snapshot_seed");
+    if (serving.save(path)) {
+      std::ifstream is(path, std::ios::binary);
+      seeds.emplace_back((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+    }
+  }
+  // v1 seed: the text format the sniffing loader falls back to.
+  {
+    ibseg::IntentionClustering clustering =
+        ibseg::IntentionClustering::build(docs, segs);
+    std::stringstream ss;
+    if (ibseg::save_snapshot(ibseg::make_snapshot(segs, clustering), ss)) {
+      seeds.push_back(ss.str());
+    }
+  }
+  seeds.push_back("");            // empty file
+  seeds.push_back("IBSGSNP2");    // magic with nothing behind it
+  return seeds;
+}

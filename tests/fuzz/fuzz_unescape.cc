@@ -1,0 +1,36 @@
+// Fuzz target: unescape_text (storage/corpus_io.h), the line-format
+// decoder every v1 text loader funnels raw file bytes through. Contract:
+// never crash on any byte sequence, reject (nullopt) exactly the inputs
+// escape_text cannot produce, and round-trip — anything it accepts must
+// re-escape and re-decode to the same string.
+
+#include "fuzz_driver.h"
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/corpus_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string line(reinterpret_cast<const char*>(data), size);
+  std::optional<std::string> text = ibseg::unescape_text(line);
+  if (text.has_value()) {
+    std::optional<std::string> round =
+        ibseg::unescape_text(ibseg::escape_text(*text));
+    if (!round.has_value() || *round != *text) std::abort();
+  }
+  return 0;
+}
+
+std::vector<std::string> fuzz_seed_inputs() {
+  return {
+      "",
+      "plain post text with no escapes at all",
+      ibseg::escape_text("escaped\npost\r\nwith\\backslashes\\n"),
+      "trailing backslash is invalid \\",
+      "unknown escape \\q in the middle",
+      std::string("embedded \x00 NUL and high bytes \xfe\xff", 32),
+  };
+}

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/serving.h"
+#include "core/sharded_serving.h"
 #include "datagen/post_generator.h"
 #include "storage/snapshot_v2.h"
 
@@ -219,6 +220,208 @@ TEST(KillSafety, CrashBetweenSnapshotAndWalTruncation) {
   expect_identical_answers(*recovered, *reference);
   std::remove(snap_path.c_str());
   std::remove(wal_path.c_str());
+}
+
+// ==================================================== sharded deployments ====
+//
+// Same crash model, four hash-partitioned shards: the child restores a
+// sharded directory (per-shard snapshot-v2 + per-shard WAL + global
+// publication journal + manifest), ingests mid-stream, dies with _exit.
+// Recovery must land on the exact pre-crash combined epoch with answers
+// bit-identical to BOTH a never-crashed 4-shard deployment and the
+// unpartitioned pipeline at the same logical epoch — the sharded layer's
+// durability story composes with its bit-identity story.
+
+constexpr uint32_t kShards = 4;
+
+std::string tmp_dir(const std::string& name) {
+  return ::testing::TempDir() + "/ibseg_kill_" + name + "_" +
+         std::to_string(static_cast<long>(::getpid()));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+}
+
+bool spew(const std::string& path, const std::string& data) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << data;
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+/// All mutable files of a 4-shard persist directory, for capture/rollback.
+std::vector<std::string> shard_dir_files(const std::string& dir) {
+  std::vector<std::string> files = {dir + "/MANIFEST", dir + "/ingest.order"};
+  for (uint32_t s = 0; s < kShards; ++s) {
+    files.push_back(dir + "/shard-" + std::to_string(s) + "/snapshot.v2");
+    files.push_back(dir + "/shard-" + std::to_string(s) + "/wal");
+  }
+  return files;
+}
+
+/// Sharded vs unsharded bit-identity at quiescence (both sides joined).
+void expect_matches_pipeline(const ShardedServing& sharded,
+                             const ServingPipeline& reference) {
+  ASSERT_EQ(sharded.num_docs(), reference.num_docs());
+  ASSERT_EQ(sharded.epoch(), reference.epoch());
+  for (const Document& d : reference.quiescent().docs()) {
+    auto got = sharded.find_related(d.id(), 5);
+    auto want = reference.find_related(d.id(), 5);
+    ASSERT_EQ(got.results.size(), want.results.size()) << "query " << d.id();
+    for (size_t i = 0; i < want.results.size(); ++i) {
+      ASSERT_EQ(got.results[i].doc, want.results[i].doc)
+          << "query " << d.id() << " rank " << i;
+      ASSERT_EQ(got.results[i].score, want.results[i].score)
+          << "query " << d.id() << " rank " << i;
+    }
+  }
+}
+
+/// Parent-side setup: a persisted 4-shard deployment over the seed corpus,
+/// saved (committed) to `dir`.
+void write_base_shard_dir(const std::string& dir) {
+  ServingOptions options;
+  options.num_shards = static_cast<int>(kShards);
+  options.persist.shard_dir = dir;
+  auto sharded = ShardedServing::create(seed_docs(), {}, options);
+  ASSERT_NE(sharded, nullptr);
+  ASSERT_TRUE(sharded->save(dir));
+}
+
+/// One sharded crash trial: child restores `dir`, ingests `crash_after`
+/// posts (scattered across shards by the id hash), dies with _exit.
+void run_sharded_crash_trial(size_t crash_after) {
+  const std::vector<std::string> stream = ingest_stream();
+  ASSERT_LE(crash_after, stream.size());
+  std::string dir = tmp_dir("shards");
+  write_base_shard_dir(dir);
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    auto sharded = ShardedServing::restore(dir);
+    if (sharded == nullptr) _exit(42);
+    for (size_t i = 0; i < crash_after; ++i) sharded->add_post(stream[i]);
+    _exit(kChildExitCode);  // journal + WAL tails unflushed by destructors
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), kChildExitCode);
+
+  auto recovered = ShardedServing::restore(dir);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->epoch(), crash_after)
+      << "recovery must land on the exact pre-crash combined epoch";
+
+  // Never-crashed 4-shard reference over the same history.
+  ServingOptions plain;
+  plain.num_shards = static_cast<int>(kShards);
+  auto reference = ShardedServing::create(seed_docs(), {}, plain);
+  ASSERT_NE(reference, nullptr);
+  for (size_t i = 0; i < crash_after; ++i) reference->add_post(stream[i]);
+  ASSERT_EQ(recovered->epoch(), reference->epoch());
+  ASSERT_EQ(recovered->next_id(), reference->next_id());
+
+  // Unsharded reference at the same logical epoch — the bit-identity
+  // anchor for both of them.
+  ServingPipeline unsharded(RelatedPostPipeline::build(seed_docs()));
+  for (size_t i = 0; i < crash_after; ++i) unsharded.add_post(stream[i]);
+  expect_matches_pipeline(*recovered, unsharded);
+  expect_matches_pipeline(*reference, unsharded);
+}
+
+TEST(ShardedKillSafety, FourShardCrashMidIngestRecoversBitIdentical) {
+  for (size_t k : {size_t{0}, size_t{3}, ingest_stream().size()}) {
+    SCOPED_TRACE("crash after " + std::to_string(k) + " ingests");
+    run_sharded_crash_trial(k);
+  }
+}
+
+TEST(ShardedKillSafety, CrashBetweenShardSnapshotRenames) {
+  // The multi-shard save() crash window: some shard snapshots already
+  // renamed into place, the manifest commit (and the WAL/journal resets
+  // behind it) never reached the disk. The child reproduces that exact
+  // on-disk state by capturing the directory before a save, saving, then
+  // rolling back the manifest, the journal, every WAL, and HALF the shard
+  // snapshots — shards 2 and 3 keep their new (ahead-of-manifest) files.
+  // Recovery must reach the full pre-crash history via journal + WAL
+  // replay with published-set dedup, bit-identical to the unsharded
+  // reference.
+  const std::vector<std::string> stream = ingest_stream();
+  const size_t kIngests = 6;
+  std::string dir = tmp_dir("renames");
+  write_base_shard_dir(dir);
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto sharded = ShardedServing::restore(dir);
+    if (sharded == nullptr) _exit(42);
+    for (size_t i = 0; i < kIngests; ++i) sharded->add_post(stream[i]);
+    std::vector<std::string> files = shard_dir_files(dir);
+    std::vector<std::string> before;
+    for (const std::string& f : files) before.push_back(slurp(f));
+    if (!sharded->save(dir)) _exit(43);
+    // Roll back everything EXCEPT shard-2/shard-3 snapshots (indices 4+2*s
+    // in shard_dir_files order: 0 MANIFEST, 1 journal, then snapshot/wal
+    // pairs per shard).
+    for (size_t i = 0; i < files.size(); ++i) {
+      bool keep_new = (i == 2 + 2 * 2) || (i == 2 + 2 * 3);
+      if (!keep_new && !spew(files[i], before[i])) _exit(44);
+    }
+    _exit(kChildExitCode);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), kChildExitCode);
+
+  auto recovered = ShardedServing::restore(dir);
+  ASSERT_NE(recovered, nullptr)
+      << "snapshot-ahead-of-manifest is the legal crash window; restore "
+         "must recover, not reject";
+  EXPECT_EQ(recovered->epoch(), kIngests);
+
+  ServingPipeline unsharded(RelatedPostPipeline::build(seed_docs()));
+  for (size_t i = 0; i < kIngests; ++i) unsharded.add_post(stream[i]);
+  expect_matches_pipeline(*recovered, unsharded);
+
+  // Recovery is stable under repetition.
+  auto again = ShardedServing::restore(dir);
+  ASSERT_NE(again, nullptr);
+  expect_matches_pipeline(*again, unsharded);
+}
+
+TEST(ShardedKillSafety, StaleShardSnapshotIsRejectedNotResurrected) {
+  // The torn-restore bug this PR fixes: a shard snapshot HOLDING FEWER
+  // documents than its manifest entry committed cannot be the file that
+  // manifest described (snapshots rename before the commit) — someone
+  // swapped in an old file. Resurrecting it would silently fork history;
+  // restore must reject the directory instead.
+  const std::vector<std::string> stream = ingest_stream();
+  std::string dir = tmp_dir("stale");
+  write_base_shard_dir(dir);
+  {
+    auto sharded = ShardedServing::restore(dir);
+    ASSERT_NE(sharded, nullptr);
+    // Find a shard that gains a document, keep its pre-ingest snapshot.
+    for (size_t i = 0; i < 6; ++i) sharded->add_post(stream[i]);
+    uint32_t victim = kShards;
+    for (uint32_t s = 0; s < kShards; ++s) {
+      if (sharded->shard(s).epoch() > 0) victim = s;
+    }
+    ASSERT_LT(victim, kShards);
+    std::string snap =
+        dir + "/shard-" + std::to_string(victim) + "/snapshot.v2";
+    std::string stale = slurp(snap);
+    ASSERT_TRUE(sharded->save(dir));  // commits the larger shard counts
+    ASSERT_TRUE(spew(snap, stale));   // swap the old snapshot back in
+  }
+  EXPECT_EQ(ShardedServing::restore(dir), nullptr);
 }
 
 }  // namespace

@@ -173,6 +173,41 @@ TEST(SnapshotV2, SingleByteCorruptionIsRejected) {
   std::remove(path.c_str());
 }
 
+TEST(SnapshotV2, InflatedLengthFieldsDoNotAllocate) {
+  // Fuzzer-found regression: a corrupt section size or element count used
+  // to be trusted up to the 16 GiB sanity ceiling, so a handful of flipped
+  // bits turned load into a multi-gigabyte allocation (and an OOM kill on
+  // small hosts) before any read or CRC check could fail. The loader now
+  // bounds every allocation by the bytes actually present, so these
+  // crafted inputs must be rejected instantly. If this test runs for
+  // seconds or dies, the bound regressed — the EXPECT is the smaller half
+  // of the assertion.
+  auto u32le = [](uint32_t v) {
+    std::string s(4, '\0');
+    for (int i = 0; i < 4; ++i) s[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    return s;
+  };
+  auto u64le = [&](uint64_t v) {
+    return u32le(static_cast<uint32_t>(v)) +
+           u32le(static_cast<uint32_t>(v >> 32));
+  };
+  const std::string prologue =
+      std::string("IBSGSNP2") + u32le(2) + u32le(1);  // version, 1 section
+  // Section header claiming an 8 GiB payload that is not there.
+  {
+    std::istringstream is(prologue + u32le(1) + u64le(uint64_t{1} << 33) +
+                          u32le(0));
+    EXPECT_FALSE(load_snapshot_v2(is).has_value());
+  }
+  // Giant declared payload with a few real bytes behind it: the chunked
+  // read must stop at EOF, never allocate the declared size.
+  {
+    std::istringstream is(prologue + u32le(1) + u64le(uint64_t{1} << 33) +
+                          u32le(0) + std::string(64, 'x'));
+    EXPECT_FALSE(load_snapshot_v2(is).has_value());
+  }
+}
+
 TEST(SnapshotV2, AnyLoaderFallsBackToV1) {
   // A v1 text snapshot keeps loading through the sniffing loader.
   RelatedPostPipeline pipeline = build_seed_pipeline(8);

@@ -1,0 +1,353 @@
+// Differential proof of the sharded serving layer: ShardedServing at ANY
+// shard count must answer every query bit-identically — ranked lists AND
+// scores, operator== on the doubles — to the single unpartitioned
+// ServingPipeline over the same corpus and publication history. The suite
+// runs shard counts {1, 2, 3, 8} against the unsharded reference across
+// fresh builds, interleaved online ingests, cache on/off, external
+// queries, and save/restore round-trips (including a restart mid-history
+// with further ingests on both sides afterwards). Registered under the
+// `differential` ctest label; scripts/reproduce.sh IBSEG_DIFF_CHECK=1
+// runs the label under TSan.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/serving.h"
+#include "core/sharded_serving.h"
+#include "datagen/post_generator.h"
+
+namespace ibseg {
+namespace {
+
+constexpr int kShardCounts[] = {1, 2, 3, 8};
+constexpr size_t kPosts = 28;
+
+GeneratorOptions corpus_options(size_t posts, uint64_t seed) {
+  GeneratorOptions gen;
+  gen.num_posts = posts;
+  gen.posts_per_scenario = 4;
+  gen.seed = seed;
+  return gen;
+}
+
+std::string tmp_dir(const std::string& name) {
+  return ::testing::TempDir() + "/ibseg_shard_" + name;
+}
+
+/// Extra posts to ingest online, drawn from a differently seeded corpus so
+/// they are fresh text but from the same domain vocabulary.
+std::vector<std::string> ingest_texts(size_t count, uint64_t seed) {
+  SyntheticCorpus extra = generate_corpus(corpus_options(count, seed));
+  std::vector<std::string> texts;
+  texts.reserve(extra.posts.size());
+  for (const GeneratedPost& p : extra.posts) texts.push_back(p.text);
+  return texts;
+}
+
+void expect_identical(const std::vector<ScoredDoc>& got,
+                      const std::vector<ScoredDoc>& want,
+                      const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].doc, want[i].doc) << what << " rank " << i;
+    // Bit-identical is the contract, not merely close: operator== on the
+    // accumulated doubles.
+    EXPECT_EQ(got[i].score, want[i].score) << what << " rank " << i;
+  }
+}
+
+/// Every in-corpus query at several k, plus coordinates: sharded answers
+/// must equal the unsharded reference exactly.
+void expect_equivalent(const ShardedServing& sharded,
+                       const ServingPipeline& reference,
+                       const std::string& what) {
+  ASSERT_EQ(sharded.num_docs(), reference.num_docs()) << what;
+  ASSERT_EQ(sharded.epoch(), reference.epoch()) << what;
+  for (const Document& d : reference.quiescent().docs()) {
+    for (int k : {1, 3, 10}) {
+      ServingPipeline::QueryResult want = reference.find_related(d.id(), k);
+      ServingPipeline::QueryResult got = sharded.find_related(d.id(), k);
+      EXPECT_EQ(got.epoch, want.epoch) << what;
+      EXPECT_EQ(got.num_docs, want.num_docs) << what;
+      expect_identical(got.results, want.results,
+                       what + " doc " + std::to_string(d.id()) + " k " +
+                           std::to_string(k));
+    }
+  }
+}
+
+ServingOptions sharded_options(int shards, size_t cache_capacity = 0) {
+  ServingOptions options;
+  options.num_shards = shards;
+  options.cache.capacity = cache_capacity;
+  return options;
+}
+
+// ------------------------------------------------------ fresh corpus ----
+
+TEST(ShardedDifferential, FreshBuildIdenticalAtEveryShardCount) {
+  for (uint64_t seed : {5u, 902u}) {
+    SyntheticCorpus corpus = generate_corpus(corpus_options(kPosts, seed));
+    ServingPipeline reference(RelatedPostPipeline::build(
+        analyze_corpus(corpus)));
+    for (int shards : kShardCounts) {
+      std::unique_ptr<ShardedServing> sharded = ShardedServing::create(
+          analyze_corpus(corpus), {}, sharded_options(shards));
+      ASSERT_NE(sharded, nullptr);
+      ASSERT_EQ(sharded->num_shards(), static_cast<uint32_t>(shards));
+      expect_equivalent(*sharded, reference,
+                        "fresh shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardedDifferential, EveryDocumentOnItsHashShard) {
+  SyntheticCorpus corpus = generate_corpus(corpus_options(kPosts, 31));
+  std::unique_ptr<ShardedServing> sharded =
+      ShardedServing::create(analyze_corpus(corpus), {}, sharded_options(8));
+  ASSERT_NE(sharded, nullptr);
+  size_t total = 0;
+  for (uint32_t s = 0; s < sharded->num_shards(); ++s) {
+    for (const Document& d : sharded->shard(s).quiescent().docs()) {
+      EXPECT_EQ(ShardedServing::shard_of(d.id(), 8), s);
+    }
+    total += sharded->shard(s).num_docs();
+  }
+  EXPECT_EQ(total, kPosts);
+}
+
+// ------------------------------------------------ interleaved ingests ----
+
+TEST(ShardedDifferential, InterleavedIngestsStayIdentical) {
+  SyntheticCorpus corpus = generate_corpus(corpus_options(kPosts, 44));
+  std::vector<std::string> extra = ingest_texts(8, 4400);
+  for (int shards : kShardCounts) {
+    ServingPipeline reference(
+        RelatedPostPipeline::build(analyze_corpus(corpus)));
+    std::unique_ptr<ShardedServing> sharded = ShardedServing::create(
+        analyze_corpus(corpus), {}, sharded_options(shards));
+    ASSERT_NE(sharded, nullptr);
+    std::string what = "interleaved shards=" + std::to_string(shards);
+    for (size_t i = 0; i < extra.size(); ++i) {
+      DocId want_id = reference.add_post(extra[i]);
+      DocId got_id = sharded->add_post(extra[i]);
+      ASSERT_EQ(got_id, want_id) << what;
+      // Query between every ingest — each publication must be visible and
+      // identically scored immediately.
+      expect_identical(sharded->find_related(want_id, 5).results,
+                       reference.find_related(want_id, 5).results,
+                       what + " after ingest " + std::to_string(i));
+    }
+    expect_equivalent(*sharded, reference, what + " final");
+    // Batched ingest too: one lock section, same ids, same answers.
+    std::vector<std::string> batch = ingest_texts(4, 4401);
+    std::vector<DocId> want_ids = reference.add_posts(batch);
+    std::vector<DocId> got_ids = sharded->add_posts(batch);
+    ASSERT_EQ(got_ids, want_ids) << what;
+    expect_equivalent(*sharded, reference, what + " after batch");
+  }
+}
+
+// --------------------------------------------------------- query cache ----
+
+TEST(ShardedDifferential, CacheOnEqualsCacheOff) {
+  SyntheticCorpus corpus = generate_corpus(corpus_options(kPosts, 77));
+  std::vector<std::string> extra = ingest_texts(4, 7700);
+  for (int shards : {2, 8}) {
+    ServingPipeline reference(
+        RelatedPostPipeline::build(analyze_corpus(corpus)));
+    std::unique_ptr<ShardedServing> cached = ShardedServing::create(
+        analyze_corpus(corpus), {}, sharded_options(shards, 256));
+    ASSERT_NE(cached, nullptr);
+    ASSERT_NE(cached->query_cache(), nullptr);
+    std::string what = "cache shards=" + std::to_string(shards);
+    // Two passes: the second is served from the cache and must still be
+    // bit-identical.
+    expect_equivalent(*cached, reference, what + " cold");
+    uint64_t hits_before = cached->query_cache()->hits();
+    expect_equivalent(*cached, reference, what + " warm");
+    EXPECT_GT(cached->query_cache()->hits(), hits_before) << what;
+    // Publications invalidate: ingest, then answers must track the new
+    // corpus, never a stale entry.
+    for (const std::string& text : extra) {
+      reference.add_post(text);
+      cached->add_post(text);
+    }
+    expect_equivalent(*cached, reference, what + " after invalidation");
+  }
+}
+
+// ----------------------------------------------------- external queries ----
+
+TEST(ShardedDifferential, ExternalQueriesIdentical) {
+  SyntheticCorpus corpus = generate_corpus(corpus_options(kPosts, 13));
+  std::vector<std::string> externals = ingest_texts(6, 1300);
+  ServingPipeline reference(
+      RelatedPostPipeline::build(analyze_corpus(corpus)));
+  for (int shards : kShardCounts) {
+    std::unique_ptr<ShardedServing> sharded = ShardedServing::create(
+        analyze_corpus(corpus), {}, sharded_options(shards));
+    ASSERT_NE(sharded, nullptr);
+    for (size_t i = 0; i < externals.size(); ++i) {
+      Document doc = Document::analyze(100000 + static_cast<DocId>(i),
+                                       externals[i]);
+      auto want = reference.find_related_external(doc, 5);
+      auto got = sharded->find_related_external(doc, 5);
+      EXPECT_EQ(got.epoch, want.epoch);
+      EXPECT_EQ(got.num_docs, want.num_docs);
+      expect_identical(got.results, want.results,
+                       "external shards=" + std::to_string(shards) +
+                           " query " + std::to_string(i));
+    }
+  }
+}
+
+// ------------------------------------------------- save/restore cycles ----
+
+TEST(ShardedDifferential, SaveRestoreRoundTripIdentical) {
+  SyntheticCorpus corpus = generate_corpus(corpus_options(kPosts, 59));
+  std::vector<std::string> before = ingest_texts(5, 5900);
+  std::vector<std::string> after = ingest_texts(5, 5901);
+  for (int shards : kShardCounts) {
+    std::string what = "roundtrip shards=" + std::to_string(shards);
+    std::string dir = tmp_dir("rt" + std::to_string(shards));
+    ServingPipeline reference(
+        RelatedPostPipeline::build(analyze_corpus(corpus)));
+    ServingOptions options = sharded_options(shards);
+    options.persist.shard_dir = dir;
+    std::unique_ptr<ShardedServing> original =
+        ShardedServing::create(analyze_corpus(corpus), {}, options);
+    ASSERT_NE(original, nullptr) << what;
+    // History split across the save: some ingests baked into the shard
+    // snapshots, some only in the WALs + journal.
+    for (const std::string& text : before) {
+      reference.add_post(text);
+      original->add_post(text);
+    }
+    ASSERT_TRUE(original->save(dir)) << what;
+    for (const std::string& text : after) {
+      reference.add_post(text);
+      original->add_post(text);
+    }
+    uint64_t epoch_at_exit = original->epoch();
+    DocId next_at_exit = original->next_id();
+    original.reset();  // clean shutdown; WAL tail holds `after`
+
+    std::unique_ptr<ShardedServing> restored =
+        ShardedServing::restore(dir, {}, sharded_options(shards));
+    ASSERT_NE(restored, nullptr) << what;
+    EXPECT_EQ(restored->epoch(), epoch_at_exit) << what;
+    EXPECT_EQ(restored->next_id(), next_at_exit) << what;
+    expect_equivalent(*restored, reference, what);
+    // Life continues after restore: further ingests on both sides keep
+    // the histories aligned (id sequence included).
+    std::vector<std::string> more = ingest_texts(3, 5902);
+    for (const std::string& text : more) {
+      ASSERT_EQ(restored->add_post(text), reference.add_post(text)) << what;
+    }
+    expect_equivalent(*restored, reference, what + " post-restore ingests");
+  }
+}
+
+TEST(ShardedDifferential, RestoredCacheStillIdentical) {
+  SyntheticCorpus corpus = generate_corpus(corpus_options(kPosts, 23));
+  std::string dir = tmp_dir("cache_rt");
+  ServingPipeline reference(
+      RelatedPostPipeline::build(analyze_corpus(corpus)));
+  std::unique_ptr<ShardedServing> original =
+      ShardedServing::create(analyze_corpus(corpus), {}, sharded_options(3));
+  ASSERT_NE(original, nullptr);
+  ASSERT_TRUE(original->save(dir));
+  original.reset();
+  std::unique_ptr<ShardedServing> restored =
+      ShardedServing::restore(dir, {}, sharded_options(3, 128));
+  ASSERT_NE(restored, nullptr);
+  ASSERT_NE(restored->query_cache(), nullptr);
+  expect_equivalent(*restored, reference, "restored cache cold");
+  expect_equivalent(*restored, reference, "restored cache warm");
+  EXPECT_GT(restored->query_cache()->hits(), 0u);
+}
+
+// ------------------------------------------------------- torn restores ----
+
+TEST(ShardedDifferential, RestoreRejectsStaleShardSnapshot) {
+  SyntheticCorpus corpus = generate_corpus(corpus_options(kPosts, 67));
+  std::string dir = tmp_dir("stale");
+  ServingOptions options = sharded_options(4);
+  options.persist.shard_dir = dir;
+  std::unique_ptr<ShardedServing> original =
+      ShardedServing::create(analyze_corpus(corpus), {}, options);
+  ASSERT_NE(original, nullptr);
+  ASSERT_TRUE(original->save(dir));
+  // Stash one shard's committed snapshot, advance history so the next
+  // manifest commits MORE docs for that shard, then put the stale file
+  // back — the forbidden direction (snapshot BEHIND manifest), which a
+  // crash cannot produce because snapshots rename before the commit.
+  std::vector<std::string> extra = ingest_texts(8, 6700);
+  for (const std::string& text : extra) original->add_post(text);
+  uint32_t victim = 0;
+  for (uint32_t s = 0; s < 4; ++s) {
+    if (original->shard(s).epoch() > 0) victim = s;
+  }
+  ASSERT_GT(original->shard(victim).epoch(), 0u);
+  std::string snap_path =
+      dir + "/shard-" + std::to_string(victim) + "/snapshot.v2";
+  std::string stale_copy = snap_path + ".stale";
+  ASSERT_EQ(std::rename(snap_path.c_str(), stale_copy.c_str()), 0);
+  ASSERT_TRUE(original->save(dir));
+  original.reset();
+  ASSERT_EQ(std::rename(stale_copy.c_str(), snap_path.c_str()), 0);
+  EXPECT_EQ(ShardedServing::restore(dir, {}, sharded_options(4)), nullptr);
+}
+
+TEST(ShardedDifferential, RestoreSurvivesSnapshotAheadOfManifest) {
+  // The legal crash window: a save that renamed some shard snapshots but
+  // died before the manifest commit. Simulated by saving to `dir`, then
+  // overlaying ONE shard's snapshot from a later save — restore must
+  // succeed from the old manifest and reach the full pre-crash history
+  // via WAL replay dedup.
+  SyntheticCorpus corpus = generate_corpus(corpus_options(kPosts, 71));
+  std::vector<std::string> extra = ingest_texts(6, 7100);
+  std::string dir = tmp_dir("ahead");
+  std::string dir2 = tmp_dir("ahead_late");
+  ServingPipeline reference(
+      RelatedPostPipeline::build(analyze_corpus(corpus)));
+  ServingOptions options = sharded_options(4);
+  options.persist.shard_dir = dir;
+  std::unique_ptr<ShardedServing> original =
+      ShardedServing::create(analyze_corpus(corpus), {}, options);
+  ASSERT_NE(original, nullptr);
+  ASSERT_TRUE(original->save(dir));
+  uint32_t victim = ShardedServing::shard_of(original->next_id(), 4);
+  for (const std::string& text : extra) {
+    reference.add_post(text);
+    original->add_post(text);
+  }
+  // Second save goes to a scratch directory (so dir's WALs/journal are
+  // NOT truncated — exactly the state an interrupted in-place save
+  // leaves), then one shard's newer snapshot is copied over dir's.
+  ASSERT_TRUE(original->save(dir2));
+  original.reset();
+  {
+    std::string late = dir2 + "/shard-" + std::to_string(victim);
+    std::string target = dir + "/shard-" + std::to_string(victim);
+    std::ifstream src(late + "/snapshot.v2", std::ios::binary);
+    std::ofstream dst(target + "/snapshot.v2",
+                      std::ios::binary | std::ios::trunc);
+    dst << src.rdbuf();
+    ASSERT_TRUE(dst.good());
+  }
+  std::unique_ptr<ShardedServing> restored =
+      ShardedServing::restore(dir, {}, sharded_options(4));
+  ASSERT_NE(restored, nullptr);
+  expect_equivalent(*restored, reference, "snapshot-ahead recovery");
+}
+
+}  // namespace
+}  // namespace ibseg
