@@ -42,6 +42,11 @@
 //   ibseg_cli --save=state.snap query posts.corpus 0 5   # cold start, save
 //   ibseg_cli --restore=state.snap --wal=ingest.wal query posts.corpus 0 5
 //
+// `--pruning=on|off` (default on) selects the MaxScore-pruned
+// per-intention path or the exhaustive historic one; rankings and scores
+// are bit-identical either way, so `off` is a baseline for benchmarking,
+// not a different answer.
+//
 // `--shards=N` serves the query through N hash-partitioned shards behind
 // the scatter-gather layer (core/sharded_serving.h) — results are
 // bit-identical to unsharded serving at any N. With --shards, --save/
@@ -80,13 +85,15 @@ std::string g_save_path;      // --save=PATH: write snapshot v2 after query
 std::string g_restore_path;   // --restore=PATH: warm-start from snapshot v2
 std::string g_wal_path;       // --wal=PATH: attach the write-ahead ingest log
 int g_num_shards = 1;         // --shards=N: hash-partitioned scatter-gather
+bool g_pruning = true;        // --pruning=off: exhaustive per-intention path
 
 int usage() {
   std::fprintf(stderr,
                "usage: ibseg_cli [--metrics[=json]] [--cache[=N]] "
                "[--threads=N]\n"
                "                 [--save=PATH] [--restore=PATH] [--wal=PATH] "
-               "<command> ...\n"
+               "[--shards=N]\n"
+               "                 [--pruning=on|off] <command> ...\n"
                "  ibseg_cli generate <tech|travel|prog|health> <num-posts> <file>\n"
                "  ibseg_cli segment            (post on stdin)\n"
                "  ibseg_cli snapshot <corpus-file> <snapshot-file>\n"
@@ -107,6 +114,10 @@ int usage() {
                "                   instead of recomputing the offline phase\n"
                "  --wal=PATH       (query) write-ahead ingest log: replayed\n"
                "                   on start, appended before publication\n"
+               "  --pruning=on|off MaxScore pruned per-intention top-n (on,\n"
+               "                   the default) or the exhaustive historic\n"
+               "                   path; rankings are bit-identical either\n"
+               "                   way — off is a baseline, not a mode\n"
                "  --shards=N       (query) serve through N hash-partitioned\n"
                "                   shards (bit-identical to unsharded);\n"
                "                   --save/--restore then name a sharded\n"
@@ -210,6 +221,7 @@ int cmd_query_sharded(char** argv, DocId query, int k) {
   serving_options.num_shards = g_num_shards;
   PipelineOptions build_options;
   build_options.matcher.query_threads = g_query_threads;
+  build_options.matcher.exhaustive_fallback = !g_pruning;
 
   SyntheticCorpus corpus;
   std::unique_ptr<ShardedServing> serving;
@@ -288,6 +300,7 @@ int cmd_query(int argc, char** argv) {
 
   PipelineOptions build_options;
   build_options.matcher.query_threads = g_query_threads;
+  build_options.matcher.exhaustive_fallback = !g_pruning;
   ServingOptions serving_options;
   serving_options.cache.capacity = g_cache_capacity;
   serving_options.persist.wal_path = g_wal_path;
@@ -435,6 +448,15 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[arg], "--shards=", 9) == 0) {
       g_num_shards = std::atoi(argv[arg] + 9);
       if (g_num_shards <= 0) return usage();
+    } else if (std::strncmp(argv[arg], "--pruning=", 10) == 0) {
+      const char* value = argv[arg] + 10;
+      if (std::strcmp(value, "on") == 0) {
+        g_pruning = true;
+      } else if (std::strcmp(value, "off") == 0) {
+        g_pruning = false;
+      } else {
+        return usage();
+      }
     } else {
       return usage();
     }

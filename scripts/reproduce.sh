@@ -26,7 +26,8 @@
 #                           build; the plain builds of both labels already
 #                           ran with the normal test step.
 #   IBSEG_FUZZ_CHECK=1      also run the fuzz targets (snapshot loader, WAL
-#                           replay, text unescaping — tests/fuzz/) for 30
+#                           replay, text unescaping, flat-postings decoder —
+#                           tests/fuzz/) for 30
 #                           seconds each under AddressSanitizer. The short
 #                           2s smoke of the same targets runs with the
 #                           normal test step (ctest label "fuzz");
@@ -74,8 +75,8 @@ if [ "${IBSEG_FUZZ_CHECK:-0}" = "1" ]; then
     -DIBSEG_SANITIZE=address \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-address -j "$(nproc)" \
-    --target fuzz_snapshot fuzz_wal fuzz_unescape
-  for target in fuzz_snapshot fuzz_wal fuzz_unescape; do
+    --target fuzz_snapshot fuzz_wal fuzz_unescape fuzz_flat_postings
+  for target in fuzz_snapshot fuzz_wal fuzz_unescape fuzz_flat_postings; do
     echo "-- ${target}"
     env ASAN_OPTIONS="halt_on_error=1 detect_stack_use_after_return=1" \
         IBSEG_FUZZ_TIME_SEC="${IBSEG_FUZZ_TIME_SEC:-30}" \
@@ -127,6 +128,14 @@ for key in '"bench"' '"configs"' '"shards"' '"qps"' '"ingests"'; do
   fi
 done
 echo "BENCH_sharded_qps.json schema OK"
+for key in '"bench"' '"configs"' '"query_threads"' '"pruned"' '"qps"' \
+           '"units_scored"' '"units_pruned"' '"speedup_vs_exhaustive"'; do
+  if ! grep -q "${key}" BENCH_pruned_query_qps.json; then
+    echo "error: BENCH_pruned_query_qps.json missing key ${key}" >&2
+    exit 1
+  fi
+done
+echo "BENCH_pruned_query_qps.json schema OK"
 
 echo "== examples =="
 ./build/examples/quickstart

@@ -31,6 +31,8 @@ struct ServingMetrics {
   obs::Histogram& exclusive_lock_wait;
   obs::Gauge& corpus_docs;
   obs::Gauge& index_segments;
+  obs::Gauge& postings_bytes;
+  obs::Counter& pruned_docs;
   obs::Counter& wal_appends;
   obs::Counter& wal_replayed;
   obs::Gauge& snapshot_bytes;
@@ -78,6 +80,14 @@ struct ServingMetrics {
                   "Documents in the serving corpus (seed + published)."),
           r.gauge("ibseg_index_segments",
                   "Segments indexed across all intention clusters."),
+          r.gauge("ibseg_postings_bytes",
+                  "Bytes of the sealed flat postings arenas (per-term "
+                  "metadata included) across all intention clusters."),
+          r.counter("ibseg_pruned_docs_total",
+                    "Per-intention candidate units rejected by the "
+                    "MaxScore upper-bound test — before their first "
+                    "contribution or mid-accumulation — instead of being "
+                    "fully scored."),
           r.counter("ibseg_wal_appends_total",
                     "Ingest records appended to the write-ahead log."),
           r.counter("ibseg_wal_replayed_records",
@@ -145,6 +155,19 @@ ServingPipeline::ServingPipeline(RelatedPostPipeline pipeline,
   }
   m.corpus_docs.set(static_cast<double>(pipeline_.docs().size()));
   m.index_segments.set(static_cast<double>(pipeline_.matcher().num_segments()));
+  m.postings_bytes.set(
+      static_cast<double>(pipeline_.matcher().postings_bytes()));
+}
+
+
+void ServingPipeline::sync_query_work_metrics() const {
+  uint64_t now = pipeline_.matcher().work_counters().units_pruned.load(
+      std::memory_order_relaxed);
+  uint64_t prev = pruned_exported_.load(std::memory_order_relaxed);
+  while (now > prev && !pruned_exported_.compare_exchange_weak(
+                           prev, now, std::memory_order_relaxed)) {
+  }
+  if (now > prev) ServingMetrics::get().pruned_docs.inc(now - prev);
 }
 
 ServingPipeline::QueryResult ServingPipeline::find_related(DocId query,
@@ -180,6 +203,7 @@ ServingPipeline::QueryResult ServingPipeline::find_related(DocId query,
     cache_->insert(key, QueryCache::Value{r.results, r.epoch, r.num_docs});
   }
   m.queries_related.inc();
+  sync_query_work_metrics();
   return r;
 }
 
@@ -231,6 +255,7 @@ std::vector<ServingPipeline::QueryResult> ServingPipeline::find_related_batch(
     }
   }
   m.queries_batched.inc(queries.size());
+  sync_query_work_metrics();
   return out;
 }
 
@@ -252,6 +277,7 @@ ServingPipeline::QueryResult ServingPipeline::find_related_external(
   r.epoch = epoch_.load(std::memory_order_relaxed);
   r.num_docs = pipeline_.docs().size();
   m.queries_external.inc();
+  sync_query_work_metrics();
   return r;
 }
 
@@ -280,6 +306,8 @@ DocId ServingPipeline::add_post(std::string text) {
   m.posts_ingested.inc();
   m.corpus_docs.set(static_cast<double>(pipeline_.docs().size()));
   m.index_segments.set(static_cast<double>(pipeline_.matcher().num_segments()));
+  m.postings_bytes.set(
+      static_cast<double>(pipeline_.matcher().postings_bytes()));
   return id;
 }
 
@@ -316,6 +344,8 @@ std::vector<DocId> ServingPipeline::add_posts(std::vector<std::string> texts) {
   if (!ids.empty()) m.ingest_batches.inc();
   m.corpus_docs.set(static_cast<double>(pipeline_.docs().size()));
   m.index_segments.set(static_cast<double>(pipeline_.matcher().num_segments()));
+  m.postings_bytes.set(
+      static_cast<double>(pipeline_.matcher().postings_bytes()));
   return ids;
 }
 
@@ -435,6 +465,8 @@ void ServingPipeline::publish_prepared(PreparedPost post) {
   m.posts_ingested.inc();
   m.corpus_docs.set(static_cast<double>(pipeline_.docs().size()));
   m.index_segments.set(static_cast<double>(pipeline_.matcher().num_segments()));
+  m.postings_bytes.set(
+      static_cast<double>(pipeline_.matcher().postings_bytes()));
 }
 
 std::vector<std::pair<int, TermVector>> ServingPipeline::doc_cluster_terms(

@@ -241,6 +241,15 @@ class ServingPipeline {
   /// layer's own segmenter copy, never touching guarded pipeline state.
   PreparedPost prepare(DocId id, std::string text) const;
 
+  /// Publishes the matcher's cumulative pruning counter into the
+  /// ibseg_pruned_docs_total serving counter (delta since the last sync,
+  /// CAS-guarded so concurrent queries never double-export). Lock-free —
+  /// reads only atomics — so queries call it after releasing the shared
+  /// lock. The ibseg_postings_bytes gauge, by contrast, is refreshed at
+  /// construction and publish time only (reading arena sizes requires
+  /// the exclusive lock the publisher already holds).
+  void sync_query_work_metrics() const;
+
   mutable std::shared_mutex mu_;
   RelatedPostPipeline pipeline_;  ///< guarded by mu_
   const Segmenter segmenter_;     ///< immutable copy for lock-free prep
@@ -253,6 +262,9 @@ class ServingPipeline {
   /// Fingerprint of the wrapped matcher's options, precomputed once —
   /// the third cache-key component.
   uint64_t matcher_fingerprint_ = 0;
+  /// Portion of the matcher's cumulative pruned-units counter already
+  /// exported to ibseg_pruned_docs_total (see sync_query_work_metrics).
+  mutable std::atomic<uint64_t> pruned_exported_{0};
   /// Write-ahead ingest log (nullptr = persistence disabled). Appends
   /// happen under mu_'s exclusive lock, so WAL order == publication order
   /// — the property replay correctness depends on.

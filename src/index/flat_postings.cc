@@ -1,0 +1,252 @@
+#include "index/flat_postings.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "index/inverted_index.h"
+
+namespace ibseg {
+
+namespace {
+
+/// Largest integral tf stored in the varint fast path; anything above (or
+/// non-integral) takes the raw-bits branch. 2^62 keeps (tf << 1 | 1)
+/// inside uint64.
+constexpr double kMaxVarintTf = 4611686018427387904.0;  // 2^62
+
+/// Bounded LEB128 read: advances *p, fails on truncation or > 10 bytes.
+inline bool read_varint(const uint8_t** p, const uint8_t* end,
+                        uint64_t* value) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*p < end && shift < 64) {
+    uint8_t byte = **p;
+    ++*p;
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject overlong encodings that would have shifted bits past 64.
+      if (shift == 63 && (byte & 0x7e) != 0) return false;
+      *value = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // truncated or overlong
+}
+
+inline bool read_tf(const uint8_t** p, const uint8_t* end, double* tf) {
+  uint64_t v = 0;
+  if (!read_varint(p, end, &v)) return false;
+  if ((v & 1) != 0) {
+    uint64_t integral = v >> 1;
+    if (integral == 0) return false;  // tf 0 never appears in a posting
+    *tf = static_cast<double>(integral);
+    return true;
+  }
+  if (v != 0) return false;  // even tags other than the raw marker: invalid
+  if (end - *p < 8) return false;
+  uint64_t bits = 0;
+  std::memcpy(&bits, *p, 8);
+  *p += 8;
+  double d;
+  std::memcpy(&d, &bits, 8);
+  *tf = d;
+  return true;
+}
+
+}  // namespace
+
+void FlatPostings::append_varint(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+void FlatPostings::append_posting(std::vector<uint8_t>* out, uint32_t unit,
+                                  double tf, uint32_t prev_unit, bool first) {
+  if (first) {
+    append_varint(out, unit);
+  } else {
+    assert(unit > prev_unit);
+    append_varint(out, static_cast<uint64_t>(unit) - prev_unit);
+  }
+  // tf encoding: integral positive tf as varint(tf << 1 | 1); everything
+  // else as the raw-bits escape varint(0) + 8 LE bytes. Both branches
+  // round-trip the exact double.
+  if (tf > 0.0 && tf < kMaxVarintTf && tf == std::floor(tf)) {
+    append_varint(out, (static_cast<uint64_t>(tf) << 1) | 1);
+  } else {
+    append_varint(out, 0);
+    uint64_t bits = 0;
+    std::memcpy(&bits, &tf, 8);
+    for (int i = 0; i < 8; ++i) {
+      out->push_back(static_cast<uint8_t>(bits >> (8 * i)));
+    }
+  }
+}
+
+bool FlatPostings::decode_run(const uint8_t* data, size_t size, uint32_t df,
+                              std::vector<Posting>* out,
+                              FlatDecodeStats* stats) {
+  const uint8_t* p = data;
+  const uint8_t* end = data + size;
+  // Allocation guard: a posting costs at least 2 bytes (one delta byte +
+  // one tf byte), so an untrusted df larger than size/2 + 1 is lying about
+  // the buffer — reserve from the *byte budget*, never from df alone.
+  out->reserve(out->size() +
+               std::min<size_t>(df, size / 2 + 1));
+  uint32_t prev = 0;
+  for (uint32_t i = 0; i < df; ++i) {
+    uint64_t delta = 0;
+    if (!read_varint(&p, end, &delta)) return false;
+    uint64_t unit;
+    if (i == 0) {
+      unit = delta;
+    } else {
+      if (delta == 0) return false;  // units are strictly ascending
+      unit = static_cast<uint64_t>(prev) + delta;
+    }
+    if (unit > 0xffffffffull) return false;
+    double tf = 0.0;
+    if (!read_tf(&p, end, &tf)) return false;
+    out->push_back(Posting{static_cast<uint32_t>(unit), tf});
+    prev = static_cast<uint32_t>(unit);
+    if (stats != nullptr) ++stats->postings;
+  }
+  if (p != end) return false;  // trailing bytes: not a sealed run
+  if (stats != nullptr) stats->bytes = size;
+  return true;
+}
+
+FlatPostings FlatPostings::seal(
+    const std::vector<std::pair<TermId, const std::vector<Posting>*>>&
+        term_postings,
+    const std::vector<double>& unit_norms,
+    const std::vector<double>& unit_log_tf_sums,
+    const std::vector<double>& unit_lengths) {
+  FlatPostings flat;
+  flat.meta_.reserve(term_postings.size());
+  // Pre-size the arena roughly (2 bytes per posting is the floor); the
+  // vector still grows as needed but mostly in one step.
+  size_t postings_total = 0;
+  for (const auto& [term, plist] : term_postings) {
+    (void)term;
+    postings_total += plist->size();
+  }
+  flat.arena_.reserve(postings_total * 3);
+  for (const auto& [term, plist] : term_postings) {
+    if (plist->empty()) continue;
+    FlatTermMeta meta;
+    meta.df = static_cast<uint32_t>(plist->size());
+    meta.offset = flat.arena_.size();
+    uint32_t prev = 0;
+    bool first = true;
+    for (const Posting& p : *plist) {
+      append_posting(&flat.arena_, p.unit, p.tf, prev, first);
+      prev = p.unit;
+      first = false;
+      // Bound inputs: each "max"/"min" is taken over the exact doubles the
+      // scoring expressions produce for this posting, so comparisons in
+      // the pruning path are between identical bit patterns.
+      double log_tf_plus1 = std::log(p.tf) + 1.0;
+      double norm = unit_norms[p.unit];
+      double weight = log_tf_plus1 / norm;
+      double len = unit_lengths[p.unit];
+      double tf_over_len = p.tf / std::max(len, 1e-9);
+      double log_tf_sum = unit_log_tf_sums[p.unit];
+      if (p.tf > meta.max_tf) meta.max_tf = p.tf;
+      if (meta.min_tf == 0.0 || p.tf < meta.min_tf) meta.min_tf = p.tf;
+      if (log_tf_plus1 > meta.max_log_tf_plus1) {
+        meta.max_log_tf_plus1 = log_tf_plus1;
+      }
+      if (weight > meta.max_weight) meta.max_weight = weight;
+      if (tf_over_len > meta.max_tf_over_len) {
+        meta.max_tf_over_len = tf_over_len;
+      }
+      if (meta.min_len == 0.0 || len < meta.min_len) meta.min_len = len;
+      if (meta.min_log_tf_sum == 0.0 || log_tf_sum < meta.min_log_tf_sum) {
+        meta.min_log_tf_sum = log_tf_sum;
+      }
+    }
+    meta.bytes = flat.arena_.size() - meta.offset;
+    flat.meta_.emplace_back(term, meta);
+  }
+  std::sort(flat.meta_.begin(), flat.meta_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return flat;
+}
+
+const FlatTermMeta* FlatPostings::term_meta(TermId term) const {
+  auto it = std::lower_bound(
+      meta_.begin(), meta_.end(), term,
+      [](const auto& entry, TermId t) { return entry.first < t; });
+  if (it == meta_.end() || it->first != term) return nullptr;
+  return &it->second;
+}
+
+uint32_t FlatPostings::decode_term(TermId term, std::vector<uint32_t>* units,
+                                   std::vector<double>* tfs) const {
+  const FlatTermMeta* meta = term_meta(term);
+  if (meta == nullptr) return 0;
+  units->reserve(units->size() + meta->df);
+  tfs->reserve(tfs->size() + meta->df);
+  Cursor c = cursor(term);
+  uint32_t unit = 0;
+  double tf = 0.0;
+  uint32_t n = 0;
+  while (c.next(&unit, &tf)) {
+    units->push_back(unit);
+    tfs->push_back(tf);
+    ++n;
+  }
+  assert(n == meta->df);  // sealed arenas always decode completely
+  return n;
+}
+
+FlatPostings::Cursor FlatPostings::cursor(TermId term) const {
+  Cursor c;
+  const FlatTermMeta* meta = term_meta(term);
+  if (meta == nullptr) return c;
+  c.p_ = arena_.data() + meta->offset;
+  c.end_ = c.p_ + meta->bytes;
+  c.remaining_ = meta->df;
+  return c;
+}
+
+bool FlatPostings::Cursor::next(uint32_t* unit, double* tf) {
+  if (remaining_ == 0) return false;
+  uint64_t delta = 0;
+  if (!read_varint(&p_, end_, &delta)) {
+    remaining_ = 0;  // corrupt arena: stop rather than over-read
+    assert(false && "flat postings arena corrupt (truncated varint)");
+    return false;
+  }
+  uint64_t u = first_ ? delta : static_cast<uint64_t>(prev_unit_) + delta;
+  double value = 0.0;
+  if (u > 0xffffffffull || !read_tf(&p_, end_, &value)) {
+    remaining_ = 0;
+    assert(false && "flat postings arena corrupt (bad posting)");
+    return false;
+  }
+  prev_unit_ = static_cast<uint32_t>(u);
+  first_ = false;
+  *unit = prev_unit_;
+  *tf = value;
+  --remaining_;
+  return true;
+}
+
+std::vector<uint8_t> FlatPostings::term_run_bytes(TermId term) const {
+  const FlatTermMeta* meta = term_meta(term);
+  if (meta == nullptr) return {};
+  return std::vector<uint8_t>(arena_.begin() + static_cast<long>(meta->offset),
+                              arena_.begin() +
+                                  static_cast<long>(meta->offset +
+                                                    meta->bytes));
+}
+
+}  // namespace ibseg

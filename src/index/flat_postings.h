@@ -1,0 +1,170 @@
+#ifndef IBSEG_INDEX_FLAT_POSTINGS_H_
+#define IBSEG_INDEX_FLAT_POSTINGS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace ibseg {
+
+struct Posting;
+
+/// Per-term metadata of the sealed serving form, computed once at seal
+/// time. The max-*/min-* fields are the inputs of the MaxScore pruning
+/// bounds (see scoring.h and docs/ARCHITECTURE.md §7): every "max" is the
+/// exact floating-point maximum of the corresponding per-posting value the
+/// scoring functions compute — taken over the *same* expressions scoring
+/// evaluates, so `stored bound >= every actual contribution` holds as a
+/// statement about doubles, not reals. tests/flat_postings_test.cc checks
+/// the invariant exhaustively on small corpora.
+struct FlatTermMeta {
+  uint32_t df = 0;          ///< postings count (|units| containing the term)
+  uint64_t offset = 0;      ///< byte offset of the term's run in the arena
+  uint64_t bytes = 0;       ///< encoded byte length of the run
+  double max_tf = 0.0;      ///< max term frequency over postings
+  /// min term frequency over postings. The pruned scorer requires
+  /// min_tf >= 1 for the paper function (it guarantees log(tf) + 1 >= 0,
+  /// i.e. every contribution is non-negative — the precondition of the
+  /// summed-bound slack argument); sub-unit tf routes to the exhaustive
+  /// path instead of risking an unsound bound.
+  double min_tf = 0.0;
+  /// max over postings of (log tf + 1) — each value computed by the same
+  /// std::log call scoring uses, so no monotonicity assumption on libm is
+  /// needed for the paper-scoring bound.
+  double max_log_tf_plus1 = 0.0;
+  /// max over postings of (log tf + 1) / unit_norm(unit) with the sealing
+  /// index's own (post-floor) norms — the exact per-posting Eq. 8 weight
+  /// of the local-statistics paper-scoring path.
+  double max_weight = 0.0;
+  /// min over postings of the unit's log-tf sum. Because the NU pivot
+  /// factor is >= (1 - kNormPivotSlope) = 0.25 (a power of two, so the
+  /// product rounds exactly), 0.25 * min_log_tf_sum lower-bounds every
+  /// posting unit's norm under ANY collection statistics — the
+  /// context-independent norm bound the sharded (global-stats) pruning
+  /// path needs.
+  double min_log_tf_sum = 0.0;
+  double min_len = 0.0;         ///< min unit length (BM25 bound input)
+  double max_tf_over_len = 0.0; ///< max of tf / max(len, 1e-9) (LM bound)
+};
+
+/// Counters reported by the bounded decoder (diagnostics and fuzzing).
+struct FlatDecodeStats {
+  size_t postings = 0;  ///< postings decoded
+  size_t bytes = 0;     ///< bytes consumed
+};
+
+/// The inverted index's *serving* form: every term's postings laid out in
+/// one contiguous arena, unit ids delta/varint-encoded and term
+/// frequencies encoded exactly (integral tf as a varint, anything else as
+/// the raw IEEE-754 bit pattern — decode returns the identical double
+/// either way, which the bit-identity contract of the differential suite
+/// depends on).
+///
+/// The structure is sealed from a finalized InvertedIndex and immutable
+/// afterwards; add_unit() marks the owning index un-finalized, and the
+/// next finalize() re-seals a fresh arena — the flat form can never serve
+/// stale postings across an ingest (the epoch/publication machinery
+/// re-finalizes touched cluster indices before publishing).
+class FlatPostings {
+ public:
+  FlatPostings() = default;
+
+  /// Seals the serving form: one arena run per term in ascending TermId
+  /// order. `postings_of(term)` must yield postings with strictly
+  /// ascending unit ids (InvertedIndex appends units in insertion order).
+  /// `unit_norms` and `unit_log_tf_sums`/`unit_lengths` supply the
+  /// per-unit values the metadata maxima/minima are computed from.
+  static FlatPostings seal(
+      const std::vector<std::pair<TermId, const std::vector<Posting>*>>&
+          term_postings,
+      const std::vector<double>& unit_norms,
+      const std::vector<double>& unit_log_tf_sums,
+      const std::vector<double>& unit_lengths);
+
+  /// Metadata for `term`; nullptr when the term is absent.
+  const FlatTermMeta* term_meta(TermId term) const;
+
+  /// Forward-only decoder over one term's run. Bounds-checked: next()
+  /// never reads outside the term's [offset, offset + bytes) window.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    /// True while a posting is available; fills (unit, tf).
+    bool next(uint32_t* unit, double* tf);
+
+    /// True when all postings have been consumed.
+    bool done() const { return remaining_ == 0; }
+
+   private:
+    friend class FlatPostings;
+    const uint8_t* p_ = nullptr;
+    const uint8_t* end_ = nullptr;
+    uint32_t remaining_ = 0;
+    uint32_t prev_unit_ = 0;
+    bool first_ = true;
+  };
+
+  /// Decoder positioned at the start of `term`'s run (empty cursor when
+  /// the term is absent).
+  Cursor cursor(TermId term) const;
+
+  /// Number of distinct terms sealed.
+  size_t num_terms() const { return meta_.size(); }
+
+  /// Arena size in bytes (the ibseg_postings_bytes input).
+  size_t arena_bytes() const { return arena_.size(); }
+
+  /// Total in-memory footprint: arena + per-term metadata table.
+  size_t total_bytes() const {
+    return arena_.size() +
+           meta_.size() * (sizeof(TermId) + sizeof(FlatTermMeta));
+  }
+
+  /// Raw arena bytes of one term's run (empty when absent) — seed material
+  /// for the decoder fuzz target and the golden-encoding tests.
+  std::vector<uint8_t> term_run_bytes(TermId term) const;
+
+  /// Decodes the whole run of `term` into parallel (unit, tf) arrays,
+  /// appending; returns the number of postings appended (0 when absent).
+  /// One tight decode pass — the pruned query path pre-decodes each
+  /// admitted term once and then works over plain arrays, keeping varint
+  /// branching out of its per-candidate loops.
+  uint32_t decode_term(TermId term, std::vector<uint32_t>* units,
+                       std::vector<double>* tfs) const;
+
+  // --- Codec, exposed for tests and the fuzz target. -------------------
+
+  /// Appends the unsigned LEB128 encoding of `value` to `out`.
+  static void append_varint(std::vector<uint8_t>* out, uint64_t value);
+
+  /// Appends one posting (delta from `prev_unit`, or the raw unit id when
+  /// `first`) to `out`. tf encoding: a positive integral tf < 2^62 is
+  /// stored as varint(tf << 1 | 1); anything else as varint(0) followed by
+  /// the 8 little-endian bytes of the double's bit pattern. Decoding
+  /// reproduces the identical double in both branches.
+  static void append_posting(std::vector<uint8_t>* out, uint32_t unit,
+                             double tf, uint32_t prev_unit, bool first);
+
+  /// Bounded decode of an untrusted run: reads at most `size` bytes and at
+  /// most `df` postings into `out`, appending. Returns false (leaving any
+  /// partial decode in `out`) on truncation, varint overflow, unit-id
+  /// overflow past 2^32, or trailing bytes after the df-th posting.
+  /// Never allocates more than min(df, size) postings — an inflated df
+  /// against a short buffer cannot over-reserve (the snapshot-reader
+  /// allocation-bomb lesson, PR 5).
+  static bool decode_run(const uint8_t* data, size_t size, uint32_t df,
+                         std::vector<Posting>* out,
+                         FlatDecodeStats* stats = nullptr);
+
+ private:
+  std::vector<uint8_t> arena_;
+  /// (TermId, meta) sorted by TermId; lookups binary-search.
+  std::vector<std::pair<TermId, FlatTermMeta>> meta_;
+};
+
+}  // namespace ibseg
+
+#endif  // IBSEG_INDEX_FLAT_POSTINGS_H_

@@ -215,8 +215,31 @@ std::vector<ScoredDoc> IntentionMatcher::match_cluster_terms(
   if (terms.empty()) return out;
   const ClusterIndex& ci = indices_[static_cast<size_t>(cluster)];
 
-  std::vector<ScoredUnit> hits =
-      score_units(ci.index, terms, options_.scoring, global);
+  if (!options_.exhaustive_fallback) {
+    // MaxScore-pruned path: exclusion, threshold and (score desc, DocId
+    // asc) selection all happen inside score_units_maxscore, against the
+    // sealed flat postings. Bit-identical to the fallback below — the
+    // differential suite sweeps the equivalence.
+    PruneStats stats;
+    std::vector<ScoredUnit> hits = score_units_maxscore(
+        ci.index, terms, options_.scoring, global, ci.unit_doc, exclude,
+        static_cast<size_t>(n), options_.score_threshold, &stats);
+    work_->units_scored.fetch_add(stats.units_scored,
+                                  std::memory_order_relaxed);
+    work_->units_pruned.fetch_add(stats.units_abandoned,
+                                  std::memory_order_relaxed);
+    out.reserve(hits.size());
+    for (const ScoredUnit& h : hits) {
+      out.push_back(ScoredDoc{ci.unit_doc[h.unit], h.score});
+    }
+    return out;
+  }
+
+  PruneStats exhaustive_stats;
+  std::vector<ScoredUnit> hits = score_units_counted(
+      ci.index, terms, options_.scoring, global, &exhaustive_stats);
+  work_->units_scored.fetch_add(exhaustive_stats.units_scored,
+                                std::memory_order_relaxed);
   // Exclude the query document's own segment(s).
   hits.erase(std::remove_if(hits.begin(), hits.end(),
                             [&](const ScoredUnit& h) {

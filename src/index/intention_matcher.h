@@ -1,6 +1,7 @@
 #ifndef IBSEG_INDEX_INTENTION_MATCHER_H_
 #define IBSEG_INDEX_INTENTION_MATCHER_H_
 
+#include <atomic>
 #include <limits>
 #include <map>
 #include <memory>
@@ -55,6 +56,23 @@ struct MatcherOptions {
   /// matcher_options_fingerprint() (core/query_cache.h) — the
   /// static-coverage test in tests/query_cache_test.cc enforces this.
   int query_threads = 0;
+  /// Forces the historic exhaustive score-then-select per-intention path
+  /// instead of the MaxScore-pruned top-n (see score_units_maxscore).
+  /// Results are bit-identical either way — the differential suite proves
+  /// it — so this is an escape hatch and the honest baseline of
+  /// bench/pruned_query_qps, not a semantics switch.
+  bool exhaustive_fallback = false;
+};
+
+/// Cumulative query-path work counters (one per matcher, fed by every
+/// match_cluster_terms call on any thread; relaxed atomics — these are
+/// monitoring data, not synchronization). The serving layer exports them
+/// as ibseg_pruned_docs_total.
+struct QueryWorkCounters {
+  /// Candidate units fully scored.
+  std::atomic<uint64_t> units_scored{0};
+  /// Candidate units abandoned by the MaxScore upper-bound test.
+  std::atomic<uint64_t> units_pruned{0};
 };
 
 /// The paper's online matching machinery (Sec. 7): one full-text inverted
@@ -187,6 +205,18 @@ class IntentionMatcher {
   /// Total number of indexed segments (diagnostics).
   size_t num_segments() const { return total_segments_; }
 
+  /// Bytes of the sealed flat postings arenas across all cluster indices
+  /// (metadata tables included) — the ibseg_postings_bytes gauge input.
+  /// Requires every index finalized (always true outside build/ingest).
+  size_t postings_bytes() const {
+    size_t total = 0;
+    for (const ClusterIndex& ci : indices_) total += ci.index.flat().total_bytes();
+    return total;
+  }
+
+  /// Lifetime query-path work counters (see QueryWorkCounters).
+  const QueryWorkCounters& work_counters() const { return *work_; }
+
  private:
   struct ClusterIndex {
     InvertedIndex index;
@@ -210,6 +240,9 @@ class IntentionMatcher {
   std::map<DocId, std::vector<std::pair<int, uint32_t>>> doc_units_;
   MatcherOptions options_;
   size_t total_segments_ = 0;
+  /// Query-path work counters; shared_ptr so the matcher stays movable.
+  std::shared_ptr<QueryWorkCounters> work_ =
+      std::make_shared<QueryWorkCounters>();
   /// Cross-shard statistics board fed by add_document (see
   /// set_stats_sink). Not owned.
   GlobalIndexStats* stats_sink_ = nullptr;

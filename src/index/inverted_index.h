@@ -1,11 +1,13 @@
 #ifndef IBSEG_INDEX_INVERTED_INDEX_H_
 #define IBSEG_INDEX_INVERTED_INDEX_H_
 
+#include <cassert>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "index/collection_stats.h"
+#include "index/flat_postings.h"
 #include "text/term_vector.h"
 #include "text/vocabulary.h"
 
@@ -38,8 +40,19 @@ class InvertedIndex {
   /// the next add_unit.
   void finalize();
 
-  /// Postings for `term` (empty when absent). Requires finalize().
+  /// Postings for `term` (empty when absent). Requires finalize(). This is
+  /// the node-heavy *build* form; the query path reads the sealed flat()
+  /// serving form instead (identical decoded values, contiguous layout).
   const std::vector<Posting>& postings(TermId term) const;
+
+  /// The sealed, arena-backed serving form of the postings (flat_postings.h):
+  /// rebuilt by every finalize(), so it can never lag the build form —
+  /// add_unit() un-finalizes the index and querying re-requires finalize().
+  /// Requires finalize().
+  const FlatPostings& flat() const {
+    assert(finalized_);
+    return flat_;
+  }
 
   /// Number of units containing `term` (document frequency).
   size_t df(TermId term) const;
@@ -100,6 +113,7 @@ class InvertedIndex {
 
  private:
   std::unordered_map<TermId, std::vector<Posting>> postings_;
+  FlatPostings flat_;
   std::unordered_map<TermId, double> collection_tf_;
   std::vector<UnitLexStats> stats_;
   std::vector<double> unit_norms_;

@@ -73,6 +73,58 @@ std::vector<ScoredUnit> score_units(const InvertedIndex& index,
 /// determinism) and truncates to `n`.
 void keep_top_n(std::vector<ScoredUnit>& hits, size_t n);
 
+/// Work counters of one scoring call (both paths fill them): how much of
+/// the postings data was actually evaluated. The pruned-query bench and
+/// the ibseg_pruned_docs_total serving counter read these.
+struct PruneStats {
+  uint64_t units_scored = 0;  ///< candidate units fully scored
+  /// Candidate units rejected by the MaxScore upper-bound test (always 0
+  /// on the exhaustive path) — either before their first contribution,
+  /// when the matched terms' summed bounds already cannot beat the
+  /// running threshold, or mid-accumulation. Compare units_scored across
+  /// the two paths for the full savings picture.
+  uint64_t units_abandoned = 0;
+  uint64_t postings_scored = 0;  ///< per-(term, unit) contributions computed
+  uint64_t postings_total = 0;   ///< postings of the admitted query terms
+};
+
+/// Exhaustive scoring with work counters (see score_units for semantics).
+std::vector<ScoredUnit> score_units_counted(
+    const InvertedIndex& index, const TermVector& query,
+    const ScoringOptions& options, const ClusterCollectionStats* global,
+    PruneStats* stats);
+
+/// MaxScore-pruned replacement for the score → exclude → threshold →
+/// select pipeline of IntentionMatcher::match_cluster_terms. Scores
+/// `query` against `index`'s sealed flat postings document-at-a-time,
+/// skipping candidates whose per-term upper bounds (FlatTermMeta maxima,
+/// see flat_postings.h) prove they cannot enter the result:
+///
+///  * score_threshold <= 0 (top-n mode): returns the top `top_n` units
+///    with positive score under (score desc, unit_doc[unit] asc) — the
+///    PR-3 tie-order contract — among units whose doc != exclude_doc.
+///  * score_threshold > 0 (threshold mode): returns EVERY such unit with
+///    score >= score_threshold (top_n is ignored, matching the matcher's
+///    keep-all threshold semantics).
+///
+/// Results are sorted by (score desc, doc asc) and are bit-identical —
+/// scores included — to what the exhaustive path selects, because a
+/// surviving candidate's score is accumulated over the same terms in the
+/// same (TermId-ascending) order with the same arithmetic, and the skip
+/// tests use conservative upper bounds (exact fp maxima plus a relative
+/// slack covering fp re-association, so a bound failure can only admit
+/// extra candidates, never drop a true one). Queries whose per-term
+/// bounds are not provably sound (sub-unit tf with the paper function,
+/// out-of-range BM25 parameters) are scored exhaustively inside this
+/// call — same results, no pruning. `global` selects the sharded
+/// (cross-shard statistics) arithmetic exactly as in score_units.
+/// tests/differential_test.cc sweeps this equivalence.
+std::vector<ScoredUnit> score_units_maxscore(
+    const InvertedIndex& index, const TermVector& query,
+    const ScoringOptions& options, const ClusterCollectionStats* global,
+    const std::vector<uint32_t>& unit_doc, uint32_t exclude_doc,
+    size_t top_n, double score_threshold, PruneStats* stats = nullptr);
+
 }  // namespace ibseg
 
 #endif  // IBSEG_INDEX_SCORING_H_

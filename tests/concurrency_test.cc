@@ -362,6 +362,102 @@ TEST(ConcurrencyStress, ConcurrentWorkloadReachesDeterministicFinalState) {
   EXPECT_EQ(std::get<2>(a), std::get<2>(b));
 }
 
+// ----------------------------------------- pruned path under mutation ----
+
+// MaxScore pruning reads the sealed flat arena and its per-term bounds;
+// every ingest re-seals the touched cluster indices before the epoch
+// publishes. This hammer is the regression against a stale-seal reuse: a
+// writer ingests each text TWICE in a row, and immediately after the
+// pair publishes, querying the second copy must surface the first — a
+// near-duplicate is related by construction, so a pruned path still
+// serving the pre-ingest arena (whose bounds don't know the new unit)
+// would return it missing. Readers hammer the pruned path throughout,
+// checking the snapshot invariants under TSan; afterwards the quiescent
+// corpus must answer every query bit-identically to an exhaustive-path
+// pipeline replaying the same history.
+TEST(ConcurrencyStress, PrunedPathStaysFreshAcrossIngestReseals) {
+  constexpr size_t kPairs = 6;
+  constexpr size_t kReaders = 2;
+  constexpr size_t kQueriesPerReader = 30;
+
+  ServingPipeline serving(make_pipeline(24));  // pruned: the default path
+  const DocId seed_next_id = serving.next_id();
+  std::vector<std::string> texts = make_ingest_texts(kPairs);
+
+  std::atomic<size_t> violations{0};
+  std::vector<std::string> first_violation(kReaders + 1);
+  {
+    ScopedThreads threads;
+    threads.spawn([&] {
+      for (size_t i = 0; i < kPairs; ++i) {
+        DocId a = serving.add_post(texts[i]);
+        DocId b = serving.add_post(texts[i]);
+        ASSERT_EQ(b, a + 1);
+        // The epoch bump for `b` is published, so the re-sealed arena
+        // must already serve both copies: the duplicate is the strongest
+        // possible match and may not be pruned away.
+        auto r = serving.find_related(b, 5);
+        bool found_twin = false;
+        for (const ScoredDoc& sd : r.results) found_twin |= (sd.doc == a);
+        if (!found_twin) {
+          if (violations.fetch_add(1) == 0) {
+            first_violation[kReaders] =
+                "freshly ingested duplicate " + std::to_string(a) +
+                " missing from pruned results of " + std::to_string(b);
+          }
+          return;
+        }
+      }
+    });
+    for (size_t t = 0; t < kReaders; ++t) {
+      threads.spawn([&, t] {
+        Rng rng(9000 + t);
+        for (size_t q = 0; q < kQueriesPerReader; ++q) {
+          DocId query = static_cast<DocId>(rng.next_below(24));
+          auto r = serving.find_related(query, 5);
+          std::string why =
+              check_snapshot(serving, r, seed_next_id, 2 * kPairs);
+          if (!why.empty()) {
+            if (violations.fetch_add(1) == 0) first_violation[t] = why;
+            return;
+          }
+        }
+      });
+    }
+  }
+  ASSERT_EQ(violations.load(), 0u)
+      << "first violation: "
+      << *std::find_if(first_violation.begin(), first_violation.end(),
+                       [](const std::string& s) { return !s.empty(); });
+
+  // Quiescent differential: replay the identical history through an
+  // exhaustive-path pipeline; the mutated-then-resealed pruned pipeline
+  // must agree bit for bit on every query.
+  PipelineOptions exhaustive_opt;
+  exhaustive_opt.matcher.exhaustive_fallback = true;
+  GeneratorOptions gen;
+  gen.num_posts = 24;
+  gen.posts_per_scenario = 4;
+  gen.seed = kSeedCorpusSeed;
+  ServingPipeline reference(RelatedPostPipeline::build(
+      analyze_corpus(generate_corpus(gen)), exhaustive_opt));
+  for (size_t i = 0; i < kPairs; ++i) {
+    reference.add_post(texts[i]);
+    reference.add_post(texts[i]);
+  }
+  ASSERT_EQ(reference.num_docs(), serving.num_docs());
+  for (DocId q = 0; q < seed_next_id + 2 * kPairs; ++q) {
+    auto want = reference.find_related(q, 5);
+    auto got = serving.find_related(q, 5);
+    EXPECT_EQ(got.epoch, want.epoch) << "q " << q;
+    ASSERT_EQ(got.results.size(), want.results.size()) << "q " << q;
+    for (size_t i = 0; i < want.results.size(); ++i) {
+      EXPECT_EQ(got.results[i].doc, want.results[i].doc) << "q " << q;
+      EXPECT_EQ(got.results[i].score, want.results[i].score) << "q " << q;
+    }
+  }
+}
+
 // --------------------------------------------------- query-cache hammer ----
 
 TEST(ConcurrencyStress, CacheHammerKeepsSnapshotInvariants) {

@@ -1,0 +1,131 @@
+// Fuzz target: FlatPostings::decode_run (index/flat_postings.h), the
+// bounded decoder over the sealed serving arena — the one codec surface
+// that walks untrusted varint bytes (a snapshot-restored arena is disk
+// bytes). Contract under ANY input: never crash, never read outside
+// [data, data+size), never allocate more postings than the byte budget
+// allows (an inflated df against a short buffer must not over-reserve),
+// and anything it accepts must semantically round-trip — re-encoding the
+// decoded postings and decoding again reproduces bit-identical (unit, tf)
+// pairs. (Byte-level re-encode equality is asserted only for canonical
+// encoder output; the decoder deliberately also accepts a raw-escape tf
+// that the encoder would have packed as a varint.)
+//
+// Input layout: first 4 bytes little-endian = the claimed df (the
+// attacker-controlled count a corrupt snapshot would carry), remainder =
+// the run bytes. Seeds are REAL sealed runs: a small deterministic
+// corpus is indexed, finalized, and each term's arena window is emitted
+// with its true df.
+
+#include "fuzz_driver.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "index/flat_postings.h"
+#include "index/inverted_index.h"
+
+namespace {
+
+bool identical(const std::vector<ibseg::Posting>& a,
+               const std::vector<ibseg::Posting>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].unit != b[i].unit) return false;
+    // Bit comparison: -0.0 vs 0.0 and NaN payloads must round-trip too.
+    if (std::memcmp(&a[i].tf, &b[i].tf, sizeof(double)) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 4) return 0;
+  uint32_t df = 0;
+  std::memcpy(&df, data, 4);
+  const uint8_t* run = data + 4;
+  size_t run_size = size - 4;
+
+  std::vector<ibseg::Posting> out;
+  ibseg::FlatDecodeStats stats;
+  bool ok = ibseg::FlatPostings::decode_run(run, run_size, df, &out, &stats);
+
+  // Allocation guard: decoded postings (and the reserve behind them) are
+  // bounded by the byte budget — a posting costs at least 2 bytes — and
+  // by df, no matter what the header claims.
+  if (out.size() > run_size / 2 + 1) std::abort();
+  if (out.size() > df) std::abort();
+  // reserve() may round up a little, but the order of magnitude must be
+  // the byte budget, never the claimed df.
+  if (out.capacity() > 2 * (run_size / 2 + 1) + 16) std::abort();
+  if (!ok) return 0;
+
+  // Accepted input: exactly df postings, every byte consumed.
+  if (out.size() != df || stats.postings != df || stats.bytes != run_size) {
+    std::abort();
+  }
+  // Semantic round-trip: re-encode, decode again, compare bit-for-bit.
+  std::vector<uint8_t> reencoded;
+  uint32_t prev = 0;
+  bool first = true;
+  for (const ibseg::Posting& p : out) {
+    ibseg::FlatPostings::append_posting(&reencoded, p.unit, p.tf, prev,
+                                        first);
+    prev = p.unit;
+    first = false;
+  }
+  std::vector<ibseg::Posting> again;
+  if (!ibseg::FlatPostings::decode_run(reencoded.data(), reencoded.size(),
+                                       df, &again)) {
+    std::abort();
+  }
+  if (!identical(out, again)) std::abort();
+  return 0;
+}
+
+std::vector<std::string> fuzz_seed_inputs() {
+  // Real sealed runs: deterministic multi-unit index with repeated terms
+  // (multi-byte deltas, tf > 1) and one fractional tf to seed the
+  // raw-escape branch.
+  ibseg::InvertedIndex index;
+  for (uint32_t u = 0; u < 40; ++u) {
+    ibseg::TermVector unit;
+    unit.add(static_cast<ibseg::TermId>(u % 7), 1.0 + (u % 3));
+    unit.add(static_cast<ibseg::TermId>(200 + u / 4), 1.0);
+    if (u % 5 == 0) unit.add(static_cast<ibseg::TermId>(999), 2.0);
+    index.add_unit(unit);
+  }
+  {
+    ibseg::TermVector frac;
+    frac.add(static_cast<ibseg::TermId>(999), 0.5);  // raw-bits tf branch
+    index.add_unit(frac);
+  }
+  index.finalize();
+  const ibseg::FlatPostings& flat = index.flat();
+
+  std::vector<std::string> seeds;
+  for (ibseg::TermId t : {static_cast<ibseg::TermId>(0),
+                          static_cast<ibseg::TermId>(3),
+                          static_cast<ibseg::TermId>(200),
+                          static_cast<ibseg::TermId>(999)}) {
+    const ibseg::FlatTermMeta* meta = flat.term_meta(t);
+    if (meta == nullptr) continue;
+    std::vector<uint8_t> run = flat.term_run_bytes(t);
+    std::string seed;
+    uint32_t df = meta->df;
+    seed.append(reinterpret_cast<const char*>(&df), 4);
+    seed.append(reinterpret_cast<const char*>(run.data()), run.size());
+    seeds.push_back(std::move(seed));
+  }
+  // Hostile header: huge df over a tiny valid run (over-reserve probe).
+  std::string bomb;
+  uint32_t huge = 0xffffffffu;
+  bomb.append(reinterpret_cast<const char*>(&huge), 4);
+  bomb.push_back('\x05');
+  bomb.push_back('\x07');
+  seeds.push_back(std::move(bomb));
+  seeds.push_back(std::string(4, '\0'));  // df 0, empty run: valid
+  return seeds;
+}

@@ -193,6 +193,13 @@ TEST(QueryCacheFingerprint, SensitiveToEveryMatcherOptionsField) {
   o = base;
   o.query_threads = 4;
   EXPECT_NE(matcher_options_fingerprint(o), fp) << "query_threads";
+
+  // exhaustive_fallback lives in what used to be tail padding (sizeof is
+  // unchanged), so the layout watchdog below cannot see it — this
+  // mutation case is its only guard.
+  o = base;
+  o.exhaustive_fallback = true;
+  EXPECT_NE(matcher_options_fingerprint(o), fp) << "exhaustive_fallback";
 }
 
 TEST(QueryCacheFingerprint, IsStableForEqualOptions) {

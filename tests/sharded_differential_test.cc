@@ -208,6 +208,61 @@ TEST(ShardedDifferential, ExternalQueriesIdentical) {
   }
 }
 
+// -------------------------------------------------- sharded x pruned ----
+
+// MaxScore pruning composes with sharding: each shard prunes its own
+// per-intention lists against shard-local heaps, and the scatter-gather
+// merge must still reproduce the unpartitioned exhaustive reference bit
+// for bit. The shard boundary is where a bound bug would surface — a
+// shard's per-term maxima differ from the global index's, so a pruned
+// shard answer that merely "looks right" locally can lose a doc that the
+// full index would have kept. Crossed with interleaved ingests, which
+// re-seal every touched shard's flat postings.
+TEST(ShardedDifferential, PrunedShardsEqualExhaustiveUnsharded) {
+  SyntheticCorpus corpus = generate_corpus(corpus_options(kPosts, 83));
+  std::vector<std::string> extra = ingest_texts(6, 8300);
+  PipelineOptions exhaustive_opt;
+  exhaustive_opt.matcher.exhaustive_fallback = true;
+  PipelineOptions pruned_opt;  // default: MaxScore path
+  pruned_opt.matcher.top_n_factor = 1;  // tightest heaps, max pruning
+  exhaustive_opt.matcher.top_n_factor = 1;
+  for (int shards : kShardCounts) {
+    ServingPipeline reference(RelatedPostPipeline::build(
+        analyze_corpus(corpus), exhaustive_opt));
+    std::unique_ptr<ShardedServing> sharded = ShardedServing::create(
+        analyze_corpus(corpus), pruned_opt, sharded_options(shards));
+    ASSERT_NE(sharded, nullptr);
+    std::string what = "pruned shards=" + std::to_string(shards);
+    expect_equivalent(*sharded, reference, what + " fresh");
+    for (size_t i = 0; i < extra.size(); ++i) {
+      DocId want_id = reference.add_post(extra[i]);
+      DocId got_id = sharded->add_post(extra[i]);
+      ASSERT_EQ(got_id, want_id) << what;
+      expect_equivalent(*sharded, reference,
+                        what + " after ingest " + std::to_string(i));
+    }
+  }
+}
+
+// And the converse pairing: exhaustive shards vs the pruned unsharded
+// pipeline, so both code paths are exercised on both sides of the
+// scatter-gather boundary.
+TEST(ShardedDifferential, ExhaustiveShardsEqualPrunedUnsharded) {
+  SyntheticCorpus corpus = generate_corpus(corpus_options(kPosts, 29));
+  PipelineOptions exhaustive_opt;
+  exhaustive_opt.matcher.exhaustive_fallback = true;
+  ServingPipeline reference(
+      RelatedPostPipeline::build(analyze_corpus(corpus)));  // pruned default
+  for (int shards : {2, 8}) {
+    std::unique_ptr<ShardedServing> sharded = ShardedServing::create(
+        analyze_corpus(corpus), exhaustive_opt, sharded_options(shards));
+    ASSERT_NE(sharded, nullptr);
+    expect_equivalent(*sharded, reference,
+                      "exhaustive shards=" + std::to_string(shards) +
+                          " vs pruned unsharded");
+  }
+}
+
 // ------------------------------------------------- save/restore cycles ----
 
 TEST(ShardedDifferential, SaveRestoreRoundTripIdentical) {
