@@ -56,6 +56,18 @@
 //   ibseg_cli --shards=4 --save=state.d query posts.corpus 0 5
 //   ibseg_cli --shards=4 --restore=state.d query posts.corpus 0 5
 //
+// `--connect=HOST:PORT` turns the CLI into a thin network client speaking
+// the docs/PROTOCOL.md wire protocol against a running ibseg_server — no
+// corpus file is needed, the server owns the state:
+//
+//   ibseg_cli --connect=127.0.0.1:7433 query <doc-id> [k]
+//   ibseg_cli --connect=127.0.0.1:7433 ask [k]      (post on stdin)
+//   ibseg_cli --connect=127.0.0.1:7433 add          (post on stdin)
+//   ibseg_cli --connect=127.0.0.1:7433 ping | save | drain
+//
+// and `--metrics[=json]` with --connect fetches the *server's* metrics
+// over the wire instead of dumping the local (empty) registry.
+//
 // Corpus files are either the ibseg corpus format (from `generate`) or a
 // plain text file with one post per line.
 
@@ -69,6 +81,7 @@
 
 #include "core/serving.h"
 #include "core/sharded_serving.h"
+#include "net/client.h"
 #include "obs/metrics.h"
 #include "storage/corpus_io.h"
 #include "storage/snapshot.h"
@@ -86,6 +99,7 @@ std::string g_restore_path;   // --restore=PATH: warm-start from snapshot v2
 std::string g_wal_path;       // --wal=PATH: attach the write-ahead ingest log
 int g_num_shards = 1;         // --shards=N: hash-partitioned scatter-gather
 bool g_pruning = true;        // --pruning=off: exhaustive per-intention path
+std::string g_connect;        // --connect=HOST:PORT: thin network client
 
 int usage() {
   std::fprintf(stderr,
@@ -121,8 +135,100 @@ int usage() {
                "  --shards=N       (query) serve through N hash-partitioned\n"
                "                   shards (bit-identical to unsharded);\n"
                "                   --save/--restore then name a sharded\n"
-               "                   state directory, --wal does not apply\n");
+               "                   state directory, --wal does not apply\n"
+               "  --connect=H:P    thin client against a running\n"
+               "                   ibseg_server (docs/PROTOCOL.md):\n"
+               "                   query <doc-id> [k] | ask [k] | add |\n"
+               "                   ping | save | drain; --metrics fetches\n"
+               "                   the server's metrics over the wire\n");
   return 2;
+}
+
+// The --connect=HOST:PORT thin-client path: every command is one
+// request/response exchange over the net::Client reference implementation
+// of docs/PROTOCOL.md. Returns the process exit code.
+int run_remote(const char* metrics_mode, int argc, char** argv) {
+  size_t colon = g_connect.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= g_connect.size()) {
+    std::fprintf(stderr, "error: --connect needs HOST:PORT\n");
+    return 2;
+  }
+  const std::string host = g_connect.substr(0, colon);
+  int port = std::atoi(g_connect.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return usage();
+  auto client = net::Client::connect(host, static_cast<uint16_t>(port));
+  if (client == nullptr) {
+    std::fprintf(stderr, "error: cannot connect to %s\n", g_connect.c_str());
+    return 1;
+  }
+
+  auto report = [](const net::CallResult& result) -> int {
+    if (result.ok()) return 0;
+    if (result.transport_ok) {
+      std::fprintf(stderr, "error: server responded %u: %s\n",
+                   static_cast<unsigned>(result.error.code),
+                   result.error.message.c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", result.transport_error.c_str());
+    }
+    return 1;
+  };
+  auto print_related = [](const net::RelatedResponse& related) {
+    std::printf("epoch %llu, %llu docs\n",
+                static_cast<unsigned long long>(related.epoch),
+                static_cast<unsigned long long>(related.num_docs));
+    for (const ScoredDoc& sd : related.results) {
+      std::printf("  %4u  %.3f\n", sd.doc, sd.score);
+    }
+  };
+  auto read_stdin = [] {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  };
+
+  if (argc < 1) return usage();
+  const std::string cmd = argv[0];
+  int rc;
+  if (cmd == "query" && (argc == 2 || argc == 3)) {
+    DocId doc = static_cast<DocId>(std::strtoul(argv[1], nullptr, 10));
+    uint32_t k = argc == 3 ? static_cast<uint32_t>(std::atoi(argv[2])) : 5;
+    net::RelatedResponse related;
+    rc = report(client->query(doc, k, &related));
+    if (rc == 0) print_related(related);
+  } else if (cmd == "ask" && argc <= 2) {
+    uint32_t k = argc == 2 ? static_cast<uint32_t>(std::atoi(argv[1])) : 5;
+    net::RelatedResponse related;
+    rc = report(client->ask(read_stdin(), k, &related));
+    if (rc == 0) print_related(related);
+  } else if (cmd == "add" && argc == 1) {
+    DocId id = 0;
+    rc = report(client->add_post(read_stdin(), &id));
+    if (rc == 0) std::printf("added doc %u\n", id);
+  } else if (cmd == "ping" && argc == 1) {
+    net::PongResponse pong;
+    rc = report(client->ping(&pong));
+    if (rc == 0) {
+      std::printf("pong: epoch %llu, %llu docs\n",
+                  static_cast<unsigned long long>(pong.epoch),
+                  static_cast<unsigned long long>(pong.num_docs));
+    }
+  } else if (cmd == "save" && argc == 1) {
+    rc = report(client->save());
+    if (rc == 0) std::printf("saved\n");
+  } else if (cmd == "drain" && argc == 1) {
+    rc = report(client->drain());
+    if (rc == 0) std::printf("draining\n");
+  } else {
+    return usage();
+  }
+  if (rc == 0 && metrics_mode != nullptr) {
+    std::string body;
+    rc = report(client->metrics(
+        std::strcmp(metrics_mode, "json") == 0 ? 1 : 0, &body));
+    if (rc == 0) std::fputs(body.c_str(), stdout);
+  }
+  return rc;
 }
 
 // Loads either an ibseg corpus file or a plain one-post-per-line file.
@@ -448,6 +554,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[arg], "--shards=", 9) == 0) {
       g_num_shards = std::atoi(argv[arg] + 9);
       if (g_num_shards <= 0) return usage();
+    } else if (std::strncmp(argv[arg], "--connect=", 10) == 0) {
+      g_connect = argv[arg] + 10;
+      if (g_connect.empty()) return usage();
     } else if (std::strncmp(argv[arg], "--pruning=", 10) == 0) {
       const char* value = argv[arg] + 10;
       if (std::strcmp(value, "on") == 0) {
@@ -463,6 +572,9 @@ int main(int argc, char** argv) {
     ++arg;
   }
   if (arg >= argc) return usage();
+  if (!g_connect.empty()) {
+    return run_remote(metrics_mode, argc - arg, argv + arg);
+  }
   const std::string cmd = argv[arg];
   int rc;
   if (cmd == "generate") {

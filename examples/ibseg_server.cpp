@@ -1,0 +1,213 @@
+// ibseg_server — the network serving front-end (docs/OPERATIONS.md is the
+// runbook, docs/PROTOCOL.md the wire contract).
+//
+//   ibseg_server --corpus=FILE [options]     cold start from a corpus file
+//   ibseg_server --restore=DIR [options]     warm start from sharded state
+//
+// Options:
+//   --port=N             TCP port (default 7433; 0 = ephemeral)
+//   --bind=ADDR          bind address (default 127.0.0.1)
+//   --port-file=PATH     write the bound port to PATH once listening
+//                        (scripts wait on this instead of parsing stdout)
+//   --shards=N           hash-partitioned shards (default 1; ignored with
+//                        --restore, which reads the shard count from the
+//                        manifest)
+//   --state=DIR          durable state directory: enables the SAVE
+//                        command, attaches per-shard WALs so every
+//                        acknowledged ADD_POST is durable, and saves on
+//                        drain. With --restore they are usually the same
+//                        directory.
+//   --workers=N          request worker threads (default 2)
+//   --max-in-flight=N    admission bound, queued + executing (default 64)
+//   --max-connections=N  connection limit (default 256)
+//   --request-timeout=S  queue-wait deadline in seconds (default 5)
+//   --idle-timeout=S     idle connection close, seconds (default 300)
+//   --threads=N          per-intention query scoring threads (default 0)
+//   --cache=N            result cache capacity (default 0 = off)
+//
+// Shutdown: SIGTERM or SIGINT (or a DRAIN frame from any client) starts a
+// graceful drain — stop accepting, answer new requests with
+// ERROR/DRAINING, finish in-flight work, flush responses, then (with
+// --state) persist everything under the publication barrier. The process
+// exits 0 after a clean drain.
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_serving.h"
+#include "net/server.h"
+#include "storage/corpus_io.h"
+
+using namespace ibseg;
+
+namespace {
+
+// Self-pipe for async-signal-safe shutdown: the handler only write(2)s.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ibseg_server (--corpus=FILE | --restore=DIR)\n"
+               "                    [--port=N] [--bind=ADDR] "
+               "[--port-file=PATH]\n"
+               "                    [--shards=N] [--state=DIR] [--workers=N]\n"
+               "                    [--max-in-flight=N] "
+               "[--max-connections=N]\n"
+               "                    [--request-timeout=S] [--idle-timeout=S]\n"
+               "                    [--threads=N] [--cache=N]\n"
+               "see docs/OPERATIONS.md\n");
+  return 2;
+}
+
+std::vector<Document> load_docs(const std::string& path) {
+  if (auto corpus = load_corpus_file(path)) return analyze_corpus(*corpus);
+  std::ifstream is(path);
+  std::vector<Document> docs;
+  if (!is) return docs;
+  size_t id = 0;
+  for (const std::string& text : load_plain_posts(is)) {
+    docs.push_back(Document::analyze(static_cast<DocId>(id++), text));
+  }
+  return docs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_path, restore_dir, port_file;
+  net::ServerOptions server_options;
+  server_options.port = 7433;
+  ServingOptions serving_options;
+  PipelineOptions build_options;
+  int num_shards = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t n = std::strlen(prefix);
+      return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
+    };
+    if (const char* v = value("--corpus=")) {
+      corpus_path = v;
+    } else if (const char* v = value("--restore=")) {
+      restore_dir = v;
+    } else if (const char* v = value("--port=")) {
+      server_options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (const char* v = value("--bind=")) {
+      server_options.bind_address = v;
+    } else if (const char* v = value("--port-file=")) {
+      port_file = v;
+    } else if (const char* v = value("--shards=")) {
+      num_shards = std::atoi(v);
+      if (num_shards < 1) return usage();
+    } else if (const char* v = value("--state=")) {
+      server_options.state_dir = v;
+    } else if (const char* v = value("--workers=")) {
+      server_options.num_workers = std::atoi(v);
+      if (server_options.num_workers < 1) return usage();
+    } else if (const char* v = value("--max-in-flight=")) {
+      server_options.max_in_flight = std::strtoull(v, nullptr, 10);
+      if (server_options.max_in_flight < 1) return usage();
+    } else if (const char* v = value("--max-connections=")) {
+      server_options.max_connections = std::strtoull(v, nullptr, 10);
+      if (server_options.max_connections < 1) return usage();
+    } else if (const char* v = value("--request-timeout=")) {
+      server_options.request_timeout_sec = std::atof(v);
+    } else if (const char* v = value("--idle-timeout=")) {
+      server_options.idle_timeout_sec = std::atof(v);
+    } else if (const char* v = value("--threads=")) {
+      build_options.matcher.query_threads = std::atoi(v);
+    } else if (const char* v = value("--cache=")) {
+      serving_options.cache.capacity = std::strtoull(v, nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+  if (corpus_path.empty() == restore_dir.empty()) return usage();
+
+  serving_options.num_shards = num_shards;
+  // --state wires sharded persistence: per-shard WALs absorb every
+  // acknowledged ingest the moment it publishes, making ADD_POST acks
+  // durable even before the drain-time snapshot.
+  serving_options.persist.shard_dir = server_options.state_dir;
+
+  std::unique_ptr<ShardedServing> backend;
+  if (!restore_dir.empty()) {
+    backend = ShardedServing::restore(restore_dir, build_options,
+                                      serving_options);
+    if (backend == nullptr) {
+      std::fprintf(stderr, "ibseg_server: cannot restore from %s\n",
+                   restore_dir.c_str());
+      return 1;
+    }
+  } else {
+    std::vector<Document> docs = load_docs(corpus_path);
+    if (docs.empty()) {
+      std::fprintf(stderr, "ibseg_server: cannot load corpus %s\n",
+                   corpus_path.c_str());
+      return 1;
+    }
+    backend = ShardedServing::create(std::move(docs), build_options,
+                                     serving_options);
+    if (backend == nullptr) {
+      std::fprintf(stderr, "ibseg_server: cannot build serving state\n");
+      return 1;
+    }
+  }
+
+  net::Server server(backend.get(), server_options);
+  if (!server.start()) return 1;
+
+  std::printf("ibseg_server: %zu docs, %u shards, listening on %s:%u\n",
+              backend->num_docs(), backend->num_shards(),
+              server_options.bind_address.c_str(), server.port());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    pf << server.port() << "\n";
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("ibseg_server: pipe");
+    return 1;
+  }
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Wait for either a signal (self-pipe readable) or a client-initiated
+  // drain (wait_drained returns). A dedicated thread bridges the signal
+  // pipe to server.drain(); wait_drained() then completes on either path.
+  std::thread signal_waiter([&server] {
+    char byte;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    server.drain();
+  });
+  server.wait_drained();
+
+  // Unblock the signal thread if the drain came from the wire.
+  char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+  signal_waiter.join();
+
+  std::printf("ibseg_server: drained cleanly (%zu docs, epoch %llu)\n",
+              backend->num_docs(),
+              static_cast<unsigned long long>(backend->epoch()));
+  return 0;
+}

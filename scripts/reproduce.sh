@@ -26,12 +26,19 @@
 #                           build; the plain builds of both labels already
 #                           ran with the normal test step.
 #   IBSEG_FUZZ_CHECK=1      also run the fuzz targets (snapshot loader, WAL
-#                           replay, text unescaping, flat-postings decoder —
-#                           tests/fuzz/) for 30
+#                           replay, text unescaping, flat-postings decoder,
+#                           wire-frame codec — tests/fuzz/) for 30
 #                           seconds each under AddressSanitizer. The short
 #                           2s smoke of the same targets runs with the
 #                           normal test step (ctest label "fuzz");
 #                           IBSEG_FUZZ_TIME_SEC overrides the 30s.
+#   IBSEG_NET_CHECK=1       also exercise the network front-end: the
+#                           loopback server suite (ctest label "net") under
+#                           AddressSanitizer, plus the operational smoke
+#                           scripts/check_net.sh (real ibseg_server +
+#                           ibseg_cli over TCP: cold start, wire commands,
+#                           drain, warm restart) against both the plain and
+#                           the ASan build.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -75,8 +82,10 @@ if [ "${IBSEG_FUZZ_CHECK:-0}" = "1" ]; then
     -DIBSEG_SANITIZE=address \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-address -j "$(nproc)" \
-    --target fuzz_snapshot fuzz_wal fuzz_unescape fuzz_flat_postings
-  for target in fuzz_snapshot fuzz_wal fuzz_unescape fuzz_flat_postings; do
+    --target fuzz_snapshot fuzz_wal fuzz_unescape fuzz_flat_postings \
+             fuzz_net_frame
+  for target in fuzz_snapshot fuzz_wal fuzz_unescape fuzz_flat_postings \
+                fuzz_net_frame; do
     echo "-- ${target}"
     env ASAN_OPTIONS="halt_on_error=1 detect_stack_use_after_return=1" \
         IBSEG_FUZZ_TIME_SEC="${IBSEG_FUZZ_TIME_SEC:-30}" \
@@ -84,16 +93,31 @@ if [ "${IBSEG_FUZZ_CHECK:-0}" = "1" ]; then
   done
 fi
 
+if [ "${IBSEG_NET_CHECK:-0}" = "1" ]; then
+  echo "== network front-end (IBSEG_NET_CHECK=1) =="
+  # Plain run of the loopback label (also covered by the full ctest above,
+  # repeated here so a net regression is named explicitly), the loopback
+  # suite under ASan — sockets, worker handoff, drain teardown are exactly
+  # where a use-after-close would hide — and the operational smoke with
+  # the real binaries, in both build flavors.
+  ctest --test-dir build -L net --output-on-failure
+  IBSEG_SAN_LABELS="net" scripts/check_sanitizers.sh address
+  scripts/check_net.sh build
+  cmake --build build-address -j "$(nproc)" --target ibseg_server ibseg_cli
+  scripts/check_net.sh build-address
+fi
+
 if [ "${IBSEG_DOCS_CHECK:-0}" = "1" ]; then
   echo "== docs check (IBSEG_DOCS_CHECK=1) =="
   if command -v doxygen >/dev/null 2>&1; then
     doxygen Doxyfile 2> doxygen_warnings.txt || true
-    if grep -E 'src/(obs|core|index)/' doxygen_warnings.txt; then
-      echo "error: doxygen warnings in src/obs, src/core or src/index" >&2
+    if grep -E 'src/(obs|core|index|net)/' doxygen_warnings.txt; then
+      echo "error: doxygen warnings in src/obs, src/core, src/index" \
+           "or src/net" >&2
       echo "       (full list: doxygen_warnings.txt)" >&2
       exit 1
     fi
-    echo "doxygen warning-clean over src/obs, src/core, src/index"
+    echo "doxygen warning-clean over src/obs, src/core, src/index, src/net"
   else
     echo "doxygen not installed; skipping docs check"
   fi
@@ -136,6 +160,14 @@ for key in '"bench"' '"configs"' '"query_threads"' '"pruned"' '"qps"' \
   fi
 done
 echo "BENCH_pruned_query_qps.json schema OK"
+for key in '"bench"' '"configs"' '"clients"' '"qps"' '"p50_ms"' '"p95_ms"' \
+           '"p99_ms"'; do
+  if ! grep -q "${key}" BENCH_server_qps.json; then
+    echo "error: BENCH_server_qps.json missing key ${key}" >&2
+    exit 1
+  fi
+done
+echo "BENCH_server_qps.json schema OK"
 
 echo "== examples =="
 ./build/examples/quickstart

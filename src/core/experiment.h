@@ -9,6 +9,12 @@
 #include "datagen/post_generator.h"
 #include "eval/precision.h"
 
+/// \file
+/// The experiment harness: generates a synthetic corpus, builds the
+/// configured methods over it, runs the paper's retrieval evaluation and
+/// renders the result rows — the shared machinery behind the bench/
+/// binaries listed in DESIGN.md's experiment index.
+
 namespace ibseg {
 
 /// One query's outcome under one method.

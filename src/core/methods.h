@@ -9,6 +9,12 @@
 #include "seg/segmenter.h"
 #include "topic/lda.h"
 
+/// \file
+/// The five evaluation methods of the paper's Sec. 9 behind one
+/// interface (build_method): LDA, FullText, Content-MR, SentIntent-MR
+/// and IntentIntent-MR, each answering top-k related-post queries over
+/// the same corpus for the comparison tables.
+
 namespace ibseg {
 
 /// The five retrieval methods of the paper's overall evaluation (Sec. 9.2,

@@ -11,6 +11,14 @@
 #include "text/vocabulary.h"
 #include "util/thread_pool.h"
 
+/// \file
+/// RelatedPostPipeline: the paper's end-to-end system in one object — the
+/// offline phase (analyze -> segment -> cluster -> per-intention index)
+/// and the online top-k related-post query (Algorithm 2), plus online
+/// ingest and external-document queries. The concurrency, persistence and
+/// network layers (core/serving.h, core/sharded_serving.h, net/server.h)
+/// all wrap this pipeline without changing its results.
+
 namespace ibseg {
 
 /// Timing breakdown of the offline phase, mirroring what the paper reports

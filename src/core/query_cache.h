@@ -13,6 +13,11 @@
 
 #include "index/intention_matcher.h"
 
+/// \file
+/// QueryCache: the bounded LRU result cache above the serving layer,
+/// invalidated wholesale by publication epoch — a hit is always as fresh
+/// as an uncached query at the same epoch (docs/ARCHITECTURE.md §3).
+
 namespace ibseg {
 
 /// Stable 64-bit fingerprint of every result-affecting MatcherOptions

@@ -12,6 +12,12 @@
 #include "core/query_cache.h"
 #include "storage/wal.h"
 
+/// \file
+/// ServingPipeline: the concurrent serving facade over
+/// RelatedPostPipeline — shared_mutex reader/writer discipline, a
+/// publication epoch per ingest, the epoch-invalidated query cache, and
+/// the WAL/snapshot persistence hooks (docs/ARCHITECTURE.md §3, §5).
+
 namespace ibseg {
 
 /// Durability configuration for the serving layer (see also

@@ -15,6 +15,12 @@
 #include "storage/shard_manifest.h"
 #include "util/thread_pool.h"
 
+/// \file
+/// ShardedServing: N ServingPipeline shards behind hash partitioning and
+/// scatter-gather, bit-identical to the unsharded pipeline at any shard
+/// count, with per-shard crash-safe persistence (docs/ARCHITECTURE.md
+/// §6). The network front-end (net/server.h) dispatches into this class.
+
 namespace ibseg {
 
 /// Document-partitioned serving: N ServingPipeline shards behind one

@@ -1,0 +1,248 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace ibseg {
+namespace net {
+
+namespace {
+
+void set_io_timeout(int fd, double seconds) {
+  if (seconds <= 0) return;
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+std::unique_ptr<Client> Client::connect(const std::string& host,
+                                        uint16_t port, double timeout_sec) {
+  const std::string addr_text = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, addr_text.c_str(), &addr.sin_addr) != 1) {
+    return nullptr;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  set_io_timeout(fd, timeout_sec);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd, timeout_sec));
+}
+
+Client::Client(int fd, double timeout_sec)
+    : fd_(fd), timeout_sec_(timeout_sec) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Client::send_all(std::string_view bytes, std::string* error) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    *error = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool Client::recv_frame(MsgType* type, std::string* payload,
+                        std::string* error) {
+  char buf[65536];
+  while (true) {
+    FrameHeader header;
+    DecodeStatus status = decode_frame_header(
+        reinterpret_cast<const uint8_t*>(buffer_.data()), buffer_.size(),
+        &header);
+    if (status == DecodeStatus::kMalformed) {
+      *error = "malformed response frame";
+      return false;
+    }
+    if (status == DecodeStatus::kOk &&
+        buffer_.size() >= kFrameHeaderBytes + header.payload_len) {
+      *type = header.type;
+      payload->assign(buffer_, kFrameHeaderBytes, header.payload_len);
+      buffer_.erase(0, kFrameHeaderBytes + header.payload_len);
+      return true;
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      buffer_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    *error = n == 0 ? "connection closed by server"
+                    : std::string("recv: ") + std::strerror(errno);
+    return false;
+  }
+}
+
+CallResult Client::call(MsgType type, std::string_view payload,
+                        MsgType* resp_type, std::string* resp_payload) {
+  CallResult result;
+  *resp_type = MsgType::kError;
+  std::string frame;
+  encode_frame(type, payload, &frame);
+  if (!send_all(frame, &result.transport_error)) return result;
+  if (!recv_frame(resp_type, resp_payload, &result.transport_error)) {
+    return result;
+  }
+  result.transport_ok = true;
+  result.response_type = *resp_type;
+  if (*resp_type == MsgType::kError &&
+      !decode_error(*resp_payload, &result.error)) {
+    result.transport_ok = false;
+    result.transport_error = "undecodable error response";
+  }
+  return result;
+}
+
+namespace {
+
+/// Shared tail of the typed helpers: expect `want`, decode with `decode`.
+template <typename T, typename DecodeFn>
+CallResult expect(CallResult result, MsgType got, MsgType want,
+                  const std::string& payload, DecodeFn decode, T* out) {
+  if (!result.transport_ok || got == MsgType::kError) return result;
+  if (got != want || !decode(payload, out)) {
+    result.transport_ok = false;
+    result.transport_error = "unexpected or undecodable response";
+  }
+  return result;
+}
+
+}  // namespace
+
+CallResult Client::ping(PongResponse* out) {
+  MsgType type = MsgType::kError;
+  std::string payload;
+  CallResult result = call(MsgType::kPing, {}, &type, &payload);
+  return expect(std::move(result), type, MsgType::kPong, payload, decode_pong,
+                out);
+}
+
+CallResult Client::query(DocId doc_id, uint32_t k, RelatedResponse* out) {
+  std::string req;
+  encode_query({doc_id, k}, &req);
+  MsgType type = MsgType::kError;
+  std::string payload;
+  CallResult result = call(MsgType::kQuery, req, &type, &payload);
+  return expect(std::move(result), type, MsgType::kRelated, payload,
+                decode_related, out);
+}
+
+CallResult Client::ask(const std::string& text, uint32_t k,
+                       RelatedResponse* out) {
+  std::string req;
+  encode_ask({k, text}, &req);
+  MsgType type = MsgType::kError;
+  std::string payload;
+  CallResult result = call(MsgType::kAsk, req, &type, &payload);
+  return expect(std::move(result), type, MsgType::kRelated, payload,
+                decode_related, out);
+}
+
+CallResult Client::add_post(const std::string& text, DocId* id_out) {
+  std::string req;
+  encode_add_post({text}, &req);
+  MsgType type = MsgType::kError;
+  std::string payload;
+  AddedResponse added;
+  CallResult call_result = call(MsgType::kAddPost, req, &type, &payload);
+  CallResult result = expect(std::move(call_result), type, MsgType::kAdded,
+                             payload, decode_added, &added);
+  if (result.ok()) {
+    if (added.ids.size() != 1) {
+      result.transport_ok = false;
+      result.transport_error = "add_post acked with != 1 id";
+    } else {
+      *id_out = added.ids[0];
+    }
+  }
+  return result;
+}
+
+CallResult Client::add_posts(const std::vector<std::string>& texts,
+                             std::vector<DocId>* ids_out) {
+  AddPostsRequest request;
+  request.texts = texts;
+  std::string req;
+  encode_add_posts(request, &req);
+  MsgType type = MsgType::kError;
+  std::string payload;
+  AddedResponse added;
+  CallResult call_result = call(MsgType::kAddPosts, req, &type, &payload);
+  CallResult result = expect(std::move(call_result), type, MsgType::kAdded,
+                             payload, decode_added, &added);
+  if (result.ok()) *ids_out = std::move(added.ids);
+  return result;
+}
+
+CallResult Client::save() {
+  MsgType type = MsgType::kError;
+  std::string payload;
+  CallResult result = call(MsgType::kSave, {}, &type, &payload);
+  if (result.transport_ok && type != MsgType::kError &&
+      (type != MsgType::kSaved || !payload.empty())) {
+    result.transport_ok = false;
+    result.transport_error = "unexpected save response";
+  }
+  return result;
+}
+
+CallResult Client::metrics(uint8_t format, std::string* body_out) {
+  std::string req;
+  encode_metrics({format}, &req);
+  MsgType type = MsgType::kError;
+  std::string payload;
+  MetricsDataResponse data;
+  CallResult call_result = call(MsgType::kMetrics, req, &type, &payload);
+  CallResult result = expect(std::move(call_result), type,
+                             MsgType::kMetricsData, payload,
+                             decode_metrics_data, &data);
+  if (result.ok()) *body_out = std::move(data.body);
+  return result;
+}
+
+CallResult Client::drain() {
+  MsgType type = MsgType::kError;
+  std::string payload;
+  CallResult result = call(MsgType::kDrain, {}, &type, &payload);
+  if (result.transport_ok && type != MsgType::kError &&
+      (type != MsgType::kDraining || !payload.empty())) {
+    result.transport_ok = false;
+    result.transport_error = "unexpected drain response";
+  }
+  return result;
+}
+
+}  // namespace net
+}  // namespace ibseg

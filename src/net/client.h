@@ -1,0 +1,90 @@
+#ifndef IBSEG_NET_CLIENT_H_
+#define IBSEG_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "net/frame.h"
+
+namespace ibseg {
+namespace net {
+
+/// \brief Outcome of one request/response exchange. ok() is true only for
+/// the expected success response type; a server-side ERROR lands in
+/// `error` with ok() false, and transport failures (connect/write/read/
+/// decode) set `transport_error`.
+struct CallResult {
+  bool transport_ok = false;   ///< frame went out and a valid frame came back
+  MsgType response_type = MsgType::kError;
+  ErrorResponse error;         ///< filled when response_type == kError
+  std::string transport_error; ///< human-readable transport failure detail
+
+  /// \brief True when the exchange succeeded and the server did not
+  /// answer with ERROR.
+  bool ok() const {
+    return transport_ok && response_type != MsgType::kError;
+  }
+};
+
+/// \brief Minimal blocking client for the docs/PROTOCOL.md wire protocol:
+/// one TCP connection, one outstanding request at a time (request, then
+/// read exactly one response frame). This is the reference client the
+/// loopback tests, the CLI's --connect mode and the operational tooling
+/// use; the load generator (bench/server_qps) deliberately does NOT use
+/// it — it hand-rolls its frames from the protocol document to keep the
+/// document honest.
+///
+/// Not thread-safe: one Client per thread.
+class Client {
+ public:
+  /// \brief Connects to host:port with a connect/IO deadline.
+  /// \param host IPv4 address or "localhost"
+  /// \param port TCP port
+  /// \param timeout_sec applied to connect and to every send/recv
+  /// \return nullptr on connection failure
+  static std::unique_ptr<Client> connect(const std::string& host,
+                                         uint16_t port,
+                                         double timeout_sec = 10.0);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// \brief Low-level exchange: send one `type` frame with `payload`,
+  /// read one response frame into *resp_type/*resp_payload. Exposed for
+  /// tests that need to send unusual (e.g. deliberately malformed-payload)
+  /// requests.
+  CallResult call(MsgType type, std::string_view payload, MsgType* resp_type,
+                  std::string* resp_payload);
+
+  // Typed helpers — each sends the request and decodes the documented
+  // success response; a server ERROR is reported via the CallResult.
+
+  CallResult ping(PongResponse* out);
+  CallResult query(DocId doc_id, uint32_t k, RelatedResponse* out);
+  CallResult ask(const std::string& text, uint32_t k, RelatedResponse* out);
+  CallResult add_post(const std::string& text, DocId* id_out);
+  CallResult add_posts(const std::vector<std::string>& texts,
+                       std::vector<DocId>* ids_out);
+  CallResult save();
+  /// \param format 0 = Prometheus text, 1 = JSON
+  CallResult metrics(uint8_t format, std::string* body_out);
+  CallResult drain();
+
+ private:
+  Client(int fd, double timeout_sec);
+
+  bool send_all(std::string_view bytes, std::string* error);
+  bool recv_frame(MsgType* type, std::string* payload, std::string* error);
+
+  int fd_;
+  double timeout_sec_;
+  std::string buffer_;  ///< bytes read beyond the current frame
+};
+
+}  // namespace net
+}  // namespace ibseg
+
+#endif  // IBSEG_NET_CLIENT_H_

@@ -1,0 +1,241 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "net/wire.h"
+
+namespace ibseg {
+namespace net {
+
+DecodeStatus decode_frame_header(const uint8_t* data, size_t size,
+                                 FrameHeader* out) {
+  if (size < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return DecodeStatus::kMalformed;
+  }
+  WireReader r(std::string_view(reinterpret_cast<const char*>(data) + 4,
+                                kFrameHeaderBytes - 4));
+  uint8_t version = r.read_u8();
+  uint8_t type = r.read_u8();
+  uint16_t reserved = r.read_u16();
+  uint32_t payload_len = r.read_u32();
+  if (version != kProtocolVersion || reserved != 0 ||
+      payload_len > kMaxPayloadBytes) {
+    return DecodeStatus::kMalformed;
+  }
+  out->version = version;
+  out->type = static_cast<MsgType>(type);
+  out->payload_len = payload_len;
+  return DecodeStatus::kOk;
+}
+
+void encode_frame(MsgType type, std::string_view payload, std::string* out) {
+  out->reserve(out->size() + kFrameHeaderBytes + payload.size());
+  WireWriter w(out);
+  w.write_bytes(std::string_view(reinterpret_cast<const char*>(kMagic),
+                                 sizeof(kMagic)));
+  w.write_u8(kProtocolVersion);
+  w.write_u8(static_cast<uint8_t>(type));
+  w.write_u16(0);  // reserved
+  w.write_u32(static_cast<uint32_t>(payload.size()));
+  w.write_bytes(payload);
+}
+
+void encode_query(const QueryRequest& req, std::string* payload) {
+  WireWriter w(payload);
+  w.write_u32(req.doc_id);
+  w.write_u32(req.k);
+}
+
+bool decode_query(std::string_view payload, QueryRequest* out) {
+  WireReader r(payload);
+  out->doc_id = r.read_u32();
+  out->k = r.read_u32();
+  return r.exhausted() && out->k >= 1;
+}
+
+void encode_ask(const AskRequest& req, std::string* payload) {
+  WireWriter w(payload);
+  w.write_u32(req.k);
+  w.write_u32(static_cast<uint32_t>(req.text.size()));
+  w.write_bytes(req.text);
+}
+
+bool decode_ask(std::string_view payload, AskRequest* out) {
+  WireReader r(payload);
+  out->k = r.read_u32();
+  uint32_t len = r.read_u32();
+  // The explicit length must account for every remaining byte: a shorter
+  // value would leave trailing garbage, a longer one truncates.
+  if (!r.ok() || len != r.remaining()) return false;
+  out->text.assign(r.read_bytes(len));
+  return r.exhausted() && out->k >= 1;
+}
+
+void encode_add_post(const AddPostRequest& req, std::string* payload) {
+  WireWriter w(payload);
+  w.write_u32(static_cast<uint32_t>(req.text.size()));
+  w.write_bytes(req.text);
+}
+
+bool decode_add_post(std::string_view payload, AddPostRequest* out) {
+  WireReader r(payload);
+  uint32_t len = r.read_u32();
+  if (!r.ok() || len != r.remaining()) return false;
+  out->text.assign(r.read_bytes(len));
+  return r.exhausted();
+}
+
+void encode_add_posts(const AddPostsRequest& req, std::string* payload) {
+  WireWriter w(payload);
+  w.write_u32(static_cast<uint32_t>(req.texts.size()));
+  for (const std::string& text : req.texts) {
+    w.write_u32(static_cast<uint32_t>(text.size()));
+    w.write_bytes(text);
+  }
+}
+
+bool decode_add_posts(std::string_view payload, AddPostsRequest* out) {
+  WireReader r(payload);
+  uint32_t count = r.read_u32();
+  if (!r.ok() || count == 0 || count > kMaxBatchPosts) return false;
+  out->texts.clear();
+  out->texts.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = r.read_u32();
+    // Each element's length is bounded by what is actually left, so a
+    // hostile length field can never drive an allocation past the frame.
+    if (!r.ok() || len > r.remaining()) return false;
+    out->texts.emplace_back(r.read_bytes(len));
+  }
+  return r.exhausted();
+}
+
+void encode_metrics(const MetricsRequest& req, std::string* payload) {
+  WireWriter w(payload);
+  w.write_u8(req.format);
+}
+
+bool decode_metrics(std::string_view payload, MetricsRequest* out) {
+  WireReader r(payload);
+  out->format = r.read_u8();
+  return r.exhausted() && out->format <= 1;
+}
+
+void encode_pong(const PongResponse& resp, std::string* payload) {
+  WireWriter w(payload);
+  w.write_u64(resp.epoch);
+  w.write_u64(resp.num_docs);
+}
+
+bool decode_pong(std::string_view payload, PongResponse* out) {
+  WireReader r(payload);
+  out->epoch = r.read_u64();
+  out->num_docs = r.read_u64();
+  return r.exhausted();
+}
+
+void encode_related(const RelatedResponse& resp, std::string* payload) {
+  WireWriter w(payload);
+  w.write_u64(resp.epoch);
+  w.write_u64(resp.num_docs);
+  w.write_u32(static_cast<uint32_t>(resp.results.size()));
+  for (const ScoredDoc& sd : resp.results) {
+    w.write_u32(sd.doc);
+    w.write_f64(sd.score);
+  }
+}
+
+bool decode_related(std::string_view payload, RelatedResponse* out) {
+  WireReader r(payload);
+  out->epoch = r.read_u64();
+  out->num_docs = r.read_u64();
+  uint32_t count = r.read_u32();
+  if (!r.ok() || count > kMaxRelatedResults) return false;
+  // 12 bytes per element; checking against the remaining payload before
+  // reserving keeps a hostile count from allocating gigabytes.
+  if (static_cast<uint64_t>(count) * 12 != r.remaining()) return false;
+  out->results.clear();
+  out->results.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ScoredDoc sd;
+    sd.doc = r.read_u32();
+    sd.score = r.read_f64();
+    out->results.push_back(sd);
+  }
+  return r.exhausted();
+}
+
+void encode_added(const AddedResponse& resp, std::string* payload) {
+  WireWriter w(payload);
+  w.write_u32(static_cast<uint32_t>(resp.ids.size()));
+  for (DocId id : resp.ids) w.write_u32(id);
+}
+
+bool decode_added(std::string_view payload, AddedResponse* out) {
+  WireReader r(payload);
+  uint32_t count = r.read_u32();
+  if (!r.ok() || static_cast<uint64_t>(count) * 4 != r.remaining()) {
+    return false;
+  }
+  out->ids.clear();
+  out->ids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) out->ids.push_back(r.read_u32());
+  return r.exhausted();
+}
+
+void encode_metrics_data(const MetricsDataResponse& resp,
+                         std::string* payload) {
+  WireWriter w(payload);
+  w.write_u32(static_cast<uint32_t>(resp.body.size()));
+  w.write_bytes(resp.body);
+}
+
+bool decode_metrics_data(std::string_view payload, MetricsDataResponse* out) {
+  WireReader r(payload);
+  uint32_t len = r.read_u32();
+  if (!r.ok() || len != r.remaining()) return false;
+  out->body.assign(r.read_bytes(len));
+  return r.exhausted();
+}
+
+void encode_error(const ErrorResponse& resp, std::string* payload) {
+  WireWriter w(payload);
+  w.write_u8(static_cast<uint8_t>(resp.code));
+  w.write_u32(static_cast<uint32_t>(resp.message.size()));
+  w.write_bytes(resp.message);
+}
+
+bool decode_error(std::string_view payload, ErrorResponse* out) {
+  WireReader r(payload);
+  uint8_t code = r.read_u8();
+  uint32_t len = r.read_u32();
+  if (!r.ok() || len != r.remaining()) return false;
+  out->code = static_cast<ErrCode>(code);
+  out->message.assign(r.read_bytes(len));
+  return r.exhausted();
+}
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kPing: return "ping";
+    case MsgType::kQuery: return "query";
+    case MsgType::kAsk: return "ask";
+    case MsgType::kAddPost: return "add_post";
+    case MsgType::kAddPosts: return "add_posts";
+    case MsgType::kSave: return "save";
+    case MsgType::kMetrics: return "metrics";
+    case MsgType::kDrain: return "drain";
+    case MsgType::kPong: return "pong";
+    case MsgType::kRelated: return "related";
+    case MsgType::kAdded: return "added";
+    case MsgType::kSaved: return "saved";
+    case MsgType::kMetricsData: return "metrics_data";
+    case MsgType::kDraining: return "draining";
+    case MsgType::kError: return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace net
+}  // namespace ibseg

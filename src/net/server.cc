@@ -1,0 +1,727 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "seg/document.h"
+
+namespace ibseg {
+namespace net {
+
+namespace {
+
+/// During drain, a connection whose response bytes the peer refuses to
+/// read is force-closed after this long — a dead client must not be able
+/// to hold the whole process open (docs/OPERATIONS.md §4).
+constexpr double kDrainFlushTimeoutSec = 5.0;
+
+/// poll(2) tick; bounds how late idle/drain timeouts can fire.
+constexpr int kPollTimeoutMs = 100;
+
+bool set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// External ASK posts get an id far above any real corpus id; the id only
+/// labels the transient Document, nothing is ingested (same convention as
+/// ibseg_cli's ask command).
+constexpr DocId kExternalQueryId = 1u << 30;
+
+}  // namespace
+
+/// One client connection. The I/O thread owns the input side (buffer,
+/// parsing, lifecycle); the output side (out/out_offset/closing) is
+/// mutex-guarded because workers append response bytes concurrently.
+struct Server::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+
+  int fd;
+  std::string input;  ///< buffered unparsed request bytes (I/O thread only)
+  std::atomic<bool> in_flight{false};  ///< one admitted request outstanding
+  std::atomic<bool> closed{false};
+
+  std::mutex out_mu;
+  std::string out;        ///< encoded, not-yet-written response bytes
+  size_t out_offset = 0;  ///< bytes of `out` already written
+  bool closing = false;   ///< close once `out` fully flushes
+
+  obs::Clock::time_point last_activity = obs::Clock::now();
+
+  size_t pending_output() {
+    std::lock_guard<std::mutex> lock(out_mu);
+    return out.size() - out_offset;
+  }
+};
+
+/// One admitted request travelling from the I/O thread to a worker.
+struct Server::Work {
+  std::shared_ptr<Connection> conn;
+  MsgType type = MsgType::kPing;
+  std::string payload;
+  obs::Clock::time_point enqueued;
+};
+
+/// The ibseg_net_* instrument set (docs/OPERATIONS.md §5 catalogs it).
+/// Registered eagerly so an idle server still renders every series at
+/// zero — the same discipline as the serving-layer metrics.
+struct Server::Metrics {
+  Metrics()
+      : connections(obs::MetricsRegistry::global().gauge(
+            "ibseg_net_connections",
+            "Currently open client connections on the network front-end.")),
+        request_seconds(obs::MetricsRegistry::global().histogram(
+            "ibseg_net_request_seconds",
+            "Queue wait plus execution time of admitted requests, in "
+            "seconds.")) {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+    static constexpr MsgType kCommands[] = {
+        MsgType::kPing,     MsgType::kQuery, MsgType::kAsk,
+        MsgType::kAddPost,  MsgType::kAddPosts, MsgType::kSave,
+        MsgType::kMetrics,  MsgType::kDrain};
+    for (MsgType cmd : kCommands) {
+      requests[static_cast<uint8_t>(cmd)] = &r.counter(
+          "ibseg_net_requests_total",
+          "Well-framed requests received, by command.",
+          {{"cmd", msg_type_name(cmd)}});
+    }
+    static constexpr const char* kReasons[] = {
+        "bad_frame", "bad_request", "overloaded",
+        "draining",  "timeout",     "conn_limit"};
+    for (const char* reason : kReasons) {
+      rejected[reason] = &r.counter(
+          "ibseg_net_rejected_total",
+          "Requests and connections refused before execution, by reason.",
+          {{"reason", reason}});
+    }
+  }
+
+  void reject(const char* reason) { rejected.at(reason)->inc(); }
+
+  obs::Gauge& connections;
+  obs::Histogram& request_seconds;
+  std::map<uint8_t, obs::Counter*> requests;
+  std::map<std::string, obs::Counter*> rejected;
+};
+
+Server::Server(ShardedServing* backend, ServerOptions options)
+    : backend_(backend),
+      options_(std::move(options)),
+      metrics_(std::make_unique<Metrics>()) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.max_in_flight < 1) options_.max_in_flight = 1;
+}
+
+Server::~Server() {
+  if (started_.load(std::memory_order_acquire)) drain();
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+bool Server::start() {
+  if (::pipe(wake_fds_) != 0 || !set_nonblocking(wake_fds_[0]) ||
+      !set_nonblocking(wake_fds_[1])) {
+    std::perror("ibseg_server: pipe");
+    return false;
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::perror("ibseg_server: socket");
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    std::fprintf(stderr, "ibseg_server: bad bind address %s\n",
+                 options_.bind_address.c_str());
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0 || !set_nonblocking(listen_fd_)) {
+    std::perror("ibseg_server: bind/listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  started_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { io_loop(); });
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return true;
+}
+
+void Server::wake_io() {
+  char byte = 1;
+  // A full pipe already guarantees a pending wake; EAGAIN is success.
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+}
+
+void Server::request_drain() {
+  draining_.store(true, std::memory_order_release);
+  wake_io();
+}
+
+void Server::drain() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  request_drain();
+  finish_drain();
+}
+
+void Server::wait_drained() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  {
+    // Wait for *someone* to initiate a drain (DRAIN command, another
+    // thread's drain() call) ...
+    std::unique_lock<std::mutex> lock(lifecycle_mu_);
+    lifecycle_cv_.wait(lock, [this] {
+      return draining_.load(std::memory_order_acquire);
+    });
+  }
+  // ... then make sure the tail work runs (first caller does it).
+  finish_drain();
+}
+
+void Server::finish_drain() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mu_);
+    if (drain_finished_) return;
+    if (drain_finishing_) {
+      lifecycle_cv_.wait(lock, [this] { return drain_finished_; });
+      return;
+    }
+    drain_finishing_ = true;
+  }
+
+  // Network side first: the I/O thread exits once nothing is in flight
+  // and every output buffer is flushed (or its flush deadline passed).
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mu_);
+    lifecycle_cv_.wait(lock, [this] {
+      return net_quiesced_.load(std::memory_order_acquire);
+    });
+  }
+  io_thread_.join();
+
+  workers_stop_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+
+  // The final publication barrier: with a state dir configured, persist
+  // every acknowledged ingest (snapshot + manifest commit + WAL
+  // truncation) before reporting the drain complete.
+  if (!options_.state_dir.empty()) {
+    if (!backend_->save(options_.state_dir)) {
+      std::fprintf(stderr, "ibseg_server: drain-time save to %s failed\n",
+                   options_.state_dir.c_str());
+    }
+  }
+
+  started_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    drain_finished_ = true;
+  }
+  lifecycle_cv_.notify_all();
+}
+
+void Server::io_loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Connection>> polled;
+  bool drain_seen = false;
+  obs::Clock::time_point drain_started{};
+
+  while (true) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    if (draining && !drain_seen) {
+      drain_seen = true;
+      drain_started = obs::Clock::now();
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+    }
+
+    // A worker finishing its request may have unblocked parsing of
+    // already-buffered pipelined frames; give every eligible connection a
+    // parse pass before sleeping.
+    for (auto& [fd, conn] : connections_) {
+      if (!conn->closed.load(std::memory_order_acquire) &&
+          !conn->in_flight.load(std::memory_order_acquire) &&
+          !conn->input.empty() &&
+          conn->pending_output() < options_.max_output_bytes) {
+        if (!parse_frames(conn)) close_connection(conn);
+      }
+    }
+
+    const obs::Clock::time_point now = obs::Clock::now();
+
+    // Idle timeout + deferred closes + drain force-close sweep.
+    for (auto& [fd, conn] : connections_) {
+      if (conn->closed.load(std::memory_order_acquire)) continue;
+      bool closing;
+      size_t pending;
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        closing = conn->closing;
+        pending = conn->out.size() - conn->out_offset;
+      }
+      if (closing && pending == 0) {
+        close_connection(conn);
+      } else if (options_.idle_timeout_sec > 0 && !closing && pending == 0 &&
+                 !conn->in_flight.load(std::memory_order_acquire) &&
+                 obs::seconds_between(conn->last_activity, now) >
+                     options_.idle_timeout_sec) {
+        close_connection(conn);
+      } else if (drain_seen && pending > 0 &&
+                 obs::seconds_between(drain_started, now) >
+                     kDrainFlushTimeoutSec) {
+        close_connection(conn);
+      }
+    }
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (it->second->closed.load(std::memory_order_acquire)) {
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Drain exit: nothing admitted, nothing buffered, nothing half-read.
+    if (drain_seen && in_flight_.load(std::memory_order_acquire) == 0) {
+      bool flushed = true;
+      for (auto& [fd, conn] : connections_) {
+        if (conn->pending_output() > 0 ||
+            conn->in_flight.load(std::memory_order_acquire)) {
+          flushed = false;
+          break;
+        }
+      }
+      if (flushed) break;
+    }
+
+    fds.clear();
+    polled.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+    const size_t first_conn = fds.size();
+    for (auto& [fd, conn] : connections_) {
+      short events = 0;
+      if (conn->pending_output() > 0) events |= POLLOUT;
+      bool closing;
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        closing = conn->closing;
+      }
+      if (!closing && !conn->in_flight.load(std::memory_order_acquire) &&
+          conn->pending_output() < options_.max_output_bytes) {
+        events |= POLLIN;
+      }
+      if (events == 0) continue;
+      fds.push_back({fd, events, 0});
+      polled.push_back(conn);
+    }
+
+    ::poll(fds.data(), fds.size(), kPollTimeoutMs);
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char buf[64];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (listen_fd_ >= 0 && fds.size() > 1 && fds[1].fd == listen_fd_ &&
+        (fds[1].revents & POLLIN) != 0) {
+      accept_ready();
+    }
+    for (size_t i = first_conn; i < fds.size(); ++i) {
+      const std::shared_ptr<Connection>& conn = polled[i - first_conn];
+      if (conn->closed.load(std::memory_order_acquire)) continue;
+      if ((fds[i].revents & (POLLERR | POLLNVAL)) != 0) {
+        close_connection(conn);
+        continue;
+      }
+      if ((fds[i].revents & POLLOUT) != 0) connection_writable(conn);
+      if ((fds[i].revents & (POLLIN | POLLHUP)) != 0) {
+        connection_readable(conn);
+      }
+    }
+  }
+
+  for (auto& [fd, conn] : connections_) {
+    if (!conn->closed.load(std::memory_order_acquire)) {
+      close_connection(conn);
+    }
+  }
+  connections_.clear();
+
+  net_quiesced_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  }
+  lifecycle_cv_.notify_all();
+}
+
+void Server::accept_ready() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: done for this tick
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    if (connections_.size() >= options_.max_connections) {
+      // Explicit rejection, never a silent drop: best-effort OVERLOADED
+      // response, then close (PROTOCOL.md §6).
+      metrics_->reject("conn_limit");
+      std::string payload, frame;
+      encode_error({ErrCode::kOverloaded, "connection limit reached"},
+                   &payload);
+      encode_frame(MsgType::kError, payload, &frame);
+      [[maybe_unused]] ssize_t n =
+          ::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>(fd);
+    connections_.emplace(fd, std::move(conn));
+    metrics_->connections.set(static_cast<double>(connections_.size()));
+  }
+}
+
+void Server::connection_readable(const std::shared_ptr<Connection>& conn) {
+  char buf[65536];
+  while (true) {
+    ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->input.append(buf, static_cast<size_t>(n));
+      conn->last_activity = obs::Clock::now();
+      // One read chunk may complete many frames but at most one request is
+      // admitted; stop pulling more bytes once a request is in flight so
+      // the input buffer stays bounded by the socket buffer + one frame.
+      if (conn->in_flight.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      close_connection(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(conn);
+    return;
+  }
+  if (!parse_frames(conn)) close_connection(conn);
+}
+
+void Server::connection_writable(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  while (conn->out_offset < conn->out.size()) {
+    ssize_t n = ::send(conn->fd, conn->out.data() + conn->out_offset,
+                       conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      conn->last_activity = obs::Clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    conn->closing = true;  // broken pipe; sweep closes it
+    return;
+  }
+  conn->out.clear();
+  conn->out_offset = 0;
+}
+
+bool Server::parse_frames(const std::shared_ptr<Connection>& conn) {
+  while (!conn->in_flight.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      if (conn->closing) return true;
+      if (conn->out.size() - conn->out_offset >= options_.max_output_bytes) {
+        return true;  // backpressure: resume once the client drains
+      }
+    }
+    FrameHeader header;
+    DecodeStatus status = decode_frame_header(
+        reinterpret_cast<const uint8_t*>(conn->input.data()),
+        conn->input.size(), &header);
+    if (status == DecodeStatus::kNeedMore) return true;
+    if (status == DecodeStatus::kMalformed) {
+      // Framing is lost; the only safe recovery is closing (PROTOCOL.md
+      // §2). No error response — we cannot know where a reply would land
+      // in the byte stream the client thinks it is speaking.
+      metrics_->reject("bad_frame");
+      return false;
+    }
+    const size_t total = kFrameHeaderBytes + header.payload_len;
+    if (conn->input.size() < total) return true;  // payload still arriving
+    std::string payload = conn->input.substr(kFrameHeaderBytes,
+                                             header.payload_len);
+    conn->input.erase(0, total);
+    dispatch(conn, header.type, std::move(payload));
+  }
+  return true;
+}
+
+void Server::dispatch(const std::shared_ptr<Connection>& conn, MsgType type,
+                      std::string payload) {
+  const uint8_t code = static_cast<uint8_t>(type);
+  auto it = metrics_->requests.find(code);
+  if (it == metrics_->requests.end()) {
+    // Well-framed but not a request we know (including response-typed
+    // frames sent at us). The stream is still in sync: answer and go on.
+    metrics_->reject("bad_request");
+    send_error(conn, ErrCode::kBadRequest, "unknown request type");
+    return;
+  }
+  it->second->inc();
+
+  if (draining_.load(std::memory_order_acquire)) {
+    metrics_->reject("draining");
+    send_error(conn, ErrCode::kDraining, "server is draining");
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    conn->closing = true;
+    return;
+  }
+
+  // Admission control: the bound covers queued + executing requests.
+  size_t current = in_flight_.load(std::memory_order_relaxed);
+  while (true) {
+    if (current >= options_.max_in_flight) {
+      metrics_->reject("overloaded");
+      send_error(conn, ErrCode::kOverloaded, "too many requests in flight");
+      return;
+    }
+    if (in_flight_.compare_exchange_weak(current, current + 1,
+                                         std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+
+  conn->in_flight.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(Work{conn, type, std::move(payload), obs::Clock::now()});
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::worker_loop() {
+  while (true) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || workers_stop_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) return;  // stop requested and drained
+      work = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    MsgType resp_type;
+    std::string resp_payload;
+    const double waited =
+        obs::seconds_between(work.enqueued, obs::Clock::now());
+    if (options_.request_timeout_sec > 0 &&
+        waited > options_.request_timeout_sec) {
+      metrics_->reject("timeout");
+      resp_type = MsgType::kError;
+      encode_error({ErrCode::kTimeout, "request expired in queue"},
+                   &resp_payload);
+    } else {
+      execute(work, &resp_type, &resp_payload);
+    }
+
+    if (!work.conn->closed.load(std::memory_order_acquire)) {
+      send_frame(work.conn, resp_type, resp_payload);
+    }
+    metrics_->request_seconds.observe(
+        obs::seconds_between(work.enqueued, obs::Clock::now()));
+    work.conn->in_flight.store(false, std::memory_order_release);
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    wake_io();
+  }
+}
+
+void Server::execute(const Work& work, MsgType* type, std::string* payload) {
+  if (options_.debug_handler_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.debug_handler_delay_ms));
+  }
+  payload->clear();
+  auto bad_request = [&](const char* message) {
+    metrics_->reject("bad_request");
+    *type = MsgType::kError;
+    encode_error({ErrCode::kBadRequest, message}, payload);
+  };
+
+  switch (work.type) {
+    case MsgType::kPing: {
+      if (!work.payload.empty()) return bad_request("ping carries no payload");
+      *type = MsgType::kPong;
+      encode_pong({backend_->epoch(), backend_->num_docs()}, payload);
+      return;
+    }
+    case MsgType::kQuery: {
+      QueryRequest req;
+      if (!decode_query(work.payload, &req)) {
+        return bad_request("malformed query payload");
+      }
+      if (req.doc_id >= backend_->next_id()) {
+        *type = MsgType::kError;
+        encode_error({ErrCode::kUnknownDoc, "document id not in corpus"},
+                     payload);
+        return;
+      }
+      ShardedServing::QueryResult result =
+          backend_->find_related(req.doc_id, static_cast<int>(req.k));
+      *type = MsgType::kRelated;
+      encode_related({result.epoch, result.num_docs, std::move(result.results)},
+                     payload);
+      return;
+    }
+    case MsgType::kAsk: {
+      AskRequest req;
+      if (!decode_ask(work.payload, &req)) {
+        return bad_request("malformed ask payload");
+      }
+      Document doc = Document::analyze(kExternalQueryId, req.text);
+      if (doc.num_units() == 0) return bad_request("empty post");
+      ShardedServing::QueryResult result =
+          backend_->find_related_external(doc, static_cast<int>(req.k));
+      *type = MsgType::kRelated;
+      encode_related({result.epoch, result.num_docs, std::move(result.results)},
+                     payload);
+      return;
+    }
+    case MsgType::kAddPost: {
+      AddPostRequest req;
+      if (!decode_add_post(work.payload, &req) || req.text.empty()) {
+        return bad_request("malformed or empty add_post payload");
+      }
+      DocId id = backend_->add_post(std::move(req.text));
+      *type = MsgType::kAdded;
+      encode_added({{id}}, payload);
+      return;
+    }
+    case MsgType::kAddPosts: {
+      AddPostsRequest req;
+      if (!decode_add_posts(work.payload, &req)) {
+        return bad_request("malformed add_posts payload");
+      }
+      for (const std::string& text : req.texts) {
+        if (text.empty()) return bad_request("empty post in batch");
+      }
+      std::vector<DocId> ids = backend_->add_posts(std::move(req.texts));
+      *type = MsgType::kAdded;
+      encode_added({std::move(ids)}, payload);
+      return;
+    }
+    case MsgType::kSave: {
+      if (!work.payload.empty()) return bad_request("save carries no payload");
+      if (options_.state_dir.empty()) {
+        *type = MsgType::kError;
+        encode_error({ErrCode::kUnsupported, "server has no state directory"},
+                     payload);
+        return;
+      }
+      if (!backend_->save(options_.state_dir)) {
+        *type = MsgType::kError;
+        encode_error({ErrCode::kInternal, "save failed"}, payload);
+        return;
+      }
+      *type = MsgType::kSaved;
+      return;
+    }
+    case MsgType::kMetrics: {
+      MetricsRequest req;
+      if (!decode_metrics(work.payload, &req)) {
+        return bad_request("malformed metrics payload");
+      }
+      MetricsDataResponse resp;
+      resp.body = req.format == 1 ? obs::render_json() : obs::render_text();
+      *type = MsgType::kMetricsData;
+      encode_metrics_data(resp, payload);
+      return;
+    }
+    case MsgType::kDrain: {
+      if (!work.payload.empty()) {
+        return bad_request("drain carries no payload");
+      }
+      // Acknowledge first (the response rides the output buffer the drain
+      // flush waits on), then initiate.
+      *type = MsgType::kDraining;
+      request_drain();
+      {
+        std::lock_guard<std::mutex> lock(lifecycle_mu_);
+      }
+      lifecycle_cv_.notify_all();  // unblock wait_drained()
+      return;
+    }
+    default:
+      return bad_request("unknown request type");
+  }
+}
+
+void Server::send_frame(const std::shared_ptr<Connection>& conn, MsgType type,
+                        std::string_view payload) {
+  std::string frame;
+  encode_frame(type, payload, &frame);
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  conn->out.append(frame);
+}
+
+void Server::send_error(const std::shared_ptr<Connection>& conn, ErrCode code,
+                        const std::string& message) {
+  std::string payload;
+  encode_error({code, message}, &payload);
+  send_frame(conn, MsgType::kError, payload);
+}
+
+void Server::close_connection(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed.exchange(true, std::memory_order_acq_rel)) return;
+  ::shutdown(conn->fd, SHUT_RDWR);
+  ::close(conn->fd);
+  size_t open = 0;
+  for (auto& [fd, c] : connections_) {
+    if (!c->closed.load(std::memory_order_acquire)) ++open;
+  }
+  metrics_->connections.set(static_cast<double>(open));
+}
+
+}  // namespace net
+}  // namespace ibseg

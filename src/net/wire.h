@@ -1,0 +1,145 @@
+#ifndef IBSEG_NET_WIRE_H_
+#define IBSEG_NET_WIRE_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace ibseg {
+namespace net {
+
+/// \brief Bounds-checked little-endian primitive codec shared by every
+/// wire-format reader and writer in `src/net`.
+///
+/// All multi-byte integers on the wire are **little-endian** and all
+/// floating-point values travel as the raw IEEE-754 bit pattern of a
+/// little-endian u64 (docs/PROTOCOL.md §2). Encoding through std::bit_cast
+/// of the double's bits — never through a textual round trip — is what
+/// lets a remote client compare scores **bit-identically** against an
+/// in-process query: the differential loopback test asserts operator== on
+/// the reassembled doubles.
+///
+/// WireReader is a non-owning cursor over a payload view. Every read
+/// checks the remaining byte count first and, on underrun, marks the
+/// reader failed and returns a zero value; callers check ok() once at the
+/// end (or at structural decision points such as list counts) instead of
+/// after every field. A failed reader never reads further — the failure
+/// latches — so truncation anywhere inside a compound payload is always
+/// detected, which the every-prefix-truncation tests rely on.
+class WireReader {
+ public:
+  /// \param data payload bytes (not owned; must outlive the reader)
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  /// \brief True while no read has underrun the buffer.
+  bool ok() const { return ok_; }
+
+  /// \brief Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// \brief True when the payload was consumed exactly (and nothing
+  /// failed). Decoders require this: trailing garbage is a malformed
+  /// payload, not padding (docs/PROTOCOL.md §2).
+  bool exhausted() const { return ok_ && pos_ == data_.size(); }
+
+  uint8_t read_u8() {
+    if (!require(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint16_t read_u16() {
+    if (!require(2)) return 0;
+    uint16_t v = static_cast<uint16_t>(
+        static_cast<uint8_t>(data_[pos_]) |
+        static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + 1])) << 8);
+    pos_ += 2;
+    return v;
+  }
+
+  uint32_t read_u32() {
+    if (!require(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(i)]);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t read_u64() {
+    if (!require(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(i)]);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  /// \brief A double as its raw IEEE-754 bits in a little-endian u64 —
+  /// the bit-identity-preserving float encoding.
+  double read_f64() { return std::bit_cast<double>(read_u64()); }
+
+  /// \brief `len` raw bytes (typically preceded by a length field).
+  /// Returns an empty view on underrun.
+  std::string_view read_bytes(size_t len) {
+    if (!require(len)) return {};
+    std::string_view v = data_.substr(pos_, len);
+    pos_ += len;
+    return v;
+  }
+
+ private:
+  bool require(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// \brief Append-only little-endian writer over a caller-owned string.
+/// The inverse of WireReader; infallible (the string grows).
+class WireWriter {
+ public:
+  /// \param out destination buffer, appended to (not cleared)
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void write_u8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void write_u16(uint16_t v) {
+    write_u8(static_cast<uint8_t>(v));
+    write_u8(static_cast<uint8_t>(v >> 8));
+  }
+
+  void write_u32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) write_u8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void write_u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) write_u8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  /// \brief IEEE-754 bits as a little-endian u64 (see WireReader::read_f64).
+  void write_f64(double v) { write_u64(std::bit_cast<uint64_t>(v)); }
+
+  void write_bytes(std::string_view bytes) {
+    out_->append(bytes.data(), bytes.size());
+  }
+
+ private:
+  std::string* out_;
+};
+
+}  // namespace net
+}  // namespace ibseg
+
+#endif  // IBSEG_NET_WIRE_H_

@@ -1,0 +1,223 @@
+// Fuzz target for the wire-protocol codecs (src/net/frame.h) — the one
+// parser in the system that consumes bytes written by a *remote peer*, so
+// its robustness bar is the highest: any input must either decode cleanly
+// or be rejected, with no over-read, no unbounded allocation, and no
+// state carried between frames.
+//
+// The input bytes are treated as a connection's receive stream: frames are
+// peeled off with decode_frame_header exactly the way Server::parse_frames
+// does, each payload is run through the decoder for its type (requests AND
+// responses — the client's decoders face a hostile server too), and every
+// successfully decoded message is re-encoded and decoded again, asserting
+// the round trip is stable (decode∘encode = id on the decoded image).
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/frame.h"
+#include "fuzz_driver.h"
+
+using namespace ibseg;
+using namespace ibseg::net;
+
+namespace {
+
+/// Decodes `payload` as `type`; on success re-encodes and checks the
+/// second decode reproduces the first (and, for text-free types, that the
+/// bytes themselves round-trip).
+void exercise_payload(MsgType type, std::string_view payload) {
+  switch (type) {
+    case MsgType::kQuery: {
+      QueryRequest a;
+      if (!decode_query(payload, &a)) return;
+      std::string again;
+      encode_query(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kAsk: {
+      AskRequest a;
+      if (!decode_ask(payload, &a)) return;
+      std::string again;
+      encode_ask(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kAddPost: {
+      AddPostRequest a;
+      if (!decode_add_post(payload, &a)) return;
+      std::string again;
+      encode_add_post(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kAddPosts: {
+      AddPostsRequest a;
+      if (!decode_add_posts(payload, &a)) return;
+      std::string again;
+      encode_add_posts(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kMetrics: {
+      MetricsRequest a;
+      if (!decode_metrics(payload, &a)) return;
+      std::string again;
+      encode_metrics(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kPong: {
+      PongResponse a;
+      if (!decode_pong(payload, &a)) return;
+      std::string again;
+      encode_pong(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kRelated: {
+      RelatedResponse a;
+      if (!decode_related(payload, &a)) return;
+      std::string again;
+      encode_related(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kAdded: {
+      AddedResponse a;
+      if (!decode_added(payload, &a)) return;
+      std::string again;
+      encode_added(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kMetricsData: {
+      MetricsDataResponse a;
+      if (!decode_metrics_data(payload, &a)) return;
+      std::string again;
+      encode_metrics_data(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kError: {
+      ErrorResponse a;
+      if (!decode_error(payload, &a)) return;
+      std::string again;
+      encode_error(a, &again);
+      assert(again == payload);
+      break;
+    }
+    default:
+      // PING/SAVE/DRAIN/SAVED/DRAINING and unknown types: the payload
+      // contract is "empty"; nothing to decode, nothing to crash.
+      break;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  size_t offset = 0;
+  // Peel frames off the stream the way the server's parse loop does; stop
+  // on the first malformed header (a real connection would close) or when
+  // the remaining bytes cannot complete a frame.
+  while (true) {
+    FrameHeader header;
+    DecodeStatus status =
+        decode_frame_header(data + offset, size - offset, &header);
+    if (status != DecodeStatus::kOk) break;
+    if (size - offset - kFrameHeaderBytes < header.payload_len) break;
+    exercise_payload(
+        header.type,
+        std::string_view(
+            reinterpret_cast<const char*>(data + offset + kFrameHeaderBytes),
+            header.payload_len));
+    offset += kFrameHeaderBytes + header.payload_len;
+  }
+  // Also throw the raw tail at every decoder directly — the mutation loop
+  // then explores payload space without needing a valid header first.
+  std::string_view tail(reinterpret_cast<const char*>(data + offset),
+                        size - offset);
+  for (MsgType type :
+       {MsgType::kQuery, MsgType::kAsk, MsgType::kAddPost, MsgType::kAddPosts,
+        MsgType::kMetrics, MsgType::kPong, MsgType::kRelated, MsgType::kAdded,
+        MsgType::kMetricsData, MsgType::kError}) {
+    exercise_payload(type, tail);
+  }
+  return 0;
+}
+
+std::vector<std::string> fuzz_seed_inputs() {
+  std::vector<std::string> seeds;
+  auto add_frame = [&seeds](MsgType type, const std::string& payload) {
+    std::string frame;
+    encode_frame(type, payload, &frame);
+    seeds.push_back(frame);
+  };
+
+  add_frame(MsgType::kPing, {});
+  add_frame(MsgType::kSave, {});
+  add_frame(MsgType::kDrain, {});
+
+  std::string p;
+  encode_query({7, 10}, &p);
+  add_frame(MsgType::kQuery, p);
+
+  p.clear();
+  encode_ask({5, "my laptop will not boot after the update"}, &p);
+  add_frame(MsgType::kAsk, p);
+
+  p.clear();
+  encode_add_post({"the battery drains within an hour"}, &p);
+  add_frame(MsgType::kAddPost, p);
+
+  p.clear();
+  AddPostsRequest batch;
+  batch.texts = {"first post", "second post", "third post"};
+  encode_add_posts(batch, &p);
+  add_frame(MsgType::kAddPosts, p);
+
+  p.clear();
+  encode_metrics({0}, &p);
+  add_frame(MsgType::kMetrics, p);
+
+  p.clear();
+  encode_pong({12, 345}, &p);
+  add_frame(MsgType::kPong, p);
+
+  p.clear();
+  RelatedResponse related;
+  related.epoch = 3;
+  related.num_docs = 40;
+  related.results = {{4, 0.75}, {9, 0.5}, {1, 0.125}};
+  encode_related(related, &p);
+  add_frame(MsgType::kRelated, p);
+
+  p.clear();
+  AddedResponse added;
+  added.ids = {40, 41, 42};
+  encode_added(added, &p);
+  add_frame(MsgType::kAdded, p);
+
+  p.clear();
+  encode_metrics_data({"# HELP ibseg_net_connections open connections\n"}, &p);
+  add_frame(MsgType::kMetricsData, p);
+
+  p.clear();
+  encode_error({ErrCode::kOverloaded, "too many in-flight requests"}, &p);
+  add_frame(MsgType::kError, p);
+
+  // A two-frame stream seed so mutation explores the framing loop.
+  std::string stream;
+  encode_frame(MsgType::kPing, {}, &stream);
+  p.clear();
+  encode_query({1, 3}, &p);
+  encode_frame(MsgType::kQuery, p, &stream);
+  seeds.push_back(stream);
+
+  return seeds;
+}

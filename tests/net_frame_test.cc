@@ -1,0 +1,402 @@
+// Byte-level tests of the docs/PROTOCOL.md wire codec (src/net/frame.h),
+// written against the document's tables, not the code: the golden arrays
+// below are the documented layouts typed out by hand, so an encoder drift
+// breaks a golden even if encode/decode still round-trip. Alongside the
+// goldens: every-prefix truncation rejection for every payload codec (the
+// same discipline the snapshot/WAL parsers follow), oversized/garbage
+// frame rejection, and the bit-exactness of the f64 score encoding.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/wire.h"
+
+namespace ibseg {
+namespace net {
+namespace {
+
+std::string bytes(std::initializer_list<uint8_t> list) {
+  std::string out;
+  for (uint8_t b : list) out.push_back(static_cast<char>(b));
+  return out;
+}
+
+DecodeStatus header_of(const std::string& data, FrameHeader* out) {
+  return decode_frame_header(reinterpret_cast<const uint8_t*>(data.data()),
+                             data.size(), out);
+}
+
+// --- Frame header (PROTOCOL.md §2).
+
+TEST(NetFrame, PingFrameGolden) {
+  // 12-byte header: "IBSN", version 1, type 0x01 (PING), reserved 0,
+  // payload length 0 — byte for byte the §2 table.
+  std::string frame;
+  encode_frame(MsgType::kPing, {}, &frame);
+  EXPECT_EQ(frame, bytes({0x49, 0x42, 0x53, 0x4E, 0x01, 0x01, 0x00, 0x00,
+                          0x00, 0x00, 0x00, 0x00}));
+}
+
+TEST(NetFrame, QueryFrameGolden) {
+  // QUERY doc_id=7, k=5: header with type 0x02 and payload length 8,
+  // then two little-endian u32s (PROTOCOL.md §4.2).
+  std::string payload;
+  encode_query({7, 5}, &payload);
+  std::string frame;
+  encode_frame(MsgType::kQuery, payload, &frame);
+  EXPECT_EQ(frame, bytes({0x49, 0x42, 0x53, 0x4E, 0x01, 0x02, 0x00, 0x00,
+                          0x08, 0x00, 0x00, 0x00,  // payload length 8
+                          0x07, 0x00, 0x00, 0x00,  // doc_id 7
+                          0x05, 0x00, 0x00, 0x00}));  // k 5
+}
+
+TEST(NetFrame, HeaderRoundTrip) {
+  std::string payload = "abc";
+  std::string frame;
+  encode_frame(MsgType::kAddPost, payload, &frame);
+  FrameHeader header;
+  ASSERT_EQ(header_of(frame, &header), DecodeStatus::kOk);
+  EXPECT_EQ(header.version, kProtocolVersion);
+  EXPECT_EQ(header.type, MsgType::kAddPost);
+  EXPECT_EQ(header.payload_len, 3u);
+}
+
+TEST(NetFrame, HeaderEveryPrefixNeedsMore) {
+  std::string frame;
+  encode_frame(MsgType::kPing, {}, &frame);
+  FrameHeader header;
+  for (size_t len = 0; len < kFrameHeaderBytes; ++len) {
+    EXPECT_EQ(header_of(frame.substr(0, len), &header),
+              DecodeStatus::kNeedMore)
+        << "prefix " << len;
+  }
+}
+
+TEST(NetFrame, HeaderBadMagicRejected) {
+  std::string frame;
+  encode_frame(MsgType::kPing, {}, &frame);
+  for (size_t i = 0; i < 4; ++i) {
+    std::string bad = frame;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    FrameHeader header;
+    EXPECT_EQ(header_of(bad, &header), DecodeStatus::kMalformed)
+        << "magic byte " << i;
+  }
+}
+
+TEST(NetFrame, HeaderBadVersionRejected) {
+  std::string frame;
+  encode_frame(MsgType::kPing, {}, &frame);
+  frame[4] = 2;  // unknown future version
+  FrameHeader header;
+  EXPECT_EQ(header_of(frame, &header), DecodeStatus::kMalformed);
+}
+
+TEST(NetFrame, HeaderNonzeroReservedRejected) {
+  std::string frame;
+  encode_frame(MsgType::kPing, {}, &frame);
+  frame[6] = 1;
+  FrameHeader header;
+  EXPECT_EQ(header_of(frame, &header), DecodeStatus::kMalformed);
+}
+
+TEST(NetFrame, HeaderOversizedLengthRejected) {
+  // A length field past kMaxPayloadBytes is the classic allocation bomb;
+  // the header decoder must refuse before anyone trusts it.
+  std::string frame;
+  encode_frame(MsgType::kPing, {}, &frame);
+  const uint32_t huge = kMaxPayloadBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    frame[8 + i] = static_cast<char>(huge >> (8 * i));
+  }
+  FrameHeader header;
+  EXPECT_EQ(header_of(frame, &header), DecodeStatus::kMalformed);
+}
+
+TEST(NetFrame, HeaderMaxLengthAccepted) {
+  std::string frame;
+  encode_frame(MsgType::kPing, {}, &frame);
+  for (int i = 0; i < 4; ++i) {
+    frame[8 + i] = static_cast<char>(kMaxPayloadBytes >> (8 * i));
+  }
+  FrameHeader header;
+  EXPECT_EQ(header_of(frame, &header), DecodeStatus::kOk);
+  EXPECT_EQ(header.payload_len, kMaxPayloadBytes);
+}
+
+TEST(NetFrame, GarbageHeadersRejected) {
+  // 12 bytes of assorted garbage — anything not starting with the magic
+  // must be malformed, never "need more".
+  FrameHeader header;
+  EXPECT_EQ(header_of(std::string(12, '\0'), &header),
+            DecodeStatus::kMalformed);
+  EXPECT_EQ(header_of(std::string(12, '\xff'), &header),
+            DecodeStatus::kMalformed);
+  EXPECT_EQ(header_of("GET / HTTP/1", &header), DecodeStatus::kMalformed);
+}
+
+// --- Payload codecs: round trips, goldens, every-prefix truncation.
+
+template <typename T>
+void expect_every_prefix_rejected(const std::string& payload,
+                                  bool (*decode)(std::string_view, T*)) {
+  for (size_t len = 0; len < payload.size(); ++len) {
+    T out;
+    EXPECT_FALSE(decode(payload.substr(0, len), &out)) << "prefix " << len;
+  }
+}
+
+template <typename T>
+void expect_trailing_byte_rejected(const std::string& payload,
+                                   bool (*decode)(std::string_view, T*)) {
+  T out;
+  EXPECT_FALSE(decode(payload + '\0', &out)) << "trailing garbage accepted";
+}
+
+TEST(NetFrame, QueryPayloadRoundTripAndTruncation) {
+  std::string payload;
+  encode_query({123456, 50}, &payload);
+  QueryRequest out;
+  ASSERT_TRUE(decode_query(payload, &out));
+  EXPECT_EQ(out.doc_id, 123456u);
+  EXPECT_EQ(out.k, 50u);
+  expect_every_prefix_rejected(payload, decode_query);
+  expect_trailing_byte_rejected(payload, decode_query);
+}
+
+TEST(NetFrame, QueryZeroKRejected) {
+  std::string payload;
+  encode_query({3, 0}, &payload);
+  QueryRequest out;
+  EXPECT_FALSE(decode_query(payload, &out));
+}
+
+TEST(NetFrame, AskPayloadGoldenAndTruncation) {
+  std::string payload;
+  encode_ask({2, "hi"}, &payload);
+  // k=2 LE | text length 2 LE | "hi" (PROTOCOL.md §4.3).
+  EXPECT_EQ(payload, bytes({0x02, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
+                            'h', 'i'}));
+  AskRequest out;
+  ASSERT_TRUE(decode_ask(payload, &out));
+  EXPECT_EQ(out.k, 2u);
+  EXPECT_EQ(out.text, "hi");
+  expect_every_prefix_rejected(payload, decode_ask);
+  expect_trailing_byte_rejected(payload, decode_ask);
+}
+
+TEST(NetFrame, AddPostPayloadRoundTripAndTruncation) {
+  std::string payload;
+  encode_add_post({"my laptop will not boot"}, &payload);
+  AddPostRequest out;
+  ASSERT_TRUE(decode_add_post(payload, &out));
+  EXPECT_EQ(out.text, "my laptop will not boot");
+  expect_every_prefix_rejected(payload, decode_add_post);
+  expect_trailing_byte_rejected(payload, decode_add_post);
+}
+
+TEST(NetFrame, AddPostsPayloadRoundTripAndTruncation) {
+  AddPostsRequest req;
+  req.texts = {"one post", "", "a third post"};
+  std::string payload;
+  encode_add_posts(req, &payload);
+  AddPostsRequest out;
+  ASSERT_TRUE(decode_add_posts(payload, &out));
+  EXPECT_EQ(out.texts, req.texts);
+  expect_every_prefix_rejected(payload, decode_add_posts);
+  expect_trailing_byte_rejected(payload, decode_add_posts);
+}
+
+TEST(NetFrame, AddPostsCountBombRejected) {
+  // A count field claiming kMaxBatchPosts+1 (or a giant value whose
+  // element lengths could never fit) must be rejected before any
+  // allocation proportional to the claim.
+  std::string payload;
+  WireWriter w(&payload);
+  w.write_u32(kMaxBatchPosts + 1);
+  AddPostsRequest out;
+  EXPECT_FALSE(decode_add_posts(payload, &out));
+
+  payload.clear();
+  WireWriter w2(&payload);
+  w2.write_u32(2);
+  w2.write_u32(0xFFFFFFFFu);  // element length larger than the payload
+  AddPostsRequest out2;
+  EXPECT_FALSE(decode_add_posts(payload, &out2));
+}
+
+TEST(NetFrame, AddPostsZeroCountRejected) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.write_u32(0);
+  AddPostsRequest out;
+  EXPECT_FALSE(decode_add_posts(payload, &out));
+}
+
+TEST(NetFrame, MetricsPayloadFormats) {
+  for (uint8_t format : {0, 1}) {
+    std::string payload;
+    encode_metrics({format}, &payload);
+    MetricsRequest out;
+    ASSERT_TRUE(decode_metrics(payload, &out));
+    EXPECT_EQ(out.format, format);
+  }
+  std::string payload;
+  encode_metrics({2}, &payload);  // only 0 and 1 are defined
+  MetricsRequest out;
+  EXPECT_FALSE(decode_metrics(payload, &out));
+  expect_every_prefix_rejected(payload, decode_metrics);
+}
+
+TEST(NetFrame, PongPayloadRoundTrip) {
+  std::string payload;
+  encode_pong({42, 1000}, &payload);
+  PongResponse out;
+  ASSERT_TRUE(decode_pong(payload, &out));
+  EXPECT_EQ(out.epoch, 42u);
+  EXPECT_EQ(out.num_docs, 1000u);
+  expect_every_prefix_rejected(payload, decode_pong);
+  expect_trailing_byte_rejected(payload, decode_pong);
+}
+
+TEST(NetFrame, RelatedPayloadGolden) {
+  // One result (doc 3, score 1.5): epoch | num_docs | count | doc | the
+  // raw IEEE-754 bits of 1.5 (0x3FF8000000000000), all little-endian
+  // (PROTOCOL.md §5.2).
+  RelatedResponse resp;
+  resp.epoch = 1;
+  resp.num_docs = 2;
+  resp.results = {{3, 1.5}};
+  std::string payload;
+  encode_related(resp, &payload);
+  EXPECT_EQ(payload,
+            bytes({0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,   // epoch
+                   0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,   // docs
+                   0x01, 0x00, 0x00, 0x00,                           // count
+                   0x03, 0x00, 0x00, 0x00,                           // doc
+                   0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F}));
+}
+
+TEST(NetFrame, RelatedScoresAreBitExact) {
+  // The doubles that matter are the gnarly ones: denormals, negative
+  // zero, values with no short decimal form. operator== after the round
+  // trip is the whole point of shipping raw IEEE-754 bits.
+  RelatedResponse resp;
+  resp.epoch = 7;
+  resp.num_docs = 9;
+  resp.results = {{1, 0.1 + 0.2},
+                  {2, -0.0},
+                  {3, 5e-324},
+                  {4, 1.0 / 3.0},
+                  {5, 123456.789012345}};
+  std::string payload;
+  encode_related(resp, &payload);
+  RelatedResponse out;
+  ASSERT_TRUE(decode_related(payload, &out));
+  ASSERT_EQ(out.results.size(), resp.results.size());
+  for (size_t i = 0; i < resp.results.size(); ++i) {
+    EXPECT_EQ(out.results[i].doc, resp.results[i].doc);
+    EXPECT_EQ(std::bit_cast<uint64_t>(out.results[i].score),
+              std::bit_cast<uint64_t>(resp.results[i].score))
+        << "rank " << i;
+  }
+  expect_every_prefix_rejected(payload, decode_related);
+  expect_trailing_byte_rejected(payload, decode_related);
+}
+
+TEST(NetFrame, RelatedCountMismatchRejected) {
+  // A count that disagrees with the actual payload size — either way —
+  // is malformed (PROTOCOL.md §5.2: count * 12 bytes must follow).
+  RelatedResponse resp;
+  resp.results = {{1, 1.0}, {2, 0.5}};
+  std::string payload;
+  encode_related(resp, &payload);
+  std::string inflated = payload;
+  inflated[16] = 3;  // count says 3, bytes hold 2
+  RelatedResponse out;
+  EXPECT_FALSE(decode_related(inflated, &out));
+  std::string deflated = payload;
+  deflated[16] = 1;
+  EXPECT_FALSE(decode_related(deflated, &out));
+}
+
+TEST(NetFrame, AddedPayloadRoundTripAndTruncation) {
+  AddedResponse resp;
+  resp.ids = {100, 101, 102};
+  std::string payload;
+  encode_added(resp, &payload);
+  AddedResponse out;
+  ASSERT_TRUE(decode_added(payload, &out));
+  EXPECT_EQ(out.ids, resp.ids);
+  expect_every_prefix_rejected(payload, decode_added);
+  expect_trailing_byte_rejected(payload, decode_added);
+}
+
+TEST(NetFrame, MetricsDataRoundTrip) {
+  MetricsDataResponse resp;
+  resp.body = "# HELP ibseg_net_connections ...\n";
+  std::string payload;
+  encode_metrics_data(resp, &payload);
+  MetricsDataResponse out;
+  ASSERT_TRUE(decode_metrics_data(payload, &out));
+  EXPECT_EQ(out.body, resp.body);
+  expect_every_prefix_rejected(payload, decode_metrics_data);
+  expect_trailing_byte_rejected(payload, decode_metrics_data);
+}
+
+TEST(NetFrame, ErrorPayloadGoldenAndRoundTrip) {
+  std::string payload;
+  encode_error({ErrCode::kOverloaded, "busy"}, &payload);
+  // code 3 | message length 4 LE | "busy" (PROTOCOL.md §5.7).
+  EXPECT_EQ(payload, bytes({0x03, 0x04, 0x00, 0x00, 0x00, 'b', 'u', 's',
+                            'y'}));
+  ErrorResponse out;
+  ASSERT_TRUE(decode_error(payload, &out));
+  EXPECT_EQ(out.code, ErrCode::kOverloaded);
+  EXPECT_EQ(out.message, "busy");
+  expect_every_prefix_rejected(payload, decode_error);
+  expect_trailing_byte_rejected(payload, decode_error);
+}
+
+TEST(NetFrame, MsgTypeNamesAreStable) {
+  // These strings are metric label values (ibseg_net_requests_total{cmd})
+  // — renaming one silently forks a dashboard series.
+  EXPECT_STREQ(msg_type_name(MsgType::kPing), "ping");
+  EXPECT_STREQ(msg_type_name(MsgType::kQuery), "query");
+  EXPECT_STREQ(msg_type_name(MsgType::kAsk), "ask");
+  EXPECT_STREQ(msg_type_name(MsgType::kAddPost), "add_post");
+  EXPECT_STREQ(msg_type_name(MsgType::kAddPosts), "add_posts");
+  EXPECT_STREQ(msg_type_name(MsgType::kSave), "save");
+  EXPECT_STREQ(msg_type_name(MsgType::kMetrics), "metrics");
+  EXPECT_STREQ(msg_type_name(MsgType::kDrain), "drain");
+  EXPECT_STREQ(msg_type_name(static_cast<MsgType>(0x7F)), "unknown");
+}
+
+// --- Wire primitives.
+
+TEST(NetWire, ReaderFailureLatches) {
+  WireReader r(std::string_view("\x01", 1));
+  EXPECT_EQ(r.read_u32(), 0u);  // underrun
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.read_u8(), 0u);  // latched: even a fitting read fails
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NetWire, LittleEndianGolden) {
+  std::string out;
+  WireWriter w(&out);
+  w.write_u16(0x0201);
+  w.write_u32(0x06050403);
+  w.write_u64(0x0E0D0C0B0A090807ull);
+  std::string expect;
+  for (int i = 1; i <= 14; ++i) expect.push_back(static_cast<char>(i));
+  EXPECT_EQ(out, expect);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace ibseg
