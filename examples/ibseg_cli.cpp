@@ -63,7 +63,7 @@
 //   ibseg_cli --connect=127.0.0.1:7433 query <doc-id> [k]
 //   ibseg_cli --connect=127.0.0.1:7433 ask [k]      (post on stdin)
 //   ibseg_cli --connect=127.0.0.1:7433 add          (post on stdin)
-//   ibseg_cli --connect=127.0.0.1:7433 ping | save | drain
+//   ibseg_cli --connect=127.0.0.1:7433 ping | save | recluster | drain
 //
 // and `--metrics[=json]` with --connect fetches the *server's* metrics
 // over the wire instead of dumping the local (empty) registry.
@@ -139,8 +139,11 @@ int usage() {
                "  --connect=H:P    thin client against a running\n"
                "                   ibseg_server (docs/PROTOCOL.md):\n"
                "                   query <doc-id> [k] | ask [k] | add |\n"
-               "                   ping | save | drain; --metrics fetches\n"
-               "                   the server's metrics over the wire\n");
+               "                   ping | save | recluster | drain;\n"
+               "                   recluster forces one background\n"
+               "                   re-clustering epoch and prints the new\n"
+               "                   generation; --metrics fetches the\n"
+               "                   server's metrics over the wire\n");
   return 2;
 }
 
@@ -216,6 +219,14 @@ int run_remote(const char* metrics_mode, int argc, char** argv) {
   } else if (cmd == "save" && argc == 1) {
     rc = report(client->save());
     if (rc == 0) std::printf("saved\n");
+  } else if (cmd == "recluster" && argc == 1) {
+    net::ReclusteredResponse reclustered;
+    rc = report(client->recluster(&reclustered));
+    if (rc == 0) {
+      std::printf("reclustered: generation %llu, %u intention clusters\n",
+                  static_cast<unsigned long long>(reclustered.generation),
+                  reclustered.num_clusters);
+    }
   } else if (cmd == "drain" && argc == 1) {
     rc = report(client->drain());
     if (rc == 0) std::printf("draining\n");

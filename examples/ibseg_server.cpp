@@ -24,6 +24,17 @@
 //   --idle-timeout=S     idle connection close, seconds (default 300)
 //   --threads=N          per-intention query scoring threads (default 0)
 //   --cache=N            result cache capacity (default 0 = off)
+//   --recluster-pending-threshold=D
+//                        assignment-distance above which an ingested post
+//                        joins the pending/outlier pool (default: off)
+//   --recluster-max-pending=N
+//                        background recluster when the pending pool
+//                        reaches N (default 0 = trigger off)
+//   --recluster-max-docs=N
+//                        background recluster every N ingests regardless
+//                        of pool size (default 0 = trigger off)
+//   --recluster-poll-ms=N
+//                        trigger poll interval (default 200)
 //
 // Shutdown: SIGTERM or SIGINT (or a DRAIN frame from any client) starts a
 // graceful drain — stop accepting, answer new requests with
@@ -70,6 +81,10 @@ int usage() {
                "[--max-connections=N]\n"
                "                    [--request-timeout=S] [--idle-timeout=S]\n"
                "                    [--threads=N] [--cache=N]\n"
+               "                    [--recluster-pending-threshold=D]\n"
+               "                    [--recluster-max-pending=N] "
+               "[--recluster-max-docs=N]\n"
+               "                    [--recluster-poll-ms=N]\n"
                "see docs/OPERATIONS.md\n");
   return 2;
 }
@@ -134,6 +149,14 @@ int main(int argc, char** argv) {
       build_options.matcher.query_threads = std::atoi(v);
     } else if (const char* v = value("--cache=")) {
       serving_options.cache.capacity = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--recluster-pending-threshold=")) {
+      serving_options.recluster.pending_distance_threshold = std::atof(v);
+    } else if (const char* v = value("--recluster-max-pending=")) {
+      server_options.recluster.max_pending = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--recluster-max-docs=")) {
+      server_options.recluster.max_docs_since = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--recluster-poll-ms=")) {
+      server_options.recluster.poll_interval_ms = std::atoi(v);
     } else {
       return usage();
     }

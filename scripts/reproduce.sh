@@ -32,6 +32,14 @@
 #                           2s smoke of the same targets runs with the
 #                           normal test step (ctest label "fuzz");
 #                           IBSEG_FUZZ_TIME_SEC overrides the 30s.
+#   IBSEG_RECLUSTER_CHECK=1 also run the background re-clustering suite
+#                           (ctest label "recluster": differential
+#                           bit-identity vs cold rebuild, generation-keyed
+#                           cache, save/restore at generation > 0, trigger
+#                           policy) explicitly, plus the recluster-touching
+#                           differential + stress labels under
+#                           ThreadSanitizer — the swap window is exactly
+#                           where a reader/swapper race would hide.
 #   IBSEG_NET_CHECK=1       also exercise the network front-end: the
 #                           loopback server suite (ctest label "net") under
 #                           AddressSanitizer, plus the operational smoke
@@ -59,6 +67,17 @@ fi
 
 if [ "${IBSEG_DIFF_CHECK:-0}" = "1" ]; then
   echo "== differential + stress under TSan (IBSEG_DIFF_CHECK=1) =="
+  IBSEG_SAN_LABELS="differential|stress" scripts/check_sanitizers.sh thread
+fi
+
+if [ "${IBSEG_RECLUSTER_CHECK:-0}" = "1" ]; then
+  echo "== background re-clustering epochs (IBSEG_RECLUSTER_CHECK=1) =="
+  # Plain run of the recluster label (fast; also covered by the full ctest
+  # above, repeated here so a recluster regression is named explicitly)...
+  ctest --test-dir build -L recluster --output-on-failure
+  # ... then the differential + stress labels under TSan: the atomic index
+  # swap publishes a whole new pipeline under concurrent readers, and the
+  # ReclusterWorker polls trigger atomics from its own thread.
   IBSEG_SAN_LABELS="differential|stress" scripts/check_sanitizers.sh thread
 fi
 
@@ -168,6 +187,15 @@ for key in '"bench"' '"configs"' '"clients"' '"qps"' '"p50_ms"' '"p95_ms"' \
   fi
 done
 echo "BENCH_server_qps.json schema OK"
+for key in '"bench"' '"recluster_sec"' '"pending_before"' \
+           '"pending_after"' '"qps_quiescent"' '"qps_during_swap"' \
+           '"qps_dip_fraction"' '"offline_generation"'; do
+  if ! grep -q "${key}" BENCH_recluster.json; then
+    echo "error: BENCH_recluster.json missing key ${key}" >&2
+    exit 1
+  fi
+done
+echo "BENCH_recluster.json schema OK"
 
 echo "== examples =="
 ./build/examples/quickstart

@@ -13,6 +13,7 @@ RelatedPostPipeline RelatedPostPipeline::build(std::vector<Document> docs,
   p.docs_ = std::move(docs);
   p.vocab_ = std::make_shared<Vocabulary>();
   p.segmenter_ = options.segmenter;
+  p.options_ = options;
   p.segmentations_.resize(p.docs_.size());
   for (const Document& d : p.docs_) p.next_id_ = std::max(p.next_id_, d.id() + 1);
 
@@ -58,6 +59,47 @@ RelatedPostPipeline RelatedPostPipeline::build(std::vector<Document> docs,
   return p;
 }
 
+RelatedPostPipeline RelatedPostPipeline::rebuild(
+    std::vector<Document> docs, std::vector<Segmentation> segmentations,
+    const PipelineOptions& options) {
+  if (segmentations.size() != docs.size()) {
+    return build(std::move(docs), options);
+  }
+  for (size_t d = 0; d < docs.size(); ++d) {
+    if (segmentations[d].num_units != docs[d].num_units()) {
+      return build(std::move(docs), options);
+    }
+  }
+  RelatedPostPipeline p;
+  p.docs_ = std::move(docs);
+  p.vocab_ = std::make_shared<Vocabulary>();
+  p.segmenter_ = options.segmenter;
+  p.options_ = options;
+  p.segmentations_ = std::move(segmentations);
+  for (const Document& d : p.docs_) p.next_id_ = std::max(p.next_id_, d.id() + 1);
+
+  // Segmentation is a deterministic pure function of (document, segmenter
+  // options), so adopting the caller's segmentations reproduces build()'s
+  // exactly; everything downstream is byte-for-byte the cold-build path.
+  Stopwatch group_watch;
+  {
+    obs::TraceScope grouping(obs::Stage::kClusterAssign);
+    p.clustering_ = std::make_unique<IntentionClustering>(
+        IntentionClustering::build(p.docs_, p.segmentations_,
+                                   options.grouping));
+  }
+  p.timings_.grouping_sec = group_watch.elapsed_seconds();
+
+  Stopwatch index_watch;
+  {
+    obs::TraceScope indexing(obs::Stage::kIndexPublish);
+    p.matcher_ = std::make_unique<IntentionMatcher>(IntentionMatcher::build(
+        p.docs_, *p.clustering_, *p.vocab_, options.matcher));
+  }
+  p.timings_.indexing_sec = index_watch.elapsed_seconds();
+  return p;
+}
+
 std::vector<ScoredDoc> RelatedPostPipeline::find_related_external(
     const Document& doc, int k) const {
   Vocabulary scratch;
@@ -77,12 +119,13 @@ PreparedPost RelatedPostPipeline::prepare_post(DocId id,
   return post;
 }
 
-void RelatedPostPipeline::ingest(PreparedPost post) {
-  matcher_->add_document(post.doc, post.seg, clustering_->centroids(),
-                         *vocab_);
+double RelatedPostPipeline::ingest(PreparedPost post) {
+  double dist = matcher_->add_document(post.doc, post.seg,
+                                       clustering_->centroids(), *vocab_);
   next_id_ = std::max(next_id_, post.doc.id() + 1);
   segmentations_.push_back(std::move(post.seg));
   docs_.push_back(std::move(post.doc));
+  return dist;
 }
 
 DocId RelatedPostPipeline::add_post(std::string text) {
@@ -111,6 +154,7 @@ RelatedPostPipeline RelatedPostPipeline::build_from_snapshot(
     for (const std::string& term : *preload_vocab) p.vocab_->intern(term);
   }
   p.segmenter_ = options.segmenter;
+  p.options_ = options;
   p.segmentations_ = snapshot.segmentations;
   for (const Document& d : p.docs_) p.next_id_ = std::max(p.next_id_, d.id() + 1);
 
@@ -150,6 +194,7 @@ RelatedPostPipeline RelatedPostPipeline::build_shard(
   p.docs_ = std::move(docs);
   p.vocab_ = std::move(shared_vocab);
   p.segmenter_ = options.segmenter;
+  p.options_ = options;
   p.segmentations_ = snapshot.segmentations;
   for (const Document& d : p.docs_) p.next_id_ = std::max(p.next_id_, d.id() + 1);
 

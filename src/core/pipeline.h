@@ -100,6 +100,27 @@ class RelatedPostPipeline {
       const std::vector<std::vector<double>>& centroids,
       const PipelineOptions& options = {});
 
+  /// Rebuilds the full offline phase (clustering + indexing) over `docs`
+  /// with ALREADY-COMPUTED segmentations — the background-recluster path.
+  /// Because segmentation is a deterministic pure function of (document,
+  /// segmenter options), the result is bit-identical to build(docs,
+  /// options) while skipping its most expensive phase; the vectors must be
+  /// parallel (falls back to build() when they are not).
+  static RelatedPostPipeline rebuild(std::vector<Document> docs,
+                                     std::vector<Segmentation> segmentations,
+                                     const PipelineOptions& options = {});
+
+  /// Replaces the clustering's centroids with externally persisted ones
+  /// (no-op on a cluster-count mismatch). Restore uses this to pin
+  /// nearest-centroid ingest assignment to the exact saved values instead
+  /// of trusting the label-derived recomputation.
+  void override_centroids(std::vector<std::vector<double>> centroids) {
+    if (clustering_ != nullptr &&
+        static_cast<int>(centroids.size()) == clustering_->num_clusters()) {
+      clustering_->override_centroids(std::move(centroids));
+    }
+  }
+
   /// Captures the offline state for build_from_snapshot / save_snapshot.
   PipelineSnapshot snapshot() const {
     std::vector<DocId> ids;
@@ -131,13 +152,21 @@ class RelatedPostPipeline {
 
   /// The publication half of add_post: assigns the prepared post's
   /// segments to the nearest centroids and adds it to the indices.
-  /// `post.doc.id()` must be fresh. Mutates the pipeline.
-  void ingest(PreparedPost post);
+  /// `post.doc.id()` must be fresh. Mutates the pipeline. Returns the
+  /// largest nearest-centroid assignment distance over the post's segments
+  /// (IntentionMatcher::add_document) — the outlier signal the serving
+  /// layer's pending pool consumes; purely diagnostic, assignment is
+  /// unchanged.
+  double ingest(PreparedPost post);
 
   /// The id add_post would assign next. Always strictly greater than every
   /// ingested document id (seed ids need not be contiguous).
   DocId next_id() const { return next_id_; }
 
+  /// \brief The full option set the pipeline was built with (segmenter,
+  /// grouping, matcher, threads) — what a background recluster must reuse
+  /// so the shadow build is exactly a cold build of the same deployment.
+  const PipelineOptions& options() const { return options_; }
   /// \brief The segmenter the pipeline was built with.
   const Segmenter& segmenter() const { return segmenter_; }
   /// \brief The corpus-shared vocabulary (stemmed, stopword-filtered).
@@ -174,6 +203,7 @@ class RelatedPostPipeline {
   /// sole owner.
   std::shared_ptr<Vocabulary> vocab_;
   Segmenter segmenter_ = Segmenter::cm_tiling();
+  PipelineOptions options_;
   PipelineTimings timings_;
   /// Cached fresh-id watermark: max seed id + 1, bumped on every ingest.
   /// Replaces the former per-add_post linear scan over docs_.

@@ -72,6 +72,7 @@ size_t QueryCache::KeyHash::operator()(const Key& key) const {
   fold(h, static_cast<uint64_t>(key.query));
   fold(h, static_cast<uint64_t>(key.k));
   fold(h, key.fingerprint);
+  fold(h, key.generation);
   return static_cast<size_t>(h);
 }
 

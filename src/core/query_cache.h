@@ -47,7 +47,8 @@ struct QueryCacheOptions {
 
 /// Sharded, epoch-validated LRU cache for serving query results.
 ///
-/// Key: (query DocId, k, MatcherOptions fingerprint). Value: the ranked
+/// Key: (query DocId, k, MatcherOptions fingerprint, offline
+/// generation). Value: the ranked
 /// list plus the (epoch, num_docs) snapshot it was computed under.
 /// Invalidation is by epoch comparison at lookup time: every ingest
 /// publish bumps the ServingPipeline epoch, so an entry filled at epoch E
@@ -70,10 +71,18 @@ class QueryCache {
     DocId query = 0;
     int k = 0;
     uint64_t fingerprint = 0;
+    /// Offline generation the entry was computed under. A background
+    /// recluster (docs/ARCHITECTURE.md §9) swaps the whole index without
+    /// bumping the publication epoch — epoch validation alone would keep
+    /// old-generation entries alive across the swap. Keying by generation
+    /// makes every pre-swap entry unreachable the instant the swap
+    /// publishes; the orphans age out through LRU eviction.
+    uint64_t generation = 0;
 
     bool operator==(const Key& other) const {
       return query == other.query && k == other.k &&
-             fingerprint == other.fingerprint;
+             fingerprint == other.fingerprint &&
+             generation == other.generation;
     }
   };
 

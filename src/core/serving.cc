@@ -1,6 +1,7 @@
 #include "core/serving.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 #include <utility>
 
@@ -38,6 +39,11 @@ struct ServingMetrics {
   obs::Gauge& snapshot_bytes;
   obs::Histogram& snapshot_save_seconds;
   obs::Histogram& restore_seconds;
+  obs::Counter& recluster_total;
+  obs::Histogram& recluster_seconds;
+  obs::Gauge& pending_pool_size;
+  obs::Gauge& offline_generation;
+  obs::Gauge& recluster_drift;
 
   static ServingMetrics& get() {
     static ServingMetrics* m = [] {
@@ -101,6 +107,22 @@ struct ServingMetrics {
           r.histogram("ibseg_persist_seconds",
                       "Snapshot save / warm-restore latency, in seconds.",
                       {{"op", "restore"}}),
+          r.counter("ibseg_recluster_total",
+                    "Completed background re-clustering epochs (shadow "
+                    "rebuild + atomic swap)."),
+          r.histogram("ibseg_recluster_seconds",
+                      "End-to-end background recluster latency (capture + "
+                      "shadow rebuild + catch-up + swap), in seconds."),
+          r.gauge("ibseg_pending_pool_size",
+                  "Ingested documents currently in the outlier/pending "
+                  "pool (assignment distance above the serving "
+                  "threshold); drained at the next recluster."),
+          r.gauge("ibseg_offline_generation",
+                  "Offline generation: completed background reclusters."),
+          r.gauge("ibseg_recluster_drift",
+                  "Centroid drift repaired by the last recluster: 1 - "
+                  "mean best-cosine alignment between the old and new "
+                  "centroid sets."),
       };
     }();
     return *m;
@@ -108,6 +130,28 @@ struct ServingMetrics {
 };
 
 }  // namespace
+
+double centroid_drift(const std::vector<std::vector<double>>& before,
+                      const std::vector<std::vector<double>>& after) {
+  if (before.empty() || after.empty()) return before.empty() ? 0.0 : 1.0;
+  double aligned = 0.0;
+  for (const std::vector<double>& b : before) {
+    double best = 0.0;
+    for (const std::vector<double>& a : after) {
+      if (a.size() != b.size()) continue;
+      double dot = 0.0, nb = 0.0, na = 0.0;
+      for (size_t i = 0; i < b.size(); ++i) {
+        dot += b[i] * a[i];
+        nb += b[i] * b[i];
+        na += a[i] * a[i];
+      }
+      if (nb == 0.0 || na == 0.0) continue;
+      best = std::max(best, dot / (std::sqrt(nb) * std::sqrt(na)));
+    }
+    aligned += best;
+  }
+  return 1.0 - aligned / static_cast<double>(before.size());
+}
 
 ServingPipeline::ServingPipeline(RelatedPostPipeline pipeline,
                                  ServingOptions options)
@@ -127,6 +171,16 @@ ServingPipeline::ServingPipeline(RelatedPostPipeline pipeline,
   matcher_fingerprint_ = matcher_options_fingerprint(
       pipeline_.matcher().options());
   persist_ = std::move(options.persist);
+  recluster_options_ = options.recluster;
+  // Offline coordinates: a fresh or legacy-restored pipeline passes
+  // offline_docs 0, meaning "the offline clustering covers exactly the
+  // seed corpus" — normalize here so offline_docs_ always names a real
+  // document count.
+  generation_.store(state.generation, std::memory_order_relaxed);
+  offline_docs_ = state.offline_docs == 0 ? seed_docs_ : state.offline_docs;
+  pending_pool_ = std::move(state.pending_pool);
+  pending_size_.store(pending_pool_.size(), std::memory_order_relaxed);
+  docs_since_.store(state.docs_since, std::memory_order_relaxed);
   ServingMetrics& m = ServingMetrics::get();
   if (!persist_.wal_path.empty()) {
     std::vector<WalRecord> replayed;
@@ -142,10 +196,15 @@ ServingPipeline::ServingPipeline(RelatedPostPipeline pipeline,
       uint64_t applied = 0;
       for (const WalRecord& rec : replayed) {
         if (present.count(rec.id) != 0) continue;
-        pipeline_.ingest(prepare(rec.id, rec.text));
+        double dist = pipeline_.ingest(prepare(rec.id, rec.text));
+        if (dist > recluster_options_.pending_distance_threshold) {
+          pending_pool_.push_back(rec.id);
+        }
         epoch_.fetch_add(1, std::memory_order_relaxed);
+        docs_since_.fetch_add(1, std::memory_order_relaxed);
         ++applied;
       }
+      pending_size_.store(pending_pool_.size(), std::memory_order_relaxed);
       next_id_.store(
           std::max(next_id_.load(std::memory_order_relaxed),
                    pipeline_.next_id()),
@@ -157,6 +216,10 @@ ServingPipeline::ServingPipeline(RelatedPostPipeline pipeline,
   m.index_segments.set(static_cast<double>(pipeline_.matcher().num_segments()));
   m.postings_bytes.set(
       static_cast<double>(pipeline_.matcher().postings_bytes()));
+  m.pending_pool_size.set(
+      static_cast<double>(pending_size_.load(std::memory_order_relaxed)));
+  m.offline_generation.set(
+      static_cast<double>(generation_.load(std::memory_order_relaxed)));
 }
 
 
@@ -174,7 +237,12 @@ ServingPipeline::QueryResult ServingPipeline::find_related(DocId query,
                                                            int k) const {
   ServingMetrics& m = ServingMetrics::get();
   obs::TraceScope latency(m.query_related_seconds);
-  QueryCache::Key key{query, k, matcher_fingerprint_};
+  // The generation is captured once per call: if a recluster swaps the
+  // index between this read and the insert below, the entry lands under
+  // the OLD generation's key — unreachable by every later lookup, so a
+  // hit can never serve a pre-swap ranking after the swap.
+  QueryCache::Key key{query, k, matcher_fingerprint_,
+                      generation_.load(std::memory_order_relaxed)};
   if (cache_ != nullptr) {
     // Validate against the epoch as of now: a hit means the entry was
     // filled after the latest publish, so it equals what the index would
@@ -195,6 +263,7 @@ ServingPipeline::QueryResult ServingPipeline::find_related(DocId query,
   r.results = pipeline_.find_related(query, k);
   r.epoch = epoch_.load(std::memory_order_relaxed);
   r.num_docs = pipeline_.docs().size();
+  sync_query_work_metrics();
   lock.unlock();
   if (cache_ != nullptr) {
     // The entry's epoch was read under the shared lock, so it matches
@@ -203,7 +272,6 @@ ServingPipeline::QueryResult ServingPipeline::find_related(DocId query,
     cache_->insert(key, QueryCache::Value{r.results, r.epoch, r.num_docs});
   }
   m.queries_related.inc();
-  sync_query_work_metrics();
   return r;
 }
 
@@ -211,12 +279,14 @@ std::vector<ServingPipeline::QueryResult> ServingPipeline::find_related_batch(
     const std::vector<DocId>& queries, int k) const {
   ServingMetrics& m = ServingMetrics::get();
   std::vector<QueryResult> out(queries.size());
-  // Pass 1: serve what the cache can, lock-free.
+  // Pass 1: serve what the cache can, lock-free. One generation for the
+  // whole batch (same single-capture argument as find_related).
+  const uint64_t gen = generation_.load(std::memory_order_relaxed);
   std::vector<size_t> miss_positions;
   if (cache_ != nullptr) {
     uint64_t epoch_now = epoch_.load(std::memory_order_relaxed);
     for (size_t i = 0; i < queries.size(); ++i) {
-      QueryCache::Key key{queries[i], k, matcher_fingerprint_};
+      QueryCache::Key key{queries[i], k, matcher_fingerprint_, gen};
       if (auto cached = cache_->lookup(key, epoch_now)) {
         out[i] = QueryResult{std::move(cached->results), cached->epoch,
                              cached->num_docs};
@@ -241,6 +311,7 @@ std::vector<ServingPipeline::QueryResult> ServingPipeline::find_related_batch(
         pipeline_.matcher().find_related_batch(miss_ids, k);
     uint64_t epoch = epoch_.load(std::memory_order_relaxed);
     size_t num_docs = pipeline_.docs().size();
+    sync_query_work_metrics();
     lock.unlock();
     for (size_t j = 0; j < miss_positions.size(); ++j) {
       out[miss_positions[j]] =
@@ -249,13 +320,13 @@ std::vector<ServingPipeline::QueryResult> ServingPipeline::find_related_batch(
     if (cache_ != nullptr) {
       for (size_t j = 0; j < miss_positions.size(); ++j) {
         const QueryResult& r = out[miss_positions[j]];
-        cache_->insert(QueryCache::Key{miss_ids[j], k, matcher_fingerprint_},
-                       QueryCache::Value{r.results, r.epoch, r.num_docs});
+        cache_->insert(
+            QueryCache::Key{miss_ids[j], k, matcher_fingerprint_, gen},
+            QueryCache::Value{r.results, r.epoch, r.num_docs});
       }
     }
   }
   m.queries_batched.inc(queries.size());
-  sync_query_work_metrics();
   return out;
 }
 
@@ -298,11 +369,21 @@ DocId ServingPipeline::add_post(std::string text) {
   // but is visible as ibseg_wal_appends_total falling behind
   // ibseg_ingested_posts_total.
   if (wal_ != nullptr && wal_->append(rec)) m.wal_appends.inc();
+  double dist = 0.0;
   {
     obs::TraceScope publish(obs::Stage::kIndexPublish);
-    pipeline_.ingest(std::move(post));
+    dist = pipeline_.ingest(std::move(post));
+  }
+  // Outlier tracking: assignment is unchanged (results stay identical);
+  // a far-from-every-centroid post just also enters the pending pool,
+  // feeding the recluster-trigger policy.
+  if (dist > recluster_options_.pending_distance_threshold) {
+    pending_pool_.push_back(id);
+    pending_size_.store(pending_pool_.size(), std::memory_order_relaxed);
+    m.pending_pool_size.set(static_cast<double>(pending_pool_.size()));
   }
   epoch_.fetch_add(1, std::memory_order_relaxed);
+  docs_since_.fetch_add(1, std::memory_order_relaxed);
   m.posts_ingested.inc();
   m.corpus_docs.set(static_cast<double>(pipeline_.docs().size()));
   m.index_segments.set(static_cast<double>(pipeline_.matcher().num_segments()));
@@ -335,11 +416,17 @@ std::vector<DocId> ServingPipeline::add_posts(std::vector<std::string> texts) {
   }
   {
     obs::TraceScope publish(obs::Stage::kIndexPublish);
-    for (PreparedPost& post : prepared) {
-      pipeline_.ingest(std::move(post));
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      double dist = pipeline_.ingest(std::move(prepared[i]));
+      if (dist > recluster_options_.pending_distance_threshold) {
+        pending_pool_.push_back(ids[i]);
+      }
       epoch_.fetch_add(1, std::memory_order_relaxed);
+      docs_since_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  pending_size_.store(pending_pool_.size(), std::memory_order_relaxed);
+  m.pending_pool_size.set(static_cast<double>(pending_pool_.size()));
   m.posts_ingested.inc(ids.size());
   if (!ids.empty()) m.ingest_batches.inc();
   m.corpus_docs.set(static_cast<double>(pipeline_.docs().size()));
@@ -347,6 +434,91 @@ std::vector<DocId> ServingPipeline::add_posts(std::vector<std::string> texts) {
   m.postings_bytes.set(
       static_cast<double>(pipeline_.matcher().postings_bytes()));
   return ids;
+}
+
+uint64_t ServingPipeline::recluster() {
+  ServingMetrics& m = ServingMetrics::get();
+  // One shadow build at a time; a second caller queues behind the first
+  // and then runs against the first one's output (still correct — the
+  // capture below sees the freshest state).
+  std::lock_guard<std::mutex> job(recluster_job_mu_);
+  Stopwatch watch;
+  // Phase 1 — capture: copy a consistent cut of the corpus under the
+  // shared lock. Queries and the capture coexist; only the copy cost is
+  // inside the lock.
+  std::vector<Document> docs;
+  std::vector<Segmentation> segs;
+  PipelineOptions opts;
+  std::vector<std::vector<double>> old_centroids;
+  size_t captured = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    docs = pipeline_.docs();
+    segs = pipeline_.segmentations();
+    opts = pipeline_.options();
+    old_centroids = pipeline_.clustering().centroids();
+    captured = docs.size();
+  }
+  // Phase 2 — shadow rebuild, no lock held: the full offline phase
+  // (clustering + indexing) over the captured cut, reusing the stored
+  // segmentations (deterministic, so rebuild() == build(); see
+  // RelatedPostPipeline::rebuild). Readers keep serving the old
+  // generation for the entire duration.
+  RelatedPostPipeline shadow =
+      RelatedPostPipeline::rebuild(std::move(docs), std::move(segs), opts);
+  const double drift =
+      centroid_drift(old_centroids, shadow.clustering().centroids());
+  // Phase 3 — catch-up + swap under ONE exclusive acquisition: documents
+  // published while the shadow built are ingested into the shadow through
+  // the exact deterministic path that placed them in the old pipeline
+  // (stored segmentation + nearest-centroid), then the shadow replaces
+  // the live pipeline. Queries before the swap see the old generation,
+  // queries after see the new one; nothing in between.
+  uint64_t gen = 0;
+  size_t pool_size = 0;
+  {
+    obs::TraceScope lock_wait(m.exclusive_lock_wait);
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    lock_wait.stop();
+    const std::vector<Document>& cur = pipeline_.docs();
+    const std::vector<Segmentation>& cur_segs = pipeline_.segmentations();
+    std::vector<DocId> pool;
+    for (size_t d = captured; d < cur.size(); ++d) {
+      PreparedPost post;
+      post.doc = cur[d];
+      post.seg = cur_segs[d];
+      double dist = shadow.ingest(std::move(post));
+      if (dist > recluster_options_.pending_distance_threshold) {
+        pool.push_back(cur[d].id());
+      }
+    }
+    const uint64_t tail = cur.size() - captured;
+    pipeline_ = std::move(shadow);
+    offline_docs_ = captured;
+    pending_pool_ = std::move(pool);
+    pool_size = pending_pool_.size();
+    pending_size_.store(pool_size, std::memory_order_relaxed);
+    docs_since_.store(tail, std::memory_order_relaxed);
+    // The new matcher's work counters restart at zero; re-base the
+    // export watermark so the next sync does not stall until the new
+    // counter overtakes the old one's final value.
+    pruned_exported_.store(0, std::memory_order_relaxed);
+    // Publish the new generation last (still under the lock): every
+    // query that can observe the new pipeline also observes the new
+    // generation in its cache key.
+    gen = generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+    m.index_segments.set(
+        static_cast<double>(pipeline_.matcher().num_segments()));
+    m.postings_bytes.set(
+        static_cast<double>(pipeline_.matcher().postings_bytes()));
+  }
+  last_drift_ = drift;
+  m.recluster_drift.set(drift);
+  m.offline_generation.set(static_cast<double>(gen));
+  m.pending_pool_size.set(static_cast<double>(pool_size));
+  m.recluster_total.inc();
+  m.recluster_seconds.observe(watch.elapsed_seconds());
+  return gen;
 }
 
 bool ServingPipeline::save(const std::string& path) {
@@ -366,19 +538,45 @@ bool ServingPipeline::save(const std::string& path) {
   }
   snap.segmentations = segs;
   snap.num_seed_docs = static_cast<uint32_t>(seed_docs_);
-  // Cluster labels exist only for the offline-clustered (seed) segments;
-  // ingested documents are re-published through the nearest-centroid
-  // ingest path on restore, so labeling them here would be wrong (the
-  // clustering never covered them — make_snapshot would emit label 0).
-  std::vector<Segmentation> seed_segs(
-      segs.begin(), segs.begin() + static_cast<std::ptrdiff_t>(seed_docs_));
-  std::vector<DocId> seed_ids(snap.doc_ids.begin(),
-                              snap.doc_ids.begin() +
-                                  static_cast<std::ptrdiff_t>(seed_docs_));
+  // Cluster labels exist only for offline-clustered segments; documents
+  // ingested after the last (re)clustering are re-published through the
+  // nearest-centroid ingest path on restore, so labeling them here would
+  // be wrong (the clustering never covered them — make_snapshot would
+  // emit label 0). Before the first recluster offline_docs_ == seed_docs_
+  // and this degenerates to the legacy seed-only layout; after one, the
+  // labels split at the seed/offline boundary so legacy readers still
+  // find exactly the seed labels where they expect them.
+  std::vector<Segmentation> off_segs(
+      segs.begin(),
+      segs.begin() + static_cast<std::ptrdiff_t>(offline_docs_));
+  std::vector<DocId> off_ids(
+      snap.doc_ids.begin(),
+      snap.doc_ids.begin() + static_cast<std::ptrdiff_t>(offline_docs_));
   PipelineSnapshot offline =
-      make_snapshot(seed_segs, pipeline_.clustering(), seed_ids);
-  snap.seed_labels = std::move(offline.segment_labels);
+      make_snapshot(off_segs, pipeline_.clustering(), off_ids);
+  size_t seed_segments = 0;
+  for (size_t d = 0; d < seed_docs_; ++d) {
+    if (segs[d].num_units > 0) seed_segments += segs[d].num_segments();
+  }
+  snap.seed_labels.assign(
+      offline.segment_labels.begin(),
+      offline.segment_labels.begin() +
+          static_cast<std::ptrdiff_t>(seed_segments));
+  snap.offline_labels.assign(
+      offline.segment_labels.begin() +
+          static_cast<std::ptrdiff_t>(seed_segments),
+      offline.segment_labels.end());
   snap.num_clusters = offline.num_clusters;
+  snap.offline_generation = generation_.load(std::memory_order_relaxed);
+  snap.offline_docs = offline_docs_;
+  // The clustering's exact centroids: what frees restore from re-deriving
+  // them (impossible after a recluster — the label-derived recomputation
+  // over seed docs alone yields different centroids) and pins
+  // nearest-centroid ingest assignment bit-for-bit.
+  snap.centroids = pipeline_.clustering().centroids();
+  snap.pending_pool = pending_pool_;
+  snap.docs_since_recluster =
+      docs_since_.load(std::memory_order_relaxed);
   const Vocabulary& vocab = pipeline_.vocab();
   snap.vocab_terms.reserve(vocab.size());
   for (size_t t = 0; t < vocab.size(); ++t) {
@@ -407,23 +605,37 @@ std::unique_ptr<ServingPipeline> ServingPipeline::restore(
   if (!snap.has_value()) return nullptr;
   const size_t total = snap->doc_ids.size();
   const size_t seed = snap->num_seed_docs;
-  std::vector<Document> seed_docs;
-  seed_docs.reserve(seed);
-  for (size_t d = 0; d < seed; ++d) {
-    seed_docs.push_back(
+  // The offline-covered prefix: the seed corpus until the first
+  // recluster, everything the last recluster saw after one. Restore
+  // rebuilds indices over exactly this prefix from stored labels — no
+  // dependency on the seed corpus being "special" remains.
+  const size_t eff_offline = static_cast<size_t>(
+      std::max<uint64_t>(snap->offline_docs, seed));
+  std::vector<Document> offline_docs;
+  offline_docs.reserve(eff_offline);
+  for (size_t d = 0; d < eff_offline; ++d) {
+    offline_docs.push_back(
         Document::analyze(snap->doc_ids[d], snap->doc_texts[d]));
   }
   // Offline part: stored segmentations + labels + vocabulary skip the
   // segmentation and clustering phases; preloading the vocabulary pins
   // every TermId to its pre-save value.
   RelatedPostPipeline pipeline = RelatedPostPipeline::build_from_snapshot(
-      std::move(seed_docs), snap->offline(), pipeline_options,
+      std::move(offline_docs), snap->offline_full(), pipeline_options,
       &snap->vocab_terms);
+  // Pin the centroids to the exact saved values. Until the first
+  // recluster the label-derived recomputation reproduces them anyway
+  // (legacy snapshots carry no centroid section and this is a no-op);
+  // after one they are the recluster's output and MUST come from the
+  // snapshot — this is what makes post-recluster restore bit-identical.
+  if (!snap->centroids.empty()) {
+    pipeline.override_centroids(snap->centroids);
+  }
   // Online part: re-publish ingested documents through the same
   // nearest-centroid ingest path that placed them originally, with their
   // *stored* segmentations — deterministic given the restored centroids,
   // and immune to segmenter-option drift between save and restore.
-  for (size_t d = seed; d < total; ++d) {
+  for (size_t d = eff_offline; d < total; ++d) {
     PreparedPost post;
     post.doc =
         Document::analyze(snap->doc_ids[d], std::move(snap->doc_texts[d]));
@@ -434,10 +646,14 @@ std::unique_ptr<ServingPipeline> ServingPipeline::restore(
   state.epoch = total - seed;
   state.ingested_docs = total - seed;
   state.next_id = snap->next_id;
+  state.generation = snap->offline_generation;
+  state.offline_docs = eff_offline;
+  state.pending_pool = std::move(snap->pending_pool);
+  state.docs_since = snap->docs_since_recluster;
   // The constructor replays the WAL (if configured) on top of the
   // snapshot, completing recovery to the exact pre-crash epoch.
-  std::unique_ptr<ServingPipeline> sp(
-      new ServingPipeline(std::move(pipeline), std::move(options), state));
+  std::unique_ptr<ServingPipeline> sp(new ServingPipeline(
+      std::move(pipeline), std::move(options), std::move(state)));
   if (!sp->persist_.wal_path.empty() && sp->wal_ == nullptr) return nullptr;
   m.restore_seconds.observe(watch.elapsed_seconds());
   return sp;
@@ -449,11 +665,18 @@ void ServingPipeline::publish_prepared(PreparedPost post) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   lock_wait.stop();
   DocId id = post.doc.id();
+  double dist = 0.0;
   {
     obs::TraceScope publish(obs::Stage::kIndexPublish);
-    pipeline_.ingest(std::move(post));
+    dist = pipeline_.ingest(std::move(post));
+  }
+  if (dist > recluster_options_.pending_distance_threshold) {
+    pending_pool_.push_back(id);
+    pending_size_.store(pending_pool_.size(), std::memory_order_relaxed);
+    m.pending_pool_size.set(static_cast<double>(pending_pool_.size()));
   }
   epoch_.fetch_add(1, std::memory_order_relaxed);
+  docs_since_.fetch_add(1, std::memory_order_relaxed);
   // The caller reserved the id from its own counter; keep this shard's
   // watermark consistent anyway so save()/diagnostics stay meaningful.
   DocId floor = id + 1;

@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -39,6 +41,29 @@ struct ServingPersistOptions {
   std::string shard_dir;
 };
 
+/// Drift score of a recluster: 1 - mean best-cosine alignment of each old
+/// centroid against the new centroid set (greedy, no one-to-one matching —
+/// the score is an operator signal, not an assignment). 0 when the new
+/// clustering preserves every old intention direction; approaches 1 as the
+/// intention structure the old centroids described disappears. Exported as
+/// the ibseg_recluster_drift gauge.
+double centroid_drift(const std::vector<std::vector<double>>& before,
+                      const std::vector<std::vector<double>>& after);
+
+/// Configuration of the incremental offline phase (docs/ARCHITECTURE.md
+/// §9): streaming nearest-centroid ingest assignment stays the hot path,
+/// and recluster() periodically re-runs the full offline clustering off it.
+struct ReclusterOptions {
+  /// Ingested documents whose largest nearest-centroid assignment distance
+  /// exceeds this threshold enter the outlier/pending pool — they are
+  /// still indexed normally (assignment is unchanged, so results stay
+  /// bit-identical), but the pool size is a recluster-trigger signal and
+  /// the pool drains at the next recluster. The default (infinity)
+  /// disables the pool.
+  double pending_distance_threshold =
+      std::numeric_limits<double>::infinity();
+};
+
 /// Serving-layer configuration (everything beyond the wrapped pipeline's
 /// own build options).
 struct ServingOptions {
@@ -52,6 +77,9 @@ struct ServingOptions {
   /// ServingPipeline is always a single partition and ignores the field.
   /// Values <= 1 mean unsharded.
   int num_shards = 1;
+  /// Incremental offline phase: pending-pool threshold (the trigger
+  /// policy itself lives in core/recluster.h).
+  ReclusterOptions recluster;
 };
 
 /// Concurrent serving facade over RelatedPostPipeline: the layer a
@@ -158,6 +186,63 @@ class ServingPipeline {
   /// queries observe either none or all of the batch.
   std::vector<DocId> add_posts(std::vector<std::string> texts);
 
+  /// Runs one background re-clustering epoch synchronously on the calling
+  /// thread (the "background" is the caller's — core/recluster.h wraps
+  /// this in a worker thread): captures a consistent cut of the corpus
+  /// under the shared lock, re-runs the FULL offline phase (DBSCAN over
+  /// the 28-dim CM features + per-intention index build) into a shadow
+  /// pipeline off the hot path — readers keep serving the old generation
+  /// the whole time — then takes the exclusive lock once to catch up
+  /// documents published during the shadow build (nearest-centroid, the
+  /// deterministic ingest path) and atomically swap the shadow in.
+  ///
+  /// Identity contract (proved by tests/recluster_differential_test.cc):
+  /// the post-swap pipeline is bit-identical to a cold
+  /// RelatedPostPipeline::build over the documents the capture saw,
+  /// followed by the same ingest sequence for anything published after the
+  /// capture. At quiescence that means recluster() == cold rebuild of the
+  /// whole corpus, exactly.
+  ///
+  /// The publication epoch is NOT bumped (no document was published); the
+  /// offline generation is, which keys the result cache so every pre-swap
+  /// entry becomes unreachable — a cached hit can never cross generations.
+  /// The pending pool is re-derived for the catch-up tail and
+  /// docs_since_recluster() restarts from that tail's size. Concurrent
+  /// recluster() calls serialize. Returns the new offline generation.
+  uint64_t recluster();
+
+  /// Completed background reclusters (0 for a freshly built pipeline;
+  /// restored pipelines resume the saved value). Monotone.
+  uint64_t offline_generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+  /// Leading documents covered by the current offline clustering; the
+  /// rest were nearest-centroid assigned. seed_docs() until the first
+  /// recluster.
+  size_t offline_docs() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return offline_docs_;
+  }
+
+  /// Current outlier/pending-pool size (lock-free; the recluster-trigger
+  /// policy polls this).
+  size_t pending_pool_size() const {
+    return pending_size_.load(std::memory_order_relaxed);
+  }
+
+  /// Documents ingested since the offline state was last (re)computed
+  /// (lock-free; trigger-policy input).
+  uint64_t docs_since_recluster() const {
+    return docs_since_.load(std::memory_order_relaxed);
+  }
+
+  /// Copy of the pending pool (diagnostics/persistence/tests).
+  std::vector<DocId> pending_pool() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return pending_pool_;
+  }
+
   /// Number of documents published since construction. Monotone.
   uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
@@ -229,15 +314,33 @@ class ServingPipeline {
   /// board.
   void set_stats_sink(GlobalIndexStats* sink);
 
- private:
-  /// State carried by restore() into the private constructor: how far the
-  /// rebuilt pipeline had already progressed before the snapshot was cut.
+  /// State carried into the constructor when the wrapped pipeline is not
+  /// fresh: how far it had already progressed (restore from snapshot, or
+  /// a sharded recluster adopting a rebuilt shard).
   struct RestoreState {
     uint64_t epoch = 0;          ///< published-ingest count at snapshot time
     size_t ingested_docs = 0;    ///< docs beyond the original seed corpus
     DocId next_id = 0;           ///< id watermark at snapshot time
+    uint64_t generation = 0;     ///< completed background reclusters
+    /// Leading docs the offline clustering covers; 0 means "everything up
+    /// to seed_docs" (the pre-recluster default).
+    size_t offline_docs = 0;
+    std::vector<DocId> pending_pool;  ///< saved outlier pool
+    uint64_t docs_since = 0;          ///< docs since last recluster
   };
 
+  /// Wraps a pipeline that already carries history — ShardedServing uses
+  /// this to stand up post-recluster shard pipelines whose epoch/offline
+  /// coordinates must match the shard's prior life, and restore() uses it
+  /// internally. No WAL replay happens here (state.epoch is trusted).
+  static std::unique_ptr<ServingPipeline> adopt(RelatedPostPipeline pipeline,
+                                                ServingOptions options,
+                                                RestoreState state) {
+    return std::unique_ptr<ServingPipeline>(new ServingPipeline(
+        std::move(pipeline), std::move(options), std::move(state)));
+  }
+
+ private:
   /// Shared constructor body; the public constructor delegates with a
   /// default RestoreState (fresh pipeline: epoch 0, everything is seed).
   ServingPipeline(RelatedPostPipeline pipeline, ServingOptions options,
@@ -249,11 +352,13 @@ class ServingPipeline {
 
   /// Publishes the matcher's cumulative pruning counter into the
   /// ibseg_pruned_docs_total serving counter (delta since the last sync,
-  /// CAS-guarded so concurrent queries never double-export). Lock-free —
-  /// reads only atomics — so queries call it after releasing the shared
-  /// lock. The ibseg_postings_bytes gauge, by contrast, is refreshed at
-  /// construction and publish time only (reading arena sizes requires
-  /// the exclusive lock the publisher already holds).
+  /// CAS-guarded so concurrent queries never double-export). Must be
+  /// called under (at least) the shared lock: a background recluster can
+  /// replace pipeline_ wholesale, so dereferencing the matcher without
+  /// the lock races its destruction. The ibseg_postings_bytes gauge, by
+  /// contrast, is refreshed at construction and publish time only
+  /// (reading arena sizes requires the exclusive lock the publisher
+  /// already holds).
   void sync_query_work_metrics() const;
 
   mutable std::shared_mutex mu_;
@@ -277,6 +382,30 @@ class ServingPipeline {
   std::unique_ptr<IngestWal> wal_;
   /// Durability configuration (kept for save(): WAL truncation).
   ServingPersistOptions persist_;
+  /// --- Incremental offline phase (docs/ARCHITECTURE.md §9).
+  /// Completed reclusters; bumped exactly once per swap, under the
+  /// exclusive lock, and folded into every cache key so pre-swap entries
+  /// become unreachable the instant the shadow publishes.
+  std::atomic<uint64_t> generation_{0};
+  /// Leading documents the current offline clustering covers (guarded by
+  /// mu_; == seed_docs_ until the first recluster).
+  size_t offline_docs_ = 0;
+  /// Outlier/pending pool (guarded by mu_): ids whose ingest assignment
+  /// distance exceeded recluster_options_.pending_distance_threshold.
+  std::vector<DocId> pending_pool_;
+  /// pending_pool_.size(), mirrored lock-free for the trigger policy.
+  std::atomic<size_t> pending_size_{0};
+  /// Documents ingested since the offline state was last (re)computed.
+  std::atomic<uint64_t> docs_since_{0};
+  /// Serializes concurrent recluster() calls so at most one shadow build
+  /// runs; held across the whole job, never while mu_ is held exclusively
+  /// by anyone else's write (mu_ acquisitions nest inside it).
+  std::mutex recluster_job_mu_;
+  ReclusterOptions recluster_options_;
+  /// Centroid drift score of the last recluster (exported as the
+  /// ibseg_recluster_drift gauge): 1 - mean best-cosine alignment between
+  /// old and new centroids. Guarded by recluster_job_mu_.
+  double last_drift_ = 0.0;
 };
 
 }  // namespace ibseg

@@ -18,8 +18,15 @@ namespace {
 std::string shard_subdir(const std::string& dir, uint32_t s) {
   return dir + "/shard-" + std::to_string(s);
 }
-std::string shard_snapshot_path(const std::string& dir, uint32_t s) {
-  return shard_subdir(dir, s) + "/snapshot.v2";
+/// Shard snapshot filenames are generation-qualified past generation 0
+/// (snapshot.g<G>.v2; generation 0 keeps the legacy snapshot.v2), so a
+/// post-recluster save that crashes before its manifest commit never
+/// overwrites the files the surviving manifest points at — restore comes
+/// back at exactly the old generation, never a torn mix of label spaces.
+std::string shard_snapshot_path(const std::string& dir, uint32_t s,
+                                uint64_t gen) {
+  if (gen == 0) return shard_subdir(dir, s) + "/snapshot.v2";
+  return shard_subdir(dir, s) + "/snapshot.g" + std::to_string(gen) + ".v2";
 }
 std::string shard_wal_path(const std::string& dir, uint32_t s) {
   return shard_subdir(dir, s) + "/wal";
@@ -119,17 +126,15 @@ std::unique_ptr<ShardedServing> ShardedServing::create(
   return s;
 }
 
-bool ShardedServing::init_shards(std::vector<Document> docs,
-                                 std::vector<Segmentation> segmentations,
-                                 const IntentionClustering& clustering,
-                                 const PipelineOptions& pipeline_options,
-                                 const ServingOptions& options,
-                                 uint32_t num_shards) {
-  num_clusters_ = clustering.num_clusters();
-  centroids_ = clustering.centroids();
-  matcher_options_ = pipeline_options.matcher;
-  segmenter_ = pipeline_options.segmenter;
-  matcher_fingerprint_ = matcher_options_fingerprint(matcher_options_);
+ShardedServing::ShardSet ShardedServing::build_shard_set(
+    std::vector<Document> docs, std::vector<Segmentation> segmentations,
+    const IntentionClustering& clustering,
+    const PipelineOptions& pipeline_options,
+    const ReclusterOptions& recluster_options, uint32_t num_shards,
+    const std::vector<ServingPipeline::RestoreState>* shard_states) const {
+  ShardSet set;
+  set.num_clusters = clustering.num_clusters();
+  set.centroids = clustering.centroids();
 
   // Global label assignment, resolved against real document ids.
   std::vector<DocId> ids;
@@ -142,20 +147,20 @@ bool ShardedServing::init_shards(std::vector<Document> docs,
   // major, member order within each cluster. Every shard build below then
   // finds all of its terms pre-interned, so TermIds are corpus-global and
   // independent of the partitioning.
-  vocab_ = std::make_shared<Vocabulary>();
-  stats_ = std::make_unique<GlobalIndexStats>(
-      num_clusters_, matcher_options_.min_norm_fraction);
+  set.vocab = std::make_shared<Vocabulary>();
+  set.stats = std::make_unique<GlobalIndexStats>(
+      set.num_clusters, pipeline_options.matcher.min_norm_fraction);
   std::map<DocId, size_t> doc_index;
   for (size_t d = 0; d < docs.size(); ++d) doc_index[docs[d].id()] = d;
-  for (int c = 0; c < num_clusters_; ++c) {
+  for (int c = 0; c < set.num_clusters; ++c) {
     for (size_t seg_idx :
          clustering.cluster_members()[static_cast<size_t>(c)]) {
       const RefinedSegment& seg = clustering.segments()[seg_idx];
       const Document& doc = docs[doc_index[seg.doc]];
-      stats_->append(c, refined_segment_terms(doc, seg, *vocab_),
-                     /*refresh_now=*/false);
+      set.stats->append(c, refined_segment_terms(doc, seg, *set.vocab),
+                        /*refresh_now=*/false);
     }
-    stats_->refresh(c);
+    set.stats->refresh(c);
   }
 
   // Partition the corpus in global document order: per-shard docs,
@@ -164,9 +169,8 @@ bool ShardedServing::init_shards(std::vector<Document> docs,
   std::vector<std::vector<Document>> shard_docs(num_shards);
   std::vector<std::vector<Segmentation>> shard_segs(num_shards);
   std::vector<std::vector<int>> shard_labels(num_shards);
-  DocId watermark = 1;
   size_t label_pos = 0;
-  seed_order_.reserve(docs.size());
+  set.doc_order.reserve(docs.size());
   for (size_t d = 0; d < docs.size(); ++d) {
     DocId id = docs[d].id();
     uint32_t s = shard_of(id, num_shards);
@@ -177,26 +181,59 @@ bool ShardedServing::init_shards(std::vector<Document> docs,
     label_pos += labels;
     shard_segs[s].push_back(std::move(segmentations[d]));
     shard_docs[s].push_back(std::move(docs[d]));
-    seed_order_.push_back(id);
-    watermark = std::max(watermark, id + 1);
+    set.doc_order.push_back(id);
+    set.watermark = std::max(set.watermark, id + 1);
   }
-  next_id_.store(watermark, std::memory_order_relaxed);
 
   // Build each shard over its slice: shared vocabulary, global centroids,
   // global cluster count. Shard pipelines carry no cache and no WAL of
-  // their own — both live at this layer.
-  shards_.reserve(num_shards);
+  // their own — both live at this layer — but DO own their slice's
+  // pending pool (the threshold travels in the shard's ServingOptions).
+  ServingOptions shard_options;
+  shard_options.recluster = recluster_options;
+  set.shards.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
     PipelineSnapshot snap;
     snap.segmentations = std::move(shard_segs[s]);
     snap.segment_labels = std::move(shard_labels[s]);
-    snap.num_clusters = num_clusters_;
+    snap.num_clusters = set.num_clusters;
     RelatedPostPipeline p = RelatedPostPipeline::build_shard(
-        std::move(shard_docs[s]), snap, vocab_, centroids_, pipeline_options);
-    shards_.push_back(
-        std::make_unique<ServingPipeline>(std::move(p), ServingOptions{}));
-    shards_.back()->set_stats_sink(stats_.get());
+        std::move(shard_docs[s]), snap, set.vocab, set.centroids,
+        pipeline_options);
+    if (shard_states != nullptr) {
+      set.shards.push_back(ServingPipeline::adopt(
+          std::move(p), shard_options, (*shard_states)[s]));
+    } else {
+      set.shards.push_back(
+          std::make_unique<ServingPipeline>(std::move(p), shard_options));
+    }
+    set.shards.back()->set_stats_sink(set.stats.get());
   }
+  return set;
+}
+
+bool ShardedServing::init_shards(
+    std::vector<Document> docs, std::vector<Segmentation> segmentations,
+    const IntentionClustering& clustering,
+    const PipelineOptions& pipeline_options, const ServingOptions& options,
+    uint32_t num_shards,
+    const std::vector<ServingPipeline::RestoreState>* shard_states) {
+  matcher_options_ = pipeline_options.matcher;
+  segmenter_ = pipeline_options.segmenter;
+  pipeline_options_ = pipeline_options;
+  recluster_options_ = options.recluster;
+  matcher_fingerprint_ = matcher_options_fingerprint(matcher_options_);
+
+  ShardSet set = build_shard_set(std::move(docs), std::move(segmentations),
+                                 clustering, pipeline_options,
+                                 options.recluster, num_shards, shard_states);
+  shards_ = std::move(set.shards);
+  vocab_ = std::move(set.vocab);
+  stats_ = std::move(set.stats);
+  centroids_ = std::move(set.centroids);
+  num_clusters_ = set.num_clusters;
+  seed_order_ = std::move(set.doc_order);
+  next_id_.store(set.watermark, std::memory_order_relaxed);
 
   if (options.cache.capacity > 0) {
     cache_ = std::make_unique<QueryCache>(options.cache);
@@ -252,16 +289,50 @@ bool ShardedServing::open_persistence(bool fresh) {
   return true;
 }
 
-uint64_t ShardedServing::epoch() const {
+uint64_t ShardedServing::epoch_unlocked() const {
   uint64_t e = 0;
   for (const auto& s : shards_) e += s->epoch();
   return e;
 }
 
-size_t ShardedServing::num_docs() const {
+size_t ShardedServing::num_docs_unlocked() const {
   size_t n = 0;
   for (const auto& s : shards_) n += s->num_docs();
   return n;
+}
+
+uint64_t ShardedServing::epoch() const {
+  std::shared_lock<std::shared_mutex> gen_lock(recluster_mu_);
+  return epoch_unlocked();
+}
+
+size_t ShardedServing::num_docs() const {
+  std::shared_lock<std::shared_mutex> gen_lock(recluster_mu_);
+  return num_docs_unlocked();
+}
+
+size_t ShardedServing::pending_pool_size() const {
+  std::shared_lock<std::shared_mutex> gen_lock(recluster_mu_);
+  size_t n = 0;
+  for (const auto& s : shards_) n += s->pending_pool_size();
+  return n;
+}
+
+uint64_t ShardedServing::docs_since_recluster() const {
+  std::shared_lock<std::shared_mutex> gen_lock(recluster_mu_);
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s->docs_since_recluster();
+  return n;
+}
+
+uint64_t ShardedServing::offline_publications() const {
+  std::shared_lock<std::shared_mutex> lock(publish_mu_);
+  return offline_pubs_;
+}
+
+int ShardedServing::num_clusters() const {
+  std::shared_lock<std::shared_mutex> lock(publish_mu_);
+  return num_clusters_;
 }
 
 ShardedServing::QueryResult ShardedServing::scatter_gather(
@@ -269,8 +340,8 @@ ShardedServing::QueryResult ShardedServing::scatter_gather(
     int k) const {
   QueryResult r;
   if (queries.empty() || k <= 0) {
-    r.epoch = epoch();
-    r.num_docs = num_docs();
+    r.epoch = epoch_unlocked();
+    r.num_docs = num_docs_unlocked();
     return r;
   }
   int n = matcher_options_.top_n_factor * k;
@@ -351,9 +422,16 @@ ShardedServing::QueryResult ShardedServing::scatter_gather(
 
 ShardedServing::QueryResult ShardedServing::find_related(DocId query,
                                                          int k) const {
-  QueryCache::Key key{query, k, matcher_fingerprint_};
+  // One generation end to end: held shared across lookup, scatter and
+  // insert, so a recluster swap (which needs this lock exclusively) can
+  // never replace the shard set, statistics board or vocabulary
+  // mid-query — and the generation read below is pinned for the whole
+  // call, keying any insert to the generation that produced it.
+  std::shared_lock<std::shared_mutex> gen_lock(recluster_mu_);
+  QueryCache::Key key{query, k, matcher_fingerprint_,
+                      generation_.load(std::memory_order_relaxed)};
   if (cache_ != nullptr) {
-    if (auto cached = cache_->lookup(key, epoch())) {
+    if (auto cached = cache_->lookup(key, epoch_unlocked())) {
       return QueryResult{std::move(cached->results), cached->epoch,
                          cached->num_docs};
     }
@@ -370,7 +448,7 @@ ShardedServing::QueryResult ShardedServing::find_related(DocId query,
                               }),
                qterms.end());
   QueryResult r = scatter_gather(qterms, query, k);
-  if (cache_ != nullptr && epoch() == r.epoch) {
+  if (cache_ != nullptr && epoch_unlocked() == r.epoch) {
     // Only a quiescent cut is worth caching: if any shard published while
     // the scatter ran, the combined epoch moved and the entry would be
     // born stale anyway.
@@ -391,6 +469,11 @@ ShardedServing::QueryResult ShardedServing::find_related_external(
     const Document& doc, int k) const {
   Vocabulary scratch;
   Segmentation seg = segmenter_.segment(doc, scratch);
+  // Generation pin (see find_related); taken after the lock-free
+  // segmentation, before touching centroids_/vocab_/shards_. Lock order:
+  // recluster_mu_ (shared) then publish_mu_ (shared) — the same nesting
+  // the swap uses exclusively.
+  std::shared_lock<std::shared_mutex> gen_lock(recluster_mu_);
   std::map<int, TermVector> per_cluster;
   {
     // The shared vocabulary grows under publish_mu_; assignment only reads
@@ -465,20 +548,145 @@ std::vector<DocId> ShardedServing::add_posts(std::vector<std::string> texts) {
   return ids;
 }
 
+uint64_t ShardedServing::recluster() {
+  std::lock_guard<std::mutex> job(recluster_job_mu_);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  Stopwatch watch;
+  const uint32_t ns = num_shards();
+
+  // Phase 1 — capture a consistent global cut under publish_mu_ shared:
+  // ingests (exclusive) are blocked for the duration of the copy, queries
+  // are not. Shard corpora are append-only in publication order, so the
+  // global order (seed_order_ then publication_order_) walks each shard's
+  // docs front to back with a plain per-shard cursor — no id lookup maps.
+  std::vector<Document> docs;
+  std::vector<Segmentation> segs;
+  std::vector<size_t> captured_per_shard(ns, 0);
+  size_t captured_pubs = 0;
+  std::vector<std::vector<double>> old_centroids;
+  {
+    std::shared_lock<std::shared_mutex> lock(publish_mu_);
+    captured_pubs = publication_order_.size();
+    old_centroids = centroids_;
+    docs.reserve(seed_order_.size() + captured_pubs);
+    segs.reserve(seed_order_.size() + captured_pubs);
+    auto grab = [&](DocId id) {
+      uint32_t s = shard_of(id, ns);
+      const RelatedPostPipeline& q = shards_[s]->quiescent();
+      size_t d = captured_per_shard[s]++;
+      docs.push_back(q.docs()[d]);
+      segs.push_back(q.segmentations()[d]);
+    };
+    for (DocId id : seed_order_) grab(id);
+    for (size_t i = 0; i < captured_pubs; ++i) grab(publication_order_[i]);
+  }
+
+  // Phase 2 — shadow build, no lock held: the FULL offline phase over the
+  // captured cut (clustering from the stored segmentations — segmentation
+  // itself is deterministic and already done), then a complete shard set:
+  // fresh shared vocabulary, fresh statistics board, fresh per-shard
+  // indices. Bit-identical to ShardedServing::create over the captured
+  // corpus by construction — it runs the same code. The live generation
+  // keeps serving untouched.
+  IntentionClustering clustering;
+  {
+    obs::TraceScope grouping(obs::Stage::kClusterAssign);
+    clustering =
+        IntentionClustering::build(docs, segs, pipeline_options_.grouping);
+  }
+  const double drift = centroid_drift(old_centroids, clustering.centroids());
+  const uint64_t new_gen = generation_.load(std::memory_order_relaxed) + 1;
+  std::vector<ServingPipeline::RestoreState> states(ns);
+  for (uint32_t s = 0; s < ns; ++s) {
+    // The new shard pipelines adopt their shard's prior coordinates: the
+    // whole captured slice is offline-covered, but the publication epoch
+    // keeps counting from the original seed partition so the manifest
+    // invariant (docs == seed + epoch, summed to the global orders) and
+    // the serving invariant (num_docs == seed_docs + epoch) both survive
+    // the swap unchanged.
+    states[s].epoch = captured_per_shard[s] - shards_[s]->seed_docs();
+    states[s].ingested_docs = states[s].epoch;
+    states[s].next_id = next_id_.load(std::memory_order_relaxed);
+    states[s].generation = new_gen;
+    states[s].offline_docs = captured_per_shard[s];
+  }
+  ShardSet set =
+      build_shard_set(std::move(docs), std::move(segs), clustering,
+                      pipeline_options_, recluster_options_, ns, &states);
+
+  // Phase 3 — catch-up + swap under recluster_mu_ exclusive (queries
+  // drain and block) then publish_mu_ exclusive (ingests block):
+  // publications that landed during the shadow build are replayed into
+  // the new shard set through the deterministic publish path — copied
+  // from the OLD shards' tails, again by cursor — then every
+  // generation-scoped member swaps in one block.
+  uint64_t gen = 0;
+  {
+    std::unique_lock<std::shared_mutex> gen_lock(recluster_mu_);
+    std::unique_lock<std::shared_mutex> lock(publish_mu_);
+    std::vector<size_t> cursor = captured_per_shard;
+    for (size_t i = captured_pubs; i < publication_order_.size(); ++i) {
+      DocId id = publication_order_[i];
+      uint32_t s = shard_of(id, ns);
+      const RelatedPostPipeline& q = shards_[s]->quiescent();
+      size_t d = cursor[s]++;
+      PreparedPost post;
+      post.doc = q.docs()[d];
+      post.seg = q.segmentations()[d];
+      set.shards[s]->publish_prepared(std::move(post));
+    }
+    shards_ = std::move(set.shards);
+    vocab_ = std::move(set.vocab);
+    stats_ = std::move(set.stats);
+    centroids_ = std::move(set.centroids);
+    num_clusters_ = set.num_clusters;
+    offline_pubs_ = captured_pubs;
+    gen = generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+    for (uint32_t s = 0; s < ns; ++s) {
+      shard_docs_[s]->set(static_cast<double>(shards_[s]->num_docs()));
+    }
+  }
+  reg.counter("ibseg_recluster_total",
+              "Completed background re-clustering epochs (shadow "
+              "rebuild + atomic swap).")
+      .inc();
+  reg.gauge("ibseg_offline_generation",
+            "Offline generation: completed background reclusters.")
+      .set(static_cast<double>(gen));
+  reg.gauge("ibseg_recluster_drift",
+            "Centroid drift repaired by the last recluster: 1 - "
+            "mean best-cosine alignment between the old and new "
+            "centroid sets.")
+      .set(drift);
+  reg.histogram("ibseg_recluster_seconds",
+                "End-to-end background recluster latency (capture + "
+                "shadow rebuild + catch-up + swap), in seconds.")
+      .observe(watch.elapsed_seconds());
+  return gen;
+}
+
 bool ShardedServing::save(const std::string& dir) {
   std::unique_lock<std::shared_mutex> lock(publish_mu_);
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return false;
+  // The generation cannot move under us: a swap needs publish_mu_
+  // exclusively. Snapshot files are generation-qualified, so a
+  // post-recluster save never overwrites the previous generation's files
+  // — a crash anywhere in this function leaves the old manifest pointing
+  // at old-generation files that are still intact.
+  const uint64_t gen = generation_.load(std::memory_order_relaxed);
   for (uint32_t s = 0; s < num_shards(); ++s) {
     std::filesystem::create_directories(shard_subdir(dir, s), ec);
     if (ec) return false;
-    if (!shards_[s]->save(shard_snapshot_path(dir, s))) return false;
+    if (!shards_[s]->save(shard_snapshot_path(dir, s, gen))) return false;
   }
   ShardManifest m;
   m.num_shards = num_shards();
   m.next_id = next_id_.load(std::memory_order_relaxed);
   m.num_clusters = num_clusters_;
+  m.generation = gen;
+  m.offline_publications = offline_pubs_;
   m.seed_order = seed_order_;
   m.publication_order = publication_order_;
   m.shards.reserve(shards_.size());
@@ -497,6 +705,37 @@ bool ShardedServing::save(const std::string& dir) {
     for (auto& wal : wals_) wal->reset();
     journal_->reset();
   }
+  // Post-commit garbage collection: earlier generations' snapshot files
+  // are unreachable now (the manifest names this generation) — deleting
+  // them is safe at any point after the commit, and a crash mid-sweep
+  // just leaves harmless orphans for the next save to collect. Only names
+  // this layer itself writes ("snapshot.v2" / "snapshot.g<N>.v2") are
+  // collected; foreign files in the shard directory are left alone.
+  auto is_generation_snapshot = [](const std::string& name) {
+    if (name == "snapshot.v2") return true;
+    if (name.rfind("snapshot.g", 0) != 0) return false;
+    size_t i = std::string("snapshot.g").size();
+    size_t digits = 0;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+      ++i;
+      ++digits;
+    }
+    return digits > 0 && name.compare(i, std::string::npos, ".v2") == 0;
+  };
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    const std::string keep =
+        std::filesystem::path(shard_snapshot_path(dir, s, gen))
+            .filename()
+            .string();
+    for (const auto& entry :
+         std::filesystem::directory_iterator(shard_subdir(dir, s), ec)) {
+      if (ec) break;
+      const std::string name = entry.path().filename().string();
+      if (name != keep && is_generation_snapshot(name)) {
+        std::filesystem::remove(entry.path(), ec);
+      }
+    }
+  }
   return true;
 }
 
@@ -507,55 +746,80 @@ std::unique_ptr<ShardedServing> ShardedServing::restore(
       load_shard_manifest_file(dir + "/MANIFEST");
   if (!m.has_value()) return nullptr;
   const uint32_t ns = m->num_shards;
+  const uint64_t gen = m->generation;
+  const size_t offline_pubs = static_cast<size_t>(m->offline_publications);
 
   std::vector<ServingSnapshot> snaps;
   snaps.reserve(ns);
   for (uint32_t s = 0; s < ns; ++s) {
     std::optional<ServingSnapshot> snap =
-        load_snapshot_v2_file(shard_snapshot_path(dir, s));
+        load_snapshot_v2_file(shard_snapshot_path(dir, s, gen));
     if (!snap.has_value()) return nullptr;
     // Cross-file torn-restore checks against the sibling manifest entry:
     // the committed manifest was written AFTER every snapshot rename, so a
     // snapshot with fewer documents than its entry claims — or a different
-    // seed partition, or a different cluster count — cannot be the file
-    // this manifest committed. Snapshot AHEAD of the entry is the legal
-    // crash window (save interrupted between renames and commit).
+    // seed partition, cluster count, or offline generation — cannot be the
+    // file this manifest committed. Snapshot AHEAD of the entry is the
+    // legal crash window (save interrupted between renames and commit).
     if (snap->num_seed_docs != m->shards[s].seed_docs) return nullptr;
     if (snap->doc_ids.size() < m->shards[s].docs) return nullptr;
     if (snap->num_clusters != m->num_clusters) return nullptr;
+    if (snap->offline_generation != gen) return nullptr;
     snaps.push_back(std::move(*snap));
   }
 
-  // Reassemble the global seed corpus in the recorded global order; every
-  // seed document must be at its hash-owner shard's seed section.
-  std::vector<std::unordered_map<DocId, size_t>> seed_pos(ns);
+  // Reassemble the global OFFLINE-COVERED corpus in the recorded global
+  // order: the seed corpus plus — past the first recluster — the leading
+  // offline_publications publications whose labels the recluster baked
+  // into the shard snapshots. Every document must sit at its hash-owner
+  // shard's offline section, and the per-shard offline coverage must add
+  // up to exactly that global prefix.
+  std::vector<size_t> eff_offline(ns);
+  uint64_t offline_total = 0;
+  for (uint32_t s = 0; s < ns; ++s) {
+    eff_offline[s] = static_cast<size_t>(std::max<uint64_t>(
+        snaps[s].offline_docs, snaps[s].num_seed_docs));
+    offline_total += eff_offline[s];
+  }
+  if (offline_total != m->seed_order.size() + offline_pubs) return nullptr;
+  std::vector<std::unordered_map<DocId, size_t>> offline_pos(ns);
   std::vector<std::vector<size_t>> label_offset(ns);
   for (uint32_t s = 0; s < ns; ++s) {
     size_t off = 0;
-    label_offset[s].reserve(snaps[s].num_seed_docs);
-    for (size_t d = 0; d < snaps[s].num_seed_docs; ++d) {
-      seed_pos[s][snaps[s].doc_ids[d]] = d;
+    label_offset[s].reserve(eff_offline[s]);
+    for (size_t d = 0; d < eff_offline[s]; ++d) {
+      offline_pos[s][snaps[s].doc_ids[d]] = d;
       label_offset[s].push_back(off);
       off += num_labels(snaps[s].segmentations[d]);
     }
-    if (off != snaps[s].seed_labels.size()) return nullptr;
+    if (off != snaps[s].seed_labels.size() + snaps[s].offline_labels.size()) {
+      return nullptr;
+    }
   }
   std::vector<Document> docs;
   std::vector<Segmentation> segmentations;
   std::vector<int> labels;
-  docs.reserve(m->seed_order.size());
-  segmentations.reserve(m->seed_order.size());
-  for (DocId id : m->seed_order) {
+  docs.reserve(offline_total);
+  segmentations.reserve(offline_total);
+  std::vector<DocId> offline_order = m->seed_order;
+  offline_order.insert(offline_order.end(), m->publication_order.begin(),
+                       m->publication_order.begin() +
+                           static_cast<std::ptrdiff_t>(offline_pubs));
+  for (DocId id : offline_order) {
     uint32_t s = shard_of(id, ns);
-    auto it = seed_pos[s].find(id);
-    if (it == seed_pos[s].end()) return nullptr;
+    auto it = offline_pos[s].find(id);
+    if (it == offline_pos[s].end()) return nullptr;
     size_t d = it->second;
     docs.push_back(Document::analyze(id, snaps[s].doc_texts[d]));
     segmentations.push_back(snaps[s].segmentations[d]);
     size_t off = label_offset[s][d];
     size_t count = num_labels(snaps[s].segmentations[d]);
+    const std::vector<int>& seed_l = snaps[s].seed_labels;
     for (size_t i = 0; i < count; ++i) {
-      labels.push_back(snaps[s].seed_labels[off + i]);
+      size_t idx = off + i;
+      labels.push_back(idx < seed_l.size()
+                           ? seed_l[idx]
+                           : snaps[s].offline_labels[idx - seed_l.size()]);
     }
   }
   PipelineSnapshot global_snap;
@@ -564,12 +828,47 @@ std::unique_ptr<ShardedServing> ShardedServing::restore(
   global_snap.num_clusters = m->num_clusters;
   if (!global_snap.is_consistent()) return nullptr;
   IntentionClustering clustering = restore_clustering(docs, global_snap);
+  // Pin the centroids to the saved values (each shard snapshot stores the
+  // GLOBAL centroids — shards score with overridden global centroids, so
+  // any one copy is authoritative). Until the first recluster this
+  // reproduces the label-derived recomputation; after one it is the only
+  // correct source (see ServingPipeline::restore).
+  if (!snaps[0].centroids.empty() &&
+      static_cast<int>(snaps[0].centroids.size()) ==
+          clustering.num_clusters()) {
+    clustering.override_centroids(snaps[0].centroids);
+  }
+
+  // Per-shard coordinates at the moment the offline slice alone is
+  // loaded: everything past the shard's seed partition counts as
+  // publication epoch; the pending pool and docs-since counters start
+  // empty/zero and are re-derived deterministically by the replay below
+  // (every pool member is by definition a post-offline ingest).
+  std::vector<ServingPipeline::RestoreState> states(ns);
+  for (uint32_t s = 0; s < ns; ++s) {
+    states[s].epoch = eff_offline[s] - snaps[s].num_seed_docs;
+    states[s].ingested_docs = states[s].epoch;
+    states[s].next_id = m->next_id;
+    states[s].generation = gen;
+    states[s].offline_docs = eff_offline[s];
+  }
 
   std::unique_ptr<ShardedServing> sp(new ShardedServing());
   if (!sp->init_shards(std::move(docs), std::move(segmentations), clustering,
-                       pipeline_options, options, ns)) {
+                       pipeline_options, options, ns, &states)) {
     return nullptr;
   }
+  // init_shards derived doc_order from its input — the offline corpus.
+  // The durable global orders come from the manifest: the seed order
+  // proper, and the offline-covered publications pre-filled so replay
+  // continues exactly where the offline coverage ends.
+  sp->seed_order_ = m->seed_order;
+  sp->publication_order_.assign(
+      m->publication_order.begin(),
+      m->publication_order.begin() +
+          static_cast<std::ptrdiff_t>(offline_pubs));
+  sp->generation_.store(gen, std::memory_order_relaxed);
+  sp->offline_pubs_ = offline_pubs;
   sp->persist_dir_ = dir;
   sp->wal_options_ = options.persist.wal;
 
@@ -587,24 +886,31 @@ std::unique_ptr<ShardedServing> ShardedServing::restore(
     for (WalRecord& rec : recs) wal_text[s][rec.id] = std::move(rec.text);
     sp->wals_.push_back(std::move(wal));
   }
-  // Snapshot tails: ingested documents baked into each shard snapshot,
-  // with their stored segmentations.
+  // Snapshot tails: ingested documents baked into each shard snapshot
+  // BEYOND its offline coverage, with their stored segmentations. (The
+  // offline slice itself was consumed by the cold rebuild above.)
   std::vector<std::unordered_map<DocId, size_t>> tail_pos(ns);
   for (uint32_t s = 0; s < ns; ++s) {
-    for (size_t d = snaps[s].num_seed_docs; d < snaps[s].doc_ids.size();
-         ++d) {
+    for (size_t d = eff_offline[s]; d < snaps[s].doc_ids.size(); ++d) {
       tail_pos[s][snaps[s].doc_ids[d]] = d;
     }
   }
 
-  // Replay every publication in the recorded global order. Manifest-listed
-  // publications are committed state: each must exist in its shard's
-  // snapshot tail or WAL, anything else is a torn directory. Journal
-  // entries beyond the manifest are the crash tail: already-published ids
-  // dedup away, ids with no durable payload were never published and are
-  // dropped (write-ahead order guarantees no later entry could have been).
+  // Replay every NOT-offline-covered publication in the recorded global
+  // order (the first offline_publications entries were restored with the
+  // offline corpus above). Manifest-listed publications are committed
+  // state: each must exist in its shard's snapshot tail or WAL, anything
+  // else is a torn directory. Journal entries beyond the manifest are the
+  // crash tail: already-published ids dedup away, ids with no durable
+  // payload were never published and are dropped (write-ahead order
+  // guarantees no later entry could have been). Replaying through
+  // publish_prepared also re-derives each shard's pending pool and
+  // docs-since-recluster counter: every pool member is a post-recluster
+  // ingest, so the replayed tail contains exactly the pool the save saw
+  // plus whatever journal-tail survivors joined it.
   DocId watermark = m->next_id;
-  std::unordered_set<DocId> published;
+  std::unordered_set<DocId> published(offline_order.begin(),
+                                      offline_order.end());
   auto replay_one = [&](DocId id) -> int {
     uint32_t s = shard_of(id, ns);
     PreparedPost post;
@@ -625,8 +931,8 @@ std::unique_ptr<ShardedServing> ShardedServing::restore(
     watermark = std::max(watermark, id + 1);
     return 0;
   };
-  for (DocId id : m->publication_order) {
-    if (replay_one(id) != 0) return nullptr;
+  for (size_t i = offline_pubs; i < m->publication_order.size(); ++i) {
+    if (replay_one(m->publication_order[i]) != 0) return nullptr;
   }
   for (const WalRecord& rec : journal_recs) {
     if (published.count(rec.id) != 0) continue;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <utility>
@@ -160,6 +161,41 @@ class ShardedServing {
   /// Batched ingestion, published in order under one global-lock section.
   std::vector<DocId> add_posts(std::vector<std::string> texts);
 
+  /// One background re-clustering epoch across the whole deployment,
+  /// synchronous on the calling thread (core/recluster.h provides the
+  /// worker that makes it background). Mirrors
+  /// ServingPipeline::recluster at deployment scale: capture a consistent
+  /// global cut (publication lock, shared — queries keep flowing),
+  /// re-run the FULL offline phase over it and build a complete shadow
+  /// shard set (vocabulary, statistics board, per-shard indices) with no
+  /// lock held, then swap everything in under one exclusive section after
+  /// catching up publications that landed during the shadow build.
+  /// Post-swap state is bit-identical to ShardedServing::create over the
+  /// same corpus followed by the same tail of ingests (the differential
+  /// suite proves this at shard counts 1/2/4). Returns the new offline
+  /// generation. Concurrent calls serialize.
+  uint64_t recluster();
+
+  /// Completed reclusters (monotone; restored deployments resume the
+  /// manifest's value).
+  uint64_t offline_generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+  /// Combined outlier/pending-pool size (sum over shards).
+  size_t pending_pool_size() const;
+
+  /// Documents ingested since the offline state was last (re)computed,
+  /// summed over shards.
+  uint64_t docs_since_recluster() const;
+
+  /// Leading publication_order entries covered by the current offline
+  /// clustering (0 until the first recluster).
+  uint64_t offline_publications() const;
+
+  /// Cluster count of the current offline generation.
+  int num_clusters() const;
+
   /// Combined publication epoch: the sum of per-shard epochs.
   uint64_t epoch() const;
 
@@ -183,14 +219,46 @@ class ShardedServing {
  private:
   ShardedServing() = default;
 
-  /// Shared construction tail: seeds vocabulary + statistics board from
-  /// the global clustering (in the unpartitioned interning order), slices
-  /// the corpus per shard, builds the shard pipelines and wires the sink.
+  /// A freshly built shard set — everything a generation swap replaces in
+  /// one assignment block. Produced by build_shard_set (pure; no member
+  /// mutation), consumed by init_shards (construction) and recluster()
+  /// (shadow build + swap).
+  struct ShardSet {
+    std::vector<std::unique_ptr<ServingPipeline>> shards;
+    std::shared_ptr<Vocabulary> vocab;
+    std::unique_ptr<GlobalIndexStats> stats;
+    std::vector<std::vector<double>> centroids;
+    int num_clusters = 0;
+    DocId watermark = 1;
+    std::vector<DocId> doc_order;  ///< input document order (= seed order
+                                   ///< at construction; capture order at
+                                   ///< recluster)
+  };
+
+  /// The pure shard-set builder: seeds a fresh vocabulary + statistics
+  /// board from `clustering` in the unpartitioned interning order, slices
+  /// the corpus per shard, builds the shard pipelines and wires the stats
+  /// sink. `shard_states` (parallel to shard index, may be null for
+  /// "fresh") presets each shard pipeline's epoch/offline coordinates via
+  /// ServingPipeline::adopt — the recluster/restore paths, where a shard's
+  /// document count is not its seed count. Touches NO members, so
+  /// recluster() can run it off-lock against a captured cut.
+  ShardSet build_shard_set(
+      std::vector<Document> docs, std::vector<Segmentation> segmentations,
+      const IntentionClustering& clustering,
+      const PipelineOptions& pipeline_options,
+      const ReclusterOptions& recluster_options, uint32_t num_shards,
+      const std::vector<ServingPipeline::RestoreState>* shard_states) const;
+
+  /// Shared construction tail: build_shard_set + member assignment +
+  /// cache/pool/metric registration.
   bool init_shards(std::vector<Document> docs,
                    std::vector<Segmentation> segmentations,
                    const IntentionClustering& clustering,
                    const PipelineOptions& pipeline_options,
-                   const ServingOptions& options, uint32_t num_shards);
+                   const ServingOptions& options, uint32_t num_shards,
+                   const std::vector<ServingPipeline::RestoreState>*
+                       shard_states = nullptr);
 
   /// Opens (or creates) WALs + journal under persist_dir_. When `fresh`,
   /// existing contents are truncated (create() path).
@@ -199,6 +267,11 @@ class ShardedServing {
   QueryResult scatter_gather(
       const std::vector<std::pair<int, TermVector>>& queries, DocId exclude,
       int k) const;
+
+  /// Lock-free sums for callers already holding recluster_mu_ (shared
+  /// shared_mutex acquisition does not nest on one thread).
+  uint64_t epoch_unlocked() const;
+  size_t num_docs_unlocked() const;
 
   PreparedPost prepare(DocId id, std::string text) const;
 
@@ -215,7 +288,28 @@ class ShardedServing {
   int num_clusters_ = 0;
   MatcherOptions matcher_options_;
   Segmenter segmenter_ = Segmenter::cm_tiling();
+  /// The full build option set, kept so recluster() reruns the offline
+  /// phase with exactly the options the deployment was built with.
+  PipelineOptions pipeline_options_;
+  ReclusterOptions recluster_options_;
   std::atomic<DocId> next_id_{1};
+
+  /// Generation lock, ordered BEFORE publish_mu_ everywhere. Queries hold
+  /// it shared across their whole scatter (so a generation swap can never
+  /// replace shards_/stats_/vocab_ mid-query — one query sees one
+  /// generation, end to end); recluster()'s swap phase holds it exclusive
+  /// (then publish_mu_ exclusive, nested). Ingests and save() take only
+  /// publish_mu_ and cannot deadlock against the swap.
+  mutable std::shared_mutex recluster_mu_;
+  /// Serializes concurrent recluster() jobs (one shadow build at a time).
+  std::mutex recluster_job_mu_;
+  /// Completed reclusters; bumped under recluster_mu_ exclusive, folded
+  /// into every cache key (same staleness argument as the unsharded
+  /// layer's generation).
+  std::atomic<uint64_t> generation_{0};
+  /// Leading publication_order_ entries the current offline clustering
+  /// covers (guarded by publish_mu_).
+  uint64_t offline_pubs_ = 0;
 
   /// Global publication order lock: exclusive for publications and save()
   /// (board order == vocabulary order == journal order == publication

@@ -132,7 +132,7 @@ std::vector<ScoredDoc> IntentionMatcher::find_related_external(
   return out;
 }
 
-void IntentionMatcher::add_document(
+double IntentionMatcher::add_document(
     const Document& doc, const Segmentation& segmentation,
     const std::vector<std::vector<double>>& centroids, Vocabulary& vocab,
     const FeatureVectorOptions& features) {
@@ -141,6 +141,7 @@ void IntentionMatcher::add_document(
   // Assign each raw segment to the nearest centroid, merging same-cluster
   // segments (refinement).
   std::map<int, TermVector> per_cluster_terms;
+  double max_assign_distance = 0.0;
   {
     obs::TraceScope assign(obs::Stage::kClusterAssign);
     for (auto [b, e] : segmentation.segments()) {
@@ -154,6 +155,9 @@ void IntentionMatcher::add_document(
           best_d = d;
           best = static_cast<int>(c);
         }
+      }
+      if (best_d != std::numeric_limits<double>::max()) {
+        max_assign_distance = std::max(max_assign_distance, best_d);
       }
       size_t tok_b = doc.sentences()[b].token_begin;
       size_t tok_e = doc.sentences()[e - 1].token_end;
@@ -171,6 +175,7 @@ void IntentionMatcher::add_document(
     doc_units_[doc.id()].emplace_back(cluster, unit);
     ++total_segments_;
   }
+  return max_assign_distance;
 }
 
 std::vector<std::pair<int, TermVector>> IntentionMatcher::doc_cluster_terms(

@@ -181,10 +181,17 @@ class IntentionMatcher {
   /// touched cluster indices re-finalized. `doc.id()` must be new.
   /// `centroids` are the offline clustering's centroids; `features`
   /// must match the options the clustering was built with.
-  void add_document(const Document& doc, const Segmentation& segmentation,
-                    const std::vector<std::vector<double>>& centroids,
-                    Vocabulary& vocab,
-                    const FeatureVectorOptions& features = {});
+  ///
+  /// Returns the largest nearest-centroid distance over the document's
+  /// segments (0.0 for a document with no non-empty segments) — the
+  /// assignment-quality signal the serving layer's outlier/pending pool
+  /// and recluster-trigger policy consume. The distance is diagnostic
+  /// only: assignment itself is unchanged, so results stay bit-identical
+  /// whether or not anyone reads it.
+  double add_document(const Document& doc, const Segmentation& segmentation,
+                      const std::vector<std::vector<double>>& centroids,
+                      Vocabulary& vocab,
+                      const FeatureVectorOptions& features = {});
 
   /// Routes ingested per-cluster term bags to a cross-shard statistics
   /// board: after this call every add_document also append()s each

@@ -232,6 +232,14 @@ CallResult Client::metrics(uint8_t format, std::string* body_out) {
   return result;
 }
 
+CallResult Client::recluster(ReclusteredResponse* out) {
+  MsgType type = MsgType::kError;
+  std::string payload;
+  CallResult result = call(MsgType::kRecluster, {}, &type, &payload);
+  return expect(std::move(result), type, MsgType::kReclustered, payload,
+                decode_reclustered, out);
+}
+
 CallResult Client::drain() {
   MsgType type = MsgType::kError;
   std::string payload;

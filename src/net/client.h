@@ -72,6 +72,9 @@ class Client {
   /// \param format 0 = Prometheus text, 1 = JSON
   CallResult metrics(uint8_t format, std::string* body_out);
   CallResult drain();
+  /// Synchronous: returns after the new generation is serving. Long
+  /// corpora rebuild for a while — pass a generous connect timeout.
+  CallResult recluster(ReclusteredResponse* out);
 
  private:
   Client(int fd, double timeout_sec);

@@ -199,6 +199,20 @@ bool decode_metrics_data(std::string_view payload, MetricsDataResponse* out) {
   return r.exhausted();
 }
 
+void encode_reclustered(const ReclusteredResponse& resp,
+                        std::string* payload) {
+  WireWriter w(payload);
+  w.write_u64(resp.generation);
+  w.write_u32(resp.num_clusters);
+}
+
+bool decode_reclustered(std::string_view payload, ReclusteredResponse* out) {
+  WireReader r(payload);
+  out->generation = r.read_u64();
+  out->num_clusters = r.read_u32();
+  return r.exhausted();
+}
+
 void encode_error(const ErrorResponse& resp, std::string* payload) {
   WireWriter w(payload);
   w.write_u8(static_cast<uint8_t>(resp.code));
@@ -226,12 +240,14 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kSave: return "save";
     case MsgType::kMetrics: return "metrics";
     case MsgType::kDrain: return "drain";
+    case MsgType::kRecluster: return "recluster";
     case MsgType::kPong: return "pong";
     case MsgType::kRelated: return "related";
     case MsgType::kAdded: return "added";
     case MsgType::kSaved: return "saved";
     case MsgType::kMetricsData: return "metrics_data";
     case MsgType::kDraining: return "draining";
+    case MsgType::kReclustered: return "reclustered";
     case MsgType::kError: return "error";
   }
   return "unknown";

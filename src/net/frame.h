@@ -69,9 +69,10 @@ enum class MsgType : uint8_t {
   kAsk = 0x03,       ///< top-k related posts for an external post text
   kAddPost = 0x04,   ///< ingest one post; acked with its assigned id
   kAddPosts = 0x05,  ///< ingest a batch atomically; acked with all ids
-  kSave = 0x06,      ///< persist serving state to the server's state dir
-  kMetrics = 0x07,   ///< metrics snapshot (Prometheus text or JSON)
-  kDrain = 0x08,     ///< begin graceful drain (admin)
+  kSave = 0x06,       ///< persist serving state to the server's state dir
+  kMetrics = 0x07,    ///< metrics snapshot (Prometheus text or JSON)
+  kDrain = 0x08,      ///< begin graceful drain (admin)
+  kRecluster = 0x09,  ///< run one background recluster now (admin)
 
   // Responses (server -> client).
   kPong = 0x81,         ///< answers PING
@@ -80,6 +81,7 @@ enum class MsgType : uint8_t {
   kSaved = 0x86,        ///< answers SAVE
   kMetricsData = 0x87,  ///< answers METRICS
   kDraining = 0x88,     ///< answers DRAIN
+  kReclustered = 0x89,  ///< answers RECLUSTER
   kError = 0xE0,        ///< any request may be answered with an error
 };
 
@@ -177,8 +179,9 @@ struct MetricsRequest {
 void encode_metrics(const MetricsRequest& req, std::string* payload);
 bool decode_metrics(std::string_view payload, MetricsRequest* out);
 
-// PING, SAVE and DRAIN carry empty payloads: encoding is encode_frame
-// with an empty payload; decoding succeeds iff the payload is empty.
+// PING, SAVE, DRAIN and RECLUSTER carry empty payloads: encoding is
+// encode_frame with an empty payload; decoding succeeds iff the payload
+// is empty.
 
 // --- Response payloads (PROTOCOL.md §5).
 
@@ -219,6 +222,18 @@ struct MetricsDataResponse {
 void encode_metrics_data(const MetricsDataResponse& resp,
                          std::string* payload);
 bool decode_metrics_data(std::string_view payload, MetricsDataResponse* out);
+
+/// \brief RECLUSTERED: the answer to RECLUSTER, after the offline rebuild
+/// has swapped in (the request is synchronous; long corpora mean long
+/// waits — admin clients should use a generous timeout).
+struct ReclusteredResponse {
+  uint64_t generation = 0;   ///< offline generation after the swap
+  uint32_t num_clusters = 0; ///< cluster count of the new generation
+};
+
+void encode_reclustered(const ReclusteredResponse& resp,
+                        std::string* payload);
+bool decode_reclustered(std::string_view payload, ReclusteredResponse* out);
 
 /// \brief ERROR: the failure answer to any request.
 struct ErrorResponse {

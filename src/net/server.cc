@@ -87,9 +87,9 @@ struct Server::Metrics {
             "seconds.")) {
     obs::MetricsRegistry& r = obs::MetricsRegistry::global();
     static constexpr MsgType kCommands[] = {
-        MsgType::kPing,     MsgType::kQuery, MsgType::kAsk,
+        MsgType::kPing,     MsgType::kQuery,    MsgType::kAsk,
         MsgType::kAddPost,  MsgType::kAddPosts, MsgType::kSave,
-        MsgType::kMetrics,  MsgType::kDrain};
+        MsgType::kMetrics,  MsgType::kDrain,    MsgType::kRecluster};
     for (MsgType cmd : kCommands) {
       requests[static_cast<uint8_t>(cmd)] = &r.counter(
           "ibseg_net_requests_total",
@@ -172,6 +172,11 @@ bool Server::start() {
   }
 
   started_.store(true, std::memory_order_release);
+  if (ReclusterPolicy p = options_.recluster;
+      p.max_pending > 0 || p.max_docs_since > 0) {
+    recluster_worker_ = std::make_unique<ReclusterWorker>(*backend_, p);
+    recluster_worker_->start();
+  }
   io_thread_ = std::thread([this] { io_loop(); });
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
@@ -236,6 +241,16 @@ void Server::finish_drain() {
   queue_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
   workers_.clear();
+
+  // Quiesce the background recluster loop before the save: stop() joins,
+  // so after it no shadow rebuild is running and none will start — the
+  // saved generation is whichever epoch last swapped in, never a torn
+  // intermediate (reclusters are atomic anyway; this just pins WHICH
+  // generation the drain persists).
+  if (recluster_worker_ != nullptr) {
+    recluster_worker_->stop();
+    recluster_worker_.reset();
+  }
 
   // The final publication barrier: with a state dir configured, persist
   // every acknowledged ingest (snapshot + manifest commit + WAL
@@ -676,6 +691,22 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       resp.body = req.format == 1 ? obs::render_json() : obs::render_text();
       *type = MsgType::kMetricsData;
       encode_metrics_data(resp, payload);
+      return;
+    }
+    case MsgType::kRecluster: {
+      if (!work.payload.empty()) {
+        return bad_request("recluster carries no payload");
+      }
+      // Synchronous: the response is sent only after the new generation
+      // has swapped in, so a RECLUSTER -> QUERY sequence on one
+      // connection observes the new clustering. The worker executing this
+      // holds no serving lock; queries on other workers keep flowing
+      // through the shadow build exactly as with the background worker.
+      uint64_t generation = backend_->recluster();
+      *type = MsgType::kReclustered;
+      encode_reclustered(
+          {generation, static_cast<uint32_t>(backend_->num_clusters())},
+          payload);
       return;
     }
     case MsgType::kDrain: {

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/recluster.h"
 #include "core/sharded_serving.h"
 #include "net/frame.h"
 #include "obs/clock.h"
@@ -70,6 +71,13 @@ struct ServerOptions {
   /// commit the manifest, truncate the WALs). Empty disables SAVE
   /// (answered with ERROR/UNSUPPORTED) and skips the save-on-drain.
   std::string state_dir;
+
+  /// Background re-clustering triggers (docs/ARCHITECTURE.md §9). With
+  /// any trigger enabled the server owns a ReclusterWorker: started with
+  /// the listener, stopped (joined, any in-flight epoch completed) during
+  /// drain BEFORE the final save. Admin clients can also force an epoch
+  /// at any time with the RECLUSTER command, worker or not.
+  ReclusterPolicy recluster;
 
   /// Test-only: artificial delay inside every request handler, to make
   /// overload/timeout windows deterministic in tests. Never set in
@@ -193,6 +201,10 @@ class Server {
   ShardedServing* backend_;
   ServerOptions options_;
   uint16_t port_ = 0;
+
+  /// Present iff options_.recluster enables a trigger; lifecycle bound to
+  /// start()/finish_drain().
+  std::unique_ptr<ReclusterWorker> recluster_worker_;
 
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] read (polled), [1] write

@@ -9,7 +9,8 @@
 namespace ibseg {
 namespace {
 
-constexpr const char* kMagic = "IBSEG-SHARD-MANIFEST v1";
+constexpr const char* kMagicV1 = "IBSEG-SHARD-MANIFEST v1";
+constexpr const char* kMagicV2 = "IBSEG-SHARD-MANIFEST v2";
 
 }  // namespace
 
@@ -17,6 +18,7 @@ bool ShardManifest::is_consistent() const {
   if (num_shards == 0) return false;
   if (shards.size() != num_shards) return false;
   if (num_clusters < 0) return false;
+  if (offline_publications > publication_order.size()) return false;
   uint64_t seed_total = 0;
   uint64_t epoch_total = 0;
   for (const ShardManifestEntry& e : shards) {
@@ -33,10 +35,12 @@ bool save_shard_manifest_file(const ShardManifest& manifest,
                               const std::string& path) {
   if (!manifest.is_consistent()) return false;
   return atomic_write_file(path, [&](std::ostream& os) {
-    os << kMagic << '\n';
+    os << kMagicV2 << '\n';
     os << "shards " << manifest.num_shards << '\n';
     os << "next_id " << manifest.next_id << '\n';
     os << "clusters " << manifest.num_clusters << '\n';
+    os << "generation " << manifest.generation << '\n';
+    os << "offline_publications " << manifest.offline_publications << '\n';
     os << "seed_order " << manifest.seed_order.size();
     for (DocId id : manifest.seed_order) os << ' ' << id;
     os << '\n';
@@ -66,7 +70,9 @@ std::optional<ShardManifest> load_shard_manifest_file(
   if (is.get() != '\n') return std::nullopt;
   is.seekg(0, std::ios::beg);
   std::string line;
-  if (!read_line(is, &line) || line != kMagic) return std::nullopt;
+  if (!read_line(is, &line)) return std::nullopt;
+  const bool v2 = line == kMagicV2;
+  if (!v2 && line != kMagicV1) return std::nullopt;
 
   ShardManifest m;
   if (!read_line(is, &line) || !parse_scalar(line, "shards ", &m.num_shards)) {
@@ -78,6 +84,17 @@ std::optional<ShardManifest> load_shard_manifest_file(
   if (!read_line(is, &line) ||
       !parse_scalar(line, "clusters ", &m.num_clusters)) {
     return std::nullopt;
+  }
+  if (v2) {
+    if (!read_line(is, &line) ||
+        !parse_scalar(line, "generation ", &m.generation)) {
+      return std::nullopt;
+    }
+    if (!read_line(is, &line) ||
+        !parse_scalar(line, "offline_publications ",
+                      &m.offline_publications)) {
+      return std::nullopt;
+    }
   }
 
   // The order lines carry an explicit element count ahead of the ids, so a

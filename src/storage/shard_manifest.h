@@ -44,6 +44,19 @@ struct ShardManifest {
   uint32_t num_shards = 0;
   DocId next_id = 0;
   int num_clusters = 0;
+  /// Offline generation the committed shard snapshots were cut at. Shard
+  /// snapshot files are generation-qualified (shard-<i>/snapshot.g<G>.v2;
+  /// generation 0 keeps the legacy name snapshot.v2), so a crash between a
+  /// post-recluster save's snapshot renames and this manifest's commit
+  /// leaves the OLD generation's files — the ones the surviving manifest
+  /// points at — untouched: restore comes back at exactly the old
+  /// generation, never a torn mix of label spaces. v1 manifests load with
+  /// generation 0.
+  uint64_t generation = 0;
+  /// How many leading publication_order entries the committed offline
+  /// state covers (labels baked into the shard snapshots' offline
+  /// sections). 0 until the first recluster is saved.
+  uint64_t offline_publications = 0;
   std::vector<DocId> seed_order;
   std::vector<DocId> publication_order;
   std::vector<ShardManifestEntry> shards;

@@ -24,8 +24,14 @@ enum SectionId : uint32_t {
   kSectionSegs = 3,
   kSectionLabels = 4,
   kSectionVocab = 5,
+  kSectionOffline = 6,
 };
-constexpr uint32_t kNumSections = 5;
+/// Legacy (pre-recluster) files carry 5 sections; current writers always
+/// emit the offline section too. The loader accepts both counts — a
+/// 5-section file loads with generation-0 defaults — and still rejects
+/// unknown or duplicated ids.
+constexpr uint32_t kNumSectionsLegacy = 5;
+constexpr uint32_t kNumSections = 6;
 
 /// Hard ceiling on any single declared size; a corrupt length field must
 /// not turn into a multi-gigabyte allocation before the CRC check runs.
@@ -144,16 +150,39 @@ bool ServingSnapshot::is_consistent() const {
     return false;
   }
   if (num_seed_docs > doc_ids.size()) return false;
+  // offline_docs 0 means "seed only" (legacy files and default-constructed
+  // snapshots); a nonzero value must cover at least the seed corpus.
+  const uint64_t eff64 = std::max<uint64_t>(offline_docs, num_seed_docs);
+  if (eff64 > doc_ids.size()) return false;
+  const size_t eff_offline = static_cast<size_t>(eff64);
   size_t seed_segments = 0;
+  size_t offline_segments = 0;
   for (size_t d = 0; d < segmentations.size(); ++d) {
     if (!segmentations[d].is_valid()) return false;
     if (d < num_seed_docs && segmentations[d].num_units > 0) {
       seed_segments += segmentations[d].num_segments();
     }
+    if (d >= num_seed_docs && d < eff_offline &&
+        segmentations[d].num_units > 0) {
+      offline_segments += segmentations[d].num_segments();
+    }
   }
   if (seed_segments != seed_labels.size()) return false;
+  if (offline_segments != offline_labels.size()) return false;
   for (int l : seed_labels) {
     if (l < 0 || l >= num_clusters) return false;
+  }
+  for (int l : offline_labels) {
+    if (l < 0 || l >= num_clusters) return false;
+  }
+  if (!centroids.empty()) {
+    if (centroids.size() != static_cast<size_t>(num_clusters)) return false;
+    for (const std::vector<double>& c : centroids) {
+      if (c.size() != centroids.front().size()) return false;
+    }
+  }
+  for (DocId id : pending_pool) {
+    if (id >= next_id) return false;
   }
   for (DocId id : doc_ids) {
     if (id >= next_id) return false;
@@ -166,6 +195,21 @@ PipelineSnapshot ServingSnapshot::offline() const {
   snap.segmentations.assign(segmentations.begin(),
                             segmentations.begin() + num_seed_docs);
   snap.segment_labels = seed_labels;
+  snap.num_clusters = num_clusters;
+  return snap;
+}
+
+PipelineSnapshot ServingSnapshot::offline_full() const {
+  const size_t eff = static_cast<size_t>(
+      std::max<uint64_t>(offline_docs, num_seed_docs));
+  PipelineSnapshot snap;
+  snap.segmentations.assign(
+      segmentations.begin(),
+      segmentations.begin() + static_cast<std::ptrdiff_t>(
+                                  std::min(eff, segmentations.size())));
+  snap.segment_labels = seed_labels;
+  snap.segment_labels.insert(snap.segment_labels.end(),
+                             offline_labels.begin(), offline_labels.end());
   snap.num_clusters = num_clusters;
   return snap;
 }
@@ -213,6 +257,35 @@ bool save_snapshot_v2(const ServingSnapshot& snapshot, std::ostream& os) {
   }
   if (!write_section(os, kSectionVocab, vocab)) return false;
 
+  // Offline section: generation lifecycle + everything warm restore needs
+  // to avoid re-deriving offline state. Doubles are stored as raw IEEE-754
+  // bit patterns — exact round trip, so restored nearest-centroid ingest
+  // assignment is bit-identical to the saved deployment's.
+  std::string offline;
+  put_u64(&offline, snapshot.offline_generation);
+  put_u64(&offline,
+          std::max<uint64_t>(snapshot.offline_docs, snapshot.num_seed_docs));
+  put_u64(&offline, snapshot.docs_since_recluster);
+  put_u64(&offline, snapshot.offline_labels.size());
+  for (int l : snapshot.offline_labels) {
+    put_u32(&offline, static_cast<uint32_t>(l));
+  }
+  put_u32(&offline, static_cast<uint32_t>(snapshot.centroids.size()));
+  put_u32(&offline, snapshot.centroids.empty()
+                        ? 0
+                        : static_cast<uint32_t>(
+                              snapshot.centroids.front().size()));
+  for (const std::vector<double>& c : snapshot.centroids) {
+    for (double v : c) {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof(bits));
+      put_u64(&offline, bits);
+    }
+  }
+  put_u64(&offline, snapshot.pending_pool.size());
+  for (DocId id : snapshot.pending_pool) put_u32(&offline, id);
+  if (!write_section(os, kSectionOffline, offline)) return false;
+
   os.flush();
   return static_cast<bool>(os);
 }
@@ -242,17 +315,23 @@ std::optional<ServingSnapshot> load_snapshot_v2(std::istream& is) {
   uint32_t version = 0;
   uint32_t section_count = 0;
   if (!pc.u32(&version) || !pc.u32(&section_count)) return std::nullopt;
-  if (version != kVersion || section_count != kNumSections) {
+  if (version != kVersion || (section_count != kNumSectionsLegacy &&
+                              section_count != kNumSections)) {
     return std::nullopt;
   }
 
   std::string sections[kNumSections + 1];
   bool seen[kNumSections + 1] = {};
+  // A legacy-count file must carry exactly the legacy ids: declaring 5
+  // sections but including the offline one is a malformed frame, not a
+  // tolerated variant.
+  const uint32_t max_id =
+      section_count == kNumSectionsLegacy ? kNumSectionsLegacy : kNumSections;
   for (uint32_t i = 0; i < section_count; ++i) {
     uint32_t id = 0;
     std::string payload;
     if (!read_section(is, &id, &payload)) return std::nullopt;
-    if (id < 1 || id > kNumSections || seen[id]) return std::nullopt;
+    if (id < 1 || id > max_id || seen[id]) return std::nullopt;
     seen[id] = true;
     sections[id] = std::move(payload);
   }
@@ -336,6 +415,55 @@ std::optional<ServingSnapshot> load_snapshot_v2(std::istream& is) {
       snap.vocab_terms.push_back(std::move(term));
     }
     if (!c.exhausted()) return std::nullopt;
+  }
+  if (seen[kSectionOffline]) {
+    Cursor c(sections[kSectionOffline]);
+    uint64_t num_labels = 0;
+    if (!c.u64(&snap.offline_generation) || !c.u64(&snap.offline_docs) ||
+        !c.u64(&snap.docs_since_recluster) || !c.u64(&num_labels) ||
+        num_labels > c.remaining() / 4) {
+      return std::nullopt;
+    }
+    snap.offline_labels.reserve(static_cast<size_t>(num_labels));
+    for (uint64_t i = 0; i < num_labels; ++i) {
+      uint32_t label = 0;
+      if (!c.u32(&label)) return std::nullopt;
+      snap.offline_labels.push_back(static_cast<int>(label));
+    }
+    uint32_t rows = 0;
+    uint32_t dim = 0;
+    if (!c.u32(&rows) || !c.u32(&dim)) return std::nullopt;
+    // Every centroid component costs 8 payload bytes; a (rows, dim) pair
+    // the remaining bytes cannot back is corruption, rejected before any
+    // allocation (same bomb-proofing discipline as the other sections).
+    if (rows != 0 && dim > c.remaining() / 8 / rows) return std::nullopt;
+    snap.centroids.reserve(rows);
+    for (uint32_t r = 0; r < rows; ++r) {
+      std::vector<double> row;
+      row.reserve(dim);
+      for (uint32_t d = 0; d < dim; ++d) {
+        uint64_t bits = 0;
+        if (!c.u64(&bits)) return std::nullopt;
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof(v));
+        row.push_back(v);
+      }
+      snap.centroids.push_back(std::move(row));
+    }
+    uint64_t pool = 0;
+    if (!c.u64(&pool) || pool > c.remaining() / 4) return std::nullopt;
+    snap.pending_pool.reserve(static_cast<size_t>(pool));
+    for (uint64_t i = 0; i < pool; ++i) {
+      uint32_t id = 0;
+      if (!c.u32(&id)) return std::nullopt;
+      snap.pending_pool.push_back(id);
+    }
+    if (!c.exhausted()) return std::nullopt;
+  } else {
+    // Legacy file: offline state is exactly the seed clustering.
+    snap.offline_generation = 0;
+    snap.offline_docs = snap.num_seed_docs;
+    snap.docs_since_recluster = 0;
   }
 
   if (!snap.is_consistent()) return std::nullopt;

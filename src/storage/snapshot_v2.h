@@ -47,6 +47,35 @@ struct ServingSnapshot {
   /// flattened like PipelineSnapshot::segment_labels.
   std::vector<int> seed_labels;
   int num_clusters = 0;
+  /// --- Incremental offline phase (section 6; absent in legacy 5-section
+  /// files, which load with these defaults). A background recluster
+  /// (docs/ARCHITECTURE.md §9) re-runs the offline clustering over the
+  /// whole corpus at that moment, so after generation G > 0 the offline
+  /// state covers MORE than the seed corpus: `offline_docs` leading
+  /// documents carry labels (the first num_seed_docs of them in
+  /// seed_labels — layout unchanged for legacy readers — and the rest in
+  /// offline_labels), and the centroids are the recluster's, which the
+  /// label-derived recomputation cannot reproduce from seed docs alone.
+  /// Persisting them is what frees warm restore from re-deriving offline
+  /// state out of seed documents.
+  /// Offline generation: number of completed background reclusters.
+  uint64_t offline_generation = 0;
+  /// Leading documents covered by the offline clustering (>= num_seed_docs;
+  /// == num_seed_docs until the first recluster).
+  uint64_t offline_docs = 0;
+  /// Cluster label per segment of segmentations [num_seed_docs,
+  /// offline_docs), flattened exactly like seed_labels.
+  std::vector<int> offline_labels;
+  /// The offline clustering's centroids (28-dim CM space), stored as raw
+  /// IEEE-754 bit patterns so restore reproduces nearest-centroid ingest
+  /// assignment bit-for-bit. One row per cluster.
+  std::vector<std::vector<double>> centroids;
+  /// Outlier/pending pool: ids of ingested documents whose max
+  /// nearest-centroid assignment distance exceeded the serving threshold —
+  /// the recluster-trigger signal, drained at the next recluster.
+  std::vector<DocId> pending_pool;
+  /// Documents ingested since the offline state was last (re)computed.
+  uint64_t docs_since_recluster = 0;
   /// Vocabulary terms in interning order; preloading them on restore pins
   /// every TermId to its pre-save value.
   std::vector<std::string> vocab_terms;
@@ -62,6 +91,13 @@ struct ServingSnapshot {
   /// The offline part in v1 form (seed segmentations + labels), e.g. for
   /// RelatedPostPipeline::build_from_snapshot.
   PipelineSnapshot offline() const;
+
+  /// The FULL offline coverage in v1 form: segmentations + labels of the
+  /// first offline_docs documents (seed_labels ++ offline_labels). Equal
+  /// to offline() until the first recluster; after one, this is what
+  /// restore must rebuild from so the restored clustering covers exactly
+  /// the documents the recluster covered.
+  PipelineSnapshot offline_full() const;
 };
 
 /// Serializes `snapshot` to `os` (binary). Returns false on stream failure.

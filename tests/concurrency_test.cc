@@ -21,7 +21,9 @@
 #include <tuple>
 #include <vector>
 
+#include "core/recluster.h"
 #include "core/serving.h"
+#include "core/sharded_serving.h"
 #include "datagen/post_generator.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
@@ -60,15 +62,18 @@ std::vector<std::string> make_ingest_texts(size_t count,
 }
 
 // Checks the per-query snapshot invariants and returns an explanation on
-// violation (empty string = consistent).
-std::string check_snapshot(const ServingPipeline& serving,
-                           const ServingPipeline::QueryResult& r,
-                           DocId seed_next_id, size_t total_ingests) {
+// violation (empty string = consistent). `seed_total` is the corpus size
+// before any online ingest — works for both the unsharded pipeline and
+// the sharded facade (whose epoch/num_docs are the summed per-shard
+// values).
+std::string check_snapshot_result(const ServingPipeline::QueryResult& r,
+                                  size_t seed_total, DocId seed_next_id,
+                                  size_t total_ingests) {
   // A query must observe epoch and corpus size from the same publication
   // point: every published document bumps both by exactly one.
-  if (r.num_docs != serving.seed_docs() + r.epoch) {
+  if (r.num_docs != seed_total + r.epoch) {
     return "torn snapshot: num_docs " + std::to_string(r.num_docs) +
-           " != seed " + std::to_string(serving.seed_docs()) + " + epoch " +
+           " != seed " + std::to_string(seed_total) + " + epoch " +
            std::to_string(r.epoch);
   }
   std::set<DocId> seen;
@@ -91,6 +96,14 @@ std::string check_snapshot(const ServingPipeline& serving,
     prev_score = sd.score;
   }
   return "";
+}
+
+/// The original single-pipeline entry point (all existing call sites).
+std::string check_snapshot(const ServingPipeline& serving,
+                           const ServingPipeline::QueryResult& r,
+                           DocId seed_next_id, size_t total_ingests) {
+  return check_snapshot_result(r, serving.seed_docs(), seed_next_id,
+                               total_ingests);
 }
 
 // ----------------------------------------------------- serving basics ----
@@ -554,6 +567,209 @@ TEST(ConcurrencyStress, CacheHammerKeepsSnapshotInvariants) {
   for (size_t i = 0; i < want.size(); ++i) {
     EXPECT_EQ(hit.results[i].doc, want[i].doc);
     EXPECT_EQ(hit.results[i].score, want[i].score);
+  }
+}
+
+// ------------------------------------------- recluster under contention ----
+
+TEST(ConcurrencyStress, ReclusterUnderReadersAndWriters) {
+  // Background re-clustering epochs racing a full reader/writer mix, with
+  // the cache on and the pending pool active: every query must still see
+  // a consistent snapshot (num_docs/epoch lockstep survives the swap —
+  // the swap publishes no documents), per-reader epoch AND offline
+  // generation stay monotone, and the final state carries every ingest
+  // across every swap. Under TSan this is the proof the generation
+  // machinery (recluster_job_mu_ + the exclusive swap + generation-keyed
+  // cache) is race-free.
+  constexpr size_t kWriters = 2;
+  constexpr size_t kReaders = 3;
+  constexpr size_t kIngestsPerWriter = 8;
+  constexpr size_t kQueriesPerReader = 30;
+  constexpr size_t kTotalIngests = kWriters * kIngestsPerWriter;
+  constexpr uint64_t kReclusters = 3;
+
+  ServingOptions options;
+  options.cache.capacity = 64;
+  options.recluster.pending_distance_threshold = 0.0;  // pool every ingest
+  ServingPipeline serving(make_pipeline(), options);
+  const DocId seed_next_id = serving.next_id();
+  std::vector<std::string> texts = make_ingest_texts(kTotalIngests);
+
+  std::atomic<size_t> violations{0};
+  std::vector<std::string> first_violation(kReaders + 1);
+
+  {
+    ScopedThreads threads;
+    for (size_t w = 0; w < kWriters; ++w) {
+      threads.spawn([&, w] {
+        for (size_t i = 0; i < kIngestsPerWriter; ++i) {
+          serving.add_post(texts[w * kIngestsPerWriter + i]);
+        }
+      });
+    }
+    // The recluster thread: epochs fire while ingests and queries flow.
+    threads.spawn([&] {
+      uint64_t prev = serving.offline_generation();
+      for (uint64_t i = 0; i < kReclusters; ++i) {
+        uint64_t g = serving.recluster();
+        if (g <= prev) {
+          if (violations.fetch_add(1) == 0) {
+            first_violation[kReaders] = "generation not strictly monotone";
+          }
+          return;
+        }
+        prev = g;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    for (size_t t = 0; t < kReaders; ++t) {
+      threads.spawn([&, t] {
+        Rng rng(3000 + t);
+        uint64_t last_epoch = 0;
+        uint64_t last_gen = 0;
+        for (size_t q = 0; q < kQueriesPerReader; ++q) {
+          DocId query = static_cast<DocId>(
+              rng.next_below(static_cast<uint64_t>(kSeedPosts)));
+          auto r = serving.find_related(query, 5);
+          std::string why =
+              check_snapshot(serving, r, seed_next_id, kTotalIngests);
+          uint64_t gen = serving.offline_generation();
+          if (why.empty() && r.epoch < last_epoch) {
+            why = "epoch moved backwards within one reader";
+          }
+          if (why.empty() && gen < last_gen) {
+            why = "offline generation moved backwards within one reader";
+          }
+          if (!why.empty()) {
+            if (violations.fetch_add(1) == 0) first_violation[t] = why;
+            return;
+          }
+          last_epoch = r.epoch;
+          last_gen = gen;
+        }
+      });
+    }
+  }  // joins all threads
+
+  ASSERT_EQ(violations.load(), 0u)
+      << "first violation: "
+      << *std::find_if(first_violation.begin(), first_violation.end(),
+                       [](const std::string& s) { return !s.empty(); });
+
+  // Quiescence: no ingest was lost across any swap, the generation
+  // reached exactly the fired count, and the invariant held end to end.
+  EXPECT_EQ(serving.offline_generation(), kReclusters);
+  EXPECT_EQ(serving.epoch(), kTotalIngests);
+  EXPECT_EQ(serving.num_docs(), serving.seed_docs() + kTotalIngests);
+  EXPECT_EQ(serving.next_id(), seed_next_id + kTotalIngests);
+
+  // A final quiescent epoch folds everything into the offline coverage.
+  EXPECT_EQ(serving.recluster(), kReclusters + 1);
+  EXPECT_EQ(serving.offline_docs(), serving.num_docs());
+  EXPECT_EQ(serving.docs_since_recluster(), 0u);
+  EXPECT_EQ(serving.pending_pool_size(), 0u);
+  for (DocId id = seed_next_id; id < seed_next_id + kTotalIngests; ++id) {
+    auto r = serving.find_related(id, 3);
+    EXPECT_EQ(r.num_docs, serving.num_docs());
+    for (const ScoredDoc& sd : r.results) EXPECT_NE(sd.doc, id);
+  }
+}
+
+TEST(ConcurrencyStress, ShardedReclusterWorkerUnderReadersAndWriters) {
+  // The production wiring under load: a ShardedServing deployment with
+  // the cache on and a ReclusterWorker whose docs-since trigger fires
+  // mid-stream, racing readers and writers across the scatter-gather
+  // path. Readers check the summed-coordinate snapshot invariant and
+  // both monotonicities; afterwards the worker is guaranteed at least
+  // one epoch (the trigger condition persists until a swap clears it).
+  constexpr size_t kWriters = 2;
+  constexpr size_t kReaders = 2;
+  constexpr size_t kIngestsPerWriter = 8;
+  constexpr size_t kQueriesPerReader = 25;
+  constexpr size_t kTotalIngests = kWriters * kIngestsPerWriter;
+
+  ServingOptions options;
+  options.num_shards = 3;
+  options.cache.capacity = 64;
+  GeneratorOptions gen;
+  gen.num_posts = kSeedPosts;
+  gen.posts_per_scenario = 4;
+  gen.seed = kSeedCorpusSeed;
+  auto sharded =
+      ShardedServing::create(analyze_corpus(generate_corpus(gen)), {}, options);
+  ASSERT_NE(sharded, nullptr);
+  const size_t seed_total = sharded->num_docs();
+  const DocId seed_next_id = sharded->next_id();
+  std::vector<std::string> texts = make_ingest_texts(kTotalIngests);
+
+  ReclusterPolicy policy;
+  policy.max_docs_since = 6;
+  policy.poll_interval_ms = 2;
+  ReclusterWorker worker(*sharded, policy);
+  worker.start();
+
+  std::atomic<size_t> violations{0};
+  std::vector<std::string> first_violation(kReaders);
+
+  {
+    ScopedThreads threads;
+    for (size_t w = 0; w < kWriters; ++w) {
+      threads.spawn([&, w] {
+        for (size_t i = 0; i < kIngestsPerWriter; ++i) {
+          sharded->add_post(texts[w * kIngestsPerWriter + i]);
+        }
+      });
+    }
+    for (size_t t = 0; t < kReaders; ++t) {
+      threads.spawn([&, t] {
+        Rng rng(4000 + t);
+        uint64_t last_epoch = 0;
+        uint64_t last_gen = 0;
+        for (size_t q = 0; q < kQueriesPerReader; ++q) {
+          DocId query = static_cast<DocId>(
+              rng.next_below(static_cast<uint64_t>(kSeedPosts)));
+          auto r = sharded->find_related(query, 5);
+          std::string why = check_snapshot_result(r, seed_total, seed_next_id,
+                                                  kTotalIngests);
+          uint64_t gen = sharded->offline_generation();
+          if (why.empty() && r.epoch < last_epoch) {
+            why = "epoch moved backwards within one reader";
+          }
+          if (why.empty() && gen < last_gen) {
+            why = "offline generation moved backwards within one reader";
+          }
+          if (!why.empty()) {
+            if (violations.fetch_add(1) == 0) first_violation[t] = why;
+            return;
+          }
+          last_epoch = r.epoch;
+          last_gen = gen;
+        }
+      });
+    }
+  }  // joins writers + readers; the worker keeps polling
+
+  ASSERT_EQ(violations.load(), 0u)
+      << "first violation: "
+      << *std::find_if(first_violation.begin(), first_violation.end(),
+                       [](const std::string& s) { return !s.empty(); });
+
+  // 16 ingests against a trip point of 6: the trigger condition holds
+  // until a swap clears it, so the worker must fire within the timeout.
+  for (int i = 0; i < 2000 && sharded->offline_generation() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  worker.stop();  // joins; no epoch in flight afterwards
+  EXPECT_GE(sharded->offline_generation(), 1u);
+  EXPECT_GE(worker.reclusters_fired(), 1u);
+  EXPECT_EQ(sharded->epoch(), kTotalIngests);
+  EXPECT_EQ(sharded->num_docs(), seed_total + kTotalIngests);
+
+  // Quiescent sanity across the reclustered deployment.
+  for (DocId id = seed_next_id; id < seed_next_id + kTotalIngests; ++id) {
+    auto r = sharded->find_related(id, 3);
+    EXPECT_EQ(r.num_docs, sharded->num_docs());
+    for (const ScoredDoc& sd : r.results) EXPECT_NE(sd.doc, id);
   }
 }
 

@@ -396,6 +396,122 @@ TEST(ShardedKillSafety, CrashBetweenShardSnapshotRenames) {
   expect_matches_pipeline(*again, unsharded);
 }
 
+// ==================================== re-clustering epoch crash windows ====
+//
+// A background recluster changes only memory; disk changes at the NEXT
+// save, which writes generation-qualified shard snapshots
+// (shard-<i>/snapshot.g<G>.v2) before committing the manifest. The crash
+// windows around that save must resolve to exactly the old or exactly the
+// new generation — never a torn mixture.
+
+TEST(ShardedKillSafety, CrashBeforeReclusterManifestCommitLandsOnOldGeneration) {
+  // The pre-commit window: every new-generation snapshot already renamed
+  // into place, the manifest commit never reached the disk. The child
+  // reproduces it by capturing the generation-0 files before the
+  // post-recluster save, saving (which writes snapshot.g1.v2 files,
+  // commits a generation-1 manifest, truncates WALs/journal and GCs the
+  // old snapshots), then rolling every generation-0 file back — leaving
+  // the snapshot.g1.v2 files as orphans. Restore must follow the
+  // manifest: generation 0, full history via journal + WAL replay, the
+  // orphans ignored.
+  const std::vector<std::string> stream = ingest_stream();
+  const size_t kIngests = 6;
+  std::string dir = tmp_dir("swap_precommit");
+  write_base_shard_dir(dir);
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto sharded = ShardedServing::restore(dir);
+    if (sharded == nullptr) _exit(42);
+    for (size_t i = 0; i < kIngests; ++i) sharded->add_post(stream[i]);
+    if (sharded->recluster() != 1) _exit(45);
+    std::vector<std::string> files = shard_dir_files(dir);
+    std::vector<std::string> before;
+    for (const std::string& f : files) before.push_back(slurp(f));
+    if (!sharded->save(dir)) _exit(43);
+    for (size_t i = 0; i < files.size(); ++i) {
+      if (!spew(files[i], before[i])) _exit(44);
+    }
+    _exit(kChildExitCode);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), kChildExitCode);
+
+  auto recovered = ShardedServing::restore(dir);
+  ASSERT_NE(recovered, nullptr)
+      << "pre-commit crash must restore the old generation, not reject";
+  EXPECT_EQ(recovered->offline_generation(), 0u);
+  EXPECT_EQ(recovered->epoch(), kIngests);
+
+  // Bit-identical to a never-crashed, never-reclustered deployment.
+  ServingPipeline unsharded(RelatedPostPipeline::build(seed_docs()));
+  for (size_t i = 0; i < kIngests; ++i) unsharded.add_post(stream[i]);
+  expect_matches_pipeline(*recovered, unsharded);
+
+  // Life goes on at generation 0: the next save GCs the orphan
+  // generation-1 snapshots and the directory keeps round-tripping.
+  ASSERT_TRUE(recovered->save(dir));
+  auto again = ShardedServing::restore(dir);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again->offline_generation(), 0u);
+  expect_matches_pipeline(*again, unsharded);
+}
+
+TEST(ShardedKillSafety, KillAfterReclusterSaveRestoresNewGeneration) {
+  // The post-commit path: the manifest for generation 1 hit the disk,
+  // then the process is killed mid-stream (journal/WAL tail beyond the
+  // save, destructors never run). Restore must land on generation 1 with
+  // the full history — offline state from the generation-1 snapshots,
+  // the post-save tail via replay.
+  const std::vector<std::string> stream = ingest_stream();
+  const size_t kBefore = 6;
+  const size_t kAfter = 3;
+  std::string dir = tmp_dir("swap_committed");
+  write_base_shard_dir(dir);
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto sharded = ShardedServing::restore(dir);
+    if (sharded == nullptr) _exit(42);
+    for (size_t i = 0; i < kBefore; ++i) sharded->add_post(stream[i]);
+    if (sharded->recluster() != 1) _exit(45);
+    if (!sharded->save(dir)) _exit(43);
+    for (size_t i = 0; i < kAfter; ++i) {
+      sharded->add_post(stream[kBefore + i]);
+    }
+    _exit(kChildExitCode);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), kChildExitCode);
+
+  auto recovered = ShardedServing::restore(dir);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->offline_generation(), 1u);
+  EXPECT_EQ(recovered->offline_publications(), kBefore);
+  EXPECT_EQ(recovered->epoch(), kBefore + kAfter);
+
+  // Never-crashed reference running the identical history.
+  ServingPipeline unsharded(RelatedPostPipeline::build(seed_docs()));
+  for (size_t i = 0; i < kBefore; ++i) unsharded.add_post(stream[i]);
+  ASSERT_EQ(unsharded.recluster(), 1u);
+  for (size_t i = 0; i < kAfter; ++i) {
+    unsharded.add_post(stream[kBefore + i]);
+  }
+  expect_matches_pipeline(*recovered, unsharded);
+
+  // Recovery is stable under repetition.
+  auto again = ShardedServing::restore(dir);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again->offline_generation(), 1u);
+  expect_matches_pipeline(*again, unsharded);
+}
+
 TEST(ShardedKillSafety, StaleShardSnapshotIsRejectedNotResurrected) {
   // The torn-restore bug this PR fixes: a shard snapshot HOLDING FEWER
   // documents than its manifest entry committed cannot be the file that

@@ -348,6 +348,20 @@ TEST(NetFrame, MetricsDataRoundTrip) {
   expect_trailing_byte_rejected(payload, decode_metrics_data);
 }
 
+TEST(NetFrame, ReclusteredPayloadGoldenAndRoundTrip) {
+  std::string payload;
+  encode_reclustered({0x0102030405060708ull, 7}, &payload);
+  // generation u64 LE | num_clusters u32 LE (PROTOCOL.md §5).
+  EXPECT_EQ(payload, bytes({0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+                            0x07, 0x00, 0x00, 0x00}));
+  ReclusteredResponse out;
+  ASSERT_TRUE(decode_reclustered(payload, &out));
+  EXPECT_EQ(out.generation, 0x0102030405060708ull);
+  EXPECT_EQ(out.num_clusters, 7u);
+  expect_every_prefix_rejected(payload, decode_reclustered);
+  expect_trailing_byte_rejected(payload, decode_reclustered);
+}
+
 TEST(NetFrame, ErrorPayloadGoldenAndRoundTrip) {
   std::string payload;
   encode_error({ErrCode::kOverloaded, "busy"}, &payload);
@@ -373,6 +387,8 @@ TEST(NetFrame, MsgTypeNamesAreStable) {
   EXPECT_STREQ(msg_type_name(MsgType::kSave), "save");
   EXPECT_STREQ(msg_type_name(MsgType::kMetrics), "metrics");
   EXPECT_STREQ(msg_type_name(MsgType::kDrain), "drain");
+  EXPECT_STREQ(msg_type_name(MsgType::kRecluster), "recluster");
+  EXPECT_STREQ(msg_type_name(MsgType::kReclustered), "reclustered");
   EXPECT_STREQ(msg_type_name(static_cast<MsgType>(0x7F)), "unknown");
 }
 

@@ -251,6 +251,77 @@ TEST(NetServer, EmptyAddPostIsBadRequest) {
   EXPECT_EQ(lb.backend->num_docs(), kPosts);
 }
 
+// ------------------------------------------------ background recluster ----
+
+TEST(NetServer, ReclusterOverSocketSwapsGenerationBitIdentical) {
+  Loopback lb = start_loopback({});
+  std::vector<std::string> texts = ingest_texts(5, 55);
+  std::vector<DocId> ids;
+  ASSERT_TRUE(lb.client->add_posts(texts, &ids).ok());
+  ASSERT_EQ(lb.backend->offline_generation(), 0u);
+
+  ReclusteredResponse resp;
+  ASSERT_TRUE(lb.client->recluster(&resp).ok());
+  EXPECT_EQ(resp.generation, 1u);
+  EXPECT_GT(resp.num_clusters, 0u);
+  EXPECT_EQ(lb.backend->offline_generation(), 1u);
+
+  // Post-swap wire answers are bit-identical to a cold deployment built
+  // over the full corpus (the recluster identity, observed end to end
+  // through the socket).
+  std::vector<Document> docs = corpus_docs(kPosts, 11);
+  for (size_t i = 0; i < texts.size(); ++i) {
+    docs.push_back(Document::analyze(ids[i], texts[i]));
+  }
+  ServingOptions serving;
+  serving.num_shards = 2;
+  auto cold = ShardedServing::create(std::move(docs), {}, serving);
+  ASSERT_NE(cold, nullptr);
+  for (DocId doc = 0; doc < static_cast<DocId>(cold->num_docs()); ++doc) {
+    RelatedResponse got;
+    ASSERT_TRUE(lb.client->query(doc, 5, &got).ok()) << "doc " << doc;
+    expect_identical(got.results, cold->find_related(doc, 5).results,
+                     "post-recluster doc " + std::to_string(doc));
+  }
+
+  // A second epoch over the same corpus keeps counting.
+  ASSERT_TRUE(lb.client->recluster(&resp).ok());
+  EXPECT_EQ(resp.generation, 2u);
+}
+
+TEST(NetServer, ReclusterWithPayloadIsBadRequest) {
+  Loopback lb = start_loopback({});
+  MsgType type = MsgType::kError;
+  std::string payload;
+  CallResult result =
+      lb.client->call(MsgType::kRecluster, "x", &type, &payload);
+  ASSERT_TRUE(result.transport_ok);
+  EXPECT_EQ(type, MsgType::kError);
+  EXPECT_EQ(result.error.code, ErrCode::kBadRequest);
+  EXPECT_EQ(lb.backend->offline_generation(), 0u);
+}
+
+TEST(NetServer, ReclusterWorkerFiresAndDrainStopsIt) {
+  // The server-owned trigger loop: --recluster-max-docs=3 wiring. Five
+  // ingests trip the threshold; the worker must fire in the background,
+  // and the drain must stop/join it before the process would exit.
+  ServerOptions options;
+  options.recluster.max_docs_since = 3;
+  options.recluster.poll_interval_ms = 2;
+  Loopback lb = start_loopback(options);
+  std::vector<DocId> ids;
+  ASSERT_TRUE(lb.client->add_posts(ingest_texts(5, 66), &ids).ok());
+  for (int i = 0; i < 2000 && lb.backend->offline_generation() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(lb.backend->offline_generation(), 1u);
+  // Queries keep answering across/after the background swap.
+  RelatedResponse got;
+  ASSERT_TRUE(lb.client->query(ids[0], 3, &got).ok());
+  ASSERT_TRUE(lb.client->drain().ok());
+  lb.server->wait_drained();  // hangs here if the worker were not joined
+}
+
 // ------------------------------------------------- protocol policing ----
 
 TEST(NetServer, MalformedPayloadGetsErrorAndConnectionSurvives) {

@@ -173,6 +173,96 @@ TEST(SnapshotV2, SingleByteCorruptionIsRejected) {
   std::remove(path.c_str());
 }
 
+/// A pipeline one recluster into its life, with a non-trivial offline
+/// section: pending pool, docs-since counter and post-recluster ingests
+/// all non-empty when saved.
+std::unique_ptr<ServingPipeline> build_generation_one_pipeline() {
+  ServingOptions options;
+  options.recluster.pending_distance_threshold = 0.0;  // pool every ingest
+  auto serving =
+      std::make_unique<ServingPipeline>(build_seed_pipeline(), options);
+  std::vector<std::string> posts = extra_posts();
+  for (size_t i = 0; i < 4; ++i) serving->add_post(posts[i]);
+  [[maybe_unused]] uint64_t gen = serving->recluster();
+  for (size_t i = 4; i < posts.size(); ++i) serving->add_post(posts[i]);
+  return serving;
+}
+
+TEST(SnapshotV2, OfflineSectionRoundTripsAfterRecluster) {
+  std::string path = tmp_path("snap_offline_roundtrip");
+  auto serving = build_generation_one_pipeline();
+  ASSERT_EQ(serving->offline_generation(), 1u);
+  ASSERT_GT(serving->pending_pool_size(), 0u);
+  ASSERT_GT(serving->docs_since_recluster(), 0u);
+  ASSERT_TRUE(serving->save(path));
+
+  auto snap = load_snapshot_v2_file(path);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_TRUE(snap->is_consistent());
+  EXPECT_EQ(snap->offline_generation, 1u);
+  EXPECT_EQ(snap->offline_docs, serving->offline_docs());
+  EXPECT_GT(snap->offline_docs, snap->num_seed_docs);
+  EXPECT_EQ(snap->pending_pool, serving->pending_pool());
+  EXPECT_EQ(snap->docs_since_recluster, serving->docs_since_recluster());
+  ASSERT_EQ(snap->centroids.size(), static_cast<size_t>(snap->num_clusters));
+  // offline_labels cover exactly the segments of the documents between the
+  // seed corpus and the offline horizon.
+  size_t expected = 0;
+  for (size_t d = snap->num_seed_docs; d < snap->offline_docs; ++d) {
+    expected += snap->segmentations[d].num_segments();
+  }
+  EXPECT_EQ(snap->offline_labels.size(), expected);
+
+  // And the full restore path consumes all of it (the bit-identity proof
+  // lives in recluster_differential_test.cc; this is the format check).
+  ServingOptions options;
+  options.recluster.pending_distance_threshold = 0.0;
+  auto restored = ServingPipeline::restore(path, {}, options);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->offline_generation(), 1u);
+  EXPECT_EQ(restored->offline_docs(), serving->offline_docs());
+  EXPECT_EQ(restored->pending_pool(), serving->pending_pool());
+  EXPECT_EQ(restored->docs_since_recluster(), serving->docs_since_recluster());
+  expect_same_answers(*serving, *restored, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV2, EveryPrefixIsRejectedAtGenerationOne) {
+  // The corruption sweeps re-run over a POST-RECLUSTER snapshot: the
+  // offline section (generation, horizon, labels, centroids, pool,
+  // counter) adds bytes the generation-0 sweeps never cover.
+  std::string path = tmp_path("snap_offline_prefix");
+  auto serving = build_generation_one_pipeline();
+  ASSERT_TRUE(serving->save(path));
+  const std::string data = read_file(path);
+  ASSERT_GT(data.size(), 16u);
+  for (size_t len = 0; len < data.size(); ++len) {
+    std::istringstream prefix(data.substr(0, len));
+    EXPECT_FALSE(load_snapshot_v2(prefix).has_value()) << "prefix " << len;
+  }
+  std::istringstream full(data);
+  auto snap = load_snapshot_v2(full);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->offline_generation, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV2, SingleByteCorruptionIsRejectedAtGenerationOne) {
+  std::string path = tmp_path("snap_offline_bitflip");
+  auto serving = build_generation_one_pipeline();
+  ASSERT_TRUE(serving->save(path));
+  std::string data = read_file(path);
+  for (size_t pos = 0; pos < data.size(); pos += 13) {
+    std::string corrupt = data;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
+    std::istringstream is(corrupt);
+    EXPECT_FALSE(load_snapshot_v2(is).has_value()) << "byte " << pos;
+  }
+  std::istringstream padded(data + "x");
+  EXPECT_FALSE(load_snapshot_v2(padded).has_value());
+  std::remove(path.c_str());
+}
+
 TEST(SnapshotV2, InflatedLengthFieldsDoNotAllocate) {
   // Fuzzer-found regression: a corrupt section size or element count used
   // to be trusted up to the 16 GiB sanity ceiling, so a handful of flipped

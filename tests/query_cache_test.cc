@@ -14,8 +14,9 @@
 namespace ibseg {
 namespace {
 
-QueryCache::Key key_for(DocId query, int k = 5, uint64_t fp = 42) {
-  return QueryCache::Key{query, k, fp};
+QueryCache::Key key_for(DocId query, int k = 5, uint64_t fp = 42,
+                        uint64_t generation = 0) {
+  return QueryCache::Key{query, k, fp, generation};
 }
 
 QueryCache::Value value_for(DocId doc, uint64_t epoch = 0,
@@ -92,6 +93,31 @@ TEST(QueryCache, DistinctKeyComponentsAreDistinctEntries) {
   EXPECT_FALSE(cache.lookup(key_for(1, 5, 43), 0).has_value())
       << "fingerprint ignored";
   EXPECT_TRUE(cache.lookup(key_for(1, 5, 42), 0).has_value());
+}
+
+TEST(QueryCache, GenerationIsAKeyComponent) {
+  // A background recluster swaps the index WITHOUT bumping the epoch (no
+  // document was published), so epoch validation alone would serve
+  // pre-swap answers forever. The offline generation is part of the key:
+  // entries filled under the old generation become unreachable the
+  // moment the serving layer starts looking up with the new one, and age
+  // out via LRU.
+  QueryCacheOptions options;
+  options.capacity = 16;
+  QueryCache cache(options);
+  cache.insert(key_for(1, 5, 42, /*generation=*/0), value_for(10));
+  EXPECT_FALSE(cache.lookup(key_for(1, 5, 42, /*generation=*/1), 0).has_value())
+      << "generation ignored: a post-swap lookup reached a pre-swap entry";
+  EXPECT_TRUE(cache.lookup(key_for(1, 5, 42, /*generation=*/0), 0).has_value());
+  // The generations are independent entries, not overwrites.
+  cache.insert(key_for(1, 5, 42, /*generation=*/1), value_for(20));
+  EXPECT_EQ(cache.size(), 2u);
+  auto old_gen = cache.lookup(key_for(1, 5, 42, 0), 0);
+  auto new_gen = cache.lookup(key_for(1, 5, 42, 1), 0);
+  ASSERT_TRUE(old_gen.has_value());
+  ASSERT_TRUE(new_gen.has_value());
+  EXPECT_EQ(old_gen->results[0].doc, 10u);
+  EXPECT_EQ(new_gen->results[0].doc, 20u);
 }
 
 TEST(QueryCache, EpochMismatchInvalidatesAndErases) {
