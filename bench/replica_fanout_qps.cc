@@ -1,0 +1,239 @@
+// Read fan-out throughput: a leader net::Server configured with 0, 1 or 2
+// read replicas (each a bit-identical ShardedServing behind its own
+// read-only server, all in-process on loopback), hammered by a closed-loop
+// QUERY load. The replicas-0 row is the baseline — every query executes on
+// the leader's backend; the other rows route queries round-robin across
+// the replica pool (docs/ARCHITECTURE.md §10), so the table answers the
+// operational question "what does adding a replica buy at this
+// concurrency".
+//
+// Replicas here are built from the same corpus rather than WAL-shipped:
+// fan-out correctness (replica answers byte-identical to local) is the
+// replication test suite's job; this bench isolates the serving-path cost
+// of the indirection. Results print as a table and land in
+// BENCH_replica_qps.json; scripts/reproduce.sh IBSEG_REPL_CHECK=1 checks
+// the JSON schema. IBSEG_BENCH_SCALE scales the corpus;
+// IBSEG_QPS_WINDOW_MS overrides the per-configuration window.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/sharded_serving.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace ibseg {
+namespace {
+
+struct LoadRow {
+  int replicas = 0;
+  int clients = 0;
+  double qps = 0.0;
+  uint64_t queries = 0;
+  uint64_t errors = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+int window_ms() {
+  const char* env = std::getenv("IBSEG_QPS_WINDOW_MS");
+  if (env == nullptr) return 1200;
+  int v = std::atoi(env);
+  return v > 0 ? v : 1200;
+}
+
+double percentile(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted_ms.size()));
+  if (idx >= sorted_ms.size()) idx = sorted_ms.size() - 1;
+  return sorted_ms[idx];
+}
+
+LoadRow run_config(uint16_t port, size_t num_docs, int replicas,
+                   int clients) {
+  const double window_sec = window_ms() / 1000.0;
+  constexpr uint32_t kTopK = 5;
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<uint64_t> errors(clients, 0);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = net::Client::connect("127.0.0.1", port);
+      if (client == nullptr) {
+        ++errors[static_cast<size_t>(t)];
+        return;
+      }
+      Rng rng(2000 + static_cast<uint64_t>(t));
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      Stopwatch window;
+      while (window.elapsed_seconds() < window_sec) {
+        const DocId doc = static_cast<DocId>(rng.next_below(num_docs));
+        Stopwatch one;
+        net::RelatedResponse related;
+        if (client->query(doc, kTopK, &related).ok()) {
+          latencies[static_cast<size_t>(t)].push_back(
+              one.elapsed_seconds() * 1000.0);
+        } else {
+          ++errors[static_cast<size_t>(t)];
+        }
+      }
+    });
+  }
+
+  Stopwatch watch;
+  go.store(true, std::memory_order_release);
+  for (std::thread& th : threads) th.join();
+  const double elapsed = watch.elapsed_seconds();
+
+  std::vector<double> all_ms;
+  uint64_t total_errors = 0;
+  for (int t = 0; t < clients; ++t) {
+    const auto& v = latencies[static_cast<size_t>(t)];
+    all_ms.insert(all_ms.end(), v.begin(), v.end());
+    total_errors += errors[static_cast<size_t>(t)];
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+
+  LoadRow row;
+  row.replicas = replicas;
+  row.clients = clients;
+  row.queries = all_ms.size();
+  row.errors = total_errors;
+  row.qps = elapsed > 0.0 ? static_cast<double>(all_ms.size()) / elapsed : 0.0;
+  row.p50_ms = percentile(all_ms, 0.50);
+  row.p95_ms = percentile(all_ms, 0.95);
+  row.p99_ms = percentile(all_ms, 0.99);
+  return row;
+}
+
+}  // namespace
+}  // namespace ibseg
+
+int main() {
+  using namespace ibseg;
+  using namespace ibseg::bench;
+
+  const size_t corpus_size = static_cast<size_t>(240 * bench_scale());
+  GeneratorOptions gen = eval_profile(ForumDomain::kTechSupport, corpus_size);
+  std::vector<Document> docs = analyze_corpus(generate_corpus(gen));
+
+  ServingOptions serving;
+  serving.num_shards = 2;
+  std::unique_ptr<ShardedServing> leader =
+      ShardedServing::create(docs, {}, serving);
+  if (leader == nullptr) {
+    std::fprintf(stderr, "replica_fanout_qps: leader build failed\n");
+    return 1;
+  }
+
+  // Replica pool: identical deployments behind read-only servers. Built
+  // once; each fan-out configuration points at a prefix of the pool.
+  constexpr int kMaxReplicas = 2;
+  std::vector<std::unique_ptr<ShardedServing>> replica_backends;
+  std::vector<std::unique_ptr<net::Server>> replica_servers;
+  std::vector<std::string> replica_addresses;
+  for (int r = 0; r < kMaxReplicas; ++r) {
+    auto backend = ShardedServing::create(docs, {}, serving);
+    if (backend == nullptr) {
+      std::fprintf(stderr, "replica_fanout_qps: replica build failed\n");
+      return 1;
+    }
+    net::ServerOptions options;
+    options.port = 0;
+    options.num_workers = 2;
+    options.read_only = true;
+    auto server = std::make_unique<net::Server>(backend.get(), options);
+    if (!server->start()) {
+      std::fprintf(stderr, "replica_fanout_qps: replica server failed\n");
+      return 1;
+    }
+    replica_addresses.push_back("127.0.0.1:" +
+                                std::to_string(server->port()));
+    replica_backends.push_back(std::move(backend));
+    replica_servers.push_back(std::move(server));
+  }
+
+  constexpr int kClients = 8;
+  std::vector<LoadRow> rows;
+  for (int replicas : {0, 1, 2}) {
+    net::ServerOptions options;
+    options.port = 0;
+    options.num_workers = 2;
+    options.read_replicas.assign(replica_addresses.begin(),
+                                 replica_addresses.begin() + replicas);
+    net::Server front(leader.get(), options);
+    if (!front.start()) {
+      std::fprintf(stderr, "replica_fanout_qps: front server failed\n");
+      return 1;
+    }
+    rows.push_back(
+        run_config(front.port(), leader->num_docs(), replicas, kClients));
+    front.drain();
+  }
+  for (auto& server : replica_servers) server->drain();
+
+  TablePrinter table({"replicas", "clients", "queries/sec", "p50 ms",
+                      "p95 ms", "p99 ms", "errors"});
+  for (const LoadRow& row : rows) {
+    table.add_row({std::to_string(row.replicas), std::to_string(row.clients),
+                   fmt(row.qps, 1), fmt(row.p50_ms, 3), fmt(row.p95_ms, 3),
+                   fmt(row.p99_ms, 3), std::to_string(row.errors)});
+  }
+  std::printf(
+      "replica_fanout_qps: closed-loop QUERY load against a leader with "
+      "0/1/2 read replicas\n");
+  table.print(std::cout);
+
+  FILE* out = std::fopen("BENCH_replica_qps.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n  \"bench\": \"replica_fanout_qps\",\n");
+    std::fprintf(out, "  \"corpus_posts\": %zu,\n", corpus_size);
+    std::fprintf(out, "  \"window_ms\": %d,\n", window_ms());
+    std::fprintf(out, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"configs\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const LoadRow& row = rows[i];
+      std::fprintf(out,
+                   "    {\"replicas\": %d, \"clients\": %d, \"qps\": %.1f, "
+                   "\"queries\": %llu, \"errors\": %llu, "
+                   "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                   row.replicas, row.clients, row.qps,
+                   static_cast<unsigned long long>(row.queries),
+                   static_cast<unsigned long long>(row.errors),
+                   row.p50_ms, row.p95_ms, row.p99_ms,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_replica_qps.json\n");
+  }
+
+  uint64_t total_errors = 0;
+  for (const LoadRow& row : rows) total_errors += row.errors;
+  return total_errors == 0 ? 0 : 1;
+}

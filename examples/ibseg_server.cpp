@@ -36,6 +36,27 @@
 //   --recluster-poll-ms=N
 //                        trigger poll interval (default 200)
 //
+// Replication (docs/ARCHITECTURE.md §10, docs/OPERATIONS.md §7):
+//   --replicate-from=HOST:PORT
+//                        run as a read replica of the leader at HOST:PORT.
+//                        Requires --state=DIR (the replica's own durable
+//                        directory). Bootstraps from that directory if it
+//                        holds committed state, otherwise fetches the
+//                        leader's snapshot over the wire; then tails the
+//                        leader's WAL, applying segments until drained.
+//                        The server runs read-only: ADD_POST/ADD_POSTS/
+//                        RECLUSTER answer ERROR/UNSUPPORTED.
+//   --replica-id=NAME    stable name for the lag gauges (default the
+//                        state directory's basename)
+//   --replica-poll-ms=N  WAL poll interval once caught up (default 50)
+//   --read-replicas=H:P[,H:P...]
+//                        leader-side read fan-out: QUERY/ASK answers come
+//                        from these replicas (round-robin, falling back
+//                        to local execution) when fresh enough
+//   --replica-staleness=N
+//                        max publications a fanned-out answer may trail
+//                        the local epoch (default 0 = fully caught up)
+//
 // Shutdown: SIGTERM or SIGINT (or a DRAIN frame from any client) starts a
 // graceful drain — stop accepting, answer new requests with
 // ERROR/DRAINING, finish in-flight work, flush responses, then (with
@@ -57,6 +78,7 @@
 
 #include "core/sharded_serving.h"
 #include "net/server.h"
+#include "replication/replica.h"
 #include "storage/corpus_io.h"
 
 using namespace ibseg;
@@ -85,8 +107,25 @@ int usage() {
                "                    [--recluster-max-pending=N] "
                "[--recluster-max-docs=N]\n"
                "                    [--recluster-poll-ms=N]\n"
+               "                    [--replicate-from=H:P] [--replica-id=NAME]\n"
+               "                    [--replica-poll-ms=N]\n"
+               "                    [--read-replicas=H:P[,H:P...]]\n"
+               "                    [--replica-staleness=N]\n"
                "see docs/OPERATIONS.md\n");
   return 2;
+}
+
+/// Splits "host:port" (port 1..65535); false on any malformation.
+bool parse_host_port(const std::string& addr, std::string* host,
+                     uint16_t* port) {
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  char* end = nullptr;
+  const unsigned long p = std::strtoul(addr.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || p == 0 || p > 65535) return false;
+  *host = addr.substr(0, colon);
+  *port = static_cast<uint16_t>(p);
+  return true;
 }
 
 std::vector<Document> load_docs(const std::string& path) {
@@ -105,6 +144,8 @@ std::vector<Document> load_docs(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string corpus_path, restore_dir, port_file;
+  std::string replicate_from, replica_id;
+  int replica_poll_ms = 50;
   net::ServerOptions server_options;
   server_options.port = 7433;
   ServingOptions serving_options;
@@ -157,11 +198,42 @@ int main(int argc, char** argv) {
       server_options.recluster.max_docs_since = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--recluster-poll-ms=")) {
       server_options.recluster.poll_interval_ms = std::atoi(v);
+    } else if (const char* v = value("--replicate-from=")) {
+      replicate_from = v;
+    } else if (const char* v = value("--replica-id=")) {
+      replica_id = v;
+    } else if (const char* v = value("--replica-poll-ms=")) {
+      replica_poll_ms = std::atoi(v);
+      if (replica_poll_ms < 1) return usage();
+    } else if (const char* v = value("--read-replicas=")) {
+      std::string list = v;
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string addr =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        if (!addr.empty()) server_options.read_replicas.push_back(addr);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (const char* v = value("--replica-staleness=")) {
+      server_options.replica_staleness = std::strtoull(v, nullptr, 10);
     } else {
       return usage();
     }
   }
-  if (corpus_path.empty() == restore_dir.empty()) return usage();
+  // Replica mode sources its state from the leader (or its own directory);
+  // --corpus/--restore are the leader-mode sources, exactly one of which
+  // is required there.
+  if (replicate_from.empty()) {
+    if (corpus_path.empty() == restore_dir.empty()) return usage();
+  } else {
+    if (!corpus_path.empty() || !restore_dir.empty() ||
+        server_options.state_dir.empty()) {
+      return usage();
+    }
+  }
 
   serving_options.num_shards = num_shards;
   // --state wires sharded persistence: per-shard WALs absorb every
@@ -170,7 +242,33 @@ int main(int argc, char** argv) {
   serving_options.persist.shard_dir = server_options.state_dir;
 
   std::unique_ptr<ShardedServing> backend;
-  if (!restore_dir.empty()) {
+  std::unique_ptr<repl::Replica> replica;
+  if (!replicate_from.empty()) {
+    repl::ReplicaOptions replica_options;
+    if (!parse_host_port(replicate_from, &replica_options.leader_host,
+                         &replica_options.leader_port)) {
+      return usage();
+    }
+    replica_options.dir = server_options.state_dir;
+    if (replica_id.empty()) {
+      const size_t slash = replica_options.dir.find_last_of('/');
+      replica_id = slash == std::string::npos
+                       ? replica_options.dir
+                       : replica_options.dir.substr(slash + 1);
+    }
+    replica_options.replica_id = replica_id;
+    replica_options.poll_interval_ms = replica_poll_ms;
+    replica_options.pipeline = build_options;
+    replica_options.serving = serving_options;
+    replica = repl::Replica::bootstrap(std::move(replica_options));
+    if (replica == nullptr) {
+      std::fprintf(stderr,
+                   "ibseg_server: cannot bootstrap replica of %s into %s\n",
+                   replicate_from.c_str(), server_options.state_dir.c_str());
+      return 1;
+    }
+    server_options.read_only = true;
+  } else if (!restore_dir.empty()) {
     backend = ShardedServing::restore(restore_dir, build_options,
                                       serving_options);
     if (backend == nullptr) {
@@ -193,12 +291,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  net::Server server(backend.get(), server_options);
+  ShardedServing* serving_backend =
+      replica != nullptr ? &replica->backend() : backend.get();
+  net::Server server(serving_backend, server_options);
   if (!server.start()) return 1;
+  if (replica != nullptr) replica->start_polling();
 
-  std::printf("ibseg_server: %zu docs, %u shards, listening on %s:%u\n",
-              backend->num_docs(), backend->num_shards(),
-              server_options.bind_address.c_str(), server.port());
+  std::printf("ibseg_server: %zu docs, %u shards, listening on %s:%u%s\n",
+              serving_backend->num_docs(), serving_backend->num_shards(),
+              server_options.bind_address.c_str(), server.port(),
+              replica != nullptr ? " (replica, read-only)" : "");
   std::fflush(stdout);
   if (!port_file.empty()) {
     std::ofstream pf(port_file);
@@ -223,6 +325,9 @@ int main(int argc, char** argv) {
     server.drain();
   });
   server.wait_drained();
+  // Stop tailing the leader before reporting: the drain-time save already
+  // persisted the replica's applied position.
+  if (replica != nullptr) replica->stop();
 
   // Unblock the signal thread if the drain came from the wire.
   char byte = 1;
@@ -230,7 +335,7 @@ int main(int argc, char** argv) {
   signal_waiter.join();
 
   std::printf("ibseg_server: drained cleanly (%zu docs, epoch %llu)\n",
-              backend->num_docs(),
-              static_cast<unsigned long long>(backend->epoch()));
+              serving_backend->num_docs(),
+              static_cast<unsigned long long>(serving_backend->epoch()));
   return 0;
 }

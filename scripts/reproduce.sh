@@ -47,6 +47,15 @@
 #                           ibseg_cli over TCP: cold start, wire commands,
 #                           drain, warm restart) against both the plain and
 #                           the ASan build.
+#   IBSEG_REPL_CHECK=1      also exercise WAL-shipped replication: the
+#                           replication suite (ctest label "replication":
+#                           ship/apply bit-identity, wire bootstrap +
+#                           catch-up + lag gauges, read-only replicas,
+#                           leader fan-out, crash promotion) explicitly,
+#                           then the same label under ThreadSanitizer —
+#                           the polling thread applies segments while the
+#                           replica's server threads answer queries,
+#                           exactly where an apply/read race would hide.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -126,6 +135,18 @@ if [ "${IBSEG_NET_CHECK:-0}" = "1" ]; then
   scripts/check_net.sh build-address
 fi
 
+if [ "${IBSEG_REPL_CHECK:-0}" = "1" ]; then
+  echo "== WAL-shipped replication (IBSEG_REPL_CHECK=1) =="
+  # Plain run of the replication label (also covered by the full ctest
+  # above, repeated here so a replication regression is named explicitly)
+  # ...
+  ctest --test-dir build -L replication --output-on-failure
+  # ... then the same label under TSan: apply_shipped publishes into the
+  # replica's shards while its polling thread, lag-gauge writers and any
+  # serving reads run concurrently.
+  IBSEG_SAN_LABELS="replication" scripts/check_sanitizers.sh thread
+fi
+
 if [ "${IBSEG_DOCS_CHECK:-0}" = "1" ]; then
   echo "== docs check (IBSEG_DOCS_CHECK=1) =="
   if command -v doxygen >/dev/null 2>&1; then
@@ -187,6 +208,14 @@ for key in '"bench"' '"configs"' '"clients"' '"qps"' '"p50_ms"' '"p95_ms"' \
   fi
 done
 echo "BENCH_server_qps.json schema OK"
+for key in '"bench"' '"configs"' '"replicas"' '"clients"' '"qps"' \
+           '"p50_ms"' '"p95_ms"' '"p99_ms"'; do
+  if ! grep -q "${key}" BENCH_replica_qps.json; then
+    echo "error: BENCH_replica_qps.json missing key ${key}" >&2
+    exit 1
+  fi
+done
+echo "BENCH_replica_qps.json schema OK"
 for key in '"bench"' '"recluster_sec"' '"pending_before"' \
            '"pending_after"' '"qps_quiescent"' '"qps_during_swap"' \
            '"qps_dip_fraction"' '"offline_generation"'; do

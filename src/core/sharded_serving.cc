@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/snapshot_v2.h"
+#include "storage/wal_codec.h"
 #include "text/term_vector.h"
 #include "util/stopwatch.h"
 
@@ -118,6 +121,7 @@ std::unique_ptr<ShardedServing> ShardedServing::create(
                       pipeline_options, options, ns)) {
     return nullptr;
   }
+  s->gen_history_.push_back(GenSpan{0, 0});
   s->persist_dir_ = options.persist.shard_dir;
   s->wal_options_ = options.persist.wal;
   if (!s->persist_dir_.empty() && !s->open_persistence(/*fresh=*/true)) {
@@ -511,6 +515,7 @@ void ShardedServing::publish_locked(uint32_t owner, PreparedPost post,
     journal_->append(WalRecord{id, std::string()});
     wals_[owner]->append(WalRecord{id, text});
   }
+  pub_shard_pos_.push_back(shards_[owner]->num_docs());
   shards_[owner]->publish_prepared(std::move(post));
   publication_order_.push_back(id);
   shard_docs_[owner]->set(static_cast<double>(shards_[owner]->num_docs()));
@@ -642,6 +647,11 @@ uint64_t ShardedServing::recluster() {
     num_clusters_ = set.num_clusters;
     offline_pubs_ = captured_pubs;
     gen = generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Publications from the captured cut onward carry the new generation —
+    // followers mirror this boundary by reclustering at exactly
+    // captured_pubs applied frames (ship_segment never lets frames cross
+    // it), which reproduces this clustering bit-identically.
+    gen_history_.push_back(GenSpan{captured_pubs, gen});
     for (uint32_t s = 0; s < ns; ++s) {
       shard_docs_[s]->set(static_cast<double>(shards_[s]->num_docs()));
     }
@@ -867,6 +877,22 @@ std::unique_ptr<ShardedServing> ShardedServing::restore(
       m->publication_order.begin(),
       m->publication_order.begin() +
           static_cast<std::ptrdiff_t>(offline_pubs));
+  // Rebuild each prefilled publication's owner-shard offset by walking the
+  // global order with per-shard cursors — the same arithmetic the shard
+  // arrays were assembled with. The replay below extends this through
+  // publish_locked like live ingests do.
+  {
+    std::vector<size_t> cursor(ns, 0);
+    for (DocId id : sp->seed_order_) cursor[shard_of(id, ns)]++;
+    sp->pub_shard_pos_.reserve(sp->publication_order_.size());
+    for (DocId id : sp->publication_order_) {
+      sp->pub_shard_pos_.push_back(cursor[shard_of(id, ns)]++);
+    }
+  }
+  // Generation attribution is known from the offline coverage on (older
+  // spans died with the pre-save history); ship_segment answers
+  // kSnapshotNeeded for anything earlier.
+  sp->gen_history_.push_back(GenSpan{offline_pubs, gen});
   sp->generation_.store(gen, std::memory_order_relaxed);
   sp->offline_pubs_ = offline_pubs;
   sp->persist_dir_ = dir;
@@ -941,6 +967,189 @@ std::unique_ptr<ShardedServing> ShardedServing::restore(
   DocId seen = sp->next_id_.load(std::memory_order_relaxed);
   sp->next_id_.store(std::max(seen, watermark), std::memory_order_relaxed);
   return sp;
+}
+
+ShardedServing::ShipSegment ShardedServing::ship_segment(
+    uint64_t from_seq, uint64_t replica_generation, uint32_t max_frames,
+    uint32_t max_bytes) const {
+  ShipSegment out;
+  // recluster_mu_ shared pins the shard set (a generation swap replaces
+  // shards_ wholesale); publish_mu_ shared pins publication_order_ /
+  // pub_shard_pos_ / gen_history_. Same order as queries — no new edges
+  // in the lock graph.
+  std::shared_lock<std::shared_mutex> gen_lock(recluster_mu_);
+  std::shared_lock<std::shared_mutex> lock(publish_mu_);
+  const uint64_t pubs = publication_order_.size();
+  out.base_seq = from_seq;
+  out.leader_seq = pubs;
+  out.leader_generation = generation_.load(std::memory_order_relaxed);
+  out.segment_generation = replica_generation;
+  if (from_seq > pubs) {
+    out.status = ShipSegment::Status::kAhead;
+    return out;
+  }
+  // Locate the history span the follower's generation covers; generations
+  // are unique in gen_history_ (each recluster mints a new one).
+  size_t span = gen_history_.size();
+  for (size_t i = 0; i < gen_history_.size(); ++i) {
+    if (gen_history_[i].generation == replica_generation) {
+      span = i;
+      break;
+    }
+  }
+  if (span == gen_history_.size()) {
+    out.status = ShipSegment::Status::kSnapshotNeeded;
+    return out;
+  }
+  const uint64_t lo = gen_history_[span].start_pubs;
+  const uint64_t hi = span + 1 < gen_history_.size()
+                          ? gen_history_[span + 1].start_pubs
+                          : pubs;
+  if (from_seq < lo || from_seq > hi) {
+    // The follower claims a (seq, generation) pair that never existed on
+    // this leader — divergent history or pre-coverage staleness. Either
+    // way frames cannot help; only a snapshot can.
+    out.status = ShipSegment::Status::kSnapshotNeeded;
+    return out;
+  }
+  if (from_seq == hi) {
+    // End of this generation's span: either a recluster boundary the
+    // follower must now cross, or — at the last span — fully caught up.
+    if (span + 1 < gen_history_.size()) {
+      out.recluster_after = true;
+      out.recluster_target = gen_history_[span + 1].generation;
+    }
+    return out;
+  }
+  const uint32_t ns = num_shards();
+  const uint64_t end = std::min<uint64_t>(hi, from_seq + max_frames);
+  for (uint64_t seq = from_seq; seq < end; ++seq) {
+    const DocId id = publication_order_[seq];
+    const uint32_t owner = shard_of(id, ns);
+    const Document& doc =
+        shards_[owner]->quiescent().docs()[pub_shard_pos_[seq]];
+    std::string frame;
+    wal_encode_frame(WalRecord{id, doc.text()}, &frame);
+    // Byte cap applies once at least one frame is in: a single frame
+    // larger than max_bytes still ships alone, so progress is guaranteed.
+    if (out.frame_count > 0 && out.raw.size() + frame.size() > max_bytes) {
+      break;
+    }
+    out.raw.append(frame);
+    ++out.frame_count;
+  }
+  if (from_seq + out.frame_count == hi && span + 1 < gen_history_.size()) {
+    out.recluster_after = true;
+    out.recluster_target = gen_history_[span + 1].generation;
+  }
+  return out;
+}
+
+bool ShardedServing::apply_shipped(uint64_t base_seq,
+                                   const std::vector<WalRecord>& records) {
+  // Analysis + segmentation outside the lock, exactly like add_posts —
+  // only the publications serialize.
+  std::vector<PreparedPost> prepared;
+  prepared.reserve(records.size());
+  for (const WalRecord& rec : records) {
+    prepared.push_back(prepare(rec.id, rec.text));
+  }
+  std::unique_lock<std::shared_mutex> lock(publish_mu_);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const uint64_t seq = base_seq + i;
+    const uint64_t pubs = publication_order_.size();
+    if (seq < pubs) {
+      // Duplicate delivery (a retried segment) — legal, but only of the
+      // same history.
+      if (publication_order_[seq] != records[i].id) return false;
+      continue;
+    }
+    if (seq > pubs) return false;  // gap: applying would reorder history
+    const DocId id = records[i].id;
+    // Watermark before publish: the leader reserved this id, and any local
+    // id reservation at or below it would collide after promotion.
+    DocId seen = next_id_.load(std::memory_order_relaxed);
+    while (seen < id + 1 &&
+           !next_id_.compare_exchange_weak(seen, id + 1,
+                                           std::memory_order_relaxed)) {
+    }
+    publish_locked(shard_of(id, num_shards()), std::move(prepared[i]),
+                   /*log=*/true, records[i].text);
+  }
+  return true;
+}
+
+bool ShardedServing::catch_up_from_dir(const std::string& leader_dir) {
+  std::optional<ShardManifest> m =
+      load_shard_manifest_file(leader_dir + "/MANIFEST");
+  if (!m.has_value() || m->num_shards != num_shards()) return false;
+  const uint32_t ns = num_shards();
+  // Scan the dead leader's logs read-only: promotion must not mutate the
+  // leader directory (forensics, or a second promotion attempt, may still
+  // need it). Torn tails are tolerated exactly like IngestWal::open — the
+  // scan stops at the first invalid frame. A missing file is an empty
+  // tail (the leader may have reset it at its last save).
+  auto read_tail = [](const std::string& path, std::vector<WalRecord>* out) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    const std::string data = ss.str();
+    wal_scan_frames(data.data(), data.size(), out);
+  };
+  std::vector<WalRecord> journal_recs;
+  read_tail(journal_path(leader_dir), &journal_recs);
+  std::vector<std::unordered_map<DocId, std::string>> wal_text(ns);
+  for (uint32_t s = 0; s < ns; ++s) {
+    std::vector<WalRecord> recs;
+    read_tail(shard_wal_path(leader_dir, s), &recs);
+    for (WalRecord& rec : recs) wal_text[s][rec.id] = std::move(rec.text);
+  }
+
+  std::unique_lock<std::shared_mutex> lock(publish_mu_);
+  // Lineage checks: same seed order, and my applied history must replay a
+  // prefix of the leader's committed history.
+  if (seed_order_ != m->seed_order) return false;
+  const uint64_t my_pubs = publication_order_.size();
+  const uint64_t m_pubs = m->publication_order.size();
+  for (uint64_t seq = 0; seq < std::min(my_pubs, m_pubs); ++seq) {
+    if (publication_order_[seq] != m->publication_order[seq]) return false;
+  }
+  DocId watermark =
+      std::max(next_id_.load(std::memory_order_relaxed), m->next_id);
+  std::unordered_set<DocId> published(publication_order_.begin(),
+                                      publication_order_.end());
+  auto apply = [&](DocId id, bool required) -> bool {
+    const uint32_t s = shard_of(id, ns);
+    auto it = wal_text[s].find(id);
+    if (it == wal_text[s].end()) return !required;
+    PreparedPost post;
+    post.doc = Document::analyze(id, it->second);
+    Vocabulary scratch;
+    post.seg = segmenter_.segment(post.doc, scratch);
+    publish_locked(s, std::move(post), /*log=*/true, it->second);
+    published.insert(id);
+    watermark = std::max(watermark, id + 1);
+    return true;
+  };
+  // Manifest-committed publications beyond my epoch are required: their
+  // payloads must still be in the leader's WAL tail (a committed save
+  // since would have advanced the manifest past them). If one is missing
+  // the follower lags a save boundary and must re-bootstrap, not promote.
+  for (uint64_t seq = my_pubs; seq < m_pubs; ++seq) {
+    if (!apply(m->publication_order[seq], /*required=*/true)) return false;
+  }
+  // Journal tail beyond the manifest: already-applied ids dedup away;
+  // journaled-without-payload means the leader crashed before the WAL
+  // append — by write-ahead order it was never published, never
+  // acknowledged, and is dropped (mirrors restore()).
+  for (const WalRecord& rec : journal_recs) {
+    if (published.count(rec.id) != 0) continue;
+    apply(rec.id, /*required=*/false);
+  }
+  DocId seen = next_id_.load(std::memory_order_relaxed);
+  next_id_.store(std::max(seen, watermark), std::memory_order_relaxed);
+  return true;
 }
 
 }  // namespace ibseg

@@ -207,6 +207,78 @@ class ShardedServing {
   /// Upper bound on handed-out ids (global watermark).
   DocId next_id() const { return next_id_.load(std::memory_order_relaxed); }
 
+  // --- Replication (docs/ARCHITECTURE.md §10) -----------------------------
+  //
+  // The leader's publication sequence IS its replication log: seq n is the
+  // n-th entry of publication_order_, WAL order == publication order (PR 4),
+  // and replay through the publish path is deterministic (PR 5) — so a
+  // follower that applies shipped frames in sequence is bit-identical to
+  // the leader at every frame boundary, by construction. Because each
+  // shard retains its documents (and their texts) in memory, frames are
+  // reconstructed on demand from the live shards — no separate ship buffer,
+  // no WAL-file retention requirement on the leader.
+
+  /// One shippable cut of the publication sequence, in WAL frame encoding
+  /// (storage/wal_codec.h — byte-identical to what the leader's own WAL
+  /// appends carry).
+  struct ShipSegment {
+    enum class Status {
+      kOk,              ///< frames returned (possibly zero when caught up)
+      kSnapshotNeeded,  ///< (from_seq, generation) not servable — the
+                        ///< follower must re-bootstrap from a snapshot
+      kAhead,           ///< from_seq beyond the leader's epoch (divergent
+                        ///< follower, or a stale leader after failover)
+    };
+    Status status = Status::kOk;
+    uint64_t base_seq = 0;    ///< sequence number of the first frame in raw
+    uint64_t leader_seq = 0;  ///< leader publication count at capture time
+    uint64_t leader_generation = 0;   ///< leader offline generation
+    uint64_t segment_generation = 0;  ///< generation the frames belong to
+    /// After applying the frames the follower sits on a recluster boundary
+    /// and must run recluster() — which deterministically reproduces the
+    /// leader's clustering over the identical corpus cut — before asking
+    /// for more. recluster_target is the generation that recluster reaches.
+    bool recluster_after = false;
+    uint64_t recluster_target = 0;
+    uint32_t frame_count = 0;
+    std::string raw;  ///< frame_count WAL-framed records, back to back
+  };
+
+  /// Builds the segment a follower at (from_seq publications applied,
+  /// replica_generation) should consume next: at most max_frames frames,
+  /// and at most max_bytes of raw bytes once at least one frame is in
+  /// (a single oversized frame still ships alone). Frames never straddle a
+  /// recluster boundary — the follower reclusters between generations at
+  /// exactly the leader's corpus cut, which is what keeps it bit-identical
+  /// across epochs. Takes the generation + publication locks shared;
+  /// queries and other subscribers keep flowing.
+  ShipSegment ship_segment(uint64_t from_seq, uint64_t replica_generation,
+                           uint32_t max_frames, uint32_t max_bytes) const;
+
+  /// Applies shipped records whose first entry is publication base_seq.
+  /// Records at sequences already applied are checked for id agreement and
+  /// skipped (duplicate delivery is legal); a sequence gap fails — applying
+  /// past one would reorder publication. Persistence-enabled followers
+  /// journal applied frames exactly like local ingests, so a follower
+  /// restart (and promotion) recovers from its own directory. Returns
+  /// false on gap or id mismatch (divergent histories).
+  bool apply_shipped(uint64_t base_seq,
+                     const std::vector<WalRecord>& records);
+
+  /// Crash promotion: drains the dead leader's on-disk tail (journal +
+  /// per-shard WALs under leader_dir, scanned read-only — torn tails are
+  /// tolerated, the files are never modified) into this instance, which
+  /// must be a caught-up follower of the same lineage (same seed order,
+  /// publication history a prefix-compatible replay). Every acknowledged
+  /// leader ingest is on disk by write-ahead order, so after this returns
+  /// true the promoted instance has lost none of them; journal entries
+  /// without a durable WAL payload were never acknowledged and are
+  /// skipped. Returns false on lineage mismatch or a manifest-committed
+  /// publication whose payload is unrecoverable (the follower is too
+  /// stale to promote from tails alone — re-bootstrap instead). The
+  /// caller must have stopped applying shipped segments first.
+  bool catch_up_from_dir(const std::string& leader_dir);
+
   /// Shard access for tests/diagnostics.
   const ServingPipeline& shard(uint32_t i) const { return *shards_[i]; }
 
@@ -318,6 +390,28 @@ class ShardedServing {
   mutable std::shared_mutex publish_mu_;
   std::vector<DocId> seed_order_;         ///< immutable after construction
   std::vector<DocId> publication_order_;  ///< guarded by publish_mu_
+  /// Position of publication i inside its owner shard's document array —
+  /// maintained alongside publication_order_ so ship_segment() can find
+  /// the i-th publication's text without an id lookup. The value is the
+  /// owner's document count at publish time, and it is invariant across
+  /// recluster swaps and restores: shard arrays are always rebuilt in the
+  /// global order (seed entries owned by the shard, then publications
+  /// owned by the shard), so a publication's offset never moves. Guarded
+  /// by publish_mu_.
+  std::vector<size_t> pub_shard_pos_;
+  /// Which offline generation each span of the publication sequence was
+  /// ingested under: entry {start_pubs, generation} says publications from
+  /// start_pubs up to the next entry's start (or the current epoch) carry
+  /// that generation. create() starts {{0, 0}}; restore() knows history
+  /// only from the manifest's offline coverage on; recluster() appends its
+  /// boundary. ship_segment() refuses to serve a (seq, generation) pair
+  /// outside this history — the follower re-bootstraps instead of applying
+  /// frames under the wrong clustering. Guarded by publish_mu_.
+  struct GenSpan {
+    uint64_t start_pubs = 0;
+    uint64_t generation = 0;
+  };
+  std::vector<GenSpan> gen_history_;
 
   /// Persistence (empty dir = disabled).
   std::string persist_dir_;

@@ -240,6 +240,52 @@ CallResult Client::recluster(ReclusteredResponse* out) {
                 decode_reclustered, out);
 }
 
+CallResult Client::subscribe_wal(const SubscribeWalRequest& req,
+                                 WalSegmentResponse* out) {
+  std::string req_payload;
+  encode_subscribe_wal(req, &req_payload);
+  MsgType type = MsgType::kError;
+  std::string payload;
+  CallResult result = call(MsgType::kSubscribeWal, req_payload, &type,
+                           &payload);
+  return expect(std::move(result), type, MsgType::kWalSegment, payload,
+                decode_wal_segment, out);
+}
+
+CallResult Client::wal_ack(uint64_t acked_seq, const std::string& replica_id) {
+  std::string req_payload;
+  encode_wal_ack({acked_seq, replica_id}, &req_payload);
+  MsgType type = MsgType::kError;
+  std::string payload;
+  CallResult result = call(MsgType::kWalAck, req_payload, &type, &payload);
+  if (result.transport_ok && type != MsgType::kError &&
+      (type != MsgType::kWalAcked || !payload.empty())) {
+    result.transport_ok = false;
+    result.transport_error = "unexpected wal_ack response";
+  }
+  return result;
+}
+
+CallResult Client::snapshot_list(SnapshotListingResponse* out) {
+  MsgType type = MsgType::kError;
+  std::string payload;
+  CallResult result = call(MsgType::kSnapshotList, {}, &type, &payload);
+  return expect(std::move(result), type, MsgType::kSnapshotListing, payload,
+                decode_snapshot_listing, out);
+}
+
+CallResult Client::snapshot_chunk(const SnapshotChunkRequest& req,
+                                  SnapshotDataResponse* out) {
+  std::string req_payload;
+  encode_snapshot_chunk(req, &req_payload);
+  MsgType type = MsgType::kError;
+  std::string payload;
+  CallResult result = call(MsgType::kSnapshotChunk, req_payload, &type,
+                           &payload);
+  return expect(std::move(result), type, MsgType::kSnapshotData, payload,
+                decode_snapshot_data, out);
+}
+
 CallResult Client::drain() {
   MsgType type = MsgType::kError;
   std::string payload;

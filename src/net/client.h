@@ -76,6 +76,19 @@ class Client {
   /// corpora rebuild for a while — pass a generous connect timeout.
   CallResult recluster(ReclusteredResponse* out);
 
+  // Replication helpers (PROTOCOL.md §4.10–§4.13) — used by
+  // replication/replica.h; exposed here so tests and tooling can drive
+  // the replication protocol directly.
+
+  /// Pulls the next WAL segment past the follower's applied cursor. A
+  /// SNAPSHOT_NEEDED server error is reported via the CallResult's error.
+  CallResult subscribe_wal(const SubscribeWalRequest& req,
+                           WalSegmentResponse* out);
+  CallResult wal_ack(uint64_t acked_seq, const std::string& replica_id);
+  CallResult snapshot_list(SnapshotListingResponse* out);
+  CallResult snapshot_chunk(const SnapshotChunkRequest& req,
+                            SnapshotDataResponse* out);
+
  private:
   Client(int fd, double timeout_sec);
 

@@ -230,6 +230,167 @@ bool decode_error(std::string_view payload, ErrorResponse* out) {
   return r.exhausted();
 }
 
+void encode_subscribe_wal(const SubscribeWalRequest& req,
+                          std::string* payload) {
+  WireWriter w(payload);
+  w.write_u64(req.from_seq);
+  w.write_u64(req.replica_generation);
+  w.write_u32(req.max_frames);
+  w.write_u32(req.max_bytes);
+  w.write_u32(static_cast<uint32_t>(req.replica_id.size()));
+  w.write_bytes(req.replica_id);
+}
+
+bool decode_subscribe_wal(std::string_view payload, SubscribeWalRequest* out) {
+  WireReader r(payload);
+  out->from_seq = r.read_u64();
+  out->replica_generation = r.read_u64();
+  out->max_frames = r.read_u32();
+  out->max_bytes = r.read_u32();
+  uint32_t len = r.read_u32();
+  if (!r.ok() || len > kMaxReplicaIdBytes || len != r.remaining()) {
+    return false;
+  }
+  out->replica_id.assign(r.read_bytes(len));
+  return r.exhausted();
+}
+
+void encode_wal_ack(const WalAckRequest& req, std::string* payload) {
+  WireWriter w(payload);
+  w.write_u64(req.acked_seq);
+  w.write_u32(static_cast<uint32_t>(req.replica_id.size()));
+  w.write_bytes(req.replica_id);
+}
+
+bool decode_wal_ack(std::string_view payload, WalAckRequest* out) {
+  WireReader r(payload);
+  out->acked_seq = r.read_u64();
+  uint32_t len = r.read_u32();
+  if (!r.ok() || len > kMaxReplicaIdBytes || len != r.remaining()) {
+    return false;
+  }
+  out->replica_id.assign(r.read_bytes(len));
+  return r.exhausted();
+}
+
+void encode_snapshot_chunk(const SnapshotChunkRequest& req,
+                           std::string* payload) {
+  WireWriter w(payload);
+  w.write_u32(static_cast<uint32_t>(req.name.size()));
+  w.write_bytes(req.name);
+  w.write_u64(req.offset);
+  w.write_u32(req.max_len);
+}
+
+bool decode_snapshot_chunk(std::string_view payload,
+                           SnapshotChunkRequest* out) {
+  WireReader r(payload);
+  uint32_t name_len = r.read_u32();
+  if (!r.ok() || name_len > kMaxSnapshotNameBytes ||
+      name_len > r.remaining()) {
+    return false;
+  }
+  out->name.assign(r.read_bytes(name_len));
+  out->offset = r.read_u64();
+  out->max_len = r.read_u32();
+  return r.exhausted() && out->max_len >= 1;
+}
+
+void encode_wal_segment(const WalSegmentResponse& resp, std::string* payload) {
+  WireWriter w(payload);
+  w.write_u64(resp.base_seq);
+  w.write_u64(resp.leader_seq);
+  w.write_u64(resp.leader_generation);
+  w.write_u64(resp.segment_generation);
+  w.write_u8(resp.recluster_after);
+  w.write_u64(resp.recluster_target);
+  w.write_u32(resp.frame_count);
+  w.write_u32(static_cast<uint32_t>(resp.raw.size()));
+  w.write_bytes(resp.raw);
+}
+
+bool decode_wal_segment(std::string_view payload, WalSegmentResponse* out) {
+  WireReader r(payload);
+  out->base_seq = r.read_u64();
+  out->leader_seq = r.read_u64();
+  out->leader_generation = r.read_u64();
+  out->segment_generation = r.read_u64();
+  uint8_t recluster_after = r.read_u8();
+  out->recluster_target = r.read_u64();
+  out->frame_count = r.read_u32();
+  uint32_t raw_len = r.read_u32();
+  if (!r.ok() || recluster_after > 1 || raw_len != r.remaining()) {
+    return false;
+  }
+  // The thinnest possible WAL frame is 8 header bytes + a 4-byte id, so a
+  // frame_count the raw bytes cannot possibly hold is rejected before the
+  // caller ever scans them (the scan itself re-validates every frame).
+  if (static_cast<uint64_t>(out->frame_count) * 12 > raw_len) return false;
+  if (out->frame_count == 0 && raw_len != 0) return false;
+  out->recluster_after = recluster_after;
+  out->raw.assign(r.read_bytes(raw_len));
+  return r.exhausted();
+}
+
+void encode_snapshot_listing(const SnapshotListingResponse& resp,
+                             std::string* payload) {
+  WireWriter w(payload);
+  w.write_u64(resp.generation);
+  w.write_u32(resp.num_shards);
+  w.write_u32(static_cast<uint32_t>(resp.files.size()));
+  for (const SnapshotFileEntry& f : resp.files) {
+    w.write_u32(static_cast<uint32_t>(f.name.size()));
+    w.write_bytes(f.name);
+    w.write_u64(f.size);
+    w.write_u32(f.crc);
+  }
+}
+
+bool decode_snapshot_listing(std::string_view payload,
+                             SnapshotListingResponse* out) {
+  WireReader r(payload);
+  out->generation = r.read_u64();
+  out->num_shards = r.read_u32();
+  uint32_t count = r.read_u32();
+  if (!r.ok() || count > kMaxSnapshotFiles) return false;
+  out->files.clear();
+  out->files.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SnapshotFileEntry f;
+    uint32_t name_len = r.read_u32();
+    // Bounded by what is actually left, so a hostile length can never
+    // drive an allocation past the frame.
+    if (!r.ok() || name_len > kMaxSnapshotNameBytes ||
+        name_len > r.remaining()) {
+      return false;
+    }
+    f.name.assign(r.read_bytes(name_len));
+    f.size = r.read_u64();
+    f.crc = r.read_u32();
+    if (!r.ok()) return false;
+    out->files.push_back(std::move(f));
+  }
+  return r.exhausted();
+}
+
+void encode_snapshot_data(const SnapshotDataResponse& resp,
+                          std::string* payload) {
+  WireWriter w(payload);
+  w.write_u64(resp.total_size);
+  w.write_u32(static_cast<uint32_t>(resp.data.size()));
+  w.write_bytes(resp.data);
+}
+
+bool decode_snapshot_data(std::string_view payload,
+                          SnapshotDataResponse* out) {
+  WireReader r(payload);
+  out->total_size = r.read_u64();
+  uint32_t len = r.read_u32();
+  if (!r.ok() || len != r.remaining()) return false;
+  out->data.assign(r.read_bytes(len));
+  return r.exhausted();
+}
+
 const char* msg_type_name(MsgType type) {
   switch (type) {
     case MsgType::kPing: return "ping";
@@ -241,6 +402,10 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kMetrics: return "metrics";
     case MsgType::kDrain: return "drain";
     case MsgType::kRecluster: return "recluster";
+    case MsgType::kSubscribeWal: return "subscribe_wal";
+    case MsgType::kWalAck: return "wal_ack";
+    case MsgType::kSnapshotList: return "snapshot_list";
+    case MsgType::kSnapshotChunk: return "snapshot_chunk";
     case MsgType::kPong: return "pong";
     case MsgType::kRelated: return "related";
     case MsgType::kAdded: return "added";
@@ -248,6 +413,10 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kMetricsData: return "metrics_data";
     case MsgType::kDraining: return "draining";
     case MsgType::kReclustered: return "reclustered";
+    case MsgType::kWalSegment: return "wal_segment";
+    case MsgType::kWalAcked: return "wal_acked";
+    case MsgType::kSnapshotListing: return "snapshot_listing";
+    case MsgType::kSnapshotData: return "snapshot_data";
     case MsgType::kError: return "error";
   }
   return "unknown";

@@ -59,6 +59,14 @@ inline constexpr uint32_t kMaxBatchPosts = 1024;
 /// bound for client-side decoding; servers never exceed the requested k).
 inline constexpr uint32_t kMaxRelatedResults = 1u << 20;
 
+/// \brief Maximum length of a replica id in SUBSCRIBE_WAL / WAL_ACK.
+inline constexpr uint32_t kMaxReplicaIdBytes = 256;
+
+/// \brief Maximum file count a SNAPSHOT_LISTING may declare, and the
+/// maximum length of one listed (relative) file name.
+inline constexpr uint32_t kMaxSnapshotFiles = 1u << 16;
+inline constexpr uint32_t kMaxSnapshotNameBytes = 4096;
+
 /// \brief Message type codes (frame header byte 5). Requests occupy
 /// 0x01..0x7F, responses 0x81..0xFF; the split makes a frame's direction
 /// recognizable in isolation (PROTOCOL.md §3).
@@ -73,6 +81,10 @@ enum class MsgType : uint8_t {
   kMetrics = 0x07,    ///< metrics snapshot (Prometheus text or JSON)
   kDrain = 0x08,      ///< begin graceful drain (admin)
   kRecluster = 0x09,  ///< run one background recluster now (admin)
+  kSubscribeWal = 0x0A,   ///< replica pull: next WAL segment past a seq
+  kWalAck = 0x0B,         ///< replica reports its applied seq (lag gauges)
+  kSnapshotList = 0x0C,   ///< replica bootstrap: list snapshot files
+  kSnapshotChunk = 0x0D,  ///< replica bootstrap: read one file range
 
   // Responses (server -> client).
   kPong = 0x81,         ///< answers PING
@@ -82,6 +94,10 @@ enum class MsgType : uint8_t {
   kMetricsData = 0x87,  ///< answers METRICS
   kDraining = 0x88,     ///< answers DRAIN
   kReclustered = 0x89,  ///< answers RECLUSTER
+  kWalSegment = 0x8A,       ///< answers SUBSCRIBE_WAL
+  kWalAcked = 0x8B,         ///< answers WAL_ACK
+  kSnapshotListing = 0x8C,  ///< answers SNAPSHOT_LIST
+  kSnapshotData = 0x8D,     ///< answers SNAPSHOT_CHUNK
   kError = 0xE0,        ///< any request may be answered with an error
 };
 
@@ -94,6 +110,9 @@ enum class ErrCode : uint8_t {
   kTimeout = 5,      ///< request expired before a worker picked it up
   kInternal = 6,     ///< server-side failure (e.g. SAVE I/O error)
   kUnsupported = 7,  ///< command not available (e.g. SAVE w/o state dir)
+  kSnapshotNeeded = 8,  ///< SUBSCRIBE_WAL: the (seq, generation) cursor is
+                        ///< not servable from frames — re-bootstrap from a
+                        ///< snapshot (PROTOCOL.md §4.10)
 };
 
 /// \brief Decoded frame header (the payload follows separately).
@@ -179,9 +198,49 @@ struct MetricsRequest {
 void encode_metrics(const MetricsRequest& req, std::string* payload);
 bool decode_metrics(std::string_view payload, MetricsRequest* out);
 
-// PING, SAVE, DRAIN and RECLUSTER carry empty payloads: encoding is
-// encode_frame with an empty payload; decoding succeeds iff the payload
-// is empty.
+/// \brief SUBSCRIBE_WAL: a replica pulls the segment of publications past
+/// its applied cursor. Pull-based (one request, one response) so it rides
+/// the existing strict request/response connection model — a replica polls
+/// at its own cadence and a slow replica can never back-pressure the
+/// leader's I/O thread.
+struct SubscribeWalRequest {
+  uint64_t from_seq = 0;            ///< publications already applied
+  uint64_t replica_generation = 0;  ///< replica's offline generation
+  uint32_t max_frames = 0;          ///< frame cap for this segment
+  uint32_t max_bytes = 0;           ///< byte cap (one frame may exceed it)
+  std::string replica_id;           ///< stable name for per-replica gauges
+};
+
+void encode_subscribe_wal(const SubscribeWalRequest& req,
+                          std::string* payload);
+bool decode_subscribe_wal(std::string_view payload, SubscribeWalRequest* out);
+
+/// \brief WAL_ACK: a replica reports its durable applied position; the
+/// leader updates its per-replica lag gauges from it.
+struct WalAckRequest {
+  uint64_t acked_seq = 0;  ///< publications applied on the replica
+  std::string replica_id;
+};
+
+void encode_wal_ack(const WalAckRequest& req, std::string* payload);
+bool decode_wal_ack(std::string_view payload, WalAckRequest* out);
+
+/// \brief SNAPSHOT_CHUNK: read max_len bytes at offset of one listed
+/// snapshot file (relative name exactly as SNAPSHOT_LISTING returned it).
+struct SnapshotChunkRequest {
+  std::string name;
+  uint64_t offset = 0;
+  uint32_t max_len = 0;  ///< 1 .. kMaxPayloadBytes minus framing overhead
+};
+
+void encode_snapshot_chunk(const SnapshotChunkRequest& req,
+                           std::string* payload);
+bool decode_snapshot_chunk(std::string_view payload,
+                           SnapshotChunkRequest* out);
+
+// PING, SAVE, DRAIN, RECLUSTER and SNAPSHOT_LIST carry empty payloads:
+// encoding is encode_frame with an empty payload; decoding succeeds iff
+// the payload is empty.
 
 // --- Response payloads (PROTOCOL.md §5).
 
@@ -244,7 +303,60 @@ struct ErrorResponse {
 void encode_error(const ErrorResponse& resp, std::string* payload);
 bool decode_error(std::string_view payload, ErrorResponse* out);
 
-// SAVED and DRAINING carry empty payloads.
+/// \brief WAL_SEGMENT: the answer to SUBSCRIBE_WAL. `raw` carries
+/// frame_count WAL-framed records back to back — byte-identical to the
+/// storage-layer WAL encoding (storage/wal_codec.h), so the replica's
+/// parser IS the recovery parser. frame_count == 0 with recluster_after
+/// set means "recluster now, then resubscribe"; frame_count == 0 without
+/// it means the replica is caught up.
+struct WalSegmentResponse {
+  uint64_t base_seq = 0;            ///< seq of the first frame in raw
+  uint64_t leader_seq = 0;          ///< leader publication count (lag base)
+  uint64_t leader_generation = 0;   ///< leader offline generation
+  uint64_t segment_generation = 0;  ///< generation the frames belong to
+  uint8_t recluster_after = 0;      ///< 1 = recluster after applying
+  uint64_t recluster_target = 0;    ///< generation that recluster reaches
+  uint32_t frame_count = 0;
+  std::string raw;
+};
+
+void encode_wal_segment(const WalSegmentResponse& resp, std::string* payload);
+bool decode_wal_segment(std::string_view payload, WalSegmentResponse* out);
+
+/// \brief One file in a SNAPSHOT_LISTING: relative name (e.g. "MANIFEST",
+/// "shard-0/snapshot.v2"), byte size, and whole-file CRC-32.
+struct SnapshotFileEntry {
+  std::string name;
+  uint64_t size = 0;
+  uint32_t crc = 0;
+};
+
+/// \brief SNAPSHOT_LISTING: the bootstrap file set. Fetching every listed
+/// file (verified against size + crc) yields a directory restore() accepts
+/// — a committed save is self-contained, so no WAL files are listed.
+struct SnapshotListingResponse {
+  uint64_t generation = 0;  ///< offline generation of the listed snapshot
+  uint32_t num_shards = 0;
+  std::vector<SnapshotFileEntry> files;
+};
+
+void encode_snapshot_listing(const SnapshotListingResponse& resp,
+                             std::string* payload);
+bool decode_snapshot_listing(std::string_view payload,
+                             SnapshotListingResponse* out);
+
+/// \brief SNAPSHOT_DATA: one chunk of a listed file. data may be shorter
+/// than the requested max_len at EOF; empty data means offset >= size.
+struct SnapshotDataResponse {
+  uint64_t total_size = 0;  ///< full size of the file being read
+  std::string data;
+};
+
+void encode_snapshot_data(const SnapshotDataResponse& resp,
+                          std::string* payload);
+bool decode_snapshot_data(std::string_view payload, SnapshotDataResponse* out);
+
+// SAVED, DRAINING and WAL_ACKED carry empty payloads.
 
 /// \brief Stable lowercase command name for a request type ("query",
 /// "add_post", ...) — the `cmd` label of ibseg_net_requests_total.

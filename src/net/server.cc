@@ -8,13 +8,20 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <utility>
 
+#include "net/client.h"
 #include "seg/document.h"
+#include "storage/format_util.h"
+#include "storage/shard_manifest.h"
 
 namespace ibseg {
 namespace net {
@@ -38,6 +45,22 @@ bool set_nonblocking(int fd) {
 /// labels the transient Document, nothing is ingested (same convention as
 /// ibseg_cli's ask command).
 constexpr DocId kExternalQueryId = 1u << 30;
+
+/// The exact file set a committed save leaves behind (and bootstrap must
+/// fetch): the manifest plus one generation-qualified snapshot per shard.
+/// Re-derived from the manifest on every SNAPSHOT_LIST/SNAPSHOT_CHUNK, so
+/// chunk requests can never name a path outside the state directory.
+std::vector<std::string> snapshot_file_names(const ShardManifest& m) {
+  std::vector<std::string> names;
+  names.push_back("MANIFEST");
+  for (uint32_t s = 0; s < m.num_shards; ++s) {
+    std::string name = "shard-" + std::to_string(s) + "/snapshot";
+    if (m.generation != 0) name += ".g" + std::to_string(m.generation);
+    name += ".v2";
+    names.push_back(std::move(name));
+  }
+  return names;
+}
 
 }  // namespace
 
@@ -84,12 +107,24 @@ struct Server::Metrics {
         request_seconds(obs::MetricsRegistry::global().histogram(
             "ibseg_net_request_seconds",
             "Queue wait plus execution time of admitted requests, in "
-            "seconds.")) {
+            "seconds.")),
+        fanout_forwarded(obs::MetricsRegistry::global().counter(
+            "ibseg_net_fanout_total",
+            "QUERY/ASK requests on a fan-out-enabled server, by where the "
+            "answer came from.",
+            {{"answered_by", "replica"}})),
+        fanout_local(obs::MetricsRegistry::global().counter(
+            "ibseg_net_fanout_total",
+            "QUERY/ASK requests on a fan-out-enabled server, by where the "
+            "answer came from.",
+            {{"answered_by", "local"}})) {
     obs::MetricsRegistry& r = obs::MetricsRegistry::global();
     static constexpr MsgType kCommands[] = {
-        MsgType::kPing,     MsgType::kQuery,    MsgType::kAsk,
-        MsgType::kAddPost,  MsgType::kAddPosts, MsgType::kSave,
-        MsgType::kMetrics,  MsgType::kDrain,    MsgType::kRecluster};
+        MsgType::kPing,         MsgType::kQuery,   MsgType::kAsk,
+        MsgType::kAddPost,      MsgType::kAddPosts, MsgType::kSave,
+        MsgType::kMetrics,      MsgType::kDrain,    MsgType::kRecluster,
+        MsgType::kSubscribeWal, MsgType::kWalAck,   MsgType::kSnapshotList,
+        MsgType::kSnapshotChunk};
     for (MsgType cmd : kCommands) {
       requests[static_cast<uint8_t>(cmd)] = &r.counter(
           "ibseg_net_requests_total",
@@ -111,8 +146,24 @@ struct Server::Metrics {
 
   obs::Gauge& connections;
   obs::Histogram& request_seconds;
+  obs::Counter& fanout_forwarded;
+  obs::Counter& fanout_local;
   std::map<uint8_t, obs::Counter*> requests;
   std::map<std::string, obs::Counter*> rejected;
+};
+
+/// One pooled leader-side connection to a read replica. A worker try-locks
+/// a channel for the duration of one forwarded call; a busy channel is
+/// skipped rather than waited on. The Client connects lazily and, after
+/// any transport failure, is dropped and the channel sits out
+/// replica_retry_sec before the next attempt.
+struct Server::ReplicaChannel {
+  std::string host;
+  uint16_t port = 0;
+
+  std::mutex mu;  ///< guards client + cooldown_until
+  std::unique_ptr<Client> client;
+  obs::Clock::time_point cooldown_until{};  ///< epoch value = no cooldown
 };
 
 Server::Server(ShardedServing* backend, ServerOptions options)
@@ -121,6 +172,23 @@ Server::Server(ShardedServing* backend, ServerOptions options)
       metrics_(std::make_unique<Metrics>()) {
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.max_in_flight < 1) options_.max_in_flight = 1;
+  for (const std::string& addr : options_.read_replicas) {
+    const size_t colon = addr.rfind(':');
+    unsigned long port = 0;
+    if (colon != std::string::npos) {
+      port = std::strtoul(addr.c_str() + colon + 1, nullptr, 10);
+    }
+    if (colon == std::string::npos || colon == 0 || port == 0 ||
+        port > 65535) {
+      std::fprintf(stderr, "ibseg_server: ignoring bad replica address %s\n",
+                   addr.c_str());
+      continue;
+    }
+    auto channel = std::make_unique<ReplicaChannel>();
+    channel->host = addr.substr(0, colon);
+    channel->port = static_cast<uint16_t>(port);
+    replica_channels_.push_back(std::move(channel));
+  }
 }
 
 Server::~Server() {
@@ -622,6 +690,16 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
                      payload);
         return;
       }
+      if (!replica_channels_.empty()) {
+        std::string forwarded;
+        if (forward_to_replica(MsgType::kQuery, work.payload, &forwarded)) {
+          metrics_->fanout_forwarded.inc();
+          *type = MsgType::kRelated;
+          *payload = std::move(forwarded);
+          return;
+        }
+        metrics_->fanout_local.inc();
+      }
       ShardedServing::QueryResult result =
           backend_->find_related(req.doc_id, static_cast<int>(req.k));
       *type = MsgType::kRelated;
@@ -636,6 +714,16 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       }
       Document doc = Document::analyze(kExternalQueryId, req.text);
       if (doc.num_units() == 0) return bad_request("empty post");
+      if (!replica_channels_.empty()) {
+        std::string forwarded;
+        if (forward_to_replica(MsgType::kAsk, work.payload, &forwarded)) {
+          metrics_->fanout_forwarded.inc();
+          *type = MsgType::kRelated;
+          *payload = std::move(forwarded);
+          return;
+        }
+        metrics_->fanout_local.inc();
+      }
       ShardedServing::QueryResult result =
           backend_->find_related_external(doc, static_cast<int>(req.k));
       *type = MsgType::kRelated;
@@ -644,6 +732,13 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       return;
     }
     case MsgType::kAddPost: {
+      if (options_.read_only) {
+        *type = MsgType::kError;
+        encode_error({ErrCode::kUnsupported,
+                      "replica is read-only; ingest on the leader"},
+                     payload);
+        return;
+      }
       AddPostRequest req;
       if (!decode_add_post(work.payload, &req) || req.text.empty()) {
         return bad_request("malformed or empty add_post payload");
@@ -654,6 +749,13 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       return;
     }
     case MsgType::kAddPosts: {
+      if (options_.read_only) {
+        *type = MsgType::kError;
+        encode_error({ErrCode::kUnsupported,
+                      "replica is read-only; ingest on the leader"},
+                     payload);
+        return;
+      }
       AddPostsRequest req;
       if (!decode_add_posts(work.payload, &req)) {
         return bad_request("malformed add_posts payload");
@@ -697,6 +799,15 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       if (!work.payload.empty()) {
         return bad_request("recluster carries no payload");
       }
+      if (options_.read_only) {
+        // Replicas mirror the leader's recluster boundaries from shipped
+        // segments; a locally-forced epoch would fork their label history.
+        *type = MsgType::kError;
+        encode_error({ErrCode::kUnsupported,
+                      "replica is read-only; recluster on the leader"},
+                     payload);
+        return;
+      }
       // Synchronous: the response is sent only after the new generation
       // has swapped in, so a RECLUSTER -> QUERY sequence on one
       // connection observes the new clustering. The worker executing this
@@ -707,6 +818,187 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       encode_reclustered(
           {generation, static_cast<uint32_t>(backend_->num_clusters())},
           payload);
+      return;
+    }
+    case MsgType::kSubscribeWal: {
+      SubscribeWalRequest req;
+      if (!decode_subscribe_wal(work.payload, &req)) {
+        return bad_request("malformed subscribe_wal payload");
+      }
+      ShardedServing::ShipSegment seg = backend_->ship_segment(
+          req.from_seq, req.replica_generation, req.max_frames,
+          req.max_bytes);
+      using Status = ShardedServing::ShipSegment::Status;
+      if (seg.status == Status::kAhead) {
+        return bad_request("from_seq is ahead of the leader's epoch");
+      }
+      if (seg.status == Status::kSnapshotNeeded) {
+        *type = MsgType::kError;
+        encode_error({ErrCode::kSnapshotNeeded,
+                      "cursor not servable from frames; re-bootstrap from "
+                      "a snapshot"},
+                     payload);
+        return;
+      }
+      WalSegmentResponse resp;
+      resp.base_seq = seg.base_seq;
+      resp.leader_seq = seg.leader_seq;
+      resp.leader_generation = seg.leader_generation;
+      resp.segment_generation = seg.segment_generation;
+      resp.recluster_after = seg.recluster_after ? 1 : 0;
+      resp.recluster_target = seg.recluster_target;
+      resp.frame_count = seg.frame_count;
+      resp.raw = std::move(seg.raw);
+      encode_wal_segment(resp, payload);
+      if (payload->size() > kMaxPayloadBytes) {
+        // Only reachable when a single locally-ingested post exceeds the
+        // frame limit (wire ingests cannot: ADD_POST payloads are already
+        // bounded by it). Such a follower must bootstrap from a snapshot.
+        payload->clear();
+        *type = MsgType::kError;
+        encode_error({ErrCode::kSnapshotNeeded,
+                      "segment frame exceeds the wire payload limit"},
+                     payload);
+        return;
+      }
+      *type = MsgType::kWalSegment;
+      return;
+    }
+    case MsgType::kWalAck: {
+      WalAckRequest req;
+      if (!decode_wal_ack(work.payload, &req)) {
+        return bad_request("malformed wal_ack payload");
+      }
+      const uint64_t epoch = backend_->epoch();
+      const uint64_t lag = epoch > req.acked_seq ? epoch - req.acked_seq : 0;
+      obs::MetricsRegistry::global()
+          .gauge("ibseg_leader_replica_lag_frames",
+                 "Publications the leader is ahead of each replica's last "
+                 "acknowledged position, by replica id.",
+                 {{"replica", req.replica_id}})
+          .set(static_cast<double>(lag));
+      *type = MsgType::kWalAcked;
+      return;
+    }
+    case MsgType::kSnapshotList: {
+      if (!work.payload.empty()) {
+        return bad_request("snapshot_list carries no payload");
+      }
+      if (options_.state_dir.empty()) {
+        *type = MsgType::kError;
+        encode_error({ErrCode::kUnsupported, "server has no state directory"},
+                     payload);
+        return;
+      }
+      // Save first: the listing must describe a committed, self-contained
+      // state (shard WALs truncated, manifest covering every publication),
+      // so a bootstrap that fetches exactly the listed files restores to a
+      // clean frame boundary.
+      if (!backend_->save(options_.state_dir)) {
+        *type = MsgType::kError;
+        encode_error({ErrCode::kInternal, "snapshot save failed"}, payload);
+        return;
+      }
+      std::optional<ShardManifest> manifest =
+          load_shard_manifest_file(options_.state_dir + "/MANIFEST");
+      if (!manifest.has_value()) {
+        *type = MsgType::kError;
+        encode_error({ErrCode::kInternal, "manifest unreadable after save"},
+                     payload);
+        return;
+      }
+      SnapshotListingResponse resp;
+      resp.generation = manifest->generation;
+      resp.num_shards = manifest->num_shards;
+      for (const std::string& name : snapshot_file_names(*manifest)) {
+        std::ifstream in(options_.state_dir + "/" + name, std::ios::binary);
+        uint32_t crc = 0;
+        uint64_t size = 0;
+        char buf[65536];
+        bool ok = static_cast<bool>(in);
+        while (ok) {
+          in.read(buf, sizeof(buf));
+          const std::streamsize got = in.gcount();
+          if (got > 0) {
+            crc = crc32(buf, static_cast<size_t>(got), crc);
+            size += static_cast<uint64_t>(got);
+          }
+          if (in.bad()) ok = false;
+          if (got < static_cast<std::streamsize>(sizeof(buf))) break;
+        }
+        if (!ok) {
+          *type = MsgType::kError;
+          encode_error({ErrCode::kInternal,
+                        "snapshot file unreadable: " + name},
+                       payload);
+          return;
+        }
+        resp.files.push_back({name, size, crc});
+      }
+      *type = MsgType::kSnapshotListing;
+      encode_snapshot_listing(resp, payload);
+      return;
+    }
+    case MsgType::kSnapshotChunk: {
+      SnapshotChunkRequest req;
+      if (!decode_snapshot_chunk(work.payload, &req)) {
+        return bad_request("malformed snapshot_chunk payload");
+      }
+      if (options_.state_dir.empty()) {
+        *type = MsgType::kError;
+        encode_error({ErrCode::kUnsupported, "server has no state directory"},
+                     payload);
+        return;
+      }
+      // Only names the CURRENT manifest lists are servable — re-derived
+      // here rather than trusting the request, so a chunk request can
+      // never traverse outside the state directory.
+      std::optional<ShardManifest> manifest =
+          load_shard_manifest_file(options_.state_dir + "/MANIFEST");
+      if (!manifest.has_value()) {
+        *type = MsgType::kError;
+        encode_error({ErrCode::kSnapshotNeeded,
+                      "no committed snapshot; SNAPSHOT_LIST first"},
+                     payload);
+        return;
+      }
+      const std::vector<std::string> names = snapshot_file_names(*manifest);
+      if (std::find(names.begin(), names.end(), req.name) == names.end()) {
+        return bad_request("name not in the current snapshot listing");
+      }
+      std::ifstream in(options_.state_dir + "/" + req.name,
+                       std::ios::binary | std::ios::ate);
+      if (!in) {
+        // Listed a moment ago but gone now: a newer save swapped
+        // generations. The fetcher restarts from a fresh listing.
+        *type = MsgType::kError;
+        encode_error({ErrCode::kSnapshotNeeded,
+                      "snapshot file superseded; re-list"},
+                     payload);
+        return;
+      }
+      SnapshotDataResponse resp;
+      resp.total_size = static_cast<uint64_t>(in.tellg());
+      // Clamp so the response payload (fixed fields + data) always fits
+      // the frame limit, whatever max_len the client asked for.
+      const uint32_t cap = kMaxPayloadBytes - 64;
+      const uint32_t max_len = std::min(req.max_len, cap);
+      if (req.offset < resp.total_size) {
+        const uint64_t avail = resp.total_size - req.offset;
+        const size_t want =
+            static_cast<size_t>(std::min<uint64_t>(avail, max_len));
+        resp.data.resize(want);
+        in.seekg(static_cast<std::streamoff>(req.offset));
+        if (!in.read(resp.data.data(),
+                     static_cast<std::streamsize>(want))) {
+          *type = MsgType::kError;
+          encode_error({ErrCode::kInternal, "snapshot file short read"},
+                       payload);
+          return;
+        }
+      }
+      *type = MsgType::kSnapshotData;
+      encode_snapshot_data(resp, payload);
       return;
     }
     case MsgType::kDrain: {
@@ -726,6 +1018,63 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
     default:
       return bad_request("unknown request type");
   }
+}
+
+bool Server::forward_to_replica(MsgType type, const std::string& payload,
+                                std::string* resp_payload) {
+  const size_t n = replica_channels_.size();
+  if (n == 0) return false;
+  // The staleness reference is the local epoch observed BEFORE the call:
+  // an ingest racing the forwarded query may advance the local epoch past
+  // the replica's answer, but that answer was current when the query
+  // arrived — exactly the bound a local execution would have given.
+  const uint64_t local_epoch = backend_->epoch();
+  const auto cooldown = std::chrono::duration_cast<obs::Clock::duration>(
+      std::chrono::duration<double>(options_.replica_retry_sec));
+  const size_t start = replica_rr_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    ReplicaChannel& channel = *replica_channels_[(start + i) % n];
+    std::unique_lock<std::mutex> lock(channel.mu, std::try_to_lock);
+    if (!lock.owns_lock()) continue;  // busy with another worker's call
+    if (channel.cooldown_until != obs::Clock::time_point{} &&
+        obs::Clock::now() < channel.cooldown_until) {
+      continue;
+    }
+    if (channel.client == nullptr) {
+      const double timeout = options_.request_timeout_sec > 0
+                                 ? options_.request_timeout_sec
+                                 : 5.0;
+      channel.client = Client::connect(channel.host, channel.port, timeout);
+      if (channel.client == nullptr) {
+        channel.cooldown_until = obs::Clock::now() + cooldown;
+        continue;
+      }
+    }
+    MsgType resp_type = MsgType::kError;
+    std::string raw;
+    CallResult result = channel.client->call(type, payload, &resp_type, &raw);
+    if (!result.transport_ok) {
+      channel.client.reset();
+      channel.cooldown_until = obs::Clock::now() + cooldown;
+      continue;
+    }
+    if (resp_type != MsgType::kRelated) continue;  // replica-side refusal
+    RelatedResponse related;
+    if (!decode_related(raw, &related)) {
+      channel.client.reset();
+      channel.cooldown_until = obs::Clock::now() + cooldown;
+      continue;
+    }
+    if (local_epoch > related.epoch &&
+        local_epoch - related.epoch > options_.replica_staleness) {
+      continue;  // healthy but too far behind; try the next channel
+    }
+    // Replicas are bit-identical to the leader at frame boundaries, so
+    // the replica's RELATED bytes pass through verbatim.
+    *resp_payload = std::move(raw);
+    return true;
+  }
+  return false;
 }
 
 void Server::send_frame(const std::shared_ptr<Connection>& conn, MsgType type,

@@ -1,0 +1,244 @@
+#include "replication/replica.h"
+
+#include <chrono>
+#include <filesystem>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "net/frame.h"
+#include "storage/format_util.h"
+#include "storage/shard_manifest.h"
+#include "storage/wal_codec.h"
+
+namespace ibseg {
+namespace repl {
+
+namespace {
+
+/// Client-side defense for fetched file names: the server derives its
+/// listing from the manifest, but a replica must not let a compromised or
+/// buggy leader write outside its own directory either.
+bool safe_snapshot_name(const std::string& name) {
+  if (name.empty() || name.front() == '/') return false;
+  if (name.find("..") != std::string::npos) return false;
+  return name == "MANIFEST" || name.rfind("shard-", 0) == 0;
+}
+
+/// Pulls one listed file in chunks and verifies it against the listing's
+/// size and whole-file CRC-32 before anyone trusts the bytes.
+bool fetch_file(net::Client* client, const net::SnapshotFileEntry& entry,
+                std::string* out) {
+  out->clear();
+  out->reserve(static_cast<size_t>(entry.size));
+  while (out->size() < entry.size) {
+    net::SnapshotChunkRequest req;
+    req.name = entry.name;
+    req.offset = out->size();
+    req.max_len = 4u * 1024u * 1024u;
+    net::SnapshotDataResponse resp;
+    if (!client->snapshot_chunk(req, &resp).ok()) return false;
+    // A size change or an empty chunk mid-file means the leader's
+    // snapshot moved under us — restart the bootstrap from a new listing.
+    if (resp.total_size != entry.size || resp.data.empty()) return false;
+    out->append(resp.data);
+  }
+  return out->size() == entry.size &&
+         crc32(out->data(), out->size()) == entry.crc;
+}
+
+/// Wire bootstrap: fetch the leader's committed snapshot into `dir`.
+/// Shard files are written (atomically, fsync'd) before the MANIFEST —
+/// the manifest's presence asserts completeness, exactly as for a local
+/// save, so a crash mid-fetch leaves a directory the next bootstrap
+/// simply fetches over.
+bool fetch_snapshot(const ReplicaOptions& options) {
+  std::unique_ptr<net::Client> client = net::Client::connect(
+      options.leader_host, options.leader_port, options.connect_timeout_sec);
+  if (client == nullptr) return false;
+  net::SnapshotListingResponse listing;
+  if (!client->snapshot_list(&listing).ok()) return false;
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) return false;
+
+  std::string manifest_bytes;
+  bool have_manifest = false;
+  for (const net::SnapshotFileEntry& entry : listing.files) {
+    if (!safe_snapshot_name(entry.name)) return false;
+    std::string bytes;
+    if (!fetch_file(client.get(), entry, &bytes)) return false;
+    if (entry.name == "MANIFEST") {
+      manifest_bytes = std::move(bytes);
+      have_manifest = true;
+      continue;
+    }
+    const std::string path = options.dir + "/" + entry.name;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+    if (ec) return false;
+    if (!atomic_write_file(path, [&](std::ostream& os) {
+          os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+          return static_cast<bool>(os);
+        })) {
+      return false;
+    }
+  }
+  if (!have_manifest) return false;
+  return atomic_write_file(options.dir + "/MANIFEST", [&](std::ostream& os) {
+    os.write(manifest_bytes.data(),
+             static_cast<std::streamsize>(manifest_bytes.size()));
+    return static_cast<bool>(os);
+  });
+}
+
+}  // namespace
+
+std::unique_ptr<Replica> Replica::bootstrap(ReplicaOptions options) {
+  if (options.dir.empty()) return nullptr;
+  if (!load_shard_manifest_file(options.dir + "/MANIFEST").has_value()) {
+    if (!fetch_snapshot(options)) return nullptr;
+  }
+  std::unique_ptr<ShardedServing> backend = ShardedServing::restore(
+      options.dir, options.pipeline, options.serving);
+  if (backend == nullptr) return nullptr;
+  return std::unique_ptr<Replica>(
+      new Replica(std::move(options), std::move(backend)));
+}
+
+Replica::Replica(ReplicaOptions options,
+                 std::unique_ptr<ShardedServing> backend)
+    : options_(std::move(options)),
+      backend_(std::move(backend)),
+      last_caught_up_(obs::Clock::now()),
+      lag_frames_(obs::MetricsRegistry::global().gauge(
+          "ibseg_replica_lag_frames",
+          "Publications the leader is ahead of this replica, observed on "
+          "the last successful pull.",
+          {{"replica", options_.replica_id}})),
+      lag_seconds_(obs::MetricsRegistry::global().gauge(
+          "ibseg_replica_lag_seconds",
+          "Seconds since this replica was last at the leader's epoch (0 "
+          "while caught up).",
+          {{"replica", options_.replica_id}})),
+      applied_total_(obs::MetricsRegistry::global().counter(
+          "ibseg_replica_applied_total",
+          "WAL frames applied by this replica since process start.",
+          {{"replica", options_.replica_id}})) {}
+
+Replica::~Replica() { stop(); }
+
+bool Replica::ensure_client() {
+  if (client_ != nullptr) return true;
+  client_ = net::Client::connect(options_.leader_host, options_.leader_port,
+                                 options_.connect_timeout_sec);
+  return client_ != nullptr;
+}
+
+Replica::StepStatus Replica::step() {
+  std::lock_guard<std::mutex> lock(step_mu_);
+  const StepStatus status = step_locked();
+  last_status_.store(status, std::memory_order_relaxed);
+  return status;
+}
+
+Replica::StepStatus Replica::step_locked() {
+  if (!ensure_client()) return StepStatus::kTransportError;
+
+  net::SubscribeWalRequest req;
+  req.from_seq = backend_->epoch();
+  req.replica_generation = backend_->offline_generation();
+  req.max_frames = options_.max_frames;
+  req.max_bytes = options_.max_bytes;
+  req.replica_id = options_.replica_id;
+  net::WalSegmentResponse seg;
+  net::CallResult result = client_->subscribe_wal(req, &seg);
+  if (!result.transport_ok) {
+    client_.reset();
+    return StepStatus::kTransportError;
+  }
+  if (!result.ok()) {
+    return result.error.code == net::ErrCode::kSnapshotNeeded
+               ? StepStatus::kSnapshotNeeded
+               : StepStatus::kDiverged;
+  }
+  leader_seq_.store(seg.leader_seq, std::memory_order_relaxed);
+
+  std::vector<WalRecord> records;
+  if (!wal_parse_frames_exact(seg.raw.data(), seg.raw.size(), &records) ||
+      records.size() != seg.frame_count) {
+    return StepStatus::kDiverged;
+  }
+  if (!records.empty()) {
+    if (seg.segment_generation != backend_->offline_generation() ||
+        seg.base_seq != req.from_seq) {
+      return StepStatus::kDiverged;
+    }
+    if (!backend_->apply_shipped(seg.base_seq, records)) {
+      return StepStatus::kDiverged;
+    }
+    applied_total_.inc(records.size());
+  }
+  if (seg.recluster_after != 0) {
+    // The segment ends exactly at a leader recluster boundary, and the
+    // replica's corpus is now the exact cut the leader reclustered over —
+    // the rebuild is a pure function of that cut, so the mirrored epoch
+    // reproduces the leader's clustering bit-for-bit.
+    const uint64_t generation = backend_->recluster();
+    if (generation != seg.recluster_target) return StepStatus::kDiverged;
+  }
+
+  update_lag(seg.leader_seq);
+  if (!client_->wal_ack(backend_->epoch(), options_.replica_id)
+           .transport_ok) {
+    client_.reset();  // position still applied; only the ack was lost
+  }
+  return backend_->epoch() >= seg.leader_seq ? StepStatus::kCaughtUp
+                                             : StepStatus::kApplied;
+}
+
+void Replica::update_lag(uint64_t leader_seq) {
+  const uint64_t epoch = backend_->epoch();
+  const uint64_t lag = leader_seq > epoch ? leader_seq - epoch : 0;
+  lag_frames_.set(static_cast<double>(lag));
+  const obs::Clock::time_point now = obs::Clock::now();
+  if (lag == 0) {
+    last_caught_up_ = now;
+    lag_seconds_.set(0.0);
+  } else {
+    lag_seconds_.set(obs::seconds_between(last_caught_up_, now));
+  }
+}
+
+void Replica::start_polling() {
+  if (poll_thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  poll_thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_acquire)) {
+      const StepStatus status = step();
+      if (status == StepStatus::kSnapshotNeeded ||
+          status == StepStatus::kDiverged) {
+        return;  // terminal: the operator must re-bootstrap or intervene
+      }
+      if (status == StepStatus::kApplied) continue;  // catch-up: no sleep
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.poll_interval_ms));
+    }
+  });
+}
+
+void Replica::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (poll_thread_.joinable()) poll_thread_.join();
+}
+
+bool Replica::promote(const std::string& leader_dir) {
+  stop();
+  std::lock_guard<std::mutex> lock(step_mu_);
+  client_.reset();
+  return backend_->catch_up_from_dir(leader_dir);
+}
+
+}  // namespace repl
+}  // namespace ibseg

@@ -31,10 +31,9 @@ const std::array<uint32_t, 256>& crc_table() {
   return table;
 }
 
-/// fsyncs the directory containing `path` so a rename into it is durable.
-/// Best-effort: some filesystems reject O_RDONLY directory fsync; the data
-/// file itself is already synced by then.
-void fsync_parent_dir(const std::string& path) {
+}  // namespace
+
+bool fsync_parent_dir(const std::string& path) {
   size_t slash = path.find_last_of('/');
   std::string dir;
   if (slash == std::string::npos) {
@@ -45,13 +44,11 @@ void fsync_parent_dir(const std::string& path) {
     dir = path.substr(0, slash);
   }
   int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
+  if (fd < 0) return false;
+  bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
 }
-
-}  // namespace
 
 bool read_line(std::istream& is, std::string* line) {
   if (!std::getline(is, *line)) return false;
@@ -102,7 +99,9 @@ bool atomic_write_file(const std::string& path,
     std::remove(tmp.c_str());
     return false;
   }
-  fsync_parent_dir(path);
+  // Best-effort: some filesystems reject O_RDONLY directory fsync; the data
+  // file itself is already synced by then.
+  (void)fsync_parent_dir(path);
   return true;
 }
 

@@ -73,6 +73,14 @@ uint32_t crc32(const void* data, size_t len, uint32_t crc = 0);
 bool atomic_write_file(const std::string& path,
                        const std::function<bool(std::ostream&)>& writer);
 
+/// fsyncs the directory containing `path`, making a rename (or create) of
+/// that entry durable: POSIX only guarantees the new name survives a power
+/// failure once the *directory* is synced, not just the file. Returns false
+/// when the directory cannot be opened or the fsync fails (some filesystems
+/// reject O_RDONLY directory fsync — callers on best-effort paths ignore
+/// the result; durability-policy-gated callers propagate it).
+bool fsync_parent_dir(const std::string& path);
+
 }  // namespace ibseg
 
 #endif  // IBSEG_STORAGE_FORMAT_UTIL_H_

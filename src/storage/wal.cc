@@ -3,32 +3,30 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "storage/format_util.h"
+#include "storage/wal_codec.h"
 
 namespace ibseg {
 namespace {
 
-/// Upper bound on one record's payload; a corrupt length field must look
-/// torn, not trigger a giant allocation. Far above any real forum post.
-constexpr uint32_t kMaxPayload = 64u << 20;  // 64 MiB
-
-void put_u32_raw(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-
-uint32_t get_u32_raw(const unsigned char* p) {
-  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
-         static_cast<uint32_t>(p[2]) << 16 |
-         static_cast<uint32_t>(p[3]) << 24;
-}
-
-/// Writes all of `data`, retrying short writes. Returns false on error.
+/// Writes all of `data`, retrying short writes and EINTR. Returns false on
+/// error. The retry matters: WAL appends run inside the ingest publish path
+/// while the process handles signals (the server's drain SIGTERM, profiler
+/// SIGPROF storms), and without SA_RESTART a signal landing mid-write(2)
+/// returns EINTR — a spurious append failure that would fail an ingest the
+/// client then retries into a duplicate. Kernel-level partial writes and
+/// signal interruptions are both resumable; only a real error code aborts.
 bool write_fully(int fd, const char* data, size_t len) {
   while (len > 0) {
     ssize_t n = ::write(fd, data, len);
-    if (n < 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
     data += n;
     len -= static_cast<size_t>(n);
   }
@@ -37,13 +35,18 @@ bool write_fully(int fd, const char* data, size_t len) {
 
 /// Reads the whole file into `out` (the WAL between snapshots is bounded
 /// by the ingest volume since the last save; reading it whole keeps the
-/// frame scan trivial). Returns false on read error.
+/// frame scan trivial). Retries EINTR for the same reason write_fully does
+/// — recovery may run with signal handlers already installed. Returns
+/// false on read error.
 bool read_fully(int fd, std::string* out) {
   out->clear();
   char buf[1 << 16];
   for (;;) {
     ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
     if (n == 0) return true;
     out->append(buf, static_cast<size_t>(n));
   }
@@ -54,8 +57,24 @@ bool read_fully(int fd, std::string* out) {
 std::unique_ptr<IngestWal> IngestWal::open(const std::string& path,
                                            const WalOptions& options,
                                            std::vector<WalRecord>* replayed) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  // Open-then-create (instead of one O_CREAT open) so a freshly created
+  // log is distinguishable: its directory entry must be fsync'd under a
+  // durable policy, or a power failure could drop the *name* of a WAL
+  // whose appends were faithfully synced. O_CLOEXEC keeps the descriptor
+  // out of forked children (the crash-injection tests fork liberally; a
+  // leaked fd would let a child's exit path touch the parent's log).
+  bool created = false;
+  int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0 && errno == ENOENT) {
+    fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    created = fd >= 0;
+  }
   if (fd < 0) return nullptr;
+  if (created && options.fsync != WalFsync::kNone &&
+      !fsync_parent_dir(path)) {
+    ::close(fd);
+    return nullptr;
+  }
 
   std::string data;
   if (!read_fully(fd, &data)) {
@@ -63,25 +82,9 @@ std::unique_ptr<IngestWal> IngestWal::open(const std::string& path,
     return nullptr;
   }
 
-  // Scan frames; stop at the first invalid one — that offset becomes the
-  // new end of the log.
-  size_t pos = 0;
+  // Scan frames; the first invalid one marks the new end of the log.
   if (replayed != nullptr) replayed->clear();
-  while (data.size() - pos >= 8) {
-    const auto* p = reinterpret_cast<const unsigned char*>(data.data() + pos);
-    uint32_t len = get_u32_raw(p);
-    uint32_t crc = get_u32_raw(p + 4);
-    if (len < 4 || len > kMaxPayload || data.size() - pos - 8 < len) break;
-    const char* payload = data.data() + pos + 8;
-    if (crc32(payload, len) != crc) break;
-    if (replayed != nullptr) {
-      WalRecord rec;
-      rec.id = get_u32_raw(reinterpret_cast<const unsigned char*>(payload));
-      rec.text.assign(payload + 4, len - 4);
-      replayed->push_back(std::move(rec));
-    }
-    pos += 8 + len;
-  }
+  size_t pos = wal_scan_frames(data.data(), data.size(), replayed);
 
   if (pos != data.size()) {
     // Torn (or trailing-corrupt) tail: drop it so the next append starts
@@ -104,15 +107,8 @@ IngestWal::~IngestWal() {
 }
 
 bool IngestWal::write_frame(const WalRecord& record) {
-  std::string payload;
-  payload.reserve(4 + record.text.size());
-  put_u32_raw(&payload, record.id);
-  payload.append(record.text);
   std::string frame;
-  frame.reserve(8 + payload.size());
-  put_u32_raw(&frame, static_cast<uint32_t>(payload.size()));
-  put_u32_raw(&frame, crc32(payload.data(), payload.size()));
-  frame.append(payload);
+  wal_encode_frame(record, &frame);
   // One write(2) for the whole frame: a process kill between appends can
   // only tear the record currently being written, never an earlier one.
   if (!write_fully(fd_, frame.data(), frame.size())) return false;
@@ -157,9 +153,35 @@ bool IngestWal::sync() {
 }
 
 bool IngestWal::reset() {
-  if (::ftruncate(fd_, 0) != 0) return false;
-  if (::lseek(fd_, 0, SEEK_SET) < 0) return false;
-  return sync();
+  // Replace the inode rather than ftruncate-in-place. If an in-place
+  // truncation's size change is lost to a power failure, the stale
+  // pre-reset frames — still CRC-valid — survive on disk; appends after
+  // the (undone) reset overwrite them from offset 0, and a tail that
+  // happens to land exactly on a stale frame boundary makes the recovery
+  // scan walk seamlessly from real frames into resurrected old ones.
+  // Nothing in the framing can distinguish that case. A fresh empty inode
+  // renamed over the path cannot resurrect old bytes by construction.
+  const std::string tmp =
+      path_ + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int nfd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (nfd < 0) return false;
+  // reset() runs right after a snapshot save made every logged record
+  // redundant; it is rare, so the replacement is made durable regardless
+  // of the append-path fsync policy (matching the old always-fsync'd
+  // truncate): empty file synced, renamed, directory entry synced.
+  if (::fsync(nfd) != 0 || std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    ::close(nfd);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (!fsync_parent_dir(path_)) {
+    ::close(nfd);
+    return false;
+  }
+  ::close(fd_);
+  fd_ = nfd;
+  unsynced_ = 0;
+  return true;
 }
 
 }  // namespace ibseg

@@ -56,8 +56,12 @@ class IngestWal {
   /// length, short payload, or CRC mismatch); the file is truncated there,
   /// so a torn tail is dropped instead of failing recovery. Replaying past
   /// a gap would reorder publication, so everything after the first bad
-  /// frame is discarded with it. Returns nullptr only when the file cannot
-  /// be opened or the truncation itself fails.
+  /// frame is discarded with it. When the call creates the file and the
+  /// policy is not kNone, the directory entry is fsync'd too — synced
+  /// appends into a file whose *name* is not durable survive nothing.
+  /// Returns nullptr only when the file cannot be opened, the create's
+  /// directory fsync fails under a durable policy, or the truncation
+  /// itself fails.
   static std::unique_ptr<IngestWal> open(const std::string& path,
                                          const WalOptions& options,
                                          std::vector<WalRecord>* replayed);
@@ -77,8 +81,13 @@ class IngestWal {
   /// Forces an fsync regardless of policy.
   bool sync();
 
-  /// Truncates the log to empty — called right after a snapshot save has
-  /// made every logged record redundant. The truncation is fsync'd.
+  /// Empties the log — called right after a snapshot save has made every
+  /// logged record redundant. Implemented as a fresh empty inode renamed
+  /// over the path (file and directory entry both fsync'd), never an
+  /// in-place ftruncate: a truncation whose size change is lost to power
+  /// failure leaves stale CRC-valid frames on disk for later appends to
+  /// overwrite, and a post-reset tail ending exactly on a stale frame
+  /// boundary would replay resurrected records as current.
   bool reset();
 
   /// Records appended through this handle (excludes replayed ones).

@@ -1,0 +1,65 @@
+#include "storage/wal_codec.h"
+
+#include "storage/format_util.h"
+
+namespace ibseg {
+namespace {
+
+void put_u32_raw(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t get_u32_raw(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+void wal_encode_frame(const WalRecord& record, std::string* out) {
+  std::string payload;
+  payload.reserve(4 + record.text.size());
+  put_u32_raw(&payload, record.id);
+  payload.append(record.text);
+  out->reserve(out->size() + kWalFrameHeaderBytes + payload.size());
+  put_u32_raw(out, static_cast<uint32_t>(payload.size()));
+  put_u32_raw(out, crc32(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+size_t wal_scan_frames(const char* data, size_t size,
+                       std::vector<WalRecord>* out) {
+  size_t pos = 0;
+  while (size - pos >= kWalFrameHeaderBytes) {
+    const auto* p = reinterpret_cast<const unsigned char*>(data + pos);
+    uint32_t len = get_u32_raw(p);
+    uint32_t crc = get_u32_raw(p + 4);
+    if (len < 4 || len > kWalMaxPayload ||
+        size - pos - kWalFrameHeaderBytes < len) {
+      break;
+    }
+    const char* payload = data + pos + kWalFrameHeaderBytes;
+    if (crc32(payload, len) != crc) break;
+    if (out != nullptr) {
+      WalRecord rec;
+      rec.id = get_u32_raw(reinterpret_cast<const unsigned char*>(payload));
+      rec.text.assign(payload + 4, len - 4);
+      out->push_back(std::move(rec));
+    }
+    pos += kWalFrameHeaderBytes + len;
+  }
+  return pos;
+}
+
+bool wal_parse_frames_exact(const char* data, size_t size,
+                            std::vector<WalRecord>* out) {
+  out->clear();
+  if (wal_scan_frames(data, size, out) != size) {
+    out->clear();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ibseg

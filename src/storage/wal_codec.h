@@ -1,0 +1,48 @@
+#ifndef IBSEG_STORAGE_WAL_CODEC_H_
+#define IBSEG_STORAGE_WAL_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/wal.h"
+
+namespace ibseg {
+
+/// The WAL frame layout, factored out of IngestWal so WAL shipping (the
+/// replication layer streams byte-identical frames over the wire) and the
+/// recovery scan share one codec:
+///
+///   u32 payload length | u32 CRC-32(payload) | payload
+///   payload := u32 doc id | text bytes
+///
+/// (little-endian throughout).
+
+/// Upper bound on one record's payload; a corrupt length field must look
+/// torn, not trigger a giant allocation. Far above any real forum post.
+constexpr uint32_t kWalMaxPayload = 64u << 20;  // 64 MiB
+
+/// Bytes of length + CRC preceding each payload.
+constexpr size_t kWalFrameHeaderBytes = 8;
+
+/// Appends the framed encoding of `record` to `*out`.
+void wal_encode_frame(const WalRecord& record, std::string* out);
+
+/// Scans `data` for complete valid frames, appending each decoded record to
+/// `*out` (when non-null) in order. Stops at the first invalid frame (bad
+/// length, short payload, or CRC mismatch) and returns the byte offset just
+/// past the last valid one — the truncation point recovery uses, and the
+/// frame-boundary guarantee shipping relies on.
+size_t wal_scan_frames(const char* data, size_t size,
+                       std::vector<WalRecord>* out);
+
+/// Strict variant for wire-shipped segments: returns true iff [data, size)
+/// is *exactly* a whole number of valid frames — a torn or trailing-garbage
+/// segment is a protocol error on the wire, not a tail to be truncated.
+/// On failure `*out` is cleared.
+bool wal_parse_frames_exact(const char* data, size_t size,
+                            std::vector<WalRecord>* out);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_STORAGE_WAL_CODEC_H_

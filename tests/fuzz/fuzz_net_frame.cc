@@ -111,6 +111,54 @@ void exercise_payload(MsgType type, std::string_view payload) {
       assert(again == payload);
       break;
     }
+    case MsgType::kSubscribeWal: {
+      SubscribeWalRequest a;
+      if (!decode_subscribe_wal(payload, &a)) return;
+      std::string again;
+      encode_subscribe_wal(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kWalAck: {
+      WalAckRequest a;
+      if (!decode_wal_ack(payload, &a)) return;
+      std::string again;
+      encode_wal_ack(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kSnapshotChunk: {
+      SnapshotChunkRequest a;
+      if (!decode_snapshot_chunk(payload, &a)) return;
+      std::string again;
+      encode_snapshot_chunk(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kWalSegment: {
+      WalSegmentResponse a;
+      if (!decode_wal_segment(payload, &a)) return;
+      std::string again;
+      encode_wal_segment(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kSnapshotListing: {
+      SnapshotListingResponse a;
+      if (!decode_snapshot_listing(payload, &a)) return;
+      std::string again;
+      encode_snapshot_listing(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kSnapshotData: {
+      SnapshotDataResponse a;
+      if (!decode_snapshot_data(payload, &a)) return;
+      std::string again;
+      encode_snapshot_data(a, &again);
+      assert(again == payload);
+      break;
+    }
     default:
       // PING/SAVE/DRAIN/SAVED/DRAINING and unknown types: the payload
       // contract is "empty"; nothing to decode, nothing to crash.
@@ -145,7 +193,9 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   for (MsgType type :
        {MsgType::kQuery, MsgType::kAsk, MsgType::kAddPost, MsgType::kAddPosts,
         MsgType::kMetrics, MsgType::kPong, MsgType::kRelated, MsgType::kAdded,
-        MsgType::kMetricsData, MsgType::kError}) {
+        MsgType::kMetricsData, MsgType::kError, MsgType::kSubscribeWal,
+        MsgType::kWalAck, MsgType::kSnapshotChunk, MsgType::kWalSegment,
+        MsgType::kSnapshotListing, MsgType::kSnapshotData}) {
     exercise_payload(type, tail);
   }
   return 0;
@@ -210,6 +260,51 @@ std::vector<std::string> fuzz_seed_inputs() {
   p.clear();
   encode_error({ErrCode::kOverloaded, "too many in-flight requests"}, &p);
   add_frame(MsgType::kError, p);
+
+  p.clear();
+  encode_subscribe_wal({18, 2, 256, 1u << 20, "replica-a"}, &p);
+  add_frame(MsgType::kSubscribeWal, p);
+
+  p.clear();
+  encode_wal_ack({18, "replica-a"}, &p);
+  add_frame(MsgType::kWalAck, p);
+
+  add_frame(MsgType::kSnapshotList, {});
+
+  p.clear();
+  encode_snapshot_chunk({"shard-0/snapshot.v2", 4096, 1u << 16}, &p);
+  add_frame(MsgType::kSnapshotChunk, p);
+
+  p.clear();
+  WalSegmentResponse segment;
+  segment.base_seq = 18;
+  segment.leader_seq = 20;
+  segment.leader_generation = 2;
+  segment.segment_generation = 2;
+  segment.recluster_after = 1;
+  segment.recluster_target = 3;
+  segment.frame_count = 1;
+  // One syntactically plausible WAL frame: len | crc | doc_id | text. The
+  // codec constraint frame_count * 12 <= raw.size() is what matters here;
+  // the CRC need not verify for the wire decoder.
+  segment.raw = std::string("\x08\x00\x00\x00\xAA\xBB\xCC\xDD", 8) +
+                std::string("\x2A\x00\x00\x00post", 8);
+  encode_wal_segment(segment, &p);
+  add_frame(MsgType::kWalSegment, p);
+
+  p.clear();
+  SnapshotListingResponse listing;
+  listing.generation = 2;
+  listing.num_shards = 2;
+  listing.files = {{"MANIFEST", 512, 0xDEADBEEF},
+                   {"shard-0/snapshot.g2.v2", 8192, 1},
+                   {"shard-1/snapshot.g2.v2", 8192, 2}};
+  encode_snapshot_listing(listing, &p);
+  add_frame(MsgType::kSnapshotListing, p);
+
+  p.clear();
+  encode_snapshot_data({8192, "snapshot bytes here"}, &p);
+  add_frame(MsgType::kSnapshotData, p);
 
   // A two-frame stream seed so mutation explores the framing loop.
   std::string stream;

@@ -341,6 +341,44 @@ TEST(ShardedKillSafety, FourShardCrashMidIngestRecoversBitIdentical) {
   }
 }
 
+TEST(ShardedKillSafety, FreshlyCreatedDeploymentSurvivesCrashMidIngest) {
+  // Unlike the other trials, the CHILD builds the persisted deployment:
+  // create() with a shard_dir opens brand-new WAL + journal files, whose
+  // directory entries must be made durable at creation (the create-dirent
+  // fsync path) — otherwise a crash could lose the *names* of logs whose
+  // appends were faithfully synced. The child creates, commits the base
+  // save, ingests mid-stream and dies with _exit; the parent restores and
+  // must land on the exact pre-crash epoch.
+  const std::vector<std::string> stream = ingest_stream();
+  const size_t kIngests = 4;
+  std::string dir = tmp_dir("fresh_create");
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    ServingOptions options;
+    options.num_shards = static_cast<int>(kShards);
+    options.persist.shard_dir = dir;
+    auto sharded = ShardedServing::create(seed_docs(), {}, options);
+    if (sharded == nullptr) _exit(42);
+    if (!sharded->save(dir)) _exit(43);  // commit the manifest
+    for (size_t i = 0; i < kIngests; ++i) sharded->add_post(stream[i]);
+    _exit(kChildExitCode);  // WAL/journal tails left to recovery
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), kChildExitCode);
+
+  auto recovered = ShardedServing::restore(dir);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->epoch(), kIngests);
+
+  ServingPipeline unsharded(RelatedPostPipeline::build(seed_docs()));
+  for (size_t i = 0; i < kIngests; ++i) unsharded.add_post(stream[i]);
+  expect_matches_pipeline(*recovered, unsharded);
+}
+
 TEST(ShardedKillSafety, CrashBetweenShardSnapshotRenames) {
   // The multi-shard save() crash window: some shard snapshots already
   // renamed into place, the manifest commit (and the WAL/journal resets

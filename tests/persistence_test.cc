@@ -4,12 +4,17 @@
 // this file covers the formats and the single-process recovery paths.
 
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <sys/stat.h>
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/serving.h"
@@ -17,6 +22,7 @@
 #include "storage/snapshot.h"
 #include "storage/snapshot_v2.h"
 #include "storage/wal.h"
+#include "storage/wal_codec.h"
 
 namespace ibseg {
 namespace {
@@ -439,6 +445,146 @@ TEST(Wal, FsyncPoliciesAllPersist) {
     EXPECT_EQ(replayed.size(), 3u);
     std::remove(path.c_str());
   }
+}
+
+namespace eintr_storm {
+/// SIGUSR1 handler for the signal-storm test: does nothing — its only job
+/// is to interrupt whatever syscall the WAL thread is inside. Installed
+/// WITHOUT SA_RESTART, so an interrupted write(2)/read(2) really does
+/// return EINTR instead of being transparently resumed by the kernel.
+void on_signal(int) {}
+}  // namespace eintr_storm
+
+TEST(Wal, AppendsAndReplaySurviveASignalStormWithoutSaRestart) {
+  // Regression for the EINTR bug: write_fully/read_fully treated EINTR as
+  // a hard error, so a signal landing mid-syscall failed the append — an
+  // ingest the client would then retry into a duplicate. A sibling thread
+  // storms this thread with SIGUSR1 (no SA_RESTART) while records are
+  // appended and while the log is reopened; every operation must succeed
+  // and the replay must hold every record exactly once.
+  struct sigaction action = {};
+  struct sigaction saved = {};
+  action.sa_handler = eintr_storm::on_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately NOT SA_RESTART
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &saved), 0);
+
+  std::string path = tmp_path("wal_eintr");
+  constexpr size_t kRecords = 64;
+  // Large payloads keep each append inside write(2) long enough for the
+  // storm to land there (a short write resumes through the same loop).
+  const std::string payload(256 * 1024, 'x');
+
+  std::atomic<bool> stop{false};
+  pthread_t target = pthread_self();
+  std::thread storm([&stop, target] {
+    while (!stop.load(std::memory_order_acquire)) {
+      pthread_kill(target, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  });
+
+  {
+    WalOptions opts;
+    opts.fsync = WalFsync::kNone;  // the storm targets write(2), not fsync
+    std::vector<WalRecord> replayed;
+    auto wal = IngestWal::open(path, opts, &replayed);
+    ASSERT_NE(wal, nullptr);
+    for (size_t i = 0; i < kRecords; ++i) {
+      ASSERT_TRUE(wal->append({static_cast<DocId>(i), payload}))
+          << "append " << i << " failed under the signal storm";
+    }
+  }
+  // Reopen (and so replay through read_fully) with the storm still live.
+  std::vector<WalRecord> replayed;
+  auto wal = IngestWal::open(path, WalOptions{}, &replayed);
+
+  stop.store(true, std::memory_order_release);
+  storm.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &saved, nullptr), 0);
+
+  ASSERT_NE(wal, nullptr);
+  ASSERT_EQ(replayed.size(), kRecords);
+  for (size_t i = 0; i < kRecords; ++i) {
+    EXPECT_EQ(replayed[i].id, static_cast<DocId>(i));
+    EXPECT_EQ(replayed[i].text.size(), payload.size());
+  }
+  wal.reset();
+  std::remove(path.c_str());
+}
+
+TEST(Wal, ResetReplacesTheInodeInsteadOfTruncatingInPlace) {
+  // Regression for the stale-frame resurrection hazard: an in-place
+  // ftruncate whose size change is lost to a power failure leaves the old
+  // CRC-valid frames on disk, and post-reset appends overwriting them from
+  // offset 0 can splice seamlessly into them. reset() therefore renames a
+  // fresh empty inode over the log; the observable contract is that the
+  // inode number CHANGES and the log keeps working.
+  std::string path = tmp_path("wal_reset_inode");
+  std::vector<WalRecord> replayed;
+  auto wal = IngestWal::open(path, WalOptions{}, &replayed);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_TRUE(wal->append({1, "pre-reset record"}));
+
+  struct stat before = {};
+  ASSERT_EQ(::stat(path.c_str(), &before), 0);
+  ASSERT_TRUE(wal->reset());
+  struct stat after = {};
+  ASSERT_EQ(::stat(path.c_str(), &after), 0);
+  EXPECT_NE(before.st_ino, after.st_ino)
+      << "reset() must replace the inode, not truncate it in place";
+  EXPECT_EQ(after.st_size, 0);
+
+  // Appends go to the new inode and replay from the path finds them.
+  ASSERT_TRUE(wal->append({2, "post-reset record"}));
+  wal.reset();
+  std::vector<WalRecord> replayed2;
+  auto wal2 = IngestWal::open(path, WalOptions{}, &replayed2);
+  ASSERT_NE(wal2, nullptr);
+  ASSERT_EQ(replayed2.size(), 1u);
+  EXPECT_EQ(replayed2[0].id, 2u);
+  EXPECT_EQ(replayed2[0].text, "post-reset record");
+  wal2.reset();
+  std::remove(path.c_str());
+}
+
+TEST(Wal, CrcValidFrameBeyondATornGapIsNeverReplayed) {
+  // The frame scan stops at the FIRST invalid frame: a perfectly valid
+  // frame sitting beyond torn bytes (e.g. a stale frame surviving a lost
+  // truncation, or a partially overwritten region) must be dropped, not
+  // resurrected — replaying past a gap would reorder publication. The
+  // truncation must also physically remove it so no later scan can ever
+  // see it again.
+  std::string path = tmp_path("wal_gap");
+  std::string frame_a;
+  wal_encode_frame({1, "record before the gap"}, &frame_a);
+  std::string frame_c;
+  wal_encode_frame({2, "CRC-valid record beyond the gap"}, &frame_c);
+  const std::string torn("\x1f\x00\x00\x00\xde\xad", 6);
+  write_file(path, frame_a + torn + frame_c);
+
+  std::vector<WalRecord> replayed;
+  auto wal = IngestWal::open(path, WalOptions{}, &replayed);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].id, 1u);
+  EXPECT_EQ(file_size(path), frame_a.size())
+      << "the gap AND the valid frame beyond it must be truncated away";
+
+  // The same holds when the gap consists of a plausible frame header
+  // whose CRC does not match (a torn overwrite of a stale frame).
+  std::string bad_crc = frame_c;
+  bad_crc[4] = static_cast<char>(bad_crc[4] ^ 0x01);
+  write_file(path, frame_a + bad_crc + frame_c);
+  std::vector<WalRecord> replayed2;
+  wal.reset();
+  auto wal2 = IngestWal::open(path, WalOptions{}, &replayed2);
+  ASSERT_NE(wal2, nullptr);
+  ASSERT_EQ(replayed2.size(), 1u);
+  EXPECT_EQ(replayed2[0].id, 1u);
+  EXPECT_EQ(file_size(path), frame_a.size());
+  wal2.reset();
+  std::remove(path.c_str());
 }
 
 // ----------------------------------------------- serving + WAL wiring ----

@@ -1,0 +1,714 @@
+// Replication suite (ctest label "replication"): WAL shipping between
+// ShardedServing instances, the repl::Replica wire path (snapshot
+// bootstrap, pull/apply/ack, lag gauges), read-only replica servers,
+// leader-side query fan-out, and crash promotion.
+//
+// The load-bearing contract everywhere is BIT-IDENTITY: a follower that
+// applied the leader's publication sequence through apply_shipped answers
+// every query with the exact doubles the leader answers — so the
+// differential assertions here use operator== on scores, never tolerances.
+// The promotion test uses the same fork + _exit(2) crash model as
+// kill_safety_test.cc: a child leader ingests durable posts and dies
+// without any cleanup; the replica promotes from the dead leader's
+// on-disk tail and must hold every acknowledged ingest.
+//
+// scripts/reproduce.sh IBSEG_REPL_CHECK=1 runs this label normally and
+// under TSan.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_serving.h"
+#include "datagen/post_generator.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "replication/replica.h"
+#include "storage/wal_codec.h"
+
+namespace ibseg {
+namespace {
+
+constexpr int kChildExitCode = 2;
+
+GeneratorOptions corpus_options(size_t posts, uint64_t seed) {
+  GeneratorOptions gen;
+  gen.num_posts = posts;
+  gen.posts_per_scenario = 3;
+  gen.seed = seed;
+  return gen;
+}
+
+std::vector<Document> seed_docs() {
+  return analyze_corpus(generate_corpus(corpus_options(18, 4242)));
+}
+
+std::vector<std::string> ingest_stream(size_t count = 10, uint64_t seed = 777) {
+  SyntheticCorpus corpus = generate_corpus(corpus_options(count, seed));
+  std::vector<std::string> texts;
+  for (const GeneratedPost& p : corpus.posts) texts.push_back(p.text);
+  return texts;
+}
+
+std::string tmp_dir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/ibseg_repl_" + name + "_" +
+                    std::to_string(static_cast<long>(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Bit-identical comparison of two sharded deployments over every corpus
+/// document: same ids, same ranking, operator== on the double scores.
+void expect_identical_backends(const ShardedServing& a,
+                               const ShardedServing& b) {
+  ASSERT_EQ(a.epoch(), b.epoch());
+  ASSERT_EQ(a.num_docs(), b.num_docs());
+  ASSERT_EQ(a.next_id(), b.next_id());
+  ASSERT_EQ(a.offline_generation(), b.offline_generation());
+  const DocId num_docs = static_cast<DocId>(a.num_docs());
+  for (DocId doc = 0; doc < num_docs; ++doc) {
+    auto ra = a.find_related(doc, 5);
+    auto rb = b.find_related(doc, 5);
+    ASSERT_EQ(ra.results.size(), rb.results.size()) << "query " << doc;
+    for (size_t i = 0; i < ra.results.size(); ++i) {
+      ASSERT_EQ(ra.results[i].doc, rb.results[i].doc)
+          << "query " << doc << " rank " << i;
+      ASSERT_EQ(ra.results[i].score, rb.results[i].score)
+          << "query " << doc << " rank " << i;
+    }
+  }
+}
+
+/// Pulls one segment from `leader` at the follower's cursor and applies
+/// it (plus any mirrored recluster). Returns the number of frames applied.
+size_t pull_once(const ShardedServing& leader, ShardedServing* follower,
+                 uint32_t max_frames = 256,
+                 uint32_t max_bytes = 4u * 1024u * 1024u) {
+  ShardedServing::ShipSegment seg = leader.ship_segment(
+      follower->epoch(), follower->offline_generation(), max_frames,
+      max_bytes);
+  EXPECT_EQ(seg.status, ShardedServing::ShipSegment::Status::kOk);
+  std::vector<WalRecord> records;
+  EXPECT_TRUE(wal_parse_frames_exact(seg.raw.data(), seg.raw.size(),
+                                     &records));
+  EXPECT_EQ(records.size(), seg.frame_count);
+  if (!records.empty()) {
+    EXPECT_EQ(seg.base_seq, follower->epoch());
+    EXPECT_EQ(seg.segment_generation, follower->offline_generation());
+    EXPECT_TRUE(follower->apply_shipped(seg.base_seq, records));
+  }
+  if (seg.recluster_after) {
+    EXPECT_EQ(follower->recluster(), seg.recluster_target);
+  }
+  return records.size();
+}
+
+// ----------------------------------------------- ship/apply (in-process) ----
+
+TEST(WalShipping, ShipApplyBitIdenticalAtEveryFrameBoundary) {
+  // Leader and follower start from the same seed corpus; the leader
+  // ingests the stream; the follower pulls ONE frame at a time and must
+  // be bit-identical to a leader prefix at every boundary. Shard counts
+  // 1/2/4 — the publication sequence is shard-count-agnostic.
+  const std::vector<std::string> stream = ingest_stream();
+  for (int shards : {1, 2, 4}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    ServingOptions options;
+    options.num_shards = shards;
+    auto leader = ShardedServing::create(seed_docs(), {}, options);
+    auto follower = ShardedServing::create(seed_docs(), {}, options);
+    ASSERT_NE(leader, nullptr);
+    ASSERT_NE(follower, nullptr);
+
+    for (const std::string& text : stream) leader->add_post(text);
+    ASSERT_EQ(leader->epoch(), stream.size());
+
+    while (follower->epoch() < leader->epoch()) {
+      ASSERT_EQ(pull_once(*leader, follower.get(), /*max_frames=*/1), 1u);
+      // Mid-stream the follower equals a leader *prefix*; the cheap
+      // invariant to pin at every boundary is the epoch/id coordinates.
+      ASSERT_EQ(follower->num_docs(),
+                seed_docs().size() + follower->epoch());
+    }
+    expect_identical_backends(*leader, *follower);
+
+    // Caught up: the next pull is empty and reports the leader's seq.
+    ShardedServing::ShipSegment seg = leader->ship_segment(
+        follower->epoch(), follower->offline_generation(), 256, 1u << 20);
+    EXPECT_EQ(seg.status, ShardedServing::ShipSegment::Status::kOk);
+    EXPECT_EQ(seg.frame_count, 0u);
+    EXPECT_EQ(seg.leader_seq, leader->epoch());
+  }
+}
+
+TEST(WalShipping, DuplicateDeliveryIsIdempotentAndGapsAreRejected) {
+  ServingOptions options;
+  options.num_shards = 2;
+  auto leader = ShardedServing::create(seed_docs(), {}, options);
+  auto follower = ShardedServing::create(seed_docs(), {}, options);
+  for (const std::string& text : ingest_stream(4)) leader->add_post(text);
+
+  ShardedServing::ShipSegment seg =
+      leader->ship_segment(0, 0, 256, 1u << 20);
+  ASSERT_EQ(seg.status, ShardedServing::ShipSegment::Status::kOk);
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(
+      wal_parse_frames_exact(seg.raw.data(), seg.raw.size(), &records));
+  ASSERT_EQ(records.size(), 4u);
+
+  // A gap (applying past the cursor) must be rejected outright.
+  std::vector<WalRecord> tail(records.begin() + 2, records.end());
+  EXPECT_FALSE(follower->apply_shipped(2, tail));
+  EXPECT_EQ(follower->epoch(), 0u);
+
+  ASSERT_TRUE(follower->apply_shipped(0, records));
+  EXPECT_EQ(follower->epoch(), 4u);
+  // Duplicate delivery (full overlap) re-checks ids and applies nothing.
+  ASSERT_TRUE(follower->apply_shipped(0, records));
+  EXPECT_EQ(follower->epoch(), 4u);
+  expect_identical_backends(*leader, *follower);
+}
+
+TEST(WalShipping, ShipSegmentStatusesAndCaps) {
+  ServingOptions options;
+  options.num_shards = 2;
+  auto leader = ShardedServing::create(seed_docs(), {}, options);
+  for (const std::string& text : ingest_stream(5)) leader->add_post(text);
+
+  // A follower claiming to be ahead of the leader is divergent.
+  EXPECT_EQ(leader->ship_segment(leader->epoch() + 1, 0, 4, 1u << 20).status,
+            ShardedServing::ShipSegment::Status::kAhead);
+
+  // A generation the leader's history never produced is unservable.
+  EXPECT_EQ(leader->ship_segment(0, 99, 4, 1u << 20).status,
+            ShardedServing::ShipSegment::Status::kSnapshotNeeded);
+
+  // max_frames caps the segment.
+  ShardedServing::ShipSegment capped = leader->ship_segment(0, 0, 2, 1u << 20);
+  EXPECT_EQ(capped.status, ShardedServing::ShipSegment::Status::kOk);
+  EXPECT_EQ(capped.frame_count, 2u);
+  EXPECT_EQ(capped.base_seq, 0u);
+  EXPECT_EQ(capped.leader_seq, 5u);
+
+  // max_bytes of 1 cannot hold any frame, but a segment must still make
+  // progress: one oversized frame ships alone.
+  ShardedServing::ShipSegment tiny = leader->ship_segment(0, 0, 4, 1);
+  EXPECT_EQ(tiny.status, ShardedServing::ShipSegment::Status::kOk);
+  EXPECT_EQ(tiny.frame_count, 1u);
+}
+
+TEST(WalShipping, ReclusterBoundaryIsMirroredExactly) {
+  // The leader ingests, runs a background re-clustering epoch, ingests
+  // more. Segments must stop AT the boundary (never straddle it), tell
+  // the follower to recluster, and the follower's mirrored rebuild —
+  // over the identical corpus cut — lands on the identical clustering.
+  const std::vector<std::string> stream = ingest_stream(7);
+  ServingOptions options;
+  options.num_shards = 2;
+  auto leader = ShardedServing::create(seed_docs(), {}, options);
+  auto follower = ShardedServing::create(seed_docs(), {}, options);
+
+  for (size_t i = 0; i < 4; ++i) leader->add_post(stream[i]);
+  ASSERT_EQ(leader->recluster(), 1u);
+  for (size_t i = 4; i < stream.size(); ++i) leader->add_post(stream[i]);
+
+  // First pull: generous caps, but the segment must stop at seq 4 with
+  // the recluster instruction.
+  ShardedServing::ShipSegment first =
+      leader->ship_segment(0, 0, 256, 1u << 20);
+  ASSERT_EQ(first.status, ShardedServing::ShipSegment::Status::kOk);
+  EXPECT_EQ(first.frame_count, 4u);
+  EXPECT_EQ(first.segment_generation, 0u);
+  EXPECT_TRUE(first.recluster_after);
+  EXPECT_EQ(first.recluster_target, 1u);
+
+  while (follower->epoch() < leader->epoch()) {
+    pull_once(*leader, follower.get());
+  }
+  EXPECT_EQ(follower->offline_generation(), 1u);
+  expect_identical_backends(*leader, *follower);
+
+  // A follower still at generation 0 but past the boundary cut is not
+  // servable from history — it must re-bootstrap.
+  EXPECT_EQ(leader->ship_segment(5, 0, 4, 1u << 20).status,
+            ShardedServing::ShipSegment::Status::kSnapshotNeeded);
+}
+
+// --------------------------------------------------- wire frame codecs ----
+
+TEST(ReplicationFrames, RoundTripAndEveryPrefixRejected) {
+  using namespace net;
+  std::vector<std::pair<const char*, std::string>> payloads;
+  std::string p;
+
+  encode_subscribe_wal({42, 3, 256, 1u << 20, "replica-7"}, &p);
+  payloads.emplace_back("subscribe_wal", p);
+
+  p.clear();
+  encode_wal_ack({41, "replica-7"}, &p);
+  payloads.emplace_back("wal_ack", p);
+
+  p.clear();
+  encode_snapshot_chunk({"shard-1/snapshot.g2.v2", 65536, 4096}, &p);
+  payloads.emplace_back("snapshot_chunk", p);
+
+  p.clear();
+  WalSegmentResponse seg;
+  seg.base_seq = 42;
+  seg.leader_seq = 44;
+  seg.leader_generation = 3;
+  seg.segment_generation = 3;
+  seg.recluster_after = 1;
+  seg.recluster_target = 4;
+  seg.frame_count = 1;
+  seg.raw = std::string("\x08\x00\x00\x00\x01\x02\x03\x04", 8) +
+            std::string("\x2A\x00\x00\x00post", 8);
+  encode_wal_segment(seg, &p);
+  payloads.emplace_back("wal_segment", p);
+
+  p.clear();
+  SnapshotListingResponse listing;
+  listing.generation = 3;
+  listing.num_shards = 2;
+  listing.files = {{"MANIFEST", 512, 0xDEADBEEF},
+                   {"shard-0/snapshot.g3.v2", 8192, 7},
+                   {"shard-1/snapshot.g3.v2", 8192, 8}};
+  encode_snapshot_listing(listing, &p);
+  payloads.emplace_back("snapshot_listing", p);
+
+  p.clear();
+  encode_snapshot_data({8192, "chunk bytes"}, &p);
+  payloads.emplace_back("snapshot_data", p);
+
+  auto decodes = [](const char* what, std::string_view bytes) {
+    if (std::string_view(what) == "subscribe_wal") {
+      SubscribeWalRequest out;
+      return decode_subscribe_wal(bytes, &out);
+    }
+    if (std::string_view(what) == "wal_ack") {
+      WalAckRequest out;
+      return decode_wal_ack(bytes, &out);
+    }
+    if (std::string_view(what) == "snapshot_chunk") {
+      SnapshotChunkRequest out;
+      return decode_snapshot_chunk(bytes, &out);
+    }
+    if (std::string_view(what) == "wal_segment") {
+      WalSegmentResponse out;
+      return decode_wal_segment(bytes, &out);
+    }
+    if (std::string_view(what) == "snapshot_listing") {
+      SnapshotListingResponse out;
+      return decode_snapshot_listing(bytes, &out);
+    }
+    SnapshotDataResponse out;
+    return decode_snapshot_data(bytes, &out);
+  };
+
+  for (const auto& [what, payload] : payloads) {
+    SCOPED_TRACE(what);
+    EXPECT_TRUE(decodes(what, payload)) << "full payload must decode";
+    // Every strict prefix must be rejected: the new codecs all pin their
+    // variable-length field to exactly the remaining bytes, so nothing
+    // shorter can be a valid payload.
+    for (size_t len = 0; len < payload.size(); ++len) {
+      EXPECT_FALSE(decodes(what, std::string_view(payload.data(), len)))
+          << "prefix of length " << len << " must be rejected";
+    }
+  }
+
+  // Field-level goldens for the richest type: decode the encoded segment
+  // back and compare every field.
+  WalSegmentResponse out;
+  ASSERT_TRUE(decode_wal_segment(payloads[3].second, &out));
+  EXPECT_EQ(out.base_seq, 42u);
+  EXPECT_EQ(out.leader_seq, 44u);
+  EXPECT_EQ(out.leader_generation, 3u);
+  EXPECT_EQ(out.segment_generation, 3u);
+  EXPECT_EQ(out.recluster_after, 1u);
+  EXPECT_EQ(out.recluster_target, 4u);
+  EXPECT_EQ(out.frame_count, 1u);
+  EXPECT_EQ(out.raw, seg.raw);
+}
+
+// -------------------------------------------------- wire replica (repl) ----
+
+/// A leader deployment with persistence + a Server over it.
+struct WireLeader {
+  std::string dir;
+  std::unique_ptr<ShardedServing> backend;
+  std::unique_ptr<net::Server> server;
+};
+
+WireLeader start_wire_leader(const std::string& name, int shards = 2) {
+  WireLeader leader;
+  leader.dir = tmp_dir(name);
+  ServingOptions serving;
+  serving.num_shards = shards;
+  serving.persist.shard_dir = leader.dir;
+  leader.backend = ShardedServing::create(seed_docs(), {}, serving);
+  EXPECT_NE(leader.backend, nullptr);
+  net::ServerOptions options;
+  options.port = 0;
+  options.state_dir = leader.dir;
+  leader.server = std::make_unique<net::Server>(leader.backend.get(), options);
+  EXPECT_TRUE(leader.server->start());
+  return leader;
+}
+
+TEST(WireReplica, BootstrapCatchUpAndLagGauges) {
+  WireLeader leader = start_wire_leader("wire_catchup");
+  for (const std::string& text : ingest_stream(2, 31)) {
+    leader.backend->add_post(text);
+  }
+
+  repl::ReplicaOptions options;
+  options.leader_port = leader.server->port();
+  options.dir = tmp_dir("wire_catchup_replica");
+  options.replica_id = "wire-catchup";  // unique: the metrics registry is
+                                        // process-global across tests
+  options.max_frames = 1;               // one frame per pull → visible lag
+  auto replica = repl::Replica::bootstrap(options);
+  ASSERT_NE(replica, nullptr);
+  // SNAPSHOT_LIST saves the leader first, so the bootstrap snapshot
+  // already contains both pre-bootstrap ingests.
+  EXPECT_EQ(replica->backend().epoch(), 2u);
+
+  // Three more leader ingests; with max_frames=1 the replica needs three
+  // pulls, and the lag gauges must count down 2 → 1 → 0.
+  for (const std::string& text : ingest_stream(3, 32)) {
+    leader.backend->add_post(text);
+  }
+  obs::Gauge& lag_frames = obs::MetricsRegistry::global().gauge(
+      "ibseg_replica_lag_frames", "", {{"replica", options.replica_id}});
+  obs::Gauge& leader_lag = obs::MetricsRegistry::global().gauge(
+      "ibseg_leader_replica_lag_frames", "",
+      {{"replica", options.replica_id}});
+
+  ASSERT_EQ(replica->step(), repl::Replica::StepStatus::kApplied);
+  EXPECT_EQ(replica->backend().epoch(), 3u);
+  EXPECT_EQ(lag_frames.value(), 2.0);
+  EXPECT_EQ(leader_lag.value(), 2.0);  // set by the WAL_ACK round trip
+  EXPECT_EQ(replica->last_leader_seq(), 5u);
+
+  ASSERT_EQ(replica->step(), repl::Replica::StepStatus::kApplied);
+  EXPECT_EQ(lag_frames.value(), 1.0);
+  ASSERT_EQ(replica->step(), repl::Replica::StepStatus::kCaughtUp);
+  EXPECT_EQ(lag_frames.value(), 0.0);
+  EXPECT_EQ(leader_lag.value(), 0.0);
+
+  obs::Counter& applied = obs::MetricsRegistry::global().counter(
+      "ibseg_replica_applied_total", "", {{"replica", options.replica_id}});
+  EXPECT_EQ(applied.value(), 3u);
+
+  expect_identical_backends(*leader.backend, replica->backend());
+
+  // A replica restart recovers from its own directory (the applied
+  // frames were journaled) and resumes caught up.
+  replica.reset();
+  options.replica_id = "wire-catchup-restarted";
+  auto again = repl::Replica::bootstrap(options);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again->backend().epoch(), 5u);
+  EXPECT_EQ(again->step(), repl::Replica::StepStatus::kCaughtUp);
+  expect_identical_backends(*leader.backend, again->backend());
+}
+
+TEST(WireReplica, PollingThreadFollowsLeaderIngest) {
+  WireLeader leader = start_wire_leader("wire_poll");
+
+  repl::ReplicaOptions options;
+  options.leader_port = leader.server->port();
+  options.dir = tmp_dir("wire_poll_replica");
+  options.replica_id = "wire-poll";
+  options.poll_interval_ms = 5;
+  auto replica = repl::Replica::bootstrap(options);
+  ASSERT_NE(replica, nullptr);
+  replica->start_polling();
+
+  for (const std::string& text : ingest_stream(4, 33)) {
+    leader.backend->add_post(text);
+  }
+  for (int i = 0; i < 2000 && replica->backend().epoch() < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  replica->stop();
+  ASSERT_EQ(replica->backend().epoch(), 4u);
+  expect_identical_backends(*leader.backend, replica->backend());
+}
+
+TEST(WireReplica, ReadOnlyServerRejectsMutationsButServesReads) {
+  WireLeader leader = start_wire_leader("wire_readonly");
+
+  repl::ReplicaOptions replica_options;
+  replica_options.leader_port = leader.server->port();
+  replica_options.dir = tmp_dir("wire_readonly_replica");
+  replica_options.replica_id = "wire-readonly";
+  auto replica = repl::Replica::bootstrap(replica_options);
+  ASSERT_NE(replica, nullptr);
+
+  net::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.read_only = true;
+  net::Server replica_server(&replica->backend(), server_options);
+  ASSERT_TRUE(replica_server.start());
+  auto client = net::Client::connect("127.0.0.1", replica_server.port());
+  ASSERT_NE(client, nullptr);
+
+  DocId id = 0;
+  net::CallResult add = client->add_post("a post the replica must refuse", &id);
+  EXPECT_TRUE(add.transport_ok);
+  EXPECT_FALSE(add.ok());
+  EXPECT_EQ(add.error.code, net::ErrCode::kUnsupported);
+
+  std::vector<DocId> ids;
+  net::CallResult batch = client->add_posts({"refused", "too"}, &ids);
+  EXPECT_TRUE(batch.transport_ok);
+  EXPECT_FALSE(batch.ok());
+  EXPECT_EQ(batch.error.code, net::ErrCode::kUnsupported);
+
+  net::ReclusteredResponse reclustered;
+  net::CallResult recluster = client->recluster(&reclustered);
+  EXPECT_TRUE(recluster.transport_ok);
+  EXPECT_FALSE(recluster.ok());
+  EXPECT_EQ(recluster.error.code, net::ErrCode::kUnsupported);
+
+  // Reads keep working, bit-identical to the backend.
+  net::RelatedResponse got;
+  ASSERT_TRUE(client->query(3, 5, &got).ok());
+  auto want = replica->backend().find_related(3, 5);
+  ASSERT_EQ(got.results.size(), want.results.size());
+  for (size_t i = 0; i < want.results.size(); ++i) {
+    EXPECT_EQ(got.results[i].doc, want.results[i].doc);
+    EXPECT_EQ(got.results[i].score, want.results[i].score);
+  }
+}
+
+TEST(WireReplica, LeaderFanOutServesReplicaAnswersBitIdentically) {
+  // Leader + one caught-up read-only replica; a front server over the
+  // leader fans QUERY out to the replica. The answer bytes come from the
+  // replica, and bit-identity makes them indistinguishable from local —
+  // which is exactly what the assertion pins.
+  WireLeader leader = start_wire_leader("wire_fanout");
+
+  repl::ReplicaOptions replica_options;
+  replica_options.leader_port = leader.server->port();
+  replica_options.dir = tmp_dir("wire_fanout_replica");
+  replica_options.replica_id = "wire-fanout";
+  auto replica = repl::Replica::bootstrap(replica_options);
+  ASSERT_NE(replica, nullptr);
+  ASSERT_EQ(replica->step(), repl::Replica::StepStatus::kCaughtUp);
+
+  net::ServerOptions replica_server_options;
+  replica_server_options.read_only = true;
+  net::Server replica_server(&replica->backend(), replica_server_options);
+  ASSERT_TRUE(replica_server.start());
+
+  net::ServerOptions front_options;
+  front_options.read_replicas = {
+      "127.0.0.1:" + std::to_string(replica_server.port())};
+  net::Server front(leader.backend.get(), front_options);
+  ASSERT_TRUE(front.start());
+  auto client = net::Client::connect("127.0.0.1", front.port());
+  ASSERT_NE(client, nullptr);
+
+  const DocId num_docs = static_cast<DocId>(leader.backend->num_docs());
+  for (DocId doc = 0; doc < num_docs; ++doc) {
+    auto want = leader.backend->find_related(doc, 5);
+    net::RelatedResponse got;
+    ASSERT_TRUE(client->query(doc, 5, &got).ok()) << "doc " << doc;
+    ASSERT_EQ(got.results.size(), want.results.size()) << "doc " << doc;
+    for (size_t i = 0; i < want.results.size(); ++i) {
+      EXPECT_EQ(got.results[i].doc, want.results[i].doc)
+          << "doc " << doc << " rank " << i;
+      EXPECT_EQ(got.results[i].score, want.results[i].score)
+          << "doc " << doc << " rank " << i;
+    }
+  }
+
+  // The forwarded counter proves answers actually came from the replica.
+  obs::Counter& forwarded = obs::MetricsRegistry::global().counter(
+      "ibseg_net_fanout_total", "", {{"answered_by", "replica"}});
+  EXPECT_GE(forwarded.value(), static_cast<uint64_t>(num_docs));
+}
+
+TEST(WireReplica, DeadReplicaFallsBackToLocalExecution) {
+  // Port 1 on loopback is closed; the channel fails its connect and every
+  // query must transparently execute locally — same bits, no errors.
+  ServingOptions serving;
+  serving.num_shards = 2;
+  auto backend = ShardedServing::create(seed_docs(), {}, serving);
+  ASSERT_NE(backend, nullptr);
+
+  net::ServerOptions options;
+  options.read_replicas = {"127.0.0.1:1"};
+  options.replica_retry_sec = 60.0;  // fail once, then skip the channel
+  net::Server server(backend.get(), options);
+  ASSERT_TRUE(server.start());
+  auto client = net::Client::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+
+  for (DocId doc : {DocId{0}, DocId{5}, DocId{11}}) {
+    auto want = backend->find_related(doc, 5);
+    net::RelatedResponse got;
+    ASSERT_TRUE(client->query(doc, 5, &got).ok()) << "doc " << doc;
+    ASSERT_EQ(got.results.size(), want.results.size());
+    for (size_t i = 0; i < want.results.size(); ++i) {
+      EXPECT_EQ(got.results[i].doc, want.results[i].doc);
+      EXPECT_EQ(got.results[i].score, want.results[i].score);
+    }
+  }
+}
+
+// ----------------------------------------------------- crash promotion ----
+
+/// Blocks until `path` exists (child/parent rendezvous files).
+bool await_file(const std::string& path, int timeout_ms = 15000) {
+  for (int waited = 0; waited < timeout_ms; waited += 5) {
+    if (std::ifstream(path).good()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+void touch(const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  os << "x";
+}
+
+/// One promotion trial. The child is the leader: it restores the
+/// committed base directory, serves the replication protocol, ingests K
+/// durable posts on the parent's signal, and dies with _exit(2) — no
+/// destructors, no flushes, exactly the kill_safety crash model. The
+/// parent bootstraps a replica over the wire, optionally lets it catch
+/// up (`catch_up_over_wire`), kills the leader, promotes, and asserts
+/// the promoted replica holds every acknowledged ingest bit-identically
+/// to a never-crashed reference.
+void run_promotion_trial(const std::string& name, bool catch_up_over_wire) {
+  constexpr size_t kIngests = 5;
+  constexpr int kShards = 2;
+  const std::string leader_dir = tmp_dir(name + "_leader");
+  const std::string replica_dir = tmp_dir(name + "_replica");
+  const std::string port_file = leader_dir + "/port";
+  const std::string go_file = leader_dir + "/go";
+  const std::string ingested_file = leader_dir + "/ingested";
+  const std::string die_file = leader_dir + "/die";
+
+  {
+    ServingOptions serving;
+    serving.num_shards = kShards;
+    serving.persist.shard_dir = leader_dir;
+    auto base = ShardedServing::create(seed_docs(), {}, serving);
+    ASSERT_NE(base, nullptr);
+    ASSERT_TRUE(base->save(leader_dir));
+  }
+  const std::vector<std::string> stream = ingest_stream();
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // ---- child leader. No gtest assertions: failures surface as exit
+    // codes, never as duplicated test results.
+    auto backend = ShardedServing::restore(leader_dir);
+    if (backend == nullptr) _exit(42);
+    net::ServerOptions options;
+    options.port = 0;
+    options.state_dir = leader_dir;
+    net::Server server(backend.get(), options);
+    if (!server.start()) _exit(43);
+    {
+      std::ofstream os(port_file + ".tmp", std::ios::trunc);
+      os << server.port();
+      os.flush();
+      if (!os) _exit(44);
+    }
+    std::rename((port_file + ".tmp").c_str(), port_file.c_str());
+    while (!std::ifstream(go_file).good()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    // Durable by write-ahead order: every add_post that returns has its
+    // journal entry and WAL frame on disk before publication.
+    for (size_t i = 0; i < kIngests; ++i) backend->add_post(stream[i]);
+    { std::ofstream os(ingested_file, std::ios::trunc); os << "x"; }
+    while (!std::ifstream(die_file).good()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    _exit(kChildExitCode);  // server threads, WAL handles: all abandoned
+  }
+
+  // ---- parent: replica side.
+  ASSERT_TRUE(await_file(port_file)) << "leader child never published a port";
+  uint16_t port = 0;
+  {
+    std::ifstream is(port_file);
+    unsigned long parsed = 0;
+    is >> parsed;
+    ASSERT_TRUE(is && parsed > 0 && parsed <= 65535);
+    port = static_cast<uint16_t>(parsed);
+  }
+
+  repl::ReplicaOptions options;
+  options.leader_port = port;
+  options.dir = replica_dir;
+  options.replica_id = "promotion-" + name;
+  auto replica = repl::Replica::bootstrap(options);
+  ASSERT_NE(replica, nullptr);
+  EXPECT_EQ(replica->backend().epoch(), 0u);
+
+  touch(go_file);
+  ASSERT_TRUE(await_file(ingested_file)) << "leader child never ingested";
+
+  if (catch_up_over_wire) {
+    // Pull until at the leader's epoch — the promoted state then comes
+    // almost entirely from applied segments, and the tail drain must be
+    // a no-op that still verifies lineage.
+    for (int i = 0; i < 2000 && replica->backend().epoch() < kIngests; ++i) {
+      replica->step();
+    }
+    ASSERT_EQ(replica->backend().epoch(), kIngests);
+  }
+
+  touch(die_file);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), kChildExitCode);
+
+  // Promotion: drain the dead leader's on-disk tail. In the stale-replica
+  // variant the replica sits at epoch 0 and ALL five acknowledged ingests
+  // come from the tail; in the caught-up variant the drain dedups.
+  ASSERT_TRUE(replica->promote(leader_dir));
+  EXPECT_EQ(replica->backend().epoch(), kIngests)
+      << "promotion must surface every acknowledged leader ingest";
+
+  // Never-crashed reference over the identical history.
+  ServingOptions plain;
+  plain.num_shards = kShards;
+  auto reference = ShardedServing::create(seed_docs(), {}, plain);
+  ASSERT_NE(reference, nullptr);
+  for (size_t i = 0; i < kIngests; ++i) reference->add_post(stream[i]);
+  expect_identical_backends(*reference, replica->backend());
+}
+
+TEST(Promotion, StaleReplicaPromotesFromDeadLeaderTails) {
+  run_promotion_trial("stale", /*catch_up_over_wire=*/false);
+}
+
+TEST(Promotion, CaughtUpReplicaPromotesWithNoLoss) {
+  run_promotion_trial("caught_up", /*catch_up_over_wire=*/true);
+}
+
+}  // namespace
+}  // namespace ibseg
