@@ -100,6 +100,7 @@ std::string g_wal_path;       // --wal=PATH: attach the write-ahead ingest log
 int g_num_shards = 1;         // --shards=N: hash-partitioned scatter-gather
 bool g_pruning = true;        // --pruning=off: exhaustive per-intention path
 std::string g_connect;        // --connect=HOST:PORT: thin network client
+std::string g_tenant;         // --tenant=NAME: bind the connection (TENANT_OPEN)
 
 int usage() {
   std::fprintf(stderr,
@@ -139,11 +140,16 @@ int usage() {
                "  --connect=H:P    thin client against a running\n"
                "                   ibseg_server (docs/PROTOCOL.md):\n"
                "                   query <doc-id> [k] | ask [k] | add |\n"
-               "                   ping | save | recluster | drain;\n"
+               "                   ping | save | recluster | drain |\n"
+               "                   tenants;\n"
                "                   recluster forces one background\n"
                "                   re-clustering epoch and prints the new\n"
                "                   generation; --metrics fetches the\n"
-               "                   server's metrics over the wire\n");
+               "                   server's metrics over the wire\n"
+               "  --tenant=NAME    (with --connect) bind the connection to\n"
+               "                   tenant NAME via TENANT_OPEN before the\n"
+               "                   command; `tenants` lists every tenant\n"
+               "                   with its corpus size\n");
   return 2;
 }
 
@@ -176,6 +182,14 @@ int run_remote(const char* metrics_mode, int argc, char** argv) {
     }
     return 1;
   };
+
+  // Bind the connection before the command: every subsequent request on
+  // this connection then operates on the named tenant's corpus.
+  if (!g_tenant.empty()) {
+    net::TenantOpenedResponse opened;
+    if (report(client->tenant_open(g_tenant, &opened)) != 0) return 1;
+  }
+
   auto print_related = [](const net::RelatedResponse& related) {
     std::printf("epoch %llu, %llu docs\n",
                 static_cast<unsigned long long>(related.epoch),
@@ -230,6 +244,15 @@ int run_remote(const char* metrics_mode, int argc, char** argv) {
   } else if (cmd == "drain" && argc == 1) {
     rc = report(client->drain());
     if (rc == 0) std::printf("draining\n");
+  } else if (cmd == "tenants" && argc == 1) {
+    net::TenantListingResponse listing;
+    rc = report(client->tenant_list(&listing));
+    if (rc == 0) {
+      for (const net::TenantEntry& entry : listing.tenants) {
+        std::printf("%-32s %llu docs\n", entry.name.c_str(),
+                    static_cast<unsigned long long>(entry.num_docs));
+      }
+    }
   } else {
     return usage();
   }
@@ -568,6 +591,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[arg], "--connect=", 10) == 0) {
       g_connect = argv[arg] + 10;
       if (g_connect.empty()) return usage();
+    } else if (std::strncmp(argv[arg], "--tenant=", 9) == 0) {
+      g_tenant = argv[arg] + 9;
+      if (g_tenant.empty()) return usage();
     } else if (std::strncmp(argv[arg], "--pruning=", 10) == 0) {
       const char* value = argv[arg] + 10;
       if (std::strcmp(value, "on") == 0) {
@@ -583,6 +609,7 @@ int main(int argc, char** argv) {
     ++arg;
   }
   if (arg >= argc) return usage();
+  if (!g_tenant.empty() && g_connect.empty()) return usage();
   if (!g_connect.empty()) {
     return run_remote(metrics_mode, argc - arg, argv + arg);
   }

@@ -36,6 +36,22 @@
 //   --recluster-poll-ms=N
 //                        trigger poll interval (default 200)
 //
+// Multi-tenancy (docs/ARCHITECTURE.md §11, docs/OPERATIONS.md §8):
+//   --tenants=A[,B,...]  host the named tenants (plus the implicit
+//                        "default") as fully isolated corpora behind this
+//                        one process. Requires --corpus (each tenant with
+//                        no durable state seeds from it); with --state,
+//                        each tenant persists under
+//                        <state>/tenant-<name>/ and restores from there
+//                        on restart. Incompatible with --restore and
+//                        --replicate-from. Clients bind a connection with
+//                        TENANT_OPEN (ibseg_cli --tenant=NAME).
+//   --tenant-max-in-flight=N
+//                        per-tenant admission bound (default 0 = the
+//                        global --max-in-flight)
+//   --fair-quantum=N     deficit-round-robin quantum in bytes for the
+//                        cross-tenant fair scheduler (default 8192)
+//
 // Replication (docs/ARCHITECTURE.md §10, docs/OPERATIONS.md §7):
 //   --replicate-from=HOST:PORT
 //                        run as a read replica of the leader at HOST:PORT.
@@ -77,6 +93,7 @@
 #include <vector>
 
 #include "core/sharded_serving.h"
+#include "core/tenant_registry.h"
 #include "net/server.h"
 #include "replication/replica.h"
 #include "storage/corpus_io.h"
@@ -107,6 +124,9 @@ int usage() {
                "                    [--recluster-max-pending=N] "
                "[--recluster-max-docs=N]\n"
                "                    [--recluster-poll-ms=N]\n"
+               "                    [--tenants=A[,B,...]] "
+               "[--tenant-max-in-flight=N]\n"
+               "                    [--fair-quantum=N]\n"
                "                    [--replicate-from=H:P] [--replica-id=NAME]\n"
                "                    [--replica-poll-ms=N]\n"
                "                    [--read-replicas=H:P[,H:P...]]\n"
@@ -145,6 +165,8 @@ std::vector<Document> load_docs(const std::string& path) {
 int main(int argc, char** argv) {
   std::string corpus_path, restore_dir, port_file;
   std::string replicate_from, replica_id;
+  std::vector<std::string> tenant_names;
+  bool tenants_mode = false;
   int replica_poll_ms = 50;
   net::ServerOptions server_options;
   server_options.port = 7433;
@@ -198,6 +220,24 @@ int main(int argc, char** argv) {
       server_options.recluster.max_docs_since = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--recluster-poll-ms=")) {
       server_options.recluster.poll_interval_ms = std::atoi(v);
+    } else if (const char* v = value("--tenants=")) {
+      tenants_mode = true;
+      std::string list = v;
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        if (!name.empty()) tenant_names.push_back(name);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (const char* v = value("--tenant-max-in-flight=")) {
+      server_options.tenant_max_in_flight = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--fair-quantum=")) {
+      server_options.fair_quantum_bytes = std::strtoull(v, nullptr, 10);
+      if (server_options.fair_quantum_bytes < 1) return usage();
     } else if (const char* v = value("--replicate-from=")) {
       replicate_from = v;
     } else if (const char* v = value("--replica-id=")) {
@@ -234,6 +274,12 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+  // Tenant mode seeds from the corpus file (restore is implicit: any
+  // tenant with a MANIFEST under <state>/tenant-<name>/ restores instead)
+  // and is a leader-only concept.
+  if (tenants_mode && (corpus_path.empty() || !replicate_from.empty())) {
+    return usage();
+  }
 
   serving_options.num_shards = num_shards;
   // --state wires sharded persistence: per-shard WALs absorb every
@@ -243,7 +289,26 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<ShardedServing> backend;
   std::unique_ptr<repl::Replica> replica;
-  if (!replicate_from.empty()) {
+  std::unique_ptr<TenantRegistry> tenants;
+  if (tenants_mode) {
+    TenantRegistryOptions registry_options;
+    registry_options.state_root = server_options.state_dir;
+    registry_options.pipeline = build_options;
+    registry_options.serving = serving_options;
+    tenants = TenantRegistry::open(
+        registry_options, tenant_names,
+        [&corpus_path](const std::string&) { return load_docs(corpus_path); });
+    if (tenants == nullptr) {
+      std::fprintf(stderr,
+                   "ibseg_server: cannot open tenants (invalid name, bad "
+                   "state under %s, or unloadable corpus %s)\n",
+                   server_options.state_dir.empty()
+                       ? "<no state dir>"
+                       : server_options.state_dir.c_str(),
+                   corpus_path.c_str());
+      return 1;
+    }
+  } else if (!replicate_from.empty()) {
     repl::ReplicaOptions replica_options;
     if (!parse_host_port(replicate_from, &replica_options.leader_host,
                          &replica_options.leader_port)) {
@@ -291,20 +356,39 @@ int main(int argc, char** argv) {
     }
   }
 
-  ShardedServing* serving_backend =
-      replica != nullptr ? &replica->backend() : backend.get();
-  net::Server server(serving_backend, server_options);
-  if (!server.start()) return 1;
+  ShardedServing* serving_backend = tenants != nullptr
+                                        ? tenants->default_backend()
+                                        : replica != nullptr
+                                              ? &replica->backend()
+                                              : backend.get();
+  std::unique_ptr<net::Server> server =
+      tenants != nullptr
+          ? std::make_unique<net::Server>(tenants.get(), server_options)
+          : std::make_unique<net::Server>(serving_backend, server_options);
+  if (!server->start()) return 1;
   if (replica != nullptr) replica->start_polling();
 
-  std::printf("ibseg_server: %zu docs, %u shards, listening on %s:%u%s\n",
-              serving_backend->num_docs(), serving_backend->num_shards(),
-              server_options.bind_address.c_str(), server.port(),
-              replica != nullptr ? " (replica, read-only)" : "");
+  if (tenants != nullptr) {
+    std::string joined;
+    for (const std::string& name : tenants->names()) {
+      if (!joined.empty()) joined += ",";
+      joined += name;
+    }
+    std::printf(
+        "ibseg_server: %zu tenants (%s), %u shards each, listening on "
+        "%s:%u\n",
+        tenants->size(), joined.c_str(), serving_backend->num_shards(),
+        server_options.bind_address.c_str(), server->port());
+  } else {
+    std::printf("ibseg_server: %zu docs, %u shards, listening on %s:%u%s\n",
+                serving_backend->num_docs(), serving_backend->num_shards(),
+                server_options.bind_address.c_str(), server->port(),
+                replica != nullptr ? " (replica, read-only)" : "");
+  }
   std::fflush(stdout);
   if (!port_file.empty()) {
     std::ofstream pf(port_file);
-    pf << server.port() << "\n";
+    pf << server->port() << "\n";
   }
 
   if (::pipe(g_signal_pipe) != 0) {
@@ -322,9 +406,9 @@ int main(int argc, char** argv) {
     char byte;
     while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
     }
-    server.drain();
+    server->drain();
   });
-  server.wait_drained();
+  server->wait_drained();
   // Stop tailing the leader before reporting: the drain-time save already
   // persisted the replica's applied position.
   if (replica != nullptr) replica->stop();

@@ -56,6 +56,18 @@
 #                           the polling thread applies segments while the
 #                           replica's server threads answer queries,
 #                           exactly where an apply/read race would hide.
+#   IBSEG_TENANT_CHECK=1    also exercise multi-tenant serving: the tenant
+#                           suite (ctest label "tenant": N-tenant process
+#                           bit-identical to N single-tenant processes,
+#                           save/restore + recluster per tenant, cache
+#                           isolation, cross-tenant leakage probe, wire
+#                           routing) explicitly, then the same label under
+#                           ThreadSanitizer — tenants share the scatter
+#                           pool and the metrics registry, exactly where a
+#                           cross-tenant data race would hide. The gates
+#                           (bench/graded_eval adversarial floors,
+#                           bench/tenant_fairness_qps starvation bound)
+#                           already run with the bench step below.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -147,6 +159,18 @@ if [ "${IBSEG_REPL_CHECK:-0}" = "1" ]; then
   IBSEG_SAN_LABELS="replication" scripts/check_sanitizers.sh thread
 fi
 
+if [ "${IBSEG_TENANT_CHECK:-0}" = "1" ]; then
+  echo "== multi-tenant serving (IBSEG_TENANT_CHECK=1) =="
+  # Plain run of the tenant label (also covered by the full ctest above,
+  # repeated here so a tenant regression is named explicitly) ...
+  ctest --test-dir build -L tenant --output-on-failure
+  # ... then the same label under TSan: every tenant's queries scatter on
+  # the one shared thread pool and register into the one shared metrics
+  # registry while the server's DRR dispatcher moves work between
+  # per-tenant queues — the exact surfaces where cross-tenant races hide.
+  IBSEG_SAN_LABELS="tenant" scripts/check_sanitizers.sh thread
+fi
+
 if [ "${IBSEG_DOCS_CHECK:-0}" = "1" ]; then
   echo "== docs check (IBSEG_DOCS_CHECK=1) =="
   if command -v doxygen >/dev/null 2>&1; then
@@ -225,6 +249,22 @@ for key in '"bench"' '"recluster_sec"' '"pending_before"' \
   fi
 done
 echo "BENCH_recluster.json schema OK"
+for key in '"bench"' '"profiles"' '"mean_prec5"' '"mean_ndcg5"' '"floor"' \
+           '"pass"'; do
+  if ! grep -q "${key}" BENCH_adversarial_eval.json; then
+    echo "error: BENCH_adversarial_eval.json missing key ${key}" >&2
+    exit 1
+  fi
+done
+echo "BENCH_adversarial_eval.json schema OK"
+for key in '"bench"' '"tenants"' '"tenant"' '"phase"' '"qps"' '"p50_ms"' \
+           '"p95_ms"' '"p99_ms"' '"gate"' '"bound_ms"'; do
+  if ! grep -q "${key}" BENCH_tenant_fairness.json; then
+    echo "error: BENCH_tenant_fairness.json missing key ${key}" >&2
+    exit 1
+  fi
+done
+echo "BENCH_tenant_fairness.json schema OK"
 
 echo "== examples =="
 ./build/examples/quickstart

@@ -22,6 +22,8 @@
 
 namespace ibseg {
 
+class ThreadPool;  // util/thread_pool.h
+
 /// Durability configuration for the serving layer (see also
 /// ServingPipeline::save/restore and docs/ARCHITECTURE.md §5).
 struct ServingPersistOptions {
@@ -80,6 +82,19 @@ struct ServingOptions {
   /// Incremental offline phase: pending-pool threshold (the trigger
   /// policy itself lives in core/recluster.h).
   ReclusterOptions recluster;
+  /// Instance (tenant) label stamped onto every per-instance metric the
+  /// sharded layer registers (ibseg_shard_docs, ibseg_shard_queries_total,
+  /// ibseg_scatter_seconds, ibseg_merge_seconds and the recluster series).
+  /// Two ShardedServing instances in one process MUST use distinct labels,
+  /// or their series collide in the process-wide registry and gauges
+  /// clobber each other. Empty means "default".
+  std::string tenant;
+  /// Scatter thread pool to share with other ShardedServing instances
+  /// (not owned; must outlive the serving object). When null, a sharded
+  /// instance owns a private pool sized to its shard count. Sharing is
+  /// safe because scatter legs are leaf tasks — they never wait on another
+  /// TaskGroup in the same pool (util/thread_pool.h).
+  ThreadPool* scatter_pool = nullptr;
 };
 
 /// Concurrent serving facade over RelatedPostPipeline: the layer a

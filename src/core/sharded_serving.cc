@@ -242,22 +242,32 @@ bool ShardedServing::init_shards(
   if (options.cache.capacity > 0) {
     cache_ = std::make_unique<QueryCache>(options.cache);
   }
-  if (num_shards > 1) {
+  shared_pool_ = options.scatter_pool;
+  if (num_shards > 1 && shared_pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(num_shards);
   }
+  tenant_label_ = options.tenant.empty() ? "default" : options.tenant;
 
+  // Every per-instance series carries the tenant label: the registry is
+  // process-wide and find_or_create dedupes on (kind, name, labels), so
+  // without it two coexisting instances would share one ibseg_shard_docs
+  // gauge and clobber each other's values.
   obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+  obs::Labels tenant_only{{"tenant", tenant_label_}};
   scatter_seconds_ = &r.histogram(
       "ibseg_scatter_seconds",
       "Scatter-phase latency of a sharded query (all shard legs), in "
-      "seconds.");
+      "seconds.",
+      tenant_only);
   merge_seconds_ = &r.histogram(
       "ibseg_merge_seconds",
-      "Gather/merge-phase latency of a sharded query, in seconds.");
+      "Gather/merge-phase latency of a sharded query, in seconds.",
+      tenant_only);
   shard_queries_.reserve(num_shards);
   shard_docs_.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
-    obs::Labels labels{{"shard", std::to_string(s)}};
+    obs::Labels labels{{"shard", std::to_string(s)},
+                       {"tenant", tenant_label_}};
     shard_queries_.push_back(&r.counter(
         "ibseg_shard_queries_total",
         "Scatter legs dispatched to this shard.", labels));
@@ -367,8 +377,9 @@ ShardedServing::QueryResult ShardedServing::scatter_gather(
       legs[s] = shards_[s]->match_clusters(queries, exclude, n, views);
       shard_queries_[s]->inc();
     };
-    if (pool_ != nullptr && ns > 1) {
-      TaskGroup group(*pool_);
+    ThreadPool* pool = scatter_pool();
+    if (pool != nullptr && ns > 1) {
+      TaskGroup group(*pool);
       for (uint32_t s = 0; s < ns; ++s) {
         group.run([&leg, s] { leg(s); });
       }
@@ -656,21 +667,26 @@ uint64_t ShardedServing::recluster() {
       shard_docs_[s]->set(static_cast<double>(shards_[s]->num_docs()));
     }
   }
+  obs::Labels tenant_only{{"tenant", tenant_label_}};
   reg.counter("ibseg_recluster_total",
               "Completed background re-clustering epochs (shadow "
-              "rebuild + atomic swap).")
+              "rebuild + atomic swap).",
+              tenant_only)
       .inc();
   reg.gauge("ibseg_offline_generation",
-            "Offline generation: completed background reclusters.")
+            "Offline generation: completed background reclusters.",
+            tenant_only)
       .set(static_cast<double>(gen));
   reg.gauge("ibseg_recluster_drift",
             "Centroid drift repaired by the last recluster: 1 - "
             "mean best-cosine alignment between the old and new "
-            "centroid sets.")
+            "centroid sets.",
+            tenant_only)
       .set(drift);
   reg.histogram("ibseg_recluster_seconds",
                 "End-to-end background recluster latency (capture + "
-                "shadow rebuild + catch-up + swap), in seconds.")
+                "shadow rebuild + catch-up + swap), in seconds.",
+                tenant_only)
       .observe(watch.elapsed_seconds());
   return gen;
 }

@@ -423,11 +423,24 @@ class ShardedServing {
   mutable std::unique_ptr<QueryCache> cache_;
   uint64_t matcher_fingerprint_ = 0;
 
-  /// Scatter fan-out pool (nullptr when one shard).
+  /// Scatter fan-out pool. Either owned (pool_, created when sharded and
+  /// no shared pool was supplied) or borrowed from ServingOptions::
+  /// scatter_pool (shared_pool_, multi-tenant deployments — the registry
+  /// owns one pool for every tenant). scatter_pool() picks whichever is
+  /// set; nullptr when one shard and no injection.
   std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* shared_pool_ = nullptr;
+  ThreadPool* scatter_pool() const {
+    return shared_pool_ != nullptr ? shared_pool_ : pool_.get();
+  }
 
-  /// Per-shard instruments (ibseg_shard_queries_total{shard},
-  /// ibseg_shard_docs{shard}) + scatter/merge stage timers.
+  /// Tenant (instance) label from ServingOptions::tenant — stamped onto
+  /// every per-instance metric so coexisting instances never collide in
+  /// the process-wide registry. "default" when unset.
+  std::string tenant_label_;
+
+  /// Per-shard instruments (ibseg_shard_queries_total{shard,tenant},
+  /// ibseg_shard_docs{shard,tenant}) + scatter/merge stage timers.
   std::vector<obs::Counter*> shard_queries_;
   std::vector<obs::Gauge*> shard_docs_;
   obs::Histogram* scatter_seconds_ = nullptr;

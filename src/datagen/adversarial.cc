@@ -1,0 +1,160 @@
+#include "datagen/adversarial.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ibseg {
+namespace {
+
+/// Max meanPrec@5 over `queries`: each query's ceiling is
+/// min(relevant_count, 5) / 5.
+double max_mean_prec5(const SyntheticCorpus& corpus,
+                      const std::vector<DocId>& queries) {
+  if (queries.empty()) return 0.0;
+  std::vector<size_t> scenario_sizes;
+  for (const GeneratedPost& p : corpus.posts) {
+    size_t s = static_cast<size_t>(p.scenario_id);
+    if (s >= scenario_sizes.size()) scenario_sizes.resize(s + 1, 0);
+    ++scenario_sizes[s];
+  }
+  double total = 0.0;
+  for (DocId q : queries) {
+    size_t relevant =
+        scenario_sizes[static_cast<size_t>(corpus.posts[q].scenario_id)] - 1;
+    total += static_cast<double>(std::min<size_t>(relevant, 5)) / 5.0;
+  }
+  return total / static_cast<double>(queries.size());
+}
+
+/// The hard evaluation dials shared by every profile (the bench
+/// profiles' settings — heavy background contamination, tight scenario
+/// pools), so adversarial difficulty comes from the workload SHAPE, not
+/// from a softer generator.
+GeneratorOptions hard_options(ForumDomain domain, size_t num_posts,
+                              uint64_t seed) {
+  GeneratorOptions gen;
+  gen.domain = domain;
+  gen.num_posts = num_posts;
+  gen.seed = seed;
+  gen.background_noise = 0.9;
+  gen.mention_noise = 0.0;
+  gen.contaminant_ratio = 3.0;
+  gen.scenario_pool_size = 6;
+  return gen;
+}
+
+}  // namespace
+
+AdversarialCorpus generate_near_duplicate_pairs(size_t num_posts,
+                                                uint64_t seed) {
+  GeneratorOptions gen =
+      hard_options(ForumDomain::kTechSupport, num_posts, seed);
+  // Every scenario is a question PAIR, and four pairs share one
+  // component vocabulary: a query's nearest negatives differ from its
+  // one true duplicate only in the 3 problem-identity terms.
+  gen.posts_per_scenario = 2;
+  gen.problems_per_component = 4;
+
+  AdversarialCorpus out;
+  out.name = "near_duplicates";
+  out.corpus = generate_corpus(gen);
+  out.offline_posts = out.corpus.posts.size();
+  for (DocId q = 0; q < out.corpus.posts.size(); ++q) out.queries.push_back(q);
+  out.max_mean_prec5 = max_mean_prec5(out.corpus, out.queries);
+  return out;
+}
+
+AdversarialCorpus generate_bursty_hot_topics(size_t num_posts, uint64_t seed,
+                                             size_t hot_scenarios) {
+  GeneratorOptions gen =
+      hard_options(ForumDomain::kProgramming, num_posts, seed);
+  gen.posts_per_scenario = 12;  // long threads, SemEval question threads
+  SyntheticCorpus generated = generate_corpus(gen);
+  if (hot_scenarios >= generated.num_scenarios) {
+    hot_scenarios = generated.num_scenarios > 1 ? generated.num_scenarios - 1
+                                                : 0;
+  }
+  const int first_hot =
+      static_cast<int>(generated.num_scenarios - hot_scenarios);
+
+  // Reorder: steady-state threads first (the offline build), then each
+  // hot thread as one contiguous burst — the ingest order a hot topic
+  // produces on a live forum. Scenario ground truth travels with the
+  // posts; only ids change.
+  AdversarialCorpus out;
+  out.name = "bursty_hot_topic";
+  out.corpus.domain = generated.domain;
+  out.corpus.num_scenarios = generated.num_scenarios;
+  for (const GeneratedPost& p : generated.posts) {
+    if (p.scenario_id < first_hot) out.corpus.posts.push_back(p);
+  }
+  out.offline_posts = out.corpus.posts.size();
+  for (const GeneratedPost& p : generated.posts) {
+    if (p.scenario_id >= first_hot) out.corpus.posts.push_back(p);
+  }
+
+  // Queries: every burst post (its thread-mates are in the freshly
+  // ingested flood) and every 4th steady post (the burst must not
+  // hijack their answers).
+  for (DocId q = 0; q < out.offline_posts; q += 4) out.queries.push_back(q);
+  for (DocId q = static_cast<DocId>(out.offline_posts);
+       q < out.corpus.posts.size(); q += 2) {
+    out.queries.push_back(q);
+  }
+  out.max_mean_prec5 = max_mean_prec5(out.corpus, out.queries);
+  return out;
+}
+
+AdversarialCorpus generate_cross_domain_confounders(size_t num_posts,
+                                                    uint64_t seed) {
+  GeneratorOptions tech_gen =
+      hard_options(ForumDomain::kTechSupport, num_posts / 2, seed);
+  tech_gen.posts_per_scenario = 4;
+  GeneratorOptions travel_gen =
+      hard_options(ForumDomain::kTravel, num_posts - num_posts / 2, seed + 1);
+  travel_gen.posts_per_scenario = 4;
+  SyntheticCorpus tech = generate_corpus(tech_gen);
+  SyntheticCorpus travel = generate_corpus(travel_gen);
+
+  // Concatenate with relabeled travel ground truth. The confounder is in
+  // the TEXT, not the labels: past each domain's curated lists, component
+  // vocabularies come from the same deterministic synthesis stream
+  // (post_generator.cc synth_index), so component k of tech and
+  // component k of travel share pseudo-entity terms while no cross-domain
+  // pair is ever related.
+  AdversarialCorpus out;
+  out.name = "cross_domain_confounders";
+  out.corpus.domain = tech.domain;
+  out.corpus.num_scenarios = tech.num_scenarios + travel.num_scenarios;
+  out.corpus.posts = tech.posts;
+  const int scenario_offset = static_cast<int>(tech.num_scenarios);
+  constexpr int kComponentOffset = 1 << 20;  // disjoint component id space
+  for (GeneratedPost post : travel.posts) {
+    post.scenario_id += scenario_offset;
+    post.component_id += kComponentOffset;
+    for (int& c : post.contaminants) c += scenario_offset;
+    if (post.contaminant_scenario >= 0) {
+      post.contaminant_scenario += scenario_offset;
+    }
+    out.corpus.posts.push_back(std::move(post));
+  }
+  out.offline_posts = out.corpus.posts.size();
+  for (DocId q = 0; q < out.corpus.posts.size(); q += 2) {
+    out.queries.push_back(q);
+  }
+  out.max_mean_prec5 = max_mean_prec5(out.corpus, out.queries);
+  return out;
+}
+
+std::vector<AdversarialCorpus> all_adversarial_profiles(size_t num_posts,
+                                                        uint64_t seed) {
+  std::vector<AdversarialCorpus> profiles;
+  profiles.push_back(generate_near_duplicate_pairs(num_posts, seed * 100 + 1));
+  profiles.push_back(generate_bursty_hot_topics(num_posts, seed * 100 + 2));
+  profiles.push_back(
+      generate_cross_domain_confounders(num_posts, seed * 100 + 3));
+  return profiles;
+}
+
+}  // namespace ibseg

@@ -1,0 +1,80 @@
+#ifndef IBSEG_DATAGEN_ADVERSARIAL_H_
+#define IBSEG_DATAGEN_ADVERSARIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/post_generator.h"
+
+/// \file
+/// Adversarial community-question-answering workloads, modeled on the
+/// stress axes of SemEval-2016 Task 3 (question–question similarity over
+/// Qatar Living forum threads): near-duplicate question pairs whose hard
+/// negatives share almost all their vocabulary, bursty hot-topic streams
+/// that flood the index with one thread's posts, and cross-domain
+/// confounder vocabulary where unrelated forums collide on the same
+/// product/entity terms. Each generator returns the corpus plus the
+/// query set and ground truth a quality gate evaluates against
+/// (bench/graded_eval enforces a meanPrec@5 floor per profile).
+
+namespace ibseg {
+
+/// One adversarial workload: a corpus (posts with same-scenario ground
+/// truth), the documents to use as queries, and — for streaming profiles
+/// — how much of the corpus belongs to the offline build.
+struct AdversarialCorpus {
+  /// Profile slug ("near_duplicates", "bursty_hot_topic",
+  /// "cross_domain_confounders") — stable, used in BENCH json keys.
+  std::string name;
+  SyntheticCorpus corpus;
+  /// Documents to evaluate as queries (ids index corpus.posts).
+  std::vector<DocId> queries;
+  /// Posts [0, offline_posts) form the offline build; posts from
+  /// offline_posts on arrive as ONLINE ingests in corpus order (equals
+  /// corpus.posts.size() for the static profiles).
+  size_t offline_posts = 0;
+  /// Largest meanPrec@5 any method could score over `queries` (relevant
+  /// posts may number fewer than 5) — the denominator that makes floors
+  /// comparable across profiles.
+  double max_mean_prec5 = 0.0;
+};
+
+/// Near-duplicate question pairs: every scenario is a 2-post pair (the
+/// SemEval "original vs. related question" shape — one problem asked
+/// twice in different words), and each component packs several such
+/// pairs, so the nearest non-relevant posts share the pair's component
+/// vocabulary almost term for term. Queries: every post; exactly one
+/// relevant answer each (max meanPrec@5 = 0.2).
+AdversarialCorpus generate_near_duplicate_pairs(size_t num_posts,
+                                                uint64_t seed = 1601);
+
+/// Bursty hot-topic stream: long question threads (12 posts per
+/// scenario); the steady-state scenarios form the offline build and the
+/// final `hot_scenarios` threads arrive afterwards as contiguous online
+/// bursts — each burst answered under clustering that has never seen its
+/// topic. Queries: burst posts (must find their thread-mates among the
+/// freshly ingested flood) and steady posts (must not be hijacked by
+/// the burst).
+AdversarialCorpus generate_bursty_hot_topics(size_t num_posts,
+                                             uint64_t seed = 1602,
+                                             size_t hot_scenarios = 3);
+
+/// Cross-domain confounder vocabulary: a tech-support corpus and a
+/// travel corpus concatenated into one index. Beyond each domain's
+/// curated lists, component vocabularies are synthesized from a shared
+/// deterministic stream, so component k of one domain and component k of
+/// the other collide on the same pseudo-entity terms while their posts
+/// are never related — whole-post matching crosses domains on those
+/// collisions, intention-scoped matching should not. Queries: every
+/// other post of both domains.
+AdversarialCorpus generate_cross_domain_confounders(size_t num_posts,
+                                                    uint64_t seed = 1603);
+
+/// All three profiles at a common size, in gate order.
+std::vector<AdversarialCorpus> all_adversarial_profiles(size_t num_posts,
+                                                        uint64_t seed = 16);
+
+}  // namespace ibseg
+
+#endif  // IBSEG_DATAGEN_ADVERSARIAL_H_

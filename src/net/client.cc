@@ -240,6 +240,26 @@ CallResult Client::recluster(ReclusteredResponse* out) {
                 decode_reclustered, out);
 }
 
+CallResult Client::tenant_open(const std::string& name,
+                               TenantOpenedResponse* out) {
+  std::string req_payload;
+  encode_tenant_open({name}, &req_payload);
+  MsgType type = MsgType::kError;
+  std::string payload;
+  CallResult result = call(MsgType::kTenantOpen, req_payload, &type,
+                           &payload);
+  return expect(std::move(result), type, MsgType::kTenantOpened, payload,
+                decode_tenant_opened, out);
+}
+
+CallResult Client::tenant_list(TenantListingResponse* out) {
+  MsgType type = MsgType::kError;
+  std::string payload;
+  CallResult result = call(MsgType::kTenantList, {}, &type, &payload);
+  return expect(std::move(result), type, MsgType::kTenantListing, payload,
+                decode_tenant_listing, out);
+}
+
 CallResult Client::subscribe_wal(const SubscribeWalRequest& req,
                                  WalSegmentResponse* out) {
   std::string req_payload;

@@ -76,6 +76,16 @@ class Client {
   /// corpora rebuild for a while — pass a generous connect timeout.
   CallResult recluster(ReclusteredResponse* out);
 
+  // Tenant helpers (PROTOCOL.md §4.14–§4.15). The binding is
+  // connection-scoped: after a successful tenant_open every subsequent
+  // request on this connection operates on that tenant's corpus.
+
+  /// Binds this connection to `name`'s corpus. An unknown name is
+  /// reported as an UNKNOWN_TENANT server error via the CallResult.
+  CallResult tenant_open(const std::string& name, TenantOpenedResponse* out);
+  /// Lists every tenant the server hosts with its corpus size.
+  CallResult tenant_list(TenantListingResponse* out);
+
   // Replication helpers (PROTOCOL.md §4.10–§4.13) — used by
   // replication/replica.h; exposed here so tests and tooling can drive
   // the replication protocol directly.

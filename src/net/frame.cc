@@ -391,6 +391,73 @@ bool decode_snapshot_data(std::string_view payload,
   return r.exhausted();
 }
 
+void encode_tenant_open(const TenantOpenRequest& req, std::string* payload) {
+  WireWriter w(payload);
+  w.write_u32(static_cast<uint32_t>(req.name.size()));
+  w.write_bytes(req.name);
+}
+
+bool decode_tenant_open(std::string_view payload, TenantOpenRequest* out) {
+  WireReader r(payload);
+  uint32_t len = r.read_u32();
+  if (!r.ok() || len == 0 || len > kMaxTenantNameBytes ||
+      len != r.remaining()) {
+    return false;
+  }
+  out->name.assign(r.read_bytes(len));
+  return r.exhausted();
+}
+
+void encode_tenant_opened(const TenantOpenedResponse& resp,
+                          std::string* payload) {
+  WireWriter w(payload);
+  w.write_u64(resp.epoch);
+  w.write_u64(resp.num_docs);
+}
+
+bool decode_tenant_opened(std::string_view payload,
+                          TenantOpenedResponse* out) {
+  WireReader r(payload);
+  out->epoch = r.read_u64();
+  out->num_docs = r.read_u64();
+  return r.exhausted();
+}
+
+void encode_tenant_listing(const TenantListingResponse& resp,
+                           std::string* payload) {
+  WireWriter w(payload);
+  w.write_u32(static_cast<uint32_t>(resp.tenants.size()));
+  for (const TenantEntry& t : resp.tenants) {
+    w.write_u32(static_cast<uint32_t>(t.name.size()));
+    w.write_bytes(t.name);
+    w.write_u64(t.num_docs);
+  }
+}
+
+bool decode_tenant_listing(std::string_view payload,
+                           TenantListingResponse* out) {
+  WireReader r(payload);
+  uint32_t count = r.read_u32();
+  if (!r.ok() || count == 0 || count > kMaxTenants) return false;
+  out->tenants.clear();
+  out->tenants.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TenantEntry t;
+    uint32_t name_len = r.read_u32();
+    // Bounded by what is actually left, so a hostile length can never
+    // drive an allocation past the frame.
+    if (!r.ok() || name_len == 0 || name_len > kMaxTenantNameBytes ||
+        name_len > r.remaining()) {
+      return false;
+    }
+    t.name.assign(r.read_bytes(name_len));
+    t.num_docs = r.read_u64();
+    if (!r.ok()) return false;
+    out->tenants.push_back(std::move(t));
+  }
+  return r.exhausted();
+}
+
 const char* msg_type_name(MsgType type) {
   switch (type) {
     case MsgType::kPing: return "ping";
@@ -406,6 +473,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kWalAck: return "wal_ack";
     case MsgType::kSnapshotList: return "snapshot_list";
     case MsgType::kSnapshotChunk: return "snapshot_chunk";
+    case MsgType::kTenantOpen: return "tenant_open";
+    case MsgType::kTenantList: return "tenant_list";
     case MsgType::kPong: return "pong";
     case MsgType::kRelated: return "related";
     case MsgType::kAdded: return "added";
@@ -417,6 +486,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kWalAcked: return "wal_acked";
     case MsgType::kSnapshotListing: return "snapshot_listing";
     case MsgType::kSnapshotData: return "snapshot_data";
+    case MsgType::kTenantOpened: return "tenant_opened";
+    case MsgType::kTenantListing: return "tenant_listing";
     case MsgType::kError: return "error";
   }
   return "unknown";

@@ -67,6 +67,13 @@ inline constexpr uint32_t kMaxReplicaIdBytes = 256;
 inline constexpr uint32_t kMaxSnapshotFiles = 1u << 16;
 inline constexpr uint32_t kMaxSnapshotNameBytes = 4096;
 
+/// \brief Maximum length of a tenant name in TENANT_OPEN /
+/// TENANT_LISTING, and the maximum tenant count a listing may declare.
+/// The name bound matches core (TenantRegistry::kMaxNameBytes — asserted
+/// equal in net/server.cc).
+inline constexpr uint32_t kMaxTenantNameBytes = 128;
+inline constexpr uint32_t kMaxTenants = 1u << 16;
+
 /// \brief Message type codes (frame header byte 5). Requests occupy
 /// 0x01..0x7F, responses 0x81..0xFF; the split makes a frame's direction
 /// recognizable in isolation (PROTOCOL.md §3).
@@ -85,6 +92,8 @@ enum class MsgType : uint8_t {
   kWalAck = 0x0B,         ///< replica reports its applied seq (lag gauges)
   kSnapshotList = 0x0C,   ///< replica bootstrap: list snapshot files
   kSnapshotChunk = 0x0D,  ///< replica bootstrap: read one file range
+  kTenantOpen = 0x0E,     ///< bind this connection to a tenant namespace
+  kTenantList = 0x0F,     ///< enumerate the server's tenants
 
   // Responses (server -> client).
   kPong = 0x81,         ///< answers PING
@@ -98,6 +107,8 @@ enum class MsgType : uint8_t {
   kWalAcked = 0x8B,         ///< answers WAL_ACK
   kSnapshotListing = 0x8C,  ///< answers SNAPSHOT_LIST
   kSnapshotData = 0x8D,     ///< answers SNAPSHOT_CHUNK
+  kTenantOpened = 0x8E,     ///< answers TENANT_OPEN
+  kTenantListing = 0x8F,    ///< answers TENANT_LIST
   kError = 0xE0,        ///< any request may be answered with an error
 };
 
@@ -113,6 +124,8 @@ enum class ErrCode : uint8_t {
   kSnapshotNeeded = 8,  ///< SUBSCRIBE_WAL: the (seq, generation) cursor is
                         ///< not servable from frames — re-bootstrap from a
                         ///< snapshot (PROTOCOL.md §4.10)
+  kUnknownTenant = 9,   ///< TENANT_OPEN: no tenant of that name (the set
+                        ///< is fixed at server start; PROTOCOL.md §4.14)
 };
 
 /// \brief Decoded frame header (the payload follows separately).
@@ -238,9 +251,22 @@ void encode_snapshot_chunk(const SnapshotChunkRequest& req,
 bool decode_snapshot_chunk(std::string_view payload,
                            SnapshotChunkRequest* out);
 
-// PING, SAVE, DRAIN, RECLUSTER and SNAPSHOT_LIST carry empty payloads:
-// encoding is encode_frame with an empty payload; decoding succeeds iff
-// the payload is empty.
+/// \brief TENANT_OPEN: bind this connection to a tenant namespace. Every
+/// later tenant-scoped request on the connection (QUERY/ASK/ADD_POST/
+/// ADD_POSTS/SAVE/RECLUSTER and the replication pulls) routes to the
+/// bound tenant's corpus. Connections that never send TENANT_OPEN operate
+/// on the implicit "default" tenant — which is how pre-tenant clients
+/// keep working byte-identically (PROTOCOL.md §4.14).
+struct TenantOpenRequest {
+  std::string name;  ///< 1..kMaxTenantNameBytes bytes of [A-Za-z0-9_-]
+};
+
+void encode_tenant_open(const TenantOpenRequest& req, std::string* payload);
+bool decode_tenant_open(std::string_view payload, TenantOpenRequest* out);
+
+// PING, SAVE, DRAIN, RECLUSTER, SNAPSHOT_LIST and TENANT_LIST carry empty
+// payloads: encoding is encode_frame with an empty payload; decoding
+// succeeds iff the payload is empty.
 
 // --- Response payloads (PROTOCOL.md §5).
 
@@ -355,6 +381,36 @@ struct SnapshotDataResponse {
 void encode_snapshot_data(const SnapshotDataResponse& resp,
                           std::string* payload);
 bool decode_snapshot_data(std::string_view payload, SnapshotDataResponse* out);
+
+/// \brief TENANT_OPENED: the answer to TENANT_OPEN — the bound tenant's
+/// serving coordinates at bind time (same fields as PONG, observed on the
+/// tenant the connection just bound to).
+struct TenantOpenedResponse {
+  uint64_t epoch = 0;     ///< tenant's combined publication epoch
+  uint64_t num_docs = 0;  ///< tenant's corpus size
+};
+
+void encode_tenant_opened(const TenantOpenedResponse& resp,
+                          std::string* payload);
+bool decode_tenant_opened(std::string_view payload,
+                          TenantOpenedResponse* out);
+
+/// \brief One tenant in a TENANT_LISTING: name + live corpus size.
+struct TenantEntry {
+  std::string name;
+  uint64_t num_docs = 0;
+};
+
+/// \brief TENANT_LISTING: the answer to TENANT_LIST — every tenant the
+/// server hosts, in sorted name order (the set is fixed at server start).
+struct TenantListingResponse {
+  std::vector<TenantEntry> tenants;
+};
+
+void encode_tenant_listing(const TenantListingResponse& resp,
+                           std::string* payload);
+bool decode_tenant_listing(std::string_view payload,
+                           TenantListingResponse* out);
 
 // SAVED, DRAINING and WAL_ACKED carry empty payloads.
 

@@ -72,6 +72,10 @@ struct Server::Connection {
 
   int fd;
   std::string input;  ///< buffered unparsed request bytes (I/O thread only)
+  /// Tenant this connection is bound to (TENANT_OPEN; PROTOCOL.md §4.14).
+  /// Written and read only on the I/O thread — dispatch snapshots the
+  /// resolved backend into the Work, so workers never look at this.
+  std::string tenant = TenantRegistry::kDefaultTenant;
   std::atomic<bool> in_flight{false};  ///< one admitted request outstanding
   std::atomic<bool> closed{false};
 
@@ -88,12 +92,18 @@ struct Server::Connection {
   }
 };
 
-/// One admitted request travelling from the I/O thread to a worker.
+/// One admitted request travelling from the I/O thread to a worker. The
+/// tenant routing (backend + state dir) is resolved at dispatch time on
+/// the I/O thread, so workers never read mutable connection state.
 struct Server::Work {
   std::shared_ptr<Connection> conn;
   MsgType type = MsgType::kPing;
   std::string payload;
   obs::Clock::time_point enqueued;
+  std::string tenant;                  ///< tenant the request routes to
+  ShardedServing* backend = nullptr;   ///< that tenant's corpus
+  std::string state_dir;               ///< that tenant's durable state root
+  size_t cost = 0;                     ///< DRR cost: frame bytes
 };
 
 /// The ibseg_net_* instrument set (docs/OPERATIONS.md §5 catalogs it).
@@ -124,7 +134,7 @@ struct Server::Metrics {
         MsgType::kAddPost,      MsgType::kAddPosts, MsgType::kSave,
         MsgType::kMetrics,      MsgType::kDrain,    MsgType::kRecluster,
         MsgType::kSubscribeWal, MsgType::kWalAck,   MsgType::kSnapshotList,
-        MsgType::kSnapshotChunk};
+        MsgType::kSnapshotChunk, MsgType::kTenantOpen, MsgType::kTenantList};
     for (MsgType cmd : kCommands) {
       requests[static_cast<uint8_t>(cmd)] = &r.counter(
           "ibseg_net_requests_total",
@@ -133,7 +143,7 @@ struct Server::Metrics {
     }
     static constexpr const char* kReasons[] = {
         "bad_frame", "bad_request", "overloaded",
-        "draining",  "timeout",     "conn_limit"};
+        "draining",  "timeout",     "conn_limit", "unknown_tenant"};
     for (const char* reason : kReasons) {
       rejected[reason] = &r.counter(
           "ibseg_net_rejected_total",
@@ -166,12 +176,41 @@ struct Server::ReplicaChannel {
   obs::Clock::time_point cooldown_until{};  ///< epoch value = no cooldown
 };
 
+// The wire-level name bound and the registry's directory-name bound must
+// agree, or a name the codec accepts could be unopenable (or vice versa).
+static_assert(TenantRegistry::kMaxNameBytes == kMaxTenantNameBytes,
+              "core and wire tenant-name limits diverged");
+
+Server::Server(TenantRegistry* tenants, ServerOptions options)
+    : Server(tenants->default_backend(), std::move(options)) {
+  tenants_ = tenants;
+  // One queue + one wait histogram per tenant, eagerly — the tenant set
+  // is fixed, so an idle tenant still renders its series at zero.
+  obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+  for (const std::string& name : tenants_->names()) {
+    TenantQueue& tq = tenant_queues_[name];
+    tq.queue_seconds = &r.histogram(
+        "ibseg_tenant_queue_seconds",
+        "Dispatch-queue wait of admitted requests, by tenant (the "
+        "fairness scheduler's observable).",
+        {{"tenant", name}});
+  }
+}
+
 Server::Server(ShardedServing* backend, ServerOptions options)
     : backend_(backend),
       options_(std::move(options)),
       metrics_(std::make_unique<Metrics>()) {
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.max_in_flight < 1) options_.max_in_flight = 1;
+  // Single-tenant mode still schedules through the (single) default
+  // tenant queue — one code path, no special cases.
+  TenantQueue& tq = tenant_queues_[TenantRegistry::kDefaultTenant];
+  tq.queue_seconds = &obs::MetricsRegistry::global().histogram(
+      "ibseg_tenant_queue_seconds",
+      "Dispatch-queue wait of admitted requests, by tenant (the "
+      "fairness scheduler's observable).",
+      {{"tenant", TenantRegistry::kDefaultTenant}});
   for (const std::string& addr : options_.read_replicas) {
     const size_t colon = addr.rfind(':');
     unsigned long port = 0;
@@ -322,8 +361,13 @@ void Server::finish_drain() {
 
   // The final publication barrier: with a state dir configured, persist
   // every acknowledged ingest (snapshot + manifest commit + WAL
-  // truncation) before reporting the drain complete.
-  if (!options_.state_dir.empty()) {
+  // truncation) before reporting the drain complete. In registry mode
+  // every tenant is saved — each into its own tenant-<name> directory.
+  if (tenants_ != nullptr) {
+    if (!tenants_->save_all()) {
+      std::fprintf(stderr, "ibseg_server: drain-time tenant save failed\n");
+    }
+  } else if (!options_.state_dir.empty()) {
     if (!backend_->save(options_.state_dir)) {
       std::fprintf(stderr, "ibseg_server: drain-time save to %s failed\n",
                    options_.state_dir.c_str());
@@ -600,7 +644,73 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn, MsgType type,
     return;
   }
 
-  // Admission control: the bound covers queued + executing requests.
+  // The tenant envelope executes inline on the I/O thread: both commands
+  // are registry lookups (no corpus work), and handling them here makes
+  // conn->tenant I/O-thread-private — no admission slot, no queueing.
+  if (type == MsgType::kTenantOpen) {
+    TenantOpenRequest req;
+    if (!decode_tenant_open(payload, &req)) {
+      metrics_->reject("bad_request");
+      send_error(conn, ErrCode::kBadRequest, "malformed tenant_open payload");
+      return;
+    }
+    ShardedServing* bound =
+        tenants_ != nullptr
+            ? tenants_->find(req.name)
+            : (req.name == TenantRegistry::kDefaultTenant ? backend_
+                                                          : nullptr);
+    if (bound == nullptr) {
+      metrics_->reject("unknown_tenant");
+      send_error(conn, ErrCode::kUnknownTenant, "no such tenant: " + req.name);
+      return;
+    }
+    conn->tenant = req.name;
+    std::string resp;
+    encode_tenant_opened({bound->epoch(), bound->num_docs()}, &resp);
+    send_frame(conn, MsgType::kTenantOpened, resp);
+    return;
+  }
+  if (type == MsgType::kTenantList) {
+    if (!payload.empty()) {
+      metrics_->reject("bad_request");
+      send_error(conn, ErrCode::kBadRequest, "tenant_list carries no payload");
+      return;
+    }
+    TenantListingResponse listing;
+    if (tenants_ != nullptr) {
+      for (const std::string& name : tenants_->names()) {
+        listing.tenants.push_back({name, tenants_->find(name)->num_docs()});
+      }
+    } else {
+      listing.tenants.push_back(
+          {TenantRegistry::kDefaultTenant, backend_->num_docs()});
+    }
+    std::string resp;
+    encode_tenant_listing(listing, &resp);
+    send_frame(conn, MsgType::kTenantListing, resp);
+    return;
+  }
+
+  // Resolve the tenant once, on the I/O thread. conn->tenant is always a
+  // name TENANT_OPEN validated (or the default), so the lookup cannot
+  // fail on an open registry.
+  Work work;
+  work.conn = conn;
+  work.type = type;
+  work.tenant = conn->tenant;
+  if (tenants_ != nullptr) {
+    work.backend = tenants_->find(conn->tenant);
+    work.state_dir = tenants_->state_dir(conn->tenant);
+  } else {
+    work.backend = backend_;
+    work.state_dir = options_.state_dir;
+  }
+  work.cost = kFrameHeaderBytes + payload.size();
+  work.payload = std::move(payload);
+  work.enqueued = obs::Clock::now();
+
+  // Admission control: the global bound covers queued + executing
+  // requests across all tenants ...
   size_t current = in_flight_.load(std::memory_order_relaxed);
   while (true) {
     if (current >= options_.max_in_flight) {
@@ -617,9 +727,79 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn, MsgType type,
   conn->in_flight.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(Work{conn, type, std::move(payload), obs::Clock::now()});
+    TenantQueue& tq = tenant_queues_.at(work.tenant);
+    // ... and the per-tenant bound keeps one flooding tenant from
+    // consuming every slot (0 = no tighter bound).
+    const size_t tenant_cap = options_.tenant_max_in_flight > 0
+                                  ? options_.tenant_max_in_flight
+                                  : options_.max_in_flight;
+    if (tq.in_flight >= tenant_cap) {
+      conn->in_flight.store(false, std::memory_order_release);
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      metrics_->reject("overloaded");
+      send_error(conn, ErrCode::kOverloaded,
+                 "too many requests in flight for tenant " + work.tenant);
+      return;
+    }
+    ++tq.in_flight;
+    tq.queue.push_back(std::move(work));
+    if (!tq.active) {
+      tq.active = true;
+      active_.push_back(tq.queue.back().tenant);
+    }
+    ++queued_total_;
   }
   queue_cv_.notify_one();
+}
+
+Server::Work Server::pop_next_locked() {
+  // Deficit round robin over the active-tenant ring: each turn at the
+  // front of the ring tops a tenant's byte deficit up by one quantum;
+  // its head request is served only once the deficit covers the
+  // request's frame size. Small frames (queries) are served every turn;
+  // a tenant streaming jumbo batches accumulates deficit over several
+  // rotations while light tenants keep being served — that is the
+  // no-starvation argument (docs/ARCHITECTURE.md §11). Terminates: every
+  // full rotation grows the front-most deficits by a quantum and costs
+  // are bounded by kMaxPayloadBytes.
+  while (true) {
+    TenantQueue& tq = tenant_queues_.at(active_.front());
+    if (tq.queue.empty()) {  // emptied by earlier pops; drop from the ring
+      tq.active = false;
+      tq.deficit = 0;
+      active_.pop_front();
+      continue;
+    }
+    const size_t cost = tq.queue.front().cost;
+    if (tq.deficit < cost) {
+      tq.deficit += options_.fair_quantum_bytes;
+      if (tq.deficit < cost) {
+        // Still short: rotate so other tenants are served while this
+        // one's budget builds up.
+        active_.push_back(active_.front());
+        active_.pop_front();
+        continue;
+      }
+    }
+    tq.deficit -= cost;
+    Work work = std::move(tq.queue.front());
+    tq.queue.pop_front();
+    --queued_total_;
+    if (tq.queue.empty()) {
+      tq.active = false;
+      tq.deficit = 0;  // budget does not accumulate while idle
+      active_.pop_front();
+    } else {
+      // One serve per turn: rotate to the back even though the leftover
+      // deficit could cover the next request. Without this a tenant whose
+      // closed-loop clients refill the queue as fast as it drains never
+      // leaves the front and starves everyone else; with it, the worst
+      // wait for any active tenant is one small frame per other tenant.
+      active_.push_back(active_.front());
+      active_.pop_front();
+    }
+    return work;
+  }
 }
 
 void Server::worker_loop() {
@@ -628,17 +808,20 @@ void Server::worker_loop() {
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] {
-        return !queue_.empty() || workers_stop_.load(std::memory_order_acquire);
+        return queued_total_ > 0 ||
+               workers_stop_.load(std::memory_order_acquire);
       });
-      if (queue_.empty()) return;  // stop requested and drained
-      work = std::move(queue_.front());
-      queue_.pop_front();
+      if (queued_total_ == 0) return;  // stop requested and drained
+      work = pop_next_locked();
     }
 
     MsgType resp_type;
     std::string resp_payload;
     const double waited =
         obs::seconds_between(work.enqueued, obs::Clock::now());
+    // Histogram writes are atomic; no queue_mu_ needed, and the pointer
+    // is stable (the tenant map's key set is fixed at construction).
+    tenant_queues_.at(work.tenant).queue_seconds->observe(waited);
     if (options_.request_timeout_sec > 0 &&
         waited > options_.request_timeout_sec) {
       metrics_->reject("timeout");
@@ -647,6 +830,13 @@ void Server::worker_loop() {
                    &resp_payload);
     } else {
       execute(work, &resp_type, &resp_payload);
+      if (tenants_ != nullptr) {
+        tenants_->count_query(work.tenant);
+        if (work.type == MsgType::kAddPost ||
+            work.type == MsgType::kAddPosts) {
+          tenants_->refresh_doc_gauge(work.tenant);
+        }
+      }
     }
 
     if (!work.conn->closed.load(std::memory_order_acquire)) {
@@ -655,6 +845,10 @@ void Server::worker_loop() {
     metrics_->request_seconds.observe(
         obs::seconds_between(work.enqueued, obs::Clock::now()));
     work.conn->in_flight.store(false, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --tenant_queues_.at(work.tenant).in_flight;
+    }
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     wake_io();
   }
@@ -676,7 +870,7 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
     case MsgType::kPing: {
       if (!work.payload.empty()) return bad_request("ping carries no payload");
       *type = MsgType::kPong;
-      encode_pong({backend_->epoch(), backend_->num_docs()}, payload);
+      encode_pong({work.backend->epoch(), work.backend->num_docs()}, payload);
       return;
     }
     case MsgType::kQuery: {
@@ -684,13 +878,16 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       if (!decode_query(work.payload, &req)) {
         return bad_request("malformed query payload");
       }
-      if (req.doc_id >= backend_->next_id()) {
+      if (req.doc_id >= work.backend->next_id()) {
         *type = MsgType::kError;
         encode_error({ErrCode::kUnknownDoc, "document id not in corpus"},
                      payload);
         return;
       }
-      if (!replica_channels_.empty()) {
+      // Replica fan-out is a leader/default-tenant concept: replicas tail
+      // the default tenant's WAL, so only its reads may be offloaded.
+      if (!replica_channels_.empty() &&
+          work.tenant == TenantRegistry::kDefaultTenant) {
         std::string forwarded;
         if (forward_to_replica(MsgType::kQuery, work.payload, &forwarded)) {
           metrics_->fanout_forwarded.inc();
@@ -701,7 +898,7 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
         metrics_->fanout_local.inc();
       }
       ShardedServing::QueryResult result =
-          backend_->find_related(req.doc_id, static_cast<int>(req.k));
+          work.backend->find_related(req.doc_id, static_cast<int>(req.k));
       *type = MsgType::kRelated;
       encode_related({result.epoch, result.num_docs, std::move(result.results)},
                      payload);
@@ -714,7 +911,8 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       }
       Document doc = Document::analyze(kExternalQueryId, req.text);
       if (doc.num_units() == 0) return bad_request("empty post");
-      if (!replica_channels_.empty()) {
+      if (!replica_channels_.empty() &&
+          work.tenant == TenantRegistry::kDefaultTenant) {
         std::string forwarded;
         if (forward_to_replica(MsgType::kAsk, work.payload, &forwarded)) {
           metrics_->fanout_forwarded.inc();
@@ -725,7 +923,7 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
         metrics_->fanout_local.inc();
       }
       ShardedServing::QueryResult result =
-          backend_->find_related_external(doc, static_cast<int>(req.k));
+          work.backend->find_related_external(doc, static_cast<int>(req.k));
       *type = MsgType::kRelated;
       encode_related({result.epoch, result.num_docs, std::move(result.results)},
                      payload);
@@ -743,7 +941,7 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       if (!decode_add_post(work.payload, &req) || req.text.empty()) {
         return bad_request("malformed or empty add_post payload");
       }
-      DocId id = backend_->add_post(std::move(req.text));
+      DocId id = work.backend->add_post(std::move(req.text));
       *type = MsgType::kAdded;
       encode_added({{id}}, payload);
       return;
@@ -763,20 +961,20 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       for (const std::string& text : req.texts) {
         if (text.empty()) return bad_request("empty post in batch");
       }
-      std::vector<DocId> ids = backend_->add_posts(std::move(req.texts));
+      std::vector<DocId> ids = work.backend->add_posts(std::move(req.texts));
       *type = MsgType::kAdded;
       encode_added({std::move(ids)}, payload);
       return;
     }
     case MsgType::kSave: {
       if (!work.payload.empty()) return bad_request("save carries no payload");
-      if (options_.state_dir.empty()) {
+      if (work.state_dir.empty()) {
         *type = MsgType::kError;
         encode_error({ErrCode::kUnsupported, "server has no state directory"},
                      payload);
         return;
       }
-      if (!backend_->save(options_.state_dir)) {
+      if (!work.backend->save(work.state_dir)) {
         *type = MsgType::kError;
         encode_error({ErrCode::kInternal, "save failed"}, payload);
         return;
@@ -813,10 +1011,10 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       // connection observes the new clustering. The worker executing this
       // holds no serving lock; queries on other workers keep flowing
       // through the shadow build exactly as with the background worker.
-      uint64_t generation = backend_->recluster();
+      uint64_t generation = work.backend->recluster();
       *type = MsgType::kReclustered;
       encode_reclustered(
-          {generation, static_cast<uint32_t>(backend_->num_clusters())},
+          {generation, static_cast<uint32_t>(work.backend->num_clusters())},
           payload);
       return;
     }
@@ -825,7 +1023,7 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       if (!decode_subscribe_wal(work.payload, &req)) {
         return bad_request("malformed subscribe_wal payload");
       }
-      ShardedServing::ShipSegment seg = backend_->ship_segment(
+      ShardedServing::ShipSegment seg = work.backend->ship_segment(
           req.from_seq, req.replica_generation, req.max_frames,
           req.max_bytes);
       using Status = ShardedServing::ShipSegment::Status;
@@ -869,13 +1067,17 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       if (!decode_wal_ack(work.payload, &req)) {
         return bad_request("malformed wal_ack payload");
       }
-      const uint64_t epoch = backend_->epoch();
+      const uint64_t epoch = work.backend->epoch();
       const uint64_t lag = epoch > req.acked_seq ? epoch - req.acked_seq : 0;
+      // Single-tenant servers keep the historical series shape; registry
+      // mode adds the tenant label so per-tenant followers stay distinct.
+      obs::Labels lag_labels{{"replica", req.replica_id}};
+      if (tenants_ != nullptr) lag_labels.push_back({"tenant", work.tenant});
       obs::MetricsRegistry::global()
           .gauge("ibseg_leader_replica_lag_frames",
                  "Publications the leader is ahead of each replica's last "
                  "acknowledged position, by replica id.",
-                 {{"replica", req.replica_id}})
+                 std::move(lag_labels))
           .set(static_cast<double>(lag));
       *type = MsgType::kWalAcked;
       return;
@@ -884,7 +1086,7 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       if (!work.payload.empty()) {
         return bad_request("snapshot_list carries no payload");
       }
-      if (options_.state_dir.empty()) {
+      if (work.state_dir.empty()) {
         *type = MsgType::kError;
         encode_error({ErrCode::kUnsupported, "server has no state directory"},
                      payload);
@@ -894,13 +1096,13 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       // state (shard WALs truncated, manifest covering every publication),
       // so a bootstrap that fetches exactly the listed files restores to a
       // clean frame boundary.
-      if (!backend_->save(options_.state_dir)) {
+      if (!work.backend->save(work.state_dir)) {
         *type = MsgType::kError;
         encode_error({ErrCode::kInternal, "snapshot save failed"}, payload);
         return;
       }
       std::optional<ShardManifest> manifest =
-          load_shard_manifest_file(options_.state_dir + "/MANIFEST");
+          load_shard_manifest_file(work.state_dir + "/MANIFEST");
       if (!manifest.has_value()) {
         *type = MsgType::kError;
         encode_error({ErrCode::kInternal, "manifest unreadable after save"},
@@ -911,7 +1113,7 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       resp.generation = manifest->generation;
       resp.num_shards = manifest->num_shards;
       for (const std::string& name : snapshot_file_names(*manifest)) {
-        std::ifstream in(options_.state_dir + "/" + name, std::ios::binary);
+        std::ifstream in(work.state_dir + "/" + name, std::ios::binary);
         uint32_t crc = 0;
         uint64_t size = 0;
         char buf[65536];
@@ -944,7 +1146,7 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       if (!decode_snapshot_chunk(work.payload, &req)) {
         return bad_request("malformed snapshot_chunk payload");
       }
-      if (options_.state_dir.empty()) {
+      if (work.state_dir.empty()) {
         *type = MsgType::kError;
         encode_error({ErrCode::kUnsupported, "server has no state directory"},
                      payload);
@@ -954,7 +1156,7 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       // here rather than trusting the request, so a chunk request can
       // never traverse outside the state directory.
       std::optional<ShardManifest> manifest =
-          load_shard_manifest_file(options_.state_dir + "/MANIFEST");
+          load_shard_manifest_file(work.state_dir + "/MANIFEST");
       if (!manifest.has_value()) {
         *type = MsgType::kError;
         encode_error({ErrCode::kSnapshotNeeded,
@@ -966,7 +1168,7 @@ void Server::execute(const Work& work, MsgType* type, std::string* payload) {
       if (std::find(names.begin(), names.end(), req.name) == names.end()) {
         return bad_request("name not in the current snapshot listing");
       }
-      std::ifstream in(options_.state_dir + "/" + req.name,
+      std::ifstream in(work.state_dir + "/" + req.name,
                        std::ios::binary | std::ios::ate);
       if (!in) {
         // Listed a moment ago but gone now: a newer save swapped

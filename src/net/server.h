@@ -14,6 +14,7 @@
 
 #include "core/recluster.h"
 #include "core/sharded_serving.h"
+#include "core/tenant_registry.h"
 #include "net/frame.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
@@ -106,6 +107,25 @@ struct ServerOptions {
   /// SAVE/DRAIN stay available (they persist the replica's own state),
   /// and SUBSCRIBE_WAL stays available too (chained replication).
   bool read_only = false;
+
+  /// Per-tenant admission cap: maximum requests admitted (queued +
+  /// executing) for any single tenant. 0 (the default) means no tighter
+  /// bound than max_in_flight. With multiple tenants, setting this below
+  /// max_in_flight guarantees a flooding tenant leaves admission slots
+  /// for the others — the first half of the fairness story; the
+  /// deficit-round-robin dequeue is the second
+  /// (ibseg_net_rejected_total{reason="overloaded"} counts both caps).
+  size_t tenant_max_in_flight = 0;
+
+  /// Deficit-round-robin quantum, in frame bytes per scheduling turn.
+  /// Workers dequeue per-tenant queues round-robin; each turn a tenant's
+  /// deficit grows by this many bytes and requests are only served while
+  /// the deficit covers their frame size (header + payload). Cheap
+  /// QUERY frames cost ~20 bytes, jumbo ADD_POSTS batches cost their
+  /// full payload — so a tenant streaming megabyte batches consumes its
+  /// turns proportionally and cannot starve light tenants
+  /// (docs/ARCHITECTURE.md §11).
+  size_t fair_quantum_bytes = 8192;
 };
 
 /// \brief The TCP serving front-end: speaks the docs/PROTOCOL.md wire
@@ -140,6 +160,18 @@ class Server {
   ///   owned, must outlive the server
   /// \param options tuning knobs (copied)
   Server(ShardedServing* backend, ServerOptions options);
+
+  /// Multi-tenant serving: requests route to the tenant their connection
+  /// bound with TENANT_OPEN (default tenant otherwise — pre-tenant
+  /// clients keep working byte-identically). SAVE and the snapshot
+  /// bootstrap serve each tenant's own state directory
+  /// (registry->state_dir), options.state_dir is ignored, and the drain
+  /// barrier saves EVERY tenant. The recluster worker (when enabled)
+  /// watches the default tenant only; other tenants recluster via the
+  /// wire command on a bound connection.
+  /// \param tenants the tenant set; not owned, must outlive the server
+  /// \param options tuning knobs (copied)
+  Server(TenantRegistry* tenants, ServerOptions options);
 
   /// Drains (if still running) and releases everything.
   ~Server();
@@ -197,9 +229,16 @@ class Server {
   /// unrecoverable (malformed frame) and the connection must close.
   bool parse_frames(const std::shared_ptr<Connection>& conn);
 
-  /// Admission + queueing of one well-framed request.
+  /// Admission + queueing of one well-framed request. TENANT_OPEN /
+  /// TENANT_LIST execute inline here on the I/O thread (registry lookups,
+  /// no backend work) — which makes the connection's tenant binding
+  /// I/O-thread-private state, no lock needed.
   void dispatch(const std::shared_ptr<Connection>& conn, MsgType type,
                 std::string payload);
+
+  /// Deficit-round-robin dequeue across the per-tenant queues. Caller
+  /// holds queue_mu_ and guarantees queued_total_ > 0.
+  Work pop_next_locked();
 
   /// Executes one request against the backend (worker context).
   void execute(const Work& work, MsgType* type, std::string* payload);
@@ -232,6 +271,10 @@ class Server {
   void wake_io();
 
   ShardedServing* backend_;
+  /// Non-null in multi-tenant mode; backend_ is then the default
+  /// tenant's backend. The tenant set (and thus every map below keyed by
+  /// tenant name) is fixed at construction.
+  TenantRegistry* tenants_ = nullptr;
   ServerOptions options_;
   uint16_t port_ = 0;
 
@@ -258,9 +301,24 @@ class Server {
   /// mutex-guarded output side of a Connection.
   std::map<int, std::shared_ptr<Connection>> connections_;
 
+  /// Per-tenant scheduling state. The worker queue is one FIFO per
+  /// tenant plus a round-robin ring of tenants with queued work;
+  /// pop_next_locked() implements deficit round robin over the ring
+  /// (docs/ARCHITECTURE.md §11). Everything here is guarded by
+  /// queue_mu_; the map's KEY SET is fixed at construction (one entry
+  /// per tenant), so holding a TenantQueue* across an unlock is safe.
+  struct TenantQueue {
+    std::deque<Work> queue;
+    size_t deficit = 0;    ///< DRR byte budget carried into this turn
+    size_t in_flight = 0;  ///< admitted (queued + executing) requests
+    bool active = false;   ///< true iff present in active_
+    obs::Histogram* queue_seconds = nullptr;  ///< ibseg_tenant_queue_seconds
+  };
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<Work> queue_;  ///< guarded by queue_mu_
+  std::map<std::string, TenantQueue> tenant_queues_;  ///< guarded by queue_mu_
+  std::deque<std::string> active_;  ///< DRR ring, guarded by queue_mu_
+  size_t queued_total_ = 0;         ///< guarded by queue_mu_
 
   std::mutex lifecycle_mu_;
   std::condition_variable lifecycle_cv_;

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
 
+#include "datagen/adversarial.h"
 #include "datagen/domain_profiles.h"
 #include "datagen/post_generator.h"
 #include "datagen/template_engine.h"
@@ -267,6 +270,131 @@ TEST(PostGenerator, SegmentCountsFollowDomainMix) {
   }
   double fraction = static_cast<double>(singles) / corpus.posts.size();
   EXPECT_NEAR(fraction, 0.43, 0.1);
+}
+
+// ------------------------- adversarial CQA workloads (adversarial.h) ----
+
+TEST(Adversarial, ProfilesAreDeterministicAndWellFormed) {
+  for (const AdversarialCorpus& profile : all_adversarial_profiles(96)) {
+    SCOPED_TRACE(profile.name);
+    EXPECT_FALSE(profile.corpus.posts.empty());
+    EXPECT_FALSE(profile.queries.empty());
+    EXPECT_LE(profile.offline_posts, profile.corpus.posts.size());
+    EXPECT_GT(profile.max_mean_prec5, 0.0);
+    EXPECT_LE(profile.max_mean_prec5, 1.0);
+    for (DocId q : profile.queries) {
+      EXPECT_LT(q, profile.corpus.posts.size());
+    }
+  }
+  // Deterministic in the seed: same call, same texts and ground truth.
+  AdversarialCorpus a = generate_near_duplicate_pairs(60, 7);
+  AdversarialCorpus b = generate_near_duplicate_pairs(60, 7);
+  ASSERT_EQ(a.corpus.posts.size(), b.corpus.posts.size());
+  for (size_t i = 0; i < a.corpus.posts.size(); ++i) {
+    EXPECT_EQ(a.corpus.posts[i].text, b.corpus.posts[i].text);
+    EXPECT_EQ(a.corpus.posts[i].scenario_id, b.corpus.posts[i].scenario_id);
+  }
+  EXPECT_NE(a.corpus.posts[0].text,
+            generate_near_duplicate_pairs(60, 8).corpus.posts[0].text);
+}
+
+TEST(Adversarial, NearDuplicatesAreExactPairs) {
+  AdversarialCorpus profile = generate_near_duplicate_pairs(80);
+  std::map<int, size_t> scenario_sizes;
+  for (const GeneratedPost& p : profile.corpus.posts) {
+    ++scenario_sizes[p.scenario_id];
+  }
+  for (const auto& [scenario, size] : scenario_sizes) {
+    EXPECT_EQ(size, 2u) << "scenario " << scenario;
+  }
+  // Every post is a query with exactly one relevant answer — max
+  // meanPrec@5 is 0.2 by construction.
+  EXPECT_EQ(profile.queries.size(), profile.corpus.posts.size());
+  EXPECT_NEAR(profile.max_mean_prec5, 0.2, 1e-9);
+  // The pair's twins share their component (hard negatives exist): four
+  // pairs per component.
+  std::map<int, std::set<int>> component_scenarios;
+  for (const GeneratedPost& p : profile.corpus.posts) {
+    component_scenarios[p.component_id].insert(p.scenario_id);
+  }
+  bool some_component_packed = false;
+  for (const auto& [component, scenarios] : component_scenarios) {
+    if (scenarios.size() >= 4) some_component_packed = true;
+  }
+  EXPECT_TRUE(some_component_packed);
+}
+
+TEST(Adversarial, BurstyStreamIsContiguousPerHotThread) {
+  AdversarialCorpus profile = generate_bursty_hot_topics(120, 1602, 3);
+  ASSERT_LT(profile.offline_posts, profile.corpus.posts.size());
+  // Offline prefix holds no hot-scenario post; the stream is grouped so
+  // each hot thread arrives as one contiguous burst.
+  std::set<int> hot;
+  for (size_t i = profile.offline_posts; i < profile.corpus.posts.size();
+       ++i) {
+    hot.insert(profile.corpus.posts[i].scenario_id);
+  }
+  EXPECT_EQ(hot.size(), 3u);
+  for (size_t i = 0; i < profile.offline_posts; ++i) {
+    EXPECT_EQ(hot.count(profile.corpus.posts[i].scenario_id), 0u);
+  }
+  int runs = 0;
+  int previous = -1;
+  for (size_t i = profile.offline_posts; i < profile.corpus.posts.size();
+       ++i) {
+    if (profile.corpus.posts[i].scenario_id != previous) {
+      ++runs;
+      previous = profile.corpus.posts[i].scenario_id;
+    }
+  }
+  EXPECT_EQ(runs, 3);  // one contiguous run per hot thread
+  // Queries cover both sides of the burst boundary.
+  bool steady_query = false;
+  bool burst_query = false;
+  for (DocId q : profile.queries) {
+    (q < profile.offline_posts ? steady_query : burst_query) = true;
+  }
+  EXPECT_TRUE(steady_query);
+  EXPECT_TRUE(burst_query);
+}
+
+TEST(Adversarial, CrossDomainGroundTruthNeverCrossesDomains) {
+  AdversarialCorpus profile = generate_cross_domain_confounders(100);
+  // The two halves use disjoint scenario and component id ranges, so no
+  // cross-domain pair is related and component grades never cross either.
+  size_t tech_posts = 0;
+  int max_tech_scenario = -1;
+  for (const GeneratedPost& p : profile.corpus.posts) {
+    if (p.component_id < (1 << 20)) {
+      ++tech_posts;
+      max_tech_scenario = std::max(max_tech_scenario, p.scenario_id);
+    }
+  }
+  EXPECT_EQ(tech_posts, 50u);
+  for (const GeneratedPost& p : profile.corpus.posts) {
+    if (p.component_id >= (1 << 20)) {
+      EXPECT_GT(p.scenario_id, max_tech_scenario);
+      for (int c : p.contaminants) EXPECT_GT(c, max_tech_scenario);
+    }
+  }
+  // num_scenarios spans both halves and no scenario id escapes it.
+  int max_scenario = -1;
+  for (const GeneratedPost& p : profile.corpus.posts) {
+    max_scenario = std::max(max_scenario, p.scenario_id);
+  }
+  EXPECT_GT(profile.corpus.num_scenarios,
+            static_cast<size_t>(max_tech_scenario) + 1);
+  EXPECT_LT(static_cast<size_t>(max_scenario), profile.corpus.num_scenarios);
+  // Everything was built offline; queries sample both halves.
+  EXPECT_EQ(profile.offline_posts, profile.corpus.posts.size());
+  bool tech_query = false;
+  bool travel_query = false;
+  for (DocId q : profile.queries) {
+    (profile.corpus.posts[q].component_id < (1 << 20) ? tech_query
+                                                      : travel_query) = true;
+  }
+  EXPECT_TRUE(tech_query);
+  EXPECT_TRUE(travel_query);
 }
 
 }  // namespace

@@ -111,6 +111,30 @@ void exercise_payload(MsgType type, std::string_view payload) {
       assert(again == payload);
       break;
     }
+    case MsgType::kTenantOpen: {
+      TenantOpenRequest a;
+      if (!decode_tenant_open(payload, &a)) return;
+      std::string again;
+      encode_tenant_open(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kTenantOpened: {
+      TenantOpenedResponse a;
+      if (!decode_tenant_opened(payload, &a)) return;
+      std::string again;
+      encode_tenant_opened(a, &again);
+      assert(again == payload);
+      break;
+    }
+    case MsgType::kTenantListing: {
+      TenantListingResponse a;
+      if (!decode_tenant_listing(payload, &a)) return;
+      std::string again;
+      encode_tenant_listing(a, &again);
+      assert(again == payload);
+      break;
+    }
     case MsgType::kSubscribeWal: {
       SubscribeWalRequest a;
       if (!decode_subscribe_wal(payload, &a)) return;
@@ -193,9 +217,11 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   for (MsgType type :
        {MsgType::kQuery, MsgType::kAsk, MsgType::kAddPost, MsgType::kAddPosts,
         MsgType::kMetrics, MsgType::kPong, MsgType::kRelated, MsgType::kAdded,
-        MsgType::kMetricsData, MsgType::kError, MsgType::kSubscribeWal,
-        MsgType::kWalAck, MsgType::kSnapshotChunk, MsgType::kWalSegment,
-        MsgType::kSnapshotListing, MsgType::kSnapshotData}) {
+        MsgType::kMetricsData, MsgType::kError, MsgType::kTenantOpen,
+        MsgType::kTenantOpened, MsgType::kTenantListing,
+        MsgType::kSubscribeWal, MsgType::kWalAck, MsgType::kSnapshotChunk,
+        MsgType::kWalSegment, MsgType::kSnapshotListing,
+        MsgType::kSnapshotData}) {
     exercise_payload(type, tail);
   }
   return 0;
@@ -260,6 +286,22 @@ std::vector<std::string> fuzz_seed_inputs() {
   p.clear();
   encode_error({ErrCode::kOverloaded, "too many in-flight requests"}, &p);
   add_frame(MsgType::kError, p);
+
+  p.clear();
+  encode_tenant_open({"alpha"}, &p);
+  add_frame(MsgType::kTenantOpen, p);
+
+  add_frame(MsgType::kTenantList, {});
+
+  p.clear();
+  encode_tenant_opened({7, 1234}, &p);
+  add_frame(MsgType::kTenantOpened, p);
+
+  p.clear();
+  TenantListingResponse tenants;
+  tenants.tenants = {{"alpha", 41}, {"beta", 40}, {"default", 40}};
+  encode_tenant_listing(tenants, &p);
+  add_frame(MsgType::kTenantListing, p);
 
   p.clear();
   encode_subscribe_wal({18, 2, 256, 1u << 20, "replica-a"}, &p);

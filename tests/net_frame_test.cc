@@ -376,6 +376,89 @@ TEST(NetFrame, ErrorPayloadGoldenAndRoundTrip) {
   expect_trailing_byte_rejected(payload, decode_error);
 }
 
+TEST(NetFrame, TenantOpenPayloadGoldenAndTruncation) {
+  std::string payload;
+  encode_tenant_open({"alpha"}, &payload);
+  // name length 5 LE | "alpha" (PROTOCOL.md §4.14).
+  EXPECT_EQ(payload, bytes({0x05, 0x00, 0x00, 0x00, 'a', 'l', 'p', 'h',
+                            'a'}));
+  TenantOpenRequest out;
+  ASSERT_TRUE(decode_tenant_open(payload, &out));
+  EXPECT_EQ(out.name, "alpha");
+  expect_every_prefix_rejected(payload, decode_tenant_open);
+  expect_trailing_byte_rejected(payload, decode_tenant_open);
+}
+
+TEST(NetFrame, TenantOpenBadNamesRejected) {
+  TenantOpenRequest out;
+  // Empty name: length 0 is not a tenant.
+  EXPECT_FALSE(decode_tenant_open(bytes({0x00, 0x00, 0x00, 0x00}), &out));
+  // Declared length past kMaxTenantNameBytes, even when the bytes exist.
+  std::string oversized = bytes({0x81, 0x00, 0x00, 0x00});
+  oversized.append(129, 'a');
+  EXPECT_FALSE(decode_tenant_open(oversized, &out));
+  // Length-bomb: huge declared length with no bytes behind it.
+  EXPECT_FALSE(decode_tenant_open(bytes({0xFF, 0xFF, 0xFF, 0xFF, 'a'}),
+                                  &out));
+  // The maximum legal name (128 bytes) decodes.
+  std::string max_name(128, 'z');
+  std::string payload;
+  encode_tenant_open({max_name}, &payload);
+  ASSERT_TRUE(decode_tenant_open(payload, &out));
+  EXPECT_EQ(out.name, max_name);
+}
+
+TEST(NetFrame, TenantOpenedPayloadGoldenAndTruncation) {
+  std::string payload;
+  encode_tenant_opened({0x0102030405060708ull, 40}, &payload);
+  // epoch u64 LE | num_docs u64 LE (PROTOCOL.md §5, TENANT_OPENED).
+  EXPECT_EQ(payload, bytes({0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+                            0x28, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                            0x00}));
+  TenantOpenedResponse out;
+  ASSERT_TRUE(decode_tenant_opened(payload, &out));
+  EXPECT_EQ(out.epoch, 0x0102030405060708ull);
+  EXPECT_EQ(out.num_docs, 40u);
+  expect_every_prefix_rejected(payload, decode_tenant_opened);
+  expect_trailing_byte_rejected(payload, decode_tenant_opened);
+}
+
+TEST(NetFrame, TenantListingPayloadGoldenAndTruncation) {
+  TenantListingResponse listing;
+  listing.tenants = {{"a", 2}, {"bc", 3}};
+  std::string payload;
+  encode_tenant_listing(listing, &payload);
+  // count 2 LE | (len 1 | "a" | docs 2 u64) | (len 2 | "bc" | docs 3 u64)
+  // (PROTOCOL.md §5, TENANT_LISTING).
+  EXPECT_EQ(payload,
+            bytes({0x02, 0x00, 0x00, 0x00,
+                   0x01, 0x00, 0x00, 0x00, 'a',
+                   0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                   0x02, 0x00, 0x00, 0x00, 'b', 'c',
+                   0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}));
+  TenantListingResponse out;
+  ASSERT_TRUE(decode_tenant_listing(payload, &out));
+  ASSERT_EQ(out.tenants.size(), 2u);
+  EXPECT_EQ(out.tenants[0].name, "a");
+  EXPECT_EQ(out.tenants[0].num_docs, 2u);
+  EXPECT_EQ(out.tenants[1].name, "bc");
+  EXPECT_EQ(out.tenants[1].num_docs, 3u);
+  expect_every_prefix_rejected(payload, decode_tenant_listing);
+  expect_trailing_byte_rejected(payload, decode_tenant_listing);
+}
+
+TEST(NetFrame, TenantListingCountBombRejected) {
+  TenantListingResponse out;
+  // Zero tenants is impossible — "default" always exists.
+  EXPECT_FALSE(decode_tenant_listing(bytes({0x00, 0x00, 0x00, 0x00}), &out));
+  // A count past kMaxTenants must be rejected before any allocation.
+  EXPECT_FALSE(decode_tenant_listing(
+      bytes({0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x00, 0x00, 0x00, 'a'}), &out));
+  // A name length pointing past the payload is caught per entry.
+  EXPECT_FALSE(decode_tenant_listing(
+      bytes({0x01, 0x00, 0x00, 0x00, 0x40, 0x00, 0x00, 0x00, 'a'}), &out));
+}
+
 TEST(NetFrame, MsgTypeNamesAreStable) {
   // These strings are metric label values (ibseg_net_requests_total{cmd})
   // — renaming one silently forks a dashboard series.
@@ -389,6 +472,10 @@ TEST(NetFrame, MsgTypeNamesAreStable) {
   EXPECT_STREQ(msg_type_name(MsgType::kDrain), "drain");
   EXPECT_STREQ(msg_type_name(MsgType::kRecluster), "recluster");
   EXPECT_STREQ(msg_type_name(MsgType::kReclustered), "reclustered");
+  EXPECT_STREQ(msg_type_name(MsgType::kTenantOpen), "tenant_open");
+  EXPECT_STREQ(msg_type_name(MsgType::kTenantList), "tenant_list");
+  EXPECT_STREQ(msg_type_name(MsgType::kTenantOpened), "tenant_opened");
+  EXPECT_STREQ(msg_type_name(MsgType::kTenantListing), "tenant_listing");
   EXPECT_STREQ(msg_type_name(static_cast<MsgType>(0x7F)), "unknown");
 }
 
